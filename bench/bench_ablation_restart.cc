@@ -1,0 +1,97 @@
+// E15 — ablation: the Theorem 4.1 suffix-restart optimization.
+//
+// Plain Lemma 3.6 provisions lambda = Theta(eps^-1 log n) copies; the
+// optimization cycles Theta(eps^-1 log eps^-1) copies, restarting retired
+// ones on the stream suffix. We run both pool disciplines on the same
+// streams and compare copy counts, space, tracking error, and pool
+// exhaustion — demonstrating why the optimization matters as n grows.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "rs/core/flip_number.h"
+#include "rs/core/sketch_switching.h"
+#include "rs/sketch/kmv_f0.h"
+#include "rs/stream/exact_oracle.h"
+#include "rs/stream/generators.h"
+#include "rs/util/stats.h"
+#include "rs/util/table_printer.h"
+
+namespace {
+
+struct Outcome {
+  double max_err = 0.0;
+  size_t space = 0;
+  size_t switches = 0;
+  bool exhausted = false;
+};
+
+Outcome Run(rs::SketchSwitching::PoolMode mode, size_t copies, double eps,
+            uint64_t m) {
+  rs::SketchSwitching::Config cfg;
+  cfg.eps = eps;
+  cfg.copies = copies;
+  cfg.mode = mode;
+  rs::KmvF0::Config kmv{.k = 2048};
+  rs::SketchSwitching sw(
+      cfg, [kmv](uint64_t s) { return std::make_unique<rs::KmvF0>(kmv, s); },
+      7);
+  rs::ExactOracle oracle;
+  Outcome out;
+  for (uint64_t i = 0; i < m; ++i) {
+    const rs::Update u{i, 1};
+    sw.Update(u);
+    oracle.Update(u);
+    if (oracle.F0() >= 200) {
+      out.max_err = std::max(
+          out.max_err, rs::RelativeError(sw.Estimate(),
+                                         static_cast<double>(oracle.F0())));
+    }
+  }
+  out.space = sw.SpaceBytes();
+  out.switches = sw.switches();
+  out.exhausted = sw.exhausted();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E15: ablation — plain pool (Lem 3.6) vs ring restarts "
+              "(Thm 4.1)\n");
+  rs::TablePrinter table({"eps", "mode", "copies", "space", "worst err",
+                          "switches", "exhausted"});
+  const uint64_t m = 60000;
+  for (double eps : {0.2, 0.35}) {
+    const size_t lambda_pool = rs::F0FlipNumber(eps / 10.0, m);
+    const size_t ring = rs::SketchSwitching::RingSizeForEpsilon(eps);
+
+    const auto pool =
+        Run(rs::SketchSwitching::PoolMode::kPool, lambda_pool, eps, m);
+    const auto ring_run =
+        Run(rs::SketchSwitching::PoolMode::kRing, ring, eps, m);
+    // Undersized pool: what happens if one skimps on Lemma 3.6.
+    const auto small_pool =
+        Run(rs::SketchSwitching::PoolMode::kPool, ring / 2 + 2, eps, m);
+
+    auto add = [&](const char* mode, size_t copies, const Outcome& o) {
+      table.AddRow({rs::TablePrinter::Fmt(eps, 2), mode,
+                    rs::TablePrinter::FmtInt(static_cast<long long>(copies)),
+                    rs::TablePrinter::FmtBytes(o.space),
+                    rs::TablePrinter::Fmt(o.max_err, 3),
+                    rs::TablePrinter::FmtInt(
+                        static_cast<long long>(o.switches)),
+                    o.exhausted ? "YES" : "no"});
+    };
+    add("pool lambda (3.6)", lambda_pool, pool);
+    add("ring (4.1)", ring, ring_run);
+    add("pool undersized", ring / 2 + 2, small_pool);
+  }
+  table.Print("pool discipline comparison (distinct-growth stream, KMV base)");
+  std::printf(
+      "\nShape check (paper): the ring achieves the same tracking error with\n"
+      "Theta(eps^-1 log 1/eps) copies instead of Theta(eps^-1 log n) — the\n"
+      "space column shrinks accordingly; an undersized plain pool exhausts\n"
+      "(last column), which is exactly the failure Theorem 4.1 removes.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// E14 — ablation: the rounding grain.
+//
+// Both frameworks publish [.]_{eps/2}-rounded sticky outputs; the grain
+// controls the information channel to the adversary (number of output
+// changes == bits leaked) and the extra approximation error. We sweep the
+// grain on a fixed raw estimate sequence and measure (a) output changes,
+// (b) worst additional error introduced by rounding — making Lemma 3.3's
+// trade-off concrete.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "rs/core/flip_number.h"
+#include "rs/core/rounding.h"
+#include "rs/stream/exact_oracle.h"
+#include "rs/stream/generators.h"
+#include "rs/util/stats.h"
+#include "rs/util/table_printer.h"
+
+int main() {
+  std::printf("E14: ablation — rounding grain vs leak rate and error\n");
+
+  // Raw sequence: exact F0 of a distinct-growth stream with plateaus.
+  rs::ExactOracle oracle;
+  std::vector<double> raw;
+  const auto stream = rs::UniformStream(1 << 14, 60000, 3);
+  for (const auto& u : stream) {
+    oracle.Update(u);
+    raw.push_back(static_cast<double>(oracle.F0()));
+  }
+
+  rs::TablePrinter table({"grain eps_r", "output changes",
+                          "flip bound (eps_r/10)", "worst rounding err",
+                          "leak: changes/step"});
+  for (double grain : {0.02, 0.05, 0.1, 0.2, 0.4}) {
+    rs::EpsilonRounder rounder(grain / 2.0);
+    double worst = 0.0;
+    for (double v : raw) {
+      const double out = rounder.Feed(v);
+      if (v > 100.0) {
+        worst = std::max(worst, rs::RelativeError(out, v));
+      }
+    }
+    table.AddRow(
+        {rs::TablePrinter::Fmt(grain, 2),
+         rs::TablePrinter::FmtInt(
+             static_cast<long long>(rounder.change_count())),
+         rs::TablePrinter::FmtInt(static_cast<long long>(
+             rs::F0FlipNumber(grain / 10.0, 1 << 14))),
+         rs::TablePrinter::Fmt(worst, 4),
+         rs::TablePrinter::Fmt(static_cast<double>(rounder.change_count()) /
+                                   static_cast<double>(raw.size()),
+                               5)});
+  }
+  table.Print("rounding grain sweep on an exact F0 sequence");
+  std::printf(
+      "\nTakeaway: halving the grain doubles the adversary-visible output\n"
+      "changes (and the copies both frameworks must provision) while the\n"
+      "rounding error it saves is bounded by grain/2 — the Lemma 3.3 price\n"
+      "list. Grain eps/2 with base accuracy eps/4 is the sweet spot the\n"
+      "library defaults to.\n");
+  return 0;
+}

@@ -1,0 +1,147 @@
+// E16 — cascaded norms (the Proposition 3.4 application named after
+// Corollary 3.5, citing [24]).
+//
+// The paper's claim: the black-box reductions apply verbatim to
+// ||A||_(p,k) of insertion-only matrix streams because the (p,k)-moment is
+// monotone and polynomially bounded (flip number O(eps^-1 log T)). We
+// measure, per (p, k):
+//   * the Proposition 3.4 norm flip budget vs the empirical flip count,
+//   * tracking error of the robust wrapper on uniform and row-skewed
+//     workloads,
+//   * space of the exact oracle vs one static row-sampling copy vs the
+//     robust ring/pool.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "rs/core/flip_number.h"
+#include "rs/core/robust_cascaded.h"
+#include "rs/sketch/cascaded.h"
+#include "rs/stream/generators.h"
+#include "rs/util/stats.h"
+#include "rs/util/table_printer.h"
+
+namespace {
+
+struct WorkloadResult {
+  double worst_err = 0.0;
+  double static_err = 0.0;  // One static row-sampling copy, same rate.
+  size_t switches = 0;
+  size_t empirical_flips = 0;
+  size_t robust_space = 0;
+  size_t static_space = 0;
+  size_t exact_space = 0;
+};
+
+WorkloadResult RunOne(double p, double k, double eps, const rs::Stream& stream,
+                      const rs::MatrixShape& shape, bool force_pool,
+                      uint64_t seed) {
+  rs::CascadedRowSample::Config exact_cfg;
+  exact_cfg.p = p;
+  exact_cfg.k = k;
+  exact_cfg.shape = shape;
+  exact_cfg.rate = 1.0;
+  rs::CascadedRowSample exact(exact_cfg, 1);
+
+  rs::CascadedRowSample::Config static_cfg = exact_cfg;
+  static_cfg.rate = 0.5;
+  rs::CascadedRowSample single(static_cfg, seed + 101);
+
+  rs::RobustCascadedNorm::Config rc;
+  rc.p = p;
+  rc.k = k;
+  rc.eps = eps;
+  rc.shape = shape;
+  rc.max_entry = 1 << 16;
+  rc.rate = 0.5;
+  // Skewed rows make the sampled base noisy; noise-driven switches violate
+  // the ring's growth precondition, so those rows run the plain pool (see
+  // RobustCascadedNorm::Config::force_pool).
+  rc.force_pool = force_pool;
+  rc.pool_cap = 512;
+  rs::RobustCascadedNorm robust(rc, seed);
+
+  WorkloadResult r;
+  std::vector<double> norm_series;
+  norm_series.reserve(stream.size());
+  size_t t = 0;
+  for (const auto& u : stream) {
+    exact.Update(u);
+    single.Update(u);
+    robust.Update(u);
+    norm_series.push_back(exact.NormEstimate());
+    if (++t >= 500) {
+      r.worst_err = std::max(
+          r.worst_err,
+          rs::RelativeError(robust.Estimate(), exact.NormEstimate()));
+      r.static_err = std::max(
+          r.static_err,
+          rs::RelativeError(single.NormEstimate(), exact.NormEstimate()));
+    }
+  }
+  r.switches = robust.output_changes();
+  r.empirical_flips = rs::EmpiricalFlipNumber(norm_series, eps / 10.0);
+  r.robust_space = robust.SpaceBytes();
+  r.static_space = single.SpaceBytes();
+  r.exact_space = exact.SpaceBytes();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E16: cascaded norms ||A||_(p,k) — Proposition 3.4 black-box "
+              "application\n");
+
+  const rs::MatrixShape shape{.rows = 256, .cols = 64};
+  const uint64_t m = 30000;
+  const double eps = 0.3;
+
+  rs::TablePrinter table({"(p,k)", "workload", "mode", "flip budget (norm)",
+                          "empirical flips", "static err", "robust err",
+                          "switches", "exact space", "static copy",
+                          "robust"});
+
+  const std::vector<std::pair<double, double>> exponents = {
+      {2.0, 1.0}, {1.0, 2.0}, {2.0, 2.0}, {3.0, 1.0}};
+  for (const auto& [p, k] : exponents) {
+    for (const bool skewed : {false, true}) {
+      const rs::Stream stream =
+          skewed ? rs::MatrixRowBurstStream(shape.rows, shape.cols, m, 4,
+                                            0.5, 31)
+                 : rs::MatrixUniformStream(shape.rows, shape.cols, m, 37);
+      const auto r = RunOne(p, k, eps, stream, shape, /*force_pool=*/skewed, 7);
+      const size_t budget = rs::CascadedNormFlipNumber(
+          eps / 10.0, shape.rows, shape.cols, 1 << 16, p, k);
+      char pk[32];
+      std::snprintf(pk, sizeof(pk), "(%.0f,%.0f)", p, k);
+      table.AddRow({pk, skewed ? "row-skewed" : "uniform",
+                    skewed ? "pool" : "ring",
+                    rs::TablePrinter::FmtInt(static_cast<long long>(budget)),
+                    rs::TablePrinter::FmtInt(
+                        static_cast<long long>(r.empirical_flips)),
+                    rs::TablePrinter::Fmt(r.static_err),
+                    rs::TablePrinter::Fmt(r.worst_err),
+                    rs::TablePrinter::FmtInt(
+                        static_cast<long long>(r.switches)),
+                    rs::TablePrinter::FmtBytes(r.exact_space),
+                    rs::TablePrinter::FmtBytes(r.static_space),
+                    rs::TablePrinter::FmtBytes(r.robust_space)});
+    }
+  }
+  table.Print("cascaded norms: flip budgets, tracking error, space");
+
+  std::printf(
+      "\nShape check (paper): empirical flip counts sit inside the\n"
+      "Proposition 3.4 budget for every (p,k); on uniform workloads the\n"
+      "ring tracks within its eps envelope at ring-size x one static copy\n"
+      "of space. Row-skewed workloads inflate the *static* sampler's own\n"
+      "variance (static err column); they run the plain Lemma 3.6 pool,\n"
+      "because noise-driven switches would violate the ring's growth\n"
+      "precondition, and the wrapper then mirrors its substrate — the\n"
+      "guarantee is relative to the base's tracking property, which is why\n"
+      "the paper instantiates the reduction with the heavy-row-aware\n"
+      "algorithms of [24] (substitution note in DESIGN.md).\n");
+  return 0;
+}

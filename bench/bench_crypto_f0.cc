@@ -1,0 +1,130 @@
+// E11 — Theorem 10.1: optimal-space distinct elements under cryptographic
+// assumptions.
+//
+// Paper claims reproduced:
+//  (1) Space ~ static-optimal + key: the PRP layer adds a constant (the
+//      256-bit key), not a lambda factor — compare against the Theorem 1.1
+//      switching construction at the same eps.
+//  (2) Robustness against poly-time adaptive adversaries whose only handle
+//      is duplicate scheduling: the inner sketch's state never changes on
+//      re-inserted items, so replay-style adaptivity is provably inert. We
+//      run an adaptive duplicate-replay adversary and check the envelope.
+
+#include <algorithm>
+#include <cstdio>
+#include <optional>
+#include <vector>
+
+#include "rs/adversary/game.h"
+#include "rs/core/crypto_robust_f0.h"
+#include "rs/core/robust_f0.h"
+#include "rs/sketch/kmv_f0.h"
+#include "rs/util/stats.h"
+#include "rs/util/table_printer.h"
+
+namespace {
+
+// Adaptive duplicate-replay adversary: watches the published estimate; when
+// it moves, re-inserts the item that "caused" it (visible item), otherwise
+// inserts fresh items. Against a duplicate-sensitive algorithm this skews
+// whatever internal sampling reacts to repeats; against the Theorem 10.1
+// construction it is equivalent to inserting 1,2,3,...
+class DuplicateReplayAdversary : public rs::Adversary {
+ public:
+  std::optional<rs::Update> NextUpdate(double response,
+                                       uint64_t step) override {
+    if (step > 60000) return std::nullopt;
+    const bool moved = response != last_;
+    last_ = response;
+    if (moved && next_fresh_ > 0) {
+      visible_.push_back(next_fresh_ - 1);
+    }
+    if (!visible_.empty() && step % 2 == 0) {
+      return rs::Update{visible_[step % visible_.size()], 1};  // Replay.
+    }
+    return rs::Update{next_fresh_++, 1};
+  }
+  std::string Name() const override { return "DuplicateReplay"; }
+
+ private:
+  double last_ = -1.0;
+  uint64_t next_fresh_ = 0;
+  std::vector<uint64_t> visible_;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("E11: crypto distinct elements (Theorem 10.1)\n");
+
+  // (1) Space comparison at matched eps.
+  rs::TablePrinter space_table(
+      {"eps", "static KMV", "crypto (static + key)", "robust switching",
+       "crypto/static", "switching/static"});
+  for (double eps : {0.1, 0.2}) {
+    rs::KmvF0 plain({.k = rs::KmvF0::KForEpsilon(eps)}, 3);
+    rs::CryptoRobustF0 crypto({.eps = eps, .copies = 1, .key_seed = 7}, 3);
+    rs::RobustF0::Config rc;
+    rc.eps = eps;
+    rc.n = 1 << 18;
+    rc.m = 1 << 18;
+    rs::RobustF0 switching(rc, 3);
+    for (uint64_t i = 0; i < (1 << 18); ++i) {
+      plain.Update({i, 1});
+      crypto.Update({i, 1});
+      switching.Update({i, 1});
+    }
+    const double sp = static_cast<double>(plain.SpaceBytes());
+    space_table.AddRow(
+        {rs::TablePrinter::Fmt(eps, 2),
+         rs::TablePrinter::FmtBytes(plain.SpaceBytes()),
+         rs::TablePrinter::FmtBytes(crypto.SpaceBytes()),
+         rs::TablePrinter::FmtBytes(switching.SpaceBytes()),
+         rs::TablePrinter::Fmt(crypto.SpaceBytes() / sp, 2),
+         rs::TablePrinter::Fmt(switching.SpaceBytes() / sp, 2)});
+  }
+  space_table.Print("space at matched eps (crypto pays +key, not x lambda)");
+
+  // (2) Adaptive duplicate-replay game.
+  rs::TablePrinter game_table(
+      {"defender", "trials", "breaks", "worst rel err"});
+  for (const char* which : {"crypto", "plain-kmv"}) {
+    int breaks = 0;
+    double worst = 0.0;
+    for (int trial = 0; trial < 5; ++trial) {
+      rs::GameOptions options;
+      options.max_steps = 60000;
+      options.fail_eps = 0.4;
+      options.burn_in = 500;
+      options.params.n = uint64_t{1} << 40;
+      options.params.m = uint64_t{1} << 40;
+      DuplicateReplayAdversary adversary;
+      rs::GameResult result;
+      if (std::string(which) == "crypto") {
+        rs::CryptoRobustF0 alg(
+            {.eps = 0.1, .copies = 3,
+             .key_seed = static_cast<uint64_t>(trial) + 1},
+            trial + 10);
+        result = rs::RunGame(alg, adversary, rs::TruthF0(), options);
+      } else {
+        rs::KmvF0 alg({.k = rs::KmvF0::KForEpsilon(0.1)},
+                      static_cast<uint64_t>(trial) + 10);
+        result = rs::RunGame(alg, adversary, rs::TruthF0(), options);
+      }
+      breaks += result.adversary_won;
+      worst = std::max(worst, result.max_rel_error);
+    }
+    game_table.AddRow({which, rs::TablePrinter::FmtInt(5),
+                       rs::TablePrinter::FmtInt(breaks),
+                       rs::TablePrinter::Fmt(worst, 3)});
+  }
+  game_table.Print("adaptive duplicate-replay game (fail at 0.4 rel err)");
+
+  std::printf(
+      "\nShape check (paper): crypto/static space ratio stays ~1+o(1) per\n"
+      "copy (vs the lambda-fold switching column); the crypto defender keeps\n"
+      "its envelope under replay adaptivity. (KMV's state is also duplicate-\n"
+      "insensitive, so it survives this particular attack too — the theorem\n"
+      "is that the crypto construction survives *all* poly-time attacks.)\n");
+  return 0;
+}

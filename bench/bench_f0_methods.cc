@@ -1,0 +1,90 @@
+// E9 — Theorem 1.1 vs Theorem 1.2: the two robust F0 constructions.
+//
+// The paper positions them as complementary: sketch switching exploits
+// strong tracking (better space for moderate delta), computation paths
+// exploits cheap delta-dependence (much better update time, since FastF0's
+// per-update cost grows only ~log-log-style in 1/delta while switching
+// pays a multiplicative lambda in both space and time). We measure space,
+// wall-clock update time, and worst tracking error for both methods across
+// an eps sweep.
+
+#include <chrono>
+#include <cstdio>
+
+#include "rs/core/robust_f0.h"
+#include "rs/stream/exact_oracle.h"
+#include "rs/stream/generators.h"
+#include "rs/util/stats.h"
+#include "rs/util/table_printer.h"
+
+namespace {
+
+struct MethodStats {
+  double max_err = 0.0;
+  size_t space = 0;
+  double ns_per_update = 0.0;
+  size_t output_changes = 0;
+};
+
+MethodStats Measure(rs::RobustF0::Method method, double eps, uint64_t m) {
+  rs::RobustF0::Config cfg;
+  cfg.eps = eps;
+  cfg.n = 1 << 20;
+  cfg.m = m;
+  cfg.method = method;
+  rs::RobustF0 alg(cfg, 7);
+  rs::ExactOracle oracle;
+  MethodStats stats;
+  const auto start = std::chrono::steady_clock::now();
+  for (uint64_t i = 0; i < m; ++i) {
+    const rs::Update u{i, 1};
+    alg.Update(u);
+    oracle.Update(u);
+    if (oracle.F0() >= 200) {
+      stats.max_err = std::max(
+          stats.max_err, rs::RelativeError(alg.Estimate(),
+                                           static_cast<double>(oracle.F0())));
+    }
+  }
+  const auto end = std::chrono::steady_clock::now();
+  stats.ns_per_update =
+      std::chrono::duration<double, std::nano>(end - start).count() /
+      static_cast<double>(m);
+  stats.space = alg.SpaceBytes();
+  stats.output_changes = alg.output_changes();
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E9: robust F0 — sketch switching (Thm 1.1) vs computation "
+              "paths over FastF0 (Thm 1.2)\n");
+  rs::TablePrinter table({"eps", "method", "space", "ns/update", "worst err",
+                          "output changes"});
+  const uint64_t m = 60000;
+  for (double eps : {0.15, 0.25, 0.4}) {
+    const auto sw =
+        Measure(rs::RobustF0::Method::kSketchSwitching, eps, m);
+    const auto cp =
+        Measure(rs::RobustF0::Method::kComputationPaths, eps, m);
+    table.AddRow({rs::TablePrinter::Fmt(eps, 2), "switching",
+                  rs::TablePrinter::FmtBytes(sw.space),
+                  rs::TablePrinter::Fmt(sw.ns_per_update, 0),
+                  rs::TablePrinter::Fmt(sw.max_err, 3),
+                  rs::TablePrinter::FmtInt(
+                      static_cast<long long>(sw.output_changes))});
+    table.AddRow({rs::TablePrinter::Fmt(eps, 2), "comp. paths",
+                  rs::TablePrinter::FmtBytes(cp.space),
+                  rs::TablePrinter::Fmt(cp.ns_per_update, 0),
+                  rs::TablePrinter::Fmt(cp.max_err, 3),
+                  rs::TablePrinter::FmtInt(
+                      static_cast<long long>(cp.output_changes))});
+  }
+  table.Print("robust F0 method comparison (distinct-growth stream)");
+  std::printf(
+      "\nShape check (paper): computation paths wins on update time (one\n"
+      "instance, cheap delta) — the Theorem 1.2 motivation; switching's\n"
+      "time and space carry the Theta(eps^-1 log 1/eps) ring factor.\n");
+  return 0;
+}

@@ -1,0 +1,202 @@
+// E12 — the robustness sweep: static vs robust estimators under the attack
+// suite (the paper's Section 1 game, instrumented).
+//
+// Matrix: {AMS linear sketch, reservoir sampler, robust F0, robust F2,
+// crypto F0} x {oblivious control, AMS attack (Alg 3), F2 drift attack,
+// mean drift attack}. For each applicable pair we report the max relative
+// error and whether the (1 +- 1/2) guarantee was broken — reproducing in
+// one table the paper's dichotomy: static randomized algorithms break under
+// adaptivity, the wrapped versions do not.
+
+#include <cstdio>
+
+#include "rs/adversary/ams_attack.h"
+#include "rs/adversary/game.h"
+#include "rs/adversary/generic_attacks.h"
+#include "rs/core/crypto_robust_f0.h"
+#include "rs/core/robust_f0.h"
+#include "rs/core/robust_fp.h"
+#include "rs/core/robust_heavy_hitters.h"
+#include "rs/sketch/ams_f2.h"
+#include "rs/sketch/countsketch.h"
+#include "rs/sketch/hash_sample_mean.h"
+#include "rs/sketch/reservoir_mean.h"
+#include "rs/stream/generators.h"
+#include "rs/util/table_printer.h"
+
+namespace {
+
+rs::GameOptions Options(uint64_t steps) {
+  rs::GameOptions o;
+  o.max_steps = steps;
+  o.fail_eps = 0.5;
+  o.burn_in = 300;
+  o.params.n = uint64_t{1} << 40;
+  o.params.m = uint64_t{1} << 40;
+  o.params.max_frequency = uint64_t{1} << 32;
+  return o;
+}
+
+void Row(rs::TablePrinter& table, const char* defender, const char* attack,
+         const rs::GameResult& r) {
+  table.AddRow({defender, attack, rs::TablePrinter::Fmt(r.max_rel_error, 3),
+                r.adversary_won ? "BROKEN" : "held",
+                rs::TablePrinter::FmtInt(
+                    static_cast<long long>(r.first_failure_step))});
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E12: static vs robust under the attack suite\n");
+  rs::TablePrinter table(
+      {"defender", "adversary", "max rel err", "(1±1/2)?", "first fail"});
+
+  // --- F2 defenders. ---
+  {
+    rs::AmsLinearSketch ams(64, 11);
+    rs::ObliviousAdversary oblivious(rs::UniformStream(1 << 12, 20000, 3));
+    Row(table, "AMS t=64 (static)", "oblivious",
+        rs::RunGame(ams, oblivious, rs::TruthF2(), Options(20000)));
+  }
+  {
+    rs::AmsLinearSketch ams(64, 12);
+    rs::AmsAttackAdversary attack({.t = 64, .c = 8.0, .seed = 1});
+    Row(table, "AMS t=64 (static)", "Alg 3 attack",
+        rs::RunGame(ams, attack, rs::TruthF2(), Options(40000)));
+  }
+  {
+    rs::AmsLinearSketch ams(64, 13);
+    rs::F2DriftAttack attack(
+        {.n = uint64_t{1} << 39, .spike = 64, .max_repeats = 128, .seed = 2});
+    Row(table, "AMS t=64 (static)", "F2 drift",
+        rs::RunGame(ams, attack, rs::TruthF2(), Options(30000)));
+  }
+  {
+    rs::RobustFp::Config cfg;
+    cfg.p = 2.0;
+    cfg.eps = 0.4;
+    cfg.n = 1 << 20;
+    cfg.m = 1 << 20;
+    rs::RobustFp robust(cfg, 14);
+    rs::AmsAttackAdversary attack({.t = 64, .c = 8.0, .seed = 3});
+    auto options = Options(4000);
+    options.burn_in = 64;
+    Row(table, "Robust F2 (Thm 4.1)", "Alg 3 attack",
+        rs::RunGame(robust, attack, rs::TruthF2(), options));
+  }
+  {
+    rs::RobustFp::Config cfg;
+    cfg.p = 2.0;
+    cfg.eps = 0.4;
+    cfg.n = 1 << 20;
+    cfg.m = 1 << 20;
+    rs::RobustFp robust(cfg, 15);
+    rs::F2DriftAttack attack(
+        {.n = uint64_t{1} << 39, .spike = 64, .max_repeats = 128, .seed = 4});
+    auto options = Options(3000);
+    options.burn_in = 64;
+    Row(table, "Robust F2 (Thm 4.1)", "F2 drift",
+        rs::RunGame(robust, attack, rs::TruthF2(), options));
+  }
+
+  // --- Sampling defenders (the [5] motivation). Content-based (hash)
+  // sampling leaks membership through the published estimate and is broken
+  // by the evasion attack; positional (reservoir) sampling self-corrects
+  // under the drift attack — the negative and positive results of [5] side
+  // by side.
+  {
+    rs::HashSampleMean sampler({.rate = 0.25}, 15);
+    rs::ObliviousAdversary oblivious(
+        rs::UniformStream(uint64_t{1} << 39, 50000, 5));
+    Row(table, "Hash sampler (static)", "oblivious",
+        rs::RunGame(sampler, oblivious, rs::MeanDriftAttack::TruthOddFraction(),
+                    Options(50000)));
+  }
+  {
+    rs::HashSampleMean sampler({.rate = 0.25}, 16);
+    rs::SampleEvasionAttack attack({.n = uint64_t{1} << 39});
+    auto options = Options(20000);
+    options.fail_eps = 0.3;
+    Row(table, "Hash sampler (static)", "sample evasion",
+        rs::RunGame(sampler, attack, rs::MeanDriftAttack::TruthOddFraction(),
+                    options));
+  }
+  {
+    rs::ReservoirMean sampler(256, 17);
+    rs::ObliviousAdversary oblivious(
+        rs::UniformStream(uint64_t{1} << 39, 50000, 6));
+    Row(table, "Reservoir mean (static)", "oblivious",
+        rs::RunGame(sampler, oblivious, rs::MeanDriftAttack::TruthOddFraction(),
+                    Options(50000)));
+  }
+  {
+    rs::ReservoirMean sampler(256, 18);
+    rs::MeanDriftAttack attack({.n = uint64_t{1} << 39, .seed = 6});
+    Row(table, "Reservoir mean (static)", "mean drift",
+        rs::RunGame(sampler, attack, rs::MeanDriftAttack::TruthOddFraction(),
+                    Options(50000)));
+  }
+
+  // --- Point-query defenders (the Theorem 6.5 motivation): the collision
+  // hunt detaches CountSketch's point query from the target's frequency;
+  // the epoch-frozen robust construction starves it of feedback. ---
+  {
+    rs::CountSketch::Config cs;
+    cs.eps = 0.25;
+    cs.delta = 0.05;
+    rs::CountSketch sketch(cs, 21);
+    rs::PointQueryView view(&sketch, /*target=*/1);
+    rs::PointQueryCollisionAttack attack({.target = 1});
+    auto options = Options(8000);
+    options.burn_in = 2;
+    Row(table, "CountSketch PQ (static)", "collision hunt",
+        rs::RunGame(view, attack,
+                    rs::PointQueryCollisionAttack::TruthTargetFrequency(1),
+                    options));
+  }
+  {
+    rs::RobustHeavyHitters::Config cfg;
+    cfg.eps = 0.25;
+    cfg.n = 1 << 20;
+    cfg.m = 1 << 20;
+    rs::RobustHeavyHitters hh(cfg, 22);
+    rs::PointQueryView view(&hh, /*target=*/1);
+    rs::PointQueryCollisionAttack attack({.target = 1});
+    auto options = Options(8000);
+    options.burn_in = 2;
+    Row(table, "Robust HH PQ (Thm 6.5)", "collision hunt",
+        rs::RunGame(view, attack,
+                    rs::PointQueryCollisionAttack::TruthTargetFrequency(1),
+                    options));
+  }
+
+  // --- F0 defenders. ---
+  {
+    rs::RobustF0::Config cfg;
+    cfg.eps = 0.3;
+    cfg.n = 1 << 20;
+    cfg.m = 1 << 20;
+    rs::RobustF0 robust(cfg, 18);
+    rs::ObliviousAdversary oblivious(rs::DistinctGrowthStream(20000));
+    Row(table, "Robust F0 (Thm 1.1)", "oblivious",
+        rs::RunGame(robust, oblivious, rs::TruthF0(), Options(20000)));
+  }
+  {
+    rs::CryptoRobustF0 crypto({.eps = 0.1, .copies = 3, .key_seed = 9}, 19);
+    rs::ObliviousAdversary oblivious(rs::DistinctGrowthStream(20000));
+    Row(table, "Crypto F0 (Thm 10.1)", "oblivious",
+        rs::RunGame(crypto, oblivious, rs::TruthF0(), Options(20000)));
+  }
+
+  table.Print("attack matrix");
+  std::printf(
+      "\nShape check (paper): every static randomized defender whose output\n"
+      "leaks reusable state (AMS, hash sampling, CountSketch point queries)\n"
+      "is BROKEN by its matching adaptive adversary yet fine under the\n"
+      "oblivious control; positional reservoir sampling self-corrects (the\n"
+      "[5] positive result); every robust defender holds under all\n"
+      "applicable adversaries, including the epoch-frozen Theorem 6.5 point\n"
+      "queries that starve the collision hunt of feedback.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// E7 — Table 1, row "Fp, p in [1,2], alpha-bounded deletions" (Thm 1.11 /
+// 8.3).
+//
+// Paper row: robust space O(alpha eps^-(2+p) log^3 n); the key structural
+// claim is Lemma 8.2 — the flip number of ||.||_p on alpha-bounded-deletion
+// streams is O(p alpha eps^-p log n), i.e. linear in alpha. We sweep alpha,
+// report the lambda budget (linear growth), measured space, and worst
+// tracking error on conforming streams.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "rs/core/robust_bounded_deletion.h"
+#include "rs/stream/exact_oracle.h"
+#include "rs/stream/generators.h"
+#include "rs/util/stats.h"
+#include "rs/util/table_printer.h"
+
+int main() {
+  std::printf("E7: Table 1 row 'Fp with alpha-bounded deletions' "
+              "(Theorem 8.3)\n");
+  rs::TablePrinter table({"alpha", "p", "lambda (Lem 8.2)", "robust space",
+                          "worst err", "output changes"});
+
+  const uint64_t n = 1 << 14, m = 6000;
+  const double eps = 0.5;
+  for (double alpha : {1.0, 2.0, 4.0, 8.0}) {
+    const double p = 1.0;
+    rs::RobustBoundedDeletionFp::Config rc;
+    rc.p = p;
+    rc.alpha = alpha;
+    rc.eps = eps;
+    rc.n = n;
+    rc.m = m;
+    rc.max_frequency = 1 << 14;
+    rs::RobustBoundedDeletionFp robust(rc, 3);
+
+    rs::ExactOracle oracle;
+    double max_err = 0.0;
+    for (const auto& u : rs::BoundedDeletionStream(n, m, alpha, 13)) {
+      robust.Update(u);
+      oracle.Update(u);
+      const double truth = oracle.Fp(p);
+      if (truth >= 100.0) {
+        max_err =
+            std::max(max_err, rs::RelativeError(robust.Estimate(), truth));
+      }
+    }
+
+    table.AddRow({rs::TablePrinter::Fmt(alpha, 1),
+                  rs::TablePrinter::Fmt(p, 1),
+                  rs::TablePrinter::FmtInt(
+                      static_cast<long long>(robust.lambda())),
+                  rs::TablePrinter::FmtBytes(robust.SpaceBytes()),
+                  rs::TablePrinter::Fmt(max_err, 3),
+                  rs::TablePrinter::FmtInt(
+                      static_cast<long long>(robust.output_changes()))});
+  }
+  table.Print("bounded deletions: lambda and space vs alpha");
+  std::printf(
+      "\nShape check (paper): the Lemma 8.2 lambda budget grows linearly in\n"
+      "alpha (column 3); the construction keeps tracking accuracy across the\n"
+      "alpha sweep on conforming streams. alpha = 1 degenerates to the\n"
+      "insertion-only bound.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// E5 — Table 1, row "Entropy estimation".
+//
+// Paper row:
+//   static randomized   O(eps^-2 log^3 n) [11] / O~(eps^-2) random-oracle [23]
+//   deterministic       Omega~(n)          (via [21] reduction)
+//   adversarial         O(eps^-5 log^4 n) random-oracle / O(eps^-5 log^6 n)
+//                                          (Thm 1.10 / 7.3)
+//
+// Measured: one Clifford-Cosma sketch vs exact (deterministic baseline) vs
+// the robust pool wrapper; additive entropy error on drifting workloads.
+// The pool is provisioned at the practical cap with the Prop 7.2 bound
+// printed alongside (it is astronomically conservative — that is the shape
+// the eps^-5 log^4 n row encodes).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "rs/core/flip_number.h"
+#include "rs/core/robust_entropy.h"
+#include "rs/sketch/entropy_sketch.h"
+#include "rs/stream/exact_oracle.h"
+#include "rs/stream/generators.h"
+#include "rs/util/table_printer.h"
+
+int main() {
+  std::printf("E5: Table 1 row 'Entropy estimation'\n");
+  rs::TablePrinter table({"eps", "static CC sketch", "err(bits)",
+                          "determ. exact", "robust pool", "robust (r.o.)",
+                          "err(bits)", "pool copies", "Prop 7.2 lambda"});
+
+  const uint64_t n = 1 << 10, m = 12000;
+  for (double eps : {0.3, 0.5}) {
+    const auto stream = rs::EntropyDriftStream(n, m, 4, 19);
+
+    rs::EntropySketch static_sketch({.eps = eps / 2.0}, 3);
+    rs::RobustEntropy::Config rc;
+    rc.eps = eps;
+    rc.n = n;
+    rc.m = m;
+    rc.pool_cap = 96;
+    rs::RobustEntropy robust(rc, 5);
+    // Same construction under random-oracle accounting (Thm 7.3's
+    // O(eps^-5 log^4 n) column): hash randomness is free, so the footprint
+    // drops by the per-copy hash tables.
+    rs::RobustEntropy::Config ro = rc;
+    ro.random_oracle_model = true;
+    rs::RobustEntropy robust_ro(ro, 5);
+
+    rs::ExactOracle oracle;
+    double static_err = 0.0, robust_err = 0.0;
+    size_t t = 0;
+    for (const auto& u : stream) {
+      static_sketch.Update(u);
+      robust.Update(u);
+      oracle.Update(u);
+      if (++t >= 1000) {
+        const double h = oracle.EntropyBits();
+        static_err = std::max(
+            static_err, std::fabs(static_sketch.EntropyBits() - h));
+        robust_err =
+            std::max(robust_err, std::fabs(robust.EntropyBits() - h));
+      }
+    }
+
+    table.AddRow(
+        {rs::TablePrinter::Fmt(eps, 2),
+         rs::TablePrinter::FmtBytes(static_sketch.SpaceBytes()),
+         rs::TablePrinter::Fmt(static_err, 3),
+         rs::TablePrinter::FmtBytes(oracle.SpaceBytes()),
+         rs::TablePrinter::FmtBytes(robust.SpaceBytes()),
+         rs::TablePrinter::FmtBytes(robust_ro.SpaceBytes()),
+         rs::TablePrinter::Fmt(robust_err, 3),
+         rs::TablePrinter::FmtInt(96),
+         rs::TablePrinter::FmtInt(static_cast<long long>(
+             rs::EntropyFlipNumber(eps, n, m, m)))});
+  }
+  table.Print("entropy estimation (additive error, bits)");
+  std::printf(
+      "\nShape check (paper): the robust construction multiplies the static\n"
+      "sketch by the copy pool; the formal pool size (Prop 7.2, last column)\n"
+      "carries the extra eps^-2 log^3 n factor visible in the eps^-5 log^4 n\n"
+      "row of Table 1 — the practical pool suffices on real streams, and the\n"
+      "wrapper reports exhaustion if it ever does not. The random-oracle\n"
+      "column drops the per-copy hash tables from the accounting — the\n"
+      "log^6 n -> log^4 n gap between Theorem 7.3's two bounds.\n");
+  return 0;
+}

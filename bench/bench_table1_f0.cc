@@ -1,0 +1,100 @@
+// E1 — Table 1, row "Distinct elements (F0 estimation)".
+//
+// Paper row:
+//   static randomized   O~(eps^-2 + log n)            [6]
+//   deterministic       Omega(n)                      [9]
+//   adversarial         O~(eps^-3 + eps^-1 log n)     (Thm 1.1)
+//
+// We measure the actual bytes used by our implementations of each column on
+// a distinct-growth stream, plus their worst tracking error, and print the
+// robust/static space ratio next to the paper-predicted Theta(eps^-1
+// log eps^-1) copy count. Absolute constants differ from the optimal cited
+// algorithms (see DESIGN.md); the shape — deterministic exploding with n,
+// robust paying a ~lambda multiplicative premium over static — is the
+// reproduction target.
+
+#include <cstdio>
+
+#include "rs/core/robust_f0.h"
+#include "rs/core/sketch_switching.h"
+#include "rs/sketch/exact_f0.h"
+#include "rs/sketch/kmv_f0.h"
+#include "rs/stream/exact_oracle.h"
+#include "rs/stream/generators.h"
+#include "rs/util/stats.h"
+#include "rs/util/table_printer.h"
+
+namespace {
+
+struct RunStats {
+  double max_err = 0.0;
+  size_t space = 0;
+};
+
+RunStats Run(rs::Estimator& alg, uint64_t f0, uint64_t min_truth) {
+  rs::ExactOracle oracle;
+  RunStats stats;
+  for (uint64_t i = 0; i < f0; ++i) {
+    const rs::Update u{i, 1};
+    alg.Update(u);
+    oracle.Update(u);
+    if (oracle.F0() >= min_truth) {
+      stats.max_err = std::max(
+          stats.max_err, rs::RelativeError(alg.Estimate(),
+                                           static_cast<double>(oracle.F0())));
+    }
+  }
+  stats.space = alg.SpaceBytes();
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E1: Table 1 row 'Distinct elements' — measured space and "
+              "worst tracking error\n");
+  rs::TablePrinter table({"eps", "n", "static KMV", "err", "determ. exact",
+                          "err", "robust (Thm 1.1)", "err", "robust/static",
+                          "paper ring Theta(eps^-1 log 1/eps)"});
+
+  for (double eps : {0.1, 0.2, 0.3}) {
+    for (uint64_t n : {uint64_t{1} << 15, uint64_t{1} << 17}) {
+      const uint64_t min_truth = 200;
+
+      rs::KmvF0 static_kmv({.k = rs::KmvF0::KForEpsilon(eps)}, 11);
+      const auto static_stats = Run(static_kmv, n, min_truth);
+
+      rs::ExactF0 deterministic;
+      const auto det_stats = Run(deterministic, n, min_truth);
+
+      rs::RobustF0::Config rc;
+      rc.eps = eps;
+      rc.n = n;
+      rc.m = n;
+      rc.method = rs::RobustF0::Method::kSketchSwitching;
+      rs::RobustF0 robust(rc, 13);
+      const auto robust_stats = Run(robust, n, min_truth);
+
+      table.AddRow({rs::TablePrinter::Fmt(eps, 2),
+                    rs::TablePrinter::FmtInt(static_cast<long long>(n)),
+                    rs::TablePrinter::FmtBytes(static_stats.space),
+                    rs::TablePrinter::Fmt(static_stats.max_err, 3),
+                    rs::TablePrinter::FmtBytes(det_stats.space),
+                    rs::TablePrinter::Fmt(det_stats.max_err, 3),
+                    rs::TablePrinter::FmtBytes(robust_stats.space),
+                    rs::TablePrinter::Fmt(robust_stats.max_err, 3),
+                    rs::TablePrinter::Fmt(
+                        static_cast<double>(robust_stats.space) /
+                            static_cast<double>(static_stats.space),
+                        1),
+                    rs::TablePrinter::FmtInt(static_cast<long long>(
+                        rs::SketchSwitching::RingSizeForEpsilon(eps)))});
+    }
+  }
+  table.Print("distinct elements: static vs deterministic vs robust");
+  std::printf(
+      "\nShape check (paper): deterministic space grows linearly with n and\n"
+      "dwarfs both sketches; robust space ~= ring-size x static space; all\n"
+      "three keep their error guarantee on this oblivious stream.\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// E2 — Table 1, row "Fp estimation, p in (0,2] \ {1}".
+//
+// Paper row:
+//   static randomized   O(eps^-2 log n)        [7]/[27]
+//   deterministic       Omega~(n)              [9]
+//   adversarial         O~(eps^-3 log n)       (Thm 1.4, sketch switching)
+//
+// Measured: p-stable sketch vs exact (deterministic) vs robust wrapper, on
+// Zipf workloads; we report space, worst tracking error of the Fp moment,
+// and the robust/static ratio against the Theta(eps^-1 log 1/eps) ring.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "rs/core/robust_fp.h"
+#include "rs/core/sketch_switching.h"
+#include "rs/sketch/pstable_fp.h"
+#include "rs/stream/exact_oracle.h"
+#include "rs/stream/generators.h"
+#include "rs/util/stats.h"
+#include "rs/util/table_printer.h"
+
+namespace {
+
+struct RunStats {
+  double max_err = 0.0;
+  size_t space = 0;
+};
+
+RunStats RunStream(rs::Estimator& alg, const rs::Stream& stream, double p,
+                   double min_truth) {
+  rs::ExactOracle oracle;
+  RunStats stats;
+  for (const auto& u : stream) {
+    alg.Update(u);
+    oracle.Update(u);
+    const double truth = oracle.Fp(p);
+    if (truth >= min_truth) {
+      stats.max_err =
+          std::max(stats.max_err, rs::RelativeError(alg.Estimate(), truth));
+    }
+  }
+  stats.space = alg.SpaceBytes();
+  return stats;
+}
+
+// Linear-space deterministic baseline: exact frequency map.
+class ExactFp : public rs::Estimator {
+ public:
+  explicit ExactFp(double p) : p_(p) {}
+  void Update(const rs::Update& u) override { oracle_.Update(u); }
+  double Estimate() const override { return oracle_.Fp(p_); }
+  size_t SpaceBytes() const override { return oracle_.SpaceBytes(); }
+  std::string Name() const override { return "ExactFp"; }
+
+ private:
+  double p_;
+  rs::ExactOracle oracle_;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("E2: Table 1 row 'Fp estimation, p in (0,2]' — measured space "
+              "and worst error\n");
+  rs::TablePrinter table({"p", "eps", "static p-stable", "err",
+                          "determ. exact", "err", "robust (Thm 1.4)", "err",
+                          "robust/static", "ring"});
+
+  const uint64_t n = 1 << 12, m = 6000;
+  for (double p : {0.5, 1.5, 2.0}) {
+    for (double eps : {0.3, 0.5}) {
+      const auto stream = rs::ZipfStream(n, m, 1.1, 7);
+      const double min_truth = 100.0;
+
+      rs::PStableFp static_sketch({.p = p, .eps = eps / 2.0}, 3);
+      const auto s = RunStream(static_sketch, stream, p, min_truth);
+
+      ExactFp exact(p);
+      const auto d = RunStream(exact, stream, p, min_truth);
+
+      rs::RobustFp::Config rc;
+      rc.p = p;
+      rc.eps = eps;
+      rc.n = n;
+      rc.m = m;
+      rc.method = rs::RobustFp::Method::kSketchSwitching;
+      rs::RobustFp robust(rc, 5);
+      const auto r = RunStream(robust, stream, p, min_truth);
+
+      table.AddRow(
+          {rs::TablePrinter::Fmt(p, 1), rs::TablePrinter::Fmt(eps, 2),
+           rs::TablePrinter::FmtBytes(s.space),
+           rs::TablePrinter::Fmt(s.max_err, 3),
+           rs::TablePrinter::FmtBytes(d.space),
+           rs::TablePrinter::Fmt(d.max_err, 3),
+           rs::TablePrinter::FmtBytes(r.space),
+           rs::TablePrinter::Fmt(r.max_err, 3),
+           rs::TablePrinter::Fmt(static_cast<double>(r.space) /
+                                     static_cast<double>(s.space),
+                                 1),
+           rs::TablePrinter::FmtInt(static_cast<long long>(
+               rs::SketchSwitching::RingSizeForEpsilon(eps)))});
+    }
+  }
+  table.Print("Fp moments (0 < p <= 2): static vs deterministic vs robust");
+  std::printf(
+      "\nShape check (paper): robust = static x Theta(eps^-1 log 1/eps)\n"
+      "copies; the deterministic baseline scales with the number of distinct\n"
+      "items (Omega(n) in the worst case). Errors are on the Fp moment,\n"
+      "which amplifies the norm error by ~max(1, p).\n");
+  return 0;
+}

@@ -1,0 +1,187 @@
+// E13 — update-throughput microbenchmarks (google-benchmark) for every
+// sketch and wrapper in the library. Not a paper table; this is the
+// engineering ablation that quantifies the runtime price of robustness
+// (the paper discusses update time for Theorem 1.2 explicitly).
+
+#include <benchmark/benchmark.h>
+
+#include "rs/core/computation_paths.h"
+#include "rs/core/crypto_robust_f0.h"
+#include "rs/core/robust_entropy.h"
+#include "rs/core/robust_f0.h"
+#include "rs/core/robust_fp.h"
+#include "rs/core/robust_heavy_hitters.h"
+#include "rs/hash/chacha.h"
+#include "rs/hash/kwise.h"
+#include "rs/hash/tabulation.h"
+#include "rs/sketch/ams_f2.h"
+#include "rs/sketch/countmin.h"
+#include "rs/sketch/countsketch.h"
+#include "rs/sketch/entropy_sketch.h"
+#include "rs/sketch/fast_f0.h"
+#include "rs/sketch/hll_f0.h"
+#include "rs/sketch/kmv_f0.h"
+#include "rs/sketch/misra_gries.h"
+#include "rs/sketch/pstable_fp.h"
+
+namespace {
+
+void BM_KWiseHash8(benchmark::State& state) {
+  rs::KWiseHash h(8, 1);
+  uint64_t x = 0;
+  for (auto _ : state) benchmark::DoNotOptimize(h(++x));
+}
+BENCHMARK(BM_KWiseHash8);
+
+void BM_TabulationHash(benchmark::State& state) {
+  rs::TabulationHash h(1);
+  uint64_t x = 0;
+  for (auto _ : state) benchmark::DoNotOptimize(h(++x));
+}
+BENCHMARK(BM_TabulationHash);
+
+void BM_ChaChaPrf(benchmark::State& state) {
+  rs::ChaChaPrf prf(1);
+  uint64_t x = 0;
+  for (auto _ : state) benchmark::DoNotOptimize(prf.Eval(++x));
+}
+BENCHMARK(BM_ChaChaPrf);
+
+template <typename Sketch>
+void RunUpdates(benchmark::State& state, Sketch& sketch) {
+  uint64_t i = 0;
+  for (auto _ : state) {
+    sketch.Update({i++ & ((1 << 20) - 1), 1});
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void BM_KmvF0(benchmark::State& state) {
+  rs::KmvF0 sketch({.k = 1024}, 1);
+  RunUpdates(state, sketch);
+}
+BENCHMARK(BM_KmvF0);
+
+void BM_FastF0(benchmark::State& state) {
+  rs::FastF0 sketch({.eps = 0.2, .delta = 1e-10, .n = 1 << 20}, 1);
+  RunUpdates(state, sketch);
+}
+BENCHMARK(BM_FastF0);
+
+void BM_HllF0(benchmark::State& state) {
+  rs::HllF0 sketch(12, 1);
+  RunUpdates(state, sketch);
+}
+BENCHMARK(BM_HllF0);
+
+void BM_AmsF2(benchmark::State& state) {
+  rs::AmsF2 sketch({.eps = 0.2, .delta = 0.05}, 1);
+  RunUpdates(state, sketch);
+}
+BENCHMARK(BM_AmsF2);
+
+void BM_PStableF1(benchmark::State& state) {
+  rs::PStableFp sketch({.p = 1.0, .eps = 0.2}, 1);
+  RunUpdates(state, sketch);
+}
+BENCHMARK(BM_PStableF1);
+
+void BM_PStableF2(benchmark::State& state) {
+  rs::PStableFp sketch({.p = 2.0, .eps = 0.2}, 1);
+  RunUpdates(state, sketch);
+}
+BENCHMARK(BM_PStableF2);
+
+void BM_PStableFp05(benchmark::State& state) {
+  rs::PStableFp sketch({.p = 0.5, .eps = 0.2}, 1);
+  RunUpdates(state, sketch);
+}
+BENCHMARK(BM_PStableFp05);
+
+void BM_CountSketch(benchmark::State& state) {
+  rs::CountSketch sketch({.eps = 0.1, .delta = 0.01, .heap_size = 64}, 1);
+  RunUpdates(state, sketch);
+}
+BENCHMARK(BM_CountSketch);
+
+void BM_CountMin(benchmark::State& state) {
+  rs::CountMin sketch({.eps = 0.01, .delta = 0.01, .heap_size = 64}, 1);
+  RunUpdates(state, sketch);
+}
+BENCHMARK(BM_CountMin);
+
+void BM_MisraGries(benchmark::State& state) {
+  rs::MisraGries sketch(128);
+  RunUpdates(state, sketch);
+}
+BENCHMARK(BM_MisraGries);
+
+void BM_EntropySketch(benchmark::State& state) {
+  rs::EntropySketch sketch({.eps = 0.2}, 1);
+  RunUpdates(state, sketch);
+}
+BENCHMARK(BM_EntropySketch);
+
+void BM_RobustF0_Switching(benchmark::State& state) {
+  rs::RobustF0::Config cfg;
+  cfg.eps = 0.25;
+  cfg.n = 1 << 20;
+  cfg.m = 1 << 20;
+  cfg.method = rs::RobustF0::Method::kSketchSwitching;
+  rs::RobustF0 sketch(cfg, 1);
+  RunUpdates(state, sketch);
+}
+BENCHMARK(BM_RobustF0_Switching);
+
+void BM_RobustF0_Paths(benchmark::State& state) {
+  rs::RobustF0::Config cfg;
+  cfg.eps = 0.25;
+  cfg.n = 1 << 20;
+  cfg.m = 1 << 20;
+  cfg.method = rs::RobustF0::Method::kComputationPaths;
+  rs::RobustF0 sketch(cfg, 1);
+  RunUpdates(state, sketch);
+}
+BENCHMARK(BM_RobustF0_Paths);
+
+void BM_RobustF2_Switching(benchmark::State& state) {
+  rs::RobustFp::Config cfg;
+  cfg.p = 2.0;
+  cfg.eps = 0.4;
+  cfg.n = 1 << 20;
+  cfg.m = 1 << 20;
+  rs::RobustFp sketch(cfg, 1);
+  RunUpdates(state, sketch);
+}
+BENCHMARK(BM_RobustF2_Switching);
+
+void BM_CryptoF0(benchmark::State& state) {
+  rs::CryptoRobustF0 sketch({.eps = 0.2, .copies = 3, .key_seed = 1}, 1);
+  RunUpdates(state, sketch);
+}
+BENCHMARK(BM_CryptoF0);
+
+void BM_RobustEntropy(benchmark::State& state) {
+  rs::RobustEntropy::Config cfg;
+  cfg.eps = 0.5;
+  cfg.n = 1 << 16;
+  cfg.m = 1 << 20;
+  cfg.pool_cap = 32;
+  rs::RobustEntropy sketch(cfg, 1);
+  RunUpdates(state, sketch);
+}
+BENCHMARK(BM_RobustEntropy);
+
+void BM_RobustHeavyHitters(benchmark::State& state) {
+  rs::RobustHeavyHitters::Config cfg;
+  cfg.eps = 0.3;
+  cfg.n = 1 << 20;
+  cfg.m = 1 << 20;
+  rs::RobustHeavyHitters sketch(cfg, 1);
+  RunUpdates(state, sketch);
+}
+BENCHMARK(BM_RobustHeavyHitters);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+// Scenario: cardinality estimation for a database query optimizer whose
+// workload *reacts to the optimizer's own decisions* — the situation the
+// paper's introduction opens with ("future queries made by the user may
+// heavily depend on the responses given by the database to previous
+// queries").
+//
+// A plan cache keyed on estimated cardinality buckets means the stream of
+// attribute values the estimator sees is correlated with its previous
+// estimates: when the estimate crosses a bucket boundary, the workload
+// shifts. We model a feedback-driven client and compare:
+//   * a plain (static-guarantee) KMV sketch,
+//   * the adversarially robust wrapper around the same sketch, and
+//   * the cryptographic construction of Theorem 10.1.
+
+#include <cmath>
+#include <cstdio>
+#include <optional>
+
+#include "rs/adversary/game.h"
+#include "rs/core/crypto_robust_f0.h"
+#include "rs/core/robust_f0.h"
+#include "rs/sketch/kmv_f0.h"
+#include "rs/util/rng.h"
+
+namespace {
+
+// A client that adapts its inserts to the optimizer's published cardinality:
+// while the estimate sits inside the current "plan bucket" it hammers
+// duplicate values (cheap plan), and when the estimate moves it explores
+// fresh values (expensive plan). This is adaptive but plausible behaviour,
+// not a malicious attack — the point of the paper is that correctness must
+// survive exactly this kind of feedback loop.
+class FeedbackClient : public rs::Adversary {
+ public:
+  explicit FeedbackClient(uint64_t seed) : rng_(seed) {}
+
+  std::optional<rs::Update> NextUpdate(double response,
+                                       uint64_t step) override {
+    if (step > 200000) return std::nullopt;
+    const double bucket = response <= 0 ? 0 : std::floor(std::log2(response));
+    if (bucket != last_bucket_) {
+      last_bucket_ = bucket;
+      exploring_ = 64;  // Plan switch: explore new attribute values.
+    }
+    if (exploring_ > 0) {
+      --exploring_;
+      return rs::Update{next_fresh_++, 1};
+    }
+    // Re-query the same attribute values (duplicates) most of the time, with
+    // a trickle of fresh values.
+    if (rng_.Bernoulli(0.9) && next_fresh_ > 0) {
+      return rs::Update{rng_.Below(next_fresh_), 1};
+    }
+    return rs::Update{next_fresh_++, 1};
+  }
+  std::string Name() const override { return "FeedbackClient"; }
+
+ private:
+  rs::Rng rng_;
+  double last_bucket_ = -1.0;
+  int exploring_ = 0;
+  uint64_t next_fresh_ = 0;
+};
+
+rs::GameResult Drive(rs::Estimator& estimator, uint64_t seed) {
+  FeedbackClient client(seed);
+  rs::GameOptions options;
+  options.max_steps = 200000;
+  options.fail_eps = 0.5;
+  options.burn_in = 1000;
+  options.params.n = uint64_t{1} << 40;
+  options.params.m = uint64_t{1} << 40;
+  return rs::RunGame(estimator, client, rs::TruthF0(), options);
+}
+
+void Report(const char* name, const rs::GameResult& r, size_t space) {
+  std::printf("%-28s max err %.3f  %s  space %zu B\n", name, r.max_rel_error,
+              r.adversary_won ? "NOT (1±0.5)-correct!" : "stayed correct   ",
+              space);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("query optimizer cardinality estimation under a feedback-driven"
+              " client\n\n");
+
+  rs::KmvF0 plain({.k = 4096}, 1);
+  const auto plain_result = Drive(plain, 11);
+  Report("static KMV", plain_result, plain.SpaceBytes());
+
+  rs::RobustF0::Config rc;
+  rc.eps = 0.25;
+  rc.n = uint64_t{1} << 40;
+  rc.m = uint64_t{1} << 40;
+  rs::RobustF0 robust(rc, 2);
+  const auto robust_result = Drive(robust, 11);
+  Report("robust F0 (sketch switch)", robust_result, robust.SpaceBytes());
+
+  rs::CryptoRobustF0 crypto({.eps = 0.1, .copies = 3, .key_seed = 0xDB}, 3);
+  const auto crypto_result = Drive(crypto, 11);
+  Report("crypto F0 (Theorem 10.1)", crypto_result, crypto.SpaceBytes());
+
+  std::printf("\nThe robust constructions hold their (1±eps) guarantee under"
+              " the same\nfeedback loop, at a modest space premium over one"
+              " static sketch.\n");
+  return (robust_result.adversary_won || crypto_result.adversary_won) ? 1 : 0;
+}

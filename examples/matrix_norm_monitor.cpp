@@ -1,0 +1,79 @@
+// Robust cascaded-norm monitoring of a traffic matrix.
+//
+// Scenario: a (source x destination) traffic matrix A receives one update
+// per flow record. The operator tracks ||A||_(2,1) — the L2 norm over
+// sources of each source's total traffic — a standard skew/DDoS indicator:
+// it stays near sqrt(#sources) x mean under balanced load and spikes when a
+// few sources dominate. The feed is adaptive: traffic shapers react to the
+// very dashboards this estimate drives, which is precisely the adversarial
+// feedback loop the paper's framework addresses (and the reason a plain
+// sketch's guarantee is void here).
+//
+// The example runs a balanced phase, then a hot-source burst, and shows the
+// robust estimate following the regime change while publishing only a
+// handful of distinct (rounded) values.
+
+#include <cstdio>
+
+#include "rs/core/robust_cascaded.h"
+#include "rs/sketch/cascaded.h"
+#include "rs/stream/generators.h"
+#include "rs/util/stats.h"
+
+int main() {
+  const rs::MatrixShape shape{.rows = 256, .cols = 256};  // src x dst.
+
+  rs::RobustCascadedNorm::Config config;
+  config.p = 2.0;  // L2 across sources...
+  config.k = 1.0;  // ...of each source's L1 traffic total.
+  config.eps = 0.25;
+  config.shape = shape;
+  config.max_entry = 1 << 20;
+  // Row sampling has a blind spot: a copy that samples none of the hot
+  // sources cannot see a concentrated burst at all. At rate 3/4 with
+  // 4-source bursts a copy is blind with probability (1/4)^4 ~ 0.4%, and
+  // each published copy is a median of booster_copies samplings on top.
+  config.rate = 0.75;
+  rs::RobustCascadedNorm robust(config, /*seed=*/2024);
+
+  // Exact reference (rate = 1 row sample), for the demo printout only.
+  rs::CascadedRowSample::Config exact_cfg;
+  exact_cfg.p = 2.0;
+  exact_cfg.k = 1.0;
+  exact_cfg.shape = shape;
+  exact_cfg.rate = 1.0;
+  rs::CascadedRowSample exact(exact_cfg, 1);
+
+  size_t step = 0;
+  const auto feed = [&](const rs::Stream& stream, const char* phase) {
+    double worst = 0.0;
+    for (const auto& u : stream) {
+      robust.Update(u);
+      exact.Update(u);
+      // Skip the cold start: with only a handful of entries the norm is
+      // dominated by the rounding grain, not by estimation error.
+      if (++step >= 1000) {
+        worst = std::max(worst, rs::RelativeError(robust.Estimate(),
+                                                  exact.NormEstimate()));
+      }
+    }
+    std::printf("%-22s ||A||_(2,1) ~= %10.1f (exact %10.1f, phase-worst "
+                "err %.3f)\n",
+                phase, robust.Estimate(), exact.NormEstimate(), worst);
+  };
+
+  std::printf("traffic-matrix skew monitor (robust ||A||_(2,1))\n\n");
+  feed(rs::MatrixUniformStream(shape.rows, shape.cols, 40000, 7),
+       "balanced load:");
+  feed(rs::MatrixRowBurstStream(shape.rows, shape.cols, 40000, 4, 0.8, 11),
+       "4-source hot burst:");
+  feed(rs::MatrixUniformStream(shape.rows, shape.cols, 40000, 13),
+       "balanced again:");
+
+  std::printf(
+      "\npublished output changed %zu times across 120k updates — the\n"
+      "information available to whoever shapes the traffic is capped by\n"
+      "this count (flip budget for this config: %zu).\n",
+      robust.output_changes(), robust.flip_number());
+  return 0;
+}

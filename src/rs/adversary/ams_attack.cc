@@ -1,0 +1,60 @@
+#include "rs/adversary/ams_attack.h"
+
+#include <cmath>
+
+#include "rs/util/rng.h"
+
+namespace rs {
+
+AmsAttackAdversary::AmsAttackAdversary(const Config& config)
+    : config_(config),
+      next_item_(config.first_item),
+      rng_state_(SplitMix64(config.seed ^ 0xA77ACCULL)) {}
+
+std::optional<rs::Update> AmsAttackAdversary::NextUpdate(double last_response,
+                                                         uint64_t step) {
+  (void)step;
+  switch (phase_) {
+    case Phase::kSpike: {
+      // Line 1: w <- C sqrt(t) e_1.
+      const int64_t spike = std::max<int64_t>(
+          1, static_cast<int64_t>(std::llround(
+                 config_.c * std::sqrt(static_cast<double>(config_.t)))));
+      phase_ = Phase::kProbe;
+      return rs::Update{1, spike};
+    }
+    case Phase::kProbe: {
+      // Remember the estimate before probing with a single copy of the next
+      // fresh item.
+      before_probe_ = last_response;
+      phase_ = Phase::kMaybeDouble;
+      return rs::Update{next_item_, 1};
+    }
+    case Phase::kMaybeDouble: {
+      const double diff = last_response - before_probe_;
+      const uint64_t item = next_item_;
+      ++next_item_;
+      constexpr double kUnitTolerance = 1e-9;
+      bool insert_second;
+      if (diff < 1.0 - kUnitTolerance) {
+        insert_second = true;  // new - old < 1.
+      } else if (diff <= 1.0 + kUnitTolerance) {
+        // new - old == 1: coin flip.
+        rng_state_ = SplitMix64(rng_state_);
+        insert_second = (rng_state_ & 1) != 0;
+      } else {
+        insert_second = false;
+      }
+      if (insert_second) {
+        phase_ = Phase::kProbe;
+        return rs::Update{item, 1};
+      }
+      // Move straight to probing the next item.
+      before_probe_ = last_response;
+      return rs::Update{next_item_, 1};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace rs

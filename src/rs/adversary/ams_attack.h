@@ -1,0 +1,55 @@
+#ifndef RS_ADVERSARY_AMS_ATTACK_H_
+#define RS_ADVERSARY_AMS_ATTACK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "rs/adversary/game.h"
+
+namespace rs {
+
+// The paper's attack on the AMS sketch (Section 9, Algorithm 3,
+// Theorem 9.1).
+//
+// Protocol: first insert (1, C*sqrt(t)) to create a large initial norm.
+// Then, for fresh items i = 2, 3, ...:
+//   * insert i once and observe the change `new - old` of the published
+//     estimate ||S f||^2;
+//   * if the change is < 1, insert i a second time (doubling the item's
+//     weight quadruples its self-energy but also doubles the observed
+//     negative cross-term — the drift E[s_{i+1}] <= s_i + 5/2 - sqrt(s_i/2t)
+//     of the proof);
+//   * if the change is exactly 1, insert a second copy with probability 1/2.
+//
+// Against a t-row AMS sketch, with probability >= 9/10 the estimate drops
+// below ||f||^2 / 2 within O(t) updates, for every t — the sketch is not
+// even a 2-approximation. Run through rs::RunGame with TruthF2 and
+// fail_eps = 0.5 to reproduce the theorem's headline numbers.
+class AmsAttackAdversary : public Adversary {
+ public:
+  struct Config {
+    size_t t = 64;         // Rows of the attacked sketch (sets C sqrt(t)).
+    double c = 8.0;        // The constant C of Algorithm 3, line 1.
+    uint64_t seed = 1;     // For the probability-1/2 tie-breaking coin.
+    uint64_t first_item = 2;  // Fresh items start here (item 1 is the spike).
+  };
+
+  explicit AmsAttackAdversary(const Config& config);
+
+  std::optional<rs::Update> NextUpdate(double last_response,
+                                       uint64_t step) override;
+  std::string Name() const override { return "AmsAttack"; }
+
+ private:
+  enum class Phase { kSpike, kProbe, kMaybeDouble };
+
+  Config config_;
+  Phase phase_ = Phase::kSpike;
+  double before_probe_ = 0.0;  // Estimate before the pending single insert.
+  uint64_t next_item_;
+  uint64_t rng_state_;
+};
+
+}  // namespace rs
+
+#endif  // RS_ADVERSARY_AMS_ATTACK_H_

@@ -1,0 +1,96 @@
+#include "rs/adversary/game.h"
+
+#include <cmath>
+
+#include "rs/util/stats.h"
+
+namespace rs {
+
+namespace {
+
+void Score(const Estimator& algorithm, const ExactOracle& oracle,
+           const TruthFn& truth, const GameOptions& options, uint64_t step,
+           GameResult* result) {
+  const double estimate = algorithm.Estimate();
+  const double actual = truth(oracle);
+  result->final_estimate = estimate;
+  result->final_truth = actual;
+  if (step < options.burn_in) return;
+  const double err = RelativeError(estimate, actual);
+  if (err > result->max_rel_error) result->max_rel_error = err;
+  if (err > options.fail_eps && result->first_failure_step == 0) {
+    result->first_failure_step = step;
+    result->adversary_won = true;
+  }
+}
+
+}  // namespace
+
+GameResult RunGame(Estimator& algorithm, Adversary& adversary,
+                   const TruthFn& truth, const GameOptions& options) {
+  GameResult result;
+  ExactOracle oracle;
+  StreamValidator validator(options.params, options.alpha);
+  double last_response = algorithm.Estimate();
+  for (uint64_t t = 1; t <= options.max_steps; ++t) {
+    const std::optional<rs::Update> u =
+        adversary.NextUpdate(last_response, t);
+    if (!u.has_value()) {
+      result.termination = "adversary_done";
+      return result;
+    }
+    if (!validator.Accept(*u)) {
+      result.termination = "rejected: " + validator.error();
+      return result;
+    }
+    oracle.Update(*u);
+    algorithm.Update(*u);
+    ++result.steps;
+    Score(algorithm, oracle, truth, options, t, &result);
+    last_response = algorithm.Estimate();
+  }
+  result.termination = "max_steps";
+  return result;
+}
+
+GameResult RunFixedStream(Estimator& algorithm, const Stream& stream,
+                          const TruthFn& truth, const GameOptions& options) {
+  GameResult result;
+  ExactOracle oracle;
+  uint64_t t = 0;
+  for (const rs::Update& u : stream) {
+    if (++t > options.max_steps) break;
+    oracle.Update(u);
+    algorithm.Update(u);
+    ++result.steps;
+    Score(algorithm, oracle, truth, options, t, &result);
+  }
+  result.termination = "stream_end";
+  return result;
+}
+
+TruthFn TruthF0() {
+  return [](const ExactOracle& o) { return static_cast<double>(o.F0()); };
+}
+
+TruthFn TruthF2() {
+  return [](const ExactOracle& o) { return o.F2(); };
+}
+
+TruthFn TruthFp(double p) {
+  return [p](const ExactOracle& o) { return o.Fp(p); };
+}
+
+TruthFn TruthLp(double p) {
+  return [p](const ExactOracle& o) { return o.Lp(p); };
+}
+
+TruthFn TruthEntropyBits() {
+  return [](const ExactOracle& o) { return o.EntropyBits(); };
+}
+
+TruthFn TruthExpEntropy() {
+  return [](const ExactOracle& o) { return std::exp2(o.EntropyBits()); };
+}
+
+}  // namespace rs

@@ -1,0 +1,104 @@
+#ifndef RS_ADVERSARY_GAME_H_
+#define RS_ADVERSARY_GAME_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "rs/sketch/estimator.h"
+#include "rs/stream/exact_oracle.h"
+#include "rs/stream/update.h"
+#include "rs/stream/validator.h"
+
+namespace rs {
+
+// The two-player adversarial game of Section 1 ("The Adversarial Setting"):
+// in round t the Adversary chooses an update u_t — which may depend on all
+// previous stream updates and all previous outputs of the
+// StreamingAlgorithm — the algorithm processes u_t and publishes its
+// response R_t, and the adversary observes R_t.
+
+// An adaptive adversary. It receives the algorithm's latest published
+// response and decides the next update; returning nullopt ends the game
+// early (the adversary gives up or has finished its schedule).
+class Adversary {
+ public:
+  virtual ~Adversary() = default;
+
+  virtual std::optional<rs::Update> NextUpdate(double last_response,
+                                               uint64_t step) = 0;
+  virtual std::string Name() const = 0;
+};
+
+// Ground truth extractor evaluated against the exact frequency oracle that
+// the game driver maintains (e.g. F0, F2, entropy).
+using TruthFn = std::function<double(const ExactOracle&)>;
+
+struct GameResult {
+  uint64_t steps = 0;           // Updates actually played.
+  double max_rel_error = 0.0;   // max_t |R_t - g(f^t)| / g(f^t).
+  uint64_t first_failure_step = 0;  // First t with error > eps (0 = none).
+  bool adversary_won = false;   // Some step exceeded the error threshold.
+  double final_truth = 0.0;
+  double final_estimate = 0.0;
+  std::string termination;      // "max_steps", "adversary_done", "rejected".
+};
+
+struct GameOptions {
+  uint64_t max_steps = 10000;
+  double fail_eps = 0.5;     // The adversary wins if rel. error exceeds this.
+  uint64_t burn_in = 0;      // Steps before errors start counting.
+  StreamParams params;       // Model constraints enforced on the adversary.
+  double alpha = 1.0;        // For bounded-deletion validation.
+};
+
+// Plays the game: the adversary's updates are validated against the stream
+// model, fed to the algorithm, and scored against the exact oracle after
+// every round. An update rejected by the validator ends the game (the
+// adversary forfeits; the model is part of the rules).
+GameResult RunGame(Estimator& algorithm, Adversary& adversary,
+                   const TruthFn& truth, const GameOptions& options);
+
+// Convenience: replays a fixed (oblivious) stream through RunGame's scoring
+// machinery — used to compare static-stream behaviour with adversarial
+// behaviour under identical instrumentation.
+GameResult RunFixedStream(Estimator& algorithm, const Stream& stream,
+                          const TruthFn& truth, const GameOptions& options);
+
+// Adapts a point-query sketch to the single-response game: the published
+// response is the estimate of one fixed target item's frequency. This is
+// the interface under which point-query sketches are attacked (the
+// adversary of [20]-style collision hunts observes exactly this value) and
+// under which the Theorem 6.5 construction defends.
+class PointQueryView : public Estimator {
+ public:
+  PointQueryView(PointQueryEstimator* inner, uint64_t target)
+      : inner_(inner), target_(target) {}
+
+  void Update(const rs::Update& u) override { inner_->Update(u); }
+  double Estimate() const override { return inner_->PointQuery(target_); }
+  size_t SpaceBytes() const override { return inner_->SpaceBytes(); }
+  std::string Name() const override {
+    return inner_->Name() + "/PointQueryView";
+  }
+
+ private:
+  PointQueryEstimator* inner_;  // Not owned.
+  uint64_t target_;
+};
+
+// Common truth functions.
+TruthFn TruthF0();
+TruthFn TruthF2();
+TruthFn TruthFp(double p);
+TruthFn TruthLp(double p);
+TruthFn TruthEntropyBits();
+
+// 2^{H(f)} — the multiplicative surrogate for additive entropy error that
+// the robust entropy estimator tracks (Remark before Proposition 7.1).
+TruthFn TruthExpEntropy();
+
+}  // namespace rs
+
+#endif  // RS_ADVERSARY_GAME_H_

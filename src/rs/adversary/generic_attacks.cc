@@ -1,0 +1,191 @@
+#include "rs/adversary/generic_attacks.h"
+
+#include <cmath>
+
+namespace rs {
+
+F2DriftAttack::F2DriftAttack(const Config& config) : config_(config) {}
+
+rs::Update F2DriftAttack::Issue(const rs::Update& u, double last_response) {
+  oracle_.Update(u);
+  pending_ = u;
+  have_pending_ = true;
+  response_before_ = last_response;
+  return u;
+}
+
+std::optional<rs::Update> F2DriftAttack::NextUpdate(double last_response,
+                                                    uint64_t step) {
+  if (step == 1) {
+    // Scale spike, as in Algorithm 3.
+    current_item_ = 1;
+    repeats_ = 0;
+    return Issue({1, config_.spike}, last_response);
+  }
+
+  // Evaluate the update issued last round: did the estimate track the true
+  // marginal F2 contribution of that insert?
+  bool undercounted = false;
+  if (have_pending_) {
+    const double observed = last_response - response_before_;
+    const int64_t f_after = oracle_.Frequency(pending_.item);
+    // Marginal F2 contribution of the pending +delta insert.
+    const double f1 = static_cast<double>(f_after);
+    const double f0 = static_cast<double>(f_after - pending_.delta);
+    const double marginal = f1 * f1 - f0 * f0;
+    undercounted = observed < 0.5 * marginal;
+  }
+
+  if (undercounted && current_item_ != 0 && repeats_ < config_.max_repeats) {
+    // Keep pumping the undercounted item: its true energy grows
+    // quadratically while the sketch's view of it lags.
+    ++repeats_;
+    return Issue({current_item_, 1}, last_response);
+  }
+
+  // Hunt with a fresh item.
+  current_item_ = next_fresh_++;
+  if (current_item_ >= config_.n) return std::nullopt;  // Domain exhausted.
+  repeats_ = 0;
+  return Issue({current_item_, 1}, last_response);
+}
+
+MeanDriftAttack::MeanDriftAttack(const Config& config) : config_(config) {}
+
+std::optional<rs::Update> MeanDriftAttack::NextUpdate(double last_response,
+                                                      uint64_t step) {
+  (void)step;
+  const double truth =
+      total_inserted_ == 0
+          ? 0.0
+          : static_cast<double>(odd_inserted_) /
+                static_cast<double>(total_inserted_);
+  // Push the true attribute mean away from the published estimate.
+  const bool push_up = last_response <= truth;
+  uint64_t item;
+  if (push_up) {
+    item = next_odd_;
+    next_odd_ += 2;
+    ++odd_inserted_;
+  } else {
+    item = next_even_;
+    next_even_ += 2;
+  }
+  ++total_inserted_;
+  if (item >= config_.n) return std::nullopt;
+  return rs::Update{item, 1};
+}
+
+TruthFn MeanDriftAttack::TruthOddFraction() {
+  return [](const ExactOracle& o) { return o.OddFraction(); };
+}
+
+SampleEvasionAttack::SampleEvasionAttack(const Config& config)
+    : config_(config) {}
+
+std::optional<rs::Update> SampleEvasionAttack::NextUpdate(double last_response,
+                                                          uint64_t step) {
+  (void)step;
+  switch (phase_) {
+    case Phase::kBase:
+      if (base_sent_ < config_.base) {
+        ++base_sent_;
+        const uint64_t item = next_even_;
+        next_even_ += 2;
+        if (item >= config_.n) return std::nullopt;
+        return rs::Update{item, 1};
+      }
+      phase_ = Phase::kProbe;
+      [[fallthrough]];
+
+    case Phase::kProbe:
+      if (probe_pending_) {
+        probe_pending_ = false;
+        // The probe insert was the only update between the two observations,
+        // so "estimate unchanged" == "the sampler's state ignored the item".
+        // The comparison is exact: an untouched sampler recomputes the
+        // identical ratio of identical integers.
+        if (last_response == response_before_probe_) {
+          phase_ = Phase::kFlood;
+          flood_item_ = probe_item_;
+          return rs::Update{flood_item_, config_.flood_delta};
+        }
+      }
+      if (probes_sent_ >= config_.max_probes) return std::nullopt;
+      ++probes_sent_;
+      probe_item_ = next_odd_;
+      next_odd_ += 2;
+      if (probe_item_ >= config_.n) return std::nullopt;
+      probe_pending_ = true;
+      response_before_probe_ = last_response;
+      return rs::Update{probe_item_, 1};
+
+    case Phase::kFlood:
+      return rs::Update{flood_item_, config_.flood_delta};
+  }
+  return std::nullopt;
+}
+
+PointQueryCollisionAttack::PointQueryCollisionAttack(const Config& config)
+    : config_(config), next_fresh_(config.target + 1) {}
+
+std::optional<rs::Update> PointQueryCollisionAttack::NextUpdate(
+    double last_response, uint64_t step) {
+  if (!seeded_) {
+    seeded_ = true;
+    return rs::Update{config_.target, config_.base_mass};
+  }
+
+  // Classify the previous probe, if any: a clear upward move of the
+  // target's published estimate means the probed item shares a
+  // median-critical bucket with the target at positive relative sign.
+  if (pending_) {
+    pending_ = false;
+    const double moved = last_response - response_before_;
+    if (moved > 0.3 * static_cast<double>(config_.probe_delta)) {
+      colliders_.push_back(pending_item_);
+    }
+  }
+
+  // Interleave: flood the collider set round-robin on even steps (the
+  // median is a ratchet — every known up-collider must stay hot for the
+  // lifted rows to stack up past the median), probe for new colliders on
+  // odd steps.
+  if (!colliders_.empty() && (step % 2 == 0)) {
+    flood_idx_ = (flood_idx_ + 1) % colliders_.size();
+    return rs::Update{colliders_[flood_idx_], config_.flood_delta};
+  }
+
+  if (probes_ >= config_.max_probes) {
+    // Probe budget exhausted; if nothing was found (e.g. the defender's
+    // responses are epoch-frozen), give up rather than loop.
+    if (colliders_.empty()) return std::nullopt;
+    flood_idx_ = (flood_idx_ + 1) % colliders_.size();
+    return rs::Update{colliders_[flood_idx_], config_.flood_delta};
+  }
+  ++probes_;
+  pending_item_ = next_fresh_++;
+  if (pending_item_ >= config_.n) return std::nullopt;
+  pending_ = true;
+  response_before_ = last_response;
+  return rs::Update{pending_item_, config_.probe_delta};
+}
+
+TruthFn PointQueryCollisionAttack::TruthTargetFrequency(uint64_t target) {
+  return [target](const ExactOracle& o) {
+    return static_cast<double>(o.Frequency(target));
+  };
+}
+
+ObliviousAdversary::ObliviousAdversary(Stream stream)
+    : stream_(std::move(stream)) {}
+
+std::optional<rs::Update> ObliviousAdversary::NextUpdate(double last_response,
+                                                         uint64_t step) {
+  (void)last_response;
+  (void)step;
+  if (pos_ >= stream_.size()) return std::nullopt;
+  return stream_[pos_++];
+}
+
+}  // namespace rs

@@ -1,0 +1,209 @@
+#ifndef RS_ADVERSARY_GENERIC_ATTACKS_H_
+#define RS_ADVERSARY_GENERIC_ATTACKS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rs/adversary/game.h"
+#include "rs/stream/exact_oracle.h"
+#include "rs/util/rng.h"
+
+namespace rs {
+
+// Generic adaptive attackers. Unlike the tailored AMS attack, these use only
+// the public game interface (observe the response, choose the next update)
+// plus the adversary's own perfect knowledge of the stream it has produced —
+// which the model explicitly grants (the adversary chooses the stream).
+
+// Attacks any F2 estimator by hunting for "undercounted" items: insert a
+// fresh item; if the published estimate rose by less than half the true
+// marginal contribution 2 f_x + 1, the sketch is currently biased against x,
+// so keep inserting x (truth grows quadratically in f_x while the
+// estimator's view lags). Against plain linear sketches this reproduces the
+// Algorithm 3 drift with no inside knowledge; against a robust wrapper the
+// rounded, sticky output reveals nothing exploitable and the attack
+// degenerates to an oblivious stream.
+class F2DriftAttack : public Adversary {
+ public:
+  struct Config {
+    uint64_t n = 1 << 20;       // Item domain.
+    int64_t spike = 64;         // Initial weight on item 1 (scale).
+    int max_repeats = 64;       // Max doublings per hunted item.
+    uint64_t seed = 7;
+  };
+
+  explicit F2DriftAttack(const Config& config);
+
+  std::optional<rs::Update> NextUpdate(double last_response,
+                                       uint64_t step) override;
+  std::string Name() const override { return "F2DriftAttack"; }
+
+ private:
+  Config config_;
+  ExactOracle oracle_;       // The adversary's own view of the stream.
+  rs::Update pending_{0, 0};  // Update just issued, not yet accounted.
+  bool have_pending_ = false;
+  double response_before_ = 0.0;
+  uint64_t current_item_ = 0;
+  int repeats_ = 0;
+  uint64_t next_fresh_ = 2;
+
+  rs::Update Issue(const rs::Update& u, double last_response);
+};
+
+// Attacks sampling-based estimators of a binary attribute mean (the [5]
+// phenomenon): watch the published mean and always push the true mean away
+// from it — insert a fresh odd item (attribute 1) when the estimate is at or
+// below the truth, a fresh even item (attribute 0) otherwise. A reservoir
+// sample refreshes ever more rarely as the stream grows, so its published
+// mean lags and the gap widens; a deterministic (or robust) tracker follows
+// immediately and never lets the gap build.
+class MeanDriftAttack : public Adversary {
+ public:
+  struct Config {
+    uint64_t n = 1 << 20;
+    uint64_t seed = 11;
+  };
+
+  explicit MeanDriftAttack(const Config& config);
+
+  std::optional<rs::Update> NextUpdate(double last_response,
+                                       uint64_t step) override;
+  std::string Name() const override { return "MeanDriftAttack"; }
+
+  // Truth function matching this attack's target quantity.
+  static TruthFn TruthOddFraction();
+
+ private:
+  Config config_;
+  uint64_t odd_inserted_ = 0;
+  uint64_t total_inserted_ = 0;
+  uint64_t next_odd_ = 1;
+  uint64_t next_even_ = 2;
+};
+
+// Membership-leak attack on content-based samplers (HashSampleMean):
+//
+//   1. Base phase: insert `base` fresh even items so the sample is non-empty
+//      and the truth sits near 0.
+//   2. Probe phase: insert a fresh odd item once; if the published estimate
+//      did not move, the item is provably outside the sample (its insert left
+//      the sampler's counters untouched).
+//   3. Flood phase: route all further mass through that unsampled odd item.
+//      The truth climbs toward 1 while the estimate stays frozen near 0.
+//
+// This is the generic break for any sampler whose keep/drop decision is a
+// fixed function of the item identity: the estimate's movement is a
+// membership oracle. It is exactly the failure mode motivating the paper's
+// wrappers, and it does NOT work against positional samplers (ReservoirMean)
+// — their keep/drop coin is fresh per position, so evasion is impossible and
+// the sample self-corrects; see the [5] positive result and the
+// ReservoirSelfCorrects test.
+class SampleEvasionAttack : public Adversary {
+ public:
+  struct Config {
+    uint64_t n = 1 << 20;      // Item domain.
+    uint64_t base = 512;       // Even items inserted before probing.
+    int64_t flood_delta = 4;   // Mass routed per step once evading.
+    int max_probes = 256;      // Give up (nullopt) if no unsampled item found.
+  };
+
+  explicit SampleEvasionAttack(const Config& config);
+
+  std::optional<rs::Update> NextUpdate(double last_response,
+                                       uint64_t step) override;
+  std::string Name() const override { return "SampleEvasionAttack"; }
+
+  bool found_unsampled() const { return phase_ == Phase::kFlood; }
+
+ private:
+  enum class Phase { kBase, kProbe, kFlood };
+
+  Config config_;
+  Phase phase_ = Phase::kBase;
+  uint64_t base_sent_ = 0;
+  uint64_t next_even_ = 2;
+  uint64_t next_odd_ = 1;
+  int probes_sent_ = 0;
+  bool probe_pending_ = false;
+  uint64_t probe_item_ = 0;
+  double response_before_probe_ = 0.0;
+  uint64_t flood_item_ = 0;
+};
+
+// Collision-hunting attack on point-query sketches (CountSketch), the
+// failure mode motivating Theorem 6.5's robust heavy hitters. The game's
+// published response is the sketch's point-query estimate for a fixed
+// target item (wrap the defender in rs::PointQueryView).
+//
+//   1. Seed: give the target a known mass; from now on the adversary knows
+//      f_target exactly (it wrote the stream).
+//   2. Probe: insert a fresh item with a moderate delta and watch the
+//      published estimate of the *target*. If it moved up, the item shares
+//      a bucket with the target in a median-critical row with positive
+//      relative sign — an "up-collider".
+//   3. Exploit: flood the whole set of found up-colliders round-robin,
+//      interleaved with further probing. One collider only buys the gap to
+//      the next order statistic of the row estimates — the median is a
+//      ratchet — so the attack keeps every collider hot; once the set
+//      covers about half the rows, the median itself detaches from
+//      f_target and climbs with the flood.
+//
+// Against an epoch-frozen robust point query (RobustHeavyHitters), probes
+// get no feedback — the published vector only changes at epoch boundaries
+// — so the hunt finds nothing and the attack degenerates to an oblivious
+// stream within the sketch's guarantee.
+class PointQueryCollisionAttack : public Adversary {
+ public:
+  struct Config {
+    uint64_t target = 1;
+    int64_t base_mass = 10000;  // Seed mass on the target.
+    int64_t probe_delta = 64;
+    int64_t flood_delta = 256;
+    uint64_t n = 1 << 20;     // Item domain.
+    int max_probes = 4096;    // Give up (nullopt) after this many probes.
+  };
+
+  explicit PointQueryCollisionAttack(const Config& config);
+
+  std::optional<rs::Update> NextUpdate(double last_response,
+                                       uint64_t step) override;
+  std::string Name() const override { return "PointQueryCollisionAttack"; }
+
+  // Truth for the game: the exact frequency of the target item.
+  static TruthFn TruthTargetFrequency(uint64_t target);
+
+  size_t colliders_found() const { return colliders_.size(); }
+
+ private:
+  Config config_;
+  bool seeded_ = false;
+  double response_before_ = 0.0;
+  uint64_t pending_item_ = 0;
+  bool pending_ = false;
+  uint64_t next_fresh_ = 0;
+  int probes_ = 0;
+  std::vector<uint64_t> colliders_;  // Known up-colliders, flooded forever.
+  size_t flood_idx_ = 0;
+};
+
+// Oblivious control adversary: replays a pregenerated stream, ignoring the
+// responses. Used as the baseline in robustness benchmarks (every estimator
+// should survive this one).
+class ObliviousAdversary : public Adversary {
+ public:
+  explicit ObliviousAdversary(Stream stream);
+
+  std::optional<rs::Update> NextUpdate(double last_response,
+                                       uint64_t step) override;
+  std::string Name() const override { return "Oblivious"; }
+
+ private:
+  Stream stream_;
+  size_t pos_ = 0;
+};
+
+}  // namespace rs
+
+#endif  // RS_ADVERSARY_GENERIC_ATTACKS_H_

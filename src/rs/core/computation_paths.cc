@@ -1,0 +1,73 @@
+#include "rs/core/computation_paths.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rs/util/check.h"
+
+namespace rs {
+
+namespace {
+
+// ln C(m, k) via lgamma.
+double LogBinomial(uint64_t m, uint64_t k) {
+  if (k > m) return 0.0;
+  return std::lgamma(static_cast<double>(m) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(m - k) + 1.0);
+}
+
+}  // namespace
+
+double ComputationPaths::RequiredLogDelta0(const Config& config) {
+  RS_CHECK(config.eps > 0.0 && config.eps < 1.0);
+  RS_CHECK(config.delta > 0.0 && config.delta < 1.0);
+  // |S| = C(m, lambda) * (c * eps^-1 * ln T)^lambda possible rounded output
+  // sequences; delta0 = delta / |S|.
+  const double grid_values =
+      std::max(2.0, 4.0 * std::max(1.0, config.log_T) / config.eps);
+  const double log_paths =
+      LogBinomial(config.m, config.lambda) +
+      static_cast<double>(config.lambda) * std::log(grid_values);
+  return std::log(config.delta) - log_paths;
+}
+
+double ComputationPaths::PracticalLogDelta0(const Config& config) {
+  RS_CHECK(config.eps > 0.0 && config.eps < 1.0);
+  RS_CHECK(config.delta > 0.0 && config.delta < 1.0);
+  const double grid_values =
+      std::max(2.0, 4.0 * std::max(1.0, config.log_T) / config.eps);
+  return std::log(config.delta) -
+         std::log(static_cast<double>(config.m) + 1.0) -
+         std::log(static_cast<double>(config.lambda) + 1.0) -
+         std::log(grid_values);
+}
+
+ComputationPaths::ComputationPaths(const Config& config,
+                                   const DeltaEstimatorFactory& factory,
+                                   uint64_t seed)
+    : config_(config),
+      log_delta0_(config.theoretical_sizing ? RequiredLogDelta0(config)
+                                            : PracticalLogDelta0(config)),
+      rounder_(config.eps / 2.0) {
+  // The factory interface takes delta as a double; convert from log-space,
+  // clamping at the smallest positive double. Base algorithms that care
+  // about extreme deltas should size from -log delta, which is what our
+  // sketches do internally (their space depends on log(1/delta)).
+  const double delta0 = std::max(std::exp(log_delta0_), 1e-300);
+  base_ = factory(delta0, seed);
+  RS_CHECK(base_ != nullptr);
+}
+
+void ComputationPaths::Update(const rs::Update& u) {
+  base_->Update(u);
+  rounder_.Feed(base_->Estimate());
+}
+
+double ComputationPaths::Estimate() const { return rounder_.current(); }
+
+size_t ComputationPaths::SpaceBytes() const {
+  return base_->SpaceBytes() + sizeof(*this);
+}
+
+}  // namespace rs

@@ -1,0 +1,86 @@
+#ifndef RS_CORE_COMPUTATION_PATHS_H_
+#define RS_CORE_COMPUTATION_PATHS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "rs/core/rounding.h"
+#include "rs/sketch/estimator.h"
+
+namespace rs {
+
+// Computation paths (Lemma 3.8) — the paper's second generic
+// robustification framework.
+//
+// One instance of the static algorithm is run with failure probability
+// delta0 so small that a union bound covers *every* output sequence the
+// rounded algorithm could ever publish:
+//
+//   delta0 = delta / ( C(m, lambda) * Theta(eps^-1 log T)^lambda ),
+//
+// because a deterministic adversary's stream is a function of the published
+// (eps-rounded, sticky) outputs, and a rounded output sequence with at most
+// lambda changes over m steps, each change landing on a power of (1+eps) in
+// [1/T, T], is one of at most C(m, lambda) * O(eps^-1 log T)^lambda
+// possibilities. Conditioned on the static algorithm being correct on all of
+// those (fixed) streams, the adversary is powerless.
+//
+// The wrapper publishes the eps/2-rounding of the instance's estimate
+// (Definition 3.7). The base algorithm is built by a DeltaEstimatorFactory,
+// since the whole point is that algorithms with mild delta-dependence (e.g.
+// FastF0, whose update time depends only log-log-style on 1/delta) make this
+// reduction cheap — that is Theorem 1.2/5.4.
+//
+// Sizing modes: RequiredLogDelta0 computes the exact Lemma 3.8 bound (used
+// in benchmark reports); PracticalLogDelta0 is the calibrated default used
+// to instantiate runnable configurations (see DESIGN.md section 6 on
+// constant calibration — the asymptotics are identical, the constants are
+// not astronomically pessimistic).
+class ComputationPaths : public Estimator {
+ public:
+  struct Config {
+    double eps = 0.1;      // Published output accuracy target.
+    double delta = 0.01;   // Overall adversarial failure probability.
+    uint64_t m = 1 << 20;  // Bound on the stream length.
+    double log_T = 40.0;   // ln T, with outputs in [1/T, T] (Lemma 3.8).
+    size_t lambda = 64;    // Flip number bound for the tracked quantity.
+    bool theoretical_sizing = false;  // Use the exact Lemma 3.8 delta0.
+    std::string name = "ComputationPaths";
+  };
+
+  // ln delta0 per Lemma 3.8 (computed in log-space with lgamma; the value
+  // itself underflows any floating-point representation by design).
+  static double RequiredLogDelta0(const Config& config);
+
+  // Calibrated practical target: delta / (m * lambda * eps^-1 log T).
+  static double PracticalLogDelta0(const Config& config);
+
+  ComputationPaths(const Config& config, const DeltaEstimatorFactory& factory,
+                   uint64_t seed);
+
+  void Update(const rs::Update& u) override;
+
+  // The published output: the eps/2-rounded, sticky view of the single
+  // instance's estimate.
+  double Estimate() const override;
+
+  size_t SpaceBytes() const override;
+  std::string Name() const override { return config_.name; }
+
+  // Number of published-output changes so far (<= lambda on correct runs).
+  size_t output_changes() const { return rounder_.change_count(); }
+
+  // The delta0 the base instance was instantiated with (as ln delta0).
+  double instantiated_log_delta0() const { return log_delta0_; }
+
+ private:
+  Config config_;
+  double log_delta0_;
+  std::unique_ptr<Estimator> base_;
+  EpsilonRounder rounder_;
+};
+
+}  // namespace rs
+
+#endif  // RS_CORE_COMPUTATION_PATHS_H_

@@ -1,0 +1,33 @@
+#include "rs/core/crypto_robust_f0.h"
+
+#include <cmath>
+
+#include "rs/sketch/kmv_f0.h"
+#include "rs/util/check.h"
+
+namespace rs {
+
+CryptoRobustF0::CryptoRobustF0(const Config& config, uint64_t seed)
+    : prp_(config.key_seed) {
+  RS_CHECK(config.eps > 0.0 && config.eps < 1.0);
+  KmvF0::Config kmv;
+  kmv.k = static_cast<size_t>(std::ceil(8.0 / (config.eps * config.eps)));
+  inner_ = std::make_unique<TrackingBooster>(
+      [kmv](uint64_t s) { return std::make_unique<KmvF0>(kmv, s); },
+      std::max<size_t>(1, config.copies | 1), seed);
+}
+
+void CryptoRobustF0::Update(const rs::Update& u) {
+  if (u.delta <= 0) return;  // Insertion-only problem.
+  // The permuted identity is what the inner sketch sees; Pi is injective,
+  // so distinct counts are preserved exactly.
+  inner_->Update({prp_.Permute(u.item), u.delta});
+}
+
+double CryptoRobustF0::Estimate() const { return inner_->Estimate(); }
+
+size_t CryptoRobustF0::SpaceBytes() const {
+  return inner_->SpaceBytes() + FeistelPrp::SpaceBytes() + sizeof(*this);
+}
+
+}  // namespace rs

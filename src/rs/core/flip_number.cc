@@ -1,0 +1,98 @@
+#include "rs/core/flip_number.h"
+
+#include <cmath>
+
+#include "rs/util/check.h"
+
+namespace rs {
+
+size_t MonotoneFlipNumberFromLog(double eps, double log_T) {
+  RS_CHECK(eps > 0.0);
+  RS_CHECK(log_T >= 0.0);
+  // Number of powers of (1+eps) in [1/T, T] is 2 log T / log(1+eps); +2
+  // covers the initial 0 -> first nonzero transition and rounding slack.
+  // For monotone g starting at g(0)=0 with g >= 1 once nonzero, only the
+  // upper half [1, T] is traversed.
+  return static_cast<size_t>(std::ceil(log_T / std::log1p(eps))) + 2;
+}
+
+size_t FpFlipNumber(double eps, uint64_t n, uint64_t max_frequency, double p) {
+  RS_CHECK(p > 0.0);
+  // Fp ranges over [1, M^p * n] for a nonzero frequency vector.
+  const double log_T = p * std::log(static_cast<double>(max_frequency)) +
+                       std::log(static_cast<double>(n));
+  return MonotoneFlipNumberFromLog(eps, log_T);
+}
+
+size_t F0FlipNumber(double eps, uint64_t n) {
+  return MonotoneFlipNumberFromLog(eps, std::log(static_cast<double>(n)));
+}
+
+size_t EntropyFlipNumber(double eps, uint64_t n, uint64_t m,
+                         uint64_t max_frequency) {
+  RS_CHECK(eps > 0.0 && eps < 1.0);
+  // Proof of Proposition 7.2: a (1 +- eps) change of 2^H requires ||f||_1 to
+  // grow by (1 + tau), tau = Theta(eps^2 / log^2 n); F1 is monotone and
+  // bounded by m * M.
+  const double log2n = std::max(1.0, std::log2(static_cast<double>(n)));
+  const double tau = (eps * eps) / (16.0 * log2n * log2n);
+  const double log_T = std::log(static_cast<double>(m)) +
+                       std::log(static_cast<double>(max_frequency));
+  return static_cast<size_t>(std::ceil(log_T / std::log1p(tau))) + 2;
+}
+
+size_t BoundedDeletionFlipNumber(double eps, double alpha, double p,
+                                 uint64_t n, uint64_t max_frequency) {
+  RS_CHECK(alpha >= 1.0);
+  RS_CHECK(p >= 1.0);
+  // Lemma 8.2: each flip of ||f||_p forces ||h||_p^p (monotone, <= M^p n) to
+  // grow by a (1 + eps^p / alpha) factor.
+  const double growth = std::pow(eps, p) / alpha;
+  const double log_T = p * std::log(static_cast<double>(max_frequency)) +
+                       std::log(static_cast<double>(n));
+  return static_cast<size_t>(std::ceil(log_T / std::log1p(growth))) + 2;
+}
+
+size_t CascadedMomentFlipNumber(double eps, uint64_t rows, uint64_t cols,
+                                uint64_t max_entry, double p, double k) {
+  RS_CHECK(p > 0.0);
+  RS_CHECK(k > 0.0);
+  // Proposition 3.4 with T = rows * (cols * M^k)^{p/k}: the moment is
+  // monotone on insertion-only matrix streams and >= 1 once non-zero.
+  const double log_T =
+      std::log(static_cast<double>(rows)) +
+      (p / k) * std::log(static_cast<double>(cols)) +
+      p * std::log(static_cast<double>(max_entry));
+  return MonotoneFlipNumberFromLog(eps, std::max(1.0, log_T));
+}
+
+size_t CascadedNormFlipNumber(double eps, uint64_t rows, uint64_t cols,
+                              uint64_t max_entry, double p, double k) {
+  RS_CHECK(p > 0.0);
+  RS_CHECK(k > 0.0);
+  const double log_T =
+      std::log(static_cast<double>(rows)) / p +
+      std::log(static_cast<double>(cols)) / k +
+      std::log(static_cast<double>(max_entry));
+  return MonotoneFlipNumberFromLog(eps, std::max(1.0, log_T));
+}
+
+size_t EmpiricalFlipNumber(const std::vector<double>& values, double eps) {
+  // Greedy maximal chain i_1 < ... < i_k with
+  // y_{i_{j-1}} outside [(1-eps) y_{i_j}, (1+eps) y_{i_j}].
+  if (values.empty()) return 0;
+  size_t flips = 1;  // The chain may start anywhere; count its first anchor.
+  double anchor = values[0];
+  for (size_t i = 1; i < values.size(); ++i) {
+    const double y = values[i];
+    const double lo = y >= 0.0 ? (1.0 - eps) * y : (1.0 + eps) * y;
+    const double hi = y >= 0.0 ? (1.0 + eps) * y : (1.0 - eps) * y;
+    if (anchor < lo || anchor > hi) {
+      ++flips;
+      anchor = y;
+    }
+  }
+  return flips;
+}
+
+}  // namespace rs

@@ -1,0 +1,66 @@
+#ifndef RS_CORE_FLIP_NUMBER_H_
+#define RS_CORE_FLIP_NUMBER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rs {
+
+// Flip-number calculations (Definition 3.2). The (eps, m)-flip number
+// lambda_{eps,m}(g) of a stream function g bounds how many times g can move
+// by a (1+eps) factor along any admissible stream; it controls the number of
+// sketch copies (sketch switching, Lemma 3.6) and the union-bound size
+// (computation paths, Lemma 3.8).
+
+// Proposition 3.4: a monotone g with g(0)=0, g > 0 implies g in [1/T, T]
+// has flip number at most the number of powers of (1+eps) in [1/T, T], i.e.
+// O(eps^-1 log T). `log_T` is the natural log of T.
+size_t MonotoneFlipNumberFromLog(double eps, double log_T);
+
+// Corollary 3.5 specializations for insertion-only streams over [n] with
+// |f_i| <= M at all times.
+//
+// Fp (as the p-th moment ||f||_p^p): range [1, M^p n].
+size_t FpFlipNumber(double eps, uint64_t n, uint64_t max_frequency, double p);
+
+// F0 (distinct elements): range [1, n].
+size_t F0FlipNumber(double eps, uint64_t n);
+
+// Proposition 7.2: flip number of g = 2^H (exponential of Shannon entropy)
+// in insertion-only streams. Each (1+eps) change of 2^H forces F1 to grow by
+// (1+tau) with tau = Theta(eps^2 / log^2 n), giving
+// lambda = O(eps^-2 log^3 n). `m` bounds the stream length (F1 <= mM).
+size_t EntropyFlipNumber(double eps, uint64_t n, uint64_t m,
+                         uint64_t max_frequency);
+
+// Lemma 8.2: flip number of the Lp norm on alpha-bounded-deletion streams,
+// p >= 1: each (1+eps) change of ||f||_p forces the insert-mass moment to
+// grow by (1 + eps^p / alpha), giving lambda = O(p alpha eps^-p log n).
+size_t BoundedDeletionFlipNumber(double eps, double alpha, double p,
+                                 uint64_t n, uint64_t max_frequency);
+
+// Proposition 3.4 applied to cascaded norms (the application the paper
+// names after Corollary 3.5, citing [24]): the (p,k)-moment
+// sum_i (sum_j |A_ij|^k)^{p/k} of an insertion-only matrix stream over
+// rows x cols with entries bounded by M is monotone, 0 at the start, >= 1
+// once non-zero, and at most rows * (cols * M^k)^{p/k}, so its flip number
+// is O(eps^-1 * (log rows + (p/k) log cols + p log M)).
+size_t CascadedMomentFlipNumber(double eps, uint64_t rows, uint64_t cols,
+                                uint64_t max_entry, double p, double k);
+
+// Flip number of the cascaded *norm* ||A||_(p,k) = moment^{1/p} — the
+// quantity the robust wrapper publishes. Its log-range is the moment's
+// divided by p, so for p < 1 the norm flips *more* often than the moment
+// (the pool fallback for quasi-norms must budget for this).
+size_t CascadedNormFlipNumber(double eps, uint64_t rows, uint64_t cols,
+                              uint64_t max_entry, double p, double k);
+
+// Exact (eps, m)-flip number of a concrete value sequence, by the greedy
+// maximal chain of Definition 3.2. Used by tests (formula vs. brute force)
+// and by the empirical flip-number benchmark (E10).
+size_t EmpiricalFlipNumber(const std::vector<double>& values, double eps);
+
+}  // namespace rs
+
+#endif  // RS_CORE_FLIP_NUMBER_H_

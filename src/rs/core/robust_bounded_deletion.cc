@@ -1,0 +1,59 @@
+#include "rs/core/robust_bounded_deletion.h"
+
+#include <cmath>
+
+#include "rs/core/flip_number.h"
+#include "rs/sketch/pstable_fp.h"
+#include "rs/util/check.h"
+
+namespace rs {
+
+RobustBoundedDeletionFp::RobustBoundedDeletionFp(const Config& config,
+                                                 uint64_t seed)
+    : config_(config) {
+  RS_CHECK(config.p >= 1.0 && config.p <= 2.0);
+  RS_CHECK(config.alpha >= 1.0);
+  RS_CHECK(config.eps > 0.0 && config.eps < 1.0);
+
+  lambda_ = BoundedDeletionFlipNumber(config.eps / 10.0, config.alpha,
+                                      config.p, config.n,
+                                      config.max_frequency);
+
+  ComputationPaths::Config cp;
+  cp.eps = config.eps;
+  cp.delta = config.delta;
+  cp.m = config.m;
+  cp.log_T =
+      config.p * std::log(static_cast<double>(config.max_frequency)) +
+      std::log(static_cast<double>(config.n));
+  cp.lambda = lambda_;
+  cp.theoretical_sizing = config.theoretical_sizing;
+  cp.name = "RobustBoundedDeletionFp";
+
+  const double p = config.p;
+  const double eps0 = config.eps / 4.0;
+  paths_ = std::make_unique<ComputationPaths>(
+      cp,
+      [p, eps0](double delta, uint64_t s) {
+        PStableFp::Config ps;
+        ps.p = p;
+        ps.eps = eps0;
+        const double logd = std::log(1.0 / std::max(delta, 1e-300));
+        ps.k_override = static_cast<size_t>(
+            std::ceil((4.0 + 1.5 * logd) / (eps0 * eps0)));
+        return std::make_unique<PStableFp>(ps, s);
+      },
+      seed);
+}
+
+void RobustBoundedDeletionFp::Update(const rs::Update& u) {
+  paths_->Update(u);
+}
+
+double RobustBoundedDeletionFp::Estimate() const { return paths_->Estimate(); }
+
+size_t RobustBoundedDeletionFp::SpaceBytes() const {
+  return paths_->SpaceBytes() + sizeof(*this);
+}
+
+}  // namespace rs

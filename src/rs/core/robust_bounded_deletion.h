@@ -1,0 +1,52 @@
+#ifndef RS_CORE_ROBUST_BOUNDED_DELETION_H_
+#define RS_CORE_ROBUST_BOUNDED_DELETION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "rs/core/computation_paths.h"
+#include "rs/sketch/estimator.h"
+
+namespace rs {
+
+// Adversarially robust Fp estimation for alpha-bounded-deletion streams,
+// p in [1, 2] (Theorem 8.3 / Theorem 1.11).
+//
+// Lemma 8.2 bounds the flip number of ||.||_p on alpha-bounded-deletion
+// streams by O(p alpha eps^-p log n): every (1 +- eps) move of the norm
+// forces the (monotone) insert-mass moment to grow by (1 + eps^p/alpha).
+// With a bounded flip number, the computation-paths reduction applies to
+// the linear (turnstile-capable) p-stable sketch, exactly as in the proof.
+class RobustBoundedDeletionFp : public Estimator {
+ public:
+  struct Config {
+    double p = 1.0;       // In [1, 2].
+    double alpha = 2.0;   // Bounded-deletion parameter (>= 1).
+    double eps = 0.2;
+    double delta = 0.05;
+    uint64_t n = 1 << 20;
+    uint64_t m = 1 << 20;
+    uint64_t max_frequency = uint64_t{1} << 20;
+    bool theoretical_sizing = false;
+  };
+
+  RobustBoundedDeletionFp(const Config& config, uint64_t seed);
+
+  void Update(const rs::Update& u) override;
+  double Estimate() const override;  // Fp moment.
+  size_t SpaceBytes() const override;
+  std::string Name() const override { return "RobustBoundedDeletionFp"; }
+
+  size_t output_changes() const { return paths_->output_changes(); }
+  size_t lambda() const { return lambda_; }
+
+ private:
+  Config config_;
+  size_t lambda_;
+  std::unique_ptr<ComputationPaths> paths_;
+};
+
+}  // namespace rs
+
+#endif  // RS_CORE_ROBUST_BOUNDED_DELETION_H_

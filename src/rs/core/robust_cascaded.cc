@@ -1,0 +1,87 @@
+#include "rs/core/robust_cascaded.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rs/core/flip_number.h"
+#include "rs/sketch/tracking.h"
+#include "rs/util/check.h"
+
+namespace rs {
+
+namespace {
+
+// Publishes the norm ||A||_(p,k) (not the moment): the switching gate and
+// the suffix-restart triangle argument both operate on the norm scale,
+// exactly as RobustFp does for Lp.
+class CascadedNormAdapter : public Estimator {
+ public:
+  CascadedNormAdapter(const CascadedRowSample::Config& config, uint64_t seed)
+      : sketch_(config, seed) {}
+
+  void Update(const rs::Update& u) override { sketch_.Update(u); }
+  double Estimate() const override { return sketch_.NormEstimate(); }
+  size_t SpaceBytes() const override { return sketch_.SpaceBytes(); }
+  std::string Name() const override { return "CascadedNormAdapter"; }
+
+ private:
+  CascadedRowSample sketch_;
+};
+
+}  // namespace
+
+RobustCascadedNorm::RobustCascadedNorm(const Config& config, uint64_t seed)
+    : config_(config),
+      ring_mode_(config.p >= 1.0 && config.k >= 1.0 && !config.force_pool),
+      flip_number_(CascadedNormFlipNumber(config.eps, config.shape.rows,
+                                          config.shape.cols, config.max_entry,
+                                          config.p, config.k)) {
+  RS_CHECK(config_.eps > 0.0 && config_.eps < 1.0);
+
+  CascadedRowSample::Config base;
+  base.p = config_.p;
+  base.k = config_.k;
+  base.shape = config_.shape;
+  base.rate = config_.rate;
+
+  SketchSwitching::Config sw;
+  sw.eps = config_.eps;
+  sw.name = "RobustCascadedNorm";
+  if (ring_mode_) {
+    sw.mode = SketchSwitching::PoolMode::kRing;
+    sw.copies = SketchSwitching::RingSizeForEpsilon(config_.eps);
+  } else {
+    sw.mode = SketchSwitching::PoolMode::kPool;
+    sw.copies = std::max<size_t>(2, std::min(flip_number_, config_.pool_cap));
+  }
+  const size_t boosters = std::max<size_t>(1, config_.booster_copies);
+  switching_ = std::make_unique<SketchSwitching>(
+      sw,
+      [base, boosters](uint64_t s) -> std::unique_ptr<Estimator> {
+        if (boosters == 1) {
+          return std::make_unique<CascadedNormAdapter>(base, s);
+        }
+        return std::make_unique<TrackingBooster>(
+            [base](uint64_t inner_seed) {
+              return std::make_unique<CascadedNormAdapter>(base, inner_seed);
+            },
+            boosters, s);
+      },
+      seed);
+}
+
+void RobustCascadedNorm::Update(const rs::Update& u) {
+  switching_->Update(u);
+}
+
+double RobustCascadedNorm::Estimate() const { return switching_->Estimate(); }
+
+double RobustCascadedNorm::MomentEstimate() const {
+  return std::pow(Estimate(), config_.p);
+}
+
+size_t RobustCascadedNorm::SpaceBytes() const {
+  return switching_->SpaceBytes() + sizeof(*this);
+}
+
+}  // namespace rs

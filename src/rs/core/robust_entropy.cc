@@ -1,0 +1,46 @@
+#include "rs/core/robust_entropy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rs/core/flip_number.h"
+#include "rs/sketch/entropy_sketch.h"
+#include "rs/util/check.h"
+
+namespace rs {
+
+RobustEntropy::RobustEntropy(const Config& config, uint64_t seed)
+    : config_(config),
+      theoretical_lambda_(EntropyFlipNumber(config.eps, config.n, config.m,
+                                            config.max_frequency)) {
+  RS_CHECK(config.eps > 0.0 && config.eps < 1.0);
+  EntropySketch::Config es;
+  // Base additive accuracy eps/4 on H == multiplicative eps/4-ish on 2^H.
+  es.eps = config.eps / 4.0;
+  es.random_oracle_model = config.random_oracle_model;
+
+  SketchSwitching::Config sw;
+  sw.eps = config.eps;
+  sw.mode = SketchSwitching::PoolMode::kPool;  // Entropy is not monotone.
+  sw.copies = std::min(theoretical_lambda_, config.pool_cap);
+  sw.copies = std::max<size_t>(sw.copies, 2);
+  sw.initial_output = 1.0;  // 2^{H(empty)} = 2^0.
+  sw.name = "RobustEntropy";
+  switching_ = std::make_unique<SketchSwitching>(
+      sw,
+      [es](uint64_t s) { return std::make_unique<EntropySketch>(es, s); },
+      seed);
+}
+
+void RobustEntropy::Update(const rs::Update& u) { switching_->Update(u); }
+
+double RobustEntropy::Estimate() const { return switching_->Estimate(); }
+
+double RobustEntropy::EntropyBits() const {
+  const double g = Estimate();
+  return g <= 1.0 ? 0.0 : std::log2(g);
+}
+
+size_t RobustEntropy::SpaceBytes() const { return switching_->SpaceBytes(); }
+
+}  // namespace rs

@@ -1,0 +1,83 @@
+#include "rs/core/robust_f0.h"
+
+#include <cmath>
+
+#include "rs/core/flip_number.h"
+#include "rs/sketch/fast_f0.h"
+#include "rs/sketch/kmv_f0.h"
+#include "rs/util/check.h"
+
+namespace rs {
+
+RobustF0::RobustF0(const Config& config, uint64_t seed) : config_(config) {
+  RS_CHECK(config.eps > 0.0 && config.eps < 1.0);
+  const double eps = config.eps;
+
+  if (config.method == Method::kSketchSwitching) {
+    // Base accuracy eps0 = eps/4 (the paper uses eps/20 for bookkeeping; the
+    // end-to-end envelope is verified empirically — see DESIGN.md section 6).
+    const double eps0 = eps / 4.0;
+    KmvF0::Config kmv;
+    kmv.k = static_cast<size_t>(std::ceil(6.0 / (eps0 * eps0)));
+    SketchSwitching::Config sw;
+    sw.eps = eps;
+    sw.mode = SketchSwitching::PoolMode::kRing;
+    sw.copies = SketchSwitching::RingSizeForEpsilon(eps);
+    sw.name = "RobustF0/switching";
+    switching_ = std::make_unique<SketchSwitching>(
+        sw,
+        [kmv](uint64_t s) { return std::make_unique<KmvF0>(kmv, s); },
+        seed);
+    return;
+  }
+
+  // Computation paths over FastF0 (Theorem 5.4).
+  ComputationPaths::Config cp;
+  cp.eps = eps;
+  cp.delta = config.delta;
+  cp.m = config.m;
+  cp.log_T = std::log(static_cast<double>(config.n));  // F0 in [1, n].
+  cp.lambda = F0FlipNumber(eps / 10.0, config.n);
+  cp.theoretical_sizing = config.theoretical_sizing;
+  cp.name = "RobustF0/paths";
+  const double eps0 = eps / 4.0;
+  const uint64_t n = config.n;
+  paths_ = std::make_unique<ComputationPaths>(
+      cp,
+      [eps0, n](double delta, uint64_t s) {
+        FastF0::Config fc;
+        fc.eps = eps0;
+        fc.delta = delta;
+        fc.n = n;
+        return std::make_unique<FastF0>(fc, s);
+      },
+      seed);
+}
+
+void RobustF0::Update(const rs::Update& u) {
+  if (switching_ != nullptr) {
+    switching_->Update(u);
+  } else {
+    paths_->Update(u);
+  }
+}
+
+double RobustF0::Estimate() const {
+  return switching_ != nullptr ? switching_->Estimate() : paths_->Estimate();
+}
+
+size_t RobustF0::SpaceBytes() const {
+  return switching_ != nullptr ? switching_->SpaceBytes()
+                               : paths_->SpaceBytes();
+}
+
+std::string RobustF0::Name() const {
+  return switching_ != nullptr ? switching_->Name() : paths_->Name();
+}
+
+size_t RobustF0::output_changes() const {
+  return switching_ != nullptr ? switching_->switches()
+                               : paths_->output_changes();
+}
+
+}  // namespace rs

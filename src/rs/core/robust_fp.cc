@@ -1,0 +1,122 @@
+#include "rs/core/robust_fp.h"
+
+#include <cmath>
+
+#include "rs/core/flip_number.h"
+#include "rs/sketch/highp_fp.h"
+#include "rs/sketch/pstable_fp.h"
+#include "rs/util/check.h"
+
+namespace rs {
+
+RobustFp::RobustFp(const Config& config, uint64_t seed) : config_(config) {
+  RS_CHECK(config.p > 0.0);
+  RS_CHECK(config.eps > 0.0 && config.eps < 1.0);
+  const double eps = config.eps;
+  const double p = config.p;
+
+  if (p <= 2.0 && config.method == Method::kSketchSwitching) {
+    // Theorem 4.1: ring of p-stable sketches. The ring tracks the Fp moment
+    // itself, so the gate factor (1+eps/2) on Fp corresponds to
+    // (1+eps/2)^{1/p} on the norm; ring sizing uses the Fp growth.
+    const double eps0 = eps / 4.0;
+    PStableFp::Config ps;
+    ps.p = p;
+    ps.eps = eps0;
+    SketchSwitching::Config sw;
+    sw.eps = eps;
+    sw.mode = SketchSwitching::PoolMode::kRing;
+    sw.copies = SketchSwitching::RingSizeForEpsilon(eps);
+    sw.name = "RobustFp/switching";
+    switching_ = std::make_unique<SketchSwitching>(
+        sw, [ps](uint64_t s) { return std::make_unique<PStableFp>(ps, s); },
+        seed);
+    return;
+  }
+
+  // Computation-paths constructions (Theorems 4.2, 4.3, 4.4).
+  ComputationPaths::Config cp;
+  cp.eps = eps;
+  cp.delta = config.delta;
+  cp.m = config.m;
+  cp.log_T = p * std::log(static_cast<double>(config.max_frequency)) +
+             std::log(static_cast<double>(config.n));
+  cp.lambda = config.lambda_override != 0
+                  ? config.lambda_override
+                  : FpFlipNumber(eps / 10.0, config.n, config.max_frequency,
+                                 p);
+  cp.theoretical_sizing = config.theoretical_sizing;
+  cp.name = p > 2.0 ? "RobustFp/paths-highp" : "RobustFp/paths";
+  const double eps0 = eps / 4.0;
+
+  if (p > 2.0) {
+    const Config cfg = config;
+    paths_ = std::make_unique<ComputationPaths>(
+        cp,
+        [cfg, eps0](double delta, uint64_t s) {
+          HighpFp::Config hc;
+          hc.p = cfg.p;
+          hc.eps = eps0;
+          hc.n = cfg.n;
+          hc.delta = delta;
+          hc.s1_override = cfg.highp_s1_override;
+          hc.s2_override = cfg.highp_s2_override;
+          return std::make_unique<HighpFp>(hc, s);
+        },
+        seed);
+    return;
+  }
+
+  const double pp = p;
+  paths_ = std::make_unique<ComputationPaths>(
+      cp,
+      [pp, eps0](double delta, uint64_t s) {
+        // The p-stable sketch's failure probability enters through its
+        // counter count: k = O(eps^-2 log(1/delta)) gives the median
+        // estimator Chernoff-level confidence (the [27] shape).
+        PStableFp::Config ps;
+        ps.p = pp;
+        ps.eps = eps0;
+        const double logd = std::log(1.0 / std::max(delta, 1e-300));
+        ps.k_override = static_cast<size_t>(
+            std::ceil((4.0 + 1.5 * logd) / (eps0 * eps0)));
+        return std::make_unique<PStableFp>(ps, s);
+      },
+      seed);
+}
+
+void RobustFp::Update(const rs::Update& u) {
+  if (config_.p > 2.0 || config_.lambda_override == 0) {
+    RS_DCHECK(u.delta != 0);
+  }
+  if (switching_ != nullptr) {
+    switching_->Update(u);
+  } else {
+    paths_->Update(u);
+  }
+}
+
+double RobustFp::Estimate() const {
+  return switching_ != nullptr ? switching_->Estimate() : paths_->Estimate();
+}
+
+double RobustFp::NormEstimate() const {
+  const double fp = Estimate();
+  return fp <= 0.0 ? 0.0 : std::pow(fp, 1.0 / config_.p);
+}
+
+size_t RobustFp::SpaceBytes() const {
+  return switching_ != nullptr ? switching_->SpaceBytes()
+                               : paths_->SpaceBytes();
+}
+
+std::string RobustFp::Name() const {
+  return switching_ != nullptr ? switching_->Name() : paths_->Name();
+}
+
+size_t RobustFp::output_changes() const {
+  return switching_ != nullptr ? switching_->switches()
+                               : paths_->output_changes();
+}
+
+}  // namespace rs

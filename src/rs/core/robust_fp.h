@@ -1,0 +1,70 @@
+#ifndef RS_CORE_ROBUST_FP_H_
+#define RS_CORE_ROBUST_FP_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "rs/core/computation_paths.h"
+#include "rs/core/sketch_switching.h"
+#include "rs/sketch/estimator.h"
+
+namespace rs {
+
+// Adversarially robust Fp-moment estimation, Section 4. Covers four of the
+// paper's constructions behind one interface:
+//
+//  * kSketchSwitching, 0 < p <= 2 (Theorem 4.1): ring of p-stable sketches
+//    with suffix restarts, Theta(eps^-1 log eps^-1) copies.
+//  * kComputationPaths, 0 < p <= 2 (Theorem 4.2, the small-delta regime):
+//    a single p-stable sketch sized for the Lemma 3.8 delta0 (its space
+//    carries the log(1/delta0) factor multiplicatively, exactly as [27]).
+//  * kComputationPaths with `lambda_override` (Theorem 4.3): turnstile
+//    streams promised to have Fp flip number <= lambda. The p-stable sketch
+//    is linear, so deletions are handled natively.
+//  * kComputationPaths, p > 2 (Theorem 4.4): wraps the insertion-only
+//    sampling estimator HighpFp instead.
+//
+// Estimate() returns Fp = ||f||_p^p; NormEstimate() returns ||f||_p.
+class RobustFp : public Estimator {
+ public:
+  enum class Method { kSketchSwitching, kComputationPaths };
+
+  struct Config {
+    double p = 1.0;
+    double eps = 0.1;
+    double delta = 0.05;
+    uint64_t n = 1 << 20;
+    uint64_t m = 1 << 20;
+    uint64_t max_frequency = uint64_t{1} << 20;  // M.
+    Method method = Method::kSketchSwitching;
+    // Theorem 4.3: promised Fp flip number for turnstile streams (0 = use
+    // the insertion-only Corollary 3.5 bound).
+    size_t lambda_override = 0;
+    bool theoretical_sizing = false;
+    // p > 2 only: force sampling sizes of the HighpFp base (0 = theory-bound
+    // defaults, which are large; benchmarks calibrate these).
+    size_t highp_s1_override = 0;
+    size_t highp_s2_override = 0;
+  };
+
+  RobustFp(const Config& config, uint64_t seed);
+
+  void Update(const rs::Update& u) override;
+  double Estimate() const override;   // Fp moment.
+  double NormEstimate() const;        // ||f||_p.
+  size_t SpaceBytes() const override;
+  std::string Name() const override;
+
+  size_t output_changes() const;
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  std::unique_ptr<SketchSwitching> switching_;
+  std::unique_ptr<ComputationPaths> paths_;
+};
+
+}  // namespace rs
+
+#endif  // RS_CORE_ROBUST_FP_H_

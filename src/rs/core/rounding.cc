@@ -1,0 +1,46 @@
+#include "rs/core/rounding.h"
+
+#include <cmath>
+
+#include "rs/util/check.h"
+
+namespace rs {
+
+double RoundToPowerOf1PlusEps(double x, double eps) {
+  RS_CHECK(eps > 0.0);
+  if (x == 0.0) return 0.0;
+  const double ax = std::fabs(x);
+  // ell minimizing max(y/x, x/y) over y = (1+eps)^ell is the nearest integer
+  // to log_{1+eps}(|x|).
+  const double ell = std::round(std::log(ax) / std::log1p(eps));
+  const double y = std::pow(1.0 + eps, ell);
+  return x > 0.0 ? y : -y;
+}
+
+EpsilonRounder::EpsilonRounder(double eps) : eps_(eps) {
+  RS_CHECK(eps > 0.0 && eps < 1.0);
+}
+
+double EpsilonRounder::Feed(double raw) {
+  if (!started_) {
+    current_ = RoundToPowerOf1PlusEps(raw, eps_);
+    started_ = true;
+    // The initial value counts as a change only if it is nonzero (the
+    // published output moved away from the a-priori g(0) = 0).
+    if (current_ != 0.0) ++changes_;
+    return current_;
+  }
+  // Keep the current output while (1-eps) raw <= current <= (1+eps) raw.
+  // (For negative raw values the interval is mirrored.)
+  const double lo = raw >= 0.0 ? (1.0 - eps_) * raw : (1.0 + eps_) * raw;
+  const double hi = raw >= 0.0 ? (1.0 + eps_) * raw : (1.0 - eps_) * raw;
+  if (current_ >= lo && current_ <= hi) return current_;
+  const double next = RoundToPowerOf1PlusEps(raw, eps_);
+  if (next != current_) {
+    current_ = next;
+    ++changes_;
+  }
+  return current_;
+}
+
+}  // namespace rs

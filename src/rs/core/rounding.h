@@ -1,0 +1,42 @@
+#ifndef RS_CORE_ROUNDING_H_
+#define RS_CORE_ROUNDING_H_
+
+#include <cstddef>
+
+namespace rs {
+
+// The rounding machinery of Section 3: publishing only coarse-grained,
+// sticky outputs is how both robustification frameworks limit the
+// information an adaptive adversary can extract from the algorithm.
+
+// [x]_eps (Section 3): the signed power of (1+eps) closest to x in
+// multiplicative terms; [0]_eps = 0, [-x]_eps = -[x]_eps. Always a
+// (1 + eps/2)-multiplicative approximation of x.
+double RoundToPowerOf1PlusEps(double x, double eps);
+
+// Stateful eps-rounding of a sequence (Definition 3.1 / Definition 3.7):
+// the published value is kept unchanged while it stays within a (1 +- eps)
+// factor of the incoming raw value, and is re-rounded to [.]_eps otherwise.
+// change_count() reports how many times the published value moved — the
+// quantity bounded by the flip number (Lemma 3.3).
+class EpsilonRounder {
+ public:
+  explicit EpsilonRounder(double eps);
+
+  // Feeds the next raw value; returns the published (rounded, sticky) value.
+  double Feed(double raw);
+
+  double current() const { return current_; }
+  size_t change_count() const { return changes_; }
+  bool started() const { return started_; }
+
+ private:
+  double eps_;
+  double current_ = 0.0;
+  size_t changes_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace rs
+
+#endif  // RS_CORE_ROUNDING_H_

@@ -1,0 +1,75 @@
+#include "rs/core/sketch_switching.h"
+
+#include <cmath>
+
+#include "rs/core/rounding.h"
+#include "rs/util/check.h"
+#include "rs/util/rng.h"
+
+namespace rs {
+
+size_t SketchSwitching::RingSizeForEpsilon(double eps, double growth_factor) {
+  RS_CHECK(eps > 0.0 && eps < 1.0);
+  RS_CHECK(growth_factor > 1.0);
+  const double r = std::log(growth_factor / eps) / std::log1p(eps / 2.0);
+  return std::max<size_t>(2, static_cast<size_t>(std::ceil(r)));
+}
+
+SketchSwitching::SketchSwitching(const Config& config,
+                                 EstimatorFactory factory, uint64_t seed)
+    : config_(config),
+      factory_(std::move(factory)),
+      seed_(seed),
+      published_(config.initial_output) {
+  RS_CHECK(config_.eps > 0.0 && config_.eps < 1.0);
+  RS_CHECK(config_.copies >= 2);
+  instances_.reserve(config_.copies);
+  for (size_t i = 0; i < config_.copies; ++i) {
+    instances_.push_back(factory_(SplitMix64(seed_ + ++spawn_count_)));
+  }
+}
+
+void SketchSwitching::Retire() {
+  if (config_.mode == PoolMode::kRing) {
+    // Theorem 4.1: restart the retired copy with fresh randomness on the
+    // remaining suffix of the stream, and move to the next copy in the ring.
+    instances_[active_] = factory_(SplitMix64(seed_ + ++spawn_count_));
+    active_ = (active_ + 1) % instances_.size();
+    return;
+  }
+  // Plain pool (Lemma 3.6): advance; flag exhaustion at the end.
+  if (active_ + 1 < instances_.size()) {
+    ++active_;
+  } else {
+    exhausted_ = true;
+  }
+}
+
+void SketchSwitching::Update(const rs::Update& u) {
+  // Every instance processes every update (Algorithm 1, line 6).
+  for (auto& inst : instances_) inst->Update(u);
+
+  const double y = instances_[active_]->Estimate();
+  // Gate (Algorithm 1, line 8): keep the published output while it is a
+  // (1 +- eps/2)-approximation of the active instance's estimate.
+  const double half = config_.eps / 2.0;
+  const double lo = y >= 0.0 ? (1.0 - half) * y : (1.0 + half) * y;
+  const double hi = y >= 0.0 ? (1.0 + half) * y : (1.0 - half) * y;
+  if (published_ >= lo && published_ <= hi) return;
+
+  // Publish the rounded estimate of the active copy, then retire it — its
+  // output (and hence part of its randomness) has now been revealed.
+  published_ = RoundToPowerOf1PlusEps(y, half);
+  ++switches_;
+  Retire();
+}
+
+double SketchSwitching::Estimate() const { return published_; }
+
+size_t SketchSwitching::SpaceBytes() const {
+  size_t total = sizeof(*this);
+  for (const auto& inst : instances_) total += inst->SpaceBytes();
+  return total;
+}
+
+}  // namespace rs

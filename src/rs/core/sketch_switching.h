@@ -1,0 +1,98 @@
+#ifndef RS_CORE_SKETCH_SWITCHING_H_
+#define RS_CORE_SKETCH_SWITCHING_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rs/sketch/estimator.h"
+
+namespace rs {
+
+// Sketch switching (Algorithm 1, Lemma 3.6) — the paper's first generic
+// robustification framework.
+//
+// The wrapper maintains `copies` independent instances of a static
+// (eps0, delta0)-strong-tracking estimator and publishes a sticky,
+// eps/2-rounded output g~. While g~ stays within a (1 +- eps/2) factor of
+// the *active* instance's estimate, nothing changes and no fresh randomness
+// is revealed to the adversary. When the gate fails, the published value is
+// re-rounded from the active instance, the instance is retired (its
+// randomness is now "spent": the adversary may correlate with it), and the
+// next instance becomes active.
+//
+// Two pool disciplines:
+//  * kPool (plain Lemma 3.6): `copies` = flip number lambda; if the pool is
+//    exhausted the wrapper keeps answering from the last copy and raises
+//    exhausted(). Required for non-monotone targets such as entropy.
+//  * kRing (Theorem 4.1 optimization): copies are cycled modularly and every
+//    retired copy is immediately restarted with fresh randomness on the
+//    stream suffix. By the time a copy is reused the tracked (monotone)
+//    quantity has grown by (1+eps/2)^{copies} >= growth_factor, so the
+//    missed prefix is a <= eps/growth-ish fraction of the current value and
+//    only Theta(eps^-1 log eps^-1) copies are ever needed.
+//
+// The wrapper is agnostic to which quantity g the base estimator tracks
+// (F0, Fp, 2^H, ...); the caller sizes `copies` from the appropriate flip
+// number (rs/core/flip_number.h) and chooses the discipline.
+class SketchSwitching : public Estimator {
+ public:
+  enum class PoolMode {
+    kPool,  // Fixed pool of `copies` instances (Lemma 3.6).
+    kRing,  // Modular cycling with suffix restarts (Theorem 4.1).
+  };
+
+  struct Config {
+    double eps = 0.1;          // Published output accuracy target.
+    size_t copies = 16;        // Pool/ring size.
+    PoolMode mode = PoolMode::kRing;
+    double initial_output = 0.0;  // g(zero vector).
+    std::string name = "SketchSwitching";
+  };
+
+  // Ring size sufficient for the Theorem 4.1 argument: smallest R with
+  // (1 + eps/2)^R >= growth_factor / eps (default growth 100, as in the
+  // paper's proof, giving a missed-prefix fraction <= eps/100).
+  static size_t RingSizeForEpsilon(double eps, double growth_factor = 100.0);
+
+  SketchSwitching(const Config& config, EstimatorFactory factory,
+                  uint64_t seed);
+
+  void Update(const rs::Update& u) override;
+
+  // The published output g~ — rounded and sticky; this is all the adversary
+  // ever observes.
+  double Estimate() const override;
+
+  size_t SpaceBytes() const override;
+  std::string Name() const override { return config_.name; }
+
+  // Number of times the published output changed (bounded by the flip
+  // number on correct executions — Lemma 3.3).
+  size_t switches() const { return switches_; }
+
+  // Pool mode only: true when more switches occurred than copies were
+  // provisioned for; the robustness guarantee no longer applies.
+  bool exhausted() const { return exhausted_; }
+
+  size_t copies() const { return instances_.size(); }
+  size_t active_index() const { return active_; }
+
+ private:
+  void Retire();
+
+  Config config_;
+  EstimatorFactory factory_;
+  uint64_t seed_;
+  uint64_t spawn_count_ = 0;
+  std::vector<std::unique_ptr<Estimator>> instances_;
+  size_t active_ = 0;
+  double published_;
+  size_t switches_ = 0;
+  bool exhausted_ = false;
+};
+
+}  // namespace rs
+
+#endif  // RS_CORE_SKETCH_SWITCHING_H_

@@ -1,0 +1,72 @@
+#include "rs/hash/chacha.h"
+
+#include "rs/util/rng.h"
+
+namespace rs {
+
+namespace {
+
+inline uint32_t Rotl32(uint32_t x, int k) { return (x << k) | (x >> (32 - k)); }
+
+inline void QuarterRound(uint32_t& a, uint32_t& b, uint32_t& c, uint32_t& d) {
+  a += b; d ^= a; d = Rotl32(d, 16);
+  c += d; b ^= c; b = Rotl32(b, 12);
+  a += b; d ^= a; d = Rotl32(d, 8);
+  c += d; b ^= c; b = Rotl32(b, 7);
+}
+
+// "expand 32-byte k"
+constexpr uint32_t kSigma[4] = {0x61707865, 0x3320646e, 0x79622d32,
+                                0x6b206574};
+
+}  // namespace
+
+ChaChaPrf::ChaChaPrf(uint64_t seed) {
+  // Key schedule for experiments: expand the seed through splitmix64. For a
+  // real deployment pass an externally generated 256-bit key instead.
+  uint64_t s = seed ^ 0x636861636861ULL;
+  for (int i = 0; i < 8; i += 2) {
+    s = SplitMix64(s);
+    key_[i] = static_cast<uint32_t>(s);
+    key_[i + 1] = static_cast<uint32_t>(s >> 32);
+  }
+}
+
+ChaChaPrf::ChaChaPrf(const std::array<uint32_t, 8>& key) : key_(key) {}
+
+void ChaChaPrf::Block(uint64_t hi, uint64_t lo, uint32_t out[16]) const {
+  uint32_t state[16];
+  state[0] = kSigma[0];
+  state[1] = kSigma[1];
+  state[2] = kSigma[2];
+  state[3] = kSigma[3];
+  for (int i = 0; i < 8; ++i) state[4 + i] = key_[i];
+  state[12] = static_cast<uint32_t>(lo);
+  state[13] = static_cast<uint32_t>(lo >> 32);
+  state[14] = static_cast<uint32_t>(hi);
+  state[15] = static_cast<uint32_t>(hi >> 32);
+
+  uint32_t x[16];
+  for (int i = 0; i < 16; ++i) x[i] = state[i];
+  for (int round = 0; round < 10; ++round) {  // 10 double rounds = ChaCha20.
+    QuarterRound(x[0], x[4], x[8], x[12]);
+    QuarterRound(x[1], x[5], x[9], x[13]);
+    QuarterRound(x[2], x[6], x[10], x[14]);
+    QuarterRound(x[3], x[7], x[11], x[15]);
+    QuarterRound(x[0], x[5], x[10], x[15]);
+    QuarterRound(x[1], x[6], x[11], x[12]);
+    QuarterRound(x[2], x[7], x[8], x[13]);
+    QuarterRound(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) out[i] = x[i] + state[i];
+}
+
+uint64_t ChaChaPrf::Eval(uint64_t x) const { return Eval2(0, x); }
+
+uint64_t ChaChaPrf::Eval2(uint64_t hi, uint64_t lo) const {
+  uint32_t block[16];
+  Block(hi, lo, block);
+  return (static_cast<uint64_t>(block[1]) << 32) | block[0];
+}
+
+}  // namespace rs

@@ -1,0 +1,69 @@
+#ifndef RS_HASH_CHACHA_H_
+#define RS_HASH_CHACHA_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace rs {
+
+// ChaCha20-based pseudorandom function.
+//
+// Theorem 10.1 of the paper replaces a random oracle with an exponentially
+// secure PRF (suggesting AES in practice). We provide ChaCha20 keyed with a
+// 256-bit secret as that concrete function: Eval(x) returns the first 64 bits
+// of the ChaCha20 block whose counter/nonce encode x. Each evaluation is one
+// 20-round block computation, no state is kept between calls, and the key is
+// the only stored secret (c log n bits in the theorem's accounting).
+class ChaChaPrf {
+ public:
+  // Derives a 256-bit key from a 64-bit seed (for reproducible experiments).
+  explicit ChaChaPrf(uint64_t seed);
+
+  // Uses an explicit 256-bit key.
+  explicit ChaChaPrf(const std::array<uint32_t, 8>& key);
+
+  // PRF evaluation at point x; output uniform-looking 64 bits.
+  uint64_t Eval(uint64_t x) const;
+
+  // PRF with a 128-bit input domain (used to key independent subfunctions,
+  // e.g. one per Feistel round or per sketch row).
+  uint64_t Eval2(uint64_t hi, uint64_t lo) const;
+
+  // Fills out[0..15] with the full 512-bit block for input x (used by the
+  // random oracle to serve long bit strings cheaply).
+  void Block(uint64_t hi, uint64_t lo, uint32_t out[16]) const;
+
+  static constexpr size_t SpaceBytes() { return 8 * sizeof(uint32_t); }
+
+ private:
+  std::array<uint32_t, 8> key_;
+};
+
+// Random oracle model (Section 2 of the paper): read-only access to an
+// arbitrarily long string of random bits, not charged to the algorithm's
+// space. Backed by ChaChaPrf in counter mode; Word(i) is the i-th 64-bit
+// word of the oracle string.
+class RandomOracle {
+ public:
+  explicit RandomOracle(uint64_t seed) : prf_(seed) {}
+
+  uint64_t Word(uint64_t index) const { return prf_.Eval(index); }
+
+  bool Bit(uint64_t index) const {
+    return (Word(index / 64) >> (index % 64)) & 1;
+  }
+
+  // A word from a named subdomain, so independent consumers can share one
+  // oracle without coordinating index ranges.
+  uint64_t Word2(uint64_t domain, uint64_t index) const {
+    return prf_.Eval2(domain, index);
+  }
+
+ private:
+  ChaChaPrf prf_;
+};
+
+}  // namespace rs
+
+#endif  // RS_HASH_CHACHA_H_

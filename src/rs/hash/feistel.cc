@@ -1,0 +1,27 @@
+#include "rs/hash/feistel.h"
+
+namespace rs {
+
+uint64_t FeistelPrp::Permute(uint64_t x) const {
+  uint32_t left = static_cast<uint32_t>(x >> 32);
+  uint32_t right = static_cast<uint32_t>(x);
+  for (int r = 0; r < kRounds; ++r) {
+    const uint32_t next_left = right;
+    right = left ^ RoundFn(r, right);
+    left = next_left;
+  }
+  return (static_cast<uint64_t>(left) << 32) | right;
+}
+
+uint64_t FeistelPrp::Inverse(uint64_t y) const {
+  uint32_t left = static_cast<uint32_t>(y >> 32);
+  uint32_t right = static_cast<uint32_t>(y);
+  for (int r = kRounds - 1; r >= 0; --r) {
+    const uint32_t prev_right = left;
+    left = right ^ RoundFn(r, left);
+    right = prev_right;
+  }
+  return (static_cast<uint64_t>(left) << 32) | right;
+}
+
+}  // namespace rs

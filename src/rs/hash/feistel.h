@@ -1,0 +1,44 @@
+#ifndef RS_HASH_FEISTEL_H_
+#define RS_HASH_FEISTEL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "rs/hash/chacha.h"
+
+namespace rs {
+
+// Keyed pseudorandom permutation on 64-bit values: a balanced Feistel
+// network over two 32-bit halves with ChaChaPrf round functions.
+//
+// Luby-Rackoff: four Feistel rounds with independent pseudorandom round
+// functions yield a strong PRP. We use six rounds for margin. This is the
+// "random permutation Pi" required by Theorem 10.1: the robust distinct
+// elements algorithm feeds Pi(x) instead of x into a duplicate-insensitive
+// F0 tracker. Pi is injective, so the number of distinct elements is
+// preserved exactly, and a computationally bounded adversary cannot
+// distinguish the induced identities from fresh random ones.
+class FeistelPrp {
+ public:
+  static constexpr int kRounds = 6;
+
+  explicit FeistelPrp(uint64_t key_seed) : prf_(key_seed) {}
+  explicit FeistelPrp(const ChaChaPrf& prf) : prf_(prf) {}
+
+  uint64_t Permute(uint64_t x) const;
+  uint64_t Inverse(uint64_t y) const;
+
+  static constexpr size_t SpaceBytes() { return ChaChaPrf::SpaceBytes(); }
+
+ private:
+  uint32_t RoundFn(int round, uint32_t half) const {
+    return static_cast<uint32_t>(
+        prf_.Eval2(static_cast<uint64_t>(round) + 1, half));
+  }
+
+  ChaChaPrf prf_;
+};
+
+}  // namespace rs
+
+#endif  // RS_HASH_FEISTEL_H_

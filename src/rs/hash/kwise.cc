@@ -1,0 +1,72 @@
+#include "rs/hash/kwise.h"
+
+#include "rs/util/check.h"
+#include "rs/util/rng.h"
+
+namespace rs {
+
+namespace {
+
+// Reduces a 128-bit product modulo p = 2^61 - 1. Because p is Mersenne,
+// x mod p == (x & p) + (x >> 61), applied until the value is < p.
+inline uint64_t Reduce128(unsigned __int128 x) {
+  constexpr uint64_t p = KWiseHash::kPrime;
+  uint64_t lo = static_cast<uint64_t>(x & p);
+  uint64_t hi = static_cast<uint64_t>(x >> 61);
+  uint64_t r = lo + (hi & p) + static_cast<uint64_t>(x >> 122);
+  // After one folding pass r < 2p + small; two conditional subtractions
+  // bring it into range.
+  if (r >= p) r -= p;
+  if (r >= p) r -= p;
+  return r;
+}
+
+}  // namespace
+
+uint64_t KWiseHash::MulMod(uint64_t a, uint64_t b) {
+  return Reduce128(static_cast<unsigned __int128>(a) * b);
+}
+
+uint64_t KWiseHash::AddMod(uint64_t a, uint64_t b) {
+  uint64_t r = a + b;  // a, b < 2^61, no overflow in 64 bits.
+  if (r >= kPrime) r -= kPrime;
+  return r;
+}
+
+KWiseHash::KWiseHash(size_t k, uint64_t seed) {
+  RS_CHECK(k >= 1);
+  coeffs_.resize(k);
+  Rng rng(SplitMix64(seed ^ 0x6b77697365ULL));
+  for (size_t i = 0; i < k; ++i) {
+    coeffs_[i] = rng.Below(kPrime);
+  }
+  // The leading coefficient of a degree-(k-1) polynomial must be nonzero for
+  // full k-wise independence (except k == 1, where any constant works).
+  if (k >= 2 && coeffs_[k - 1] == 0) coeffs_[k - 1] = 1;
+}
+
+uint64_t KWiseHash::operator()(uint64_t x) const {
+  const uint64_t xm = x % kPrime;
+  uint64_t acc = 0;
+  // Horner's rule: ((c_{k-1} x + c_{k-2}) x + ...) + c_0.
+  for (size_t i = coeffs_.size(); i-- > 0;) {
+    acc = AddMod(MulMod(acc, xm), coeffs_[i]);
+  }
+  return acc;
+}
+
+uint64_t KWiseHash::Range(uint64_t x, uint64_t range) const {
+  RS_DCHECK(range > 0);
+  const unsigned __int128 h = (*this)(x);
+  return static_cast<uint64_t>(h * range / kPrime);
+}
+
+double KWiseHash::Unit(uint64_t x) const {
+  return static_cast<double>((*this)(x)) / static_cast<double>(kPrime);
+}
+
+int KWiseHash::Sign(uint64_t x) const {
+  return ((*this)(x) & 1) ? 1 : -1;
+}
+
+}  // namespace rs

@@ -1,0 +1,52 @@
+#ifndef RS_HASH_KWISE_H_
+#define RS_HASH_KWISE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rs {
+
+// k-wise independent hash family via degree-(k-1) polynomials over the
+// Mersenne prime field F_p with p = 2^61 - 1 (Carter-Wegman).
+//
+// This is the hash family used by the paper's fast distinct-elements
+// algorithm (Section 5.1, Algorithm 2), which requires d-wise independence
+// with d = Theta(log log n + log 1/delta) to get Chernoff-style tail bounds
+// (Schmidt-Siegel-Srinivasan [35]).
+//
+// For any k distinct inputs, the k outputs are independent and uniform over
+// [0, 2^61 - 1). Evaluation is Horner's rule with fast Mersenne reduction.
+class KWiseHash {
+ public:
+  static constexpr uint64_t kPrime = (uint64_t{1} << 61) - 1;
+
+  // Draws a random degree-(k-1) polynomial, k >= 1, seeded deterministically.
+  KWiseHash(size_t k, uint64_t seed);
+
+  // Hash of x, uniform over [0, kPrime).
+  uint64_t operator()(uint64_t x) const;
+
+  // Hash scaled to [0, range) with negligible bias (range << 2^61).
+  uint64_t Range(uint64_t x, uint64_t range) const;
+
+  // Hash scaled to the unit interval [0, 1).
+  double Unit(uint64_t x) const;
+
+  // +1/-1 sign hash (least significant bit of the field value).
+  int Sign(uint64_t x) const;
+
+  size_t independence() const { return coeffs_.size(); }
+  size_t SpaceBytes() const { return coeffs_.size() * sizeof(uint64_t); }
+
+  // Modular arithmetic over F_p, exposed for tests.
+  static uint64_t MulMod(uint64_t a, uint64_t b);
+  static uint64_t AddMod(uint64_t a, uint64_t b);
+
+ private:
+  std::vector<uint64_t> coeffs_;  // c_0 ... c_{k-1}; hash(x) = sum c_i x^i.
+};
+
+}  // namespace rs
+
+#endif  // RS_HASH_KWISE_H_

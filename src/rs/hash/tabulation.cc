@@ -1,0 +1,14 @@
+#include "rs/hash/tabulation.h"
+
+#include "rs/util/rng.h"
+
+namespace rs {
+
+TabulationHash::TabulationHash(uint64_t seed) {
+  Rng rng(SplitMix64(seed ^ 0x746162756cULL));
+  for (auto& table : tables_) {
+    for (auto& entry : table) entry = rng.Next();
+  }
+}
+
+}  // namespace rs

@@ -1,0 +1,40 @@
+#ifndef RS_HASH_TABULATION_H_
+#define RS_HASH_TABULATION_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace rs {
+
+// Simple tabulation hashing on 64-bit keys: eight 256-entry tables of random
+// 64-bit words, one per input byte, XORed together. Tabulation hashing is
+// 3-wise independent and enjoys Chernoff-style concentration for many
+// applications (Patrascu-Thorup); we use it as the fast general-purpose
+// instance-private hash inside static sketches such as KMV.
+class TabulationHash {
+ public:
+  explicit TabulationHash(uint64_t seed);
+
+  uint64_t operator()(uint64_t x) const {
+    uint64_t h = 0;
+    for (int b = 0; b < 8; ++b) {
+      h ^= tables_[b][static_cast<uint8_t>(x >> (8 * b))];
+    }
+    return h;
+  }
+
+  // Hash scaled to the unit interval [0, 1).
+  double Unit(uint64_t x) const {
+    return static_cast<double>((*this)(x) >> 11) * 0x1.0p-53;
+  }
+
+  static constexpr size_t SpaceBytes() { return 8 * 256 * sizeof(uint64_t); }
+
+ private:
+  std::array<std::array<uint64_t, 256>, 8> tables_;
+};
+
+}  // namespace rs
+
+#endif  // RS_HASH_TABULATION_H_

@@ -1,0 +1,80 @@
+#include "rs/sketch/ams_f2.h"
+
+#include <cmath>
+
+#include "rs/util/check.h"
+#include "rs/util/rng.h"
+#include "rs/util/stats.h"
+
+namespace rs {
+
+AmsF2::AmsF2(const Config& config, uint64_t seed) {
+  RS_CHECK(config.eps > 0.0 && config.eps <= 1.0);
+  RS_CHECK(config.delta > 0.0 && config.delta < 1.0);
+  per_group_ = static_cast<size_t>(std::ceil(8.0 / (config.eps * config.eps)));
+  groups_ = static_cast<size_t>(
+      std::ceil(4.0 * std::log(1.0 / config.delta) / std::log(2.0)));
+  groups_ = std::max<size_t>(1, groups_ | 1);  // Odd for a clean median.
+  const size_t total = groups_ * per_group_;
+  counters_.assign(total, 0.0);
+  signs_.reserve(total);
+  for (size_t c = 0; c < total; ++c) {
+    signs_.emplace_back(4, SplitMix64(seed + 0x9e37 * (c + 1)));
+  }
+}
+
+void AmsF2::Update(const rs::Update& u) {
+  const double d = static_cast<double>(u.delta);
+  for (size_t c = 0; c < counters_.size(); ++c) {
+    counters_[c] += d * static_cast<double>(signs_[c].Sign(u.item));
+  }
+}
+
+double AmsF2::Estimate() const {
+  std::vector<double> group_means;
+  group_means.reserve(groups_);
+  for (size_t g = 0; g < groups_; ++g) {
+    double sum = 0.0;
+    for (size_t j = 0; j < per_group_; ++j) {
+      const double y = counters_[g * per_group_ + j];
+      sum += y * y;
+    }
+    group_means.push_back(sum / static_cast<double>(per_group_));
+  }
+  return Median(std::move(group_means));
+}
+
+size_t AmsF2::SpaceBytes() const {
+  size_t hash_bytes = 0;
+  for (const auto& h : signs_) hash_bytes += h.SpaceBytes();
+  return counters_.size() * sizeof(double) + hash_bytes;
+}
+
+AmsLinearSketch::AmsLinearSketch(size_t t, uint64_t seed)
+    : t_(t), prf_(seed), sketch_(t, 0.0) {
+  RS_CHECK(t >= 1);
+}
+
+int AmsLinearSketch::SignEntry(size_t row, uint64_t item) const {
+  return (prf_.Eval2(row, item) & 1) ? 1 : -1;
+}
+
+void AmsLinearSketch::Update(const rs::Update& u) {
+  const double scale =
+      static_cast<double>(u.delta) / std::sqrt(static_cast<double>(t_));
+  for (size_t j = 0; j < t_; ++j) {
+    sketch_[j] += scale * static_cast<double>(SignEntry(j, u.item));
+  }
+}
+
+double AmsLinearSketch::Estimate() const {
+  double sum = 0.0;
+  for (double y : sketch_) sum += y * y;
+  return sum;
+}
+
+size_t AmsLinearSketch::SpaceBytes() const {
+  return sketch_.size() * sizeof(double) + ChaChaPrf::SpaceBytes();
+}
+
+}  // namespace rs

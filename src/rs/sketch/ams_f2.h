@@ -1,0 +1,77 @@
+#ifndef RS_SKETCH_AMS_F2_H_
+#define RS_SKETCH_AMS_F2_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rs/hash/chacha.h"
+#include "rs/hash/kwise.h"
+#include "rs/sketch/estimator.h"
+
+namespace rs {
+
+// Alon-Matias-Szegedy F2 sketch [3], "tug of war", in its median-of-means
+// form: r groups of k counters, counter (g, j) maintains
+// y_{g,j} = sum_i s_{g,j}(i) f_i with 4-wise independent signs s. The group
+// estimate is the mean of the squared counters and the output is the median
+// over groups: k = O(1/eps^2) gives variance control, r = O(log 1/delta)
+// boosts the confidence.
+//
+// Linear sketch => supports turnstile updates. This is the static algorithm
+// the paper proves non-robust (Theorem 9.1); the attack targets the
+// AmsLinearSketch variant below, and Section 4's robust wrappers use this
+// class as a base F2 estimator.
+class AmsF2 : public Estimator {
+ public:
+  struct Config {
+    double eps = 0.1;
+    double delta = 0.05;
+  };
+
+  AmsF2(const Config& config, uint64_t seed);
+
+  void Update(const rs::Update& u) override;
+  double Estimate() const override;
+  size_t SpaceBytes() const override;
+  std::string Name() const override { return "AmsF2"; }
+
+  size_t rows() const { return groups_; }
+  size_t cols() const { return per_group_; }
+
+ private:
+  size_t groups_;     // r.
+  size_t per_group_;  // k.
+  std::vector<KWiseHash> signs_;  // One 4-wise sign hash per counter.
+  std::vector<double> counters_;
+};
+
+// The plain AMS sketch exactly as analyzed in Section 9 of the paper: a
+// t x n matrix S of i.i.d. +-(1/sqrt t) entries (full independence,
+// realized lazily through a PRF so no Omega(n) storage is needed), state
+// y = S f, and estimate ||Sf||_2^2. This is the sketch the adversary of
+// Algorithm 3 breaks. No median/mean boosting — the estimate is exposed raw,
+// as the attack requires visibility of each +-1-granularity move.
+class AmsLinearSketch : public Estimator {
+ public:
+  AmsLinearSketch(size_t t, uint64_t seed);
+
+  void Update(const rs::Update& u) override;
+  double Estimate() const override;  // ||Sf||^2 (t-normalized entries).
+  size_t SpaceBytes() const override;
+  std::string Name() const override { return "AmsLinearSketch"; }
+
+  size_t t() const { return t_; }
+
+  // Row j of the column S e_i (un-normalized sign): +-1.
+  int SignEntry(size_t row, uint64_t item) const;
+
+ private:
+  size_t t_;
+  ChaChaPrf prf_;              // Defines the i.i.d. matrix entries.
+  std::vector<double> sketch_;  // y = S f, with entries scaled by 1/sqrt(t).
+};
+
+}  // namespace rs
+
+#endif  // RS_SKETCH_AMS_F2_H_

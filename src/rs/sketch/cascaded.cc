@@ -1,0 +1,67 @@
+#include "rs/sketch/cascaded.h"
+
+#include <cmath>
+
+#include "rs/util/check.h"
+
+namespace rs {
+
+CascadedRowSample::CascadedRowSample(const Config& config, uint64_t seed)
+    : config_(config), hash_(seed) {
+  RS_CHECK(config_.p > 0.0);
+  RS_CHECK(config_.k > 0.0);
+  RS_CHECK(config_.rate > 0.0 && config_.rate <= 1.0);
+  RS_CHECK(config_.shape.cols >= 1);
+  if (config_.rate < 1.0) {
+    threshold_ = static_cast<uint64_t>(std::ldexp(config_.rate, 64));
+  }
+}
+
+bool CascadedRowSample::SampleRow(uint64_t row) const {
+  return config_.rate >= 1.0 || hash_(row) < threshold_;
+}
+
+void CascadedRowSample::Update(const rs::Update& u) {
+  RS_CHECK_MSG(!config_.insertion_only || u.delta > 0,
+               "negative delta on insertion_only CascadedRowSample");
+  const uint64_t row = config_.shape.Row(u.item);
+  if (!SampleRow(row)) return;
+
+  const double pk = config_.p / config_.k;
+  double& rk = rowk_[row];
+  const double rk_before = rk;
+
+  if (config_.k == 1.0 && config_.insertion_only) {
+    // Insertion-only L1 rows: |old + delta| - |old| == delta, no need to
+    // remember the entry value.
+    rk += static_cast<double>(u.delta);
+  } else {
+    int64_t& e = entries_[u.item];
+    const double before = std::pow(std::fabs(static_cast<double>(e)),
+                                   config_.k);
+    e += u.delta;
+    const double after = std::pow(std::fabs(static_cast<double>(e)),
+                                  config_.k);
+    if (e == 0) entries_.erase(u.item);
+    rk += after - before;
+  }
+  if (rk < 0.0) rk = 0.0;  // Guard tiny negative float residue.
+
+  total_ += std::pow(rk, pk) - std::pow(rk_before, pk);
+  if (rk == 0.0) rowk_.erase(row);
+  if (total_ < 0.0) total_ = 0.0;
+}
+
+double CascadedRowSample::Estimate() const { return total_ / config_.rate; }
+
+double CascadedRowSample::NormEstimate() const {
+  return std::pow(Estimate(), 1.0 / config_.p);
+}
+
+size_t CascadedRowSample::SpaceBytes() const {
+  const size_t node = sizeof(uint64_t) + sizeof(double) + 2 * sizeof(void*);
+  return TabulationHash::SpaceBytes() + sizeof(*this) +
+         rowk_.size() * node + entries_.size() * node;
+}
+
+}  // namespace rs

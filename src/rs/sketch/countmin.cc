@@ -1,0 +1,79 @@
+#include "rs/sketch/countmin.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rs/util/check.h"
+#include "rs/util/rng.h"
+
+namespace rs {
+
+CountMin::CountMin(const Config& config, uint64_t seed) {
+  RS_CHECK(config.eps > 0.0 && config.eps <= 1.0);
+  RS_CHECK(config.delta > 0.0 && config.delta < 1.0);
+  width_ = static_cast<size_t>(std::ceil(M_E / config.eps));
+  rows_ = std::max<size_t>(
+      2, static_cast<size_t>(std::ceil(std::log(1.0 / config.delta))));
+  heap_size_ = config.heap_size;
+  table_.assign(rows_ * width_, 0.0);
+  bucket_hashes_.reserve(rows_);
+  for (size_t j = 0; j < rows_; ++j) {
+    bucket_hashes_.emplace_back(2, SplitMix64(seed + 977 * j));
+  }
+}
+
+void CountMin::Update(const rs::Update& u) {
+  const double d = static_cast<double>(u.delta);
+  for (size_t j = 0; j < rows_; ++j) {
+    table_[j * width_ + bucket_hashes_[j].Range(u.item, width_)] += d;
+  }
+  f1_ += d;
+  const double est = PointQuery(u.item);
+  auto it = candidates_.find(u.item);
+  if (it != candidates_.end()) {
+    it->second = est;
+  } else {
+    candidates_.emplace(u.item, est);
+    if (candidates_.size() > heap_size_) {
+      auto min_it = candidates_.begin();
+      for (auto c = candidates_.begin(); c != candidates_.end(); ++c) {
+        if (c->second < min_it->second) min_it = c;
+      }
+      candidates_.erase(min_it);
+    }
+  }
+}
+
+double CountMin::PointQuery(uint64_t item) const {
+  double best = 0.0;
+  bool first = true;
+  for (size_t j = 0; j < rows_; ++j) {
+    const double c = table_[j * width_ + bucket_hashes_[j].Range(item, width_)];
+    if (first || c < best) {
+      best = c;
+      first = false;
+    }
+  }
+  return best;
+}
+
+std::vector<uint64_t> CountMin::HeavyHitters(double threshold) const {
+  std::vector<uint64_t> out;
+  for (const auto& [item, cached] : candidates_) {
+    if (PointQuery(item) >= threshold) out.push_back(item);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double CountMin::Estimate() const { return f1_; }
+
+size_t CountMin::SpaceBytes() const {
+  size_t hash_bytes = 0;
+  for (const auto& h : bucket_hashes_) hash_bytes += h.SpaceBytes();
+  const size_t cand = candidates_.size() * (sizeof(uint64_t) + sizeof(double) +
+                                            2 * sizeof(void*));
+  return table_.size() * sizeof(double) + hash_bytes + cand + sizeof(f1_);
+}
+
+}  // namespace rs

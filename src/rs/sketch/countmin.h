@@ -1,0 +1,55 @@
+#ifndef RS_SKETCH_COUNTMIN_H_
+#define RS_SKETCH_COUNTMIN_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rs/hash/kwise.h"
+#include "rs/sketch/estimator.h"
+
+namespace rs {
+
+// Count-Min sketch (Cormode-Muthukrishnan): r rows of w counters with
+// pairwise-independent bucket hashes; PointQuery is the row minimum, an
+// overestimate by at most (e/w) * F1 with probability 1 - e^-r per query.
+//
+// Included as the L1 companion to CountSketch: it powers the L1 heavy
+// hitters comparisons in the benchmark suite (the paper contrasts the
+// deterministic O(1/eps log n) L1 algorithm [32] with the much harder L2
+// guarantee in Section 6). Insertion-only point queries; supports
+// strict-turnstile deltas as well.
+class CountMin : public PointQueryEstimator {
+ public:
+  struct Config {
+    double eps = 0.01;    // Additive error eps * F1 (sets w = ceil(e/eps)).
+    double delta = 0.01;  // Per-query failure probability (sets r).
+    size_t heap_size = 64;
+  };
+
+  CountMin(const Config& config, uint64_t seed);
+
+  void Update(const rs::Update& u) override;
+  double Estimate() const override;  // F1 (exact count of inserted mass).
+  double PointQuery(uint64_t item) const override;
+  std::vector<uint64_t> HeavyHitters(double threshold) const override;
+  size_t SpaceBytes() const override;
+  std::string Name() const override { return "CountMin"; }
+
+  size_t rows() const { return rows_; }
+  size_t width() const { return width_; }
+
+ private:
+  size_t rows_;
+  size_t width_;
+  std::vector<KWiseHash> bucket_hashes_;
+  std::vector<double> table_;
+  double f1_ = 0.0;
+  size_t heap_size_;
+  std::unordered_map<uint64_t, double> candidates_;
+};
+
+}  // namespace rs
+
+#endif  // RS_SKETCH_COUNTMIN_H_

@@ -1,0 +1,100 @@
+#include "rs/sketch/countsketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rs/util/check.h"
+#include "rs/util/rng.h"
+#include "rs/util/stats.h"
+
+namespace rs {
+
+CountSketch::CountSketch(const Config& config, uint64_t seed) {
+  RS_CHECK(config.eps > 0.0 && config.eps <= 1.0);
+  RS_CHECK(config.delta > 0.0 && config.delta < 1.0);
+  width_ = static_cast<size_t>(std::ceil(6.0 / (config.eps * config.eps)));
+  rows_ = static_cast<size_t>(
+              std::ceil(3.0 * std::log(1.0 / config.delta) / std::log(2.0))) |
+          1;
+  rows_ = std::max<size_t>(3, rows_);
+  heap_size_ = config.heap_size;
+  table_.assign(rows_ * width_, 0.0);
+  bucket_hashes_.reserve(rows_);
+  sign_hashes_.reserve(rows_);
+  for (size_t j = 0; j < rows_; ++j) {
+    bucket_hashes_.emplace_back(2, SplitMix64(seed + 2 * j));
+    sign_hashes_.emplace_back(4, SplitMix64(seed + 2 * j + 1));
+  }
+}
+
+void CountSketch::Update(const rs::Update& u) {
+  const double d = static_cast<double>(u.delta);
+  for (size_t j = 0; j < rows_; ++j) {
+    const uint64_t b = bucket_hashes_[j].Range(u.item, width_);
+    table_[j * width_ + b] +=
+        d * static_cast<double>(sign_hashes_[j].Sign(u.item));
+  }
+  // Refresh the candidate set.
+  const double est = PointQuery(u.item);
+  auto it = candidates_.find(u.item);
+  if (it != candidates_.end()) {
+    it->second = est;
+  } else {
+    candidates_.emplace(u.item, est);
+    if (candidates_.size() > heap_size_) {
+      auto min_it = candidates_.begin();
+      for (auto c = candidates_.begin(); c != candidates_.end(); ++c) {
+        if (c->second < min_it->second) min_it = c;
+      }
+      candidates_.erase(min_it);
+    }
+  }
+}
+
+double CountSketch::PointQuery(uint64_t item) const {
+  std::vector<double> row_estimates;
+  row_estimates.reserve(rows_);
+  for (size_t j = 0; j < rows_; ++j) {
+    const uint64_t b = bucket_hashes_[j].Range(item, width_);
+    row_estimates.push_back(
+        table_[j * width_ + b] *
+        static_cast<double>(sign_hashes_[j].Sign(item)));
+  }
+  return Median(std::move(row_estimates));
+}
+
+std::vector<uint64_t> CountSketch::HeavyHitters(double threshold) const {
+  std::vector<uint64_t> out;
+  for (const auto& [item, cached] : candidates_) {
+    if (PointQuery(item) >= threshold) out.push_back(item);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double CountSketch::Estimate() const {
+  // Median over rows of the row energy sum_b C[j][b]^2 — an F2 estimator
+  // with the same guarantee shape as AMS.
+  std::vector<double> energies;
+  energies.reserve(rows_);
+  for (size_t j = 0; j < rows_; ++j) {
+    double e = 0.0;
+    for (size_t b = 0; b < width_; ++b) {
+      const double c = table_[j * width_ + b];
+      e += c * c;
+    }
+    energies.push_back(e);
+  }
+  return Median(std::move(energies));
+}
+
+size_t CountSketch::SpaceBytes() const {
+  size_t hash_bytes = 0;
+  for (const auto& h : bucket_hashes_) hash_bytes += h.SpaceBytes();
+  for (const auto& h : sign_hashes_) hash_bytes += h.SpaceBytes();
+  const size_t cand = candidates_.size() * (sizeof(uint64_t) + sizeof(double) +
+                                            2 * sizeof(void*));
+  return table_.size() * sizeof(double) + hash_bytes + cand;
+}
+
+}  // namespace rs

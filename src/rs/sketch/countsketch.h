@@ -1,0 +1,63 @@
+#ifndef RS_SKETCH_COUNTSKETCH_H_
+#define RS_SKETCH_COUNTSKETCH_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rs/hash/kwise.h"
+#include "rs/sketch/estimator.h"
+
+namespace rs {
+
+// CountSketch [10] — the static point-query / L2 heavy hitters algorithm
+// invoked by the paper as Lemma 6.4.
+//
+// r rows x w buckets; row j adds s_j(i) * delta to bucket b_j(i), with
+// pairwise bucket hashes and 4-wise sign hashes. PointQuery(i) is the median
+// over rows of s_j(i) * C[j][b_j(i)]; with w = O(1/eps^2), r = O(log(n/d)),
+// every coordinate satisfies |f_i - fhat_i| <= eps ||f||_2 at every step with
+// probability 1 - d (the (eps, delta) point query problem, Definition 6.2).
+//
+// For the heavy hitters *report* (Definition 6.1) the sketch keeps a
+// candidate set of the top-`heap_size` items by estimated frequency,
+// refreshed on every update touching them — the standard streaming top-k
+// companion structure. Estimate() returns the F2 estimate from the median
+// row energy (a convenience; the robust HH wrapper uses a dedicated robust
+// F2 tracker instead).
+class CountSketch : public PointQueryEstimator {
+ public:
+  struct Config {
+    double eps = 0.1;      // Point-query accuracy (sets w = O(1/eps^2)).
+    double delta = 0.01;   // Failure probability (sets r = O(log 1/delta)).
+    size_t heap_size = 64; // Candidate set capacity for HeavyHitters().
+  };
+
+  CountSketch(const Config& config, uint64_t seed);
+
+  void Update(const rs::Update& u) override;
+  double Estimate() const override;  // F2 estimate (median row energy).
+  double PointQuery(uint64_t item) const override;
+  std::vector<uint64_t> HeavyHitters(double threshold) const override;
+  size_t SpaceBytes() const override;
+  std::string Name() const override { return "CountSketch"; }
+
+  size_t rows() const { return rows_; }
+  size_t width() const { return width_; }
+
+ private:
+  size_t rows_;
+  size_t width_;
+  std::vector<KWiseHash> bucket_hashes_;  // Pairwise, one per row.
+  std::vector<KWiseHash> sign_hashes_;    // 4-wise, one per row.
+  std::vector<double> table_;             // rows_ x width_.
+  // Top candidates: item -> last point-query estimate.
+  size_t heap_size_;
+  std::unordered_map<uint64_t, double> candidates_;
+};
+
+}  // namespace rs
+
+#endif  // RS_SKETCH_COUNTSKETCH_H_

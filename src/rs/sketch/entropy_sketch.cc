@@ -1,0 +1,57 @@
+#include "rs/sketch/entropy_sketch.h"
+
+#include <cmath>
+
+#include "rs/sketch/stable.h"
+#include "rs/util/check.h"
+#include "rs/util/rng.h"
+
+namespace rs {
+
+EntropySketch::EntropySketch(const Config& config, uint64_t seed)
+    : random_oracle_model_(config.random_oracle_model), hash_(seed) {
+  RS_CHECK(config.eps > 0.0 && config.eps <= 2.0);
+  size_t k = config.k_override;
+  if (k == 0) {
+    k = static_cast<size_t>(std::ceil(24.0 / (config.eps * config.eps)));
+  }
+  counters_.assign(std::max<size_t>(k, 8), 0.0);
+}
+
+void EntropySketch::Update(const rs::Update& u) {
+  const StableSampleTable& table = StableSampleTable::SkewedOne();
+  const uint64_t item_hash = hash_(u.item);
+  const double d = static_cast<double>(u.delta);
+  for (size_t j = 0; j < counters_.size(); ++j) {
+    // One multiply-xor-shift mix per (item, row); the stable sample itself
+    // is a table load (see StableSampleTable).
+    counters_[j] += d * table.Lookup(SplitMix64(item_hash ^ (0xE47'0000ULL + j)));
+  }
+  f1_ += u.delta;
+}
+
+double EntropySketch::EntropyBits() const {
+  if (f1_ <= 0) return 0.0;
+  const double f1 = static_cast<double>(f1_);
+  double acc = 0.0;
+  for (double y : counters_) acc += std::exp(y / f1);
+  const double mean = acc / static_cast<double>(counters_.size());
+  if (mean <= 0.0) return 0.0;
+  const double h_nats = -(M_PI / 2.0) * std::log(mean);
+  // Entropy is non-negative; clamp small negative noise.
+  return std::max(0.0, h_nats / std::log(2.0));
+}
+
+double EntropySketch::Estimate() const {
+  return std::exp2(EntropyBits());
+}
+
+size_t EntropySketch::SpaceBytes() const {
+  // Random-oracle model: the hash randomness is read-only access to a free
+  // random string and is not charged (Lemma 7.5 / Theorem 7.3 accounting).
+  const size_t hash_bytes =
+      random_oracle_model_ ? 0 : TabulationHash::SpaceBytes();
+  return counters_.size() * sizeof(double) + hash_bytes + sizeof(f1_);
+}
+
+}  // namespace rs

@@ -1,0 +1,75 @@
+#ifndef RS_SKETCH_ENTROPY_SKETCH_H_
+#define RS_SKETCH_ENTROPY_SKETCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rs/hash/tabulation.h"
+#include "rs/sketch/estimator.h"
+
+namespace rs {
+
+// Clifford-Cosma entropy sketch [11]: k linear measurements
+// y_j = sum_i X_{j,i} f_i with X i.i.d. maximally-skewed 1-stable
+// (alpha = 1, beta = -1). By the stability law for alpha = 1, the drift of
+// the sum encodes sum_i p_i ln p_i, giving (for our CMS sampler, verified by
+// calibration tests)
+//   E[ exp(y_j / F1) ] = exp( -(2/pi) * H_nats ),
+// so H_nats = -(pi/2) * ln( (1/k) sum_j exp(y_j / F1) ).
+//
+// F1 is maintained exactly (one counter — exact in insertion-only and strict
+// turnstile streams). The sketch is linear in f, so deletions are supported
+// (this is the Lemma 7.4 strict-turnstile regime; Lemma 7.5's random-oracle
+// variant corresponds to dropping the stored hash tables from the space
+// accounting).
+//
+// Additive guarantee: Var(exp(y/F1)) is O(1) on the relevant range, so
+// k = O(1/eps^2) yields an eps-additive estimate of H in nats with constant
+// probability; boosting is done by medians of independent copies
+// (rs/sketch/tracking.h).
+//
+// Estimate() reports 2^{H_bits} — the *exponential* of the entropy — because
+// the robust wrappers (Theorem 7.3) operate on g(f) = 2^{H(f)}, whose
+// multiplicative (1 +- eps) approximation is exactly an additive
+// approximation of H (see the Remark before Proposition 7.1).
+// EntropyBits() reports H itself.
+class EntropySketch : public Estimator {
+ public:
+  struct Config {
+    double eps = 0.1;       // Target additive accuracy of H (sets k).
+    size_t k_override = 0;  // If nonzero, use exactly this many projections.
+    // Theorem 7.3 states two bounds: O(eps^-5 log^4 n) in the random oracle
+    // model and O(eps^-5 log^6 n) in the general model. The only difference
+    // on the sketch side is whether the stored hash tables are charged to
+    // the space bound — in the random-oracle model the algorithm has free
+    // read access to a long random string (Section 2). This flag switches
+    // SpaceBytes() accounting accordingly; the computation is identical.
+    bool random_oracle_model = false;
+  };
+
+  EntropySketch(const Config& config, uint64_t seed);
+
+  void Update(const rs::Update& u) override;
+
+  // 2^{estimated entropy in bits} (the quantity tracked by robust wrappers).
+  double Estimate() const override;
+
+  // Estimated empirical Shannon entropy, in bits.
+  double EntropyBits() const;
+
+  size_t SpaceBytes() const override;
+  std::string Name() const override { return "EntropySketch"; }
+
+  size_t k() const { return counters_.size(); }
+
+ private:
+  bool random_oracle_model_;
+  TabulationHash hash_;
+  std::vector<double> counters_;
+  int64_t f1_ = 0;
+};
+
+}  // namespace rs
+
+#endif  // RS_SKETCH_ENTROPY_SKETCH_H_

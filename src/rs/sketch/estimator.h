@@ -1,0 +1,68 @@
+#ifndef RS_SKETCH_ESTIMATOR_H_
+#define RS_SKETCH_ESTIMATOR_H_
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rs/stream/update.h"
+
+namespace rs {
+
+// Interface implemented by every streaming estimator in the library, static
+// (non-robust) and robust alike.
+//
+// The contract mirrors the tracking setting of the paper (Definition 2.1):
+// after each Update() the current Estimate() must approximate the target
+// quantity g(f^(t)) of the *current* frequency vector. Static sketches
+// provide this guarantee only for obliviously chosen streams; the wrappers in
+// rs/core upgrade it to the adversarial setting.
+class Estimator {
+ public:
+  virtual ~Estimator() = default;
+
+  // Processes one stream update.
+  virtual void Update(const rs::Update& u) = 0;
+
+  // Current estimate of the tracked quantity.
+  virtual double Estimate() const = 0;
+
+  // Actual memory footprint of the sketch state in bytes (counters, stored
+  // identities, hash seeds). Used by the Table 1 space benchmarks.
+  virtual size_t SpaceBytes() const = 0;
+
+  // Human-readable name for logs and benchmark tables.
+  virtual std::string Name() const = 0;
+};
+
+// Factory producing a fresh, independently seeded instance of an estimator.
+// The robust wrappers own factories rather than instances so that they can
+// (a) run many independent copies and (b) restart copies mid-stream with
+// fresh randomness (the Theorem 4.1 optimization).
+using EstimatorFactory =
+    std::function<std::unique_ptr<Estimator>(uint64_t seed)>;
+
+// Factory that additionally receives the failure probability delta to build
+// the instance with. Used by the computation-paths wrapper (Lemma 3.8),
+// which needs to instantiate the static algorithm at an extremely small,
+// computed delta.
+using DeltaEstimatorFactory =
+    std::function<std::unique_ptr<Estimator>(double delta, uint64_t seed)>;
+
+// Extension implemented by sketches that can answer per-item frequency
+// queries (CountSketch, CountMin, Misra-Gries) — the interface required by
+// the heavy hitters problem (Definitions 6.1 and 6.2).
+class PointQueryEstimator : public Estimator {
+ public:
+  // Estimate of f_i for a single coordinate.
+  virtual double PointQuery(uint64_t item) const = 0;
+
+  // All tracked candidates whose estimated frequency is >= threshold.
+  virtual std::vector<uint64_t> HeavyHitters(double threshold) const = 0;
+};
+
+}  // namespace rs
+
+#endif  // RS_SKETCH_ESTIMATOR_H_

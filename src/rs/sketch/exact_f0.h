@@ -1,0 +1,42 @@
+#ifndef RS_SKETCH_EXACT_F0_H_
+#define RS_SKETCH_EXACT_F0_H_
+
+#include <string>
+#include <unordered_set>
+
+#include "rs/sketch/estimator.h"
+
+namespace rs {
+
+// Exact distinct-element counting with a hash set. Linear space: this is the
+// Omega(n) deterministic baseline from Table 1 ([9] shows deterministic
+// sublinear F0 is impossible), used in benchmarks and as the exact phase of
+// composite algorithms.
+//
+// Insertion-only. Deletions are rejected by RS_CHECK in debug builds and
+// ignored otherwise (an item once seen stays counted), matching the model in
+// which this baseline is quoted.
+class ExactF0 : public Estimator {
+ public:
+  ExactF0() = default;
+
+  void Update(const rs::Update& u) override {
+    if (u.delta > 0) seen_.insert(u.item);
+  }
+  double Estimate() const override { return static_cast<double>(seen_.size()); }
+  size_t SpaceBytes() const override {
+    const size_t node = sizeof(uint64_t) + 2 * sizeof(void*);
+    return seen_.bucket_count() * sizeof(void*) + seen_.size() * node;
+  }
+  std::string Name() const override { return "ExactF0"; }
+
+  bool Contains(uint64_t item) const { return seen_.count(item) > 0; }
+  size_t Count() const { return seen_.size(); }
+
+ private:
+  std::unordered_set<uint64_t> seen_;
+};
+
+}  // namespace rs
+
+#endif  // RS_SKETCH_EXACT_F0_H_

@@ -1,0 +1,30 @@
+#ifndef RS_SKETCH_F1_COUNTER_H_
+#define RS_SKETCH_F1_COUNTER_H_
+
+#include <string>
+
+#include "rs/sketch/estimator.h"
+
+namespace rs {
+
+// Exact F1 = sum_t Delta_t in O(log n) bits — the trivial deterministic
+// insertion-only F1 algorithm noted in footnote 3 of the paper. Being
+// deterministic, it is inherently adversarially robust.
+class F1Counter : public Estimator {
+ public:
+  F1Counter() = default;
+
+  void Update(const rs::Update& u) override { sum_ += u.delta; }
+  double Estimate() const override { return static_cast<double>(sum_); }
+  size_t SpaceBytes() const override { return sizeof(sum_); }
+  std::string Name() const override { return "F1Counter"; }
+
+  int64_t Sum() const { return sum_; }
+
+ private:
+  int64_t sum_ = 0;
+};
+
+}  // namespace rs
+
+#endif  // RS_SKETCH_F1_COUNTER_H_

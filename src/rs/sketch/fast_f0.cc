@@ -1,0 +1,108 @@
+#include "rs/sketch/fast_f0.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rs/util/bits.h"
+#include "rs/util/check.h"
+
+namespace rs {
+
+namespace {
+
+size_t IndependenceFor(uint64_t n, double delta) {
+  // d = Theta(log log n + log 1/delta).
+  const double loglog =
+      std::log2(std::max(2.0, std::log2(static_cast<double>(n) + 2.0)));
+  const double logdelta = std::log2(1.0 / std::max(delta, 1e-300));
+  return static_cast<size_t>(std::ceil(2.0 * (loglog + logdelta))) + 2;
+}
+
+}  // namespace
+
+FastF0::FastF0(const Config& config, uint64_t seed)
+    : levels_(0),
+      hash_bits_(0),
+      capacity_b_(0),
+      threshold_(0),
+      hash_(IndependenceFor(config.n, config.delta), seed) {
+  RS_CHECK(config.eps > 0.0 && config.eps <= 1.0);
+  RS_CHECK(config.delta > 0.0 && config.delta < 1.0);
+  // l such that n^2 <= 2^l <= (prime field size); cap at 60 bits so Range()
+  // stays unbiased.
+  hash_bits_ = std::min(60, 2 * Log2Ceil(std::max<uint64_t>(config.n, 2)) + 2);
+  levels_ = hash_bits_;  // One list per level; deep levels stay empty.
+
+  const double loglog =
+      std::log2(std::max(2.0, std::log2(static_cast<double>(config.n) + 2.0)));
+  const double logdelta = std::log(1.0 / std::max(config.delta, 1e-300));
+  const double b = config.b_scale * (40.0 / (config.eps * config.eps)) *
+                   (loglog + logdelta) / 10.0;
+  capacity_b_ = std::max<size_t>(64, static_cast<size_t>(std::ceil(b)));
+  threshold_ = std::max<size_t>(8, capacity_b_ / 5);
+  exact_capacity_ = 4 * capacity_b_;
+
+  lists_.resize(levels_);
+  saturated_.assign(levels_, false);
+}
+
+int FastF0::LevelOf(uint64_t item) const {
+  const uint64_t range = uint64_t{1} << hash_bits_;
+  const uint64_t h = hash_.Range(item, range);
+  if (h == 0) return levels_ - 1;
+  // h in [2^{l-j-1}, 2^{l-j})  <=>  j = l - 1 - floor(log2 h).
+  const int j = hash_bits_ - 1 - Log2Floor(h);
+  return std::min(j, levels_ - 1);
+}
+
+void FastF0::Update(const rs::Update& u) {
+  if (u.delta <= 0) return;  // Insertion-only sketch.
+  if (exact_alive_) {
+    exact_.insert(u.item);
+    if (exact_.size() > exact_capacity_) {
+      exact_.clear();
+      exact_alive_ = false;
+    }
+  }
+  const int j = LevelOf(u.item);
+  if (saturated_[j]) return;
+  auto& list = lists_[j];
+  list.insert(u.item);
+  if (list.size() >= capacity_b_) {
+    // Saturated: delete the list and never write to it again (Algorithm 2,
+    // line 9).
+    list.clear();
+    std::unordered_set<uint64_t>().swap(lists_[j]);
+    saturated_[j] = true;
+  }
+}
+
+double FastF0::Estimate() const {
+  if (exact_alive_) return static_cast<double>(exact_.size());
+  // Deepest unsaturated list with at least B/5 entries.
+  for (int i = levels_ - 1; i >= 0; --i) {
+    if (!saturated_[i] && lists_[i].size() >= threshold_) {
+      return static_cast<double>(lists_[i].size()) *
+             std::pow(2.0, static_cast<double>(i + 1));
+    }
+  }
+  // No level qualifies (tiny F0 after exact phase ended — cannot happen for
+  // admissible parameters, but return the best available signal).
+  for (int i = 0; i < levels_; ++i) {
+    if (!saturated_[i] && !lists_[i].empty()) {
+      return static_cast<double>(lists_[i].size()) *
+             std::pow(2.0, static_cast<double>(i + 1));
+    }
+  }
+  return 0.0;
+}
+
+size_t FastF0::SpaceBytes() const {
+  const size_t node = sizeof(uint64_t) + 2 * sizeof(void*);
+  size_t total = hash_.SpaceBytes() + saturated_.size() / 8 + sizeof(*this);
+  for (const auto& list : lists_) total += list.size() * node;
+  total += exact_.size() * node;
+  return total;
+}
+
+}  // namespace rs

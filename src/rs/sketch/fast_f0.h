@@ -1,0 +1,72 @@
+#ifndef RS_SKETCH_FAST_F0_H_
+#define RS_SKETCH_FAST_F0_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "rs/hash/kwise.h"
+#include "rs/sketch/estimator.h"
+
+namespace rs {
+
+// The paper's fast distinct-elements estimator (Section 5.1, Algorithm 2,
+// Lemma 5.2).
+//
+// A d-wise independent hash H : [n] -> [2^l] (n^2 <= 2^l) assigns each item
+// to level j with probability 2^-(j+1) (H(a) in [2^{l-j-1}, 2^{l-j})). Level
+// j keeps a list L_j of up to B distinct item identities; a list that fills
+// up is deleted ("saturated") and never written again. At query time the
+// estimate is |L_i| * 2^{i+1} for the deepest list with |L_i| >= B/5.
+//
+// d = Theta(log log n + log 1/delta) yields Chernoff-style concentration for
+// every level at every time step (limited-independence tails, [35]), which
+// is what gives the algorithm its very small update-time dependence on delta
+// and makes it the right base algorithm for the computation-paths reduction
+// (Theorem 5.4 instantiates it with delta = n^-(1/eps) log n).
+//
+// As in the paper, the first Theta(B) distinct items are also tracked
+// exactly (deterministically), and the exact count is returned while it is
+// available; the level lists warm up in parallel.
+class FastF0 : public Estimator {
+ public:
+  struct Config {
+    double eps = 0.1;
+    double delta = 0.01;
+    uint64_t n = uint64_t{1} << 20;  // Domain size (sets l and t).
+    // Scale factor for the list capacity B; exposed for ablations.
+    double b_scale = 1.0;
+  };
+
+  FastF0(const Config& config, uint64_t seed);
+
+  void Update(const rs::Update& u) override;
+  double Estimate() const override;
+  size_t SpaceBytes() const override;
+  std::string Name() const override { return "FastF0"; }
+
+  size_t list_capacity() const { return capacity_b_; }
+  size_t independence() const { return hash_.independence(); }
+  int levels() const { return levels_; }
+
+ private:
+  int LevelOf(uint64_t item) const;
+
+  int levels_;           // t = Theta(log n) lists.
+  int hash_bits_;        // l with n^2 <= 2^l.
+  size_t capacity_b_;    // B.
+  size_t threshold_;     // B/5 query threshold.
+  KWiseHash hash_;       // d-wise independent.
+  std::vector<std::unordered_set<uint64_t>> lists_;
+  std::vector<bool> saturated_;
+  // Exact phase: first ~4B distinct items tracked exactly.
+  std::unordered_set<uint64_t> exact_;
+  size_t exact_capacity_;
+  bool exact_alive_ = true;
+};
+
+}  // namespace rs
+
+#endif  // RS_SKETCH_FAST_F0_H_

@@ -1,0 +1,34 @@
+#include "rs/sketch/hash_sample_mean.h"
+
+#include <cmath>
+
+#include "rs/util/check.h"
+
+namespace rs {
+
+HashSampleMean::HashSampleMean(const Config& config, uint64_t seed)
+    : hash_(seed) {
+  RS_CHECK(config.rate > 0.0 && config.rate <= 1.0);
+  const double scaled = std::ldexp(config.rate, 64);
+  threshold_ = scaled >= std::ldexp(1.0, 64) ? ~uint64_t{0}
+                                             : static_cast<uint64_t>(scaled);
+}
+
+void HashSampleMean::Update(const rs::Update& u) {
+  RS_CHECK_MSG(u.delta > 0, "HashSampleMean is insertion-only");
+  if (hash_(u.item) >= threshold_) return;
+  const uint64_t d = static_cast<uint64_t>(u.delta);
+  sampled_ += d;
+  if (u.item & 1) sampled_odd_ += d;
+}
+
+double HashSampleMean::Estimate() const {
+  if (sampled_ == 0) return 0.0;
+  return static_cast<double>(sampled_odd_) / static_cast<double>(sampled_);
+}
+
+size_t HashSampleMean::SpaceBytes() const {
+  return TabulationHash::SpaceBytes() + 3 * sizeof(uint64_t);
+}
+
+}  // namespace rs

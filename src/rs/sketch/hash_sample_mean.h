@@ -1,0 +1,61 @@
+#ifndef RS_SKETCH_HASH_SAMPLE_MEAN_H_
+#define RS_SKETCH_HASH_SAMPLE_MEAN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "rs/hash/tabulation.h"
+#include "rs/sketch/estimator.h"
+
+namespace rs {
+
+// Content-based ("hash") sampler for the odd-item mass fraction: a unit
+// insert of item i is kept iff hash(i) < rate * 2^64, and the estimate is the
+// odd fraction of the kept mass. This is the classic distinct/sticky-sampling
+// scheme used when a sample must be coordinated across streams or must pick
+// all-or-none of an item's occurrences.
+//
+// Static guarantee: each item is kept by an independent (3-wise) coin of bias
+// `rate`, so on an obliviously chosen stream the kept mass is an unbiased
+// sample and the estimate concentrates around the true odd fraction.
+//
+// Adversarial NON-guarantee (the [5]/[20] phenomenon this library's wrappers
+// exist to fix): whether an item is sampled is a fixed function of the hidden
+// hash, and the published estimate leaks it — insert a fresh item once and
+// watch whether the estimate moved. An adaptive adversary probes until it
+// finds an unsampled item and then routes arbitrary mass through it,
+// detaching the truth from the estimate completely. SampleEvasionAttack
+// (rs/adversary/generic_attacks.h) implements exactly this and the
+// robustness tests/benches use the pair as the canonical "static pass /
+// adaptive break" specimen. Contrast with ReservoirMean, whose *positional*
+// sampling self-corrects and survives the same interface (the positive
+// result of [5]).
+class HashSampleMean : public Estimator {
+ public:
+  struct Config {
+    double rate = 0.25;  // Sampling probability, in (0, 1].
+  };
+
+  HashSampleMean(const Config& config, uint64_t seed);
+
+  // Insertion-only: delta must be positive.
+  void Update(const rs::Update& u) override;
+
+  // Odd fraction of the sampled mass (0 if nothing sampled yet).
+  double Estimate() const override;
+
+  size_t SpaceBytes() const override;
+  std::string Name() const override { return "HashSampleMean"; }
+
+  uint64_t sampled_mass() const { return sampled_; }
+
+ private:
+  TabulationHash hash_;
+  uint64_t threshold_;  // Keep iff hash(item) < threshold_.
+  uint64_t sampled_ = 0;
+  uint64_t sampled_odd_ = 0;
+};
+
+}  // namespace rs
+
+#endif  // RS_SKETCH_HASH_SAMPLE_MEAN_H_

@@ -1,0 +1,74 @@
+#include "rs/sketch/highp_fp.h"
+
+#include <cmath>
+
+#include "rs/util/check.h"
+#include "rs/util/stats.h"
+
+namespace rs {
+
+HighpFp::HighpFp(const Config& config, uint64_t seed)
+    : p_(config.p), rng_(SplitMix64(seed ^ 0x4869507046ULL)) {
+  RS_CHECK(p_ > 2.0);
+  RS_CHECK(config.eps > 0.0 && config.eps <= 1.0);
+  s1_ = config.s1_override;
+  if (s1_ == 0) {
+    const double bound = 4.0 * p_ *
+                         std::pow(static_cast<double>(config.n),
+                                  1.0 - 1.0 / p_) /
+                         (config.eps * config.eps);
+    s1_ = std::max<size_t>(16, static_cast<size_t>(std::ceil(bound)));
+  }
+  s2_ = config.s2_override;
+  if (s2_ == 0) {
+    s2_ = std::max<size_t>(
+              1, static_cast<size_t>(
+                     std::ceil(2.0 * std::log(1.0 / config.delta)))) |
+          1;
+  }
+  samples_.assign(s1_ * s2_, Sample{});
+}
+
+void HighpFp::Update(const rs::Update& u) {
+  RS_CHECK_MSG(u.delta > 0, "HighpFp is insertion-only");
+  // Decompose the update into unit insertions (the AMS estimator is defined
+  // over unit streams).
+  for (int64_t rep = 0; rep < u.delta; ++rep) {
+    ++t_;
+    for (auto& s : samples_) {
+      // Reservoir: replace the sample with the current position w.p. 1/t.
+      if (rng_.Below(t_) == 0) {
+        s.item = u.item;
+        s.count = 0;  // Incremented below by the occurrence test.
+      }
+      if (s.item == u.item && s.count < UINT64_MAX) {
+        // Counts occurrences from the sampled position on (inclusive).
+        ++s.count;
+      }
+    }
+  }
+}
+
+double HighpFp::Estimate() const {
+  if (t_ == 0) return 0.0;
+  std::vector<double> group_means;
+  group_means.reserve(s2_);
+  const double t = static_cast<double>(t_);
+  for (size_t g = 0; g < s2_; ++g) {
+    double sum = 0.0;
+    for (size_t i = 0; i < s1_; ++i) {
+      const double r = static_cast<double>(samples_[g * s1_ + i].count);
+      if (r >= 1.0) {
+        sum += t * (std::pow(r, p_) - std::pow(r - 1.0, p_));
+      }
+    }
+    group_means.push_back(sum / static_cast<double>(s1_));
+  }
+  return Median(std::move(group_means));
+}
+
+size_t HighpFp::SpaceBytes() const {
+  return samples_.size() * sizeof(Sample) + sizeof(*this);
+}
+
+}  // namespace rs

@@ -1,0 +1,50 @@
+#include "rs/sketch/hll_f0.h"
+
+#include <cmath>
+
+#include "rs/util/bits.h"
+#include "rs/util/check.h"
+
+namespace rs {
+
+HllF0::HllF0(int b, uint64_t seed) : b_(b), hash_(seed) {
+  RS_CHECK(b >= 4 && b <= 20);
+  registers_.assign(size_t{1} << b, 0);
+}
+
+void HllF0::Update(const rs::Update& u) {
+  if (u.delta <= 0) return;  // Insertion-only sketch.
+  const uint64_t h = hash_(u.item);
+  const uint64_t idx = h >> (64 - b_);
+  const uint64_t rest = h << b_;
+  const uint8_t rank = static_cast<uint8_t>(
+      rest == 0 ? (64 - b_ + 1) : CountLeadingZeros64(rest) + 1);
+  if (rank > registers_[idx]) registers_[idx] = rank;
+}
+
+double HllF0::Estimate() const {
+  const double m = static_cast<double>(registers_.size());
+  double inv_sum = 0.0;
+  size_t zeros = 0;
+  for (uint8_t r : registers_) {
+    inv_sum += std::pow(2.0, -static_cast<double>(r));
+    if (r == 0) ++zeros;
+  }
+  const double alpha =
+      (registers_.size() == 16)   ? 0.673
+      : (registers_.size() == 32) ? 0.697
+      : (registers_.size() == 64) ? 0.709
+                                  : 0.7213 / (1.0 + 1.079 / m);
+  double estimate = alpha * m * m / inv_sum;
+  // Small-range correction: linear counting.
+  if (estimate <= 2.5 * m && zeros > 0) {
+    estimate = m * std::log(m / static_cast<double>(zeros));
+  }
+  return estimate;
+}
+
+size_t HllF0::SpaceBytes() const {
+  return registers_.size() * sizeof(uint8_t) + TabulationHash::SpaceBytes();
+}
+
+}  // namespace rs

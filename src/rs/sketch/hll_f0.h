@@ -1,0 +1,42 @@
+#ifndef RS_SKETCH_HLL_F0_H_
+#define RS_SKETCH_HLL_F0_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rs/hash/tabulation.h"
+#include "rs/sketch/estimator.h"
+
+namespace rs {
+
+// HyperLogLog distinct-elements estimator (Flajolet et al.): 2^b registers,
+// register r keeps the maximum leading-zero rank of hashes routed to it;
+// the harmonic-mean estimate has standard error ~1.04/sqrt(2^b).
+//
+// Included as the industry-standard comparison point for the F0 benchmarks
+// (log log n-bit registers; the DataSketches-style baseline) and to
+// demonstrate that the robustness wrappers are agnostic to which base F0
+// sketch they wrap. Duplicate-insensitive (register maxima), hence also
+// compatible with the Theorem 10.1 transformation.
+class HllF0 : public Estimator {
+ public:
+  // b in [4, 20]: number of index bits; 2^b registers.
+  HllF0(int b, uint64_t seed);
+
+  void Update(const rs::Update& u) override;
+  double Estimate() const override;
+  size_t SpaceBytes() const override;
+  std::string Name() const override { return "HllF0"; }
+
+  int b() const { return b_; }
+
+ private:
+  int b_;
+  TabulationHash hash_;
+  std::vector<uint8_t> registers_;
+};
+
+}  // namespace rs
+
+#endif  // RS_SKETCH_HLL_F0_H_

@@ -1,0 +1,56 @@
+#include "rs/sketch/kmv_f0.h"
+
+#include <cmath>
+
+#include "rs/util/check.h"
+
+namespace rs {
+
+size_t KmvF0::KForEpsilon(double eps) {
+  RS_CHECK(eps > 0.0 && eps <= 1.0);
+  return static_cast<size_t>(std::ceil(8.0 / (eps * eps)));
+}
+
+KmvF0::KmvF0(const Config& config, uint64_t seed)
+    : k_(config.k), hash_(8, seed) {
+  RS_CHECK(k_ >= 2);
+}
+
+void KmvF0::Update(const rs::Update& u) {
+  if (u.delta <= 0) return;  // Insertion-only sketch.
+  const uint64_t h = hash_(u.item);
+  if (members_.count(h)) return;  // Duplicate: state unchanged.
+  if (heap_.size() < k_) {
+    heap_.push(h);
+    members_.insert(h);
+    return;
+  }
+  if (h < heap_.top()) {
+    members_.erase(heap_.top());
+    heap_.pop();
+    heap_.push(h);
+    members_.insert(h);
+  }
+}
+
+double KmvF0::Estimate() const {
+  if (heap_.size() < k_) {
+    // Fewer than k distinct hashes seen: the count is exact (modulo hash
+    // collisions, which have probability O(F0^2 / 2^64)).
+    return static_cast<double>(heap_.size());
+  }
+  const double vk = static_cast<double>(heap_.top()) /
+                    static_cast<double>(KWiseHash::kPrime);
+  RS_DCHECK(vk > 0.0);
+  return (static_cast<double>(k_) - 1.0) / vk;
+}
+
+size_t KmvF0::SpaceBytes() const {
+  // Heap storage + membership set + hash coefficients (the sketch's random
+  // bits, charged per the paper's space accounting).
+  const size_t node = sizeof(uint64_t) + 2 * sizeof(void*);
+  return heap_.size() * sizeof(uint64_t) + members_.size() * node +
+         hash_.SpaceBytes();
+}
+
+}  // namespace rs

@@ -1,0 +1,60 @@
+#ifndef RS_SKETCH_KMV_F0_H_
+#define RS_SKETCH_KMV_F0_H_
+
+#include <cstdint>
+#include <queue>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "rs/hash/kwise.h"
+#include "rs/sketch/estimator.h"
+
+namespace rs {
+
+// KMV (k minimum values / bottom-k) distinct elements sketch.
+//
+// Each item is hashed to a 64-bit value; the sketch retains the k smallest
+// distinct hash values. With V_k the k-th smallest normalized hash, the
+// estimate (k-1)/V_k is within (1 +- eps) of F0 with constant probability for
+// k = O(1/eps^2); boosting to failure probability delta is done by
+// TrackingBooster (median of copies) or by enlarging k.
+//
+// This sketch is our stand-in for the optimal strong-tracking F0 algorithm
+// of [6] (Lemma 2.3): its estimate is a deterministic function of the set of
+// distinct items seen so far (order- and multiplicity-invariant), so a union
+// bound over the O(eps^-1 log n) distinct-count growth epochs turns the
+// per-point guarantee into strong tracking on any fixed stream.
+//
+// Crucially for Theorem 10.1, re-inserting an item that was already seen
+// never changes the state (with probability 1).
+class KmvF0 : public Estimator {
+ public:
+  struct Config {
+    size_t k = 256;  // Number of minimum values retained.
+  };
+
+  // Suggested k for a (1 +- eps) estimate with constant failure probability.
+  static size_t KForEpsilon(double eps);
+
+  KmvF0(const Config& config, uint64_t seed);
+
+  void Update(const rs::Update& u) override;
+  double Estimate() const override;
+  size_t SpaceBytes() const override;
+  std::string Name() const override { return "KmvF0"; }
+
+  size_t k() const { return k_; }
+
+ private:
+  size_t k_;
+  KWiseHash hash_;  // 8-wise; 64 bytes of state, O(1) evaluation.
+  // Max-heap of the k smallest hash values plus a membership set for O(1)
+  // duplicate detection.
+  std::priority_queue<uint64_t> heap_;
+  std::unordered_set<uint64_t> members_;
+};
+
+}  // namespace rs
+
+#endif  // RS_SKETCH_KMV_F0_H_

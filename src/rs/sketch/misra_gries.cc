@@ -1,0 +1,74 @@
+#include "rs/sketch/misra_gries.h"
+
+#include <algorithm>
+
+#include "rs/util/check.h"
+
+namespace rs {
+
+MisraGries::MisraGries(size_t k) : k_(k) { RS_CHECK(k >= 1); }
+
+void MisraGries::Update(const rs::Update& u) {
+  RS_CHECK_MSG(u.delta > 0, "MisraGries is insertion-only");
+  f1_ += u.delta;
+  int64_t remaining = u.delta;
+  auto it = counters_.find(u.item);
+  if (it != counters_.end()) {
+    it->second += remaining;
+    return;
+  }
+  while (remaining > 0) {
+    if (counters_.size() < k_) {
+      counters_[u.item] += remaining;
+      return;
+    }
+    // Decrement all counters by the largest amount that keeps them
+    // non-negative, bounded by the remaining new mass (batched version of
+    // the classical decrement step).
+    int64_t min_count = remaining;
+    for (const auto& [item, c] : counters_) min_count = std::min(min_count, c);
+    decrements_ += min_count;
+    remaining -= min_count;
+    for (auto c = counters_.begin(); c != counters_.end();) {
+      c->second -= min_count;
+      if (c->second == 0) {
+        c = counters_.erase(c);
+      } else {
+        ++c;
+      }
+    }
+    if (remaining > 0 && counters_.size() == k_) {
+      // All counters still positive: the new item's remaining mass is
+      // absorbed by the decrement accounting (classical MG drops it).
+      decrements_ += remaining;
+      return;
+    }
+  }
+}
+
+double MisraGries::PointQuery(uint64_t item) const {
+  auto it = counters_.find(item);
+  return it == counters_.end() ? 0.0 : static_cast<double>(it->second);
+}
+
+std::vector<uint64_t> MisraGries::HeavyHitters(double threshold) const {
+  std::vector<uint64_t> out;
+  for (const auto& [item, c] : counters_) {
+    if (static_cast<double>(c) >= threshold) out.push_back(item);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double MisraGries::Estimate() const { return static_cast<double>(f1_); }
+
+double MisraGries::ErrorBound() const {
+  return static_cast<double>(f1_) / static_cast<double>(k_ + 1);
+}
+
+size_t MisraGries::SpaceBytes() const {
+  const size_t node = sizeof(uint64_t) + sizeof(int64_t) + 2 * sizeof(void*);
+  return counters_.size() * node + sizeof(*this);
+}
+
+}  // namespace rs

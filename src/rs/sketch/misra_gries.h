@@ -1,0 +1,44 @@
+#ifndef RS_SKETCH_MISRA_GRIES_H_
+#define RS_SKETCH_MISRA_GRIES_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rs/sketch/estimator.h"
+
+namespace rs {
+
+// Misra-Gries deterministic frequent-items algorithm [32]: k counters give
+// every item an underestimate with error at most F1/(k+1). This is the
+// deterministic O((1/eps) log n)-space L1 heavy hitters algorithm cited in
+// Section 6 — being deterministic it is inherently adversarially robust, and
+// it anchors the deterministic column of the heavy hitters Table 1 row
+// (the L2 guarantee, by contrast, requires randomization: Omega(sqrt n)
+// deterministic lower bound [26]).
+class MisraGries : public PointQueryEstimator {
+ public:
+  explicit MisraGries(size_t k);
+
+  void Update(const rs::Update& u) override;
+  double Estimate() const override;  // F1 (exact sum of inserted mass).
+  double PointQuery(uint64_t item) const override;
+  std::vector<uint64_t> HeavyHitters(double threshold) const override;
+  size_t SpaceBytes() const override;
+  std::string Name() const override { return "MisraGries"; }
+
+  size_t k() const { return k_; }
+  // Guaranteed bound on the undercount of PointQuery.
+  double ErrorBound() const;
+
+ private:
+  size_t k_;
+  std::unordered_map<uint64_t, int64_t> counters_;
+  int64_t f1_ = 0;
+  int64_t decrements_ = 0;
+};
+
+}  // namespace rs
+
+#endif  // RS_SKETCH_MISRA_GRIES_H_

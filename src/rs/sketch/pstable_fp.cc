@@ -1,0 +1,52 @@
+#include "rs/sketch/pstable_fp.h"
+
+#include <cmath>
+
+#include "rs/sketch/stable.h"
+#include "rs/util/check.h"
+#include "rs/util/rng.h"
+#include "rs/util/stats.h"
+
+namespace rs {
+
+PStableFp::PStableFp(const Config& config, uint64_t seed)
+    : p_(config.p),
+      table_(&StableSampleTable::Symmetric(config.p)),
+      abs_median_(table_->AbsMedian()),
+      hash_(seed) {
+  RS_CHECK(p_ > 0.0 && p_ <= 2.0);
+  RS_CHECK(config.eps > 0.0 && config.eps <= 1.0);
+  size_t k = config.k_override;
+  if (k == 0) {
+    k = static_cast<size_t>(std::ceil(12.0 / (config.eps * config.eps)));
+  }
+  counters_.assign(std::max<size_t>(k, 3) | 1, 0.0);  // Odd => clean median.
+}
+
+void PStableFp::Update(const rs::Update& u) {
+  const uint64_t item_hash = hash_(u.item);
+  const double d = static_cast<double>(u.delta);
+  for (size_t j = 0; j < counters_.size(); ++j) {
+    // One multiply-xor-shift mix per (item, row); the stable sample itself
+    // is a table load (see StableSampleTable).
+    counters_[j] +=
+        d * table_->Lookup(SplitMix64(item_hash ^ (0xA5A5'0000ULL + j)));
+  }
+}
+
+double PStableFp::NormEstimate() const {
+  std::vector<double> abs_vals;
+  abs_vals.reserve(counters_.size());
+  for (double y : counters_) abs_vals.push_back(std::fabs(y));
+  return Median(std::move(abs_vals)) / abs_median_;
+}
+
+double PStableFp::Estimate() const {
+  return std::pow(NormEstimate(), p_);
+}
+
+size_t PStableFp::SpaceBytes() const {
+  return counters_.size() * sizeof(double) + TabulationHash::SpaceBytes();
+}
+
+}  // namespace rs

@@ -1,0 +1,37 @@
+#include "rs/sketch/reservoir_mean.h"
+
+#include "rs/util/check.h"
+
+namespace rs {
+
+ReservoirMean::ReservoirMean(size_t reservoir_size, uint64_t seed)
+    : reservoir_(reservoir_size, 0), rng_(SplitMix64(seed ^ 0x5e5eULL)) {
+  RS_CHECK(reservoir_size >= 1);
+}
+
+void ReservoirMean::Update(const rs::Update& u) {
+  RS_CHECK_MSG(u.delta > 0, "ReservoirMean is insertion-only");
+  for (int64_t rep = 0; rep < u.delta; ++rep) {
+    ++t_;
+    if (filled_ < reservoir_.size()) {
+      reservoir_[filled_++] = u.item;
+    } else {
+      // Classic reservoir step: keep the new element w.p. s/t.
+      const uint64_t slot = rng_.Below(t_);
+      if (slot < reservoir_.size()) reservoir_[slot] = u.item;
+    }
+  }
+}
+
+double ReservoirMean::Estimate() const {
+  if (filled_ == 0) return 0.0;
+  uint64_t ones = 0;
+  for (size_t i = 0; i < filled_; ++i) ones += reservoir_[i] & 1;
+  return static_cast<double>(ones) / static_cast<double>(filled_);
+}
+
+size_t ReservoirMean::SpaceBytes() const {
+  return reservoir_.size() * sizeof(uint64_t) + sizeof(*this);
+}
+
+}  // namespace rs

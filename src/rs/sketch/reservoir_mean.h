@@ -1,0 +1,44 @@
+#ifndef RS_SKETCH_RESERVOIR_MEAN_H_
+#define RS_SKETCH_RESERVOIR_MEAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rs/sketch/estimator.h"
+#include "rs/util/rng.h"
+
+namespace rs {
+
+// Uniform reservoir sampling of stream updates, publishing the mean of a
+// binary attribute of the sampled items (value(i) = i & 1).
+//
+// This is the canonical *sampling-based* static estimator: for an oblivious
+// stream, a reservoir of s = O(1/eps^2 log 1/delta) updates estimates the
+// attribute mean within eps. Ben-Eliezer and Yogev [5] showed that in the
+// adaptive setting plain uniform sampling fails — an adversary that watches
+// the published mean can steer the true mean away from the (stale, rarely
+// refreshed) sample. The MeanDriftAttack in rs/adversary/generic_attacks.h
+// breaks this sketch; the benchmark suite uses the pair as the motivating
+// example for why robustness needs more than sampling.
+class ReservoirMean : public Estimator {
+ public:
+  ReservoirMean(size_t reservoir_size, uint64_t seed);
+
+  void Update(const rs::Update& u) override;
+  double Estimate() const override;  // Mean of (item & 1) over the sample.
+  size_t SpaceBytes() const override;
+  std::string Name() const override { return "ReservoirMean"; }
+
+  size_t reservoir_size() const { return reservoir_.size(); }
+
+ private:
+  std::vector<uint64_t> reservoir_;
+  size_t filled_ = 0;
+  uint64_t t_ = 0;  // Unit updates seen.
+  Rng rng_;
+};
+
+}  // namespace rs
+
+#endif  // RS_SKETCH_RESERVOIR_MEAN_H_

@@ -1,0 +1,116 @@
+#include "rs/sketch/stable.h"
+
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "rs/util/check.h"
+#include "rs/util/rng.h"
+#include "rs/util/stats.h"
+
+namespace rs {
+
+double SymmetricStableSample(double alpha, double u, double w) {
+  RS_DCHECK(alpha > 0.0 && alpha <= 2.0);
+  RS_DCHECK(u > 0.0 && u < 1.0);
+  RS_DCHECK(w > 0.0);
+  const double theta = M_PI * (u - 0.5);
+  if (alpha == 1.0) return std::tan(theta);  // Cauchy.
+  if (alpha == 2.0) {
+    // CMS closed form at alpha = 2: X = 2 sqrt(w) sin(theta) ~ N(0, 2).
+    return 2.0 * std::sqrt(w) * std::sin(theta);
+  }
+  const double a = std::sin(alpha * theta) /
+                   std::pow(std::cos(theta), 1.0 / alpha);
+  const double b = std::pow(std::cos((1.0 - alpha) * theta) / w,
+                            (1.0 - alpha) / alpha);
+  return a * b;
+}
+
+double SkewedStableOneSample(double u, double w) {
+  RS_DCHECK(u > 0.0 && u < 1.0);
+  RS_DCHECK(w > 0.0);
+  const double theta = M_PI * (u - 0.5);
+  const double half_pi = M_PI / 2.0;
+  const double t1 = (half_pi - theta) * std::tan(theta);
+  const double t2 = std::log((half_pi * w * std::cos(theta)) /
+                             (half_pi - theta));
+  return (2.0 / M_PI) * (t1 + t2);
+}
+
+StableSampleTable::StableSampleTable(std::vector<double> samples)
+    : samples_(std::move(samples)) {
+  std::vector<double> abs_samples;
+  abs_samples.reserve(samples_.size());
+  for (double x : samples_) abs_samples.push_back(std::fabs(x));
+  abs_median_ = Median(std::move(abs_samples));
+}
+
+const StableSampleTable& StableSampleTable::Symmetric(double alpha) {
+  static std::mutex* mu = new std::mutex;
+  static std::map<long long, StableSampleTable*>* cache =
+      new std::map<long long, StableSampleTable*>;
+  const long long key = std::llround(alpha * 1e6);
+  {
+    std::lock_guard<std::mutex> lock(*mu);
+    auto it = cache->find(key);
+    if (it != cache->end()) return *it->second;
+  }
+  Rng rng(0x7AB1E'5000ULL + static_cast<uint64_t>(key));
+  std::vector<double> samples;
+  samples.reserve(kSize);
+  for (size_t i = 0; i < kSize; ++i) {
+    samples.push_back(SymmetricStableSample(alpha, rng.NextDoubleOpen(),
+                                            rng.NextExponential()));
+  }
+  auto* table = new StableSampleTable(std::move(samples));
+  std::lock_guard<std::mutex> lock(*mu);
+  auto [it, inserted] = cache->emplace(key, table);
+  if (!inserted) delete table;  // Lost a race; keep the first table.
+  return *it->second;
+}
+
+const StableSampleTable& StableSampleTable::SkewedOne() {
+  static const StableSampleTable* table = [] {
+    Rng rng(0x7AB1E'5BE7ULL);
+    std::vector<double> samples;
+    samples.reserve(kSize);
+    for (size_t i = 0; i < kSize; ++i) {
+      samples.push_back(
+          SkewedStableOneSample(rng.NextDoubleOpen(), rng.NextExponential()));
+    }
+    return new StableSampleTable(std::move(samples));
+  }();
+  return *table;
+}
+
+double SymmetricStableAbsMedian(double alpha) {
+  // Cache keyed by alpha rounded to 1e-6 (the sketches use a handful of
+  // fixed alphas). Function-local static pointer: trivially destructible per
+  // the style guide.
+  static std::mutex* mu = new std::mutex;
+  static std::map<long long, double>* cache = new std::map<long long, double>;
+  const long long key = std::llround(alpha * 1e6);
+  {
+    std::lock_guard<std::mutex> lock(*mu);
+    auto it = cache->find(key);
+    if (it != cache->end()) return it->second;
+  }
+  // Fixed-seed Monte-Carlo calibration; deterministic across runs.
+  Rng rng(0xCA11B'0000ULL + static_cast<uint64_t>(key));
+  constexpr int kSamples = 200001;
+  std::vector<double> abs_samples;
+  abs_samples.reserve(kSamples);
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = SymmetricStableSample(alpha, rng.NextDoubleOpen(),
+                                           rng.NextExponential());
+    abs_samples.push_back(std::fabs(x));
+  }
+  const double med = Median(std::move(abs_samples));
+  std::lock_guard<std::mutex> lock(*mu);
+  (*cache)[key] = med;
+  return med;
+}
+
+}  // namespace rs

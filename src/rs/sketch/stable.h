@@ -1,0 +1,86 @@
+#ifndef RS_SKETCH_STABLE_H_
+#define RS_SKETCH_STABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rs {
+
+// Samplers for alpha-stable distributions via the Chambers-Mallows-Stuck
+// (CMS) transform, the machinery behind Indyk-style Lp sketches (our
+// substitute for the strong Fp tracking algorithms of [7]/[27]) and the
+// maximally-skewed 1-stable entropy sketch ([11], used by Theorem 7.3).
+
+// Sample of a standard *symmetric* alpha-stable random variable
+// (beta = 0, scale 1), alpha in (0, 2]. Inputs are one uniform u in (0,1)
+// and one unit-rate exponential w.
+//   X = sin(alpha*theta)/cos(theta)^{1/alpha}
+//       * (cos((1-alpha)*theta)/w)^{(1-alpha)/alpha},   theta = pi(u - 1/2).
+// alpha = 1 reduces to the Cauchy tan(theta); alpha = 2 yields a centered
+// Gaussian (with variance 2 under this convention — absorbed by the
+// calibrated median below).
+double SymmetricStableSample(double alpha, double u, double w);
+
+// Sample of a *maximally left-skewed* 1-stable random variable
+// (alpha = 1, beta = -1) in the CMS parameterization:
+//   X = (2/pi) [ (pi/2 - theta) tan(theta)
+//                + ln( ((pi/2) w cos(theta)) / (pi/2 - theta) ) ].
+// Key property (verified by tests): for s in (0, 1],
+//   E[ exp(s X) ] = s^s = exp(s ln s),
+// which makes exp(y_j / F1) an unbiased estimator of exp(-H) for
+// y_j = sum_i f_i X_i (Clifford-Cosma entropy sketch).
+double SkewedStableOneSample(double u, double w);
+
+// Median of |X| for X standard symmetric alpha-stable, computed once per
+// alpha by Monte-Carlo calibration with a fixed seed and cached. This is the
+// normalization constant of the Indyk median estimator.
+double SymmetricStableAbsMedian(double alpha);
+
+// Fixed table of precomputed stable samples, generated once per law with a
+// fixed seed and shared process-wide. Indexing the table with a per-
+// (item, row) hash replaces the CMS transform (tan/log/pow per sample) with
+// one memory load on the sketch hot path — the difference between O(1) and
+// O(30) ns per counter, which dominates sketch-switching wrappers that run
+// dozens of copies with thousands of counters each.
+//
+// Statistically this draws i.i.d. from the *empirical* law of kSize true CMS
+// samples instead of the law itself. Every functional the estimators
+// calibrate against (the abs-median for Indyk sketches, E[exp(sX)] = s^s for
+// the entropy sketch) is perturbed by O(sqrt(Var/kSize)) < 0.5%, far inside
+// the estimators' eps budgets; calibration tests cover both samplers.
+// Sharing one table between instances is sound because instances index it
+// with independent hashes.
+class StableSampleTable {
+ public:
+  static constexpr size_t kSize = size_t{1} << 17;
+  static constexpr uint64_t kMask = kSize - 1;
+
+  // Process-wide table for the standard symmetric alpha-stable law
+  // (cached per alpha, keyed to 1e-6 resolution).
+  static const StableSampleTable& Symmetric(double alpha);
+
+  // Process-wide table for the maximally-skewed (beta = -1) 1-stable law
+  // used by the entropy sketch.
+  static const StableSampleTable& SkewedOne();
+
+  // Sample addressed by an (item, row) hash; callers pass an already-mixed
+  // 64-bit hash so consecutive rows do not alias.
+  double Lookup(uint64_t h) const { return samples_[h & kMask]; }
+
+  // Median of |X| under the table's own empirical law — the exact
+  // normalization constant for Indyk median estimators fed from this table.
+  double AbsMedian() const { return abs_median_; }
+
+  static constexpr size_t SpaceBytes() { return kSize * sizeof(double); }
+
+ private:
+  explicit StableSampleTable(std::vector<double> samples);
+
+  std::vector<double> samples_;
+  double abs_median_;
+};
+
+}  // namespace rs
+
+#endif  // RS_SKETCH_STABLE_H_

@@ -1,0 +1,61 @@
+#include "rs/sketch/tracking.h"
+
+#include <cmath>
+
+#include "rs/util/check.h"
+#include "rs/util/rng.h"
+#include "rs/util/stats.h"
+
+namespace rs {
+
+size_t TrackingBooster::CopiesForDelta(double delta_step) {
+  RS_CHECK(delta_step > 0.0 && delta_step < 1.0);
+  // Chernoff: median of r copies, each correct w.p. >= 3/4, fails with
+  // probability <= exp(-r/8); r = ceil(8 ln(1/delta)).
+  const double r = 8.0 * std::log(1.0 / delta_step);
+  return std::max<size_t>(1, static_cast<size_t>(std::ceil(r)) | 1);
+}
+
+size_t TrackingBooster::CopiesForTracking(double delta, uint64_t m,
+                                          double eps) {
+  RS_CHECK(delta > 0.0 && delta < 1.0);
+  RS_CHECK(eps > 0.0 && eps <= 1.0);
+  // Union bound over the O(eps^-1 log m) epochs at which a monotone target
+  // can change by a (1+eps) factor, rather than all m steps.
+  const double epochs =
+      std::max(1.0, std::log(static_cast<double>(m) + 1.0) / eps);
+  return CopiesForDelta(delta / epochs);
+}
+
+TrackingBooster::TrackingBooster(const EstimatorFactory& factory,
+                                 size_t copies, uint64_t seed) {
+  RS_CHECK(copies >= 1);
+  copies_.reserve(copies);
+  for (size_t i = 0; i < copies; ++i) {
+    copies_.push_back(factory(SplitMix64(seed + 0x7453 * (i + 1))));
+  }
+}
+
+void TrackingBooster::Update(const rs::Update& u) {
+  for (auto& c : copies_) c->Update(u);
+}
+
+double TrackingBooster::Estimate() const {
+  std::vector<double> estimates;
+  estimates.reserve(copies_.size());
+  for (const auto& c : copies_) estimates.push_back(c->Estimate());
+  return Median(std::move(estimates));
+}
+
+size_t TrackingBooster::SpaceBytes() const {
+  size_t total = 0;
+  for (const auto& c : copies_) total += c->SpaceBytes();
+  return total;
+}
+
+std::string TrackingBooster::Name() const {
+  return "TrackingBooster(" +
+         (copies_.empty() ? std::string("?") : copies_[0]->Name()) + ")";
+}
+
+}  // namespace rs

@@ -1,0 +1,50 @@
+#ifndef RS_SKETCH_TRACKING_H_
+#define RS_SKETCH_TRACKING_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rs/sketch/estimator.h"
+
+namespace rs {
+
+// Confidence boosting for static sketches: runs r independent copies of a
+// base estimator and reports the median estimate.
+//
+// This is the standard reduction the paper relies on when citing strong
+// tracking algorithms (Lemmas 2.2/2.3): a sketch with constant failure
+// probability per step becomes an (eps, delta)-strong tracking algorithm by
+// taking r = O(log(m/delta)) medians — the O(log n) "one-shot to tracking"
+// blow-up discussed in footnote 1. The computation-paths wrapper (Lemma 3.8)
+// instantiates this with very small delta, which is exactly where its
+// log(1/delta) space dependence comes from.
+class TrackingBooster : public Estimator {
+ public:
+  // Number of median copies for per-step failure delta_step (each copy is
+  // assumed to fail with probability <= 1/4 per step).
+  static size_t CopiesForDelta(double delta_step);
+
+  // Number of median copies for (eps, delta)-strong tracking over a stream
+  // of length m with lambda = O(eps^-1 log m) change epochs to union-bound
+  // over (monotone targets need only per-epoch correctness).
+  static size_t CopiesForTracking(double delta, uint64_t m, double eps);
+
+  TrackingBooster(const EstimatorFactory& factory, size_t copies,
+                  uint64_t seed);
+
+  void Update(const rs::Update& u) override;
+  double Estimate() const override;
+  size_t SpaceBytes() const override;
+  std::string Name() const override;
+
+  size_t copies() const { return copies_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Estimator>> copies_;
+};
+
+}  // namespace rs
+
+#endif  // RS_SKETCH_TRACKING_H_

@@ -1,0 +1,79 @@
+#include "rs/stream/exact_oracle.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace rs {
+
+void ExactOracle::Update(const rs::Update& u) {
+  int64_t& f = freq_[u.item];
+  const int64_t before = f;
+  f += u.delta;
+  if (before == 0 && f != 0) ++f0_;
+  if (before != 0 && f == 0) --f0_;
+  f1_ += u.delta;
+  f2_ += static_cast<double>(f) * static_cast<double>(f) -
+         static_cast<double>(before) * static_cast<double>(before);
+  const double abs_change = std::fabs(static_cast<double>(f)) -
+                            std::fabs(static_cast<double>(before));
+  abs_mass_ += abs_change;
+  if (u.item & 1) odd_abs_mass_ += abs_change;
+  abs_freq_[u.item] += static_cast<uint64_t>(std::llabs(u.delta));
+  if (f == 0) freq_.erase(u.item);
+}
+
+double ExactOracle::OddFraction() const {
+  return abs_mass_ <= 0.0 ? 0.0 : odd_abs_mass_ / abs_mass_;
+}
+
+double ExactOracle::Fp(double p) const {
+  if (p == 0.0) return static_cast<double>(f0_);
+  double sum = 0.0;
+  for (const auto& [item, f] : freq_) {
+    sum += std::pow(std::fabs(static_cast<double>(f)), p);
+  }
+  return sum;
+}
+
+double ExactOracle::Lp(double p) const {
+  if (p == 0.0) return static_cast<double>(f0_);
+  return std::pow(Fp(p), 1.0 / p);
+}
+
+double ExactOracle::L2() const { return std::sqrt(f2_); }
+
+double ExactOracle::EntropyBits() const {
+  double l1 = 0.0;
+  for (const auto& [item, f] : freq_) {
+    l1 += std::fabs(static_cast<double>(f));
+  }
+  if (l1 <= 0.0) return 0.0;
+  double h = 0.0;
+  for (const auto& [item, f] : freq_) {
+    const double p = std::fabs(static_cast<double>(f)) / l1;
+    if (p > 0.0) h -= p * std::log2(p);
+  }
+  return h;
+}
+
+int64_t ExactOracle::Frequency(uint64_t item) const {
+  auto it = freq_.find(item);
+  return it == freq_.end() ? 0 : it->second;
+}
+
+double ExactOracle::AbsStreamFp(double p) const {
+  double sum = 0.0;
+  for (const auto& [item, h] : abs_freq_) {
+    sum += std::pow(static_cast<double>(h), p);
+  }
+  return sum;
+}
+
+size_t ExactOracle::SpaceBytes() const {
+  // Hash map footprint approximation: bucket array + one node per entry.
+  const size_t node = sizeof(uint64_t) + sizeof(int64_t) + 2 * sizeof(void*);
+  return freq_.bucket_count() * sizeof(void*) + freq_.size() * node +
+         abs_freq_.bucket_count() * sizeof(void*) + abs_freq_.size() * node;
+}
+
+}  // namespace rs

@@ -1,0 +1,79 @@
+#ifndef RS_STREAM_EXACT_ORACLE_H_
+#define RS_STREAM_EXACT_ORACLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+#include "rs/stream/update.h"
+
+namespace rs {
+
+// Exact, linear-space maintenance of the frequency vector and its common
+// statistics. This is the ground-truth reference against which every sketch
+// and every robust wrapper is evaluated in tests and benchmarks, and it
+// doubles as the deterministic (Omega(n)-space) baseline in the Table 1
+// comparisons.
+//
+// Incremental state: F0 (distinct count), F1 (sum of |f_i| contributions for
+// insertion-only streams this equals sum of deltas), F2, and
+// sum_i f_i log f_i for entropy. Fp for general p is computed incrementally
+// as well via the |f_i|^p power sums.
+class ExactOracle {
+ public:
+  ExactOracle() = default;
+
+  void Update(const rs::Update& u);
+
+  // Number of non-zero coordinates ||f||_0.
+  uint64_t F0() const { return f0_; }
+
+  // sum_i f_i (== ||f||_1 for non-negative frequency vectors).
+  int64_t F1() const { return f1_; }
+
+  // sum_i f_i^2.
+  double F2() const { return f2_; }
+
+  // sum_i |f_i|^p. O(distinct) per call.
+  double Fp(double p) const;
+
+  // L_p norm (Fp^{1/p}).
+  double Lp(double p) const;
+
+  double L2() const;
+
+  // Empirical Shannon entropy in bits: -sum p_i log2 p_i, p_i = |f_i|/||f||_1.
+  // 0 for an empty stream.
+  double EntropyBits() const;
+
+  // Frequency of a single item (0 if absent).
+  int64_t Frequency(uint64_t item) const;
+
+  // Fraction of the absolute mass sum_i |f_i| carried by odd items.
+  // Maintained incrementally (O(1)) — the target of the sampling attacks.
+  double OddFraction() const;
+
+  // Sum over the "absolute value stream" h (Definition 8.1): h_i is the
+  // frequency the item would have if every delta were replaced by |delta|.
+  double AbsStreamFp(double p) const;
+
+  uint64_t distinct() const { return f0_; }
+  const std::unordered_map<uint64_t, int64_t>& frequencies() const {
+    return freq_;
+  }
+
+  size_t SpaceBytes() const;
+
+ private:
+  std::unordered_map<uint64_t, int64_t> freq_;
+  std::unordered_map<uint64_t, uint64_t> abs_freq_;  // For bounded-deletion.
+  uint64_t f0_ = 0;
+  int64_t f1_ = 0;
+  double f2_ = 0.0;
+  double abs_mass_ = 0.0;      // sum_i |f_i|.
+  double odd_abs_mass_ = 0.0;  // sum over odd i of |f_i|.
+};
+
+}  // namespace rs
+
+#endif  // RS_STREAM_EXACT_ORACLE_H_

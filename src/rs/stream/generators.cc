@@ -1,0 +1,204 @@
+#include "rs/stream/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "rs/util/check.h"
+#include "rs/util/rng.h"
+
+namespace rs {
+
+Stream UniformStream(uint64_t n, uint64_t m, uint64_t seed) {
+  RS_CHECK(n > 0);
+  Rng rng(seed);
+  Stream s;
+  s.reserve(m);
+  for (uint64_t t = 0; t < m; ++t) {
+    s.push_back({rng.Below(n), 1});
+  }
+  return s;
+}
+
+namespace {
+
+// Samples ranks from Zipf(s) over [n] by inverting the CDF with binary
+// search over precomputed cumulative weights (exact, O(log n) per sample).
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double s) : cdf_(n) {
+    double acc = 0.0;
+    for (uint64_t r = 0; r < n; ++r) {
+      acc += 1.0 / std::pow(static_cast<double>(r + 1), s);
+      cdf_[r] = acc;
+    }
+    total_ = acc;
+  }
+
+  uint64_t Sample(Rng& rng) const {
+    const double u = rng.NextDouble() * total_;
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<uint64_t>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+  double total_ = 0.0;
+};
+
+}  // namespace
+
+Stream ZipfStream(uint64_t n, uint64_t m, double s, uint64_t seed) {
+  RS_CHECK(n > 0);
+  ZipfSampler sampler(n, s);
+  Rng rng(seed);
+  // Permute rank -> item id with a cheap random bijection so the heavy items
+  // are seed-dependent. (Affine map over a power-of-two modulus.)
+  const uint64_t mask = ~uint64_t{0};
+  const uint64_t mult = SplitMix64(seed) | 1;  // Odd => bijection mod 2^64.
+  Stream out;
+  out.reserve(m);
+  for (uint64_t t = 0; t < m; ++t) {
+    const uint64_t rank = sampler.Sample(rng);
+    out.push_back({(rank * mult & mask) % n, 1});
+  }
+  return out;
+}
+
+Stream DistinctGrowthStream(uint64_t m) {
+  Stream s;
+  s.reserve(m);
+  for (uint64_t t = 0; t < m; ++t) s.push_back({t, 1});
+  return s;
+}
+
+std::vector<uint64_t> PlantedHeavyItems(uint64_t n, int k, uint64_t seed) {
+  Rng rng(SplitMix64(seed ^ 0x68656176ULL));
+  std::vector<uint64_t> items;
+  items.reserve(k);
+  for (int i = 0; i < k; ++i) items.push_back(rng.Below(n));
+  std::sort(items.begin(), items.end());
+  items.erase(std::unique(items.begin(), items.end()), items.end());
+  return items;
+}
+
+Stream PlantedHeavyHitterStream(uint64_t n, uint64_t m, int k,
+                                double heavy_fraction, uint64_t seed) {
+  RS_CHECK(heavy_fraction >= 0.0 && heavy_fraction <= 1.0);
+  const std::vector<uint64_t> heavies = PlantedHeavyItems(n, k, seed);
+  Rng rng(seed);
+  Stream s;
+  s.reserve(m);
+  for (uint64_t t = 0; t < m; ++t) {
+    if (!heavies.empty() && rng.Bernoulli(heavy_fraction)) {
+      s.push_back({heavies[rng.Below(heavies.size())], 1});
+    } else {
+      s.push_back({rng.Below(n), 1});
+    }
+  }
+  return s;
+}
+
+Stream TurnstileWaveStream(uint64_t n, uint64_t waves, uint64_t wave_width,
+                           uint64_t seed) {
+  Rng rng(seed);
+  Stream s;
+  s.reserve(2 * waves * wave_width);
+  for (uint64_t w = 0; w < waves; ++w) {
+    std::vector<uint64_t> items;
+    items.reserve(wave_width);
+    for (uint64_t i = 0; i < wave_width; ++i) items.push_back(rng.Below(n));
+    for (uint64_t item : items) s.push_back({item, 1});
+    for (uint64_t item : items) s.push_back({item, -1});
+  }
+  return s;
+}
+
+Stream BoundedDeletionStream(uint64_t n, uint64_t m, double alpha,
+                             uint64_t seed) {
+  RS_CHECK(alpha >= 1.0);
+  Rng rng(seed);
+  Stream s;
+  s.reserve(m);
+  // Insert blocks of fresh items, then delete as much of the block as the
+  // Definition 8.1 invariant F1 >= H1/alpha allows, checked against exactly
+  // tracked F1/H1 before every deletion. Maximal deletion drives the stream
+  // to the equilibrium H1 = alpha * F1, i.e. a (alpha-1)/(alpha+1) fraction
+  // of each block ends up deleted. alpha = 1 admits no deletions at all.
+  const uint64_t block = 64;
+  uint64_t next_item = 0;
+  int64_t f1 = 0;
+  uint64_t h1 = 0;
+  while (s.size() + 2 * block <= m) {
+    std::vector<uint64_t> items;
+    for (uint64_t i = 0; i < block; ++i) {
+      items.push_back(next_item++ % n);
+      s.push_back({items.back(), 1});
+      ++f1;
+      ++h1;
+    }
+    while (!items.empty() && static_cast<double>(f1 - 1) * alpha >=
+                                 static_cast<double>(h1 + 1)) {
+      const uint64_t idx = rng.Below(items.size());
+      s.push_back({items[idx], -1});
+      items.erase(items.begin() + static_cast<int64_t>(idx));
+      --f1;
+      ++h1;
+    }
+  }
+  return s;
+}
+
+Stream EntropyDriftStream(uint64_t n, uint64_t m, int phases, uint64_t seed) {
+  RS_CHECK(phases >= 1);
+  Rng rng(seed);
+  Stream s;
+  s.reserve(m);
+  const uint64_t phase_len = m / static_cast<uint64_t>(phases);
+  for (int ph = 0; ph < phases; ++ph) {
+    const bool uniform_phase = (ph % 2 == 0);
+    const uint64_t burst_item = rng.Below(n);
+    for (uint64_t t = 0; t < phase_len; ++t) {
+      if (uniform_phase) {
+        s.push_back({rng.Below(n), 1});
+      } else {
+        // Low-entropy phase: 90% of traffic is one item.
+        s.push_back({rng.Bernoulli(0.9) ? burst_item : rng.Below(n), 1});
+      }
+    }
+  }
+  return s;
+}
+
+Stream MatrixUniformStream(uint64_t rows, uint64_t cols, uint64_t m,
+                           uint64_t seed) {
+  Rng rng(seed);
+  Stream s;
+  s.reserve(m);
+  for (uint64_t t = 0; t < m; ++t) {
+    s.push_back({rng.Below(rows) * cols + rng.Below(cols), 1});
+  }
+  return s;
+}
+
+Stream MatrixRowBurstStream(uint64_t rows, uint64_t cols, uint64_t m,
+                            int hot_rows, double burst_fraction,
+                            uint64_t seed) {
+  RS_CHECK(hot_rows >= 1 && static_cast<uint64_t>(hot_rows) <= rows);
+  RS_CHECK(burst_fraction >= 0.0 && burst_fraction <= 1.0);
+  Rng rng(seed);
+  Stream s;
+  s.reserve(m);
+  for (uint64_t t = 0; t < m; ++t) {
+    uint64_t row;
+    if (rng.Bernoulli(burst_fraction)) {
+      row = rng.Below(static_cast<uint64_t>(hot_rows));
+    } else {
+      row = rng.Below(rows);
+    }
+    s.push_back({row * cols + rng.Below(cols), 1});
+  }
+  return s;
+}
+
+}  // namespace rs

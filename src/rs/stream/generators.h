@@ -1,0 +1,67 @@
+#ifndef RS_STREAM_GENERATORS_H_
+#define RS_STREAM_GENERATORS_H_
+
+#include <cstdint>
+
+#include "rs/stream/update.h"
+
+namespace rs {
+
+// Oblivious (non-adaptive) workload generators used by tests, examples and
+// the Table 1 benchmarks. Adaptive (adversarial) streams are produced by the
+// rs/adversary module instead — by definition they cannot be pregenerated.
+
+// m updates drawn uniformly from [n].
+Stream UniformStream(uint64_t n, uint64_t m, uint64_t seed);
+
+// m updates from a Zipf(s) distribution over [n] (item ranks permuted by the
+// seed so the heavy items are not always 0,1,2,...).
+Stream ZipfStream(uint64_t n, uint64_t m, double s, uint64_t seed);
+
+// Items 0,1,2,...,m-1 in order: the canonical worst case for the F0 flip
+// number (the distinct count grows at every step).
+Stream DistinctGrowthStream(uint64_t m);
+
+// Background uniform traffic over [n] with `k` planted heavy items, each
+// receiving `heavy_fraction` of the total mass (used for heavy hitter
+// benchmarks; the planted items are reported by PlantedHeavyItems).
+Stream PlantedHeavyHitterStream(uint64_t n, uint64_t m, int k,
+                                double heavy_fraction, uint64_t seed);
+std::vector<uint64_t> PlantedHeavyItems(uint64_t n, int k, uint64_t seed);
+
+// Turnstile stream of `waves` insert-then-delete waves: each wave inserts
+// `wave_width` distinct items then deletes them again. The Fp flip number of
+// the resulting stream is Theta(waves) for fixed epsilon: each wave drives
+// the moment up by a factor >= (1+eps) and back down.
+Stream TurnstileWaveStream(uint64_t n, uint64_t waves, uint64_t wave_width,
+                           uint64_t seed);
+
+// Alpha-bounded-deletion stream (Definition 8.1): unit inserts with
+// interleaved deletions such that F1 >= (1/alpha) * (insert mass) at every
+// prefix. Generated as repeated blocks: insert fresh unit items, then delete
+// as many of them as the invariant allows (an (alpha-1)/(alpha+1) fraction
+// at equilibrium; none for alpha = 1).
+Stream BoundedDeletionStream(uint64_t n, uint64_t m, double alpha,
+                             uint64_t seed);
+
+// Stream whose empirical entropy drifts: phases alternate between
+// near-uniform traffic (high entropy) and single-item bursts (low entropy).
+Stream EntropyDriftStream(uint64_t n, uint64_t m, int phases, uint64_t seed);
+
+// Matrix streams for cascaded norms (items encode (row, col) as
+// row * cols + col, see rs::MatrixShape). Uniform: m unit increments to
+// uniformly random coordinates.
+Stream MatrixUniformStream(uint64_t rows, uint64_t cols, uint64_t m,
+                           uint64_t seed);
+
+// Skewed matrix stream: a `burst_fraction` of the mass lands on a handful of
+// hot rows (round-robin over `hot_rows` of them), the rest is uniform — the
+// row-skew regime where cascaded norms with p != k separate from plain Fp of
+// the flattened matrix.
+Stream MatrixRowBurstStream(uint64_t rows, uint64_t cols, uint64_t m,
+                            int hot_rows, double burst_fraction,
+                            uint64_t seed);
+
+}  // namespace rs
+
+#endif  // RS_STREAM_GENERATORS_H_

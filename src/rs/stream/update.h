@@ -1,0 +1,40 @@
+#ifndef RS_STREAM_UPDATE_H_
+#define RS_STREAM_UPDATE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace rs {
+
+// A single stream update (a_t, Delta_t): add `delta` to coordinate `item` of
+// the frequency vector f in R^n (Section 2 of the paper). In the
+// insertion-only model delta > 0; in the turnstile model delta may be
+// negative.
+struct Update {
+  uint64_t item = 0;
+  int64_t delta = 1;
+};
+
+using Stream = std::vector<Update>;
+
+// The stream models studied by the paper.
+enum class StreamModel {
+  kInsertionOnly,   // delta_t > 0 for all t.
+  kTurnstile,       // arbitrary deltas; f may go negative.
+  kBoundedDeletion, // turnstile with the alpha-bounded-deletion property
+                    // (Definition 8.1).
+};
+
+// Global stream parameters (Section 2): the domain is [n], the stream has at
+// most m updates, and |f_i| <= M at every point in time, with
+// log(mM) = O(log n).
+struct StreamParams {
+  uint64_t n = 1 << 20;      // Domain size.
+  uint64_t m = 1 << 20;      // Maximum stream length.
+  uint64_t max_frequency = uint64_t{1} << 32;  // M.
+  StreamModel model = StreamModel::kInsertionOnly;
+};
+
+}  // namespace rs
+
+#endif  // RS_STREAM_UPDATE_H_

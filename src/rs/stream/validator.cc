@@ -1,0 +1,48 @@
+#include "rs/stream/validator.h"
+
+#include <cstdlib>
+
+namespace rs {
+
+bool StreamValidator::Accept(const Update& u) {
+  if (steps_ >= params_.m) {
+    error_ = "stream length limit m exceeded";
+    return false;
+  }
+  if (u.item >= params_.n) {
+    error_ = "item outside domain [n]";
+    return false;
+  }
+  if (u.delta == 0) {
+    error_ = "zero delta";
+    return false;
+  }
+  if (params_.model == StreamModel::kInsertionOnly && u.delta < 0) {
+    error_ = "negative delta in insertion-only stream";
+    return false;
+  }
+  const int64_t before = freq_[u.item];
+  const int64_t after = before + u.delta;
+  if (std::llabs(after) > static_cast<int64_t>(params_.max_frequency)) {
+    error_ = "|f_i| exceeds M";
+    freq_[u.item] = before;
+    return false;
+  }
+  if (params_.model == StreamModel::kBoundedDeletion) {
+    const int64_t f1_after = f1_ + u.delta;
+    const uint64_t h1_after = h1_ + static_cast<uint64_t>(std::llabs(u.delta));
+    if (static_cast<double>(f1_after) * alpha_ <
+        static_cast<double>(h1_after)) {
+      error_ = "alpha-bounded deletion property violated";
+      freq_[u.item] = before;
+      return false;
+    }
+  }
+  freq_[u.item] = after;
+  f1_ += u.delta;
+  h1_ += static_cast<uint64_t>(std::llabs(u.delta));
+  ++steps_;
+  return true;
+}
+
+}  // namespace rs

@@ -1,0 +1,45 @@
+#ifndef RS_STREAM_VALIDATOR_H_
+#define RS_STREAM_VALIDATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "rs/stream/update.h"
+
+namespace rs {
+
+// Enforces the stream-model constraints of Section 2 on a live stream:
+//  * insertion-only: delta > 0;
+//  * |f_i| <= M at all times;
+//  * alpha-bounded deletion (Definition 8.1) for p = 1: F1 >= (1/alpha) * H1
+//    where H1 is the absolute-value-stream mass.
+//
+// The adversarial game driver routes every adversary-chosen update through a
+// validator, mirroring the paper's convention that the adversary may choose
+// updates adaptively but only within the agreed model.
+class StreamValidator {
+ public:
+  explicit StreamValidator(const StreamParams& params, double alpha = 1.0)
+      : params_(params), alpha_(alpha) {}
+
+  // Returns true if `u` is admissible given the stream so far; if admissible,
+  // the update is recorded. On rejection, `error()` describes the violation.
+  bool Accept(const Update& u);
+
+  const std::string& error() const { return error_; }
+  uint64_t steps() const { return steps_; }
+
+ private:
+  StreamParams params_;
+  double alpha_;
+  std::unordered_map<uint64_t, int64_t> freq_;
+  int64_t f1_ = 0;
+  uint64_t h1_ = 0;  // Absolute-value-stream mass.
+  uint64_t steps_ = 0;
+  std::string error_;
+};
+
+}  // namespace rs
+
+#endif  // RS_STREAM_VALIDATOR_H_

@@ -1,0 +1,33 @@
+#ifndef RS_UTIL_BITS_H_
+#define RS_UTIL_BITS_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace rs {
+
+// Bit-manipulation helpers shared by the hashing and sketching layers.
+
+// Number of leading zero bits of x; 64 for x == 0.
+inline int CountLeadingZeros64(uint64_t x) { return std::countl_zero(x); }
+
+// floor(log2(x)) for x > 0.
+inline int Log2Floor(uint64_t x) { return 63 - std::countl_zero(x | 1); }
+
+// ceil(log2(x)) for x > 0; 0 for x == 1.
+inline int Log2Ceil(uint64_t x) {
+  const int f = Log2Floor(x);
+  return f + ((x & (x - 1)) != 0 ? 1 : 0);
+}
+
+// Smallest power of two >= x (x must be <= 2^63).
+inline uint64_t NextPow2(uint64_t x) {
+  if (x <= 1) return 1;
+  return uint64_t{1} << Log2Ceil(x);
+}
+
+inline bool IsPow2(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+}  // namespace rs
+
+#endif  // RS_UTIL_BITS_H_

@@ -1,0 +1,42 @@
+#ifndef RS_UTIL_CHECK_H_
+#define RS_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Lightweight invariant-checking macros (the project does not use exceptions).
+//
+// RS_CHECK(cond) aborts with a diagnostic if `cond` is false. It is always
+// enabled, including in release builds, and is reserved for invariants whose
+// violation would make further execution meaningless (e.g. a wrapper being fed
+// an update that violates the declared stream model).
+//
+// RS_DCHECK(cond) compiles away in NDEBUG builds.
+
+#define RS_CHECK(cond)                                                      \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "RS_CHECK failed: %s at %s:%d\n", #cond,         \
+                   __FILE__, __LINE__);                                     \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define RS_CHECK_MSG(cond, msg)                                             \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "RS_CHECK failed: %s (%s) at %s:%d\n", #cond,    \
+                   (msg), __FILE__, __LINE__);                              \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#ifdef NDEBUG
+#define RS_DCHECK(cond) \
+  do {                  \
+  } while (0)
+#else
+#define RS_DCHECK(cond) RS_CHECK(cond)
+#endif
+
+#endif  // RS_UTIL_CHECK_H_

@@ -1,0 +1,53 @@
+#ifndef RS_UTIL_RNG_H_
+#define RS_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace rs {
+
+// Mixes a 64-bit value through the splitmix64 finalizer. This is the seeding
+// primitive used throughout the library: it turns correlated seeds (e.g.
+// seed, seed+1, ...) into statistically independent-looking states.
+uint64_t SplitMix64(uint64_t x);
+
+// Deterministic pseudo-random generator (xoshiro256++). Every randomized
+// component of the library draws its randomness either from an explicit
+// hash-function object or from an Rng constructed from a caller-provided
+// 64-bit seed, so all experiments are reproducible.
+//
+// Not cryptographically secure; for adversarially hidden randomness see
+// rs::hash::ChaChaPrf.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform over all 64-bit values.
+  uint64_t Next();
+
+  // Uniform in [0, bound). bound must be > 0. Unbiased (rejection sampling).
+  uint64_t Below(uint64_t bound);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform double in (0, 1) — never returns exactly 0; safe for log().
+  double NextDoubleOpen();
+
+  // Standard normal via Box-Muller.
+  double NextGaussian();
+
+  // Exponential with rate 1.
+  double NextExponential();
+
+  // True with probability p.
+  bool Bernoulli(double p);
+
+ private:
+  uint64_t s_[4];
+  bool have_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace rs
+
+#endif  // RS_UTIL_RNG_H_

@@ -1,0 +1,68 @@
+#include "rs/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rs/util/check.h"
+
+namespace rs {
+
+double Median(std::vector<double> v) {
+  RS_CHECK(!v.empty());
+  const size_t n = v.size();
+  const size_t mid = n / 2;
+  std::nth_element(v.begin(), v.begin() + mid, v.end());
+  double hi = v[mid];
+  if (n % 2 == 1) return hi;
+  std::nth_element(v.begin(), v.begin() + mid - 1, v.begin() + mid);
+  return 0.5 * (v[mid - 1] + hi);
+}
+
+double Quantile(std::vector<double> v, double q) {
+  RS_CHECK(!v.empty());
+  RS_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(v.begin(), v.end());
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double Mean(const std::vector<double>& v) {
+  RS_CHECK(!v.empty());
+  double sum = 0.0;
+  for (double x : v) sum += x;
+  return sum / static_cast<double>(v.size());
+}
+
+double StdDev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double mu = Mean(v);
+  double ss = 0.0;
+  for (double x : v) ss += (x - mu) * (x - mu);
+  return std::sqrt(ss / static_cast<double>(v.size() - 1));
+}
+
+double MedianOfMeans(const std::vector<double>& v, size_t groups) {
+  RS_CHECK(groups >= 1 && groups <= v.size());
+  std::vector<double> means;
+  means.reserve(groups);
+  const size_t per = v.size() / groups;
+  for (size_t g = 0; g < groups; ++g) {
+    const size_t begin = g * per;
+    // The last group absorbs the remainder.
+    const size_t end = (g + 1 == groups) ? v.size() : begin + per;
+    double sum = 0.0;
+    for (size_t i = begin; i < end; ++i) sum += v[i];
+    means.push_back(sum / static_cast<double>(end - begin));
+  }
+  return Median(std::move(means));
+}
+
+double RelativeError(double estimate, double truth) {
+  if (truth == 0.0) return std::fabs(estimate);
+  return std::fabs(estimate - truth) / std::fabs(truth);
+}
+
+}  // namespace rs

@@ -1,0 +1,35 @@
+#ifndef RS_UTIL_STATS_H_
+#define RS_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace rs {
+
+// Order statistics and aggregation helpers used by median-boosted sketches
+// and by the benchmark harness.
+
+// Median of `v` (average of the two middle elements for even sizes).
+// `v` is taken by value because the computation needs a scratch copy.
+double Median(std::vector<double> v);
+
+// q-th quantile of `v` for q in [0, 1] (nearest-rank, linear interpolation).
+double Quantile(std::vector<double> v, double q);
+
+double Mean(const std::vector<double>& v);
+
+// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+double StdDev(const std::vector<double>& v);
+
+// Median-of-means: partition `v` into `groups` contiguous groups, average
+// each group, return the median of the group averages. Requires
+// 1 <= groups <= v.size().
+double MedianOfMeans(const std::vector<double>& v, size_t groups);
+
+// Relative error |estimate - truth| / |truth|; returns |estimate| when
+// truth == 0 (so exact zero estimates count as 0 error).
+double RelativeError(double estimate, double truth);
+
+}  // namespace rs
+
+#endif  // RS_UTIL_STATS_H_

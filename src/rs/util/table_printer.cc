@@ -1,0 +1,73 @@
+#include "rs/util/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "rs/util/check.h"
+
+namespace rs {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  RS_CHECK(!header_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  RS_CHECK(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::FmtInt(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  return buf;
+}
+
+std::string TablePrinter::FmtBytes(size_t bytes) {
+  char buf[64];
+  if (bytes < 16 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%zu B", bytes);
+  } else if (bytes < 16 * 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1f KiB",
+                  static_cast<double>(bytes) / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f MiB",
+                  static_cast<double>(bytes) / (1024.0 * 1024.0));
+  }
+  return buf;
+}
+
+void TablePrinter::Print(const std::string& title) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  size_t total = 1;
+  for (size_t w : widths) total += w + 3;
+
+  std::printf("\n%s\n", title.c_str());
+  std::printf("%s\n", std::string(total, '-').c_str());
+  auto print_row = [&](const std::vector<std::string>& row) {
+    std::printf("|");
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::printf(" %-*s |", static_cast<int>(widths[c]), row[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(header_);
+  std::printf("%s\n", std::string(total, '-').c_str());
+  for (const auto& row : rows_) print_row(row);
+  std::printf("%s\n", std::string(total, '-').c_str());
+}
+
+}  // namespace rs

@@ -1,0 +1,37 @@
+#ifndef RS_UTIL_TABLE_PRINTER_H_
+#define RS_UTIL_TABLE_PRINTER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace rs {
+
+// Renders fixed-width ASCII tables for the benchmark harness, so that every
+// bench binary prints rows in the same format as the paper's Table 1.
+//
+// Usage:
+//   TablePrinter t({"eps", "static bytes", "robust bytes", "ratio"});
+//   t.AddRow({"0.1", "1024", "53248", "52.0"});
+//   t.Print(title);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  // Formatting helpers for cells.
+  static std::string Fmt(double v, int precision = 3);
+  static std::string FmtInt(long long v);
+  static std::string FmtBytes(size_t bytes);
+
+  void Print(const std::string& title) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rs
+
+#endif  // RS_UTIL_TABLE_PRINTER_H_

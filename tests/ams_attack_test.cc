@@ -1,0 +1,126 @@
+#include "rs/adversary/ams_attack.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "rs/util/stats.h"
+
+#include "rs/adversary/game.h"
+#include "rs/core/robust_fp.h"
+#include "rs/sketch/ams_f2.h"
+
+namespace rs {
+namespace {
+
+GameOptions AttackOptions(uint64_t max_steps) {
+  GameOptions o;
+  o.max_steps = max_steps;
+  o.fail_eps = 0.5;  // Theorem 9.1: not even a (1 +- 1/2)-approximation.
+  o.params.n = 1 << 20;
+  o.params.m = 1 << 22;
+  o.params.max_frequency = uint64_t{1} << 32;
+  o.params.model = StreamModel::kInsertionOnly;
+  return o;
+}
+
+// Theorem 9.1: for every t, the attack forces ||Sf||^2 < ||f||^2 / 2 within
+// O(t) updates, with constant success probability. We run several trials per
+// t and require a strong majority of successes.
+TEST(AmsAttackTest, BreaksPlainAmsSketchAcrossWidths) {
+  for (size_t t : {16u, 64u, 256u}) {
+    int wins = 0;
+    const int trials = 10;
+    for (int trial = 0; trial < trials; ++trial) {
+      AmsLinearSketch sketch(t, 1000 + trial);
+      AmsAttackAdversary adversary(
+          {.t = t, .c = 8.0, .seed = static_cast<uint64_t>(trial)});
+      const auto result = RunGame(sketch, adversary, TruthF2(),
+                                  AttackOptions(400 * t + 4000));
+      wins += result.adversary_won;
+    }
+    EXPECT_GE(wins, 8) << "t = " << t;
+  }
+}
+
+TEST(AmsAttackTest, FailureArrivesWithinLinearUpdates) {
+  // The paper: O(t) updates suffice. Allow a generous constant.
+  const size_t t = 128;
+  uint64_t worst_failure_step = 0;
+  int wins = 0;
+  for (int trial = 0; trial < 8; ++trial) {
+    AmsLinearSketch sketch(t, 77 + trial);
+    AmsAttackAdversary adversary(
+        {.t = t, .c = 8.0, .seed = static_cast<uint64_t>(trial) + 50});
+    const auto result =
+        RunGame(sketch, adversary, TruthF2(), AttackOptions(600 * t));
+    if (result.adversary_won) {
+      ++wins;
+      worst_failure_step =
+          std::max(worst_failure_step, result.first_failure_step);
+    }
+  }
+  EXPECT_GE(wins, 6);
+  EXPECT_LE(worst_failure_step, 200 * t);
+}
+
+TEST(AmsAttackTest, EstimateIsPushedBelowTruth) {
+  // The attack drives the estimate *down* relative to the true norm.
+  const size_t t = 64;
+  AmsLinearSketch sketch(t, 5);
+  AmsAttackAdversary adversary({.t = t, .c = 8.0, .seed = 9});
+  const auto result =
+      RunGame(sketch, adversary, TruthF2(), AttackOptions(40000));
+  ASSERT_TRUE(result.adversary_won);
+  EXPECT_LT(result.final_estimate, result.final_truth);
+}
+
+TEST(AmsAttackTest, ObliviousStreamDoesNotBreakAms) {
+  // Control: the same sketch under an oblivious stream of the same length
+  // stays accurate — the breakage is adaptivity, not stream length.
+  const size_t t = 256;
+  AmsLinearSketch sketch(t, 11);
+  GameOptions options = AttackOptions(20000);
+  options.burn_in = 200;
+  ExactOracle oracle;
+  double max_err = 0.0;
+  uint64_t step = 0;
+  for (uint64_t i = 0; i < 20000; ++i) {
+    const rs::Update u{i % 1000, 1};
+    sketch.Update(u);
+    oracle.Update(u);
+    if (++step > 200) {
+      max_err =
+          std::max(max_err, RelativeError(sketch.Estimate(), oracle.F2()));
+    }
+  }
+  EXPECT_LE(max_err, 0.5);
+}
+
+TEST(AmsAttackTest, RobustF2SurvivesTheSameAdversary) {
+  // The headline contrast of the paper: sketch switching F2 under the
+  // identical adversary keeps (1 +- eps) accuracy. The adversary's feedback
+  // channel sees only rounded, sticky outputs, so its "undercounted item"
+  // inference collapses.
+  RobustFp::Config cfg;
+  cfg.p = 2.0;
+  cfg.eps = 0.4;
+  cfg.n = 1 << 20;
+  cfg.m = 1 << 20;
+  cfg.method = RobustFp::Method::kSketchSwitching;
+  int robust_losses = 0;
+  for (int trial = 0; trial < 3; ++trial) {
+    RobustFp robust(cfg, 300 + trial);
+    AmsAttackAdversary adversary(
+        {.t = 64, .c = 8.0, .seed = static_cast<uint64_t>(trial) + 70});
+    GameOptions options = AttackOptions(4000);
+    options.burn_in = 64;  // Let the spike land first.
+    const auto result = RunGame(robust, adversary, TruthF2(), options);
+    robust_losses += result.adversary_won;
+  }
+  EXPECT_EQ(robust_losses, 0);
+}
+
+}  // namespace
+}  // namespace rs

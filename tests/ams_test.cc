@@ -1,0 +1,111 @@
+#include "rs/sketch/ams_f2.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "rs/stream/exact_oracle.h"
+#include "rs/stream/generators.h"
+#include "rs/util/stats.h"
+
+namespace rs {
+namespace {
+
+TEST(AmsF2Test, SingleItemExactSquare) {
+  AmsF2 ams({.eps = 0.2, .delta = 0.05}, 1);
+  ams.Update({7, 10});
+  // One item: every counter is (+-10)^2 = 100 after squaring.
+  EXPECT_NEAR(ams.Estimate(), 100.0, 1e-9);
+}
+
+TEST(AmsF2Test, AccuracyOnUniformStream) {
+  const uint64_t n = 1 << 12, m = 20000;
+  std::vector<double> errors;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    AmsF2 ams({.eps = 0.1, .delta = 0.05}, seed * 13 + 1);
+    ExactOracle oracle;
+    for (const auto& u : UniformStream(n, m, seed + 100)) {
+      ams.Update(u);
+      oracle.Update(u);
+    }
+    errors.push_back(RelativeError(ams.Estimate(), oracle.F2()));
+  }
+  EXPECT_LE(Median(errors), 0.1);
+}
+
+TEST(AmsF2Test, AccuracyOnSkewedStream) {
+  const uint64_t n = 1 << 12, m = 20000;
+  AmsF2 ams({.eps = 0.1, .delta = 0.05}, 77);
+  ExactOracle oracle;
+  for (const auto& u : ZipfStream(n, m, 1.3, 5)) {
+    ams.Update(u);
+    oracle.Update(u);
+  }
+  EXPECT_NEAR(ams.Estimate(), oracle.F2(), 0.15 * oracle.F2());
+}
+
+TEST(AmsF2Test, TurnstileDeletionsSupported) {
+  AmsF2 ams({.eps = 0.15, .delta = 0.05}, 3);
+  ExactOracle oracle;
+  for (const auto& u : TurnstileWaveStream(1 << 10, 5, 100, 9)) {
+    ams.Update(u);
+    oracle.Update(u);
+  }
+  // Net-zero stream: estimate returns to ~0.
+  EXPECT_NEAR(ams.Estimate(), 0.0, 1.0);
+}
+
+TEST(AmsF2Test, SpaceGrowsWithPrecision) {
+  AmsF2 coarse({.eps = 0.4, .delta = 0.1}, 1);
+  AmsF2 fine({.eps = 0.1, .delta = 0.1}, 1);
+  EXPECT_GT(fine.SpaceBytes(), coarse.SpaceBytes());
+  EXPECT_GT(fine.cols(), coarse.cols());
+}
+
+TEST(AmsLinearTest, EstimateTracksF2Obliviously) {
+  // The raw ||Sf||^2 estimate is unbiased; with t = 1024 rows the relative
+  // error on an oblivious stream is a few percent.
+  AmsLinearSketch sketch(1024, 5);
+  ExactOracle oracle;
+  for (const auto& u : UniformStream(1 << 10, 20000, 11)) {
+    sketch.Update(u);
+    oracle.Update(u);
+  }
+  EXPECT_NEAR(sketch.Estimate(), oracle.F2(), 0.2 * oracle.F2());
+}
+
+TEST(AmsLinearTest, SignsAreDeterministicPerSeed) {
+  AmsLinearSketch a(16, 9), b(16, 9);
+  for (size_t row = 0; row < 16; ++row) {
+    for (uint64_t item = 0; item < 50; ++item) {
+      EXPECT_EQ(a.SignEntry(row, item), b.SignEntry(row, item));
+    }
+  }
+}
+
+TEST(AmsLinearTest, SignsBalanced) {
+  AmsLinearSketch sketch(8, 21);
+  int64_t sum = 0;
+  for (size_t row = 0; row < 8; ++row) {
+    for (uint64_t item = 0; item < 4000; ++item) {
+      sum += sketch.SignEntry(row, item);
+    }
+  }
+  EXPECT_LT(std::llabs(sum), 1200);
+}
+
+TEST(AmsLinearTest, SingleUpdateEnergy) {
+  // ||S e_i delta||^2 = delta^2 exactly (column norm is 1 after the 1/sqrt t
+  // scaling).
+  AmsLinearSketch sketch(64, 2);
+  sketch.Update({5, 3});
+  EXPECT_NEAR(sketch.Estimate(), 9.0, 1e-9);
+}
+
+TEST(AmsLinearTest, SpaceLinearInRows) {
+  AmsLinearSketch small(64, 1), large(256, 1);
+  EXPECT_GT(large.SpaceBytes(), 3 * small.SpaceBytes() / 2);
+}
+
+}  // namespace
+}  // namespace rs

@@ -1,0 +1,48 @@
+#include "rs/util/bits.h"
+
+#include <gtest/gtest.h>
+
+namespace rs {
+namespace {
+
+TEST(BitsTest, CountLeadingZeros) {
+  EXPECT_EQ(CountLeadingZeros64(0), 64);
+  EXPECT_EQ(CountLeadingZeros64(1), 63);
+  EXPECT_EQ(CountLeadingZeros64(uint64_t{1} << 63), 0);
+  EXPECT_EQ(CountLeadingZeros64(0xFF), 56);
+}
+
+TEST(BitsTest, Log2Floor) {
+  EXPECT_EQ(Log2Floor(1), 0);
+  EXPECT_EQ(Log2Floor(2), 1);
+  EXPECT_EQ(Log2Floor(3), 1);
+  EXPECT_EQ(Log2Floor(4), 2);
+  EXPECT_EQ(Log2Floor((uint64_t{1} << 40) + 17), 40);
+}
+
+TEST(BitsTest, Log2Ceil) {
+  EXPECT_EQ(Log2Ceil(1), 0);
+  EXPECT_EQ(Log2Ceil(2), 1);
+  EXPECT_EQ(Log2Ceil(3), 2);
+  EXPECT_EQ(Log2Ceil(4), 2);
+  EXPECT_EQ(Log2Ceil(5), 3);
+  EXPECT_EQ(Log2Ceil((uint64_t{1} << 30) + 1), 31);
+}
+
+TEST(BitsTest, NextPow2) {
+  EXPECT_EQ(NextPow2(0), 1u);
+  EXPECT_EQ(NextPow2(1), 1u);
+  EXPECT_EQ(NextPow2(2), 2u);
+  EXPECT_EQ(NextPow2(3), 4u);
+  EXPECT_EQ(NextPow2(1000), 1024u);
+}
+
+TEST(BitsTest, IsPow2) {
+  EXPECT_FALSE(IsPow2(0));
+  EXPECT_TRUE(IsPow2(1));
+  EXPECT_TRUE(IsPow2(64));
+  EXPECT_FALSE(IsPow2(65));
+}
+
+}  // namespace
+}  // namespace rs

@@ -1,0 +1,220 @@
+#include "rs/sketch/cascaded.h"
+
+#include <cmath>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rs/stream/exact_oracle.h"
+#include "rs/stream/generators.h"
+#include "rs/util/rng.h"
+#include "rs/util/stats.h"
+
+namespace rs {
+namespace {
+
+// Brute-force (p,k)-moment from a dense map of matrix entries.
+double BruteMoment(const std::map<std::pair<uint64_t, uint64_t>, int64_t>& a,
+                   double p, double k, const MatrixShape& shape) {
+  std::map<uint64_t, double> rowk;
+  for (const auto& [coord, v] : a) {
+    (void)shape;
+    rowk[coord.first] +=
+        std::pow(std::fabs(static_cast<double>(v)), k);
+  }
+  double total = 0.0;
+  for (const auto& [row, rk] : rowk) total += std::pow(rk, p / k);
+  return total;
+}
+
+TEST(MatrixShapeTest, EncodeDecodeRoundTrip) {
+  MatrixShape shape{.rows = 37, .cols = 53};
+  for (uint64_t r = 0; r < shape.rows; r += 5) {
+    for (uint64_t c = 0; c < shape.cols; c += 7) {
+      const uint64_t item = shape.Encode(r, c);
+      EXPECT_EQ(shape.Row(item), r);
+      EXPECT_EQ(shape.Col(item), c);
+    }
+  }
+}
+
+class CascadedExactTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(CascadedExactTest, MatchesBruteForceOnRandomMatrix) {
+  const auto [p, k] = GetParam();
+  MatrixShape shape{.rows = 16, .cols = 16};
+  CascadedRowSample::Config cfg;
+  cfg.p = p;
+  cfg.k = k;
+  cfg.shape = shape;
+  cfg.rate = 1.0;  // Exact.
+  CascadedRowSample sketch(cfg, 1);
+
+  std::map<std::pair<uint64_t, uint64_t>, int64_t> dense;
+  Rng rng(77);
+  for (int t = 0; t < 2000; ++t) {
+    const uint64_t r = rng.Below(shape.rows);
+    const uint64_t c = rng.Below(shape.cols);
+    const int64_t d = 1 + static_cast<int64_t>(rng.Below(3));
+    sketch.Update({shape.Encode(r, c), d});
+    dense[{r, c}] += d;
+    if (t % 250 == 0) {
+      EXPECT_NEAR(sketch.Estimate(), BruteMoment(dense, p, k, shape),
+                  1e-6 * std::max(1.0, BruteMoment(dense, p, k, shape)))
+          << "p=" << p << " k=" << k << " t=" << t;
+    }
+  }
+  EXPECT_NEAR(sketch.Estimate(), BruteMoment(dense, p, k, shape),
+              1e-6 * BruteMoment(dense, p, k, shape));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ExponentGrid, CascadedExactTest,
+    ::testing::Values(std::make_tuple(1.0, 1.0), std::make_tuple(2.0, 1.0),
+                      std::make_tuple(1.0, 2.0), std::make_tuple(2.0, 2.0),
+                      std::make_tuple(3.0, 1.5), std::make_tuple(0.5, 1.0),
+                      std::make_tuple(2.0, 0.5)));
+
+TEST(CascadedRowSampleTest, PPEqualsFlattenedFp) {
+  // (p, p) cascades collapse to the plain Fp moment of the flattened
+  // matrix: sum_i (sum_j |A_ij|^p)^{p/p} = sum_{ij} |A_ij|^p.
+  MatrixShape shape{.rows = 32, .cols = 32};
+  for (double p : {1.0, 2.0}) {
+    CascadedRowSample::Config cfg;
+    cfg.p = p;
+    cfg.k = p;
+    cfg.shape = shape;
+    cfg.rate = 1.0;
+    CascadedRowSample sketch(cfg, 3);
+    ExactOracle flat;
+    for (const auto& u : MatrixUniformStream(32, 32, 5000, 9)) {
+      sketch.Update(u);
+      flat.Update(u);
+    }
+    EXPECT_NEAR(sketch.Estimate(), flat.Fp(p), 1e-6 * flat.Fp(p))
+        << "p = " << p;
+  }
+}
+
+TEST(CascadedRowSampleTest, TurnstileEntriesCancel) {
+  MatrixShape shape{.rows = 8, .cols = 8};
+  CascadedRowSample::Config cfg;
+  cfg.p = 2.0;
+  cfg.k = 2.0;
+  cfg.shape = shape;
+  cfg.rate = 1.0;
+  cfg.insertion_only = false;
+  CascadedRowSample sketch(cfg, 5);
+  sketch.Update({shape.Encode(1, 2), 5});
+  sketch.Update({shape.Encode(3, 4), 7});
+  sketch.Update({shape.Encode(1, 2), -5});
+  sketch.Update({shape.Encode(3, 4), -7});
+  EXPECT_NEAR(sketch.Estimate(), 0.0, 1e-9);
+  EXPECT_EQ(sketch.sampled_rows(), 0u);
+}
+
+TEST(CascadedRowSampleTest, RowSamplingIsUnbiasedAcrossSeeds) {
+  // Mean over many independent row samples concentrates on the exact moment.
+  MatrixShape shape{.rows = 256, .cols = 16};
+  CascadedRowSample::Config exact_cfg;
+  exact_cfg.p = 2.0;
+  exact_cfg.k = 1.0;
+  exact_cfg.shape = shape;
+  exact_cfg.rate = 1.0;
+  CascadedRowSample exact(exact_cfg, 1);
+  const Stream stream = MatrixUniformStream(256, 16, 30000, 13);
+  for (const auto& u : stream) exact.Update(u);
+
+  std::vector<double> estimates;
+  for (uint64_t seed = 0; seed < 24; ++seed) {
+    CascadedRowSample::Config cfg = exact_cfg;
+    cfg.rate = 0.25;
+    CascadedRowSample sampled(cfg, 1000 + seed);
+    for (const auto& u : stream) sampled.Update(u);
+    estimates.push_back(sampled.Estimate());
+  }
+  EXPECT_NEAR(Mean(estimates), exact.Estimate(), 0.1 * exact.Estimate());
+}
+
+TEST(CascadedRowSampleTest, SampledSpaceSmallerThanExact) {
+  // Rows must be numerous enough that per-row state dominates the fixed
+  // tabulation tables (16 KiB) in the footprint comparison.
+  MatrixShape shape{.rows = 8192, .cols = 16};
+  CascadedRowSample::Config cfg;
+  cfg.p = 2.0;
+  cfg.k = 1.0;
+  cfg.shape = shape;
+  cfg.rate = 1.0;
+  CascadedRowSample exact(cfg, 1);
+  cfg.rate = 0.125;
+  CascadedRowSample sampled(cfg, 1);
+  for (const auto& u : MatrixUniformStream(8192, 16, 60000, 17)) {
+    exact.Update(u);
+    sampled.Update(u);
+  }
+  EXPECT_LT(sampled.SpaceBytes(), exact.SpaceBytes() / 2);
+  EXPECT_LT(sampled.sampled_rows(), exact.sampled_rows() / 2);
+  EXPECT_NEAR(static_cast<double>(sampled.sampled_rows()),
+              0.125 * static_cast<double>(exact.sampled_rows()),
+              0.03 * static_cast<double>(exact.sampled_rows()));
+}
+
+TEST(CascadedRowSampleTest, K1FastPathMatchesGeneralPath) {
+  // The insertion-only k == 1 optimization must agree with the generic
+  // entry-map path bit for bit on the same stream.
+  MatrixShape shape{.rows = 64, .cols = 64};
+  CascadedRowSample::Config fast_cfg;
+  fast_cfg.p = 1.5;
+  fast_cfg.k = 1.0;
+  fast_cfg.shape = shape;
+  fast_cfg.rate = 1.0;
+  fast_cfg.insertion_only = true;
+  CascadedRowSample::Config slow_cfg = fast_cfg;
+  slow_cfg.insertion_only = false;
+  CascadedRowSample fast(fast_cfg, 7);
+  CascadedRowSample slow(slow_cfg, 7);
+  for (const auto& u : MatrixUniformStream(64, 64, 10000, 19)) {
+    fast.Update(u);
+    slow.Update(u);
+  }
+  EXPECT_NEAR(fast.Estimate(), slow.Estimate(), 1e-9 * slow.Estimate());
+  // And the fast path genuinely skips the entry map.
+  EXPECT_LT(fast.SpaceBytes(), slow.SpaceBytes());
+}
+
+TEST(CascadedRowSampleTest, MomentIsMonotoneOnInsertions) {
+  MatrixShape shape{.rows = 32, .cols = 32};
+  CascadedRowSample::Config cfg;
+  cfg.p = 2.0;
+  cfg.k = 1.5;
+  cfg.shape = shape;
+  cfg.rate = 1.0;
+  CascadedRowSample sketch(cfg, 11);
+  double last = 0.0;
+  for (const auto& u : MatrixUniformStream(32, 32, 3000, 23)) {
+    sketch.Update(u);
+    EXPECT_GE(sketch.Estimate(), last - 1e-9);
+    last = sketch.Estimate();
+  }
+}
+
+TEST(CascadedRowSampleTest, NormIsMomentToTheOneOverP) {
+  MatrixShape shape{.rows = 16, .cols = 16};
+  CascadedRowSample::Config cfg;
+  cfg.p = 3.0;
+  cfg.k = 2.0;
+  cfg.shape = shape;
+  cfg.rate = 1.0;
+  CascadedRowSample sketch(cfg, 13);
+  for (const auto& u : MatrixUniformStream(16, 16, 2000, 29)) {
+    sketch.Update(u);
+  }
+  EXPECT_NEAR(sketch.NormEstimate(), std::pow(sketch.Estimate(), 1.0 / 3.0),
+              1e-9);
+}
+
+}  // namespace
+}  // namespace rs

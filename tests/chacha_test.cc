@@ -1,0 +1,90 @@
+#include "rs/hash/chacha.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace rs {
+namespace {
+
+TEST(ChaChaPrfTest, DeterministicPerKey) {
+  ChaChaPrf a(42), b(42), c(43);
+  for (uint64_t x = 0; x < 100; ++x) EXPECT_EQ(a.Eval(x), b.Eval(x));
+  int diffs = 0;
+  for (uint64_t x = 0; x < 100; ++x) diffs += (a.Eval(x) != c.Eval(x));
+  EXPECT_EQ(diffs, 100);
+}
+
+TEST(ChaChaPrfTest, ExplicitKeyConstructor) {
+  std::array<uint32_t, 8> key{1, 2, 3, 4, 5, 6, 7, 8};
+  ChaChaPrf a(key), b(key);
+  EXPECT_EQ(a.Eval(0), b.Eval(0));
+  key[0] = 9;
+  ChaChaPrf c(key);
+  EXPECT_NE(a.Eval(0), c.Eval(0));
+}
+
+TEST(ChaChaPrfTest, TwoArgDomainSeparation) {
+  ChaChaPrf prf(7);
+  EXPECT_NE(prf.Eval2(0, 5), prf.Eval2(1, 5));
+  EXPECT_NE(prf.Eval2(0, 5), prf.Eval2(0, 6));
+  EXPECT_EQ(prf.Eval(5), prf.Eval2(0, 5));
+}
+
+TEST(ChaChaPrfTest, OutputBitsBalanced) {
+  ChaChaPrf prf(9);
+  int bit_counts[64] = {0};
+  constexpr int kSamples = 20000;
+  for (uint64_t x = 0; x < kSamples; ++x) {
+    const uint64_t v = prf.Eval(x);
+    for (int b = 0; b < 64; ++b) bit_counts[b] += (v >> b) & 1;
+  }
+  for (int b = 0; b < 64; ++b) {
+    EXPECT_NEAR(bit_counts[b], kSamples / 2, 0.04 * kSamples);
+  }
+}
+
+TEST(ChaChaPrfTest, AvalancheOnInput) {
+  // Flipping one input bit flips ~32 output bits on average.
+  ChaChaPrf prf(10);
+  int total = 0;
+  for (uint64_t x = 0; x < 256; ++x) {
+    total += __builtin_popcountll(prf.Eval(x) ^ prf.Eval(x ^ 1));
+  }
+  const double avg = total / 256.0;
+  EXPECT_GT(avg, 26.0);
+  EXPECT_LT(avg, 38.0);
+}
+
+TEST(ChaChaPrfTest, NoEarlyCollisions) {
+  ChaChaPrf prf(11);
+  std::set<uint64_t> seen;
+  for (uint64_t x = 0; x < 20000; ++x) seen.insert(prf.Eval(x));
+  EXPECT_EQ(seen.size(), 20000u);
+}
+
+TEST(ChaChaPrfTest, BlockFillsAllWords) {
+  ChaChaPrf prf(12);
+  uint32_t block[16] = {0};
+  prf.Block(0, 0, block);
+  int nonzero = 0;
+  for (uint32_t w : block) nonzero += (w != 0);
+  EXPECT_GE(nonzero, 15);
+}
+
+TEST(RandomOracleTest, WordsAndBitsConsistent) {
+  RandomOracle oracle(5);
+  const uint64_t w = oracle.Word(3);
+  for (int b = 0; b < 64; ++b) {
+    EXPECT_EQ(oracle.Bit(3 * 64 + b), ((w >> b) & 1) != 0);
+  }
+}
+
+TEST(RandomOracleTest, SubdomainsIndependent) {
+  RandomOracle oracle(6);
+  EXPECT_NE(oracle.Word2(1, 0), oracle.Word2(2, 0));
+}
+
+}  // namespace
+}  // namespace rs

@@ -1,0 +1,120 @@
+#include "rs/core/computation_paths.h"
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "rs/core/flip_number.h"
+#include "rs/sketch/fast_f0.h"
+#include "rs/stream/exact_oracle.h"
+#include "rs/stream/generators.h"
+#include "rs/util/stats.h"
+
+namespace rs {
+namespace {
+
+ComputationPaths::Config TestConfig(double eps = 0.2) {
+  ComputationPaths::Config c;
+  c.eps = eps;
+  c.delta = 0.05;
+  c.m = 200000;
+  c.log_T = std::log(1 << 20);
+  c.lambda = F0FlipNumber(eps / 10.0, 1 << 20);
+  return c;
+}
+
+DeltaEstimatorFactory FastF0Factory(double eps0, uint64_t n) {
+  return [eps0, n](double delta, uint64_t s) -> std::unique_ptr<Estimator> {
+    FastF0::Config fc;
+    fc.eps = eps0;
+    fc.delta = delta;
+    fc.n = n;
+    return std::make_unique<FastF0>(fc, s);
+  };
+}
+
+TEST(ComputationPathsTest, RequiredDelta0IsMuchSmallerThanDelta) {
+  const auto cfg = TestConfig();
+  const double log_d0 = ComputationPaths::RequiredLogDelta0(cfg);
+  EXPECT_LT(log_d0, std::log(cfg.delta) - 100.0);
+}
+
+TEST(ComputationPathsTest, RequiredDelta0GrowsWithLambda) {
+  auto cfg = TestConfig();
+  const double base = ComputationPaths::RequiredLogDelta0(cfg);
+  cfg.lambda *= 2;
+  EXPECT_LT(ComputationPaths::RequiredLogDelta0(cfg), base);
+}
+
+TEST(ComputationPathsTest, PracticalDelta0Representable) {
+  const auto cfg = TestConfig();
+  const double log_d0 = ComputationPaths::PracticalLogDelta0(cfg);
+  EXPECT_GT(std::exp(log_d0), 0.0);  // Representable as a double.
+  EXPECT_LT(log_d0, std::log(cfg.delta));
+}
+
+TEST(ComputationPathsTest, PublishedWithinEnvelope) {
+  const double eps = 0.25;
+  auto cfg = TestConfig(eps);
+  std::vector<double> max_errors;
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    ComputationPaths cp(cfg, FastF0Factory(eps / 4.0, 1 << 20),
+                        seed * 23 + 1);
+    ExactOracle oracle;
+    double max_err = 0.0;
+    for (const auto& u : DistinctGrowthStream(150000)) {
+      cp.Update(u);
+      oracle.Update(u);
+      if (oracle.F0() >= 100) {
+        max_err = std::max(max_err,
+                           RelativeError(cp.Estimate(),
+                                         static_cast<double>(oracle.F0())));
+      }
+    }
+    max_errors.push_back(max_err);
+  }
+  EXPECT_LE(Median(max_errors), eps * 1.6);
+}
+
+TEST(ComputationPathsTest, OutputChangesBoundedByLambda) {
+  auto cfg = TestConfig(0.25);
+  ComputationPaths cp(cfg, FastF0Factory(0.1, 1 << 20), 5);
+  for (const auto& u : DistinctGrowthStream(100000)) cp.Update(u);
+  EXPECT_LE(cp.output_changes(), cfg.lambda);
+  EXPECT_GT(cp.output_changes(), 4u);  // It did track the growth.
+}
+
+TEST(ComputationPathsTest, OutputIsRoundedAndSticky) {
+  auto cfg = TestConfig(0.3);
+  ComputationPaths cp(cfg, FastF0Factory(0.1, 1 << 20), 7);
+  std::vector<double> outputs;
+  for (const auto& u : DistinctGrowthStream(50000)) {
+    cp.Update(u);
+    if (outputs.empty() || outputs.back() != cp.Estimate()) {
+      outputs.push_back(cp.Estimate());
+    }
+  }
+  // Far fewer distinct outputs than steps: the sticky rounding changes only
+  // on ~(1+eps) growth, ln(50000)/ln(1.3) ~ 41 times, plus boundary jitter
+  // from the eps0 = 0.1 base estimate. Well under Lemma 3.3's lambda_{eps/10}
+  // bound (~366) and orders of magnitude below the step count.
+  EXPECT_LE(outputs.size(), 100u);
+}
+
+TEST(ComputationPathsTest, InstantiatedDeltaRecorded) {
+  auto cfg = TestConfig();
+  ComputationPaths cp(cfg, FastF0Factory(0.1, 1 << 20), 9);
+  EXPECT_LT(cp.instantiated_log_delta0(), std::log(cfg.delta));
+}
+
+TEST(ComputationPathsTest, TheoreticalSizingUsesLemmaBound) {
+  auto cfg = TestConfig();
+  cfg.theoretical_sizing = true;
+  ComputationPaths cp(cfg, FastF0Factory(0.2, 1 << 20), 11);
+  EXPECT_LE(cp.instantiated_log_delta0(),
+            ComputationPaths::RequiredLogDelta0(cfg) + 1e-9);
+}
+
+}  // namespace
+}  // namespace rs

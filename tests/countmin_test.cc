@@ -1,0 +1,84 @@
+#include "rs/sketch/countmin.h"
+
+#include <gtest/gtest.h>
+
+#include "rs/stream/exact_oracle.h"
+#include "rs/stream/generators.h"
+
+namespace rs {
+namespace {
+
+CountMin::Config TestConfig(double eps = 0.01) {
+  CountMin::Config c;
+  c.eps = eps;
+  c.delta = 0.01;
+  return c;
+}
+
+TEST(CountMinTest, NeverUnderestimatesOnInsertOnly) {
+  const uint64_t n = 1 << 12, m = 20000;
+  CountMin cm(TestConfig(), 1);
+  ExactOracle oracle;
+  for (const auto& u : ZipfStream(n, m, 1.1, 3)) {
+    cm.Update(u);
+    oracle.Update(u);
+  }
+  size_t checked = 0;
+  for (const auto& [item, f] : oracle.frequencies()) {
+    ASSERT_GE(cm.PointQuery(item) + 1e-9, static_cast<double>(f));
+    if (++checked >= 300) break;
+  }
+}
+
+TEST(CountMinTest, OverestimateBoundedByEpsF1) {
+  const uint64_t n = 1 << 12, m = 20000;
+  const double eps = 0.005;
+  CountMin cm(TestConfig(eps), 5);
+  ExactOracle oracle;
+  for (const auto& u : UniformStream(n, m, 7)) {
+    cm.Update(u);
+    oracle.Update(u);
+  }
+  const double bound = 3.0 * eps * static_cast<double>(oracle.F1());
+  size_t checked = 0;
+  for (const auto& [item, f] : oracle.frequencies()) {
+    ASSERT_LE(cm.PointQuery(item) - static_cast<double>(f), bound);
+    if (++checked >= 300) break;
+  }
+}
+
+TEST(CountMinTest, EstimateIsF1) {
+  CountMin cm(TestConfig(), 9);
+  cm.Update({1, 5});
+  cm.Update({2, 7});
+  EXPECT_DOUBLE_EQ(cm.Estimate(), 12.0);
+}
+
+TEST(CountMinTest, HeavyHittersContainTopItems) {
+  const uint64_t n = 1 << 14, m = 10000;
+  CountMin cm(TestConfig(0.002), 11);
+  ExactOracle oracle;
+  for (const auto& u : PlantedHeavyHitterStream(n, m, 3, 0.6, 17)) {
+    cm.Update(u);
+    oracle.Update(u);
+  }
+  const auto heavies = PlantedHeavyItems(n, 3, 17);
+  const double threshold = 0.05 * static_cast<double>(oracle.F1());
+  const auto reported = cm.HeavyHitters(threshold);
+  for (uint64_t h : heavies) {
+    if (oracle.Frequency(h) >= static_cast<int64_t>(threshold) + 1) {
+      EXPECT_TRUE(std::find(reported.begin(), reported.end(), h) !=
+                  reported.end());
+    }
+  }
+}
+
+TEST(CountMinTest, StrictTurnstile) {
+  CountMin cm(TestConfig(), 13);
+  cm.Update({3, 10});
+  cm.Update({3, -4});
+  EXPECT_NEAR(cm.PointQuery(3), 6.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace rs

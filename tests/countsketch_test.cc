@@ -1,0 +1,125 @@
+#include "rs/sketch/countsketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "rs/stream/exact_oracle.h"
+#include "rs/stream/generators.h"
+#include "rs/util/stats.h"
+
+namespace rs {
+namespace {
+
+CountSketch::Config TestConfig(double eps = 0.1) {
+  CountSketch::Config c;
+  c.eps = eps;
+  c.delta = 0.01;
+  c.heap_size = 32;
+  return c;
+}
+
+TEST(CountSketchTest, SingleItemPointQueryExact) {
+  CountSketch cs(TestConfig(), 1);
+  cs.Update({7, 25});
+  EXPECT_NEAR(cs.PointQuery(7), 25.0, 1e-9);
+}
+
+TEST(CountSketchTest, PointQueryErrorWithinEpsL2) {
+  const uint64_t n = 1 << 12, m = 20000;
+  const double eps = 0.1;
+  CountSketch cs(TestConfig(eps), 3);
+  ExactOracle oracle;
+  for (const auto& u : ZipfStream(n, m, 1.2, 5)) {
+    cs.Update(u);
+    oracle.Update(u);
+  }
+  const double l2 = oracle.L2();
+  // Check error on a sample of present and absent items.
+  size_t checked = 0;
+  for (const auto& [item, f] : oracle.frequencies()) {
+    ASSERT_NEAR(cs.PointQuery(item), static_cast<double>(f), 2.0 * eps * l2);
+    if (++checked >= 200) break;
+  }
+  for (uint64_t absent = n; absent < n + 50; ++absent) {
+    ASSERT_NEAR(cs.PointQuery(absent), 0.0, 2.0 * eps * l2);
+  }
+}
+
+TEST(CountSketchTest, RecoversPlantedHeavyHitters) {
+  const uint64_t n = 1 << 14, m = 20000;
+  const int k = 5;
+  CountSketch cs(TestConfig(0.05), 9);
+  ExactOracle oracle;
+  for (const auto& u : PlantedHeavyHitterStream(n, m, k, 0.6, 31)) {
+    cs.Update(u);
+    oracle.Update(u);
+  }
+  const auto heavies = PlantedHeavyItems(n, k, 31);
+  const double threshold = 0.05 * oracle.L2();
+  const auto reported = cs.HeavyHitters(threshold);
+  for (uint64_t h : heavies) {
+    if (oracle.Frequency(h) >=
+        static_cast<int64_t>(std::ceil(threshold)) + 1) {
+      EXPECT_TRUE(std::find(reported.begin(), reported.end(), h) !=
+                  reported.end())
+          << "missing heavy item " << h;
+    }
+  }
+}
+
+TEST(CountSketchTest, NoFalseHeaviesFarBelowThreshold) {
+  const uint64_t n = 1 << 14, m = 10000;
+  CountSketch cs(TestConfig(0.1), 11);
+  ExactOracle oracle;
+  for (const auto& u : PlantedHeavyHitterStream(n, m, 3, 0.5, 13)) {
+    cs.Update(u);
+    oracle.Update(u);
+  }
+  const double threshold = 0.2 * oracle.L2();
+  for (uint64_t item : cs.HeavyHitters(threshold)) {
+    // Reported items must be at least threshold/2 in truth (Definition 6.1).
+    EXPECT_GE(oracle.Frequency(item), threshold / 2.0);
+  }
+}
+
+TEST(CountSketchTest, TurnstileDeletions) {
+  CountSketch cs(TestConfig(0.1), 13);
+  cs.Update({5, 100});
+  cs.Update({5, -60});
+  EXPECT_NEAR(cs.PointQuery(5), 40.0, 1e-9);
+}
+
+TEST(CountSketchTest, F2EstimateFromRowEnergy) {
+  const uint64_t n = 1 << 10, m = 20000;
+  CountSketch cs(TestConfig(0.1), 17);
+  ExactOracle oracle;
+  for (const auto& u : UniformStream(n, m, 23)) {
+    cs.Update(u);
+    oracle.Update(u);
+  }
+  EXPECT_NEAR(cs.Estimate(), oracle.F2(), 0.25 * oracle.F2());
+}
+
+TEST(CountSketchTest, CopyableForSnapshots) {
+  CountSketch cs(TestConfig(0.2), 19);
+  for (uint64_t i = 0; i < 1000; ++i) cs.Update({i % 37, 1});
+  CountSketch snapshot(cs);
+  // Snapshot answers identically; further updates to the original do not
+  // affect it.
+  EXPECT_DOUBLE_EQ(snapshot.PointQuery(5), cs.PointQuery(5));
+  const double frozen = snapshot.PointQuery(5);
+  for (int i = 0; i < 500; ++i) cs.Update({5, 1});
+  EXPECT_DOUBLE_EQ(snapshot.PointQuery(5), frozen);
+  EXPECT_GT(cs.PointQuery(5), frozen + 400);
+}
+
+TEST(CountSketchTest, WidthScalesInverseSquareEps) {
+  CountSketch coarse(TestConfig(0.2), 1);
+  CountSketch fine(TestConfig(0.05), 1);
+  EXPECT_GE(fine.width(), 14 * coarse.width());
+}
+
+}  // namespace
+}  // namespace rs

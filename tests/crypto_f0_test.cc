@@ -1,0 +1,104 @@
+#include "rs/core/crypto_robust_f0.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "rs/stream/exact_oracle.h"
+#include "rs/stream/generators.h"
+#include "rs/util/stats.h"
+
+namespace rs {
+namespace {
+
+CryptoRobustF0::Config MakeConfig(double eps) {
+  CryptoRobustF0::Config c;
+  c.eps = eps;
+  c.copies = 3;
+  c.key_seed = 0xFEEDFACE;
+  return c;
+}
+
+TEST(CryptoF0Test, AccurateOnDistinctGrowth) {
+  std::vector<double> errors;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    CryptoRobustF0 alg(MakeConfig(0.1), seed * 7 + 1);
+    for (uint64_t i = 0; i < 50000; ++i) alg.Update({i, 1});
+    errors.push_back(RelativeError(alg.Estimate(), 50000.0));
+  }
+  EXPECT_LE(Median(errors), 0.1);
+}
+
+TEST(CryptoF0Test, StateInsensitiveToDuplicates) {
+  CryptoRobustF0 alg(MakeConfig(0.15), 3);
+  for (uint64_t i = 0; i < 2000; ++i) alg.Update({i, 1});
+  const double before = alg.Estimate();
+  // Adaptive-looking duplicate replay: any pattern of re-inserts leaves the
+  // estimate untouched (the Theorem 10.1 property).
+  for (int rep = 0; rep < 5; ++rep) {
+    for (uint64_t i = 0; i < 2000; i += (rep + 1)) alg.Update({i, 1});
+  }
+  EXPECT_DOUBLE_EQ(alg.Estimate(), before);
+}
+
+TEST(CryptoF0Test, PermutationPreservesDistinctCounts) {
+  // Same stream with and without the PRP layer should give statistically
+  // identical answers (the permutation just renames items).
+  CryptoRobustF0 alg(MakeConfig(0.15), 5);
+  ExactOracle oracle;
+  for (const auto& u : UniformStream(5000, 20000, 9)) {
+    alg.Update(u);
+    oracle.Update(u);
+  }
+  EXPECT_NEAR(alg.Estimate(), static_cast<double>(oracle.F0()),
+              0.2 * static_cast<double>(oracle.F0()));
+}
+
+TEST(CryptoF0Test, AdaptiveDuplicateGameCannotBias) {
+  // A simple adaptive adversary: re-insert exactly the items whose insertion
+  // visibly changed the estimate. For this construction the state evolution
+  // is oblivious to that choice; the estimate stays within the envelope.
+  CryptoRobustF0 alg(MakeConfig(0.15), 7);
+  std::vector<uint64_t> visible;
+  double last = alg.Estimate();
+  for (uint64_t i = 0; i < 20000; ++i) {
+    alg.Update({i, 1});
+    if (alg.Estimate() != last) visible.push_back(i);
+    last = alg.Estimate();
+    // Replay a visible item every few steps — pure duplicates.
+    if (!visible.empty() && i % 3 == 0) {
+      alg.Update({visible[i % visible.size()], 1});
+    }
+  }
+  EXPECT_NEAR(alg.Estimate(), 20000.0, 0.15 * 20000.0);
+}
+
+TEST(CryptoF0Test, DeletionsIgnored) {
+  CryptoRobustF0 alg(MakeConfig(0.2), 9);
+  alg.Update({1, 1});
+  const double before = alg.Estimate();
+  alg.Update({1, -1});
+  EXPECT_DOUBLE_EQ(alg.Estimate(), before);
+}
+
+TEST(CryptoF0Test, SpaceIncludesKeyOnly) {
+  // Space should be close to the inner sketch cost; the PRP adds only the
+  // 256-bit key.
+  CryptoRobustF0 alg(MakeConfig(0.2), 11);
+  for (uint64_t i = 0; i < 10000; ++i) alg.Update({i, 1});
+  EXPECT_LE(FeistelPrp::SpaceBytes(), 64u);
+  EXPECT_GT(alg.SpaceBytes(), FeistelPrp::SpaceBytes());
+}
+
+TEST(CryptoF0Test, DifferentKeysSameAccuracy) {
+  for (uint64_t key : {1ULL, 999ULL, 0xABCDEFULL}) {
+    auto cfg = MakeConfig(0.2);
+    cfg.key_seed = key;
+    CryptoRobustF0 alg(cfg, 13);
+    for (uint64_t i = 0; i < 20000; ++i) alg.Update({i, 1});
+    EXPECT_NEAR(alg.Estimate(), 20000.0, 0.25 * 20000.0) << "key " << key;
+  }
+}
+
+}  // namespace
+}  // namespace rs

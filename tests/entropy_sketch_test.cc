@@ -1,0 +1,98 @@
+#include "rs/sketch/entropy_sketch.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "rs/stream/exact_oracle.h"
+#include "rs/stream/generators.h"
+#include "rs/util/stats.h"
+
+namespace rs {
+namespace {
+
+TEST(EntropySketchTest, PointMassHasZeroEntropy) {
+  EntropySketch sketch({.eps = 0.2}, 1);
+  for (int i = 0; i < 100; ++i) sketch.Update({7, 1});
+  EXPECT_NEAR(sketch.EntropyBits(), 0.0, 0.15);
+}
+
+TEST(EntropySketchTest, UniformDistribution) {
+  // 64 equally frequent items: H = 6 bits.
+  std::vector<double> estimates;
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    EntropySketch sketch({.eps = 0.1}, seed * 3 + 1);
+    for (int rep = 0; rep < 10; ++rep) {
+      for (uint64_t i = 0; i < 64; ++i) sketch.Update({i, 1});
+    }
+    estimates.push_back(sketch.EntropyBits());
+  }
+  EXPECT_NEAR(Median(estimates), 6.0, 0.4);
+}
+
+TEST(EntropySketchTest, KnownSkewedDistribution) {
+  // p = (1/2, 1/4, 1/4): H = 1.5 bits.
+  std::vector<double> estimates;
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    EntropySketch sketch({.eps = 0.1}, seed * 5 + 2);
+    sketch.Update({1, 50});
+    sketch.Update({2, 25});
+    sketch.Update({3, 25});
+    estimates.push_back(sketch.EntropyBits());
+  }
+  EXPECT_NEAR(Median(estimates), 1.5, 0.25);
+}
+
+TEST(EntropySketchTest, MatchesOracleOnZipf) {
+  const uint64_t n = 1 << 10, m = 8000;
+  std::vector<double> errors;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    EntropySketch sketch({.eps = 0.1}, seed * 7 + 3);
+    ExactOracle oracle;
+    for (const auto& u : ZipfStream(n, m, 1.1, seed + 40)) {
+      sketch.Update(u);
+      oracle.Update(u);
+    }
+    errors.push_back(
+        std::fabs(sketch.EntropyBits() - oracle.EntropyBits()));
+  }
+  EXPECT_LE(Median(errors), 0.5);  // Additive, in bits.
+}
+
+TEST(EntropySketchTest, SupportsDeletions) {
+  // Insert a disturbing heavy item then delete it; entropy returns to that
+  // of the remaining uniform part.
+  EntropySketch sketch({.eps = 0.1}, 9);
+  ExactOracle oracle;
+  for (uint64_t i = 0; i < 16; ++i) {
+    sketch.Update({i, 4});
+    oracle.Update({i, 4});
+  }
+  sketch.Update({100, 64});
+  oracle.Update({100, 64});
+  const double skewed = sketch.EntropyBits();
+  sketch.Update({100, -64});
+  oracle.Update({100, -64});
+  EXPECT_NEAR(sketch.EntropyBits(), 4.0, 0.5);  // 16 uniform items.
+  EXPECT_LT(skewed, 4.0);
+}
+
+TEST(EntropySketchTest, ExponentialFormConsistent) {
+  EntropySketch sketch({.eps = 0.2}, 11);
+  for (uint64_t i = 0; i < 32; ++i) sketch.Update({i, 2});
+  EXPECT_NEAR(sketch.Estimate(), std::exp2(sketch.EntropyBits()), 1e-9);
+}
+
+TEST(EntropySketchTest, KOverride) {
+  EntropySketch sketch({.eps = 0.5, .k_override = 33}, 13);
+  EXPECT_EQ(sketch.k(), 33u);
+}
+
+TEST(EntropySketchTest, EmptyStreamZero) {
+  EntropySketch sketch({.eps = 0.3}, 15);
+  EXPECT_DOUBLE_EQ(sketch.EntropyBits(), 0.0);
+  EXPECT_DOUBLE_EQ(sketch.Estimate(), 1.0);  // 2^0.
+}
+
+}  // namespace
+}  // namespace rs

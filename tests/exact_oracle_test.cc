@@ -1,0 +1,107 @@
+#include "rs/stream/exact_oracle.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace rs {
+namespace {
+
+TEST(ExactOracleTest, EmptyStream) {
+  ExactOracle o;
+  EXPECT_EQ(o.F0(), 0u);
+  EXPECT_EQ(o.F1(), 0);
+  EXPECT_DOUBLE_EQ(o.F2(), 0.0);
+  EXPECT_DOUBLE_EQ(o.EntropyBits(), 0.0);
+}
+
+TEST(ExactOracleTest, SingleItem) {
+  ExactOracle o;
+  o.Update({5, 3});
+  EXPECT_EQ(o.F0(), 1u);
+  EXPECT_EQ(o.F1(), 3);
+  EXPECT_DOUBLE_EQ(o.F2(), 9.0);
+  EXPECT_EQ(o.Frequency(5), 3);
+  EXPECT_EQ(o.Frequency(6), 0);
+  EXPECT_DOUBLE_EQ(o.EntropyBits(), 0.0);  // Point mass has zero entropy.
+}
+
+TEST(ExactOracleTest, MultipleItemsMoments) {
+  ExactOracle o;
+  // f = (2, 1, 1) on items 1, 2, 3.
+  o.Update({1, 1});
+  o.Update({1, 1});
+  o.Update({2, 1});
+  o.Update({3, 1});
+  EXPECT_EQ(o.F0(), 3u);
+  EXPECT_EQ(o.F1(), 4);
+  EXPECT_DOUBLE_EQ(o.F2(), 6.0);
+  EXPECT_DOUBLE_EQ(o.Fp(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(o.Fp(3.0), 10.0);
+  EXPECT_NEAR(o.Lp(2.0), std::sqrt(6.0), 1e-12);
+  EXPECT_NEAR(o.L2(), std::sqrt(6.0), 1e-12);
+}
+
+TEST(ExactOracleTest, Fp0IsF0) {
+  ExactOracle o;
+  o.Update({1, 5});
+  o.Update({9, 2});
+  EXPECT_DOUBLE_EQ(o.Fp(0.0), 2.0);
+}
+
+TEST(ExactOracleTest, DeletionsUpdateF0) {
+  ExactOracle o;
+  o.Update({1, 2});
+  o.Update({2, 1});
+  EXPECT_EQ(o.F0(), 2u);
+  o.Update({1, -2});
+  EXPECT_EQ(o.F0(), 1u);
+  EXPECT_EQ(o.F1(), 1);
+  EXPECT_DOUBLE_EQ(o.F2(), 1.0);
+  // Re-insert after deletion.
+  o.Update({1, 1});
+  EXPECT_EQ(o.F0(), 2u);
+}
+
+TEST(ExactOracleTest, NegativeFrequenciesCountedByAbsoluteValue) {
+  ExactOracle o;
+  o.Update({1, -3});
+  EXPECT_EQ(o.F0(), 1u);
+  EXPECT_DOUBLE_EQ(o.F2(), 9.0);
+  EXPECT_DOUBLE_EQ(o.Fp(1.0), 3.0);
+}
+
+TEST(ExactOracleTest, EntropyUniform) {
+  ExactOracle o;
+  for (uint64_t i = 0; i < 8; ++i) o.Update({i, 1});
+  EXPECT_NEAR(o.EntropyBits(), 3.0, 1e-12);  // log2(8).
+}
+
+TEST(ExactOracleTest, EntropyKnownDistribution) {
+  ExactOracle o;
+  // p = (1/2, 1/4, 1/4): H = 1.5 bits.
+  o.Update({1, 2});
+  o.Update({2, 1});
+  o.Update({3, 1});
+  EXPECT_NEAR(o.EntropyBits(), 1.5, 1e-12);
+}
+
+TEST(ExactOracleTest, AbsStreamTracksInsertMass) {
+  ExactOracle o;
+  o.Update({1, 1});
+  o.Update({1, -1});
+  o.Update({1, 1});
+  // f_1 = 1 but h_1 = 3.
+  EXPECT_DOUBLE_EQ(o.AbsStreamFp(1.0), 3.0);
+  EXPECT_DOUBLE_EQ(o.Fp(1.0), 1.0);
+}
+
+TEST(ExactOracleTest, SpaceGrowsWithDistinctItems) {
+  ExactOracle o;
+  const size_t empty = o.SpaceBytes();
+  for (uint64_t i = 0; i < 1000; ++i) o.Update({i, 1});
+  EXPECT_GT(o.SpaceBytes(), empty + 1000 * sizeof(uint64_t));
+}
+
+}  // namespace
+}  // namespace rs

@@ -1,0 +1,164 @@
+// Failure injection: the edge and abuse cases the production surface must
+// survive — empty streams, all-duplicate streams, model violations rejected
+// by the validator (ending the game as a forfeit, not a crash), pool
+// exhaustion reporting, and frequency-bound saturation.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "rs/adversary/game.h"
+#include "rs/adversary/generic_attacks.h"
+#include "rs/core/robust_entropy.h"
+#include "rs/core/robust_f0.h"
+#include "rs/core/robust_fp.h"
+#include "rs/core/robust_heavy_hitters.h"
+#include "rs/core/sketch_switching.h"
+#include "rs/sketch/kmv_f0.h"
+#include "rs/stream/validator.h"
+
+namespace rs {
+namespace {
+
+// --- Empty streams: every robust estimator answers without any input. ---
+
+TEST(FailureInjectionTest, EmptyStreamAnswersEverywhere) {
+  RobustF0::Config f0;
+  f0.eps = 0.3;
+  EXPECT_DOUBLE_EQ(RobustF0(f0, 1).Estimate(), 0.0);
+
+  RobustFp::Config fp;
+  fp.p = 2.0;
+  fp.eps = 0.3;
+  EXPECT_DOUBLE_EQ(RobustFp(fp, 2).Estimate(), 0.0);
+
+  RobustHeavyHitters::Config hh;
+  hh.eps = 0.3;
+  RobustHeavyHitters hh_alg(hh, 3);
+  EXPECT_DOUBLE_EQ(hh_alg.Estimate(), 0.0);
+  EXPECT_TRUE(hh_alg.HeavyHitterSet().empty());
+  EXPECT_DOUBLE_EQ(hh_alg.PointQuery(42), 0.0);
+}
+
+// --- All-duplicate streams: F0 stays pinned at 1. ---
+
+TEST(FailureInjectionTest, AllDuplicateStreamF0IsOne) {
+  RobustF0::Config cfg;
+  cfg.eps = 0.3;
+  cfg.n = 1 << 10;
+  cfg.m = 1 << 14;
+  RobustF0 alg(cfg, 5);
+  for (int i = 0; i < 5000; ++i) alg.Update({7, 1});
+  EXPECT_NEAR(alg.Estimate(), 1.0, 0.3);
+}
+
+// --- Validator: model violations are rejected, with the reason recorded. ---
+
+TEST(FailureInjectionTest, ValidatorRejectsDeletionInInsertionOnly) {
+  StreamParams params;
+  params.model = StreamModel::kInsertionOnly;
+  StreamValidator v(params);
+  EXPECT_TRUE(v.Accept({1, 5}));
+  EXPECT_FALSE(v.Accept({1, -1}));
+  EXPECT_FALSE(v.error().empty());
+}
+
+TEST(FailureInjectionTest, ValidatorRejectsFrequencyOverflow) {
+  StreamParams params;
+  params.model = StreamModel::kTurnstile;
+  params.max_frequency = 10;
+  StreamValidator v(params);
+  EXPECT_TRUE(v.Accept({1, 10}));
+  EXPECT_FALSE(v.Accept({1, 1}));  // Would push |f_1| past M.
+}
+
+TEST(FailureInjectionTest, ValidatorRejectsAlphaViolation) {
+  StreamParams params;
+  params.model = StreamModel::kBoundedDeletion;
+  StreamValidator v(params, /*alpha=*/2.0);
+  EXPECT_TRUE(v.Accept({1, 1}));
+  EXPECT_TRUE(v.Accept({2, 1}));
+  EXPECT_TRUE(v.Accept({3, 1}));
+  EXPECT_TRUE(v.Accept({4, 1}));
+  // Deleting down to F1 = 2 with H1 = 6 would need alpha >= 3.
+  EXPECT_TRUE(v.Accept({1, -1}));
+  EXPECT_FALSE(v.Accept({2, -1}));
+}
+
+// --- Misbehaving adversary forfeits the game instead of crashing it. ---
+
+class ModelViolatingAdversary : public Adversary {
+ public:
+  std::optional<rs::Update> NextUpdate(double, uint64_t step) override {
+    if (step < 5) return rs::Update{step, 1};
+    return rs::Update{1, -100};  // Illegal in insertion-only.
+  }
+  std::string Name() const override { return "ModelViolating"; }
+};
+
+TEST(FailureInjectionTest, GameEndsOnRejectedUpdate) {
+  KmvF0 sketch({.k = 64}, 7);
+  ModelViolatingAdversary adversary;
+  GameOptions options;
+  options.max_steps = 100;
+  options.params.model = StreamModel::kInsertionOnly;
+  const auto result = RunGame(sketch, adversary, TruthF0(), options);
+  EXPECT_EQ(result.termination.substr(0, 8), "rejected");
+  EXPECT_LT(result.steps, 100u);
+  EXPECT_FALSE(result.adversary_won);
+}
+
+// --- Pool exhaustion is reported, never silent. ---
+
+TEST(FailureInjectionTest, UndersizedPoolRaisesExhausted) {
+  class GrowingExact : public Estimator {
+   public:
+    explicit GrowingExact(uint64_t) {}
+    void Update(const rs::Update&) override { ++count_; }
+    double Estimate() const override { return static_cast<double>(count_); }
+    size_t SpaceBytes() const override { return 8; }
+    std::string Name() const override { return "GrowingExact"; }
+
+   private:
+    uint64_t count_ = 0;
+  };
+  SketchSwitching::Config cfg;
+  cfg.eps = 0.1;
+  cfg.copies = 3;  // Far below the flip number of 1..100000.
+  cfg.mode = SketchSwitching::PoolMode::kPool;
+  SketchSwitching sw(
+      cfg, [](uint64_t s) { return std::make_unique<GrowingExact>(s); }, 9);
+  for (uint64_t i = 1; i <= 100000; ++i) sw.Update({i, 1});
+  EXPECT_TRUE(sw.exhausted());
+  // Still answers (from the last copy) — degraded, not crashed.
+  EXPECT_GT(sw.Estimate(), 0.0);
+}
+
+TEST(FailureInjectionTest, EntropyPoolExhaustionReported) {
+  RobustEntropy::Config cfg;
+  cfg.eps = 0.2;
+  cfg.pool_cap = 2;  // Deliberately absurd.
+  cfg.n = 1 << 10;
+  cfg.m = 1 << 14;
+  RobustEntropy alg(cfg, 11);
+  // Entropy swings: uniform then bursty then uniform again.
+  for (uint64_t i = 0; i < 2000; ++i) alg.Update({i % 256, 1});
+  for (uint64_t i = 0; i < 4000; ++i) alg.Update({7, 1});
+  for (uint64_t i = 0; i < 2000; ++i) alg.Update({i % 256, 1});
+  EXPECT_TRUE(alg.exhausted());
+}
+
+// --- Saturated frequencies: huge deltas on one item don't break tracking. --
+
+TEST(FailureInjectionTest, LargeDeltasStayFinite) {
+  RobustFp::Config cfg;
+  cfg.p = 2.0;
+  cfg.eps = 0.4;
+  RobustFp alg(cfg, 13);
+  for (int i = 0; i < 50; ++i) alg.Update({1, int64_t{1} << 20});
+  EXPECT_TRUE(std::isfinite(alg.Estimate()));
+  EXPECT_GT(alg.Estimate(), 0.0);
+}
+
+}  // namespace
+}  // namespace rs

@@ -1,0 +1,101 @@
+#include "rs/sketch/fast_f0.h"
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "rs/util/stats.h"
+
+namespace rs {
+namespace {
+
+FastF0::Config SmallConfig(double eps = 0.2, double delta = 0.05) {
+  FastF0::Config c;
+  c.eps = eps;
+  c.delta = delta;
+  c.n = 1 << 20;
+  return c;
+}
+
+TEST(FastF0Test, ExactPhaseIsExact) {
+  FastF0 f0(SmallConfig(), 1);
+  for (uint64_t i = 0; i < 100; ++i) f0.Update({i, 1});
+  EXPECT_DOUBLE_EQ(f0.Estimate(), 100.0);
+}
+
+TEST(FastF0Test, DuplicatesDoNotInflate) {
+  FastF0 f0(SmallConfig(), 2);
+  for (int rep = 0; rep < 5; ++rep) {
+    for (uint64_t i = 0; i < 200; ++i) f0.Update({i, 1});
+  }
+  EXPECT_DOUBLE_EQ(f0.Estimate(), 200.0);
+}
+
+TEST(FastF0Test, IgnoresDeletions) {
+  FastF0 f0(SmallConfig(), 3);
+  f0.Update({1, 1});
+  const double before = f0.Estimate();
+  f0.Update({2, -1});
+  EXPECT_DOUBLE_EQ(f0.Estimate(), before);
+}
+
+class FastF0AccuracySweep
+    : public ::testing::TestWithParam<std::tuple<double, uint64_t>> {};
+
+TEST_P(FastF0AccuracySweep, LargeStreamWithinEps) {
+  const double eps = std::get<0>(GetParam());
+  const uint64_t f0_true = std::get<1>(GetParam());
+  std::vector<double> errors;
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    FastF0 sketch(SmallConfig(eps), seed * 31 + 7);
+    for (uint64_t i = 0; i < f0_true; ++i) sketch.Update({i, 1});
+    errors.push_back(
+        RelativeError(sketch.Estimate(), static_cast<double>(f0_true)));
+  }
+  EXPECT_LE(Median(errors), eps) << "eps=" << eps << " F0=" << f0_true;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FastF0AccuracySweep,
+    ::testing::Combine(::testing::Values(0.15, 0.3),
+                       ::testing::Values(uint64_t{60000},
+                                         uint64_t{200000})));
+
+TEST(FastF0Test, TrackingAcrossGrowth) {
+  FastF0 sketch(SmallConfig(0.2), 11);
+  uint64_t inserted = 0;
+  for (int epoch = 0; epoch < 8; ++epoch) {
+    for (int i = 0; i < 40000; ++i) sketch.Update({inserted++, 1});
+    EXPECT_NEAR(sketch.Estimate(), static_cast<double>(inserted),
+                0.35 * static_cast<double>(inserted))
+        << "epoch " << epoch;
+  }
+}
+
+TEST(FastF0Test, DeltaDependenceIsLogarithmicInSpace) {
+  // Halving delta by e^10 should grow the list capacity roughly linearly in
+  // log(1/delta), not multiplicatively.
+  FastF0 loose(SmallConfig(0.2, 1e-2), 5);
+  FastF0 tight(SmallConfig(0.2, 1e-12), 5);
+  EXPECT_GT(tight.list_capacity(), loose.list_capacity());
+  EXPECT_LT(tight.list_capacity(), loose.list_capacity() * 12);
+  EXPECT_GT(tight.independence(), loose.independence());
+}
+
+TEST(FastF0Test, HandlesTinyDelta) {
+  // The computation-paths reduction instantiates delta ~ 1e-25 and smaller.
+  FastF0::Config c = SmallConfig(0.25, 1e-25);
+  FastF0 sketch(c, 13);
+  for (uint64_t i = 0; i < 150000; ++i) sketch.Update({i, 1});
+  EXPECT_NEAR(sketch.Estimate(), 150000.0, 0.25 * 150000.0);
+}
+
+TEST(FastF0Test, SpaceScalesWithEps) {
+  FastF0 coarse(SmallConfig(0.4), 15);
+  FastF0 fine(SmallConfig(0.1), 15);
+  EXPECT_GT(fine.list_capacity(), coarse.list_capacity());
+}
+
+}  // namespace
+}  // namespace rs

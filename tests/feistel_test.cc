@@ -1,0 +1,64 @@
+#include "rs/hash/feistel.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rs {
+namespace {
+
+TEST(FeistelTest, InverseRoundTrips) {
+  FeistelPrp prp(123);
+  for (uint64_t x = 0; x < 10000; ++x) {
+    EXPECT_EQ(prp.Inverse(prp.Permute(x)), x);
+  }
+  // Also for scattered large values.
+  for (uint64_t x : {0xdeadbeefULL, 0xffffffffffffffffULL, 1ULL << 63}) {
+    EXPECT_EQ(prp.Inverse(prp.Permute(x)), x);
+  }
+}
+
+TEST(FeistelTest, InjectiveOnSample) {
+  FeistelPrp prp(7);
+  std::set<uint64_t> images;
+  for (uint64_t x = 0; x < 50000; ++x) images.insert(prp.Permute(x));
+  EXPECT_EQ(images.size(), 50000u);
+}
+
+TEST(FeistelTest, KeySensitivity) {
+  FeistelPrp a(1), b(2);
+  int diffs = 0;
+  for (uint64_t x = 0; x < 1000; ++x) diffs += (a.Permute(x) != b.Permute(x));
+  EXPECT_GE(diffs, 999);
+}
+
+TEST(FeistelTest, Deterministic) {
+  FeistelPrp a(55), b(55);
+  for (uint64_t x = 0; x < 1000; ++x) EXPECT_EQ(a.Permute(x), b.Permute(x));
+}
+
+TEST(FeistelTest, OutputLooksRandom) {
+  // Sequential inputs map to outputs with balanced bits.
+  FeistelPrp prp(99);
+  int bit_counts[64] = {0};
+  constexpr int kSamples = 20000;
+  for (uint64_t x = 0; x < kSamples; ++x) {
+    const uint64_t v = prp.Permute(x);
+    for (int b = 0; b < 64; ++b) bit_counts[b] += (v >> b) & 1;
+  }
+  for (int b = 0; b < 64; ++b) {
+    EXPECT_NEAR(bit_counts[b], kSamples / 2, 0.05 * kSamples);
+  }
+}
+
+TEST(FeistelTest, NoFixedPointsInSample) {
+  // A random permutation on 2^64 has ~0 fixed points in any small sample.
+  FeistelPrp prp(3);
+  int fixed = 0;
+  for (uint64_t x = 0; x < 100000; ++x) fixed += (prp.Permute(x) == x);
+  EXPECT_EQ(fixed, 0);
+}
+
+}  // namespace
+}  // namespace rs

@@ -1,0 +1,158 @@
+#include "rs/core/flip_number.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rs/stream/exact_oracle.h"
+#include "rs/stream/generators.h"
+
+namespace rs {
+namespace {
+
+TEST(MonotoneFlipTest, GrowsWithLogT) {
+  const double eps = 0.1;
+  EXPECT_LT(MonotoneFlipNumberFromLog(eps, 5.0),
+            MonotoneFlipNumberFromLog(eps, 50.0));
+}
+
+TEST(MonotoneFlipTest, ShrinksWithEps) {
+  const double log_t = 20.0;
+  EXPECT_GT(MonotoneFlipNumberFromLog(0.05, log_t),
+            MonotoneFlipNumberFromLog(0.5, log_t));
+}
+
+TEST(MonotoneFlipTest, MatchesClosedForm) {
+  // log T / log(1+eps) + 2, rounded up.
+  const double eps = 0.25, log_t = 10.0;
+  const size_t expected =
+      static_cast<size_t>(std::ceil(log_t / std::log1p(eps))) + 2;
+  EXPECT_EQ(MonotoneFlipNumberFromLog(eps, log_t), expected);
+}
+
+TEST(EmpiricalFlipTest, ConstantSequenceHasOneFlip) {
+  EXPECT_EQ(EmpiricalFlipNumber({5.0, 5.0, 5.0}, 0.1), 1u);
+}
+
+TEST(EmpiricalFlipTest, EmptySequence) {
+  EXPECT_EQ(EmpiricalFlipNumber({}, 0.1), 0u);
+}
+
+TEST(EmpiricalFlipTest, GeometricGrowthFlipsEachStep) {
+  std::vector<double> v;
+  double x = 1.0;
+  for (int i = 0; i < 20; ++i) {
+    v.push_back(x);
+    x *= 1.3;
+  }
+  // Each step moves by a factor 1.3 > 1 + 0.2.
+  EXPECT_EQ(EmpiricalFlipNumber(v, 0.2), 20u);
+}
+
+TEST(EmpiricalFlipTest, SmallWiggleDoesNotFlip) {
+  std::vector<double> v;
+  for (int i = 0; i < 50; ++i) {
+    v.push_back(100.0 * (1.0 + 0.01 * ((i % 2 == 0) ? 1 : -1)));
+  }
+  EXPECT_EQ(EmpiricalFlipNumber(v, 0.2), 1u);
+}
+
+// Cross-check: the empirical flip number of F0 on a worst-case
+// all-distinct stream stays below the Corollary 3.5 formula bound.
+TEST(FlipCrossCheckTest, F0BoundDominatesEmpirical) {
+  const uint64_t n = 4096;
+  ExactOracle oracle;
+  std::vector<double> f0_series;
+  for (const auto& u : DistinctGrowthStream(n)) {
+    oracle.Update(u);
+    f0_series.push_back(static_cast<double>(oracle.F0()));
+  }
+  for (double eps : {0.1, 0.25, 0.5}) {
+    EXPECT_LE(EmpiricalFlipNumber(f0_series, eps), F0FlipNumber(eps, n))
+        << "eps=" << eps;
+  }
+}
+
+TEST(FlipCrossCheckTest, F2BoundDominatesEmpiricalOnUniform) {
+  const uint64_t n = 1 << 12, m = 20000;
+  ExactOracle oracle;
+  std::vector<double> f2_series;
+  for (const auto& u : UniformStream(n, m, 3)) {
+    oracle.Update(u);
+    f2_series.push_back(oracle.F2());
+  }
+  for (double eps : {0.1, 0.3}) {
+    EXPECT_LE(EmpiricalFlipNumber(f2_series, eps),
+              FpFlipNumber(eps, n, /*max_frequency=*/m, 2.0))
+        << "eps=" << eps;
+  }
+}
+
+TEST(FpFlipTest, HigherPLargerBound) {
+  const double eps = 0.2;
+  EXPECT_LE(FpFlipNumber(eps, 1 << 20, 1 << 20, 1.0),
+            FpFlipNumber(eps, 1 << 20, 1 << 20, 3.0));
+}
+
+TEST(EntropyFlipTest, LargerThanMonotoneF1Bound) {
+  // The entropy flip bound pays an extra eps^-1 log^2 n factor over the
+  // plain monotone bound.
+  const double eps = 0.2;
+  const uint64_t n = 1 << 16, m = 1 << 16, M = 1 << 16;
+  EXPECT_GT(EntropyFlipNumber(eps, n, m, M),
+            MonotoneFlipNumberFromLog(eps, std::log(static_cast<double>(m))));
+}
+
+TEST(EntropyFlipTest, EmpiricalExpEntropyBelowBound) {
+  const uint64_t n = 1 << 10, m = 8000;
+  ExactOracle oracle;
+  std::vector<double> series;
+  for (const auto& u : EntropyDriftStream(n, m, 4, 23)) {
+    oracle.Update(u);
+    series.push_back(std::exp2(oracle.EntropyBits()));
+  }
+  const double eps = 0.2;
+  EXPECT_LE(EmpiricalFlipNumber(series, eps),
+            EntropyFlipNumber(eps, n, m, /*max_frequency=*/m));
+}
+
+TEST(BoundedDeletionFlipTest, GrowsWithAlpha) {
+  const double eps = 0.3;
+  EXPECT_LT(BoundedDeletionFlipNumber(eps, 1.0, 1.0, 1 << 16, 1 << 16),
+            BoundedDeletionFlipNumber(eps, 8.0, 1.0, 1 << 16, 1 << 16));
+}
+
+TEST(BoundedDeletionFlipTest, EmpiricalL1BelowBound) {
+  const double alpha = 2.0, eps = 0.25;
+  const uint64_t n = 1 << 14, m = 6000;
+  ExactOracle oracle;
+  std::vector<double> l1_series;
+  for (const auto& u : BoundedDeletionStream(n, m, alpha, 31)) {
+    oracle.Update(u);
+    l1_series.push_back(oracle.Fp(1.0));
+  }
+  EXPECT_LE(EmpiricalFlipNumber(l1_series, eps),
+            BoundedDeletionFlipNumber(eps, alpha, 1.0, n, m));
+}
+
+// Turnstile waves: each wave contributes a constant number of flips, so the
+// total scales linearly in the number of waves — the quantity Theorem 4.3
+// parameterizes by lambda.
+TEST(FlipCrossCheckTest, TurnstileWavesScaleLinearly) {
+  auto flips_for_waves = [](uint64_t waves) {
+    ExactOracle oracle;
+    std::vector<double> f2;
+    for (const auto& u : TurnstileWaveStream(1 << 12, waves, 64, 5)) {
+      oracle.Update(u);
+      f2.push_back(oracle.F2());
+    }
+    return EmpiricalFlipNumber(f2, 0.5);
+  };
+  const size_t f4 = flips_for_waves(4);
+  const size_t f16 = flips_for_waves(16);
+  EXPECT_GT(f16, 2 * f4);
+}
+
+}  // namespace
+}  // namespace rs

@@ -1,0 +1,144 @@
+#include "rs/adversary/game.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "rs/adversary/generic_attacks.h"
+#include "rs/sketch/f1_counter.h"
+#include "rs/stream/generators.h"
+
+namespace rs {
+namespace {
+
+GameOptions BasicOptions(uint64_t max_steps = 1000) {
+  GameOptions o;
+  o.max_steps = max_steps;
+  o.fail_eps = 0.5;
+  o.params.n = 1 << 20;
+  o.params.m = 1 << 20;
+  o.params.model = StreamModel::kInsertionOnly;
+  return o;
+}
+
+// Adversary issuing items out of the domain after a few steps.
+class RuleBreaker : public Adversary {
+ public:
+  std::optional<rs::Update> NextUpdate(double, uint64_t step) override {
+    if (step < 5) return rs::Update{1, 1};
+    return rs::Update{uint64_t{1} << 63, 1};  // Out of domain.
+  }
+  std::string Name() const override { return "RuleBreaker"; }
+};
+
+// Adversary that stops after k updates.
+class ShortScript : public Adversary {
+ public:
+  explicit ShortScript(uint64_t k) : k_(k) {}
+  std::optional<rs::Update> NextUpdate(double, uint64_t step) override {
+    if (step > k_) return std::nullopt;
+    return rs::Update{step, 1};
+  }
+  std::string Name() const override { return "ShortScript"; }
+
+ private:
+  uint64_t k_;
+};
+
+TEST(GameTest, DeterministicAlgorithmNeverLoses) {
+  // F1Counter is deterministic, hence robust: the drift adversary cannot
+  // push it outside any epsilon.
+  F1Counter counter;
+  MeanDriftAttack attack({.n = 1 << 20, .seed = 3});
+  auto options = BasicOptions(2000);
+  // Truth for F1 is the counter itself — exact tracker.
+  const auto result =
+      RunGame(counter, attack,
+              [](const ExactOracle& o) { return static_cast<double>(o.F1()); },
+              options);
+  EXPECT_FALSE(result.adversary_won);
+  EXPECT_DOUBLE_EQ(result.max_rel_error, 0.0);
+  EXPECT_EQ(result.termination, "max_steps");
+}
+
+TEST(GameTest, ModelViolationForfeitsGame) {
+  F1Counter counter;
+  RuleBreaker breaker;
+  const auto result = RunGame(
+      counter, breaker,
+      [](const ExactOracle& o) { return static_cast<double>(o.F1()); },
+      BasicOptions());
+  EXPECT_FALSE(result.adversary_won);
+  EXPECT_NE(result.termination.find("rejected"), std::string::npos);
+  EXPECT_EQ(result.steps, 4u);
+}
+
+TEST(GameTest, AdversaryDoneTermination) {
+  F1Counter counter;
+  ShortScript script(17);
+  const auto result = RunGame(
+      counter, script,
+      [](const ExactOracle& o) { return static_cast<double>(o.F1()); },
+      BasicOptions());
+  EXPECT_EQ(result.steps, 17u);
+  EXPECT_EQ(result.termination, "adversary_done");
+}
+
+TEST(GameTest, BurnInSuppressesEarlyErrors) {
+  // An estimator that always answers 0 fails immediately — unless burn-in
+  // covers the whole run.
+  class Zero : public Estimator {
+   public:
+    void Update(const rs::Update&) override {}
+    double Estimate() const override { return 0.0; }
+    size_t SpaceBytes() const override { return 0; }
+    std::string Name() const override { return "Zero"; }
+  };
+  Zero zero;
+  ShortScript script(50);
+  auto options = BasicOptions(100);
+  options.burn_in = 1000;
+  const auto result = RunGame(
+      zero, script,
+      [](const ExactOracle& o) { return static_cast<double>(o.F1()); },
+      options);
+  EXPECT_FALSE(result.adversary_won);
+}
+
+TEST(GameTest, FixedStreamReplayMatchesOracle) {
+  F1Counter counter;
+  const auto stream = UniformStream(100, 500, 7);
+  const auto result = RunFixedStream(
+      counter, stream,
+      [](const ExactOracle& o) { return static_cast<double>(o.F1()); },
+      BasicOptions(1 << 20));
+  EXPECT_EQ(result.steps, 500u);
+  EXPECT_DOUBLE_EQ(result.max_rel_error, 0.0);
+  EXPECT_DOUBLE_EQ(result.final_truth, 500.0);
+}
+
+TEST(GameTest, TruthFunctionsMatchOracle) {
+  ExactOracle o;
+  o.Update({1, 2});
+  o.Update({2, 1});
+  EXPECT_DOUBLE_EQ(TruthF0()(o), 2.0);
+  EXPECT_DOUBLE_EQ(TruthF2()(o), 5.0);
+  EXPECT_DOUBLE_EQ(TruthFp(1.0)(o), 3.0);
+  EXPECT_NEAR(TruthLp(2.0)(o), std::sqrt(5.0), 1e-12);
+  EXPECT_NEAR(TruthEntropyBits()(o), 0.9183, 1e-3);
+  EXPECT_NEAR(TruthExpEntropy()(o), std::exp2(0.9183), 1e-3);
+}
+
+TEST(GameTest, ObliviousAdversaryReplaysStream) {
+  F1Counter counter;
+  ObliviousAdversary adv(UniformStream(100, 300, 9));
+  const auto result = RunGame(
+      counter, adv,
+      [](const ExactOracle& o) { return static_cast<double>(o.F1()); },
+      BasicOptions(10000));
+  EXPECT_EQ(result.steps, 300u);
+  EXPECT_EQ(result.termination, "adversary_done");
+}
+
+}  // namespace
+}  // namespace rs

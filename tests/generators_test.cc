@@ -1,0 +1,124 @@
+#include "rs/stream/generators.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "rs/stream/exact_oracle.h"
+
+namespace rs {
+namespace {
+
+TEST(UniformStreamTest, LengthAndDomain) {
+  const Stream s = UniformStream(100, 5000, 1);
+  EXPECT_EQ(s.size(), 5000u);
+  for (const auto& u : s) {
+    EXPECT_LT(u.item, 100u);
+    EXPECT_EQ(u.delta, 1);
+  }
+}
+
+TEST(UniformStreamTest, DeterministicBySeed) {
+  const Stream a = UniformStream(100, 100, 9);
+  const Stream b = UniformStream(100, 100, 9);
+  const Stream c = UniformStream(100, 100, 10);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].item, b[i].item);
+  int diffs = 0;
+  for (size_t i = 0; i < a.size(); ++i) diffs += (a[i].item != c[i].item);
+  EXPECT_GT(diffs, 50);
+}
+
+TEST(ZipfStreamTest, SkewIncreasesTopShare) {
+  const uint64_t n = 1000, m = 20000;
+  auto top_share = [&](double s) {
+    ExactOracle o;
+    for (const auto& u : ZipfStream(n, m, s, 3)) o.Update(u);
+    int64_t top = 0;
+    for (const auto& [item, f] : o.frequencies()) top = std::max(top, f);
+    return static_cast<double>(top) / static_cast<double>(m);
+  };
+  const double flat = top_share(0.5);
+  const double skewed = top_share(1.5);
+  EXPECT_GT(skewed, flat * 2.0);
+  EXPECT_GT(skewed, 0.2);  // Zipf(1.5) top item takes a large share.
+}
+
+TEST(DistinctGrowthStreamTest, AllDistinct) {
+  const Stream s = DistinctGrowthStream(1000);
+  std::unordered_set<uint64_t> items;
+  for (const auto& u : s) items.insert(u.item);
+  EXPECT_EQ(items.size(), 1000u);
+}
+
+TEST(PlantedHeavyHitterTest, HeaviesGetTheirShare) {
+  const uint64_t n = 1 << 16, m = 20000;
+  const int k = 4;
+  const Stream s = PlantedHeavyHitterStream(n, m, k, 0.5, 7);
+  const auto heavies = PlantedHeavyItems(n, k, 7);
+  ExactOracle o;
+  for (const auto& u : s) o.Update(u);
+  int64_t heavy_mass = 0;
+  for (uint64_t h : heavies) heavy_mass += o.Frequency(h);
+  // ~50% of the mass should be on the planted items.
+  EXPECT_GT(heavy_mass, static_cast<int64_t>(m / 3));
+  // Each individual heavy is far above a uniform item's expectation.
+  for (uint64_t h : heavies) {
+    EXPECT_GT(o.Frequency(h), static_cast<int64_t>(m / (8 * heavies.size())));
+  }
+}
+
+TEST(TurnstileWaveStreamTest, NetZero) {
+  const Stream s = TurnstileWaveStream(1 << 12, 10, 50, 5);
+  ExactOracle o;
+  for (const auto& u : s) o.Update(u);
+  EXPECT_EQ(o.F0(), 0u);
+  EXPECT_EQ(o.F1(), 0);
+}
+
+TEST(TurnstileWaveStreamTest, PeaksInsideWaves) {
+  const Stream s = TurnstileWaveStream(1 << 12, 1, 50, 5);
+  ExactOracle o;
+  // After the first 50 updates (the inserts) F1 peaks at 50.
+  for (size_t i = 0; i < 50; ++i) o.Update(s[i]);
+  EXPECT_EQ(o.F1(), 50);
+}
+
+TEST(BoundedDeletionStreamTest, AlphaPropertyHolds) {
+  for (double alpha : {1.0, 2.0, 4.0}) {
+    const Stream s = BoundedDeletionStream(1 << 16, 4000, alpha, 11);
+    ExactOracle o;
+    for (const auto& u : s) {
+      o.Update(u);
+      // Definition 8.1 with p = 1: F1 >= (1/alpha) * H1.
+      EXPECT_GE(static_cast<double>(o.F1()) * alpha + 1e-9,
+                o.AbsStreamFp(1.0));
+    }
+  }
+}
+
+TEST(BoundedDeletionStreamTest, Alpha1MeansNoDeletions) {
+  const Stream s = BoundedDeletionStream(1 << 16, 2000, 1.0, 13);
+  for (const auto& u : s) EXPECT_GT(u.delta, 0);
+}
+
+TEST(EntropyDriftStreamTest, EntropyActuallyDrifts) {
+  const uint64_t n = 1 << 10, m = 8000;
+  const Stream s = EntropyDriftStream(n, m, 4, 17);
+  ExactOracle o;
+  double min_h = 1e9, max_h = -1e9;
+  size_t t = 0;
+  for (const auto& u : s) {
+    o.Update(u);
+    if (++t % 500 == 0) {
+      const double h = o.EntropyBits();
+      min_h = std::min(min_h, h);
+      max_h = std::max(max_h, h);
+    }
+  }
+  EXPECT_GT(max_h - min_h, 1.0);  // At least one bit of entropy drift.
+}
+
+}  // namespace
+}  // namespace rs

@@ -1,0 +1,226 @@
+#include "rs/adversary/generic_attacks.h"
+
+#include <gtest/gtest.h>
+
+#include "rs/adversary/game.h"
+#include "rs/core/robust_fp.h"
+#include "rs/core/robust_heavy_hitters.h"
+#include "rs/sketch/ams_f2.h"
+#include "rs/sketch/countsketch.h"
+#include "rs/sketch/f1_counter.h"
+#include "rs/sketch/hash_sample_mean.h"
+#include "rs/sketch/reservoir_mean.h"
+#include "rs/stream/generators.h"
+
+namespace rs {
+namespace {
+
+GameOptions Options(uint64_t max_steps, double fail_eps) {
+  GameOptions o;
+  o.max_steps = max_steps;
+  o.fail_eps = fail_eps;
+  o.params.n = 1 << 20;
+  o.params.m = 1 << 22;
+  o.params.model = StreamModel::kInsertionOnly;
+  o.burn_in = 200;
+  return o;
+}
+
+TEST(SampleEvasionTest, BreaksHashSampling) {
+  // Content-based sampling leaks membership through the published estimate;
+  // the evasion attack finds an unsampled item and routes all mass through
+  // it, detaching truth from the estimate. This is the canonical adaptive
+  // break the paper's wrappers exist to prevent.
+  int wins = 0;
+  for (int trial = 0; trial < 6; ++trial) {
+    HashSampleMean sampler({.rate = 0.25}, 40 + trial);
+    SampleEvasionAttack attack({.n = 1 << 20});
+    const auto result =
+        RunGame(sampler, attack, MeanDriftAttack::TruthOddFraction(),
+                Options(20000, 0.3));
+    wins += result.adversary_won;
+  }
+  EXPECT_GE(wins, 5);
+}
+
+TEST(SampleEvasionTest, HashSamplingFineWhenOblivious) {
+  // Control: the same sampler is accurate on a non-adaptive stream.
+  HashSampleMean sampler({.rate = 0.25}, 3);
+  ObliviousAdversary oblivious(UniformStream(1 << 20, 60000, 7));
+  const auto result =
+      RunGame(sampler, oblivious, MeanDriftAttack::TruthOddFraction(),
+              Options(60000, 0.3));
+  EXPECT_FALSE(result.adversary_won);
+}
+
+TEST(MeanDriftAttackTest, ReservoirSelfCorrects) {
+  // The positive result of [5]: *positional* sampling is adversarially
+  // robust (up to slightly larger samples) — the drift attack that shreds
+  // content-based samplers cannot build a persistent gap against a
+  // reservoir, because every new position gets a fresh keep/drop coin and
+  // the sample keeps chasing the all-time mean.
+  int wins = 0;
+  for (int trial = 0; trial < 4; ++trial) {
+    ReservoirMean sampler(256, 40 + trial);
+    MeanDriftAttack attack({.n = 1 << 20, .seed = static_cast<uint64_t>(trial)});
+    const auto result =
+        RunGame(sampler, attack, MeanDriftAttack::TruthOddFraction(),
+                Options(60000, 0.3));
+    wins += result.adversary_won;
+  }
+  EXPECT_LE(wins, 1);
+}
+
+TEST(MeanDriftAttackTest, ObliviousStreamIsFineForReservoir) {
+  // Control: without adaptivity the same sampler is accurate.
+  ReservoirMean sampler(256, 5);
+  ObliviousAdversary oblivious(UniformStream(1 << 20, 60000, 7));
+  const auto result =
+      RunGame(sampler, oblivious, MeanDriftAttack::TruthOddFraction(),
+              Options(60000, 0.3));
+  EXPECT_FALSE(result.adversary_won);
+}
+
+TEST(MeanDriftAttackTest, DeterministicTrackerImmune) {
+  // Tracking the odd fraction with exact counters (deterministic) is
+  // trivially robust to the same attack.
+  class ExactOddFraction : public Estimator {
+   public:
+    void Update(const rs::Update& u) override {
+      total_ += u.delta;
+      if (u.item & 1) odd_ += u.delta;
+    }
+    double Estimate() const override {
+      return total_ == 0 ? 0.0
+                         : static_cast<double>(odd_) /
+                               static_cast<double>(total_);
+    }
+    size_t SpaceBytes() const override { return 16; }
+    std::string Name() const override { return "ExactOddFraction"; }
+
+   private:
+    int64_t odd_ = 0, total_ = 0;
+  };
+  ExactOddFraction exact;
+  MeanDriftAttack attack({.n = 1 << 20, .seed = 3});
+  const auto result =
+      RunGame(exact, attack, MeanDriftAttack::TruthOddFraction(),
+              Options(30000, 0.1));
+  EXPECT_FALSE(result.adversary_won);
+}
+
+TEST(F2DriftAttackTest, DegradesPlainAmsMedians) {
+  // The generic undercounted-item hunt, using no inside knowledge of the
+  // sketch. Against a *single-group* AMS estimator (no median protection),
+  // it should inflate the error well beyond the oblivious regime.
+  int wins = 0;
+  for (int trial = 0; trial < 5; ++trial) {
+    AmsLinearSketch sketch(64, 500 + trial);
+    F2DriftAttack attack({.n = 1 << 20,
+                          .spike = 64,
+                          .max_repeats = 128,
+                          .seed = static_cast<uint64_t>(trial)});
+    const auto result =
+        RunGame(sketch, attack, TruthF2(), Options(30000, 0.5));
+    wins += result.adversary_won;
+  }
+  EXPECT_GE(wins, 3);
+}
+
+TEST(F2DriftAttackTest, RobustF2Survives) {
+  RobustFp::Config cfg;
+  cfg.p = 2.0;
+  cfg.eps = 0.4;
+  cfg.n = 1 << 20;
+  cfg.m = 1 << 20;
+  cfg.method = RobustFp::Method::kSketchSwitching;
+  int losses = 0;
+  for (int trial = 0; trial < 3; ++trial) {
+    RobustFp robust(cfg, 900 + trial);
+    F2DriftAttack attack({.n = 1 << 20,
+                          .spike = 64,
+                          .max_repeats = 128,
+                          .seed = static_cast<uint64_t>(trial) + 31});
+    GameOptions options = Options(3000, 0.5);
+    options.burn_in = 64;
+    const auto result = RunGame(robust, attack, TruthF2(), options);
+    losses += result.adversary_won;
+  }
+  EXPECT_EQ(losses, 0);
+}
+
+TEST(PointQueryCollisionTest, BreaksCountSketchPointQueries) {
+  // The collision hunt detaches the published point query from the target's
+  // true frequency (the [20]-flavoured break motivating Theorem 6.5).
+  int wins = 0;
+  for (int trial = 0; trial < 5; ++trial) {
+    CountSketch::Config cs;
+    cs.eps = 0.25;
+    cs.delta = 0.05;
+    CountSketch sketch(cs, 600 + trial);
+    PointQueryView view(&sketch, /*target=*/1);
+    PointQueryCollisionAttack attack({.target = 1});
+    GameOptions options = Options(8000, 0.5);
+    options.burn_in = 2;
+    const auto result =
+        RunGame(view, attack, PointQueryCollisionAttack::TruthTargetFrequency(1),
+                options);
+    wins += result.adversary_won;
+  }
+  EXPECT_GE(wins, 4);
+}
+
+TEST(PointQueryCollisionTest, CountSketchFineWhenOblivious) {
+  CountSketch::Config cs;
+  cs.eps = 0.25;
+  cs.delta = 0.05;
+  CountSketch sketch(cs, 777);
+  PointQueryView view(&sketch, /*target=*/1);
+  // Same mass profile as the attack would create, but non-adaptive.
+  Stream stream;
+  stream.push_back({1, 10000});
+  Stream tail = UniformStream(1 << 20, 6000, 13);
+  stream.insert(stream.end(), tail.begin(), tail.end());
+  ObliviousAdversary oblivious(std::move(stream));
+  GameOptions options = Options(8000, 0.5);
+  options.burn_in = 2;
+  const auto result =
+      RunGame(view, oblivious,
+              PointQueryCollisionAttack::TruthTargetFrequency(1), options);
+  EXPECT_FALSE(result.adversary_won);
+}
+
+TEST(PointQueryCollisionTest, RobustHeavyHittersSurvives) {
+  // Epoch-frozen point queries starve the probe loop of feedback; the hunt
+  // finds nothing and the guarantee holds.
+  int losses = 0;
+  for (int trial = 0; trial < 3; ++trial) {
+    RobustHeavyHitters::Config cfg;
+    cfg.eps = 0.25;
+    cfg.n = 1 << 20;
+    cfg.m = 1 << 20;
+    RobustHeavyHitters hh(cfg, 800 + trial);
+    PointQueryView view(&hh, /*target=*/1);
+    PointQueryCollisionAttack attack({.target = 1});
+    GameOptions options = Options(8000, 0.5);
+    options.burn_in = 2;
+    const auto result =
+        RunGame(view, attack, PointQueryCollisionAttack::TruthTargetFrequency(1),
+                options);
+    losses += result.adversary_won;
+  }
+  EXPECT_EQ(losses, 0);
+}
+
+TEST(ObliviousAdversaryTest, StopsAtStreamEnd) {
+  F1Counter counter;
+  ObliviousAdversary adv(UniformStream(100, 50, 1));
+  const auto result = RunGame(
+      counter, adv,
+      [](const ExactOracle& o) { return static_cast<double>(o.F1()); },
+      Options(1000, 0.5));
+  EXPECT_EQ(result.steps, 50u);
+}
+
+}  // namespace
+}  // namespace rs

@@ -1,0 +1,92 @@
+#include "rs/sketch/hash_sample_mean.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "rs/stream/exact_oracle.h"
+#include "rs/stream/generators.h"
+#include "rs/util/rng.h"
+
+namespace rs {
+namespace {
+
+TEST(HashSampleMeanTest, EmptyStreamReportsZero) {
+  HashSampleMean sampler({.rate = 0.5}, 1);
+  EXPECT_DOUBLE_EQ(sampler.Estimate(), 0.0);
+  EXPECT_EQ(sampler.sampled_mass(), 0u);
+}
+
+TEST(HashSampleMeanTest, RateOneKeepsEverything) {
+  HashSampleMean sampler({.rate = 1.0}, 2);
+  uint64_t mass = 0;
+  for (const auto& u : UniformStream(1 << 12, 2000, 3)) {
+    sampler.Update(u);
+    mass += static_cast<uint64_t>(u.delta);
+  }
+  EXPECT_EQ(sampler.sampled_mass(), mass);
+}
+
+TEST(HashSampleMeanTest, SampledMassNearRate) {
+  const double rate = 0.25;
+  HashSampleMean sampler({.rate = rate}, 4);
+  uint64_t mass = 0;
+  for (const auto& u : UniformStream(1 << 14, 20000, 5)) {
+    sampler.Update(u);
+    mass += static_cast<uint64_t>(u.delta);
+  }
+  const double frac =
+      static_cast<double>(sampler.sampled_mass()) / static_cast<double>(mass);
+  EXPECT_NEAR(frac, rate, 0.05);
+}
+
+TEST(HashSampleMeanTest, AccurateOnObliviousStream) {
+  // Static correctness: the sampled odd fraction concentrates around the
+  // true odd fraction on a stream fixed in advance.
+  HashSampleMean sampler({.rate = 0.25}, 6);
+  ExactOracle oracle;
+  for (const auto& u : UniformStream(1 << 14, 40000, 7)) {
+    sampler.Update(u);
+    oracle.Update(u);
+  }
+  double odd = 0.0, total = 0.0;
+  for (const auto& [item, f] : oracle.frequencies()) {
+    total += static_cast<double>(f);
+    if (item & 1) odd += static_cast<double>(f);
+  }
+  EXPECT_NEAR(sampler.Estimate(), odd / total, 0.05);
+}
+
+TEST(HashSampleMeanTest, DuplicateMassFollowsItemCoin) {
+  // All-or-none semantics: every occurrence of a sampled item is kept and
+  // every occurrence of an unsampled item is dropped — the property that
+  // makes the scheme coordination-friendly and adversarially fragile.
+  HashSampleMean sampler({.rate = 0.5}, 8);
+  sampler.Update({42, 7});
+  const uint64_t after_first = sampler.sampled_mass();
+  sampler.Update({42, 9});
+  const uint64_t after_second = sampler.sampled_mass();
+  if (after_first == 0) {
+    EXPECT_EQ(after_second, 0u);
+  } else {
+    EXPECT_EQ(after_first, 7u);
+    EXPECT_EQ(after_second, 16u);
+  }
+}
+
+TEST(HashSampleMeanTest, DistinctSeedsSampleDifferently) {
+  // The hidden hash differs across instances — seeds decorrelate which items
+  // are kept (sanity for the independence assumptions in the attack tests).
+  int differing = 0;
+  for (uint64_t item = 1; item <= 64; ++item) {
+    HashSampleMean a({.rate = 0.5}, 100);
+    HashSampleMean b({.rate = 0.5}, 200);
+    a.Update({item, 1});
+    b.Update({item, 1});
+    differing += (a.sampled_mass() != b.sampled_mass());
+  }
+  EXPECT_GT(differing, 8);
+}
+
+}  // namespace
+}  // namespace rs

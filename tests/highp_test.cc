@@ -1,0 +1,104 @@
+#include "rs/sketch/highp_fp.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "rs/stream/exact_oracle.h"
+#include "rs/stream/generators.h"
+#include "rs/util/stats.h"
+
+namespace rs {
+namespace {
+
+HighpFp::Config TestConfig(double p, size_t s1 = 4096, size_t s2 = 3) {
+  HighpFp::Config c;
+  c.p = p;
+  c.eps = 0.2;
+  c.n = 1 << 10;
+  c.s1_override = s1;
+  c.s2_override = s2;
+  return c;
+}
+
+TEST(HighpTest, SingleHeavyItem) {
+  // f = (w): Fp = w^p exactly; every sample lands on the item.
+  HighpFp sketch(TestConfig(3.0, 512), 1);
+  for (int i = 0; i < 64; ++i) sketch.Update({5, 1});
+  EXPECT_NEAR(sketch.Estimate(), std::pow(64.0, 3.0),
+              0.02 * std::pow(64.0, 3.0));
+}
+
+TEST(HighpTest, UniformStreamAccuracy) {
+  const uint64_t n = 256, m = 8000;
+  std::vector<double> errors;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    HighpFp sketch(TestConfig(3.0), seed * 5 + 1);
+    ExactOracle oracle;
+    for (const auto& u : UniformStream(n, m, seed + 9)) {
+      sketch.Update(u);
+      oracle.Update(u);
+    }
+    errors.push_back(RelativeError(sketch.Estimate(), oracle.Fp(3.0)));
+  }
+  EXPECT_LE(Median(errors), 0.25);
+}
+
+TEST(HighpTest, SkewedStreamAccuracy) {
+  const uint64_t n = 1 << 10, m = 8000;
+  std::vector<double> errors;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    HighpFp sketch(TestConfig(2.5, 8192), seed * 3 + 2);
+    ExactOracle oracle;
+    for (const auto& u : ZipfStream(n, m, 1.5, seed + 21)) {
+      sketch.Update(u);
+      oracle.Update(u);
+    }
+    errors.push_back(RelativeError(sketch.Estimate(), oracle.Fp(2.5)));
+  }
+  EXPECT_LE(Median(errors), 0.3);
+}
+
+TEST(HighpTest, TracksMidStream) {
+  HighpFp sketch(TestConfig(3.0), 7);
+  ExactOracle oracle;
+  const auto stream = ZipfStream(512, 6000, 1.2, 4);
+  size_t t = 0;
+  std::vector<double> errors;
+  for (const auto& u : stream) {
+    sketch.Update(u);
+    oracle.Update(u);
+    if (++t % 1000 == 0) {
+      errors.push_back(RelativeError(sketch.Estimate(), oracle.Fp(3.0)));
+    }
+  }
+  EXPECT_LE(Median(errors), 0.35);
+}
+
+TEST(HighpTest, TheoreticalSizingGrowsWithN) {
+  HighpFp::Config small_n;
+  small_n.p = 3.0;
+  small_n.n = 1 << 8;
+  HighpFp::Config large_n = small_n;
+  large_n.n = 1 << 16;
+  HighpFp a(small_n, 1), b(large_n, 1);
+  EXPECT_GT(b.s1(), a.s1());
+  // Space exponent: n^{1 - 1/p} ratio for n ratio 2^8 is 2^{8 * 2/3} ~ 40.
+  EXPECT_GT(b.s1(), 20 * a.s1());
+}
+
+TEST(HighpTest, MultiUnitDeltasMatchUnitExpansion) {
+  HighpFp a(TestConfig(3.0, 1024), 5);
+  HighpFp b(TestConfig(3.0, 1024), 5);
+  a.Update({3, 4});
+  for (int i = 0; i < 4; ++i) b.Update({3, 1});
+  EXPECT_DOUBLE_EQ(a.Estimate(), b.Estimate());
+}
+
+TEST(HighpTest, EmptyIsZero) {
+  HighpFp sketch(TestConfig(4.0, 128), 3);
+  EXPECT_DOUBLE_EQ(sketch.Estimate(), 0.0);
+}
+
+}  // namespace
+}  // namespace rs

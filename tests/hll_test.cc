@@ -1,0 +1,58 @@
+#include "rs/sketch/hll_f0.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "rs/util/stats.h"
+
+namespace rs {
+namespace {
+
+TEST(HllTest, SmallRangeLinearCounting) {
+  HllF0 hll(10, 1);
+  for (uint64_t i = 0; i < 100; ++i) hll.Update({i, 1});
+  EXPECT_NEAR(hll.Estimate(), 100.0, 15.0);
+}
+
+TEST(HllTest, LargeRangeAccuracy) {
+  std::vector<double> errors;
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    HllF0 hll(12, seed + 1);
+    for (uint64_t i = 0; i < 300000; ++i) hll.Update({i, 1});
+    errors.push_back(RelativeError(hll.Estimate(), 300000.0));
+  }
+  // Standard error ~1.04/sqrt(4096) = 1.6%; allow 3x.
+  EXPECT_LE(Median(errors), 0.05);
+}
+
+TEST(HllTest, DuplicateInsensitive) {
+  HllF0 hll(8, 3);
+  for (uint64_t i = 0; i < 5000; ++i) hll.Update({i, 1});
+  const double before = hll.Estimate();
+  for (int rep = 0; rep < 3; ++rep) {
+    for (uint64_t i = 0; i < 5000; ++i) hll.Update({i, 1});
+  }
+  EXPECT_DOUBLE_EQ(hll.Estimate(), before);
+}
+
+TEST(HllTest, MonotoneInDistinctCount) {
+  HllF0 hll(10, 4);
+  double last = 0.0;
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    for (uint64_t i = 0; i < 20000; ++i) {
+      hll.Update({static_cast<uint64_t>(epoch) * 20000 + i, 1});
+    }
+    const double est = hll.Estimate();
+    EXPECT_GT(est, last);
+    last = est;
+  }
+}
+
+TEST(HllTest, SpaceIsRegistersPlusHash) {
+  HllF0 hll(12, 5);
+  EXPECT_EQ(hll.SpaceBytes(), (1u << 12) + TabulationHash::SpaceBytes());
+}
+
+}  // namespace
+}  // namespace rs

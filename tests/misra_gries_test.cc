@@ -1,0 +1,98 @@
+#include "rs/sketch/misra_gries.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "rs/stream/exact_oracle.h"
+#include "rs/stream/generators.h"
+
+namespace rs {
+namespace {
+
+TEST(MisraGriesTest, ExactWhenFewItems) {
+  MisraGries mg(10);
+  mg.Update({1, 5});
+  mg.Update({2, 3});
+  EXPECT_DOUBLE_EQ(mg.PointQuery(1), 5.0);
+  EXPECT_DOUBLE_EQ(mg.PointQuery(2), 3.0);
+  EXPECT_DOUBLE_EQ(mg.PointQuery(3), 0.0);
+}
+
+TEST(MisraGriesTest, UndercountBoundedByF1OverK) {
+  const uint64_t n = 1 << 12, m = 30000;
+  const size_t k = 128;
+  MisraGries mg(k);
+  ExactOracle oracle;
+  for (const auto& u : ZipfStream(n, m, 1.2, 3)) {
+    mg.Update(u);
+    oracle.Update(u);
+  }
+  const double max_under =
+      static_cast<double>(oracle.F1()) / static_cast<double>(k + 1);
+  EXPECT_LE(mg.ErrorBound(), max_under + 1e-9);
+  for (const auto& [item, f] : oracle.frequencies()) {
+    const double est = mg.PointQuery(item);
+    ASSERT_LE(est, static_cast<double>(f) + 1e-9);           // Never over.
+    ASSERT_GE(est, static_cast<double>(f) - max_under - 1e-9);  // Bounded under.
+  }
+}
+
+TEST(MisraGriesTest, FindsL1HeavyHitters) {
+  const uint64_t n = 1 << 14, m = 20000;
+  MisraGries mg(64);
+  ExactOracle oracle;
+  for (const auto& u : PlantedHeavyHitterStream(n, m, 4, 0.6, 9)) {
+    mg.Update(u);
+    oracle.Update(u);
+  }
+  // Items above 2 * F1/(k+1) must be reported with threshold F1/(k+1).
+  const double err = mg.ErrorBound();
+  const auto reported = mg.HeavyHitters(err);
+  for (const auto& [item, f] : oracle.frequencies()) {
+    if (static_cast<double>(f) >= 2.0 * err + 1.0) {
+      EXPECT_TRUE(std::find(reported.begin(), reported.end(), item) !=
+                  reported.end())
+          << "item " << item << " with f=" << f;
+    }
+  }
+}
+
+TEST(MisraGriesTest, DeterministicAndThusRobust) {
+  // Same stream -> same state, regardless of construction order of other
+  // instances (no randomness anywhere).
+  MisraGries a(16), b(16);
+  const auto stream = ZipfStream(1 << 10, 5000, 1.1, 7);
+  for (const auto& u : stream) {
+    a.Update(u);
+    b.Update(u);
+  }
+  for (uint64_t item = 0; item < 100; ++item) {
+    EXPECT_DOUBLE_EQ(a.PointQuery(item), b.PointQuery(item));
+  }
+}
+
+TEST(MisraGriesTest, BatchedDeltasMatchUnitInserts) {
+  MisraGries a(8), b(8);
+  a.Update({1, 7});
+  for (int i = 0; i < 7; ++i) b.Update({1, 1});
+  EXPECT_DOUBLE_EQ(a.PointQuery(1), b.PointQuery(1));
+}
+
+TEST(MisraGriesTest, EvictionKeepsHeavyItem) {
+  MisraGries mg(2);
+  // Heavy item 1 with 100 inserts, then 50 distinct light items.
+  mg.Update({1, 100});
+  for (uint64_t i = 2; i < 52; ++i) mg.Update({i, 1});
+  // Item 1 must survive with a large count.
+  EXPECT_GT(mg.PointQuery(1), 40.0);
+}
+
+TEST(MisraGriesTest, SpaceBoundedByK) {
+  MisraGries mg(32);
+  for (uint64_t i = 0; i < 10000; ++i) mg.Update({i, 1});
+  EXPECT_LE(mg.SpaceBytes(), 32 * 64 + sizeof(MisraGries));
+}
+
+}  // namespace
+}  // namespace rs

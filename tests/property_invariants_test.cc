@@ -1,0 +1,239 @@
+// Cross-cutting property sweeps: invariants that must hold for *every*
+// estimator / grain / seed combination, checked over parameter grids. These
+// complement the per-module unit tests with the properties the framework
+// proofs actually consume:
+//  * rounding algebra (Section 3 rounding is idempotent, symmetric, and a
+//    (1+eps/2)-approximation),
+//  * published outputs live on the rounding grid and change rarely,
+//  * bit-for-bit determinism under fixed seeds (the reproducibility
+//    contract every experiment relies on),
+//  * seed-sensitivity (independent copies are actually independent-looking).
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rs/core/rounding.h"
+#include "rs/core/sketch_switching.h"
+#include "rs/sketch/ams_f2.h"
+#include "rs/sketch/countsketch.h"
+#include "rs/sketch/entropy_sketch.h"
+#include "rs/sketch/fast_f0.h"
+#include "rs/sketch/hll_f0.h"
+#include "rs/sketch/kmv_f0.h"
+#include "rs/sketch/pstable_fp.h"
+#include "rs/stream/generators.h"
+
+namespace rs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rounding algebra.
+
+class RoundingGrainSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RoundingGrainSweep, RoundIsMultiplicativeApproximation) {
+  const double eps = GetParam();
+  for (double x : {1e-6, 0.037, 0.5, 1.0, 3.7, 1234.5, 8.8e7}) {
+    const double r = RoundToPowerOf1PlusEps(x, eps);
+    EXPECT_LE(r / x, 1.0 + eps / 2.0 + 1e-12) << "x=" << x;
+    EXPECT_GE(r / x, 1.0 / (1.0 + eps / 2.0) - 1e-12) << "x=" << x;
+  }
+}
+
+TEST_P(RoundingGrainSweep, RoundIsIdempotent) {
+  const double eps = GetParam();
+  for (double x : {0.02, 1.0, 17.3, 9.9e5}) {
+    const double once = RoundToPowerOf1PlusEps(x, eps);
+    EXPECT_DOUBLE_EQ(RoundToPowerOf1PlusEps(once, eps), once);
+  }
+}
+
+TEST_P(RoundingGrainSweep, RoundIsOddFunction) {
+  const double eps = GetParam();
+  EXPECT_DOUBLE_EQ(RoundToPowerOf1PlusEps(0.0, eps), 0.0);
+  for (double x : {0.5, 2.0, 333.3}) {
+    EXPECT_DOUBLE_EQ(RoundToPowerOf1PlusEps(-x, eps),
+                     -RoundToPowerOf1PlusEps(x, eps));
+  }
+}
+
+TEST_P(RoundingGrainSweep, StickyRounderChangeCountIsLogarithmic) {
+  const double eps = GetParam();
+  EpsilonRounder rounder(eps);
+  const double growth_factor = 1e6;
+  for (double x = 1.0; x <= growth_factor; x *= 1.01) rounder.Feed(x);
+  // Changes over a range [1, G]: at most log_{1+eps}(G) plus slack for the
+  // two boundary roundings.
+  const double bound = std::log(growth_factor) / std::log1p(eps) + 2.0;
+  EXPECT_LE(static_cast<double>(rounder.change_count()), bound);
+  EXPECT_GE(rounder.change_count(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grains, RoundingGrainSweep,
+                         ::testing::Values(0.02, 0.05, 0.1, 0.2, 0.4, 0.8));
+
+// ---------------------------------------------------------------------------
+// Published outputs of the switching wrapper live on the rounding grid.
+
+class ExactCounterBase : public Estimator {
+ public:
+  explicit ExactCounterBase(uint64_t) {}
+  void Update(const rs::Update& u) override {
+    if (u.delta > 0) count_ += static_cast<uint64_t>(u.delta);
+  }
+  double Estimate() const override { return static_cast<double>(count_); }
+  size_t SpaceBytes() const override { return sizeof(count_); }
+  std::string Name() const override { return "ExactCounterBase"; }
+
+ private:
+  uint64_t count_ = 0;
+};
+
+class SwitchingGridSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SwitchingGridSweep, PublishedValuesAreGridPoints) {
+  const double eps = GetParam();
+  SketchSwitching::Config cfg;
+  cfg.eps = eps;
+  cfg.copies = SketchSwitching::RingSizeForEpsilon(eps);
+  SketchSwitching sw(
+      cfg, [](uint64_t s) { return std::make_unique<ExactCounterBase>(s); },
+      99);
+  for (uint64_t i = 1; i <= 3000; ++i) {
+    sw.Update({i, 1});
+    const double out = sw.Estimate();
+    if (out == 0.0) continue;
+    // Grid membership: re-rounding a published value must not move it.
+    EXPECT_DOUBLE_EQ(RoundToPowerOf1PlusEps(out, eps / 2.0), out)
+        << "step " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grains, SwitchingGridSweep,
+                         ::testing::Values(0.1, 0.25, 0.5));
+
+// ---------------------------------------------------------------------------
+// Determinism and seed sensitivity across every static sketch.
+
+struct SketchCase {
+  std::string name;
+  EstimatorFactory factory;
+};
+
+std::vector<SketchCase> AllSketches() {
+  std::vector<SketchCase> cases;
+  cases.push_back({"kmv", [](uint64_t s) {
+                     return std::make_unique<KmvF0>(KmvF0::Config{.k = 256},
+                                                    s);
+                   }});
+  cases.push_back({"fast_f0", [](uint64_t s) {
+                     FastF0::Config c;
+                     c.eps = 0.2;
+                     c.n = 1 << 16;
+                     return std::make_unique<FastF0>(c, s);
+                   }});
+  cases.push_back({"hll", [](uint64_t s) {
+                     return std::make_unique<HllF0>(/*b=*/10, s);
+                   }});
+  cases.push_back({"ams", [](uint64_t s) {
+                     return std::make_unique<AmsF2>(AmsF2::Config{}, s);
+                   }});
+  cases.push_back({"pstable_p1", [](uint64_t s) {
+                     PStableFp::Config c;
+                     c.p = 1.0;
+                     c.eps = 0.25;
+                     return std::make_unique<PStableFp>(c, s);
+                   }});
+  cases.push_back({"countsketch", [](uint64_t s) {
+                     CountSketch::Config c;
+                     c.eps = 0.2;
+                     return std::make_unique<CountSketch>(c, s);
+                   }});
+  cases.push_back({"entropy", [](uint64_t s) {
+                     EntropySketch::Config c;
+                     c.eps = 0.4;
+                     return std::make_unique<EntropySketch>(c, s);
+                   }});
+  return cases;
+}
+
+class SketchDeterminismSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SketchDeterminismSweep, SameSeedSameEstimates) {
+  const SketchCase c = AllSketches()[GetParam()];
+  auto a = c.factory(12345);
+  auto b = c.factory(12345);
+  const Stream stream = UniformStream(1 << 12, 4000, 8);
+  for (size_t t = 0; t < stream.size(); ++t) {
+    a->Update(stream[t]);
+    b->Update(stream[t]);
+    if (t % 500 == 0) {
+      EXPECT_DOUBLE_EQ(a->Estimate(), b->Estimate())
+          << c.name << " diverged at step " << t;
+    }
+  }
+  EXPECT_DOUBLE_EQ(a->Estimate(), b->Estimate()) << c.name;
+}
+
+TEST_P(SketchDeterminismSweep, DifferentSeedsDecorrelate) {
+  const SketchCase c = AllSketches()[GetParam()];
+  if (c.name == "fast_f0") {
+    // FastF0 answers from its deterministic exact-tracking phase for the
+    // first Theta(B) distinct items (paper Algorithm 2 stores them
+    // verbatim), so short streams legitimately produce seed-independent
+    // outputs. Its randomized phase is covered by fast_f0_test.
+    GTEST_SKIP();
+  }
+  auto a = c.factory(1);
+  auto b = c.factory(2);
+  for (const auto& u : UniformStream(1 << 12, 4000, 9)) {
+    a->Update(u);
+    b->Update(u);
+  }
+  // Not a statistical test — only that the seed actually reaches the
+  // randomness (identical outputs would mean a plumbing bug).
+  EXPECT_NE(a->Estimate(), b->Estimate()) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSketches, SketchDeterminismSweep,
+                         ::testing::Range<size_t>(0, 7));
+
+// ---------------------------------------------------------------------------
+// Estimates are non-negative and finite for every sketch on every workload.
+
+class SketchSanitySweep
+    : public ::testing::TestWithParam<std::tuple<size_t, int>> {};
+
+TEST_P(SketchSanitySweep, EstimatesFiniteAndNonNegative) {
+  const auto [sketch_idx, workload] = GetParam();
+  const SketchCase c = AllSketches()[sketch_idx];
+  auto sketch = c.factory(31);
+  Stream stream;
+  switch (workload) {
+    case 0: stream = UniformStream(1 << 12, 3000, 11); break;
+    case 1: stream = ZipfStream(1 << 12, 3000, 1.2, 13); break;
+    case 2: stream = DistinctGrowthStream(3000); break;
+    default: stream = PlantedHeavyHitterStream(1 << 12, 3000, 3, 0.6, 17);
+  }
+  for (const auto& u : stream) {
+    sketch->Update(u);
+    const double e = sketch->Estimate();
+    ASSERT_TRUE(std::isfinite(e)) << c.name << " workload " << workload;
+    ASSERT_GE(e, 0.0) << c.name << " workload " << workload;
+  }
+  EXPECT_GT(sketch->SpaceBytes(), 0u);
+  EXPECT_FALSE(sketch->Name().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SketchSanitySweep,
+    ::testing::Combine(::testing::Range<size_t>(0, 7),
+                       ::testing::Values(0, 1, 2, 3)));
+
+}  // namespace
+}  // namespace rs

@@ -1,0 +1,108 @@
+#include "rs/sketch/pstable_fp.h"
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "rs/stream/exact_oracle.h"
+#include "rs/stream/generators.h"
+#include "rs/util/stats.h"
+
+namespace rs {
+namespace {
+
+TEST(PStableTest, SingleItemNorm) {
+  // One coordinate with weight w: ||f||_p = w for every p.
+  for (double p : {0.5, 1.0, 1.5, 2.0}) {
+    std::vector<double> estimates;
+    for (uint64_t seed = 0; seed < 8; ++seed) {
+      PStableFp sketch({.p = p, .eps = 0.15}, seed * 7 + 1);
+      sketch.Update({42, 10});
+      estimates.push_back(sketch.NormEstimate());
+    }
+    EXPECT_NEAR(Median(estimates), 10.0, 1.5) << "p=" << p;
+  }
+}
+
+class PStableAccuracySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PStableAccuracySweep, UniformStreamWithinEps) {
+  const double p = GetParam();
+  const uint64_t n = 1 << 10, m = 4000;
+  std::vector<double> errors;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    PStableFp sketch({.p = p, .eps = 0.1}, seed * 11 + 3);
+    ExactOracle oracle;
+    for (const auto& u : UniformStream(n, m, seed + 50)) {
+      sketch.Update(u);
+      oracle.Update(u);
+    }
+    errors.push_back(RelativeError(sketch.Estimate(), oracle.Fp(p)));
+  }
+  // Fp = Lp^p amplifies the norm error by ~p; allow 2.5 * p * eps.
+  EXPECT_LE(Median(errors), 2.5 * std::max(1.0, p) * 0.1) << "p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(Moments, PStableAccuracySweep,
+                         ::testing::Values(0.5, 1.0, 1.5, 2.0));
+
+TEST(PStableTest, TurnstileNetZero) {
+  PStableFp sketch({.p = 1.0, .eps = 0.2}, 5);
+  for (const auto& u : TurnstileWaveStream(1 << 10, 4, 64, 7)) {
+    sketch.Update(u);
+  }
+  EXPECT_NEAR(sketch.Estimate(), 0.0, 2.0);
+}
+
+TEST(PStableTest, TurnstilePartialDeletions) {
+  PStableFp sketch({.p = 2.0, .eps = 0.1}, 9);
+  ExactOracle oracle;
+  // Insert 200 items with weight 3, delete 2 from each.
+  for (uint64_t i = 0; i < 200; ++i) {
+    sketch.Update({i, 3});
+    oracle.Update({i, 3});
+  }
+  for (uint64_t i = 0; i < 200; ++i) {
+    sketch.Update({i, -2});
+    oracle.Update({i, -2});
+  }
+  EXPECT_NEAR(sketch.Estimate(), oracle.F2(), 0.3 * oracle.F2());
+}
+
+TEST(PStableTest, NormVsPowerConsistency) {
+  PStableFp sketch({.p = 1.5, .eps = 0.2}, 13);
+  for (uint64_t i = 0; i < 500; ++i) sketch.Update({i, 1});
+  EXPECT_NEAR(std::pow(sketch.NormEstimate(), 1.5), sketch.Estimate(), 1e-9);
+}
+
+TEST(PStableTest, KOverrideControlsSpace) {
+  PStableFp small({.p = 1.0, .eps = 0.5, .k_override = 21}, 1);
+  PStableFp large({.p = 1.0, .eps = 0.5, .k_override = 201}, 1);
+  EXPECT_EQ(small.k(), 21u);
+  EXPECT_EQ(large.k(), 201u);
+  EXPECT_GT(large.SpaceBytes(), small.SpaceBytes());
+}
+
+TEST(PStableTest, TrackingAlongGrowingStream) {
+  PStableFp sketch({.p = 1.0, .eps = 0.1}, 17);
+  ExactOracle oracle;
+  const auto stream = ZipfStream(1 << 10, 5000, 1.1, 3);
+  size_t t = 0;
+  for (const auto& u : stream) {
+    sketch.Update(u);
+    oracle.Update(u);
+    if (++t % 500 == 0) {
+      EXPECT_NEAR(sketch.Estimate(), oracle.Fp(1.0), 0.3 * oracle.Fp(1.0))
+          << "at step " << t;
+    }
+  }
+}
+
+TEST(PStableTest, EmptyStreamIsZero) {
+  PStableFp sketch({.p = 1.0, .eps = 0.3}, 19);
+  EXPECT_DOUBLE_EQ(sketch.Estimate(), 0.0);
+}
+
+}  // namespace
+}  // namespace rs

@@ -1,0 +1,49 @@
+#include "rs/sketch/reservoir_mean.h"
+
+#include <gtest/gtest.h>
+
+#include "rs/util/stats.h"
+
+namespace rs {
+namespace {
+
+TEST(ReservoirMeanTest, AllOnes) {
+  ReservoirMean r(32, 1);
+  for (uint64_t i = 0; i < 1000; ++i) r.Update({2 * i + 1, 1});  // All odd.
+  EXPECT_DOUBLE_EQ(r.Estimate(), 1.0);
+}
+
+TEST(ReservoirMeanTest, AllZeros) {
+  ReservoirMean r(32, 2);
+  for (uint64_t i = 0; i < 1000; ++i) r.Update({2 * i, 1});  // All even.
+  EXPECT_DOUBLE_EQ(r.Estimate(), 0.0);
+}
+
+TEST(ReservoirMeanTest, BalancedStreamNearHalf) {
+  std::vector<double> estimates;
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    ReservoirMean r(512, seed);
+    for (uint64_t i = 0; i < 20000; ++i) r.Update({i, 1});
+    estimates.push_back(r.Estimate());
+  }
+  EXPECT_NEAR(Median(estimates), 0.5, 0.05);
+}
+
+TEST(ReservoirMeanTest, PartialFillExactMean) {
+  ReservoirMean r(100, 3);
+  r.Update({1, 1});
+  r.Update({3, 1});
+  r.Update({2, 1});
+  r.Update({4, 1});
+  EXPECT_DOUBLE_EQ(r.Estimate(), 0.5);
+}
+
+TEST(ReservoirMeanTest, SpaceIndependentOfStreamLength) {
+  ReservoirMean r(64, 4);
+  const size_t before = r.SpaceBytes();
+  for (uint64_t i = 0; i < 100000; ++i) r.Update({i, 1});
+  EXPECT_EQ(r.SpaceBytes(), before);
+}
+
+}  // namespace
+}  // namespace rs

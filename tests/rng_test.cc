@@ -1,0 +1,123 @@
+#include "rs/util/rng.h"
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rs {
+namespace {
+
+TEST(SplitMix64Test, IsDeterministic) {
+  EXPECT_EQ(SplitMix64(42), SplitMix64(42));
+  EXPECT_NE(SplitMix64(42), SplitMix64(43));
+}
+
+TEST(SplitMix64Test, MixesAdjacentSeeds) {
+  // Adjacent inputs should produce outputs differing in roughly half of the
+  // 64 bits.
+  int total_diff_bits = 0;
+  for (uint64_t s = 0; s < 64; ++s) {
+    total_diff_bits += __builtin_popcountll(SplitMix64(s) ^ SplitMix64(s + 1));
+  }
+  const double avg = total_diff_bits / 64.0;
+  EXPECT_GT(avg, 24.0);
+  EXPECT_LT(avg, 40.0);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.Next() == b.Next());
+  EXPECT_LE(equal, 1);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.Below(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, BelowIsApproximatelyUniform) {
+  Rng rng(99);
+  constexpr int kBuckets = 10;
+  constexpr int kSamples = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.Below(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kSamples / kBuckets, 0.05 * kSamples / kBuckets);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(RngTest, DoubleOpenNeverZero) {
+  Rng rng(6);
+  for (int i = 0; i < 100000; ++i) {
+    ASSERT_GT(rng.NextDoubleOpen(), 0.0);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  constexpr int kSamples = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.0, 0.01);
+  EXPECT_NEAR(sum_sq / kSamples, 1.0, 0.02);
+}
+
+TEST(RngTest, ExponentialMoments) {
+  Rng rng(13);
+  constexpr int kSamples = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double e = rng.NextExponential();
+    ASSERT_GE(e, 0.0);
+    sum += e;
+  }
+  EXPECT_NEAR(sum / kSamples, 1.0, 0.02);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(17);
+  for (double p : {0.1, 0.5, 0.9}) {
+    int hits = 0;
+    for (int i = 0; i < 50000; ++i) hits += rng.Bernoulli(p);
+    EXPECT_NEAR(hits / 50000.0, p, 0.02);
+  }
+}
+
+TEST(RngTest, StreamsLookIndependentAcrossSeeds) {
+  // Collisions between 1000 first-outputs of different seeds should be
+  // essentially absent.
+  std::set<uint64_t> firsts;
+  for (uint64_t s = 0; s < 1000; ++s) firsts.insert(Rng(s).Next());
+  EXPECT_GE(firsts.size(), 999u);
+}
+
+}  // namespace
+}  // namespace rs

@@ -1,0 +1,89 @@
+#include "rs/core/robust_bounded_deletion.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "rs/stream/exact_oracle.h"
+#include "rs/stream/generators.h"
+#include "rs/util/stats.h"
+
+namespace rs {
+namespace {
+
+RobustBoundedDeletionFp::Config MakeConfig(double p, double alpha,
+                                           double eps) {
+  RobustBoundedDeletionFp::Config c;
+  c.p = p;
+  c.alpha = alpha;
+  c.eps = eps;
+  c.delta = 0.05;
+  c.n = 1 << 14;
+  c.m = 1 << 14;
+  c.max_frequency = 1 << 14;
+  return c;
+}
+
+TEST(RobustBoundedDeletionTest, TracksF1OnBoundedDeletionStream) {
+  std::vector<double> max_errors;
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    RobustBoundedDeletionFp alg(MakeConfig(1.0, 2.0, 0.5), seed * 11 + 1);
+    ExactOracle oracle;
+    double max_err = 0.0;
+    for (const auto& u :
+         BoundedDeletionStream(1 << 14, 4000, 2.0, seed + 17)) {
+      alg.Update(u);
+      oracle.Update(u);
+      const double truth = oracle.Fp(1.0);
+      if (truth >= 100.0) {
+        max_err = std::max(max_err, RelativeError(alg.Estimate(), truth));
+      }
+    }
+    max_errors.push_back(max_err);
+  }
+  EXPECT_LE(Median(max_errors), 0.75);
+}
+
+TEST(RobustBoundedDeletionTest, TracksF2WithDeletions) {
+  RobustBoundedDeletionFp alg(MakeConfig(2.0, 2.0, 0.5), 5);
+  ExactOracle oracle;
+  double max_err = 0.0;
+  for (const auto& u : BoundedDeletionStream(1 << 14, 4000, 2.0, 23)) {
+    alg.Update(u);
+    oracle.Update(u);
+    const double truth = oracle.F2();
+    if (truth >= 100.0) {
+      max_err = std::max(max_err, RelativeError(alg.Estimate(), truth));
+    }
+  }
+  EXPECT_LE(max_err, 1.6);  // Squared-norm amplification of eps = 0.5.
+}
+
+TEST(RobustBoundedDeletionTest, LambdaGrowsWithAlpha) {
+  RobustBoundedDeletionFp small(MakeConfig(1.0, 1.0, 0.5), 1);
+  RobustBoundedDeletionFp large(MakeConfig(1.0, 8.0, 0.5), 1);
+  EXPECT_GT(large.lambda(), small.lambda());
+}
+
+TEST(RobustBoundedDeletionTest, OutputChangesStayModerate) {
+  RobustBoundedDeletionFp alg(MakeConfig(1.0, 2.0, 0.5), 7);
+  for (const auto& u : BoundedDeletionStream(1 << 14, 4000, 2.0, 29)) {
+    alg.Update(u);
+  }
+  EXPECT_LE(alg.output_changes(), alg.lambda());
+}
+
+TEST(RobustBoundedDeletionTest, NoDeletionCaseMatchesInsertOnly) {
+  // alpha = 1 (no deletions): behaves like a plain robust F1.
+  RobustBoundedDeletionFp alg(MakeConfig(1.0, 1.0, 0.5), 9);
+  ExactOracle oracle;
+  for (const auto& u : UniformStream(1 << 10, 2000, 31)) {
+    alg.Update(u);
+    oracle.Update(u);
+  }
+  EXPECT_NEAR(alg.Estimate(), oracle.Fp(1.0), 0.6 * oracle.Fp(1.0));
+}
+
+}  // namespace
+}  // namespace rs

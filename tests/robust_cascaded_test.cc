@@ -1,0 +1,166 @@
+#include "rs/core/robust_cascaded.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rs/core/flip_number.h"
+#include "rs/stream/generators.h"
+#include "rs/util/stats.h"
+
+namespace rs {
+namespace {
+
+RobustCascadedNorm::Config MakeConfig(double p, double k, double eps) {
+  RobustCascadedNorm::Config c;
+  c.p = p;
+  c.k = k;
+  c.eps = eps;
+  c.shape = {.rows = 128, .cols = 64};
+  c.max_entry = 1 << 16;
+  c.rate = 0.5;
+  return c;
+}
+
+// Exact reference for the norm.
+double ExactNorm(const Stream& stream, const MatrixShape& shape, double p,
+                 double k, size_t prefix) {
+  CascadedRowSample::Config cfg;
+  cfg.p = p;
+  cfg.k = k;
+  cfg.shape = shape;
+  cfg.rate = 1.0;
+  CascadedRowSample exact(cfg, 1);
+  for (size_t t = 0; t < prefix && t < stream.size(); ++t) {
+    exact.Update(stream[t]);
+  }
+  return exact.NormEstimate();
+}
+
+TEST(RobustCascadedTest, RingModeForGenuineNorms) {
+  RobustCascadedNorm a(MakeConfig(2.0, 1.0, 0.2), 1);
+  EXPECT_TRUE(a.ring_mode());
+  RobustCascadedNorm b(MakeConfig(1.0, 2.0, 0.2), 1);
+  EXPECT_TRUE(b.ring_mode());
+}
+
+TEST(RobustCascadedTest, PoolFallbackForQuasiNorms) {
+  RobustCascadedNorm a(MakeConfig(0.5, 1.0, 0.2), 1);
+  EXPECT_FALSE(a.ring_mode());
+  RobustCascadedNorm b(MakeConfig(2.0, 0.5, 0.2), 1);
+  EXPECT_FALSE(b.ring_mode());
+}
+
+TEST(RobustCascadedTest, TracksUniformMatrixStream) {
+  const double eps = 0.3;
+  std::vector<double> max_errors;
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    auto cfg = MakeConfig(2.0, 1.0, eps);
+    RobustCascadedNorm robust(cfg, seed * 31 + 1);
+    CascadedRowSample::Config exact_cfg;
+    exact_cfg.p = 2.0;
+    exact_cfg.k = 1.0;
+    exact_cfg.shape = cfg.shape;
+    exact_cfg.rate = 1.0;
+    CascadedRowSample exact(exact_cfg, 1);
+    double max_err = 0.0;
+    size_t t = 0;
+    for (const auto& u :
+         MatrixUniformStream(cfg.shape.rows, cfg.shape.cols, 20000,
+                             seed + 41)) {
+      robust.Update(u);
+      exact.Update(u);
+      if (++t >= 500) {
+        max_err = std::max(
+            max_err, RelativeError(robust.Estimate(), exact.NormEstimate()));
+      }
+    }
+    max_errors.push_back(max_err);
+  }
+  EXPECT_LE(Median(max_errors), eps * 1.5);
+}
+
+TEST(RobustCascadedTest, TracksSkewedRowBurstStream) {
+  // Row-heavy workload: the regime where (2,1) cascades differ most from
+  // flat F2; the row sample still covers hot rows w.p. rate per row, so we
+  // check the median over seeds.
+  const double eps = 0.3;
+  auto cfg = MakeConfig(2.0, 1.0, eps);
+  std::vector<double> final_errors;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    RobustCascadedNorm robust(cfg, seed * 17 + 3);
+    const Stream stream = MatrixRowBurstStream(
+        cfg.shape.rows, cfg.shape.cols, 20000, 4, 0.5, seed + 53);
+    for (const auto& u : stream) robust.Update(u);
+    const double exact =
+        ExactNorm(stream, cfg.shape, 2.0, 1.0, stream.size());
+    final_errors.push_back(RelativeError(robust.Estimate(), exact));
+  }
+  EXPECT_LE(Median(final_errors), eps * 1.5);
+}
+
+TEST(RobustCascadedTest, OutputChangesWithinFlipBudget) {
+  auto cfg = MakeConfig(2.0, 1.0, 0.25);
+  RobustCascadedNorm robust(cfg, 7);
+  for (const auto& u :
+       MatrixUniformStream(cfg.shape.rows, cfg.shape.cols, 30000, 61)) {
+    robust.Update(u);
+  }
+  // Lemma 3.3 budget for the *norm* (flip number of the moment covers it).
+  EXPECT_LE(robust.output_changes(), robust.flip_number());
+  EXPECT_GT(robust.output_changes(), 3u);  // It did track growth.
+}
+
+TEST(RobustCascadedTest, FlipNumberMatchesProposition34Formula) {
+  auto cfg = MakeConfig(2.0, 1.0, 0.2);
+  RobustCascadedNorm robust(cfg, 9);
+  EXPECT_EQ(robust.flip_number(),
+            CascadedNormFlipNumber(0.2, cfg.shape.rows, cfg.shape.cols,
+                                   cfg.max_entry, 2.0, 1.0));
+  // The norm (p = 2) flips about half as often as the moment over the same
+  // range; for quasi-norms (p < 1) the inequality reverses.
+  EXPECT_LE(robust.flip_number(),
+            CascadedMomentFlipNumber(0.2, cfg.shape.rows, cfg.shape.cols,
+                                     cfg.max_entry, 2.0, 1.0));
+  EXPECT_GE(CascadedNormFlipNumber(0.2, 128, 64, 1 << 16, 0.5, 1.0),
+            CascadedMomentFlipNumber(0.2, 128, 64, 1 << 16, 0.5, 1.0) / 2);
+}
+
+TEST(RobustCascadedTest, QuasiNormPoolTracksAndReportsExhaustion) {
+  // p < 1: pool mode. The published norm = moment^{1/p} flips ~2x as often
+  // as the moment for p = 0.5, and row-sampling noise is amplified the same
+  // way, so the pool budget comes from CascadedNormFlipNumber and the copies
+  // run at a higher sampling rate. On a short stream the pool must not
+  // exhaust and still track within a loose envelope.
+  auto cfg = MakeConfig(0.5, 1.0, 0.4);
+  cfg.rate = 0.75;
+  cfg.pool_cap = 512;
+  RobustCascadedNorm robust(cfg, 11);
+  const Stream stream =
+      MatrixUniformStream(cfg.shape.rows, cfg.shape.cols, 8000, 71);
+  for (const auto& u : stream) robust.Update(u);
+  EXPECT_FALSE(robust.exhausted());
+  const double exact = ExactNorm(stream, cfg.shape, 0.5, 1.0, stream.size());
+  EXPECT_LE(RelativeError(robust.Estimate(), exact), 0.6);
+}
+
+TEST(RobustCascadedTest, MomentEstimateIsNormToTheP) {
+  auto cfg = MakeConfig(2.0, 1.0, 0.3);
+  RobustCascadedNorm robust(cfg, 13);
+  for (const auto& u :
+       MatrixUniformStream(cfg.shape.rows, cfg.shape.cols, 4000, 73)) {
+    robust.Update(u);
+  }
+  EXPECT_NEAR(robust.MomentEstimate(),
+              robust.Estimate() * robust.Estimate(), 1e-9);
+}
+
+TEST(RobustCascadedTest, EmptyStreamPublishesZero) {
+  RobustCascadedNorm robust(MakeConfig(2.0, 1.0, 0.3), 15);
+  EXPECT_DOUBLE_EQ(robust.Estimate(), 0.0);
+}
+
+}  // namespace
+}  // namespace rs

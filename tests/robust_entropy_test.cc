@@ -1,0 +1,106 @@
+#include "rs/core/robust_entropy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "rs/stream/exact_oracle.h"
+#include "rs/stream/generators.h"
+#include "rs/util/stats.h"
+
+namespace rs {
+namespace {
+
+RobustEntropy::Config MakeConfig(double eps) {
+  RobustEntropy::Config c;
+  c.eps = eps;
+  c.delta = 0.05;
+  c.n = 1 << 10;
+  c.m = 1 << 14;
+  c.pool_cap = 64;
+  return c;
+}
+
+TEST(RobustEntropyTest, TracksUniformEntropy) {
+  RobustEntropy alg(MakeConfig(0.4), 3);
+  ExactOracle oracle;
+  double max_err = 0.0;
+  size_t t = 0;
+  for (const auto& u : UniformStream(256, 6000, 5)) {
+    alg.Update(u);
+    oracle.Update(u);
+    if (++t >= 500) {
+      max_err = std::max(max_err,
+                         std::fabs(alg.EntropyBits() - oracle.EntropyBits()));
+    }
+  }
+  EXPECT_LE(max_err, 1.0);  // Additive bits.
+}
+
+TEST(RobustEntropyTest, TracksEntropyDrift) {
+  std::vector<double> max_errors;
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    RobustEntropy alg(MakeConfig(0.4), seed * 13 + 1);
+    ExactOracle oracle;
+    double max_err = 0.0;
+    size_t t = 0;
+    for (const auto& u : EntropyDriftStream(256, 6000, 3, seed + 7)) {
+      alg.Update(u);
+      oracle.Update(u);
+      if (++t >= 500) {
+        max_err = std::max(
+            max_err, std::fabs(alg.EntropyBits() - oracle.EntropyBits()));
+      }
+    }
+    max_errors.push_back(max_err);
+  }
+  EXPECT_LE(Median(max_errors), 1.2);
+}
+
+TEST(RobustEntropyTest, PoolNotExhaustedOnModerateStreams) {
+  RobustEntropy alg(MakeConfig(0.4), 5);
+  for (const auto& u : UniformStream(256, 6000, 9)) alg.Update(u);
+  EXPECT_FALSE(alg.exhausted());
+}
+
+TEST(RobustEntropyTest, TheoreticalLambdaReported) {
+  RobustEntropy alg(MakeConfig(0.3), 7);
+  // Prop 7.2 bound is big — much larger than the practical pool.
+  EXPECT_GT(alg.theoretical_lambda(), 64u);
+}
+
+TEST(RobustEntropyTest, ExponentialFormConsistent) {
+  RobustEntropy alg(MakeConfig(0.4), 9);
+  for (const auto& u : UniformStream(128, 2000, 11)) alg.Update(u);
+  EXPECT_NEAR(alg.Estimate(), std::exp2(alg.EntropyBits()), 1e-9);
+}
+
+TEST(RobustEntropyTest, OutputChangesBounded) {
+  RobustEntropy alg(MakeConfig(0.4), 11);
+  for (const auto& u : EntropyDriftStream(256, 6000, 3, 13)) alg.Update(u);
+  EXPECT_LE(alg.output_changes(), 64u);
+}
+
+TEST(RobustEntropyTest, EmptyStreamZeroEntropy) {
+  RobustEntropy alg(MakeConfig(0.4), 13);
+  EXPECT_DOUBLE_EQ(alg.EntropyBits(), 0.0);
+}
+
+TEST(RobustEntropyTest, RandomOracleAccountingIsSmaller) {
+  // Theorem 7.3's two bounds differ only in whether hash randomness is
+  // charged; the estimates must be identical, the footprint must not be.
+  auto cfg = MakeConfig(0.4);
+  RobustEntropy general(cfg, 17);
+  cfg.random_oracle_model = true;
+  RobustEntropy oracle_model(cfg, 17);
+  for (const auto& u : UniformStream(128, 1500, 19)) {
+    general.Update(u);
+    oracle_model.Update(u);
+  }
+  EXPECT_DOUBLE_EQ(general.EntropyBits(), oracle_model.EntropyBits());
+  EXPECT_LT(oracle_model.SpaceBytes(), general.SpaceBytes());
+}
+
+}  // namespace
+}  // namespace rs

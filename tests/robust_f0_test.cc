@@ -1,0 +1,114 @@
+#include "rs/core/robust_f0.h"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "rs/stream/exact_oracle.h"
+#include "rs/stream/generators.h"
+#include "rs/util/stats.h"
+
+namespace rs {
+namespace {
+
+RobustF0::Config MakeConfig(double eps, RobustF0::Method method) {
+  RobustF0::Config c;
+  c.eps = eps;
+  c.delta = 0.05;
+  c.n = 1 << 20;
+  c.m = 1 << 20;
+  c.method = method;
+  return c;
+}
+
+double MaxErrorOnStream(RobustF0& alg, const Stream& stream,
+                        uint64_t min_truth) {
+  ExactOracle oracle;
+  double max_err = 0.0;
+  for (const auto& u : stream) {
+    alg.Update(u);
+    oracle.Update(u);
+    if (oracle.F0() >= min_truth) {
+      max_err = std::max(
+          max_err,
+          RelativeError(alg.Estimate(), static_cast<double>(oracle.F0())));
+    }
+  }
+  return max_err;
+}
+
+class RobustF0Sweep
+    : public ::testing::TestWithParam<std::tuple<double, RobustF0::Method>> {
+};
+
+TEST_P(RobustF0Sweep, TracksDistinctGrowth) {
+  const double eps = std::get<0>(GetParam());
+  const auto method = std::get<1>(GetParam());
+  std::vector<double> errors;
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    RobustF0 alg(MakeConfig(eps, method), seed * 41 + 3);
+    errors.push_back(
+        MaxErrorOnStream(alg, DistinctGrowthStream(30000), 100));
+  }
+  EXPECT_LE(Median(errors), eps * 1.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MethodsAndEps, RobustF0Sweep,
+    ::testing::Combine(
+        ::testing::Values(0.25, 0.4),
+        ::testing::Values(RobustF0::Method::kSketchSwitching,
+                          RobustF0::Method::kComputationPaths)));
+
+TEST(RobustF0Test, TracksUniformStreamWithRepeats) {
+  RobustF0 alg(MakeConfig(0.3, RobustF0::Method::kSketchSwitching), 7);
+  // Uniform over a small domain: F0 saturates at n while the stream keeps
+  // going — the estimate must stay put.
+  const double err =
+      MaxErrorOnStream(alg, UniformStream(2000, 30000, 5), 100);
+  EXPECT_LE(err, 0.45);
+}
+
+TEST(RobustF0Test, OutputChangesAreLogarithmic) {
+  RobustF0 alg(MakeConfig(0.3, RobustF0::Method::kSketchSwitching), 9);
+  for (const auto& u : DistinctGrowthStream(30000)) alg.Update(u);
+  EXPECT_LE(alg.output_changes(), 80u);
+  EXPECT_GE(alg.output_changes(), 5u);
+}
+
+TEST(RobustF0Test, PathsMethodUsesFastF0) {
+  RobustF0 alg(MakeConfig(0.3, RobustF0::Method::kComputationPaths), 11);
+  EXPECT_NE(alg.Name().find("paths"), std::string::npos);
+}
+
+TEST(RobustF0Test, SwitchingMethodName) {
+  RobustF0 alg(MakeConfig(0.3, RobustF0::Method::kSketchSwitching), 11);
+  EXPECT_NE(alg.Name().find("switching"), std::string::npos);
+}
+
+TEST(RobustF0Test, SpaceReportingNonTrivial) {
+  RobustF0 sw(MakeConfig(0.3, RobustF0::Method::kSketchSwitching), 13);
+  RobustF0 cp(MakeConfig(0.3, RobustF0::Method::kComputationPaths), 13);
+  for (const auto& u : DistinctGrowthStream(5000)) {
+    sw.Update(u);
+    cp.Update(u);
+  }
+  EXPECT_GT(sw.SpaceBytes(), 1000u);
+  EXPECT_GT(cp.SpaceBytes(), 1000u);
+}
+
+TEST(RobustF0Test, DuplicateHeavyStreamStaysAccurate) {
+  // 200 distinct items, each repeated 100 times, interleaved.
+  Stream s;
+  for (int rep = 0; rep < 100; ++rep) {
+    for (uint64_t i = 0; i < 200; ++i) s.push_back({i, 1});
+  }
+  RobustF0 alg(MakeConfig(0.3, RobustF0::Method::kSketchSwitching), 15);
+  const double err = MaxErrorOnStream(alg, s, 50);
+  EXPECT_LE(err, 0.45);
+}
+
+}  // namespace
+}  // namespace rs

@@ -1,0 +1,130 @@
+#include "rs/core/robust_fp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "rs/stream/exact_oracle.h"
+#include "rs/stream/generators.h"
+#include "rs/util/stats.h"
+
+namespace rs {
+namespace {
+
+RobustFp::Config MakeConfig(double p, double eps, RobustFp::Method method) {
+  RobustFp::Config c;
+  c.p = p;
+  c.eps = eps;
+  c.delta = 0.05;
+  c.n = 1 << 16;
+  c.m = 1 << 16;
+  c.max_frequency = 1 << 16;
+  c.method = method;
+  return c;
+}
+
+double MaxErrorOnStream(RobustFp& alg, const Stream& stream, double p,
+                        double min_truth) {
+  ExactOracle oracle;
+  double max_err = 0.0;
+  for (const auto& u : stream) {
+    alg.Update(u);
+    oracle.Update(u);
+    const double truth = oracle.Fp(p);
+    if (truth >= min_truth) {
+      max_err = std::max(max_err, RelativeError(alg.Estimate(), truth));
+    }
+  }
+  return max_err;
+}
+
+class RobustFpSwitchingSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RobustFpSwitchingSweep, TracksUniformStream) {
+  const double p = GetParam();
+  const double eps = 0.5;
+  std::vector<double> errors;
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    RobustFp alg(MakeConfig(p, eps, RobustFp::Method::kSketchSwitching),
+                 seed * 31 + 1);
+    errors.push_back(
+        MaxErrorOnStream(alg, UniformStream(1 << 10, 3000, seed + 3), p,
+                         50.0));
+  }
+  // Fp amplifies norm error by ~max(1,p).
+  EXPECT_LE(Median(errors), eps * 1.5 * std::max(1.0, p)) << "p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(Moments, RobustFpSwitchingSweep,
+                         ::testing::Values(0.5, 1.0, 2.0));
+
+TEST(RobustFpTest, ComputationPathsSmallDeltaRegime) {
+  // Theorem 4.2 configuration: single sketch with large k from the tiny
+  // delta0; verify the envelope on a short stream.
+  RobustFp alg(MakeConfig(1.0, 0.5, RobustFp::Method::kComputationPaths), 5);
+  const double err =
+      MaxErrorOnStream(alg, UniformStream(1 << 10, 2500, 9), 1.0, 100.0);
+  EXPECT_LE(err, 0.8);
+}
+
+TEST(RobustFpTest, TurnstileLambdaBounded) {
+  // Theorem 4.3: waves of inserts/deletes with promised flip number.
+  auto cfg = MakeConfig(2.0, 0.5, RobustFp::Method::kComputationPaths);
+  cfg.lambda_override = 256;
+  RobustFp alg(cfg, 7);
+  ExactOracle oracle;
+  double max_err = 0.0;
+  for (const auto& u : TurnstileWaveStream(1 << 10, 6, 80, 11)) {
+    alg.Update(u);
+    oracle.Update(u);
+    const double truth = oracle.F2();
+    if (truth >= 40.0) {
+      max_err = std::max(max_err, RelativeError(alg.Estimate(), truth));
+    }
+  }
+  EXPECT_LE(max_err, 1.6);  // F2 = squared-norm amplification of eps = 0.5.
+}
+
+TEST(RobustFpTest, HighPWithCalibratedSampling) {
+  auto cfg = MakeConfig(3.0, 0.4, RobustFp::Method::kComputationPaths);
+  cfg.n = 512;
+  cfg.highp_s1_override = 4096;
+  cfg.highp_s2_override = 3;
+  RobustFp alg(cfg, 9);
+  const double err =
+      MaxErrorOnStream(alg, ZipfStream(512, 4000, 1.3, 13), 3.0, 1000.0);
+  EXPECT_LE(err, 1.2);
+}
+
+TEST(RobustFpTest, NormEstimateConsistent) {
+  RobustFp alg(MakeConfig(2.0, 0.4, RobustFp::Method::kSketchSwitching), 11);
+  for (const auto& u : UniformStream(1 << 8, 1000, 15)) alg.Update(u);
+  EXPECT_NEAR(std::pow(alg.NormEstimate(), 2.0), alg.Estimate(),
+              1e-9 * std::max(1.0, alg.Estimate()));
+}
+
+TEST(RobustFpTest, OutputChangesBounded) {
+  RobustFp alg(MakeConfig(1.0, 0.5, RobustFp::Method::kSketchSwitching), 13);
+  for (const auto& u : UniformStream(1 << 10, 4000, 17)) alg.Update(u);
+  EXPECT_LE(alg.output_changes(), 60u);
+  EXPECT_GE(alg.output_changes(), 3u);
+}
+
+TEST(RobustFpTest, F1MatchesTrivialCounter) {
+  // For p = 1 on unit inserts, Fp is just the count; the robust estimate
+  // should sit within eps of it.
+  RobustFp alg(MakeConfig(1.0, 0.4, RobustFp::Method::kSketchSwitching), 17);
+  uint64_t count = 0;
+  for (const auto& u : UniformStream(64, 2000, 19)) {
+    alg.Update(u);
+    ++count;
+    if (count >= 100) {
+      ASSERT_NEAR(alg.Estimate(), static_cast<double>(count),
+                  0.6 * static_cast<double>(count));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rs

@@ -1,0 +1,117 @@
+#include "rs/core/robust_heavy_hitters.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "rs/stream/exact_oracle.h"
+#include "rs/stream/generators.h"
+
+namespace rs {
+namespace {
+
+RobustHeavyHitters::Config MakeConfig(double eps) {
+  RobustHeavyHitters::Config c;
+  c.eps = eps;
+  c.delta = 0.01;
+  c.n = 1 << 14;
+  c.m = 1 << 16;
+  return c;
+}
+
+TEST(RobustHHTest, RecoversPlantedHeavies) {
+  const uint64_t n = 1 << 14, m = 12000;
+  const int k = 4;
+  RobustHeavyHitters hh(MakeConfig(0.2), 3);
+  ExactOracle oracle;
+  for (const auto& u : PlantedHeavyHitterStream(n, m, k, 0.7, 21)) {
+    hh.Update(u);
+    oracle.Update(u);
+  }
+  const auto heavies = PlantedHeavyItems(n, k, 21);
+  const auto reported = hh.HeavyHitterSet();
+  for (uint64_t h : heavies) {
+    if (static_cast<double>(oracle.Frequency(h)) >= 0.3 * oracle.L2()) {
+      EXPECT_TRUE(std::find(reported.begin(), reported.end(), h) !=
+                  reported.end())
+          << "planted heavy " << h << " missing";
+    }
+  }
+}
+
+TEST(RobustHHTest, PointQueriesWithinBudget) {
+  const uint64_t n = 1 << 14, m = 12000;
+  RobustHeavyHitters hh(MakeConfig(0.2), 5);
+  ExactOracle oracle;
+  for (const auto& u : PlantedHeavyHitterStream(n, m, 3, 0.6, 23)) {
+    hh.Update(u);
+    oracle.Update(u);
+  }
+  const double budget = 4.0 * 0.2 * oracle.L2();  // 2eps staleness + noise.
+  const auto heavies = PlantedHeavyItems(n, 3, 23);
+  for (uint64_t h : heavies) {
+    EXPECT_NEAR(hh.PointQuery(h), static_cast<double>(oracle.Frequency(h)),
+                budget);
+  }
+}
+
+TEST(RobustHHTest, NormEstimateTracksL2) {
+  const uint64_t n = 1 << 12, m = 8000;
+  RobustHeavyHitters hh(MakeConfig(0.25), 7);
+  ExactOracle oracle;
+  size_t t = 0;
+  for (const auto& u : UniformStream(n, m, 25)) {
+    hh.Update(u);
+    oracle.Update(u);
+    if (++t % 1000 == 0) {
+      EXPECT_NEAR(hh.Estimate(), oracle.L2(), 0.45 * oracle.L2())
+          << "step " << t;
+    }
+  }
+}
+
+TEST(RobustHHTest, EpochsAdvanceWithMassGrowth) {
+  RobustHeavyHitters hh(MakeConfig(0.25), 9);
+  for (const auto& u : UniformStream(1 << 12, 8000, 27)) hh.Update(u);
+  EXPECT_GE(hh.epochs(), 3u);
+  EXPECT_LE(hh.epochs(), 200u);
+}
+
+TEST(RobustHHTest, NoFalseHeaviesFarBelowHalfThreshold) {
+  const uint64_t n = 1 << 14, m = 12000;
+  RobustHeavyHitters hh(MakeConfig(0.2), 11);
+  ExactOracle oracle;
+  for (const auto& u : PlantedHeavyHitterStream(n, m, 3, 0.5, 29)) {
+    hh.Update(u);
+    oracle.Update(u);
+  }
+  for (uint64_t item : hh.HeavyHitterSet()) {
+    // Definition 6.1 slack: reported items should not be far below tau/2.
+    EXPECT_GE(static_cast<double>(oracle.Frequency(item)),
+              0.75 * 0.2 * hh.Estimate() / 4.0);
+  }
+}
+
+TEST(RobustHHTest, EmptyStreamSafe) {
+  RobustHeavyHitters hh(MakeConfig(0.3), 13);
+  EXPECT_DOUBLE_EQ(hh.Estimate(), 0.0);
+  EXPECT_DOUBLE_EQ(hh.PointQuery(42), 0.0);
+  EXPECT_TRUE(hh.HeavyHitterSet().empty());
+}
+
+TEST(RobustHHTest, SnapshotFrozenWithinEpoch) {
+  // Within an epoch, point queries do not move even as updates continue.
+  RobustHeavyHitters hh(MakeConfig(0.25), 15);
+  for (const auto& u : UniformStream(1 << 10, 3000, 31)) hh.Update(u);
+  const size_t epoch_before = hh.epochs();
+  const double q_before = hh.PointQuery(123456);
+  // A couple of light updates will rarely trigger a rounding epoch.
+  hh.Update({999999 % (1 << 14), 1});
+  if (hh.epochs() == epoch_before) {
+    EXPECT_DOUBLE_EQ(hh.PointQuery(123456), q_before);
+  }
+}
+
+}  // namespace
+}  // namespace rs

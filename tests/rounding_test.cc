@@ -1,0 +1,130 @@
+#include "rs/core/rounding.h"
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rs {
+namespace {
+
+TEST(RoundToPowerTest, ZeroMapsToZero) {
+  EXPECT_DOUBLE_EQ(RoundToPowerOf1PlusEps(0.0, 0.1), 0.0);
+}
+
+TEST(RoundToPowerTest, ExactPowersAreFixedPoints) {
+  const double eps = 0.2;
+  for (int ell = -10; ell <= 10; ++ell) {
+    const double x = std::pow(1.2, ell);
+    EXPECT_NEAR(RoundToPowerOf1PlusEps(x, eps), x, 1e-9 * x);
+  }
+}
+
+TEST(RoundToPowerTest, NegativeMirrors) {
+  const double eps = 0.1;
+  for (double x : {0.5, 3.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(RoundToPowerOf1PlusEps(-x, eps),
+                     -RoundToPowerOf1PlusEps(x, eps));
+  }
+}
+
+// Property (Section 3): [x]_eps is always a (1 + eps/2)-multiplicative
+// approximation of x.
+class RoundingGridSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(RoundingGridSweep, ApproximationGuarantee) {
+  const double eps = std::get<0>(GetParam());
+  const double x = std::get<1>(GetParam());
+  const double y = RoundToPowerOf1PlusEps(x, eps);
+  const double ratio = std::max(y / x, x / y);
+  // max(y/x, x/y) <= sqrt(1+eps) <= 1 + eps/2.
+  EXPECT_LE(ratio, 1.0 + eps / 2.0 + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GridPoints, RoundingGridSweep,
+    ::testing::Combine(::testing::Values(0.01, 0.05, 0.1, 0.3, 0.7),
+                       ::testing::Values(1e-6, 0.037, 0.5, 1.0, 17.3, 1e4,
+                                         3.7e8)));
+
+TEST(RoundToPowerTest, Idempotent) {
+  for (double eps : {0.05, 0.2}) {
+    for (double x : {0.9, 12.0, 5000.0}) {
+      const double once = RoundToPowerOf1PlusEps(x, eps);
+      EXPECT_NEAR(RoundToPowerOf1PlusEps(once, eps), once,
+                  1e-9 * std::fabs(once));
+    }
+  }
+}
+
+TEST(EpsilonRounderTest, InitialZeroDoesNotCountAsChange) {
+  EpsilonRounder r(0.1);
+  EXPECT_DOUBLE_EQ(r.Feed(0.0), 0.0);
+  EXPECT_EQ(r.change_count(), 0u);
+}
+
+TEST(EpsilonRounderTest, FirstNonzeroCounts) {
+  EpsilonRounder r(0.1);
+  r.Feed(0.0);
+  r.Feed(10.0);
+  EXPECT_EQ(r.change_count(), 1u);
+}
+
+TEST(EpsilonRounderTest, StickyWithinBand) {
+  EpsilonRounder r(0.2);
+  const double first = r.Feed(100.0);
+  // Values within (1 +- 0.2) of which `first` is an approximation keep the
+  // output identical.
+  EXPECT_DOUBLE_EQ(r.Feed(first / 1.15), first);
+  EXPECT_DOUBLE_EQ(r.Feed(first * 1.15), first);
+  EXPECT_EQ(r.change_count(), 1u);
+}
+
+TEST(EpsilonRounderTest, LeavesBandAndRerounds) {
+  EpsilonRounder r(0.1);
+  const double first = r.Feed(100.0);
+  const double second = r.Feed(200.0);
+  EXPECT_NE(first, second);
+  EXPECT_EQ(r.change_count(), 2u);
+  // New published value approximates the new raw value.
+  EXPECT_NEAR(second, 200.0, 0.06 * 200.0);
+}
+
+TEST(EpsilonRounderTest, MonotoneRampChangesLogarithmically) {
+  // Feeding 1..N, the output should change ~ log_{1+eps} N times, far fewer
+  // than N.
+  const double eps = 0.2;
+  EpsilonRounder r(eps);
+  const int n = 10000;
+  for (int i = 1; i <= n; ++i) r.Feed(static_cast<double>(i));
+  const double expected = std::log(n) / std::log1p(eps);
+  EXPECT_LE(r.change_count(), static_cast<size_t>(expected) + 3);
+  EXPECT_GE(r.change_count(), static_cast<size_t>(expected / 3.0));
+}
+
+TEST(EpsilonRounderTest, PublishedAlwaysApproximatesRaw) {
+  EpsilonRounder r(0.1);
+  double value = 1.0;
+  for (int i = 0; i < 500; ++i) {
+    value *= 1.01;
+    const double out = r.Feed(value);
+    EXPECT_LE(out, (1.0 + 0.1) * value + 1e-12);
+    EXPECT_GE(out, (1.0 - 0.1) * value - 1e-12);
+  }
+}
+
+TEST(EpsilonRounderTest, HandlesDecreasingSequences) {
+  EpsilonRounder r(0.1);
+  double value = 10000.0;
+  for (int i = 0; i < 300; ++i) {
+    value *= 0.97;
+    const double out = r.Feed(value);
+    EXPECT_LE(out, 1.1 * value + 1e-9);
+    EXPECT_GE(out, 0.9 * value - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace rs

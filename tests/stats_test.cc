@@ -1,0 +1,72 @@
+#include "rs/util/stats.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rs {
+namespace {
+
+TEST(MedianTest, OddSize) {
+  EXPECT_DOUBLE_EQ(Median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({5.0}), 5.0);
+}
+
+TEST(MedianTest, EvenSizeAveragesMiddle) {
+  EXPECT_DOUBLE_EQ(Median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(MedianTest, NegativeValues) {
+  EXPECT_DOUBLE_EQ(Median({-5.0, -1.0, -3.0}), -3.0);
+}
+
+TEST(MedianTest, RepeatedValues) {
+  EXPECT_DOUBLE_EQ(Median({2.0, 2.0, 2.0, 2.0}), 2.0);
+}
+
+TEST(QuantileTest, Extremes) {
+  std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 3.0);
+}
+
+TEST(QuantileTest, Interpolates) {
+  std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 2.5);
+}
+
+TEST(MeanStdDevTest, Basics) {
+  std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 5.0);
+  EXPECT_NEAR(StdDev(v), 2.138, 0.001);
+  EXPECT_DOUBLE_EQ(StdDev({1.0}), 0.0);
+}
+
+TEST(MedianOfMeansTest, SingleGroupIsMean) {
+  std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(MedianOfMeans(v, 1), 2.5);
+}
+
+TEST(MedianOfMeansTest, GroupsEqualSizeIsMedianOfGroupMeans) {
+  // Groups: {0, 100} mean 50; {2, 4} mean 3; {6, 8} mean 7 -> median 7.
+  std::vector<double> v{0.0, 100.0, 2.0, 4.0, 6.0, 8.0};
+  EXPECT_DOUBLE_EQ(MedianOfMeans(v, 3), 7.0);
+}
+
+TEST(MedianOfMeansTest, ResistsOutliers) {
+  std::vector<double> v(30, 1.0);
+  v[0] = 1e9;  // One contaminated sample.
+  EXPECT_LT(MedianOfMeans(v, 5), 2.0);
+}
+
+TEST(RelativeErrorTest, Basics) {
+  EXPECT_DOUBLE_EQ(RelativeError(110.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(90.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RelativeError(3.0, 0.0), 3.0);
+  EXPECT_DOUBLE_EQ(RelativeError(-110.0, -100.0), 0.1);
+}
+
+}  // namespace
+}  // namespace rs

@@ -1,0 +1,62 @@
+#include "rs/hash/tabulation.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace rs {
+namespace {
+
+TEST(TabulationTest, Deterministic) {
+  TabulationHash a(1), b(1), c(2);
+  for (uint64_t x = 0; x < 100; ++x) EXPECT_EQ(a(x), b(x));
+  int diffs = 0;
+  for (uint64_t x = 0; x < 100; ++x) diffs += (a(x) != c(x));
+  EXPECT_GE(diffs, 99);
+}
+
+TEST(TabulationTest, BitBalance) {
+  TabulationHash h(3);
+  int bit_counts[64] = {0};
+  constexpr int kSamples = 20000;
+  for (uint64_t x = 0; x < kSamples; ++x) {
+    const uint64_t v = h(x);
+    for (int b = 0; b < 64; ++b) bit_counts[b] += (v >> b) & 1;
+  }
+  for (int b = 0; b < 64; ++b) {
+    EXPECT_NEAR(bit_counts[b], kSamples / 2, 0.04 * kSamples);
+  }
+}
+
+TEST(TabulationTest, UnitIntervalMean) {
+  TabulationHash h(4);
+  double sum = 0.0;
+  for (uint64_t x = 0; x < 50000; ++x) {
+    const double u = h.Unit(x);
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 50000.0, 0.5, 0.01);
+}
+
+TEST(TabulationTest, NoEarlyCollisions) {
+  TabulationHash h(5);
+  std::set<uint64_t> seen;
+  for (uint64_t x = 0; x < 20000; ++x) seen.insert(h(x));
+  EXPECT_EQ(seen.size(), 20000u);
+}
+
+TEST(TabulationTest, AllBytesMatter) {
+  TabulationHash h(6);
+  // Flipping any single byte of the input changes the hash.
+  const uint64_t base = 0x0123456789abcdefULL;
+  for (int byte = 0; byte < 8; ++byte) {
+    const uint64_t flipped = base ^ (uint64_t{0xFF} << (8 * byte));
+    EXPECT_NE(h(base), h(flipped));
+  }
+}
+
+}  // namespace
+}  // namespace rs

@@ -1,0 +1,86 @@
+#include "rs/sketch/tracking.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "rs/sketch/kmv_f0.h"
+#include "rs/util/rng.h"
+
+namespace rs {
+namespace {
+
+// A deliberately unreliable estimator: correct value 100 with probability
+// 2/3 per instance, wildly wrong otherwise (decided at construction).
+class FlakyEstimator : public Estimator {
+ public:
+  explicit FlakyEstimator(uint64_t seed) {
+    Rng rng(seed);
+    good_ = rng.NextDouble() < 2.0 / 3.0;
+  }
+  void Update(const rs::Update& u) override { (void)u; }
+  double Estimate() const override { return good_ ? 100.0 : 1e6; }
+  size_t SpaceBytes() const override { return 1; }
+  std::string Name() const override { return "Flaky"; }
+
+ private:
+  bool good_;
+};
+
+TEST(TrackingBoosterTest, MedianSuppressesBadCopies) {
+  int failures = 0;
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    TrackingBooster boosted(
+        [](uint64_t s) { return std::make_unique<FlakyEstimator>(s); }, 25,
+        seed);
+    if (boosted.Estimate() != 100.0) ++failures;
+  }
+  // Each copy is good w.p. 2/3; the median of 25 fails iff >= 13 of 25 are
+  // bad, which happens w.p. ~3.4% per trial — expect ~1.7 failures in 50,
+  // so 6 is a > 3-sigma allowance.
+  EXPECT_LE(failures, 6);
+}
+
+TEST(TrackingBoosterTest, SingleCopyPassesThrough) {
+  TrackingBooster boosted(
+      [](uint64_t s) { return std::make_unique<FlakyEstimator>(s); }, 1, 3);
+  const double e = boosted.Estimate();
+  EXPECT_TRUE(e == 100.0 || e == 1e6);
+}
+
+TEST(TrackingBoosterTest, CopiesForDeltaMonotone) {
+  EXPECT_GT(TrackingBooster::CopiesForDelta(1e-9),
+            TrackingBooster::CopiesForDelta(1e-2));
+}
+
+TEST(TrackingBoosterTest, CopiesForTrackingIncludesEpochFactor) {
+  EXPECT_GE(TrackingBooster::CopiesForTracking(0.05, 1 << 20, 0.1),
+            TrackingBooster::CopiesForDelta(0.05));
+}
+
+TEST(TrackingBoosterTest, UpdatesPropagate) {
+  KmvF0::Config kmv{.k = 64};
+  TrackingBooster boosted(
+      [kmv](uint64_t s) { return std::make_unique<KmvF0>(kmv, s); }, 3, 7);
+  for (uint64_t i = 0; i < 50; ++i) boosted.Update({i, 1});
+  EXPECT_DOUBLE_EQ(boosted.Estimate(), 50.0);  // All copies exact below k.
+}
+
+TEST(TrackingBoosterTest, SpaceSumsCopies) {
+  KmvF0::Config kmv{.k = 64};
+  TrackingBooster one(
+      [kmv](uint64_t s) { return std::make_unique<KmvF0>(kmv, s); }, 1, 7);
+  TrackingBooster five(
+      [kmv](uint64_t s) { return std::make_unique<KmvF0>(kmv, s); }, 5, 7);
+  EXPECT_GE(five.SpaceBytes(), 5 * one.SpaceBytes());
+}
+
+TEST(TrackingBoosterTest, NameMentionsBase) {
+  KmvF0::Config kmv{.k = 8};
+  TrackingBooster boosted(
+      [kmv](uint64_t s) { return std::make_unique<KmvF0>(kmv, s); }, 3, 7);
+  EXPECT_NE(boosted.Name().find("KmvF0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rs

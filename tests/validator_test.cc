@@ -1,0 +1,81 @@
+#include "rs/stream/validator.h"
+
+#include <gtest/gtest.h>
+
+namespace rs {
+namespace {
+
+StreamParams InsertionParams() {
+  StreamParams p;
+  p.n = 100;
+  p.m = 10;
+  p.max_frequency = 5;
+  p.model = StreamModel::kInsertionOnly;
+  return p;
+}
+
+TEST(ValidatorTest, AcceptsValidInsert) {
+  StreamValidator v(InsertionParams());
+  EXPECT_TRUE(v.Accept({3, 1}));
+  EXPECT_EQ(v.steps(), 1u);
+}
+
+TEST(ValidatorTest, RejectsOutOfDomain) {
+  StreamValidator v(InsertionParams());
+  EXPECT_FALSE(v.Accept({100, 1}));
+  EXPECT_NE(v.error().find("domain"), std::string::npos);
+}
+
+TEST(ValidatorTest, RejectsZeroDelta) {
+  StreamValidator v(InsertionParams());
+  EXPECT_FALSE(v.Accept({1, 0}));
+}
+
+TEST(ValidatorTest, RejectsNegativeDeltaInInsertionOnly) {
+  StreamValidator v(InsertionParams());
+  EXPECT_TRUE(v.Accept({1, 1}));
+  EXPECT_FALSE(v.Accept({1, -1}));
+}
+
+TEST(ValidatorTest, RejectsFrequencyAboveM) {
+  StreamValidator v(InsertionParams());
+  EXPECT_TRUE(v.Accept({1, 5}));
+  EXPECT_FALSE(v.Accept({1, 1}));  // Would push f_1 to 6 > M = 5.
+  // Other items unaffected.
+  EXPECT_TRUE(v.Accept({2, 5}));
+}
+
+TEST(ValidatorTest, RejectsAfterMSteps) {
+  StreamParams p = InsertionParams();
+  p.m = 3;
+  StreamValidator v(p);
+  EXPECT_TRUE(v.Accept({1, 1}));
+  EXPECT_TRUE(v.Accept({2, 1}));
+  EXPECT_TRUE(v.Accept({3, 1}));
+  EXPECT_FALSE(v.Accept({4, 1}));
+  EXPECT_NE(v.error().find("length"), std::string::npos);
+}
+
+TEST(ValidatorTest, TurnstileAllowsNegatives) {
+  StreamParams p = InsertionParams();
+  p.model = StreamModel::kTurnstile;
+  StreamValidator v(p);
+  EXPECT_TRUE(v.Accept({1, 3}));
+  EXPECT_TRUE(v.Accept({1, -3}));
+  EXPECT_TRUE(v.Accept({1, -2}));  // f can go negative in turnstile.
+}
+
+TEST(ValidatorTest, BoundedDeletionEnforcesAlpha) {
+  StreamParams p = InsertionParams();
+  p.model = StreamModel::kBoundedDeletion;
+  StreamValidator v(p, /*alpha=*/2.0);
+  // Insert 4 units: F1 = 4, H1 = 4.
+  EXPECT_TRUE(v.Accept({1, 4}));
+  // Delete 1: F1 = 3, H1 = 5; 3 * 2 >= 5 OK.
+  EXPECT_TRUE(v.Accept({1, -1}));
+  // Delete 2 more: F1 = 1, H1 = 7; 1 * 2 < 7 violates alpha = 2.
+  EXPECT_FALSE(v.Accept({1, -2}));
+}
+
+}  // namespace
+}  // namespace rs
