@@ -1,3 +1,16 @@
+// robust_bounded_deletion.h — robust Fp on alpha-bounded-deletion streams.
+//
+// Wraps: a single linear p-stable sketch (deletions handled natively).
+// Technique: computation paths (Lemma 3.8), made affordable because Lemma
+// 8.2 bounds the flip number of ||.||_p on alpha-bounded-deletion streams.
+// Parameters: `eps` — multiplicative accuracy of the published Fp moment;
+// `delta` — adversarial failure probability; `alpha` — the
+// bounded-deletion promise (current mass stays >= (1/alpha) of the insert
+// mass: at most a (1 - 1/alpha) fraction of what was inserted is ever
+// deleted); the flip-number budget
+// is BoundedDeletionFlipNumber (Lemma 8.2, O(p alpha eps^-p log n)) and
+// sets the union-bound exponent, exposed via lambda().
+
 #ifndef RS_CORE_ROBUST_BOUNDED_DELETION_H_
 #define RS_CORE_ROBUST_BOUNDED_DELETION_H_
 

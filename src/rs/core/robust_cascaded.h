@@ -1,3 +1,17 @@
+// robust_cascaded.h — robust cascaded-norm ||A||_(p,k) estimation for
+// insertion-only matrix streams.
+//
+// Wraps: median-boosted row-sampling cascaded sketches
+// (rs/sketch/cascaded.h behind a TrackingBooster).
+// Technique: sketch switching — the Theorem 4.1 restart ring when the
+// mixed norm obeys the triangle inequality (p, k >= 1), the plain Lemma
+// 3.6 pool otherwise or when force_pool is set.
+// Parameters: `eps` — multiplicative accuracy of the published norm;
+// per-copy confidence is driven by `booster_copies` medians rather than an
+// explicit delta; the flip-number budget is MonotoneFlipNumberFromLog
+// (Proposition 3.4, O(eps^-1 log T) with T the polynomial norm bound) and
+// sizes the pool, capped at `pool_cap`.
+
 #ifndef RS_CORE_ROBUST_CASCADED_H_
 #define RS_CORE_ROBUST_CASCADED_H_
 

@@ -1,3 +1,14 @@
+// robust_entropy.h — adversarially robust additive entropy estimation.
+//
+// Wraps: Clifford-Cosma entropy sketches tracking g = 2^{H(f)}.
+// Technique: sketch switching with the plain Lemma 3.6 pool (entropy is
+// not monotone, so the Theorem 4.1 restart ring does not apply).
+// Parameters: `eps` — additive accuracy of the published entropy, in bits
+// (multiplicative 1 +- eps on 2^H); `delta` — adversarial failure
+// probability; the flip-number budget is EntropyFlipNumber (Proposition
+// 7.2, O(eps^-2 log^3 n)) but the pool is provisioned at `pool_cap` with
+// exhausted() flagging when the formal budget would have been needed.
+
 #ifndef RS_CORE_ROBUST_ENTROPY_H_
 #define RS_CORE_ROBUST_ENTROPY_H_
 

@@ -1,3 +1,15 @@
+// robust_f0.h — adversarially robust distinct-elements (F0) estimation.
+//
+// Wraps: KMV tracking sketches (kSketchSwitching) or a single FastF0
+// instance (kComputationPaths).
+// Technique: sketch switching with the Theorem 4.1 restart ring, or the
+// Lemma 3.8 computation-paths union bound.
+// Parameters: `eps` — multiplicative accuracy of every published estimate
+// (1 +- eps, against an adaptive adversary); `delta` — overall failure
+// probability of the whole adaptive execution; the flip-number budget is
+// derived internally from (eps, n) via F0FlipNumber (Corollary 3.5) and
+// sizes the copy ring / the union bound.
+
 #ifndef RS_CORE_ROBUST_F0_H_
 #define RS_CORE_ROBUST_F0_H_
 

@@ -1,3 +1,15 @@
+// robust_fp.h — adversarially robust Fp-moment estimation (all p > 0).
+//
+// Wraps: p-stable sketches for 0 < p <= 2, the HighpFp sampling estimator
+// for p > 2.
+// Technique: sketch switching (restart ring, Theorem 4.1) or computation
+// paths (Theorems 4.2-4.4), including the promised-flip-number turnstile
+// variant of Theorem 4.3.
+// Parameters: `eps` — multiplicative accuracy of the published Fp moment;
+// `delta` — adversarial failure probability for the whole run; the
+// flip-number budget comes from FpFlipNumber(eps, n, M, p) (Corollary 3.5)
+// unless `lambda_override` supplies the promised turnstile bound.
+
 #ifndef RS_CORE_ROBUST_FP_H_
 #define RS_CORE_ROBUST_FP_H_
 

@@ -1,3 +1,17 @@
+// robust_heavy_hitters.h — adversarially robust L2 heavy hitters.
+//
+// Wraps: p-stable F2 sketches (the robust norm tracker) plus a ring of
+// CountSketch instances (the point-query side).
+// Technique: sketch switching on the norm; the rounded norm's output
+// changes define epochs, and at each epoch boundary one CountSketch is
+// queried once, frozen as the epoch's snapshot, and restarted on the
+// suffix (Theorem 6.5).
+// Parameters: `eps` — heavy-hitter threshold scale (tau = eps * ||f||_2;
+// point queries are 2eps-correct within an epoch); `delta` — adversarial
+// failure probability; the flip-number budget of the L2 norm (Corollary
+// 3.5 with p = 2) sizes both the norm ring and the CountSketch ring at
+// Theta(eps^-1 log eps^-1).
+
 #ifndef RS_CORE_ROBUST_HEAVY_HITTERS_H_
 #define RS_CORE_ROBUST_HEAVY_HITTERS_H_
 

@@ -81,8 +81,6 @@ TEST(AmsAttackTest, ObliviousStreamDoesNotBreakAms) {
   // stays accurate — the breakage is adaptivity, not stream length.
   const size_t t = 256;
   AmsLinearSketch sketch(t, 11);
-  GameOptions options = AttackOptions(20000);
-  options.burn_in = 200;
   ExactOracle oracle;
   double max_err = 0.0;
   uint64_t step = 0;
