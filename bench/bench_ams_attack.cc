@@ -79,8 +79,8 @@ int main() {
     rs::RobustFp::Config cfg;
     cfg.p = 2.0;
     cfg.eps = 0.4;
-    cfg.n = 1 << 22;
-    cfg.m = 1 << 22;
+    cfg.stream.n = 1 << 22;
+    cfg.stream.m = 1 << 22;
     cfg.method = rs::RobustFp::Method::kSketchSwitching;
     rs::RobustFp robust(cfg, 500 + trial);
     rs::AmsAttackAdversary adversary(

@@ -1,0 +1,158 @@
+// E17 — batched-update throughput: items/sec of Update() vs UpdateBatch().
+//
+// The robust wrappers' per-update cost is dominated by bookkeeping that the
+// paper's sticky-output channel makes batchable: the published estimate can
+// only move when the output flips, so a caller streaming batches loses
+// nothing by running the publish/round/retire gate once per batch — while
+// the gate's cost (the active copy's Estimate(): a median over counters for
+// the p-stable bases, a heap read for KMV) drops out of the inner loop.
+// This driver measures that amortization on the sketch-switching robust
+// configurations and on the heaviest base sketches.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rs/core/robust.h"
+#include "rs/sketch/countsketch.h"
+#include "rs/sketch/kmv_f0.h"
+#include "rs/sketch/pstable_fp.h"
+#include "rs/stream/generators.h"
+#include "rs/util/table_printer.h"
+
+namespace {
+
+constexpr size_t kBatch = 256;
+
+double MItemsPerSec(rs::Estimator& alg, const rs::Stream& stream,
+                    bool batched) {
+  const auto start = std::chrono::steady_clock::now();
+  if (batched) {
+    for (size_t i = 0; i < stream.size(); i += kBatch) {
+      const size_t count = std::min(kBatch, stream.size() - i);
+      alg.UpdateBatch(stream.data() + i, count);
+    }
+  } else {
+    for (const auto& u : stream) alg.Update(u);
+  }
+  const auto end = std::chrono::steady_clock::now();
+  const double secs =
+      std::chrono::duration_cast<std::chrono::duration<double>>(end - start)
+          .count();
+  return static_cast<double>(stream.size()) / secs / 1e6;
+}
+
+void Row(rs::TablePrinter& table, const std::string& name,
+         const std::function<std::unique_ptr<rs::Estimator>()>& make,
+         const rs::Stream& stream) {
+  auto single = make();
+  auto batched = make();
+  // Untimed warm-up on a stream prefix, through each instance's own timed
+  // path: both timed passes then run against warm caches (stream pages,
+  // stable sample tables, sketch state), instead of the first pass paying
+  // all first-touch costs and inflating the second pass's ratio.
+  const size_t warm = std::min<size_t>(4096, stream.size());
+  for (size_t i = 0; i < warm; ++i) single->Update(stream[i]);
+  for (size_t i = 0; i < warm; i += kBatch) {
+    batched->UpdateBatch(stream.data() + i, std::min(kBatch, warm - i));
+  }
+  const double single_rate = MItemsPerSec(*single, stream, false);
+  const double batch_rate = MItemsPerSec(*batched, stream, true);
+  table.AddRow({name, rs::TablePrinter::Fmt(single_rate, 3),
+                rs::TablePrinter::Fmt(batch_rate, 3),
+                rs::TablePrinter::Fmt(batch_rate / single_rate, 2)});
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E17: single vs batched update throughput "
+              "(batch size %zu)\n", kBatch);
+  rs::TablePrinter table(
+      {"algorithm", "single Mitem/s", "batched Mitem/s", "speedup"});
+
+  const uint64_t n = 1 << 16;
+  const rs::Stream stream = rs::UniformStream(n, 200000, 7);
+
+  // Sketch-switching robust wrappers: the gate (active copy's Estimate())
+  // runs once per batch instead of once per item.
+  Row(table, "RobustFp p=2 (switching)",
+      [&] {
+        rs::RobustConfig rc;
+        rc.fp.p = 2.0;
+        rc.eps = 0.4;
+        rc.stream.n = n;
+        rc.stream.m = 1 << 20;
+        return rs::MakeRobust(rs::Task::kFp, rc, 1);
+      },
+      stream);
+  Row(table, "RobustFp p=1 (switching)",
+      [&] {
+        rs::RobustConfig rc;
+        rc.fp.p = 1.0;
+        rc.eps = 0.4;
+        rc.stream.n = n;
+        rc.stream.m = 1 << 20;
+        return rs::MakeRobust(rs::Task::kFp, rc, 2);
+      },
+      stream);
+  Row(table, "RobustF0 (switching)",
+      [&] {
+        rs::RobustConfig rc;
+        rc.eps = 0.25;
+        rc.stream.n = n;
+        rc.stream.m = 1 << 20;
+        return rs::MakeRobust(rs::Task::kF0, rc, 3);
+      },
+      stream);
+  // Entropy is the clearest amortization case: the Clifford-Cosma gate
+  // (Estimate() = k exponentials) costs a large multiple of one linear
+  // counter update, so the gate share — exp cost over pool_size lookups —
+  // is largest for small Lemma 3.6 pools (a flip budget of 4 is plenty for
+  // a near-stationary workload like this one; exhausted() reports if not).
+  Row(table, "RobustEntropy (pool of 4)",
+      [&] {
+        rs::RobustConfig rc;
+        rc.eps = 0.5;
+        rc.stream.n = n;
+        rc.stream.m = 1 << 20;
+        rc.entropy.pool_cap = 4;
+        return rs::MakeRobust(rs::Task::kEntropy, rc, 7);
+      },
+      stream);
+
+  // Base sketches: batching only removes per-item virtual dispatch, so the
+  // gain is modest — included to show where the wrapper speedup comes from.
+  Row(table, "PStableFp p=2 (static)",
+      [&] {
+        return std::make_unique<rs::PStableFp>(
+            rs::PStableFp::Config{.p = 2.0, .eps = 0.1}, 4);
+      },
+      stream);
+  Row(table, "KmvF0 (static)",
+      [&] {
+        return std::make_unique<rs::KmvF0>(rs::KmvF0::Config{.k = 1024}, 5);
+      },
+      stream);
+  Row(table, "CountSketch (static)",
+      [&] {
+        return std::make_unique<rs::CountSketch>(
+            rs::CountSketch::Config{.eps = 0.1, .delta = 0.01,
+                                    .heap_size = 64},
+            6);
+      },
+      stream);
+
+  table.Print("update throughput, single vs batched");
+  std::printf(
+      "\nShape check: the sketch-switching wrappers gain the most — their\n"
+      "per-update gate cost (active copy Estimate(): a Theta(k log k) median\n"
+      "for p-stable bases) amortizes over the batch, which is sanctioned by\n"
+      "the framework because the published output is sticky between flips.\n"
+      "Static sketches see only the removed per-item virtual dispatch.\n");
+  return 0;
+}

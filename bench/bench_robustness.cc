@@ -76,8 +76,8 @@ int main() {
     rs::RobustFp::Config cfg;
     cfg.p = 2.0;
     cfg.eps = 0.4;
-    cfg.n = 1 << 20;
-    cfg.m = 1 << 20;
+    cfg.stream.n = 1 << 20;
+    cfg.stream.m = 1 << 20;
     rs::RobustFp robust(cfg, 14);
     rs::AmsAttackAdversary attack({.t = 64, .c = 8.0, .seed = 3});
     auto options = Options(4000);
@@ -89,8 +89,8 @@ int main() {
     rs::RobustFp::Config cfg;
     cfg.p = 2.0;
     cfg.eps = 0.4;
-    cfg.n = 1 << 20;
-    cfg.m = 1 << 20;
+    cfg.stream.n = 1 << 20;
+    cfg.stream.m = 1 << 20;
     rs::RobustFp robust(cfg, 15);
     rs::F2DriftAttack attack(
         {.n = uint64_t{1} << 39, .spike = 64, .max_repeats = 128, .seed = 4});

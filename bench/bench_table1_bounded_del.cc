@@ -10,7 +10,7 @@
 #include <algorithm>
 #include <cstdio>
 
-#include "rs/core/robust_bounded_deletion.h"
+#include "rs/core/robust.h"
 #include "rs/stream/exact_oracle.h"
 #include "rs/stream/generators.h"
 #include "rs/util/stats.h"
@@ -26,35 +26,38 @@ int main() {
   const double eps = 0.5;
   for (double alpha : {1.0, 2.0, 4.0, 8.0}) {
     const double p = 1.0;
-    rs::RobustBoundedDeletionFp::Config rc;
-    rc.p = p;
-    rc.alpha = alpha;
+    // Built through the string-keyed facade; the Lemma 8.2 lambda budget is
+    // the flip_budget reported by the uniform guarantee telemetry.
+    rs::RobustConfig rc;
+    rc.fp.p = p;
+    rc.bounded_deletion.alpha = alpha;
     rc.eps = eps;
-    rc.n = n;
-    rc.m = m;
-    rc.max_frequency = 1 << 14;
-    rs::RobustBoundedDeletionFp robust(rc, 3);
+    rc.stream.n = n;
+    rc.stream.m = m;
+    rc.stream.max_frequency = 1 << 14;
+    const auto robust = rs::MakeRobust("bounded_deletion", rc, 3);
 
     rs::ExactOracle oracle;
     double max_err = 0.0;
     for (const auto& u : rs::BoundedDeletionStream(n, m, alpha, 13)) {
-      robust.Update(u);
+      robust->Update(u);
       oracle.Update(u);
       const double truth = oracle.Fp(p);
       if (truth >= 100.0) {
         max_err =
-            std::max(max_err, rs::RelativeError(robust.Estimate(), truth));
+            std::max(max_err, rs::RelativeError(robust->Estimate(), truth));
       }
     }
 
+    const rs::GuaranteeStatus status = robust->GuaranteeStatus();
     table.AddRow({rs::TablePrinter::Fmt(alpha, 1),
                   rs::TablePrinter::Fmt(p, 1),
                   rs::TablePrinter::FmtInt(
-                      static_cast<long long>(robust.lambda())),
-                  rs::TablePrinter::FmtBytes(robust.SpaceBytes()),
+                      static_cast<long long>(status.flip_budget)),
+                  rs::TablePrinter::FmtBytes(robust->SpaceBytes()),
                   rs::TablePrinter::Fmt(max_err, 3),
                   rs::TablePrinter::FmtInt(
-                      static_cast<long long>(robust.output_changes()))});
+                      static_cast<long long>(status.flips_spent))});
   }
   table.Print("bounded deletions: lambda and space vs alpha");
   std::printf(

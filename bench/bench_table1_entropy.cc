@@ -17,6 +17,7 @@
 #include <cstdio>
 
 #include "rs/core/flip_number.h"
+#include "rs/core/robust.h"
 #include "rs/core/robust_entropy.h"
 #include "rs/sketch/entropy_sketch.h"
 #include "rs/stream/exact_oracle.h"
@@ -34,17 +35,19 @@ int main() {
     const auto stream = rs::EntropyDriftStream(n, m, 4, 19);
 
     rs::EntropySketch static_sketch({.eps = eps / 2.0}, 3);
-    rs::RobustEntropy::Config rc;
+    // Unified facade config; constructed as the concrete class because the
+    // driver queries the task-specific EntropyBits() accessor.
+    rs::RobustConfig rc;
     rc.eps = eps;
-    rc.n = n;
-    rc.m = m;
-    rc.pool_cap = 96;
+    rc.stream.n = n;
+    rc.stream.m = m;
+    rc.entropy.pool_cap = 96;
     rs::RobustEntropy robust(rc, 5);
     // Same construction under random-oracle accounting (Thm 7.3's
     // O(eps^-5 log^4 n) column): hash randomness is free, so the footprint
     // drops by the per-copy hash tables.
-    rs::RobustEntropy::Config ro = rc;
-    ro.random_oracle_model = true;
+    rs::RobustConfig ro = rc;
+    ro.entropy.random_oracle_model = true;
     rs::RobustEntropy robust_ro(ro, 5);
 
     rs::ExactOracle oracle;

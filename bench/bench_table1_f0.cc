@@ -15,7 +15,7 @@
 
 #include <cstdio>
 
-#include "rs/core/robust_f0.h"
+#include "rs/core/robust.h"
 #include "rs/core/sketch_switching.h"
 #include "rs/sketch/exact_f0.h"
 #include "rs/sketch/kmv_f0.h"
@@ -67,13 +67,13 @@ int main() {
       rs::ExactF0 deterministic;
       const auto det_stats = Run(deterministic, n, min_truth);
 
-      rs::RobustF0::Config rc;
+      rs::RobustConfig rc;
       rc.eps = eps;
-      rc.n = n;
-      rc.m = n;
-      rc.method = rs::RobustF0::Method::kSketchSwitching;
-      rs::RobustF0 robust(rc, 13);
-      const auto robust_stats = Run(robust, n, min_truth);
+      rc.stream.n = n;
+      rc.stream.m = n;
+      rc.method = rs::Method::kSketchSwitching;
+      const auto robust = rs::MakeRobust(rs::Task::kF0, rc, 13);
+      const auto robust_stats = Run(*robust, n, min_truth);
 
       table.AddRow({rs::TablePrinter::Fmt(eps, 2),
                     rs::TablePrinter::FmtInt(static_cast<long long>(n)),

@@ -12,7 +12,7 @@
 #include <algorithm>
 #include <cstdio>
 
-#include "rs/core/robust_fp.h"
+#include "rs/core/robust.h"
 #include "rs/core/sketch_switching.h"
 #include "rs/sketch/pstable_fp.h"
 #include "rs/stream/exact_oracle.h"
@@ -79,14 +79,14 @@ int main() {
       ExactFp exact(p);
       const auto d = RunStream(exact, stream, p, min_truth);
 
-      rs::RobustFp::Config rc;
-      rc.p = p;
+      rs::RobustConfig rc;
+      rc.fp.p = p;
       rc.eps = eps;
-      rc.n = n;
-      rc.m = m;
-      rc.method = rs::RobustFp::Method::kSketchSwitching;
-      rs::RobustFp robust(rc, 5);
-      const auto r = RunStream(robust, stream, p, min_truth);
+      rc.stream.n = n;
+      rc.stream.m = m;
+      rc.method = rs::Method::kSketchSwitching;
+      const auto robust = rs::MakeRobust(rs::Task::kFp, rc, 5);
+      const auto r = RunStream(*robust, stream, p, min_truth);
 
       table.AddRow(
           {rs::TablePrinter::Fmt(p, 1), rs::TablePrinter::Fmt(eps, 2),

@@ -15,7 +15,7 @@
 #include <cmath>
 #include <cstdio>
 
-#include "rs/core/robust_fp.h"
+#include "rs/core/robust.h"
 #include "rs/sketch/highp_fp.h"
 #include "rs/stream/exact_oracle.h"
 #include "rs/stream/generators.h"
@@ -68,37 +68,38 @@ int main() {
       hc.s2_override = 3;
       rs::HighpFp static_sketch(hc, 3);
 
-      rs::RobustFp::Config rc;
-      rc.p = p;
+      rs::RobustConfig rc;
+      rc.fp.p = p;
       rc.eps = 0.4;
-      rc.n = n;
-      rc.m = m;
-      rc.method = rs::RobustFp::Method::kComputationPaths;
-      rc.highp_s1_override = 8192;
-      rc.highp_s2_override = 3;
-      rs::RobustFp robust(rc, 5);
+      rc.stream.n = n;
+      rc.stream.m = m;
+      rc.stream.max_frequency = 1 << 20;
+      rc.method = rs::Method::kComputationPaths;
+      rc.fp.highp_s1_override = 8192;
+      rc.fp.highp_s2_override = 3;
+      const auto robust = rs::MakeRobust(rs::Task::kFp, rc, 5);
 
       rs::ExactOracle oracle;
       double static_err = 0.0, robust_err = 0.0;
       for (const auto& u : stream) {
         static_sketch.Update(u);
-        robust.Update(u);
+        robust->Update(u);
         oracle.Update(u);
         const double truth = oracle.Fp(p);
         if (truth >= 5000.0) {
           static_err = std::max(
               static_err, rs::RelativeError(static_sketch.Estimate(), truth));
           robust_err = std::max(
-              robust_err, rs::RelativeError(robust.Estimate(), truth));
+              robust_err, rs::RelativeError(robust->Estimate(), truth));
         }
       }
       table.AddRow({rs::TablePrinter::Fmt(p, 1),
                     rs::TablePrinter::Fmt(static_err, 3),
                     rs::TablePrinter::Fmt(robust_err, 3),
                     rs::TablePrinter::FmtBytes(static_sketch.SpaceBytes()),
-                    rs::TablePrinter::FmtBytes(robust.SpaceBytes()),
+                    rs::TablePrinter::FmtBytes(robust->SpaceBytes()),
                     rs::TablePrinter::FmtInt(static_cast<long long>(
-                        robust.output_changes()))});
+                        robust->output_changes()))});
     }
     table.Print("p > 2: static sampler vs computation-paths robust wrapper");
   }

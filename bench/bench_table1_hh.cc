@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "rs/core/robust.h"
 #include "rs/core/robust_heavy_hitters.h"
 #include "rs/sketch/countsketch.h"
 #include "rs/sketch/misra_gries.h"
@@ -60,10 +61,12 @@ int main() {
     rs::CountSketch cs({.eps = eps / 2.0, .delta = 0.01, .heap_size = 64},
                        3);
     rs::MisraGries mg(static_cast<size_t>(2.0 / eps));
-    rs::RobustHeavyHitters::Config rc;
+    // Unified facade config; constructed as the concrete class because the
+    // driver queries the task-specific HeavyHitters() report.
+    rs::RobustConfig rc;
     rc.eps = eps;
-    rc.n = n;
-    rc.m = m;
+    rc.stream.n = n;
+    rc.stream.m = m;
     rs::RobustHeavyHitters robust(rc, 5);
 
     rs::ExactOracle oracle;

@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "rs/core/flip_number.h"
-#include "rs/core/robust_fp.h"
+#include "rs/core/robust.h"
 #include "rs/stream/exact_oracle.h"
 #include "rs/stream/generators.h"
 #include "rs/util/stats.h"
@@ -38,35 +38,37 @@ int main() {
     }
     const size_t empirical = rs::EmpiricalFlipNumber(series, eps / 10.0);
 
-    rs::RobustFp::Config rc;
-    rc.p = p;
+    rs::RobustConfig rc;
+    rc.fp.p = p;
     rc.eps = eps;
-    rc.n = n;
-    rc.m = stream.size();
-    rc.method = rs::RobustFp::Method::kComputationPaths;
-    rc.lambda_override = empirical + 16;  // The promised bound.
-    rs::RobustFp robust(rc, 9);
+    rc.stream.n = n;
+    rc.stream.m = stream.size();
+    rc.stream.max_frequency = 1 << 20;  // Sizing as before the migration.
+    rc.stream.model = rs::StreamModel::kTurnstile;
+    rc.method = rs::Method::kComputationPaths;
+    rc.fp.lambda_override = empirical + 16;  // The promised bound.
+    const auto robust = rs::MakeRobust(rs::Task::kFp, rc, 9);
 
     rs::ExactOracle oracle;
     double max_err = 0.0;
     for (const auto& u : stream) {
-      robust.Update(u);
+      robust->Update(u);
       oracle.Update(u);
       const double truth = oracle.F2();
       if (truth >= 30.0) {
         max_err =
-            std::max(max_err, rs::RelativeError(robust.Estimate(), truth));
+            std::max(max_err, rs::RelativeError(robust->Estimate(), truth));
       }
     }
 
     table.AddRow({rs::TablePrinter::FmtInt(waves),
                   rs::TablePrinter::FmtInt(static_cast<long long>(empirical)),
                   rs::TablePrinter::FmtInt(
-                      static_cast<long long>(rc.lambda_override)),
-                  rs::TablePrinter::FmtBytes(robust.SpaceBytes()),
+                      static_cast<long long>(rc.fp.lambda_override)),
+                  rs::TablePrinter::FmtBytes(robust->SpaceBytes()),
                   rs::TablePrinter::Fmt(max_err, 3),
                   rs::TablePrinter::FmtInt(
-                      static_cast<long long>(robust.output_changes()))});
+                      static_cast<long long>(robust->output_changes()))});
   }
   table.Print("turnstile waves: flip number drives the budget");
   std::printf(

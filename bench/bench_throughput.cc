@@ -148,8 +148,8 @@ void BM_RobustF2_Switching(benchmark::State& state) {
   rs::RobustFp::Config cfg;
   cfg.p = 2.0;
   cfg.eps = 0.4;
-  cfg.n = 1 << 20;
-  cfg.m = 1 << 20;
+  cfg.stream.n = 1 << 20;
+  cfg.stream.m = 1 << 20;
   rs::RobustFp sketch(cfg, 1);
   RunUpdates(state, sketch);
 }

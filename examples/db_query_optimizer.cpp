@@ -18,7 +18,7 @@
 
 #include "rs/adversary/game.h"
 #include "rs/core/crypto_robust_f0.h"
-#include "rs/core/robust_f0.h"
+#include "rs/core/robust.h"
 #include "rs/sketch/kmv_f0.h"
 #include "rs/util/rng.h"
 
@@ -89,13 +89,13 @@ int main() {
   const auto plain_result = Drive(plain, 11);
   Report("static KMV", plain_result, plain.SpaceBytes());
 
-  rs::RobustF0::Config rc;
+  rs::RobustConfig rc;
   rc.eps = 0.25;
-  rc.n = uint64_t{1} << 40;
-  rc.m = uint64_t{1} << 40;
-  rs::RobustF0 robust(rc, 2);
-  const auto robust_result = Drive(robust, 11);
-  Report("robust F0 (sketch switch)", robust_result, robust.SpaceBytes());
+  rc.stream.n = uint64_t{1} << 40;
+  rc.stream.m = uint64_t{1} << 40;
+  const auto robust = rs::MakeRobust("f0", rc, 2);
+  const auto robust_result = Drive(*robust, 11);
+  Report("robust F0 (sketch switch)", robust_result, robust->SpaceBytes());
 
   rs::CryptoRobustF0 crypto({.eps = 0.1, .copies = 3, .key_seed = 0xDB}, 3);
   const auto crypto_result = Drive(crypto, 11);

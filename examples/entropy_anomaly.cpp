@@ -17,11 +17,13 @@
 int main() {
   const uint64_t kDomain = 1 << 12;
 
-  rs::RobustEntropy::Config cfg;
+  // The unified facade config; constructed as the concrete class because
+  // the detector reads the task-specific EntropyBits() accessor.
+  rs::RobustConfig cfg;
   cfg.eps = 0.4;  // Additive error budget, in bits.
-  cfg.n = kDomain;
-  cfg.m = 1 << 20;
-  cfg.pool_cap = 96;
+  cfg.stream.n = kDomain;
+  cfg.stream.m = 1 << 20;
+  cfg.entropy.pool_cap = 96;
   rs::RobustEntropy detector(cfg, /*seed=*/5);
 
   rs::ExactOracle truth;
@@ -58,10 +60,11 @@ int main() {
         (alarmed == should_alarm) ? "correct" : "WRONG");
   }
 
+  const rs::GuaranteeStatus status = detector.GuaranteeStatus();
   std::printf(
       "\n%d/%d phases classified correctly; estimator output changed %zu"
-      " times\n(pool capacity %zu copies; exhausted: %s)\n",
-      phases_correct, phases_total, detector.output_changes(), cfg.pool_cap,
-      detector.exhausted() ? "yes" : "no");
+      " times\n(flip budget %zu copies, %zu retired; guarantee holds: %s)\n",
+      phases_correct, phases_total, status.flips_spent, status.flip_budget,
+      status.copies_retired, status.holds ? "yes" : "no");
   return phases_correct == phases_total ? 0 : 1;
 }

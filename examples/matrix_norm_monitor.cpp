@@ -23,17 +23,19 @@
 int main() {
   const rs::MatrixShape shape{.rows = 256, .cols = 256};  // src x dst.
 
-  rs::RobustCascadedNorm::Config config;
-  config.p = 2.0;  // L2 across sources...
-  config.k = 1.0;  // ...of each source's L1 traffic total.
+  // The unified facade config (entry bound M lives in stream.max_frequency);
+  // constructed as the concrete class for the task-specific flip_number().
+  rs::RobustConfig config;
+  config.cascaded.p = 2.0;  // L2 across sources...
+  config.cascaded.k = 1.0;  // ...of each source's L1 traffic total.
   config.eps = 0.25;
-  config.shape = shape;
-  config.max_entry = 1 << 20;
+  config.cascaded.shape = shape;
+  config.stream.max_frequency = 1 << 20;
   // Row sampling has a blind spot: a copy that samples none of the hot
   // sources cannot see a concentrated burst at all. At rate 3/4 with
   // 4-source bursts a copy is blind with probability (1/4)^4 ~ 0.4%, and
   // each published copy is a median of booster_copies samplings on top.
-  config.rate = 0.75;
+  config.cascaded.rate = 0.75;
   rs::RobustCascadedNorm robust(config, /*seed=*/2024);
 
   // Exact reference (rate = 1 row sample), for the demo printout only.

@@ -48,10 +48,12 @@ int main() {
   const uint64_t kFlows = 1 << 16;
   const double eps = 0.2;
 
-  rs::RobustHeavyHitters::Config cfg;
+  // The unified facade config; constructed as the concrete class because
+  // the monitor reads the task-specific HeavyHitterSet() report.
+  rs::RobustConfig cfg;
   cfg.eps = eps;
-  cfg.n = kFlows;
-  cfg.m = 1 << 20;
+  cfg.stream.n = kFlows;
+  cfg.stream.m = 1 << 20;
   rs::RobustHeavyHitters monitor(cfg, /*seed=*/7);
 
   rs::MisraGries l1_baseline(64);  // Deterministic L1 comparator.

@@ -1,26 +1,27 @@
 // Quickstart: adversarially robust distinct-elements counting in ~40 lines.
 //
-// Builds a RobustF0 estimator (sketch switching over KMV trackers, Theorem
-// 1.1 of Ben-Eliezer et al., PODS 2020), streams a million updates through
-// it, and compares the published estimates against exact ground truth —
-// including the guarantee that matters: the output is trustworthy even if
-// whoever generates the stream can see every estimate we publish.
+// Builds a robust F0 estimator through the rs::MakeRobust facade (sketch
+// switching over KMV trackers, Theorem 1.1 of Ben-Eliezer et al., PODS
+// 2020), streams a million updates through it, and compares the published
+// estimates against exact ground truth — including the guarantee that
+// matters: the output is trustworthy even if whoever generates the stream
+// can see every estimate we publish.
 
 #include <cstdio>
 
-#include "rs/core/robust_f0.h"
+#include "rs/core/robust.h"
 #include "rs/stream/exact_oracle.h"
 #include "rs/stream/generators.h"
 #include "rs/util/stats.h"
 
 int main() {
-  // 1. Configure: accuracy, domain and stream-length bounds.
-  rs::RobustF0::Config config;
-  config.eps = 0.2;        // (1 +- 0.2)-approximation at every step.
-  config.delta = 0.05;     // Failure probability.
-  config.n = 1 << 20;      // Item domain [n].
-  config.m = 1 << 20;      // Max stream length.
-  rs::RobustF0 robust_f0(config, /*seed=*/42);
+  // 1. Configure: accuracy, and the stream bounds shared by every task.
+  rs::RobustConfig config;
+  config.eps = 0.2;            // (1 +- 0.2)-approximation at every step.
+  config.delta = 0.05;         // Failure probability.
+  config.stream.n = 1 << 20;   // Item domain [n].
+  config.stream.m = 1 << 20;   // Max stream length.
+  const auto robust_f0 = rs::MakeRobust(rs::Task::kF0, config, /*seed=*/42);
 
   // 2. Stream: a workload whose distinct count keeps growing.
   const rs::Stream stream = rs::UniformStream(1 << 18, 1 << 20, /*seed=*/7);
@@ -30,10 +31,10 @@ int main() {
   double worst_error = 0.0;
   size_t t = 0;
   for (const rs::Update& u : stream) {
-    robust_f0.Update(u);
+    robust_f0->Update(u);
     truth.Update(u);
     if (++t % (1 << 17) == 0) {
-      const double estimate = robust_f0.Estimate();
+      const double estimate = robust_f0->Estimate();
       const double exact = static_cast<double>(truth.F0());
       const double err = rs::RelativeError(estimate, exact);
       worst_error = err > worst_error ? err : worst_error;
@@ -42,10 +43,14 @@ int main() {
     }
   }
 
+  // 4. Check the guarantee telemetry every robust task reports.
+  const rs::GuaranteeStatus status = robust_f0->GuaranteeStatus();
   std::printf(
       "\nworst sampled relative error: %.3f (target eps = %.2f)\n"
       "published output changed %zu times (information leaked to an\n"
-      "adversary is bounded by this count — the paper's key idea).\n",
-      worst_error, config.eps, robust_f0.output_changes());
-  return worst_error <= config.eps ? 0 : 1;
+      "adversary is bounded by this count — the paper's key idea);\n"
+      "%zu sketch copies retired; adversarial guarantee holds: %s\n",
+      worst_error, config.eps, status.flips_spent, status.copies_retired,
+      status.holds ? "yes" : "NO");
+  return (worst_error <= config.eps && status.holds) ? 0 : 1;
 }

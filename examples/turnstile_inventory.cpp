@@ -10,8 +10,7 @@
 #include <cmath>
 #include <cstdio>
 
-#include "rs/core/robust_bounded_deletion.h"
-#include "rs/core/robust_fp.h"
+#include "rs/core/robust.h"
 #include "rs/stream/exact_oracle.h"
 #include "rs/stream/generators.h"
 #include "rs/util/stats.h"
@@ -21,52 +20,59 @@ int main() {
   const double alpha = 2.0;
 
   // --- Part 1: bounded-deletion robust F1 (stock on hand). ---
-  rs::RobustBoundedDeletionFp::Config cfg;
-  cfg.p = 1.0;
-  cfg.alpha = alpha;
+  rs::RobustConfig cfg;
+  cfg.fp.p = 1.0;
+  cfg.bounded_deletion.alpha = alpha;
   cfg.eps = 0.4;
-  cfg.n = kSkus;
-  cfg.m = 1 << 16;
-  rs::RobustBoundedDeletionFp tracker(cfg, /*seed=*/9);
+  cfg.stream.n = kSkus;
+  cfg.stream.m = 1 << 16;
+  cfg.stream.max_frequency = 1 << 20;  // Per-SKU stock bound M.
+  cfg.stream.model = rs::StreamModel::kBoundedDeletion;
+  const auto tracker =
+      rs::MakeRobust(rs::Task::kBoundedDeletion, cfg, /*seed=*/9);
 
   rs::ExactOracle truth;
   double worst = 0.0;
   size_t t = 0;
   for (const rs::Update& u :
        rs::BoundedDeletionStream(kSkus, 20000, alpha, /*seed=*/21)) {
-    tracker.Update(u);
+    tracker->Update(u);
     truth.Update(u);
     if (++t % 2000 == 0 && truth.Fp(1.0) > 200.0) {
       const double err =
-          rs::RelativeError(tracker.Estimate(), truth.Fp(1.0));
+          rs::RelativeError(tracker->Estimate(), truth.Fp(1.0));
       worst = err > worst ? err : worst;
       std::printf("t=%6zu stock-F1 ~= %8.0f (exact %8.0f, err %.3f)\n", t,
-                  tracker.Estimate(), truth.Fp(1.0), err);
+                  tracker->Estimate(), truth.Fp(1.0), err);
     }
   }
+  const rs::GuaranteeStatus stock_status = tracker->GuaranteeStatus();
   std::printf("bounded-deletion tracker: worst sampled err %.3f "
-              "(lambda budget %zu, output changes %zu)\n\n",
-              worst, tracker.lambda(), tracker.output_changes());
+              "(lambda budget %zu, output changes %zu, guarantee %s)\n\n",
+              worst, stock_status.flip_budget, stock_status.flips_spent,
+              stock_status.holds ? "holds" : "LAPSED");
 
   // --- Part 2: turnstile waves with promised flip number (Thm 4.3). ---
-  rs::RobustFp::Config tcfg;
-  tcfg.p = 2.0;
+  rs::RobustConfig tcfg;
+  tcfg.fp.p = 2.0;
   tcfg.eps = 0.5;
-  tcfg.n = kSkus;
-  tcfg.m = 1 << 16;
-  tcfg.method = rs::RobustFp::Method::kComputationPaths;
-  tcfg.lambda_override = 512;  // Promise: few insert-then-delete seasons.
-  rs::RobustFp seasonal(tcfg, /*seed=*/11);
+  tcfg.stream.n = kSkus;
+  tcfg.stream.m = 1 << 16;
+  tcfg.stream.max_frequency = 1 << 20;  // Per-SKU stock bound M.
+  tcfg.stream.model = rs::StreamModel::kTurnstile;
+  tcfg.method = rs::Method::kComputationPaths;
+  tcfg.fp.lambda_override = 512;  // Promise: few insert-then-delete seasons.
+  const auto seasonal = rs::MakeRobust("fp", tcfg, /*seed=*/11);
   rs::ExactOracle truth2;
   double worst2 = 0.0;
   t = 0;
   for (const rs::Update& u :
        rs::TurnstileWaveStream(kSkus, /*waves=*/5, /*wave_width=*/300, 31)) {
-    seasonal.Update(u);
+    seasonal->Update(u);
     truth2.Update(u);
     if (++t % 150 == 0 && truth2.F2() > 50.0) {
       worst2 = std::max(worst2,
-                        rs::RelativeError(seasonal.Estimate(), truth2.F2()));
+                        rs::RelativeError(seasonal->Estimate(), truth2.F2()));
     }
   }
   std::printf("turnstile seasonal F2: worst sampled err %.3f over %zu "

@@ -64,6 +64,12 @@ void ComputationPaths::Update(const rs::Update& u) {
   rounder_.Feed(base_->Estimate());
 }
 
+void ComputationPaths::UpdateBatch(const rs::Update* ups, size_t count) {
+  if (count == 0) return;
+  base_->UpdateBatch(ups, count);
+  rounder_.Feed(base_->Estimate());
+}
+
 double ComputationPaths::Estimate() const { return rounder_.current(); }
 
 size_t ComputationPaths::SpaceBytes() const {

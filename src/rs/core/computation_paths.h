@@ -61,6 +61,12 @@ class ComputationPaths : public Estimator {
 
   void Update(const rs::Update& u) override;
 
+  // Batched hot path: the base instance consumes the whole batch, then the
+  // rounder re-reads its estimate ONCE at the batch boundary (the sticky
+  // published output cannot move between flips, so per-batch publication is
+  // the granularity a batch-streaming caller observes anyway).
+  void UpdateBatch(const rs::Update* ups, size_t count) override;
+
   // The published output: the eps/2-rounded, sticky view of the single
   // instance's estimate.
   double Estimate() const override;
@@ -73,6 +79,10 @@ class ComputationPaths : public Estimator {
 
   // The delta0 the base instance was instantiated with (as ln delta0).
   double instantiated_log_delta0() const { return log_delta0_; }
+
+  // The flip-number budget the Lemma 3.8 union bound was sized for; output
+  // sequences with more than this many changes void the guarantee.
+  size_t lambda() const { return config_.lambda; }
 
  private:
   Config config_;

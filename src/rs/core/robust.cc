@@ -1,0 +1,100 @@
+#include "rs/core/robust.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "rs/core/robust_bounded_deletion.h"
+#include "rs/core/robust_cascaded.h"
+#include "rs/core/robust_entropy.h"
+#include "rs/core/robust_f0.h"
+#include "rs/core/robust_fp.h"
+#include "rs/core/robust_heavy_hitters.h"
+
+namespace rs {
+
+namespace {
+
+// The registry holds every string-reachable construction. Keys are stable
+// snake_case identifiers (they appear in bench tables and CLI flags).
+std::map<std::string, RobustTaskFactory, std::less<>>& Registry() {
+  static auto* registry = [] {
+    auto* r = new std::map<std::string, RobustTaskFactory, std::less<>>();
+    for (Task task : kAllRobustTasks) {
+      (*r)[TaskKey(task)] = [task](const RobustConfig& config, uint64_t seed) {
+        return MakeRobust(task, config, seed);
+      };
+    }
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace
+
+std::unique_ptr<RobustEstimator> MakeRobust(Task task,
+                                            const RobustConfig& config,
+                                            uint64_t seed) {
+  switch (task) {
+    case Task::kF0:
+      return std::make_unique<RobustF0>(config, seed);
+    case Task::kFp:
+      return std::make_unique<RobustFp>(config, seed);
+    case Task::kEntropy:
+      return std::make_unique<RobustEntropy>(config, seed);
+    case Task::kHeavyHitters:
+      return std::make_unique<RobustHeavyHitters>(config, seed);
+    case Task::kBoundedDeletion:
+      return std::make_unique<RobustBoundedDeletionFp>(config, seed);
+    case Task::kCascaded:
+      return std::make_unique<RobustCascadedNorm>(config, seed);
+  }
+  return nullptr;  // Unreachable for valid enum values.
+}
+
+std::unique_ptr<RobustEstimator> MakeRobust(std::string_view task_key,
+                                            const RobustConfig& config,
+                                            uint64_t seed) {
+  const auto& registry = Registry();
+  const auto it = registry.find(task_key);
+  if (it == registry.end()) return nullptr;
+  return it->second(config, seed);
+}
+
+const char* TaskKey(Task task) {
+  switch (task) {
+    case Task::kF0:
+      return "f0";
+    case Task::kFp:
+      return "fp";
+    case Task::kEntropy:
+      return "entropy";
+    case Task::kHeavyHitters:
+      return "heavy_hitters";
+    case Task::kBoundedDeletion:
+      return "bounded_deletion";
+    case Task::kCascaded:
+      return "cascaded";
+  }
+  return "unknown";
+}
+
+std::optional<Task> TaskFromKey(std::string_view key) {
+  for (Task task : kAllRobustTasks) {
+    if (key == TaskKey(task)) return task;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> RobustTaskKeys() {
+  std::vector<std::string> keys;
+  keys.reserve(Registry().size());
+  for (const auto& [key, factory] : Registry()) keys.push_back(key);
+  return keys;  // std::map iteration order is already sorted.
+}
+
+bool RegisterRobustTask(const std::string& key, RobustTaskFactory factory) {
+  return Registry().emplace(key, std::move(factory)).second;
+}
+
+}  // namespace rs

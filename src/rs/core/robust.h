@@ -1,0 +1,197 @@
+// robust.h — the task-based facade over the six robust estimators.
+//
+// The paper's central claim is that ONE framework (sketch switching,
+// Lemma 3.6 / Theorem 4.1; computation paths, Lemma 3.8) robustifies MANY
+// streaming problems. This header makes that claim an API: every robust
+// task in the library — F0, Fp, entropy, L2 heavy hitters, bounded-deletion
+// Fp, cascaded norms — is constructible through a single `RobustConfig`
+// (which embeds `StreamParams` instead of re-declaring n/m/M per task) and
+// a single factory `MakeRobust(Task, config, seed)`, and every constructed
+// estimator speaks the same `RobustEstimator` interface: `output_changes()`,
+// `exhausted()`, and `GuaranteeStatus()` — the uniform telemetry that tells
+// a caller whether the Lemma 3.6 / Lemma 3.8 adversarial guarantee is still
+// in force.
+//
+// A string-keyed registry backs `MakeRobust("f0", ...)` for CLI and bench
+// drivers, and `RegisterRobustTask` lets alternative robustification
+// backends (e.g. the differential-privacy approach of Hassidim et al.,
+// arXiv:2004.05975, or the importance-sampling approach of Braverman et
+// al., arXiv:2106.14952) be plugged in later without touching call sites.
+
+#ifndef RS_CORE_ROBUST_H_
+#define RS_CORE_ROBUST_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rs/sketch/cascaded.h"  // MatrixShape (cascaded-norm task).
+#include "rs/sketch/estimator.h"
+#include "rs/stream/update.h"
+
+namespace rs {
+
+// The six robust estimation tasks of Sections 4-8 (plus Proposition 3.4's
+// cascaded-norm application).
+enum class Task {
+  kF0,               // Distinct elements (Theorems 1.1/5.1, 1.2/5.4).
+  kFp,               // Fp moments, all p > 0 (Theorems 4.1-4.4).
+  kEntropy,          // Additive Shannon entropy (Theorem 7.3).
+  kHeavyHitters,     // L2 heavy hitters / point queries (Theorem 6.5).
+  kBoundedDeletion,  // Fp on alpha-bounded-deletion streams (Theorem 8.3).
+  kCascaded,         // Cascaded norms ||A||_(p,k) (Proposition 3.4 appl.).
+};
+
+// Every built-in task, in a single place so the registry, the key lookup,
+// and parameterized tests cannot drift from the enum.
+inline constexpr Task kAllRobustTasks[] = {
+    Task::kF0,           Task::kFp,
+    Task::kEntropy,      Task::kHeavyHitters,
+    Task::kBoundedDeletion, Task::kCascaded};
+
+// The robustification technique. Tasks with a single paper construction
+// (entropy: pool switching; heavy hitters: epoch switching; bounded
+// deletion: paths; cascaded: switching) ignore this field.
+enum class Method {
+  kSketchSwitching,   // Algorithm 1 / Lemma 3.6 / Theorem 4.1.
+  kComputationPaths,  // Lemma 3.8.
+};
+
+// Uniform guarantee telemetry (the quantity the whole framework is priced
+// in): how much of the flip budget (Definition 3.2) an execution has spent,
+// how many sketch copies had their randomness revealed and were retired,
+// and — the bit that callers serving adversarial traffic must watch —
+// whether the adversarial guarantee still holds. A drained Lemma 3.6 pool
+// or a computation-paths run whose output changed more than lambda times
+// silently voids the guarantee; this struct makes that loud.
+struct GuaranteeStatus {
+  // Published output changes so far (what the flip number bounds).
+  size_t flips_spent = 0;
+  // Provisioned flip budget: pool copies (Lemma 3.6) or the union-bound
+  // lambda (Lemma 3.8). 0 means unbounded — the Theorem 4.1 restart ring
+  // retires and restarts copies for as long as the stream parameters admit.
+  size_t flip_budget = 0;
+  // Copies whose randomness was revealed to the adversary and that were
+  // retired (and, in ring mode, restarted on the suffix).
+  size_t copies_retired = 0;
+  // True while the adversarial guarantee is in force.
+  bool holds = true;
+
+  size_t FlipsRemaining() const {
+    if (flip_budget == 0) return std::numeric_limits<size_t>::max();
+    return flip_budget > flips_spent ? flip_budget - flips_spent : 0;
+  }
+};
+
+// One configuration for every robust task. Stream-global parameters live in
+// the embedded StreamParams (n, m, M, model) — they are no longer copied
+// per task — and task-specific knobs live in small sub-structs that are
+// simply ignored by the other tasks.
+struct RobustConfig {
+  // Accuracy of every published estimate: multiplicative (1 +- eps) for the
+  // moment/norm tasks, additive eps bits for entropy, tau = eps ||f||_2 for
+  // heavy hitters.
+  double eps = 0.1;
+  // Failure probability of the whole adaptive execution.
+  double delta = 0.05;
+  // Domain size n, stream length bound m, frequency bound M, stream model.
+  StreamParams stream;
+  // Robustification technique, for tasks that implement both.
+  Method method = Method::kSketchSwitching;
+  // Use the exact Lemma 3.8 delta0 (astronomically small) instead of the
+  // calibrated practical target; computation-paths constructions only.
+  bool theoretical_sizing = false;
+
+  // kFp and kBoundedDeletion (which tracks Fp too): moment order and the
+  // Theorem 4.3 / calibration overrides.
+  struct FpParams {
+    double p = 1.0;
+    // Theorem 4.3: promised Fp flip number for turnstile streams (0 = use
+    // the insertion-only Corollary 3.5 bound).
+    size_t lambda_override = 0;
+    // p > 2 only: force sampling sizes of the HighpFp base (0 = theory
+    // defaults, which are large; benchmarks calibrate these).
+    size_t highp_s1_override = 0;
+    size_t highp_s2_override = 0;
+  } fp;
+
+  // kEntropy.
+  struct EntropyParams {
+    size_t pool_cap = 128;  // Practical cap on the Lemma 3.6 copy pool.
+    // Theorem 7.3 random-oracle accounting: hash randomness not charged to
+    // SpaceBytes().
+    bool random_oracle_model = false;
+  } entropy;
+
+  // kBoundedDeletion (the moment order comes from fp.p).
+  struct BoundedDeletionParams {
+    double alpha = 2.0;  // Bounded-deletion promise (>= 1), Definition 8.1.
+  } bounded_deletion;
+
+  // kCascaded. The entry bound M comes from stream.max_frequency.
+  struct CascadedParams {
+    double p = 2.0;  // Outer exponent, > 0.
+    double k = 1.0;  // Inner exponent, > 0.
+    MatrixShape shape;
+    double rate = 0.25;        // Row sampling rate of each static copy.
+    size_t booster_copies = 3; // Median boosting per pool/ring copy.
+    size_t pool_cap = 256;     // Cap for pool-mode copy counts.
+    bool force_pool = false;   // Force the plain Lemma 3.6 pool.
+  } cascaded;
+};
+
+// Interface implemented by every robust wrapper: the Estimator contract
+// plus the uniform guarantee telemetry. `exhausted()` and
+// `GuaranteeStatus().holds` agree: holds == !exhausted(). Estimator is a
+// virtual base so a wrapper can also implement PointQueryEstimator (the
+// heavy-hitters task) over the single shared base.
+class RobustEstimator : public virtual Estimator {
+ public:
+  // Number of published output changes (the quantity bounded by the flip
+  // number on correct executions, Lemma 3.3).
+  virtual size_t output_changes() const = 0;
+
+  // True when the flip budget has been overrun and the adversarial
+  // guarantee has lapsed. Ring-mode (Theorem 4.1) constructions can never
+  // exhaust and always return false.
+  virtual bool exhausted() const = 0;
+
+  // Full guarantee telemetry snapshot.
+  virtual rs::GuaranteeStatus GuaranteeStatus() const = 0;
+};
+
+// Builds the robust estimator for `task` from the unified config. Aborts
+// (RS_CHECK) on invalid parameters, exactly like the underlying wrappers.
+std::unique_ptr<RobustEstimator> MakeRobust(Task task,
+                                            const RobustConfig& config,
+                                            uint64_t seed);
+
+// String-keyed variant for CLI/bench use: MakeRobust("f0", ...). Returns
+// nullptr for an unknown key (RobustTaskKeys() lists the registered ones).
+std::unique_ptr<RobustEstimator> MakeRobust(std::string_view task_key,
+                                            const RobustConfig& config,
+                                            uint64_t seed);
+
+// Registry key of a built-in task ("f0", "fp", "entropy", "heavy_hitters",
+// "bounded_deletion", "cascaded") and the reverse lookup.
+const char* TaskKey(Task task);
+std::optional<Task> TaskFromKey(std::string_view key);
+
+// All registered task keys, sorted (the six built-ins plus any extensions).
+std::vector<std::string> RobustTaskKeys();
+
+// Extension hook: register an additional construction under a new key so
+// alternative backends become reachable from MakeRobust(string) without
+// touching call sites. Returns false if the key is already taken.
+using RobustTaskFactory = std::function<std::unique_ptr<RobustEstimator>(
+    const RobustConfig& config, uint64_t seed)>;
+bool RegisterRobustTask(const std::string& key, RobustTaskFactory factory);
+
+}  // namespace rs
+
+#endif  // RS_CORE_ROBUST_H_

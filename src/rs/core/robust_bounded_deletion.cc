@@ -8,29 +8,49 @@
 
 namespace rs {
 
+namespace {
+
+RobustConfig FromLegacy(const RobustBoundedDeletionFp::Config& c) {
+  RobustConfig rc;
+  rc.eps = c.eps;
+  rc.delta = c.delta;
+  rc.stream = c.stream;
+  rc.theoretical_sizing = c.theoretical_sizing;
+  rc.fp.p = c.p;
+  rc.bounded_deletion.alpha = c.alpha;
+  return rc;
+}
+
+}  // namespace
+
 RobustBoundedDeletionFp::RobustBoundedDeletionFp(const Config& config,
                                                  uint64_t seed)
+    : RobustBoundedDeletionFp(FromLegacy(config), seed) {}
+
+RobustBoundedDeletionFp::RobustBoundedDeletionFp(const RobustConfig& config,
+                                                 uint64_t seed)
     : config_(config) {
-  RS_CHECK(config.p >= 1.0 && config.p <= 2.0);
-  RS_CHECK(config.alpha >= 1.0);
+  const double p = config.fp.p;
+  const double alpha = config.bounded_deletion.alpha;
+  RS_CHECK(p >= 1.0 && p <= 2.0);
+  RS_CHECK(alpha >= 1.0);
   RS_CHECK(config.eps > 0.0 && config.eps < 1.0);
 
-  lambda_ = BoundedDeletionFlipNumber(config.eps / 10.0, config.alpha,
-                                      config.p, config.n,
-                                      config.max_frequency);
+  lambda_ = BoundedDeletionFlipNumber(config.eps / 10.0, alpha, p,
+                                      config.stream.n,
+                                      config.stream.max_frequency);
 
   ComputationPaths::Config cp;
   cp.eps = config.eps;
   cp.delta = config.delta;
-  cp.m = config.m;
+  cp.m = config.stream.m;
   cp.log_T =
-      config.p * std::log(static_cast<double>(config.max_frequency)) +
-      std::log(static_cast<double>(config.n));
+      p * std::log(static_cast<double>(config.stream.max_frequency)) +
+      std::log(static_cast<double>(config.stream.n));
   cp.lambda = lambda_;
   cp.theoretical_sizing = config.theoretical_sizing;
   cp.name = "RobustBoundedDeletionFp";
 
-  const double p = config.p;
   const double eps0 = config.eps / 4.0;
   paths_ = std::make_unique<ComputationPaths>(
       cp,
@@ -50,10 +70,24 @@ void RobustBoundedDeletionFp::Update(const rs::Update& u) {
   paths_->Update(u);
 }
 
+void RobustBoundedDeletionFp::UpdateBatch(const rs::Update* ups,
+                                          size_t count) {
+  paths_->UpdateBatch(ups, count);
+}
+
 double RobustBoundedDeletionFp::Estimate() const { return paths_->Estimate(); }
 
 size_t RobustBoundedDeletionFp::SpaceBytes() const {
   return paths_->SpaceBytes() + sizeof(*this);
+}
+
+rs::GuaranteeStatus RobustBoundedDeletionFp::GuaranteeStatus() const {
+  rs::GuaranteeStatus status;
+  status.flips_spent = output_changes();
+  status.flip_budget = lambda_;
+  status.copies_retired = 0;  // Single linear instance, never retired.
+  status.holds = !exhausted();
+  return status;
 }
 
 }  // namespace rs

@@ -19,7 +19,9 @@
 #include <string>
 
 #include "rs/core/computation_paths.h"
+#include "rs/core/robust.h"
 #include "rs/sketch/estimator.h"
+#include "rs/stream/update.h"
 
 namespace rs {
 
@@ -31,31 +33,43 @@ namespace rs {
 // forces the (monotone) insert-mass moment to grow by (1 + eps^p/alpha).
 // With a bounded flip number, the computation-paths reduction applies to
 // the linear (turnstile-capable) p-stable sketch, exactly as in the proof.
-class RobustBoundedDeletionFp : public Estimator {
+class RobustBoundedDeletionFp : public RobustEstimator {
  public:
+  // Deprecated legacy config — use RobustConfig (fp.p for the moment order,
+  // bounded_deletion.alpha for the promise) for new code; this shim is kept
+  // for one PR. The stream-global bounds n, m, M now live in the embedded
+  // StreamParams rather than per-task copies.
   struct Config {
     double p = 1.0;       // In [1, 2].
     double alpha = 2.0;   // Bounded-deletion parameter (>= 1).
     double eps = 0.2;
     double delta = 0.05;
-    uint64_t n = 1 << 20;
-    uint64_t m = 1 << 20;
-    uint64_t max_frequency = uint64_t{1} << 20;
+    // n, m, max_frequency (M) — defaults match the pre-StreamParams fields
+    // of this legacy struct (M = 2^20, not StreamParams' 2^32).
+    StreamParams stream{.n = 1 << 20, .m = 1 << 20,
+                        .max_frequency = uint64_t{1} << 20};
     bool theoretical_sizing = false;
   };
 
-  RobustBoundedDeletionFp(const Config& config, uint64_t seed);
+  RobustBoundedDeletionFp(const RobustConfig& config, uint64_t seed);
+  RobustBoundedDeletionFp(const Config& config, uint64_t seed);  // Deprecated.
 
   void Update(const rs::Update& u) override;
+  void UpdateBatch(const rs::Update* ups, size_t count) override;
   double Estimate() const override;  // Fp moment.
   size_t SpaceBytes() const override;
   std::string Name() const override { return "RobustBoundedDeletionFp"; }
 
-  size_t output_changes() const { return paths_->output_changes(); }
+  // RobustEstimator telemetry: the Lemma 3.8 guarantee lapses once the
+  // output changed more often than the Lemma 8.2 lambda budget.
+  size_t output_changes() const override { return paths_->output_changes(); }
+  bool exhausted() const override { return output_changes() > lambda_; }
+  rs::GuaranteeStatus GuaranteeStatus() const override;
+
   size_t lambda() const { return lambda_; }
 
  private:
-  Config config_;
+  RobustConfig config_;
   size_t lambda_;
   std::unique_ptr<ComputationPaths> paths_;
 };

@@ -28,21 +28,41 @@ class CascadedNormAdapter : public Estimator {
   CascadedRowSample sketch_;
 };
 
+RobustConfig FromLegacy(const RobustCascadedNorm::Config& c) {
+  RobustConfig rc;
+  rc.eps = c.eps;
+  rc.stream.max_frequency = c.max_entry;
+  rc.cascaded.p = c.p;
+  rc.cascaded.k = c.k;
+  rc.cascaded.shape = c.shape;
+  rc.cascaded.rate = c.rate;
+  rc.cascaded.booster_copies = c.booster_copies;
+  rc.cascaded.pool_cap = c.pool_cap;
+  rc.cascaded.force_pool = c.force_pool;
+  return rc;
+}
+
 }  // namespace
 
 RobustCascadedNorm::RobustCascadedNorm(const Config& config, uint64_t seed)
+    : RobustCascadedNorm(FromLegacy(config), seed) {}
+
+RobustCascadedNorm::RobustCascadedNorm(const RobustConfig& config,
+                                       uint64_t seed)
     : config_(config),
-      ring_mode_(config.p >= 1.0 && config.k >= 1.0 && !config.force_pool),
-      flip_number_(CascadedNormFlipNumber(config.eps, config.shape.rows,
-                                          config.shape.cols, config.max_entry,
-                                          config.p, config.k)) {
+      ring_mode_(config.cascaded.p >= 1.0 && config.cascaded.k >= 1.0 &&
+                 !config.cascaded.force_pool),
+      flip_number_(CascadedNormFlipNumber(
+          config.eps, config.cascaded.shape.rows, config.cascaded.shape.cols,
+          config.stream.max_frequency, config.cascaded.p,
+          config.cascaded.k)) {
   RS_CHECK(config_.eps > 0.0 && config_.eps < 1.0);
 
   CascadedRowSample::Config base;
-  base.p = config_.p;
-  base.k = config_.k;
-  base.shape = config_.shape;
-  base.rate = config_.rate;
+  base.p = config_.cascaded.p;
+  base.k = config_.cascaded.k;
+  base.shape = config_.cascaded.shape;
+  base.rate = config_.cascaded.rate;
 
   SketchSwitching::Config sw;
   sw.eps = config_.eps;
@@ -52,9 +72,10 @@ RobustCascadedNorm::RobustCascadedNorm(const Config& config, uint64_t seed)
     sw.copies = SketchSwitching::RingSizeForEpsilon(config_.eps);
   } else {
     sw.mode = SketchSwitching::PoolMode::kPool;
-    sw.copies = std::max<size_t>(2, std::min(flip_number_, config_.pool_cap));
+    sw.copies = std::max<size_t>(
+        2, std::min(flip_number_, config_.cascaded.pool_cap));
   }
-  const size_t boosters = std::max<size_t>(1, config_.booster_copies);
+  const size_t boosters = std::max<size_t>(1, config_.cascaded.booster_copies);
   switching_ = std::make_unique<SketchSwitching>(
       sw,
       [base, boosters](uint64_t s) -> std::unique_ptr<Estimator> {
@@ -74,14 +95,27 @@ void RobustCascadedNorm::Update(const rs::Update& u) {
   switching_->Update(u);
 }
 
+void RobustCascadedNorm::UpdateBatch(const rs::Update* ups, size_t count) {
+  switching_->UpdateBatch(ups, count);
+}
+
 double RobustCascadedNorm::Estimate() const { return switching_->Estimate(); }
 
 double RobustCascadedNorm::MomentEstimate() const {
-  return std::pow(Estimate(), config_.p);
+  return std::pow(Estimate(), config_.cascaded.p);
 }
 
 size_t RobustCascadedNorm::SpaceBytes() const {
   return switching_->SpaceBytes() + sizeof(*this);
+}
+
+rs::GuaranteeStatus RobustCascadedNorm::GuaranteeStatus() const {
+  rs::GuaranteeStatus status;
+  status.flips_spent = switching_->switches();
+  status.flip_budget = switching_->flip_budget();
+  status.copies_retired = switching_->retired();
+  status.holds = !switching_->exhausted();
+  return status;
 }
 
 }  // namespace rs

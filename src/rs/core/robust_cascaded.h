@@ -19,6 +19,7 @@
 #include <memory>
 #include <string>
 
+#include "rs/core/robust.h"
 #include "rs/core/sketch_switching.h"
 #include "rs/sketch/cascaded.h"
 #include "rs/sketch/estimator.h"
@@ -40,8 +41,11 @@ namespace rs {
 // prefix is an eps/100 fraction) — the wrapper uses the Theta(eps^-1 log
 // eps^-1) ring. For p < 1 or k < 1 the triangle inequality fails and the
 // wrapper falls back to the plain Lemma 3.6 pool sized by the flip number.
-class RobustCascadedNorm : public Estimator {
+class RobustCascadedNorm : public RobustEstimator {
  public:
+  // Deprecated legacy config — use RobustConfig (the cascaded.* sub-struct;
+  // the entry bound M is stream.max_frequency) for new code; this shim is
+  // kept for one PR.
   struct Config {
     double p = 2.0;      // Outer exponent, > 0.
     double k = 1.0;      // Inner exponent, > 0.
@@ -69,9 +73,11 @@ class RobustCascadedNorm : public Estimator {
     bool force_pool = false;
   };
 
-  RobustCascadedNorm(const Config& config, uint64_t seed);
+  RobustCascadedNorm(const RobustConfig& config, uint64_t seed);
+  RobustCascadedNorm(const Config& config, uint64_t seed);  // Deprecated.
 
   void Update(const rs::Update& u) override;
+  void UpdateBatch(const rs::Update* ups, size_t count) override;
 
   // Published robust estimate of the norm ||A||_(p,k).
   double Estimate() const override;
@@ -82,8 +88,11 @@ class RobustCascadedNorm : public Estimator {
   size_t SpaceBytes() const override;
   std::string Name() const override { return "RobustCascadedNorm"; }
 
-  size_t output_changes() const { return switching_->switches(); }
-  bool exhausted() const { return switching_->exhausted(); }
+  // RobustEstimator telemetry: pool mode can drain; the ring never does.
+  size_t output_changes() const override { return switching_->switches(); }
+  bool exhausted() const override { return switching_->exhausted(); }
+  rs::GuaranteeStatus GuaranteeStatus() const override;
+
   bool ring_mode() const { return ring_mode_; }
 
   // The Proposition 3.4 flip number of the published norm for this
@@ -91,7 +100,7 @@ class RobustCascadedNorm : public Estimator {
   size_t flip_number() const { return flip_number_; }
 
  private:
-  Config config_;
+  RobustConfig config_;
   bool ring_mode_;
   size_t flip_number_;
   std::unique_ptr<SketchSwitching> switching_;

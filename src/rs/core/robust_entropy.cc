@@ -9,20 +9,40 @@
 
 namespace rs {
 
+namespace {
+
+RobustConfig FromLegacy(const RobustEntropy::Config& c) {
+  RobustConfig rc;
+  rc.eps = c.eps;
+  rc.delta = c.delta;
+  rc.stream.n = c.n;
+  rc.stream.m = c.m;
+  rc.stream.max_frequency = c.max_frequency;
+  rc.entropy.pool_cap = c.pool_cap;
+  rc.entropy.random_oracle_model = c.random_oracle_model;
+  return rc;
+}
+
+}  // namespace
+
 RobustEntropy::RobustEntropy(const Config& config, uint64_t seed)
+    : RobustEntropy(FromLegacy(config), seed) {}
+
+RobustEntropy::RobustEntropy(const RobustConfig& config, uint64_t seed)
     : config_(config),
-      theoretical_lambda_(EntropyFlipNumber(config.eps, config.n, config.m,
-                                            config.max_frequency)) {
+      theoretical_lambda_(EntropyFlipNumber(config.eps, config.stream.n,
+                                            config.stream.m,
+                                            config.stream.max_frequency)) {
   RS_CHECK(config.eps > 0.0 && config.eps < 1.0);
   EntropySketch::Config es;
   // Base additive accuracy eps/4 on H == multiplicative eps/4-ish on 2^H.
   es.eps = config.eps / 4.0;
-  es.random_oracle_model = config.random_oracle_model;
+  es.random_oracle_model = config.entropy.random_oracle_model;
 
   SketchSwitching::Config sw;
   sw.eps = config.eps;
   sw.mode = SketchSwitching::PoolMode::kPool;  // Entropy is not monotone.
-  sw.copies = std::min(theoretical_lambda_, config.pool_cap);
+  sw.copies = std::min(theoretical_lambda_, config.entropy.pool_cap);
   sw.copies = std::max<size_t>(sw.copies, 2);
   sw.initial_output = 1.0;  // 2^{H(empty)} = 2^0.
   sw.name = "RobustEntropy";
@@ -34,6 +54,10 @@ RobustEntropy::RobustEntropy(const Config& config, uint64_t seed)
 
 void RobustEntropy::Update(const rs::Update& u) { switching_->Update(u); }
 
+void RobustEntropy::UpdateBatch(const rs::Update* ups, size_t count) {
+  switching_->UpdateBatch(ups, count);
+}
+
 double RobustEntropy::Estimate() const { return switching_->Estimate(); }
 
 double RobustEntropy::EntropyBits() const {
@@ -42,5 +66,14 @@ double RobustEntropy::EntropyBits() const {
 }
 
 size_t RobustEntropy::SpaceBytes() const { return switching_->SpaceBytes(); }
+
+rs::GuaranteeStatus RobustEntropy::GuaranteeStatus() const {
+  rs::GuaranteeStatus status;
+  status.flips_spent = switching_->switches();
+  status.flip_budget = switching_->flip_budget();
+  status.copies_retired = switching_->retired();
+  status.holds = !switching_->exhausted();
+  return status;
+}
 
 }  // namespace rs

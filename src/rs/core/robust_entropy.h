@@ -16,6 +16,7 @@
 #include <memory>
 #include <string>
 
+#include "rs/core/robust.h"
 #include "rs/core/sketch_switching.h"
 #include "rs/sketch/estimator.h"
 
@@ -32,8 +33,10 @@ namespace rs {
 // `pool_cap` in practice (the theoretical bound is astronomically
 // conservative for real streams; exhausted() reports if the cap was hit,
 // see DESIGN.md section 6).
-class RobustEntropy : public Estimator {
+class RobustEntropy : public RobustEstimator {
  public:
+  // Deprecated legacy config — use RobustConfig (and rs::MakeRobust) for
+  // new code; this shim is kept for one PR.
   struct Config {
     double eps = 0.1;   // Additive entropy accuracy (bits).
     double delta = 0.05;
@@ -46,9 +49,11 @@ class RobustEntropy : public Estimator {
     bool random_oracle_model = false;
   };
 
-  RobustEntropy(const Config& config, uint64_t seed);
+  RobustEntropy(const RobustConfig& config, uint64_t seed);
+  RobustEntropy(const Config& config, uint64_t seed);  // Deprecated shim.
 
   void Update(const rs::Update& u) override;
+  void UpdateBatch(const rs::Update* ups, size_t count) override;
 
   // Published estimate of 2^{H} (the tracked multiplicative quantity).
   double Estimate() const override;
@@ -59,8 +64,11 @@ class RobustEntropy : public Estimator {
   size_t SpaceBytes() const override;
   std::string Name() const override { return "RobustEntropy"; }
 
-  size_t output_changes() const { return switching_->switches(); }
-  bool exhausted() const { return switching_->exhausted(); }
+  // RobustEstimator telemetry: pool discipline — the guarantee lapses when
+  // the provisioned pool is drained.
+  size_t output_changes() const override { return switching_->switches(); }
+  bool exhausted() const override { return switching_->exhausted(); }
+  rs::GuaranteeStatus GuaranteeStatus() const override;
 
   // The Proposition 7.2 flip-number bound this instance would need for the
   // full formal guarantee (reported by benchmarks next to the practical
@@ -68,7 +76,7 @@ class RobustEntropy : public Estimator {
   size_t theoretical_lambda() const { return theoretical_lambda_; }
 
  private:
-  Config config_;
+  RobustConfig config_;
   size_t theoretical_lambda_;
   std::unique_ptr<SketchSwitching> switching_;
 };

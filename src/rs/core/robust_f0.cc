@@ -9,7 +9,26 @@
 
 namespace rs {
 
-RobustF0::RobustF0(const Config& config, uint64_t seed) : config_(config) {
+namespace {
+
+RobustConfig FromLegacy(const RobustF0::Config& c) {
+  RobustConfig rc;
+  rc.eps = c.eps;
+  rc.delta = c.delta;
+  rc.stream.n = c.n;
+  rc.stream.m = c.m;
+  rc.method = c.method;
+  rc.theoretical_sizing = c.theoretical_sizing;
+  return rc;
+}
+
+}  // namespace
+
+RobustF0::RobustF0(const Config& config, uint64_t seed)
+    : RobustF0(FromLegacy(config), seed) {}
+
+RobustF0::RobustF0(const RobustConfig& config, uint64_t seed)
+    : config_(config) {
   RS_CHECK(config.eps > 0.0 && config.eps < 1.0);
   const double eps = config.eps;
 
@@ -35,13 +54,14 @@ RobustF0::RobustF0(const Config& config, uint64_t seed) : config_(config) {
   ComputationPaths::Config cp;
   cp.eps = eps;
   cp.delta = config.delta;
-  cp.m = config.m;
-  cp.log_T = std::log(static_cast<double>(config.n));  // F0 in [1, n].
-  cp.lambda = F0FlipNumber(eps / 10.0, config.n);
+  cp.m = config.stream.m;
+  // F0 in [1, n].
+  cp.log_T = std::log(static_cast<double>(config.stream.n));
+  cp.lambda = F0FlipNumber(eps / 10.0, config.stream.n);
   cp.theoretical_sizing = config.theoretical_sizing;
   cp.name = "RobustF0/paths";
   const double eps0 = eps / 4.0;
-  const uint64_t n = config.n;
+  const uint64_t n = config.stream.n;
   paths_ = std::make_unique<ComputationPaths>(
       cp,
       [eps0, n](double delta, uint64_t s) {
@@ -62,6 +82,14 @@ void RobustF0::Update(const rs::Update& u) {
   }
 }
 
+void RobustF0::UpdateBatch(const rs::Update* ups, size_t count) {
+  if (switching_ != nullptr) {
+    switching_->UpdateBatch(ups, count);
+  } else {
+    paths_->UpdateBatch(ups, count);
+  }
+}
+
 double RobustF0::Estimate() const {
   return switching_ != nullptr ? switching_->Estimate() : paths_->Estimate();
 }
@@ -78,6 +106,27 @@ std::string RobustF0::Name() const {
 size_t RobustF0::output_changes() const {
   return switching_ != nullptr ? switching_->switches()
                                : paths_->output_changes();
+}
+
+bool RobustF0::exhausted() const {
+  // Ring mode can never exhaust; the paths guarantee lapses once the
+  // published output changed more often than the union bound budgeted for.
+  return switching_ != nullptr ? switching_->exhausted()
+                               : paths_->output_changes() > paths_->lambda();
+}
+
+rs::GuaranteeStatus RobustF0::GuaranteeStatus() const {
+  rs::GuaranteeStatus status;
+  status.flips_spent = output_changes();
+  if (switching_ != nullptr) {
+    status.flip_budget = switching_->flip_budget();
+    status.copies_retired = switching_->retired();
+  } else {
+    status.flip_budget = paths_->lambda();
+    status.copies_retired = 0;  // The single instance is never retired.
+  }
+  status.holds = !exhausted();
+  return status;
 }
 
 }  // namespace rs

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "rs/core/computation_paths.h"
+#include "rs/core/robust.h"
 #include "rs/core/sketch_switching.h"
 #include "rs/sketch/estimator.h"
 
@@ -34,10 +35,12 @@ namespace rs {
 //    Lemma 3.8, published through an eps/2-rounder. FastF0's update time
 //    depends only poly-log-log on 1/delta0, which is the point of the
 //    construction.
-class RobustF0 : public Estimator {
+class RobustF0 : public RobustEstimator {
  public:
-  enum class Method { kSketchSwitching, kComputationPaths };
+  using Method = rs::Method;
 
+  // Deprecated legacy config — use RobustConfig (and rs::MakeRobust) for
+  // new code; this shim is kept for one PR.
   struct Config {
     double eps = 0.1;
     double delta = 0.05;
@@ -49,21 +52,25 @@ class RobustF0 : public Estimator {
     bool theoretical_sizing = false;
   };
 
-  RobustF0(const Config& config, uint64_t seed);
+  RobustF0(const RobustConfig& config, uint64_t seed);
+  RobustF0(const Config& config, uint64_t seed);  // Deprecated shim.
 
   void Update(const rs::Update& u) override;
+  void UpdateBatch(const rs::Update* ups, size_t count) override;
   double Estimate() const override;
   size_t SpaceBytes() const override;
   std::string Name() const override;
 
-  // Number of published output changes (both methods expose this; it is the
-  // quantity bounded by the F0 flip number).
-  size_t output_changes() const;
+  // RobustEstimator telemetry. Ring mode never exhausts; the paths method
+  // lapses once the output changed more often than the Lemma 3.8 lambda.
+  size_t output_changes() const override;
+  bool exhausted() const override;
+  rs::GuaranteeStatus GuaranteeStatus() const override;
 
-  const Config& config() const { return config_; }
+  const RobustConfig& config() const { return config_; }
 
  private:
-  Config config_;
+  RobustConfig config_;
   std::unique_ptr<SketchSwitching> switching_;
   std::unique_ptr<ComputationPaths> paths_;
 };

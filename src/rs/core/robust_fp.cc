@@ -9,11 +9,33 @@
 
 namespace rs {
 
-RobustFp::RobustFp(const Config& config, uint64_t seed) : config_(config) {
-  RS_CHECK(config.p > 0.0);
+namespace {
+
+RobustConfig FromLegacy(const RobustFp::Config& c) {
+  RobustConfig rc;
+  rc.eps = c.eps;
+  rc.delta = c.delta;
+  rc.stream = c.stream;
+  rc.method = c.method;
+  rc.theoretical_sizing = c.theoretical_sizing;
+  rc.fp.p = c.p;
+  rc.fp.lambda_override = c.lambda_override;
+  rc.fp.highp_s1_override = c.highp_s1_override;
+  rc.fp.highp_s2_override = c.highp_s2_override;
+  return rc;
+}
+
+}  // namespace
+
+RobustFp::RobustFp(const Config& config, uint64_t seed)
+    : RobustFp(FromLegacy(config), seed) {}
+
+RobustFp::RobustFp(const RobustConfig& config, uint64_t seed)
+    : config_(config) {
+  RS_CHECK(config.fp.p > 0.0);
   RS_CHECK(config.eps > 0.0 && config.eps < 1.0);
   const double eps = config.eps;
-  const double p = config.p;
+  const double p = config.fp.p;
 
   if (p <= 2.0 && config.method == Method::kSketchSwitching) {
     // Theorem 4.1: ring of p-stable sketches. The ring tracks the Fp moment
@@ -38,29 +60,30 @@ RobustFp::RobustFp(const Config& config, uint64_t seed) : config_(config) {
   ComputationPaths::Config cp;
   cp.eps = eps;
   cp.delta = config.delta;
-  cp.m = config.m;
-  cp.log_T = p * std::log(static_cast<double>(config.max_frequency)) +
-             std::log(static_cast<double>(config.n));
-  cp.lambda = config.lambda_override != 0
-                  ? config.lambda_override
-                  : FpFlipNumber(eps / 10.0, config.n, config.max_frequency,
-                                 p);
+  cp.m = config.stream.m;
+  cp.log_T =
+      p * std::log(static_cast<double>(config.stream.max_frequency)) +
+      std::log(static_cast<double>(config.stream.n));
+  cp.lambda = config.fp.lambda_override != 0
+                  ? config.fp.lambda_override
+                  : FpFlipNumber(eps / 10.0, config.stream.n,
+                                 config.stream.max_frequency, p);
   cp.theoretical_sizing = config.theoretical_sizing;
   cp.name = p > 2.0 ? "RobustFp/paths-highp" : "RobustFp/paths";
   const double eps0 = eps / 4.0;
 
   if (p > 2.0) {
-    const Config cfg = config;
+    const RobustConfig cfg = config;
     paths_ = std::make_unique<ComputationPaths>(
         cp,
         [cfg, eps0](double delta, uint64_t s) {
           HighpFp::Config hc;
-          hc.p = cfg.p;
+          hc.p = cfg.fp.p;
           hc.eps = eps0;
-          hc.n = cfg.n;
+          hc.n = cfg.stream.n;
           hc.delta = delta;
-          hc.s1_override = cfg.highp_s1_override;
-          hc.s2_override = cfg.highp_s2_override;
+          hc.s1_override = cfg.fp.highp_s1_override;
+          hc.s2_override = cfg.fp.highp_s2_override;
           return std::make_unique<HighpFp>(hc, s);
         },
         seed);
@@ -86,7 +109,7 @@ RobustFp::RobustFp(const Config& config, uint64_t seed) : config_(config) {
 }
 
 void RobustFp::Update(const rs::Update& u) {
-  if (config_.p > 2.0 || config_.lambda_override == 0) {
+  if (config_.fp.p > 2.0 || config_.fp.lambda_override == 0) {
     RS_DCHECK(u.delta != 0);
   }
   if (switching_ != nullptr) {
@@ -96,13 +119,26 @@ void RobustFp::Update(const rs::Update& u) {
   }
 }
 
+void RobustFp::UpdateBatch(const rs::Update* ups, size_t count) {
+#ifndef NDEBUG
+  if (config_.fp.p > 2.0 || config_.fp.lambda_override == 0) {
+    for (size_t i = 0; i < count; ++i) RS_DCHECK(ups[i].delta != 0);
+  }
+#endif
+  if (switching_ != nullptr) {
+    switching_->UpdateBatch(ups, count);
+  } else {
+    paths_->UpdateBatch(ups, count);
+  }
+}
+
 double RobustFp::Estimate() const {
   return switching_ != nullptr ? switching_->Estimate() : paths_->Estimate();
 }
 
 double RobustFp::NormEstimate() const {
   const double fp = Estimate();
-  return fp <= 0.0 ? 0.0 : std::pow(fp, 1.0 / config_.p);
+  return fp <= 0.0 ? 0.0 : std::pow(fp, 1.0 / config_.fp.p);
 }
 
 size_t RobustFp::SpaceBytes() const {
@@ -117,6 +153,25 @@ std::string RobustFp::Name() const {
 size_t RobustFp::output_changes() const {
   return switching_ != nullptr ? switching_->switches()
                                : paths_->output_changes();
+}
+
+bool RobustFp::exhausted() const {
+  return switching_ != nullptr ? switching_->exhausted()
+                               : paths_->output_changes() > paths_->lambda();
+}
+
+rs::GuaranteeStatus RobustFp::GuaranteeStatus() const {
+  rs::GuaranteeStatus status;
+  status.flips_spent = output_changes();
+  if (switching_ != nullptr) {
+    status.flip_budget = switching_->flip_budget();
+    status.copies_retired = switching_->retired();
+  } else {
+    status.flip_budget = paths_->lambda();
+    status.copies_retired = 0;
+  }
+  status.holds = !exhausted();
+  return status;
 }
 
 }  // namespace rs

@@ -18,8 +18,10 @@
 #include <string>
 
 #include "rs/core/computation_paths.h"
+#include "rs/core/robust.h"
 #include "rs/core/sketch_switching.h"
 #include "rs/sketch/estimator.h"
+#include "rs/stream/update.h"
 
 namespace rs {
 
@@ -38,17 +40,22 @@ namespace rs {
 //    sampling estimator HighpFp instead.
 //
 // Estimate() returns Fp = ||f||_p^p; NormEstimate() returns ||f||_p.
-class RobustFp : public Estimator {
+class RobustFp : public RobustEstimator {
  public:
-  enum class Method { kSketchSwitching, kComputationPaths };
+  using Method = rs::Method;
 
+  // Deprecated legacy config — use RobustConfig (and rs::MakeRobust) for
+  // new code; this shim is kept for one PR. The stream-global bounds n, m,
+  // M now live in the embedded StreamParams rather than per-task copies.
   struct Config {
     double p = 1.0;
     double eps = 0.1;
     double delta = 0.05;
-    uint64_t n = 1 << 20;
-    uint64_t m = 1 << 20;
-    uint64_t max_frequency = uint64_t{1} << 20;  // M.
+    // n, m, max_frequency (M) — defaults match the pre-StreamParams fields
+    // of this legacy struct (M = 2^20, not StreamParams' 2^32), so callers
+    // that never set M keep their original flip budget and sketch sizing.
+    StreamParams stream{.n = 1 << 20, .m = 1 << 20,
+                        .max_frequency = uint64_t{1} << 20};
     Method method = Method::kSketchSwitching;
     // Theorem 4.3: promised Fp flip number for turnstile streams (0 = use
     // the insertion-only Corollary 3.5 bound).
@@ -60,19 +67,26 @@ class RobustFp : public Estimator {
     size_t highp_s2_override = 0;
   };
 
-  RobustFp(const Config& config, uint64_t seed);
+  RobustFp(const RobustConfig& config, uint64_t seed);
+  RobustFp(const Config& config, uint64_t seed);  // Deprecated shim.
 
   void Update(const rs::Update& u) override;
+  void UpdateBatch(const rs::Update* ups, size_t count) override;
   double Estimate() const override;   // Fp moment.
   double NormEstimate() const;        // ||f||_p.
   size_t SpaceBytes() const override;
   std::string Name() const override;
 
-  size_t output_changes() const;
-  const Config& config() const { return config_; }
+  // RobustEstimator telemetry. Ring mode never exhausts; the paths method
+  // lapses once the output changed more often than the budgeted lambda.
+  size_t output_changes() const override;
+  bool exhausted() const override;
+  rs::GuaranteeStatus GuaranteeStatus() const override;
+
+  const RobustConfig& config() const { return config_; }
 
  private:
-  Config config_;
+  RobustConfig config_;
   std::unique_ptr<SketchSwitching> switching_;
   std::unique_ptr<ComputationPaths> paths_;
 };

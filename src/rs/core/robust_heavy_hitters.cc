@@ -18,6 +18,9 @@ class L2NormEstimator : public Estimator {
       : sketch_(config, seed) {}
 
   void Update(const rs::Update& u) override { sketch_.Update(u); }
+  void UpdateBatch(const rs::Update* ups, size_t count) override {
+    sketch_.UpdateBatch(ups, count);
+  }
   double Estimate() const override { return sketch_.NormEstimate(); }
   size_t SpaceBytes() const override { return sketch_.SpaceBytes(); }
   std::string Name() const override { return "L2NormEstimator"; }
@@ -26,9 +29,22 @@ class L2NormEstimator : public Estimator {
   PStableFp sketch_;
 };
 
+RobustConfig FromLegacy(const RobustHeavyHitters::Config& c) {
+  RobustConfig rc;
+  rc.eps = c.eps;
+  rc.delta = c.delta;
+  rc.stream.n = c.n;
+  rc.stream.m = c.m;
+  return rc;
+}
+
 }  // namespace
 
 RobustHeavyHitters::RobustHeavyHitters(const Config& config, uint64_t seed)
+    : RobustHeavyHitters(FromLegacy(config), seed) {}
+
+RobustHeavyHitters::RobustHeavyHitters(const RobustConfig& config,
+                                       uint64_t seed)
     : config_(config), seed_(seed) {
   RS_CHECK(config.eps > 0.0 && config.eps < 1.0);
   const double eps = config.eps;
@@ -78,14 +94,25 @@ void RobustHeavyHitters::AdvanceEpoch() {
   ++epochs_;
 }
 
-void RobustHeavyHitters::Update(const rs::Update& u) {
-  l2_tracker_->Update(u);
-  for (auto& cs : ring_) cs->Update(u);
+void RobustHeavyHitters::AdvanceEpochIfNormMoved() {
   const double published = l2_tracker_->Estimate();
   if (published != last_published_norm_) {
     last_published_norm_ = published;
     AdvanceEpoch();
   }
+}
+
+void RobustHeavyHitters::Update(const rs::Update& u) {
+  l2_tracker_->Update(u);
+  for (auto& cs : ring_) cs->Update(u);
+  AdvanceEpochIfNormMoved();
+}
+
+void RobustHeavyHitters::UpdateBatch(const rs::Update* ups, size_t count) {
+  if (count == 0) return;
+  l2_tracker_->UpdateBatch(ups, count);
+  for (auto& cs : ring_) cs->UpdateBatch(ups, count);
+  AdvanceEpochIfNormMoved();
 }
 
 double RobustHeavyHitters::Estimate() const { return last_published_norm_; }
@@ -109,6 +136,17 @@ size_t RobustHeavyHitters::SpaceBytes() const {
   for (const auto& cs : ring_) total += cs->SpaceBytes();
   if (snapshot_ != nullptr) total += snapshot_->SpaceBytes();
   return total;
+}
+
+rs::GuaranteeStatus RobustHeavyHitters::GuaranteeStatus() const {
+  rs::GuaranteeStatus status;
+  status.flips_spent = epochs_;
+  status.flip_budget = 0;  // Both rings restart on retire: unbounded.
+  // Each epoch retires (freezes + restarts) one CountSketch on top of the
+  // norm tracker's own retirements.
+  status.copies_retired = l2_tracker_->retired() + epochs_;
+  status.holds = true;
+  return status;
 }
 
 }  // namespace rs

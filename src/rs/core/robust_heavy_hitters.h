@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "rs/core/robust.h"
 #include "rs/core/sketch_switching.h"
 #include "rs/sketch/countsketch.h"
 #include "rs/sketch/estimator.h"
@@ -44,8 +45,11 @@ namespace rs {
 //
 // The adversary only ever sees (a) the rounded norm timeline and (b) frozen
 // snapshots; live CountSketch state is never exposed.
-class RobustHeavyHitters : public PointQueryEstimator {
+class RobustHeavyHitters : public PointQueryEstimator,
+                           public RobustEstimator {
  public:
+  // Deprecated legacy config — use RobustConfig (and rs::MakeRobust) for
+  // new code; this shim is kept for one PR.
   struct Config {
     double eps = 0.1;    // L2 guarantee: tau = eps * ||f||_2.
     double delta = 0.01;
@@ -53,9 +57,15 @@ class RobustHeavyHitters : public PointQueryEstimator {
     uint64_t m = 1 << 20;
   };
 
-  RobustHeavyHitters(const Config& config, uint64_t seed);
+  RobustHeavyHitters(const RobustConfig& config, uint64_t seed);
+  RobustHeavyHitters(const Config& config, uint64_t seed);  // Deprecated.
 
   void Update(const rs::Update& u) override;
+  // Batched: the norm tracker and the CountSketch ring consume the whole
+  // batch, then the epoch-boundary check runs once at the batch boundary
+  // (the rounded norm is sticky between flips, so this is the granularity
+  // a batch-streaming caller observes anyway).
+  void UpdateBatch(const rs::Update* ups, size_t count) override;
 
   // Robust estimate of ||f||_2 (the published, rounded norm R_t).
   double Estimate() const override;
@@ -72,12 +82,19 @@ class RobustHeavyHitters : public PointQueryEstimator {
   size_t SpaceBytes() const override;
   std::string Name() const override { return "RobustHeavyHitters"; }
 
+  // RobustEstimator telemetry: both rings restart on retire (Theorem 4.1
+  // discipline), so the construction never exhausts.
+  size_t output_changes() const override { return epochs_; }
+  bool exhausted() const override { return false; }
+  rs::GuaranteeStatus GuaranteeStatus() const override;
+
   size_t epochs() const { return epochs_; }
 
  private:
+  void AdvanceEpochIfNormMoved();
   void AdvanceEpoch();
 
-  Config config_;
+  RobustConfig config_;
   std::unique_ptr<SketchSwitching> l2_tracker_;
   double last_published_norm_ = 0.0;
   std::vector<std::unique_ptr<CountSketch>> ring_;

@@ -35,11 +35,15 @@ void SketchSwitching::Retire() {
     // remaining suffix of the stream, and move to the next copy in the ring.
     instances_[active_] = factory_(SplitMix64(seed_ + ++spawn_count_));
     active_ = (active_ + 1) % instances_.size();
+    ++retired_;
     return;
   }
-  // Plain pool (Lemma 3.6): advance; flag exhaustion at the end.
+  // Plain pool (Lemma 3.6): advance; flag exhaustion at the end (the last
+  // copy keeps answering and is not counted as retired — it is still live,
+  // just with its guarantee lapsed).
   if (active_ + 1 < instances_.size()) {
     ++active_;
+    ++retired_;
   } else {
     exhausted_ = true;
   }
@@ -48,7 +52,16 @@ void SketchSwitching::Retire() {
 void SketchSwitching::Update(const rs::Update& u) {
   // Every instance processes every update (Algorithm 1, line 6).
   for (auto& inst : instances_) inst->Update(u);
+  GateAndPublish();
+}
 
+void SketchSwitching::UpdateBatch(const rs::Update* ups, size_t count) {
+  if (count == 0) return;
+  for (auto& inst : instances_) inst->UpdateBatch(ups, count);
+  GateAndPublish();
+}
+
+void SketchSwitching::GateAndPublish() {
   const double y = instances_[active_]->Estimate();
   // Gate (Algorithm 1, line 8): keep the published output while it is a
   // (1 +- eps/2)-approximation of the active instance's estimate.

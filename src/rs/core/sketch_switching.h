@@ -61,6 +61,15 @@ class SketchSwitching : public Estimator {
 
   void Update(const rs::Update& u) override;
 
+  // Batched hot path: every instance consumes the whole batch, then the
+  // publish/round/retire gate runs ONCE at the batch boundary instead of
+  // per update. This is the paper-sanctioned amortization — the published
+  // output is sticky between flips (Section 3), so a caller streaming
+  // batches observes exactly the per-batch publication granularity it asked
+  // for — and it hoists the active copy's Estimate() (a median for the
+  // p-stable bases) out of the inner loop.
+  void UpdateBatch(const rs::Update* ups, size_t count) override;
+
   // The published output g~ — rounded and sticky; this is all the adversary
   // ever observes.
   double Estimate() const override;
@@ -78,9 +87,23 @@ class SketchSwitching : public Estimator {
 
   size_t copies() const { return instances_.size(); }
   size_t active_index() const { return active_; }
+  PoolMode mode() const { return config_.mode; }
+
+  // Copies whose randomness was revealed and that were abandoned (pool) or
+  // restarted with fresh randomness (ring).
+  size_t retired() const { return retired_; }
+
+  // Provisioned flip budget: the pool size under Lemma 3.6, 0 (unbounded)
+  // for the Theorem 4.1 restart ring.
+  size_t flip_budget() const {
+    return config_.mode == PoolMode::kPool ? instances_.size() : 0;
+  }
 
  private:
   void Retire();
+  // The Algorithm 1 gate: re-publish from the active copy and retire it if
+  // the sticky output escaped the (1 +- eps/2) window.
+  void GateAndPublish();
 
   Config config_;
   EstimatorFactory factory_;
@@ -90,6 +113,7 @@ class SketchSwitching : public Estimator {
   size_t active_ = 0;
   double published_;
   size_t switches_ = 0;
+  size_t retired_ = 0;
   bool exhausted_ = false;
 };
 

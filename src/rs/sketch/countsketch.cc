@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_set>
 
 #include "rs/util/check.h"
 #include "rs/util/rng.h"
@@ -28,19 +29,37 @@ CountSketch::CountSketch(const Config& config, uint64_t seed) {
 }
 
 void CountSketch::Update(const rs::Update& u) {
+  ApplyIncrements(u);
+  RefreshCandidate(u.item);
+}
+
+void CountSketch::UpdateBatch(const rs::Update* ups, size_t count) {
+  for (size_t i = 0; i < count; ++i) ApplyIncrements(ups[i]);
+  // One candidate refresh per distinct item: every refresh sees the full
+  // batch's table state, so refreshing an item twice is pure waste.
+  std::unordered_set<uint64_t> refreshed;
+  refreshed.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    if (refreshed.insert(ups[i].item).second) RefreshCandidate(ups[i].item);
+  }
+}
+
+void CountSketch::ApplyIncrements(const rs::Update& u) {
   const double d = static_cast<double>(u.delta);
   for (size_t j = 0; j < rows_; ++j) {
     const uint64_t b = bucket_hashes_[j].Range(u.item, width_);
     table_[j * width_ + b] +=
         d * static_cast<double>(sign_hashes_[j].Sign(u.item));
   }
-  // Refresh the candidate set.
-  const double est = PointQuery(u.item);
-  auto it = candidates_.find(u.item);
+}
+
+void CountSketch::RefreshCandidate(uint64_t item) {
+  const double est = PointQuery(item);
+  auto it = candidates_.find(item);
   if (it != candidates_.end()) {
     it->second = est;
   } else {
-    candidates_.emplace(u.item, est);
+    candidates_.emplace(item, est);
     if (candidates_.size() > heap_size_) {
       auto min_it = candidates_.begin();
       for (auto c = candidates_.begin(); c != candidates_.end(); ++c) {

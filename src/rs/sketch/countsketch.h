@@ -38,6 +38,10 @@ class CountSketch : public PointQueryEstimator {
   CountSketch(const Config& config, uint64_t seed);
 
   void Update(const rs::Update& u) override;
+  // Batched: all table increments first (tight loop), then one candidate
+  // refresh per batch item — each refresh sees the full batch, so cached
+  // candidate estimates are at least as fresh as on the per-update path.
+  void UpdateBatch(const rs::Update* ups, size_t count) override;
   double Estimate() const override;  // F2 estimate (median row energy).
   double PointQuery(uint64_t item) const override;
   std::vector<uint64_t> HeavyHitters(double threshold) const override;
@@ -48,6 +52,9 @@ class CountSketch : public PointQueryEstimator {
   size_t width() const { return width_; }
 
  private:
+  void ApplyIncrements(const rs::Update& u);
+  void RefreshCandidate(uint64_t item);
+
   size_t rows_;
   size_t width_;
   std::vector<KWiseHash> bucket_hashes_;  // Pairwise, one per row.

@@ -26,6 +26,18 @@ class Estimator {
   // Processes one stream update.
   virtual void Update(const rs::Update& u) = 0;
 
+  // Processes `count` consecutive stream updates. The default loops over
+  // Update(); stateful wrappers override it to hoist per-update bookkeeping
+  // (publish/round/retire checks) out of the inner loop. Batched semantics:
+  // the estimator's published output is only guaranteed to be refreshed at
+  // batch boundaries — which is exactly the granularity at which a caller
+  // streaming batches can observe it, so the tracking guarantee is unchanged
+  // from the caller's point of view (the rounder's sticky output does not
+  // move between output flips; see Section 3 of the paper).
+  virtual void UpdateBatch(const rs::Update* ups, size_t count) {
+    for (size_t i = 0; i < count; ++i) Update(ups[i]);
+  }
+
   // Current estimate of the tracked quantity.
   virtual double Estimate() const = 0;
 
@@ -53,8 +65,10 @@ using DeltaEstimatorFactory =
 
 // Extension implemented by sketches that can answer per-item frequency
 // queries (CountSketch, CountMin, Misra-Gries) — the interface required by
-// the heavy hitters problem (Definitions 6.1 and 6.2).
-class PointQueryEstimator : public Estimator {
+// the heavy hitters problem (Definitions 6.1 and 6.2). Estimator is a
+// virtual base so a robust wrapper can implement both this interface and
+// RobustEstimator (rs/core/robust.h) without duplicating the base.
+class PointQueryEstimator : public virtual Estimator {
  public:
   // Estimate of f_i for a single coordinate.
   virtual double PointQuery(uint64_t item) const = 0;

@@ -33,6 +33,12 @@ void KmvF0::Update(const rs::Update& u) {
   }
 }
 
+void KmvF0::UpdateBatch(const rs::Update* ups, size_t count) {
+  // Direct (non-virtual) per-item calls; the sketch state transition is
+  // identical to the single-update path.
+  for (size_t i = 0; i < count; ++i) KmvF0::Update(ups[i]);
+}
+
 double KmvF0::Estimate() const {
   if (heap_.size() < k_) {
     // Fewer than k distinct hashes seen: the count is exact (modulo hash

@@ -40,6 +40,8 @@ class KmvF0 : public Estimator {
   KmvF0(const Config& config, uint64_t seed);
 
   void Update(const rs::Update& u) override;
+  // Tight-loop batch insert: one virtual dispatch for the whole batch.
+  void UpdateBatch(const rs::Update* ups, size_t count) override;
   double Estimate() const override;
   size_t SpaceBytes() const override;
   std::string Name() const override { return "KmvF0"; }

@@ -34,6 +34,12 @@ void PStableFp::Update(const rs::Update& u) {
   }
 }
 
+void PStableFp::UpdateBatch(const rs::Update* ups, size_t count) {
+  // Direct (non-virtual) per-item calls; the state transition is identical
+  // to the single-update path.
+  for (size_t i = 0; i < count; ++i) PStableFp::Update(ups[i]);
+}
+
 double PStableFp::NormEstimate() const {
   std::vector<double> abs_vals;
   abs_vals.reserve(counters_.size());

@@ -41,6 +41,8 @@ class PStableFp : public Estimator {
   PStableFp(const Config& config, uint64_t seed);
 
   void Update(const rs::Update& u) override;
+  // Tight-loop batch of linear measurements; one virtual dispatch per batch.
+  void UpdateBatch(const rs::Update* ups, size_t count) override;
 
   // Estimate of Fp = ||f||_p^p.
   double Estimate() const override;

@@ -104,8 +104,8 @@ TEST(AmsAttackTest, RobustF2SurvivesTheSameAdversary) {
   RobustFp::Config cfg;
   cfg.p = 2.0;
   cfg.eps = 0.4;
-  cfg.n = 1 << 20;
-  cfg.m = 1 << 20;
+  cfg.stream.n = 1 << 20;
+  cfg.stream.m = 1 << 20;
   cfg.method = RobustFp::Method::kSketchSwitching;
   int robust_losses = 0;
   for (int trial = 0; trial < 3; ++trial) {

@@ -131,8 +131,8 @@ TEST(F2DriftAttackTest, RobustF2Survives) {
   RobustFp::Config cfg;
   cfg.p = 2.0;
   cfg.eps = 0.4;
-  cfg.n = 1 << 20;
-  cfg.m = 1 << 20;
+  cfg.stream.n = 1 << 20;
+  cfg.stream.m = 1 << 20;
   cfg.method = RobustFp::Method::kSketchSwitching;
   int losses = 0;
   for (int trial = 0; trial < 3; ++trial) {

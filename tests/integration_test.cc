@@ -178,8 +178,8 @@ TEST(IntegrationTest, RobustFpAcrossModelsConsistency) {
   RobustFp::Config f1_cfg;
   f1_cfg.p = 1.0;
   f1_cfg.eps = 0.4;
-  f1_cfg.n = 1 << 16;
-  f1_cfg.m = 1 << 16;
+  f1_cfg.stream.n = 1 << 16;
+  f1_cfg.stream.m = 1 << 16;
   RobustFp f1(f1_cfg, 19);
   RobustFp::Config f2_cfg = f1_cfg;
   f2_cfg.p = 2.0;

@@ -19,9 +19,9 @@ RobustBoundedDeletionFp::Config MakeConfig(double p, double alpha,
   c.alpha = alpha;
   c.eps = eps;
   c.delta = 0.05;
-  c.n = 1 << 14;
-  c.m = 1 << 14;
-  c.max_frequency = 1 << 14;
+  c.stream.n = 1 << 14;
+  c.stream.m = 1 << 14;
+  c.stream.max_frequency = 1 << 14;
   return c;
 }
 
@@ -72,6 +72,12 @@ TEST(RobustBoundedDeletionTest, OutputChangesStayModerate) {
     alg.Update(u);
   }
   EXPECT_LE(alg.output_changes(), alg.lambda());
+  // Uniform telemetry: within the Lemma 8.2 budget the guarantee holds.
+  EXPECT_FALSE(alg.exhausted());
+  const rs::GuaranteeStatus status = alg.GuaranteeStatus();
+  EXPECT_TRUE(status.holds);
+  EXPECT_EQ(status.flip_budget, alg.lambda());
+  EXPECT_EQ(status.flips_spent, alg.output_changes());
 }
 
 TEST(RobustBoundedDeletionTest, NoDeletionCaseMatchesInsertOnly) {

@@ -78,6 +78,32 @@ TEST(RobustF0Test, OutputChangesAreLogarithmic) {
   EXPECT_GE(alg.output_changes(), 5u);
 }
 
+TEST(RobustF0Test, RingModeNeverExhausts) {
+  // Satellite telemetry guarantee: the restart ring (Theorem 4.1) can never
+  // drain, so exhausted() is uniformly available and stays false.
+  RobustF0 alg(MakeConfig(0.3, RobustF0::Method::kSketchSwitching), 19);
+  for (const auto& u : DistinctGrowthStream(30000)) alg.Update(u);
+  EXPECT_FALSE(alg.exhausted());
+  const rs::GuaranteeStatus status = alg.GuaranteeStatus();
+  EXPECT_TRUE(status.holds);
+  EXPECT_EQ(status.flip_budget, 0u);  // Unbounded (ring restarts).
+  EXPECT_EQ(status.flips_spent, alg.output_changes());
+  EXPECT_GE(status.copies_retired, status.flips_spent);
+}
+
+TEST(RobustF0Test, PathsGuaranteeTelemetry) {
+  RobustF0 alg(MakeConfig(0.3, RobustF0::Method::kComputationPaths), 21);
+  for (const auto& u : DistinctGrowthStream(20000)) alg.Update(u);
+  const rs::GuaranteeStatus status = alg.GuaranteeStatus();
+  EXPECT_EQ(status.flips_spent, alg.output_changes());
+  EXPECT_GT(status.flip_budget, 0u);  // The Lemma 3.8 lambda.
+  EXPECT_EQ(status.copies_retired, 0u);
+  EXPECT_EQ(status.holds, !alg.exhausted());
+  // The distinct-growth stream flips far fewer times than the F0 flip
+  // number budget, so the guarantee must still be in force.
+  EXPECT_TRUE(status.holds);
+}
+
 TEST(RobustF0Test, PathsMethodUsesFastF0) {
   RobustF0 alg(MakeConfig(0.3, RobustF0::Method::kComputationPaths), 11);
   EXPECT_NE(alg.Name().find("paths"), std::string::npos);

@@ -1,0 +1,245 @@
+// Tests for the rs::robust facade: every Task x Method constructible via
+// MakeRobust (enum and string key), uniform GuaranteeStatus telemetry,
+// agreement with the direct-constructed wrappers, registry round-trips, and
+// the batched-update semantics.
+
+#include "rs/core/robust.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "rs/core/robust_bounded_deletion.h"
+#include "rs/core/robust_cascaded.h"
+#include "rs/core/robust_entropy.h"
+#include "rs/core/robust_f0.h"
+#include "rs/core/robust_fp.h"
+#include "rs/core/robust_heavy_hitters.h"
+#include "rs/stream/generators.h"
+
+namespace rs {
+namespace {
+
+// Small, fast configuration valid for every task (the suite is in the
+// smoke tier; keep construction and streaming cheap).
+RobustConfig SmallConfig() {
+  RobustConfig c;
+  c.eps = 0.5;
+  c.delta = 0.1;
+  c.stream.n = 1 << 10;
+  c.stream.m = 1 << 12;
+  c.stream.max_frequency = 1 << 12;
+  c.fp.p = 1.0;
+  c.entropy.pool_cap = 8;
+  c.bounded_deletion.alpha = 2.0;
+  c.cascaded.shape = {.rows = 32, .cols = 32};
+  c.cascaded.rate = 0.5;
+  c.cascaded.booster_copies = 1;
+  return c;
+}
+
+// A short workload in the stream model each task expects.
+Stream WorkloadFor(Task task, uint64_t seed) {
+  switch (task) {
+    case Task::kF0:
+      return DistinctGrowthStream(1200);
+    case Task::kFp:
+    case Task::kEntropy:
+      return UniformStream(1 << 8, 1200, seed);
+    case Task::kHeavyHitters:
+      return PlantedHeavyHitterStream(1 << 10, 1200, 3, 0.5, seed);
+    case Task::kBoundedDeletion:
+      return BoundedDeletionStream(1 << 9, 1200, 2.0, seed);
+    case Task::kCascaded:
+      return MatrixUniformStream(32, 32, 1200, seed);
+  }
+  return {};
+}
+
+class FacadeSweep
+    : public ::testing::TestWithParam<std::tuple<Task, Method>> {};
+
+TEST_P(FacadeSweep, ConstructsStreamsAndReportsTelemetry) {
+  const Task task = std::get<0>(GetParam());
+  const Method method = std::get<1>(GetParam());
+  RobustConfig config = SmallConfig();
+  config.method = method;
+
+  const auto alg = MakeRobust(task, config, 7);
+  ASSERT_NE(alg, nullptr);
+  EXPECT_FALSE(alg->Name().empty());
+
+  const Stream stream = WorkloadFor(task, 11);
+  for (const auto& u : stream) alg->Update(u);
+
+  EXPECT_TRUE(std::isfinite(alg->Estimate()));
+  EXPECT_GE(alg->Estimate(), 0.0);
+  EXPECT_GT(alg->SpaceBytes(), 0u);
+
+  const rs::GuaranteeStatus status = alg->GuaranteeStatus();
+  EXPECT_EQ(status.flips_spent, alg->output_changes());
+  EXPECT_EQ(status.holds, !alg->exhausted());
+  if (status.flip_budget > 0 && status.holds) {
+    EXPECT_LE(status.flips_spent, status.flip_budget);
+    EXPECT_EQ(status.FlipsRemaining(),
+              status.flip_budget - status.flips_spent);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTasksBothMethods, FacadeSweep,
+    ::testing::Combine(::testing::ValuesIn(kAllRobustTasks),
+                       ::testing::Values(Method::kSketchSwitching,
+                                         Method::kComputationPaths)));
+
+// The facade is a pure dispatch layer: with identical config and seed it
+// must reproduce the direct-constructed wrapper exactly (estimates, space,
+// telemetry), for every task.
+TEST(RobustFacadeTest, AgreesWithDirectConstruction) {
+  const RobustConfig config = SmallConfig();
+  for (Task task : kAllRobustTasks) {
+    const auto via_facade = MakeRobust(task, config, 13);
+    std::unique_ptr<RobustEstimator> direct;
+    switch (task) {
+      case Task::kF0:
+        direct = std::make_unique<RobustF0>(config, 13);
+        break;
+      case Task::kFp:
+        direct = std::make_unique<RobustFp>(config, 13);
+        break;
+      case Task::kEntropy:
+        direct = std::make_unique<RobustEntropy>(config, 13);
+        break;
+      case Task::kHeavyHitters:
+        direct = std::make_unique<RobustHeavyHitters>(config, 13);
+        break;
+      case Task::kBoundedDeletion:
+        direct = std::make_unique<RobustBoundedDeletionFp>(config, 13);
+        break;
+      case Task::kCascaded:
+        direct = std::make_unique<RobustCascadedNorm>(config, 13);
+        break;
+    }
+    const Stream stream = WorkloadFor(task, 17);
+    for (const auto& u : stream) {
+      via_facade->Update(u);
+      direct->Update(u);
+    }
+    EXPECT_DOUBLE_EQ(via_facade->Estimate(), direct->Estimate())
+        << TaskKey(task);
+    EXPECT_EQ(via_facade->SpaceBytes(), direct->SpaceBytes())
+        << TaskKey(task);
+    EXPECT_EQ(via_facade->output_changes(), direct->output_changes())
+        << TaskKey(task);
+    const rs::GuaranteeStatus a = via_facade->GuaranteeStatus();
+    const rs::GuaranteeStatus b = direct->GuaranteeStatus();
+    EXPECT_EQ(a.flips_spent, b.flips_spent) << TaskKey(task);
+    EXPECT_EQ(a.flip_budget, b.flip_budget) << TaskKey(task);
+    EXPECT_EQ(a.copies_retired, b.copies_retired) << TaskKey(task);
+    EXPECT_EQ(a.holds, b.holds) << TaskKey(task);
+  }
+}
+
+TEST(RobustFacadeTest, RegistryRoundTripsEveryKey) {
+  const auto keys = RobustTaskKeys();
+  EXPECT_GE(keys.size(), 6u);
+  const RobustConfig config = SmallConfig();
+  for (const auto& key : keys) {
+    // Every registered key constructs. Built-in keys additionally round-trip
+    // through the Task enum; extension keys (other tests in this binary may
+    // have registered some — registration is process-global) do not.
+    const auto task = TaskFromKey(key);
+    if (task.has_value()) {
+      EXPECT_EQ(TaskKey(*task), key);
+    }
+    const auto alg = MakeRobust(key, config, 19);
+    ASSERT_NE(alg, nullptr) << key;
+    EXPECT_FALSE(alg->Name().empty()) << key;
+  }
+  for (Task task : kAllRobustTasks) {
+    // Each built-in Task key is registered and enum-reachable.
+    EXPECT_NE(std::find(keys.begin(), keys.end(), TaskKey(task)), keys.end());
+    EXPECT_TRUE(TaskFromKey(TaskKey(task)).has_value());
+  }
+}
+
+TEST(RobustFacadeTest, UnknownKeyReturnsNull) {
+  EXPECT_EQ(MakeRobust("no_such_task", SmallConfig(), 1), nullptr);
+  EXPECT_FALSE(TaskFromKey("no_such_task").has_value());
+}
+
+TEST(RobustFacadeTest, StringAndEnumFactoriesAgree) {
+  const RobustConfig config = SmallConfig();
+  const auto by_enum = MakeRobust(Task::kFp, config, 23);
+  const auto by_key = MakeRobust("fp", config, 23);
+  ASSERT_NE(by_key, nullptr);
+  for (const auto& u : WorkloadFor(Task::kFp, 29)) {
+    by_enum->Update(u);
+    by_key->Update(u);
+  }
+  EXPECT_DOUBLE_EQ(by_enum->Estimate(), by_key->Estimate());
+  EXPECT_EQ(by_enum->SpaceBytes(), by_key->SpaceBytes());
+}
+
+TEST(RobustFacadeTest, RegisterRobustTaskExtendsTheRegistry) {
+  const bool fresh = RegisterRobustTask(
+      "facade_test_backend", [](const RobustConfig& config, uint64_t seed) {
+        return MakeRobust(Task::kF0, config, seed);
+      });
+  EXPECT_TRUE(fresh);
+  // Second registration under the same key is rejected.
+  EXPECT_FALSE(RegisterRobustTask(
+      "facade_test_backend", [](const RobustConfig& config, uint64_t seed) {
+        return MakeRobust(Task::kF0, config, seed);
+      }));
+  const auto alg = MakeRobust("facade_test_backend", SmallConfig(), 3);
+  ASSERT_NE(alg, nullptr);
+  alg->Update({1, 1});
+  EXPECT_GT(alg->Estimate(), 0.0);
+}
+
+// Batches of size 1 are exactly the single-update path — same gate checks
+// at the same points, so the executions are bit-identical.
+TEST(RobustFacadeTest, BatchOfOneMatchesSingleExactly) {
+  const RobustConfig config = SmallConfig();
+  const auto single = MakeRobust(Task::kFp, config, 31);
+  const auto batched = MakeRobust(Task::kFp, config, 31);
+  const Stream stream = WorkloadFor(Task::kFp, 37);
+  for (const auto& u : stream) {
+    single->Update(u);
+    batched->UpdateBatch(&u, 1);
+    ASSERT_DOUBLE_EQ(single->Estimate(), batched->Estimate());
+  }
+  EXPECT_EQ(single->output_changes(), batched->output_changes());
+}
+
+// Larger batches re-publish once per batch; the estimate at batch
+// boundaries must stay within the tracking envelope.
+TEST(RobustFacadeTest, BatchedUpdatesStayInEnvelope) {
+  RobustConfig config = SmallConfig();
+  config.eps = 0.4;
+  const auto alg = MakeRobust(Task::kF0, config, 41);
+  const Stream stream = DistinctGrowthStream(4000);
+  constexpr size_t kBatch = 64;
+  size_t fed = 0;
+  double max_err = 0.0;
+  for (size_t i = 0; i < stream.size(); i += kBatch) {
+    const size_t count = std::min(kBatch, stream.size() - i);
+    alg->UpdateBatch(stream.data() + i, count);
+    fed += count;
+    // DistinctGrowthStream feeds fresh items, so the true F0 equals the
+    // number of updates fed.
+    if (fed >= 200) {
+      const double truth = static_cast<double>(fed);
+      max_err = std::max(max_err,
+                         std::fabs(alg->Estimate() - truth) / truth);
+    }
+  }
+  EXPECT_LE(max_err, config.eps * 1.5);
+}
+
+}  // namespace
+}  // namespace rs

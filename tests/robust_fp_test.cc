@@ -17,9 +17,9 @@ RobustFp::Config MakeConfig(double p, double eps, RobustFp::Method method) {
   c.p = p;
   c.eps = eps;
   c.delta = 0.05;
-  c.n = 1 << 16;
-  c.m = 1 << 16;
-  c.max_frequency = 1 << 16;
+  c.stream.n = 1 << 16;
+  c.stream.m = 1 << 16;
+  c.stream.max_frequency = 1 << 16;
   c.method = method;
   return c;
 }
@@ -88,7 +88,7 @@ TEST(RobustFpTest, TurnstileLambdaBounded) {
 
 TEST(RobustFpTest, HighPWithCalibratedSampling) {
   auto cfg = MakeConfig(3.0, 0.4, RobustFp::Method::kComputationPaths);
-  cfg.n = 512;
+  cfg.stream.n = 512;
   cfg.highp_s1_override = 4096;
   cfg.highp_s2_override = 3;
   RobustFp alg(cfg, 9);
@@ -109,6 +109,34 @@ TEST(RobustFpTest, OutputChangesBounded) {
   for (const auto& u : UniformStream(1 << 10, 4000, 17)) alg.Update(u);
   EXPECT_LE(alg.output_changes(), 60u);
   EXPECT_GE(alg.output_changes(), 3u);
+}
+
+TEST(RobustFpTest, RingModeNeverExhausts) {
+  // Satellite telemetry guarantee: the Theorem 4.1 restart ring retires and
+  // restarts copies forever, so exhausted() must stay false no matter how
+  // often the output flips — and GuaranteeStatus() must agree.
+  RobustFp alg(MakeConfig(1.0, 0.5, RobustFp::Method::kSketchSwitching), 21);
+  for (const auto& u : UniformStream(1 << 10, 4000, 23)) alg.Update(u);
+  EXPECT_FALSE(alg.exhausted());
+  const rs::GuaranteeStatus status = alg.GuaranteeStatus();
+  EXPECT_TRUE(status.holds);
+  EXPECT_EQ(status.flip_budget, 0u);  // Unbounded (ring restarts).
+  EXPECT_EQ(status.flips_spent, alg.output_changes());
+  EXPECT_GE(status.copies_retired, status.flips_spent);
+}
+
+TEST(RobustFpTest, PathsGuaranteeTelemetry) {
+  // Computation paths: the union bound is sized for lambda output changes;
+  // within budget the guarantee holds and the telemetry reports the spend.
+  RobustFp alg(MakeConfig(1.0, 0.5, RobustFp::Method::kComputationPaths), 25);
+  for (const auto& u : UniformStream(1 << 10, 2500, 27)) alg.Update(u);
+  const rs::GuaranteeStatus status = alg.GuaranteeStatus();
+  EXPECT_EQ(status.flips_spent, alg.output_changes());
+  EXPECT_GT(status.flip_budget, 0u);
+  EXPECT_EQ(status.holds, !alg.exhausted());
+  EXPECT_EQ(status.copies_retired, 0u);  // Single instance, never retired.
+  EXPECT_LE(status.flips_spent, status.flip_budget);
+  EXPECT_TRUE(status.holds);
 }
 
 TEST(RobustFpTest, F1MatchesTrivialCounter) {
