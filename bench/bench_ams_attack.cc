@@ -76,8 +76,8 @@ int main() {
   double worst = 0.0;
   const int kRobustTrials = 5;
   for (int trial = 0; trial < kRobustTrials; ++trial) {
-    rs::RobustFp::Config cfg;
-    cfg.p = 2.0;
+    rs::RobustConfig cfg;
+    cfg.fp.p = 2.0;
     cfg.eps = 0.4;
     cfg.stream.n = 1 << 22;
     cfg.stream.m = 1 << 22;

@@ -22,6 +22,7 @@
 #include "rs/sketch/kmv_f0.h"
 #include "rs/sketch/pstable_fp.h"
 #include "rs/stream/generators.h"
+#include "rs/util/bench_json.h"
 #include "rs/util/table_printer.h"
 
 namespace {
@@ -69,7 +70,8 @@ void Row(rs::TablePrinter& table, const std::string& name,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = rs::JsonPathFromArgs(argc, argv);
   std::printf("E17: single vs batched update throughput "
               "(batch size %zu)\n", kBatch);
   rs::TablePrinter table(
@@ -148,6 +150,9 @@ int main() {
       stream);
 
   table.Print("update throughput, single vs batched");
+  if (!json_path.empty()) {
+    rs::WriteBenchJson(json_path, "bench_batch_throughput", table.header(), table.rows());
+  }
   std::printf(
       "\nShape check: the sketch-switching wrappers gain the most — their\n"
       "per-update gate cost (active copy Estimate(): a Theta(k log k) median\n"

@@ -48,18 +48,18 @@ WorkloadResult RunOne(double p, double k, double eps, const rs::Stream& stream,
   static_cfg.rate = 0.5;
   rs::CascadedRowSample single(static_cfg, seed + 101);
 
-  rs::RobustCascadedNorm::Config rc;
-  rc.p = p;
-  rc.k = k;
+  rs::RobustConfig rc;
+  rc.cascaded.p = p;
+  rc.cascaded.k = k;
   rc.eps = eps;
-  rc.shape = shape;
-  rc.max_entry = 1 << 16;
-  rc.rate = 0.5;
+  rc.cascaded.shape = shape;
+  rc.stream.max_frequency = 1 << 16;  // Entry bound M.
+  rc.cascaded.rate = 0.5;
   // Skewed rows make the sampled base noisy; noise-driven switches violate
   // the ring's growth precondition, so those rows run the plain pool (see
-  // RobustCascadedNorm::Config::force_pool).
-  rc.force_pool = force_pool;
-  rc.pool_cap = 512;
+  // RobustConfig::CascadedParams::force_pool).
+  rc.cascaded.force_pool = force_pool;
+  rc.cascaded.pool_cap = 512;
   rs::RobustCascadedNorm robust(rc, seed);
 
   WorkloadResult r;

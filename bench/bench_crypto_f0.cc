@@ -64,10 +64,10 @@ int main() {
   for (double eps : {0.1, 0.2}) {
     rs::KmvF0 plain({.k = rs::KmvF0::KForEpsilon(eps)}, 3);
     rs::CryptoRobustF0 crypto({.eps = eps, .copies = 1, .key_seed = 7}, 3);
-    rs::RobustF0::Config rc;
+    rs::RobustConfig rc;
     rc.eps = eps;
-    rc.n = 1 << 18;
-    rc.m = 1 << 18;
+    rc.stream.n = 1 << 18;
+    rc.stream.m = 1 << 18;
     rs::RobustF0 switching(rc, 3);
     for (uint64_t i = 0; i < (1 << 18); ++i) {
       plain.Update({i, 1});

@@ -27,10 +27,10 @@ struct MethodStats {
 };
 
 MethodStats Measure(rs::RobustF0::Method method, double eps, uint64_t m) {
-  rs::RobustF0::Config cfg;
+  rs::RobustConfig cfg;
   cfg.eps = eps;
-  cfg.n = 1 << 20;
-  cfg.m = m;
+  cfg.stream.n = 1 << 20;
+  cfg.stream.m = m;
   cfg.method = method;
   rs::RobustF0 alg(cfg, 7);
   rs::ExactOracle oracle;

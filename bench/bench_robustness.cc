@@ -73,8 +73,8 @@ int main() {
         rs::RunGame(ams, attack, rs::TruthF2(), Options(30000)));
   }
   {
-    rs::RobustFp::Config cfg;
-    cfg.p = 2.0;
+    rs::RobustConfig cfg;
+    cfg.fp.p = 2.0;
     cfg.eps = 0.4;
     cfg.stream.n = 1 << 20;
     cfg.stream.m = 1 << 20;
@@ -86,8 +86,8 @@ int main() {
         rs::RunGame(robust, attack, rs::TruthF2(), options));
   }
   {
-    rs::RobustFp::Config cfg;
-    cfg.p = 2.0;
+    rs::RobustConfig cfg;
+    cfg.fp.p = 2.0;
     cfg.eps = 0.4;
     cfg.stream.n = 1 << 20;
     cfg.stream.m = 1 << 20;
@@ -156,10 +156,10 @@ int main() {
                     options));
   }
   {
-    rs::RobustHeavyHitters::Config cfg;
+    rs::RobustConfig cfg;
     cfg.eps = 0.25;
-    cfg.n = 1 << 20;
-    cfg.m = 1 << 20;
+    cfg.stream.n = 1 << 20;
+    cfg.stream.m = 1 << 20;
     rs::RobustHeavyHitters hh(cfg, 22);
     rs::PointQueryView view(&hh, /*target=*/1);
     rs::PointQueryCollisionAttack attack({.target = 1});
@@ -173,10 +173,10 @@ int main() {
 
   // --- F0 defenders. ---
   {
-    rs::RobustF0::Config cfg;
+    rs::RobustConfig cfg;
     cfg.eps = 0.3;
-    cfg.n = 1 << 20;
-    cfg.m = 1 << 20;
+    cfg.stream.n = 1 << 20;
+    cfg.stream.m = 1 << 20;
     rs::RobustF0 robust(cfg, 18);
     rs::ObliviousAdversary oblivious(rs::DistinctGrowthStream(20000));
     Row(table, "Robust F0 (Thm 1.1)", "oblivious",

@@ -14,9 +14,11 @@
 #include "rs/stream/exact_oracle.h"
 #include "rs/stream/generators.h"
 #include "rs/util/stats.h"
+#include "rs/util/bench_json.h"
 #include "rs/util/table_printer.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = rs::JsonPathFromArgs(argc, argv);
   std::printf("E7: Table 1 row 'Fp with alpha-bounded deletions' "
               "(Theorem 8.3)\n");
   rs::TablePrinter table({"alpha", "p", "lambda (Lem 8.2)", "robust space",
@@ -60,6 +62,9 @@ int main() {
                       static_cast<long long>(status.flips_spent))});
   }
   table.Print("bounded deletions: lambda and space vs alpha");
+  if (!json_path.empty()) {
+    rs::WriteBenchJson(json_path, "bench_table1_bounded_del", table.header(), table.rows());
+  }
   std::printf(
       "\nShape check (paper): the Lemma 8.2 lambda budget grows linearly in\n"
       "alpha (column 3); the construction keeps tracking accuracy across the\n"

@@ -22,9 +22,11 @@
 #include "rs/sketch/entropy_sketch.h"
 #include "rs/stream/exact_oracle.h"
 #include "rs/stream/generators.h"
+#include "rs/util/bench_json.h"
 #include "rs/util/table_printer.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = rs::JsonPathFromArgs(argc, argv);
   std::printf("E5: Table 1 row 'Entropy estimation'\n");
   rs::TablePrinter table({"eps", "static CC sketch", "err(bits)",
                           "determ. exact", "robust pool", "robust (r.o.)",
@@ -79,6 +81,9 @@ int main() {
              rs::EntropyFlipNumber(eps, n, m, m)))});
   }
   table.Print("entropy estimation (additive error, bits)");
+  if (!json_path.empty()) {
+    rs::WriteBenchJson(json_path, "bench_table1_entropy", table.header(), table.rows());
+  }
   std::printf(
       "\nShape check (paper): the robust construction multiplies the static\n"
       "sketch by the copy pool; the formal pool size (Prop 7.2, last column)\n"

@@ -22,6 +22,7 @@
 #include "rs/stream/exact_oracle.h"
 #include "rs/stream/generators.h"
 #include "rs/util/stats.h"
+#include "rs/util/bench_json.h"
 #include "rs/util/table_printer.h"
 
 namespace {
@@ -50,7 +51,8 @@ RunStats Run(rs::Estimator& alg, uint64_t f0, uint64_t min_truth) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = rs::JsonPathFromArgs(argc, argv);
   std::printf("E1: Table 1 row 'Distinct elements' — measured space and "
               "worst tracking error\n");
   rs::TablePrinter table({"eps", "n", "static KMV", "err", "determ. exact",
@@ -92,6 +94,9 @@ int main() {
     }
   }
   table.Print("distinct elements: static vs deterministic vs robust");
+  if (!json_path.empty()) {
+    rs::WriteBenchJson(json_path, "bench_table1_f0", table.header(), table.rows());
+  }
   std::printf(
       "\nShape check (paper): deterministic space grows linearly with n and\n"
       "dwarfs both sketches; robust space ~= ring-size x static space; all\n"

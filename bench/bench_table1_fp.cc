@@ -18,6 +18,7 @@
 #include "rs/stream/exact_oracle.h"
 #include "rs/stream/generators.h"
 #include "rs/util/stats.h"
+#include "rs/util/bench_json.h"
 #include "rs/util/table_printer.h"
 
 namespace {
@@ -60,7 +61,8 @@ class ExactFp : public rs::Estimator {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = rs::JsonPathFromArgs(argc, argv);
   std::printf("E2: Table 1 row 'Fp estimation, p in (0,2]' — measured space "
               "and worst error\n");
   rs::TablePrinter table({"p", "eps", "static p-stable", "err",
@@ -104,6 +106,9 @@ int main() {
     }
   }
   table.Print("Fp moments (0 < p <= 2): static vs deterministic vs robust");
+  if (!json_path.empty()) {
+    rs::WriteBenchJson(json_path, "bench_table1_fp", table.header(), table.rows());
+  }
   std::printf(
       "\nShape check (paper): robust = static x Theta(eps^-1 log 1/eps)\n"
       "copies; the deterministic baseline scales with the number of distinct\n"

@@ -20,9 +20,11 @@
 #include "rs/stream/exact_oracle.h"
 #include "rs/stream/generators.h"
 #include "rs/util/stats.h"
+#include "rs/util/bench_json.h"
 #include "rs/util/table_printer.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = rs::JsonPathFromArgs(argc, argv);
   std::printf("E3: Table 1 row 'Fp estimation, p > 2'\n");
 
   // (a) Space exponent of the base sampler (theory-sized s1).
@@ -102,6 +104,10 @@ int main() {
                         robust->output_changes()))});
     }
     table.Print("p > 2: static sampler vs computation-paths robust wrapper");
+    if (!json_path.empty()) {
+      rs::WriteBenchJson(json_path, "bench_table1_fp_highp", table.header(),
+                         table.rows());
+    }
   }
 
   std::printf(

@@ -19,6 +19,7 @@
 #include "rs/sketch/misra_gries.h"
 #include "rs/stream/exact_oracle.h"
 #include "rs/stream/generators.h"
+#include "rs/util/bench_json.h"
 #include "rs/util/table_printer.h"
 
 namespace {
@@ -49,7 +50,8 @@ HhEval Evaluate(const std::vector<uint64_t>& reported,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = rs::JsonPathFromArgs(argc, argv);
   std::printf("E4: Table 1 row 'l2 heavy hitters'\n");
   rs::TablePrinter table({"eps", "algorithm", "space", "recall", "spurious",
                           "guarantee"});
@@ -97,6 +99,9 @@ int main() {
         "L2, adversarial");
   }
   table.Print("L2 heavy hitters at tau = eps*||f||_2");
+  if (!json_path.empty()) {
+    rs::WriteBenchJson(json_path, "bench_table1_hh", table.header(), table.rows());
+  }
   std::printf(
       "\nShape check (paper): the deterministic algorithm can only promise\n"
       "an L1-strength threshold (Omega(sqrt n) would be needed for L2), so\n"

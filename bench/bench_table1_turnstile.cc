@@ -16,9 +16,11 @@
 #include "rs/stream/exact_oracle.h"
 #include "rs/stream/generators.h"
 #include "rs/util/stats.h"
+#include "rs/util/bench_json.h"
 #include "rs/util/table_printer.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = rs::JsonPathFromArgs(argc, argv);
   std::printf("E6: Table 1 row 'Turnstile Fp with lambda-bounded flip "
               "number' (Theorem 4.3)\n");
   rs::TablePrinter table({"waves", "empirical flips", "lambda budget",
@@ -71,6 +73,9 @@ int main() {
                       static_cast<long long>(robust->output_changes()))});
   }
   table.Print("turnstile waves: flip number drives the budget");
+  if (!json_path.empty()) {
+    rs::WriteBenchJson(json_path, "bench_table1_turnstile", table.header(), table.rows());
+  }
   std::printf(
       "\nShape check (paper): empirical flips grow linearly with the number\n"
       "of waves; the space the construction needs grows with lambda (through\n"

@@ -123,10 +123,10 @@ void BM_EntropySketch(benchmark::State& state) {
 BENCHMARK(BM_EntropySketch);
 
 void BM_RobustF0_Switching(benchmark::State& state) {
-  rs::RobustF0::Config cfg;
+  rs::RobustConfig cfg;
   cfg.eps = 0.25;
-  cfg.n = 1 << 20;
-  cfg.m = 1 << 20;
+  cfg.stream.n = 1 << 20;
+  cfg.stream.m = 1 << 20;
   cfg.method = rs::RobustF0::Method::kSketchSwitching;
   rs::RobustF0 sketch(cfg, 1);
   RunUpdates(state, sketch);
@@ -134,10 +134,10 @@ void BM_RobustF0_Switching(benchmark::State& state) {
 BENCHMARK(BM_RobustF0_Switching);
 
 void BM_RobustF0_Paths(benchmark::State& state) {
-  rs::RobustF0::Config cfg;
+  rs::RobustConfig cfg;
   cfg.eps = 0.25;
-  cfg.n = 1 << 20;
-  cfg.m = 1 << 20;
+  cfg.stream.n = 1 << 20;
+  cfg.stream.m = 1 << 20;
   cfg.method = rs::RobustF0::Method::kComputationPaths;
   rs::RobustF0 sketch(cfg, 1);
   RunUpdates(state, sketch);
@@ -145,8 +145,8 @@ void BM_RobustF0_Paths(benchmark::State& state) {
 BENCHMARK(BM_RobustF0_Paths);
 
 void BM_RobustF2_Switching(benchmark::State& state) {
-  rs::RobustFp::Config cfg;
-  cfg.p = 2.0;
+  rs::RobustConfig cfg;
+  cfg.fp.p = 2.0;
   cfg.eps = 0.4;
   cfg.stream.n = 1 << 20;
   cfg.stream.m = 1 << 20;
@@ -162,21 +162,21 @@ void BM_CryptoF0(benchmark::State& state) {
 BENCHMARK(BM_CryptoF0);
 
 void BM_RobustEntropy(benchmark::State& state) {
-  rs::RobustEntropy::Config cfg;
+  rs::RobustConfig cfg;
   cfg.eps = 0.5;
-  cfg.n = 1 << 16;
-  cfg.m = 1 << 20;
-  cfg.pool_cap = 32;
+  cfg.stream.n = 1 << 16;
+  cfg.stream.m = 1 << 20;
+  cfg.entropy.pool_cap = 32;
   rs::RobustEntropy sketch(cfg, 1);
   RunUpdates(state, sketch);
 }
 BENCHMARK(BM_RobustEntropy);
 
 void BM_RobustHeavyHitters(benchmark::State& state) {
-  rs::RobustHeavyHitters::Config cfg;
+  rs::RobustConfig cfg;
   cfg.eps = 0.3;
-  cfg.n = 1 << 20;
-  cfg.m = 1 << 20;
+  cfg.stream.n = 1 << 20;
+  cfg.stream.m = 1 << 20;
   rs::RobustHeavyHitters sketch(cfg, 1);
   RunUpdates(state, sketch);
 }

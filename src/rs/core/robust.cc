@@ -10,6 +10,7 @@
 #include "rs/core/robust_f0.h"
 #include "rs/core/robust_fp.h"
 #include "rs/core/robust_heavy_hitters.h"
+#include "rs/engine/sharded.h"
 
 namespace rs {
 
@@ -25,6 +26,11 @@ std::map<std::string, RobustTaskFactory, std::less<>>& Registry() {
         return MakeRobust(task, config, seed);
       };
     }
+    // The sharded engine (rs/engine/sharded.h): same tasks, multi-shard
+    // execution. config.engine selects shards/merge_period/task.
+    (*r)["sharded"] = [](const RobustConfig& config, uint64_t seed) {
+      return MakeShardedRobust(config, seed);
+    };
     return r;
   }();
   return *registry;

@@ -133,6 +133,18 @@ struct RobustConfig {
     double alpha = 2.0;  // Bounded-deletion promise (>= 1), Definition 8.1.
   } bounded_deletion;
 
+  // The sharded engine (rs/engine/sharded.h), reachable through the
+  // "sharded" registry key: hash-partitions the update stream across
+  // `shards` shard-local sub-sketches per copy and evaluates the flip gate
+  // on the merged active copy every `merge_period` updates. `task` selects
+  // which static sketch family the engine shards (kF0 or kFp).
+  struct EngineParams {
+    size_t shards = 4;
+    size_t merge_period = 1024;
+    size_t threads = 1;  // Workers for the batched shard fan-out.
+    Task task = Task::kFp;
+  } engine;
+
   // kCascaded. The entry bound M comes from stream.max_frequency.
   struct CascadedParams {
     double p = 2.0;  // Outer exponent, > 0.

@@ -10,6 +10,8 @@ namespace rs {
 
 namespace {
 
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 RobustConfig FromLegacy(const RobustBoundedDeletionFp::Config& c) {
   RobustConfig rc;
   rc.eps = c.eps;
@@ -26,6 +28,7 @@ RobustConfig FromLegacy(const RobustBoundedDeletionFp::Config& c) {
 RobustBoundedDeletionFp::RobustBoundedDeletionFp(const Config& config,
                                                  uint64_t seed)
     : RobustBoundedDeletionFp(FromLegacy(config), seed) {}
+#pragma GCC diagnostic pop
 
 RobustBoundedDeletionFp::RobustBoundedDeletionFp(const RobustConfig& config,
                                                  uint64_t seed)

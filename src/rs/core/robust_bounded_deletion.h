@@ -39,7 +39,7 @@ class RobustBoundedDeletionFp : public RobustEstimator {
   // bounded_deletion.alpha for the promise) for new code; this shim is kept
   // for one PR. The stream-global bounds n, m, M now live in the embedded
   // StreamParams rather than per-task copies.
-  struct Config {
+  struct [[deprecated("use rs::RobustConfig + rs::MakeRobust (see rs/core/robust.h)")]] Config {
     double p = 1.0;       // In [1, 2].
     double alpha = 2.0;   // Bounded-deletion parameter (>= 1).
     double eps = 0.2;
@@ -52,7 +52,10 @@ class RobustBoundedDeletionFp : public RobustEstimator {
   };
 
   RobustBoundedDeletionFp(const RobustConfig& config, uint64_t seed);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   RobustBoundedDeletionFp(const Config& config, uint64_t seed);  // Deprecated.
+#pragma GCC diagnostic pop
 
   void Update(const rs::Update& u) override;
   void UpdateBatch(const rs::Update* ups, size_t count) override;

@@ -28,6 +28,8 @@ class CascadedNormAdapter : public Estimator {
   CascadedRowSample sketch_;
 };
 
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 RobustConfig FromLegacy(const RobustCascadedNorm::Config& c) {
   RobustConfig rc;
   rc.eps = c.eps;
@@ -46,6 +48,7 @@ RobustConfig FromLegacy(const RobustCascadedNorm::Config& c) {
 
 RobustCascadedNorm::RobustCascadedNorm(const Config& config, uint64_t seed)
     : RobustCascadedNorm(FromLegacy(config), seed) {}
+#pragma GCC diagnostic pop
 
 RobustCascadedNorm::RobustCascadedNorm(const RobustConfig& config,
                                        uint64_t seed)

@@ -46,7 +46,7 @@ class RobustCascadedNorm : public RobustEstimator {
   // Deprecated legacy config — use RobustConfig (the cascaded.* sub-struct;
   // the entry bound M is stream.max_frequency) for new code; this shim is
   // kept for one PR.
-  struct Config {
+  struct [[deprecated("use rs::RobustConfig + rs::MakeRobust (see rs/core/robust.h)")]] Config {
     double p = 2.0;      // Outer exponent, > 0.
     double k = 1.0;      // Inner exponent, > 0.
     double eps = 0.1;    // Published accuracy on the *norm* ||A||_(p,k).
@@ -74,7 +74,10 @@ class RobustCascadedNorm : public RobustEstimator {
   };
 
   RobustCascadedNorm(const RobustConfig& config, uint64_t seed);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   RobustCascadedNorm(const Config& config, uint64_t seed);  // Deprecated.
+#pragma GCC diagnostic pop
 
   void Update(const rs::Update& u) override;
   void UpdateBatch(const rs::Update* ups, size_t count) override;

@@ -11,6 +11,8 @@ namespace rs {
 
 namespace {
 
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 RobustConfig FromLegacy(const RobustEntropy::Config& c) {
   RobustConfig rc;
   rc.eps = c.eps;
@@ -27,6 +29,7 @@ RobustConfig FromLegacy(const RobustEntropy::Config& c) {
 
 RobustEntropy::RobustEntropy(const Config& config, uint64_t seed)
     : RobustEntropy(FromLegacy(config), seed) {}
+#pragma GCC diagnostic pop
 
 RobustEntropy::RobustEntropy(const RobustConfig& config, uint64_t seed)
     : config_(config),

@@ -11,6 +11,8 @@ namespace rs {
 
 namespace {
 
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 RobustConfig FromLegacy(const RobustF0::Config& c) {
   RobustConfig rc;
   rc.eps = c.eps;
@@ -26,6 +28,7 @@ RobustConfig FromLegacy(const RobustF0::Config& c) {
 
 RobustF0::RobustF0(const Config& config, uint64_t seed)
     : RobustF0(FromLegacy(config), seed) {}
+#pragma GCC diagnostic pop
 
 RobustF0::RobustF0(const RobustConfig& config, uint64_t seed)
     : config_(config) {

@@ -41,7 +41,7 @@ class RobustF0 : public RobustEstimator {
 
   // Deprecated legacy config — use RobustConfig (and rs::MakeRobust) for
   // new code; this shim is kept for one PR.
-  struct Config {
+  struct [[deprecated("use rs::RobustConfig + rs::MakeRobust (see rs/core/robust.h)")]] Config {
     double eps = 0.1;
     double delta = 0.05;
     uint64_t n = 1 << 20;  // Domain size.
@@ -53,7 +53,10 @@ class RobustF0 : public RobustEstimator {
   };
 
   RobustF0(const RobustConfig& config, uint64_t seed);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   RobustF0(const Config& config, uint64_t seed);  // Deprecated shim.
+#pragma GCC diagnostic pop
 
   void Update(const rs::Update& u) override;
   void UpdateBatch(const rs::Update* ups, size_t count) override;

@@ -11,6 +11,8 @@ namespace rs {
 
 namespace {
 
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 RobustConfig FromLegacy(const RobustFp::Config& c) {
   RobustConfig rc;
   rc.eps = c.eps;
@@ -29,6 +31,7 @@ RobustConfig FromLegacy(const RobustFp::Config& c) {
 
 RobustFp::RobustFp(const Config& config, uint64_t seed)
     : RobustFp(FromLegacy(config), seed) {}
+#pragma GCC diagnostic pop
 
 RobustFp::RobustFp(const RobustConfig& config, uint64_t seed)
     : config_(config) {

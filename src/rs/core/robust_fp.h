@@ -47,7 +47,7 @@ class RobustFp : public RobustEstimator {
   // Deprecated legacy config — use RobustConfig (and rs::MakeRobust) for
   // new code; this shim is kept for one PR. The stream-global bounds n, m,
   // M now live in the embedded StreamParams rather than per-task copies.
-  struct Config {
+  struct [[deprecated("use rs::RobustConfig + rs::MakeRobust (see rs/core/robust.h)")]] Config {
     double p = 1.0;
     double eps = 0.1;
     double delta = 0.05;
@@ -68,7 +68,10 @@ class RobustFp : public RobustEstimator {
   };
 
   RobustFp(const RobustConfig& config, uint64_t seed);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   RobustFp(const Config& config, uint64_t seed);  // Deprecated shim.
+#pragma GCC diagnostic pop
 
   void Update(const rs::Update& u) override;
   void UpdateBatch(const rs::Update* ups, size_t count) override;

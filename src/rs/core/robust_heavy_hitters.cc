@@ -29,6 +29,8 @@ class L2NormEstimator : public Estimator {
   PStableFp sketch_;
 };
 
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 RobustConfig FromLegacy(const RobustHeavyHitters::Config& c) {
   RobustConfig rc;
   rc.eps = c.eps;
@@ -42,6 +44,7 @@ RobustConfig FromLegacy(const RobustHeavyHitters::Config& c) {
 
 RobustHeavyHitters::RobustHeavyHitters(const Config& config, uint64_t seed)
     : RobustHeavyHitters(FromLegacy(config), seed) {}
+#pragma GCC diagnostic pop
 
 RobustHeavyHitters::RobustHeavyHitters(const RobustConfig& config,
                                        uint64_t seed)

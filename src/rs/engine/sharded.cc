@@ -1,0 +1,310 @@
+#include "rs/engine/sharded.h"
+
+#include <thread>
+#include <utility>
+
+#include "rs/core/rounding.h"
+#include "rs/io/sketch_codec.h"
+#include "rs/io/wire.h"
+#include "rs/sketch/kmv_f0.h"
+#include "rs/sketch/pstable_fp.h"
+#include "rs/util/check.h"
+#include "rs/util/rng.h"
+
+namespace rs {
+
+namespace {
+
+// Salt separating the partition hash from the copy seeds: the router must
+// stay fixed across copy respawns (re-routing items mid-stream would tear
+// sub-sketch substreams apart).
+constexpr uint64_t kPartitionSalt = 0x5AADED'F00DULL;
+
+}  // namespace
+
+ShardedRobust::ShardedRobust(const Config& config, MergeableFactory factory,
+                             uint64_t seed)
+    : config_(config),
+      factory_(std::move(factory)),
+      seed_(seed),
+      partition_(2, SplitMix64(seed ^ kPartitionSalt)),
+      published_(config.initial_output) {
+  RS_CHECK(config_.eps > 0.0 && config_.eps < 1.0);
+  RS_CHECK(config_.shards >= 1);
+  RS_CHECK(config_.merge_period >= 1);
+  RS_CHECK(config_.copies >= 2);
+  if (config_.threads == 0) config_.threads = 1;
+  copies_.resize(config_.copies);
+  for (size_t c = 0; c < copies_.size(); ++c) SpawnCopy(c);
+  shard_runs_.resize(config_.shards);
+}
+
+void ShardedRobust::SpawnCopy(size_t c) {
+  const uint64_t copy_seed = SplitMix64(seed_ + ++spawn_count_);
+  copies_[c].clear();
+  copies_[c].reserve(config_.shards);
+  for (size_t s = 0; s < config_.shards; ++s) {
+    copies_[c].push_back(factory_(copy_seed));
+  }
+}
+
+void ShardedRobust::Update(const rs::Update& u) {
+  const size_t s = ShardOf(u.item);
+  // Every copy sees every update (Algorithm 1, line 6) — via the sub-sketch
+  // that owns the update's shard.
+  for (auto& copy : copies_) copy[s]->Update(u);
+  if (++since_gate_ >= config_.merge_period) Gate();
+}
+
+void ShardedRobust::UpdateBatch(const rs::Update* ups, size_t count) {
+  if (count == 0) return;
+  // Partition once, then tight per-(copy, shard) runs.
+  for (auto& run : shard_runs_) run.clear();
+  for (size_t i = 0; i < count; ++i) {
+    shard_runs_[ShardOf(ups[i].item)].push_back(ups[i]);
+  }
+  const size_t workers =
+      std::min(config_.threads, config_.shards);
+  if (workers <= 1) {
+    for (size_t s = 0; s < shard_runs_.size(); ++s) {
+      const auto& run = shard_runs_[s];
+      if (run.empty()) continue;
+      for (auto& copy : copies_) copy[s]->UpdateBatch(run.data(), run.size());
+    }
+  } else {
+    // Shards own disjoint state, so striping shards across workers is
+    // race-free without locks.
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([this, w, workers] {
+        for (size_t s = w; s < shard_runs_.size(); s += workers) {
+          const auto& run = shard_runs_[s];
+          if (run.empty()) continue;
+          for (auto& copy : copies_) {
+            copy[s]->UpdateBatch(run.data(), run.size());
+          }
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+  }
+  since_gate_ += count;
+  if (since_gate_ >= config_.merge_period) Gate();
+}
+
+double ShardedRobust::MergedActiveEstimate() const {
+  const auto& copy = copies_[active_];
+  if (copy.size() == 1) return copy[0]->Estimate();
+  std::unique_ptr<MergeableEstimator> merged = copy[0]->Clone();
+  for (size_t s = 1; s < copy.size(); ++s) merged->Merge(*copy[s]);
+  return merged->Estimate();
+}
+
+void ShardedRobust::Gate() {
+  since_gate_ = 0;
+  const double y = MergedActiveEstimate();
+  // Algorithm 1's gate on the merged estimate: keep the published output
+  // while it is a (1 +- eps/2)-approximation of the active copy.
+  const double half = config_.eps / 2.0;
+  const double lo = y >= 0.0 ? (1.0 - half) * y : (1.0 + half) * y;
+  const double hi = y >= 0.0 ? (1.0 + half) * y : (1.0 - half) * y;
+  if (published_ >= lo && published_ <= hi) return;
+
+  published_ = RoundToPowerOf1PlusEps(y, half);
+  ++switches_;
+  Retire();
+}
+
+void ShardedRobust::Retire() {
+  if (config_.mode == PoolMode::kRing) {
+    // Theorem 4.1: restart the retired copy — all S shards of it — with
+    // fresh shared randomness on the stream suffix.
+    SpawnCopy(active_);
+    active_ = (active_ + 1) % copies_.size();
+    ++retired_;
+    return;
+  }
+  if (active_ + 1 < copies_.size()) {
+    ++active_;
+    ++retired_;
+  } else {
+    exhausted_ = true;
+  }
+}
+
+void ShardedRobust::ForcePublish() { Gate(); }
+
+void ShardedRobust::ApplyShardRun(size_t s, const rs::Update* ups,
+                                  size_t count) {
+  RS_CHECK(s < config_.shards);
+#ifndef NDEBUG
+  for (size_t i = 0; i < count; ++i) RS_DCHECK(ShardOf(ups[i].item) == s);
+#endif
+  for (auto& copy : copies_) copy[s]->UpdateBatch(ups, count);
+  since_gate_ += count;
+}
+
+double ShardedRobust::Estimate() const { return published_; }
+
+size_t ShardedRobust::SpaceBytes() const {
+  size_t total = sizeof(*this);
+  for (const auto& copy : copies_) {
+    for (const auto& sub : copy) total += sub->SpaceBytes();
+  }
+  return total;
+}
+
+rs::GuaranteeStatus ShardedRobust::GuaranteeStatus() const {
+  rs::GuaranteeStatus status;
+  status.flips_spent = switches_;
+  status.flip_budget = flip_budget();
+  status.copies_retired = retired_;
+  status.holds = !exhausted_;
+  return status;
+}
+
+void ShardedRobust::Snapshot(std::string* out) const {
+  WireWriter w(out);
+  w.U32(kWireMagic);
+  w.U32(kWireFormatVersion);
+  w.U32(kEngineSnapshotKind);
+  w.U64(seed_);
+  w.F64(config_.eps);
+  w.U64(config_.shards);
+  w.U64(config_.merge_period);
+  w.U64(copies_.size());
+  w.U8(config_.mode == PoolMode::kRing ? 1 : 0);
+  w.F64(config_.initial_output);
+  w.F64(published_);
+  w.U64(since_gate_);
+  w.U64(switches_);
+  w.U64(retired_);
+  w.U64(active_);
+  w.U8(exhausted_ ? 1 : 0);
+  w.U64(spawn_count_);
+  std::string sub;
+  for (const auto& copy : copies_) {
+    for (const auto& sketch : copy) {
+      sub.clear();
+      sketch->Serialize(&sub);
+      w.U64(sub.size());
+      w.Bytes(sub);
+    }
+  }
+}
+
+bool ShardedRobust::Restore(std::string_view data) {
+  WireReader r(data);
+  if (r.U32() != kWireMagic || r.U32() != kWireFormatVersion ||
+      r.U32() != kEngineSnapshotKind) {
+    return false;
+  }
+  const uint64_t seed = r.U64();
+  const double eps = r.F64();
+  const uint64_t shards = r.U64();
+  const uint64_t merge_period = r.U64();
+  const uint64_t copies = r.U64();
+  const uint8_t mode = r.U8();
+  const double initial_output = r.F64();
+  const double published = r.F64();
+  const uint64_t since_gate = r.U64();
+  const uint64_t switches = r.U64();
+  const uint64_t retired = r.U64();
+  const uint64_t active = r.U64();
+  const uint8_t exhausted = r.U8();
+  const uint64_t spawn_count = r.U64();
+  // Geometry sanity, including an overflow-safe budget check: every
+  // sub-sketch costs at least a length prefix (8) plus a wire header (20),
+  // so copies * shards is bounded by the bytes actually present before
+  // either count drives an allocation — a malformed snapshot returns
+  // false, it never aborts.
+  const uint64_t max_sketches = r.remaining() / 28;
+  if (!r.ok() || !(eps > 0.0 && eps < 1.0) || shards < 1 ||
+      merge_period < 1 || copies < 2 || mode > 1 || active >= copies ||
+      exhausted > 1 || copies > max_sketches ||
+      shards > max_sketches / copies) {
+    return false;
+  }
+  std::vector<std::vector<std::unique_ptr<MergeableEstimator>>> restored;
+  restored.resize(copies);
+  for (uint64_t c = 0; c < copies; ++c) {
+    restored[c].reserve(shards);
+    for (uint64_t s = 0; s < shards; ++s) {
+      const uint64_t len = r.U64();
+      if (!r.ok() || r.remaining() < len) return false;
+      auto sketch = DeserializeSketch(r.Bytes(len));
+      if (sketch == nullptr) return false;
+      restored[c].push_back(std::move(sketch));
+    }
+  }
+  if (!r.AtEnd()) return false;
+
+  seed_ = seed;
+  config_.eps = eps;
+  config_.shards = static_cast<size_t>(shards);
+  config_.merge_period = static_cast<size_t>(merge_period);
+  config_.copies = static_cast<size_t>(copies);
+  config_.mode = mode == 1 ? PoolMode::kRing : PoolMode::kPool;
+  config_.initial_output = initial_output;
+  partition_ = KWiseHash(2, SplitMix64(seed ^ kPartitionSalt));
+  copies_ = std::move(restored);
+  published_ = published;
+  since_gate_ = static_cast<size_t>(since_gate);
+  switches_ = static_cast<size_t>(switches);
+  retired_ = static_cast<size_t>(retired);
+  active_ = static_cast<size_t>(active);
+  exhausted_ = exhausted != 0;
+  spawn_count_ = spawn_count;
+  shard_runs_.assign(config_.shards, {});
+  return true;
+}
+
+std::unique_ptr<RobustEstimator> MakeShardedRobust(const RobustConfig& config,
+                                                   uint64_t seed) {
+  const double eps = config.eps;
+  RS_CHECK(eps > 0.0 && eps < 1.0);
+  ShardedRobust::Config sc;
+  sc.eps = eps;
+  sc.shards = config.engine.shards;
+  sc.merge_period = config.engine.merge_period;
+  sc.threads = config.engine.threads;
+  sc.mode = ShardedRobust::PoolMode::kRing;
+  sc.copies = SketchSwitching::RingSizeForEpsilon(eps);
+
+  // Base sketches sized exactly like the single-stream sketch-switching
+  // constructions (RobustF0 / RobustFp), so the engine's output quality and
+  // per-copy cost match the path it is benchmarked against.
+  const double eps0 = eps / 4.0;
+  switch (config.engine.task) {
+    case Task::kF0: {
+      sc.name = "ShardedRobust/f0";
+      const size_t k = KmvF0::KForEpsilon(eps0);
+      return std::make_unique<ShardedRobust>(
+          sc,
+          [k](uint64_t s) {
+            return std::make_unique<KmvF0>(KmvF0::Config{k}, s);
+          },
+          seed);
+    }
+    case Task::kFp: {
+      const double p = config.fp.p;
+      RS_CHECK_MSG(p > 0.0 && p <= 2.0,
+                   "sharded engine: Fp requires 0 < p <= 2");
+      sc.name = "ShardedRobust/fp";
+      PStableFp::Config ps;
+      ps.p = p;
+      ps.eps = eps0;
+      return std::make_unique<ShardedRobust>(
+          sc,
+          [ps](uint64_t s) { return std::make_unique<PStableFp>(ps, s); },
+          seed);
+    }
+    default:
+      RS_CHECK_MSG(false,
+                   "sharded engine: unsupported task (use f0 or fp)");
+      return nullptr;
+  }
+}
+
+}  // namespace rs

@@ -1,0 +1,155 @@
+// sharded.h — ShardedRobust: the first multi-shard robust estimation engine.
+//
+// The paper's frameworks multiply one static sketch into many copies
+// (sketch switching, Lemma 3.6 / Theorem 4.1). This engine adds a second,
+// orthogonal axis: each copy's state is split across S shards. Updates are
+// hash-partitioned by item, so shard s's sub-sketch of copy c sees exactly
+// the substream routed to shard s — shards touch disjoint state and can be
+// driven by independent workers (threads here; processes or machines once
+// the state travels through the rs/io wire format).
+//
+// Soundness of merging only at publish boundaries: the rounder's published
+// output is sticky between flips (Section 3) — between two flip-candidate
+// checks the adversary observes nothing new, so evaluating the Algorithm 1
+// gate on the *merged* active copy every `merge_period` updates is exactly
+// the batched-update amortization already sanctioned for SketchSwitching::
+// UpdateBatch, with the merged estimate equal to the single-stream estimate
+// by the MergeableEstimator contract (shards of one copy share a seed).
+// Flips, retirements, and the flip budget are global events: when the gate
+// fires, the merged estimate of the active copy was revealed, so the copy
+// is retired across ALL of its shards (and, in ring mode, restarted with a
+// fresh shared seed on the stream suffix).
+
+#ifndef RS_ENGINE_SHARDED_H_
+#define RS_ENGINE_SHARDED_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rs/core/robust.h"
+#include "rs/core/sketch_switching.h"
+#include "rs/hash/kwise.h"
+#include "rs/sketch/estimator.h"
+#include "rs/stream/update.h"
+
+namespace rs {
+
+// Wire tag for engine snapshots (outside the SketchKind range; the header
+// layout is shared with rs/io/wire.h).
+inline constexpr uint32_t kEngineSnapshotKind = 0x1000;
+
+class ShardedRobust : public RobustEstimator {
+ public:
+  using PoolMode = SketchSwitching::PoolMode;
+
+  struct Config {
+    double eps = 0.1;          // Published output accuracy target.
+    size_t shards = 4;         // S: hash-partition fan-out.
+    size_t merge_period = 1024;  // Updates between flip-candidate checks.
+    size_t copies = 16;        // Pool/ring size (the flip budget axis).
+    PoolMode mode = PoolMode::kRing;
+    size_t threads = 1;        // Workers for the batched shard fan-out.
+    double initial_output = 0.0;  // g(zero vector).
+    std::string name = "ShardedRobust";
+  };
+
+  // `factory(seed)` builds one shard-local sub-sketch. All S sub-sketches
+  // of a copy are built from the same seed, which is what makes them
+  // mergeable (MergeableEstimator contract).
+  ShardedRobust(const Config& config, MergeableFactory factory,
+                uint64_t seed);
+
+  void Update(const rs::Update& u) override;
+  // Batched hot path: the batch is partitioned into per-shard runs once,
+  // then each (copy, shard) sub-sketch consumes its run in a tight loop —
+  // optionally fanned out across `threads` workers (shards own disjoint
+  // state, so the fan-out is race-free by construction).
+  void UpdateBatch(const rs::Update* ups, size_t count) override;
+
+  // The published output g~ — rounded and sticky; refreshed only at
+  // flip-candidate checks (every merge_period updates, or ForcePublish).
+  double Estimate() const override;
+
+  // Runs the flip-candidate gate now: merge the active copy across shards,
+  // re-round and retire if the sticky output escaped the (1 +- eps/2)
+  // window. Publish boundary for callers that need a fresh estimate.
+  void ForcePublish();
+
+  // Distributed-driver entry point: applies a pre-routed run of updates
+  // (every item must hash to shard `s`; RS_DCHECK-verified) to shard s's
+  // sub-sketch of every copy, without running the gate. A deployment with
+  // one worker per shard pushes each worker's run through this and calls
+  // ForcePublish at the shared publish boundary; bench_sharded_throughput
+  // uses it to time each shard's work on its own.
+  void ApplyShardRun(size_t s, const rs::Update* ups, size_t count);
+
+  size_t SpaceBytes() const override;
+  std::string Name() const override { return config_.name; }
+
+  // RobustEstimator telemetry (global across shards).
+  size_t output_changes() const override { return switches_; }
+  bool exhausted() const override { return exhausted_; }
+  rs::GuaranteeStatus GuaranteeStatus() const override;
+
+  // Serializes the full engine state (config, gate state, and every
+  // (copy, shard) sub-sketch through the rs/io wire format) into *out.
+  void Snapshot(std::string* out) const;
+
+  // Restores a Snapshot() image. Returns false (leaving the engine
+  // untouched) on a malformed buffer. The factory and thread count of this
+  // instance are kept; everything else — including shard/copy geometry and
+  // sub-sketch state — comes from the snapshot.
+  bool Restore(std::string_view data);
+
+  size_t shards() const { return config_.shards; }
+  size_t copies() const { return copies_.size(); }
+  size_t merge_period() const { return config_.merge_period; }
+  size_t active_index() const { return active_; }
+  size_t retired() const { return retired_; }
+  size_t flip_budget() const {
+    return config_.mode == PoolMode::kPool ? copies_.size() : 0;
+  }
+
+  size_t ShardOf(uint64_t item) const {
+    return static_cast<size_t>(partition_.Range(item, config_.shards));
+  }
+
+ private:
+  // Builds copy slot `c` fresh: S sub-sketches sharing one new seed.
+  void SpawnCopy(size_t c);
+  // Merged estimate of the active copy (clone shard 0, fold in the rest).
+  double MergedActiveEstimate() const;
+  // The Algorithm 1 gate on the merged active copy.
+  void Gate();
+  void Retire();
+
+  Config config_;
+  MergeableFactory factory_;
+  uint64_t seed_;
+  uint64_t spawn_count_ = 0;
+  KWiseHash partition_;  // Pairwise item -> shard router.
+  // copies_[c][s]: copy c's shard-s sub-sketch.
+  std::vector<std::vector<std::unique_ptr<MergeableEstimator>>> copies_;
+  size_t active_ = 0;
+  double published_;
+  size_t since_gate_ = 0;
+  size_t switches_ = 0;
+  size_t retired_ = 0;
+  bool exhausted_ = false;
+  // Per-shard scratch runs for UpdateBatch (kept hot across batches).
+  std::vector<std::vector<rs::Update>> shard_runs_;
+};
+
+// Facade hook (registered under the "sharded" key in rs/core/robust.cc):
+// builds a ShardedRobust for config.engine.task — kF0 (KMV base) or kFp
+// with 0 < p <= 2 (p-stable base), sized exactly like the single-stream
+// sketch-switching constructions so benchmarks compare like for like.
+std::unique_ptr<RobustEstimator> MakeShardedRobust(const RobustConfig& config,
+                                                   uint64_t seed);
+
+}  // namespace rs
+
+#endif  // RS_ENGINE_SHARDED_H_

@@ -1,0 +1,45 @@
+#include "rs/io/sketch_codec.h"
+
+#include "rs/sketch/ams_f2.h"
+#include "rs/sketch/countmin.h"
+#include "rs/sketch/countsketch.h"
+#include "rs/sketch/entropy_sketch.h"
+#include "rs/sketch/hll_f0.h"
+#include "rs/sketch/kmv_f0.h"
+#include "rs/sketch/misra_gries.h"
+#include "rs/sketch/pstable_fp.h"
+
+namespace rs {
+
+bool PeekSketchHeader(std::string_view data, SketchKind* kind,
+                      uint64_t* seed) {
+  WireReader r(data);
+  return r.Header(kind, seed);
+}
+
+std::unique_ptr<MergeableEstimator> DeserializeSketch(std::string_view data) {
+  SketchKind kind;
+  uint64_t seed;
+  if (!PeekSketchHeader(data, &kind, &seed)) return nullptr;
+  switch (kind) {
+    case SketchKind::kKmvF0:
+      return KmvF0::Deserialize(data);
+    case SketchKind::kHllF0:
+      return HllF0::Deserialize(data);
+    case SketchKind::kAmsF2:
+      return AmsF2::Deserialize(data);
+    case SketchKind::kCountSketch:
+      return CountSketch::Deserialize(data);
+    case SketchKind::kCountMin:
+      return CountMin::Deserialize(data);
+    case SketchKind::kMisraGries:
+      return MisraGries::Deserialize(data);
+    case SketchKind::kPStableFp:
+      return PStableFp::Deserialize(data);
+    case SketchKind::kEntropySketch:
+      return EntropySketch::Deserialize(data);
+  }
+  return nullptr;  // Unknown kind tag.
+}
+
+}  // namespace rs

@@ -1,0 +1,31 @@
+// sketch_codec.h — kind-dispatched deserialization for the wire format.
+//
+// `MergeableEstimator::Serialize` writes a tagged header (rs/io/wire.h)
+// whose SketchKind field names the concrete class; this helper reads the
+// header and routes the payload to that class's static Deserialize. It is
+// the single entry point the engine layer uses to restore snapshots
+// (rs/engine/sharded.h) without knowing which sketch kinds exist.
+
+#ifndef RS_IO_SKETCH_CODEC_H_
+#define RS_IO_SKETCH_CODEC_H_
+
+#include <memory>
+#include <string_view>
+
+#include "rs/io/wire.h"
+#include "rs/sketch/estimator.h"
+
+namespace rs {
+
+// Reconstructs a sketch from its wire encoding. Returns nullptr on a
+// malformed buffer (bad magic, unknown version or kind, truncated state) —
+// it never aborts on untrusted bytes.
+std::unique_ptr<MergeableEstimator> DeserializeSketch(std::string_view data);
+
+// Peeks at the header without materializing the sketch. Returns false on a
+// malformed header.
+bool PeekSketchHeader(std::string_view data, SketchKind* kind, uint64_t* seed);
+
+}  // namespace rs
+
+#endif  // RS_IO_SKETCH_CODEC_H_

@@ -1,0 +1,164 @@
+// wire.h — the versioned byte wire format for sketch state.
+//
+// Every serialized sketch starts with one tagged header:
+//
+//   offset  field            type    meaning
+//   0       magic            u32     'RSKW' (0x52534B57), sanity tag
+//   4       format version   u32     kWireFormatVersion (currently 1)
+//   8       sketch kind      u32     SketchKind discriminator
+//   12      seed             u64     construction seed (all hash state is
+//                                    derived deterministically from it)
+//
+// followed by kind-specific parameters and state. All integers are
+// little-endian; doubles travel as their IEEE-754 bit pattern (u64), so a
+// serialize -> deserialize round trip is bit-exact. Readers are
+// bounds-checked and never read past the buffer: a truncated or corrupt
+// payload makes ok() false instead of invoking undefined behaviour (the
+// ASan/UBSan CI job runs the round-trip suite over this code).
+//
+// Versioning policy: kWireFormatVersion bumps on any incompatible layout
+// change; readers reject unknown versions. Per-kind payloads may only grow
+// by appending fields within a version.
+
+#ifndef RS_IO_WIRE_H_
+#define RS_IO_WIRE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace rs {
+
+inline constexpr uint32_t kWireMagic = 0x52534B57;  // "RSKW".
+inline constexpr uint32_t kWireFormatVersion = 1;
+
+// Wire discriminator for every serializable sketch kind. Values are part of
+// the persisted format: never renumber, only append.
+enum class SketchKind : uint32_t {
+  kKmvF0 = 1,
+  kHllF0 = 2,
+  kAmsF2 = 3,
+  kCountSketch = 4,
+  kCountMin = 5,
+  kMisraGries = 6,
+  kPStableFp = 7,
+  kEntropySketch = 8,
+};
+
+// Appends fixed-width little-endian fields to a std::string buffer.
+class WireWriter {
+ public:
+  explicit WireWriter(std::string* out) : out_(out) {}
+
+  void U8(uint8_t v) { out_->push_back(static_cast<char>(v)); }
+  void U32(uint32_t v) {
+    char b[4];
+    for (int i = 0; i < 4; ++i) b[i] = static_cast<char>(v >> (8 * i));
+    out_->append(b, 4);
+  }
+  void U64(uint64_t v) {
+    char b[8];
+    for (int i = 0; i < 8; ++i) b[i] = static_cast<char>(v >> (8 * i));
+    out_->append(b, 8);
+  }
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  // IEEE-754 bit pattern: the round trip restores the exact double.
+  void F64(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    U64(bits);
+  }
+  void Bytes(std::string_view bytes) { out_->append(bytes); }
+
+  // Standard header for a sketch payload.
+  void Header(SketchKind kind, uint64_t seed) {
+    U32(kWireMagic);
+    U32(kWireFormatVersion);
+    U32(static_cast<uint32_t>(kind));
+    U64(seed);
+  }
+
+ private:
+  std::string* out_;
+};
+
+// Bounds-checked reader over a byte buffer. After any failed read, ok() is
+// false and every subsequent read returns 0 — callers check ok() once at
+// the end instead of after every field.
+class WireReader {
+ public:
+  explicit WireReader(std::string_view data) : data_(data) {}
+
+  uint8_t U8() {
+    if (!Require(1)) return 0;
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+  uint32_t U32() {
+    if (!Require(4)) return 0;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+  uint64_t U64() {
+    if (!Require(8)) return 0;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+  int64_t I64() { return static_cast<int64_t>(U64()); }
+  double F64() {
+    const uint64_t bits = U64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string_view Bytes(size_t len) {
+    if (!Require(len)) return {};
+    std::string_view v = data_.substr(pos_, len);
+    pos_ += len;
+    return v;
+  }
+
+  // Reads and validates the standard header. Returns false (and poisons the
+  // reader) on a magic/version mismatch. On success *kind and *seed are
+  // filled in.
+  bool Header(SketchKind* kind, uint64_t* seed) {
+    if (U32() != kWireMagic) ok_ = false;
+    if (U32() != kWireFormatVersion) ok_ = false;
+    const uint32_t raw_kind = U32();
+    *seed = U64();
+    *kind = static_cast<SketchKind>(raw_kind);
+    return ok_;
+  }
+
+  bool ok() const { return ok_; }
+  // True when the whole buffer was consumed (trailing garbage detector).
+  bool AtEnd() const { return ok_ && pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  bool Require(size_t n) {
+    if (!ok_ || data_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace rs
+
+#endif  // RS_IO_WIRE_H_

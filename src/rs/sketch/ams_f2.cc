@@ -1,7 +1,9 @@
 #include "rs/sketch/ams_f2.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "rs/io/wire.h"
 #include "rs/util/check.h"
 #include "rs/util/rng.h"
 #include "rs/util/stats.h"
@@ -15,12 +17,72 @@ AmsF2::AmsF2(const Config& config, uint64_t seed) {
   groups_ = static_cast<size_t>(
       std::ceil(4.0 * std::log(1.0 / config.delta) / std::log(2.0)));
   groups_ = std::max<size_t>(1, groups_ | 1);  // Odd for a clean median.
+  seed_ = seed;
   const size_t total = groups_ * per_group_;
   counters_.assign(total, 0.0);
   signs_.reserve(total);
   for (size_t c = 0; c < total; ++c) {
     signs_.emplace_back(4, SplitMix64(seed + 0x9e37 * (c + 1)));
   }
+}
+
+AmsF2::AmsF2(size_t groups, size_t per_group, uint64_t seed)
+    : groups_(groups), per_group_(per_group), seed_(seed) {
+  const size_t total = groups_ * per_group_;
+  counters_.assign(total, 0.0);
+  signs_.reserve(total);
+  for (size_t c = 0; c < total; ++c) {
+    signs_.emplace_back(4, SplitMix64(seed + 0x9e37 * (c + 1)));
+  }
+}
+
+bool AmsF2::CompatibleForMerge(const Estimator& other) const {
+  const auto* o = dynamic_cast<const AmsF2*>(&other);
+  return o != nullptr && o->groups_ == groups_ &&
+         o->per_group_ == per_group_ && o->seed_ == seed_;
+}
+
+void AmsF2::Merge(const Estimator& other) {
+  RS_CHECK_MSG(CompatibleForMerge(other),
+               "AmsF2::Merge: incompatible shape or seed");
+  const auto& o = *dynamic_cast<const AmsF2*>(&other);
+  for (size_t c = 0; c < counters_.size(); ++c) counters_[c] += o.counters_[c];
+}
+
+std::unique_ptr<MergeableEstimator> AmsF2::Clone() const {
+  return std::make_unique<AmsF2>(*this);
+}
+
+void AmsF2::Serialize(std::string* out) const {
+  WireWriter w(out);
+  w.Header(SketchKind::kAmsF2, seed_);
+  w.U64(groups_);
+  w.U64(per_group_);
+  for (double c : counters_) w.F64(c);
+}
+
+std::unique_ptr<AmsF2> AmsF2::Deserialize(std::string_view data) {
+  WireReader r(data);
+  SketchKind kind;
+  uint64_t seed;
+  if (!r.Header(&kind, &seed) || kind != SketchKind::kAmsF2) return nullptr;
+  const uint64_t groups = r.U64();
+  const uint64_t per_group = r.U64();
+  // Overflow-safe shape check: both factors are bounded by the counter
+  // cells actually present before they are ever multiplied, so a crafted
+  // header cannot wrap the product (or drive a huge allocation) — the
+  // codec contract is nullptr on malformed bytes, never an abort.
+  const uint64_t cells = r.remaining() / 8;
+  if (!r.ok() || groups == 0 || per_group == 0 || groups > cells ||
+      per_group > cells / groups || groups * per_group != cells ||
+      r.remaining() % 8 != 0) {
+    return nullptr;
+  }
+  auto sketch = std::unique_ptr<AmsF2>(new AmsF2(
+      static_cast<size_t>(groups), static_cast<size_t>(per_group), seed));
+  for (double& c : sketch->counters_) c = r.F64();
+  if (!r.AtEnd()) return nullptr;
+  return sketch;
 }
 
 void AmsF2::Update(const rs::Update& u) {

@@ -2,7 +2,9 @@
 #define RS_SKETCH_AMS_F2_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "rs/hash/chacha.h"
@@ -22,7 +24,12 @@ namespace rs {
 // the paper proves non-robust (Theorem 9.1); the attack targets the
 // AmsLinearSketch variant below, and Section 4's robust wrappers use this
 // class as a base F2 estimator.
-class AmsF2 : public Estimator {
+//
+// Mergeable: the state is linear in f, so two instances with identical sign
+// hashes (same seed and shape) merge by adding counter vectors — the merged
+// state is bit-for-bit what a single instance would hold after the
+// concatenated stream (integer deltas stay exactly representable).
+class AmsF2 : public MergeableEstimator {
  public:
   struct Config {
     double eps = 0.1;
@@ -36,12 +43,24 @@ class AmsF2 : public Estimator {
   size_t SpaceBytes() const override;
   std::string Name() const override { return "AmsF2"; }
 
+  // MergeableEstimator: counter addition; requires identical seeds.
+  bool CompatibleForMerge(const Estimator& other) const override;
+  void Merge(const Estimator& other) override;
+  std::unique_ptr<MergeableEstimator> Clone() const override;
+  void Serialize(std::string* out) const override;
+  static std::unique_ptr<AmsF2> Deserialize(std::string_view data);
+
   size_t rows() const { return groups_; }
   size_t cols() const { return per_group_; }
+  uint64_t seed() const { return seed_; }
 
  private:
+  // Deserialization ctor: exact shape, hashes re-derived from the seed.
+  AmsF2(size_t groups, size_t per_group, uint64_t seed);
+
   size_t groups_;     // r.
   size_t per_group_;  // k.
+  uint64_t seed_;
   std::vector<KWiseHash> signs_;  // One 4-wise sign hash per counter.
   std::vector<double> counters_;
 };

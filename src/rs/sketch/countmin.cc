@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_set>
 
+#include "rs/io/wire.h"
+#include "rs/sketch/point_query_candidates.h"
 #include "rs/util/check.h"
 #include "rs/util/rng.h"
 
@@ -15,11 +18,80 @@ CountMin::CountMin(const Config& config, uint64_t seed) {
   rows_ = std::max<size_t>(
       2, static_cast<size_t>(std::ceil(std::log(1.0 / config.delta))));
   heap_size_ = config.heap_size;
+  seed_ = seed;
   table_.assign(rows_ * width_, 0.0);
   bucket_hashes_.reserve(rows_);
   for (size_t j = 0; j < rows_; ++j) {
     bucket_hashes_.emplace_back(2, SplitMix64(seed + 977 * j));
   }
+}
+
+CountMin::CountMin(size_t rows, size_t width, size_t heap_size, uint64_t seed)
+    : rows_(rows), width_(width), seed_(seed), heap_size_(heap_size) {
+  table_.assign(rows_ * width_, 0.0);
+  bucket_hashes_.reserve(rows_);
+  for (size_t j = 0; j < rows_; ++j) {
+    bucket_hashes_.emplace_back(2, SplitMix64(seed + 977 * j));
+  }
+}
+
+bool CountMin::CompatibleForMerge(const Estimator& other) const {
+  const auto* o = dynamic_cast<const CountMin*>(&other);
+  return o != nullptr && o->rows_ == rows_ && o->width_ == width_ &&
+         o->seed_ == seed_;
+}
+
+void CountMin::Merge(const Estimator& other) {
+  RS_CHECK_MSG(CompatibleForMerge(other),
+               "CountMin::Merge: incompatible shape or seed");
+  const auto& o = *dynamic_cast<const CountMin*>(&other);
+  for (size_t i = 0; i < table_.size(); ++i) table_[i] += o.table_[i];
+  f1_ += o.f1_;
+  internal::MergeCandidates(&candidates_, o.candidates_, heap_size_,
+                            [this](uint64_t item) { return PointQuery(item); });
+}
+
+std::unique_ptr<MergeableEstimator> CountMin::Clone() const {
+  return std::unique_ptr<CountMin>(new CountMin(*this));
+}
+
+void CountMin::Serialize(std::string* out) const {
+  WireWriter w(out);
+  w.Header(SketchKind::kCountMin, seed_);
+  w.U64(rows_);
+  w.U64(width_);
+  w.U64(heap_size_);
+  w.F64(f1_);
+  for (double c : table_) w.F64(c);
+  internal::SerializeCandidates(&w, candidates_);
+}
+
+std::unique_ptr<CountMin> CountMin::Deserialize(std::string_view data) {
+  WireReader r(data);
+  SketchKind kind;
+  uint64_t seed;
+  if (!r.Header(&kind, &seed) || kind != SketchKind::kCountMin) return nullptr;
+  const uint64_t rows = r.U64();
+  const uint64_t width = r.U64();
+  const uint64_t heap_size = r.U64();
+  const double f1 = r.F64();
+  // Overflow-safe shape check: both factors are bounded by the bytes
+  // actually present before they are multiplied.
+  const uint64_t cells = r.remaining() / 8;
+  if (!r.ok() || rows == 0 || width == 0 || rows > cells ||
+      width > cells / rows) {
+    return nullptr;
+  }
+  auto sketch = std::unique_ptr<CountMin>(
+      new CountMin(static_cast<size_t>(rows), static_cast<size_t>(width),
+                   static_cast<size_t>(heap_size), seed));
+  sketch->f1_ = f1;
+  for (double& c : sketch->table_) c = r.F64();
+  if (!internal::DeserializeCandidates(&r, heap_size, &sketch->candidates_)) {
+    return nullptr;
+  }
+  if (!r.AtEnd()) return nullptr;
+  return sketch;
 }
 
 void CountMin::Update(const rs::Update& u) {

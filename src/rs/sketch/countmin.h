@@ -2,7 +2,9 @@
 #define RS_SKETCH_COUNTMIN_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -20,7 +22,11 @@ namespace rs {
 // deterministic O(1/eps log n) L1 algorithm [32] with the much harder L2
 // guarantee in Section 6). Insertion-only point queries; supports
 // strict-turnstile deltas as well.
-class CountMin : public PointQueryEstimator {
+//
+// Mergeable: the table is linear in f, so instances with identical bucket
+// hashes (same seed and shape) merge by adding tables and F1 counters;
+// candidate sets are re-scored against the merged table.
+class CountMin : public PointQueryEstimator, public MergeableEstimator {
  public:
   struct Config {
     double eps = 0.01;    // Additive error eps * F1 (sets w = ceil(e/eps)).
@@ -37,12 +43,24 @@ class CountMin : public PointQueryEstimator {
   size_t SpaceBytes() const override;
   std::string Name() const override { return "CountMin"; }
 
+  // MergeableEstimator: table addition; requires identical seeds.
+  bool CompatibleForMerge(const Estimator& other) const override;
+  void Merge(const Estimator& other) override;
+  std::unique_ptr<MergeableEstimator> Clone() const override;
+  void Serialize(std::string* out) const override;
+  static std::unique_ptr<CountMin> Deserialize(std::string_view data);
+
   size_t rows() const { return rows_; }
   size_t width() const { return width_; }
+  uint64_t seed() const { return seed_; }
 
  private:
+  // Deserialization ctor: exact shape, hashes re-derived from the seed.
+  CountMin(size_t rows, size_t width, size_t heap_size, uint64_t seed);
+
   size_t rows_;
   size_t width_;
+  uint64_t seed_;
   std::vector<KWiseHash> bucket_hashes_;
   std::vector<double> table_;
   double f1_ = 0.0;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "rs/io/wire.h"
+#include "rs/sketch/point_query_candidates.h"
 #include "rs/util/check.h"
 #include "rs/util/rng.h"
 #include "rs/util/stats.h"
@@ -19,6 +21,7 @@ CountSketch::CountSketch(const Config& config, uint64_t seed) {
           1;
   rows_ = std::max<size_t>(3, rows_);
   heap_size_ = config.heap_size;
+  seed_ = seed;
   table_.assign(rows_ * width_, 0.0);
   bucket_hashes_.reserve(rows_);
   sign_hashes_.reserve(rows_);
@@ -26,6 +29,77 @@ CountSketch::CountSketch(const Config& config, uint64_t seed) {
     bucket_hashes_.emplace_back(2, SplitMix64(seed + 2 * j));
     sign_hashes_.emplace_back(4, SplitMix64(seed + 2 * j + 1));
   }
+}
+
+CountSketch::CountSketch(size_t rows, size_t width, size_t heap_size,
+                         uint64_t seed)
+    : rows_(rows), width_(width), seed_(seed), heap_size_(heap_size) {
+  table_.assign(rows_ * width_, 0.0);
+  bucket_hashes_.reserve(rows_);
+  sign_hashes_.reserve(rows_);
+  for (size_t j = 0; j < rows_; ++j) {
+    bucket_hashes_.emplace_back(2, SplitMix64(seed + 2 * j));
+    sign_hashes_.emplace_back(4, SplitMix64(seed + 2 * j + 1));
+  }
+}
+
+bool CountSketch::CompatibleForMerge(const Estimator& other) const {
+  const auto* o = dynamic_cast<const CountSketch*>(&other);
+  return o != nullptr && o->rows_ == rows_ && o->width_ == width_ &&
+         o->seed_ == seed_;
+}
+
+void CountSketch::Merge(const Estimator& other) {
+  RS_CHECK_MSG(CompatibleForMerge(other),
+               "CountSketch::Merge: incompatible shape or seed");
+  const auto& o = *dynamic_cast<const CountSketch*>(&other);
+  for (size_t i = 0; i < table_.size(); ++i) table_[i] += o.table_[i];
+  // Re-score the union of both candidate sets against the merged table and
+  // keep the heap_size largest (heap_size from this sketch).
+  internal::MergeCandidates(&candidates_, o.candidates_, heap_size_,
+                            [this](uint64_t item) { return PointQuery(item); });
+}
+
+std::unique_ptr<MergeableEstimator> CountSketch::Clone() const {
+  return std::unique_ptr<CountSketch>(new CountSketch(*this));
+}
+
+void CountSketch::Serialize(std::string* out) const {
+  WireWriter w(out);
+  w.Header(SketchKind::kCountSketch, seed_);
+  w.U64(rows_);
+  w.U64(width_);
+  w.U64(heap_size_);
+  for (double c : table_) w.F64(c);
+  internal::SerializeCandidates(&w, candidates_);
+}
+
+std::unique_ptr<CountSketch> CountSketch::Deserialize(std::string_view data) {
+  WireReader r(data);
+  SketchKind kind;
+  uint64_t seed;
+  if (!r.Header(&kind, &seed) || kind != SketchKind::kCountSketch) {
+    return nullptr;
+  }
+  const uint64_t rows = r.U64();
+  const uint64_t width = r.U64();
+  const uint64_t heap_size = r.U64();
+  // Overflow-safe shape check: both factors are bounded by the bytes
+  // actually present before they are multiplied.
+  const uint64_t cells = r.remaining() / 8;
+  if (!r.ok() || rows == 0 || width == 0 || rows > cells ||
+      width > cells / rows) {
+    return nullptr;
+  }
+  auto sketch = std::unique_ptr<CountSketch>(
+      new CountSketch(static_cast<size_t>(rows), static_cast<size_t>(width),
+                      static_cast<size_t>(heap_size), seed));
+  for (double& c : sketch->table_) c = r.F64();
+  if (!internal::DeserializeCandidates(&r, heap_size, &sketch->candidates_)) {
+    return nullptr;
+  }
+  if (!r.AtEnd()) return nullptr;
+  return sketch;
 }
 
 void CountSketch::Update(const rs::Update& u) {

@@ -3,7 +3,9 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -27,7 +29,11 @@ namespace rs {
 // companion structure. Estimate() returns the F2 estimate from the median
 // row energy (a convenience; the robust HH wrapper uses a dedicated robust
 // F2 tracker instead).
-class CountSketch : public PointQueryEstimator {
+//
+// Mergeable: the table is linear in f, so instances with identical bucket
+// and sign hashes (same seed and shape) merge by adding tables; candidate
+// sets are re-scored against the merged table and trimmed to heap_size.
+class CountSketch : public PointQueryEstimator, public MergeableEstimator {
  public:
   struct Config {
     double eps = 0.1;      // Point-query accuracy (sets w = O(1/eps^2)).
@@ -48,15 +54,27 @@ class CountSketch : public PointQueryEstimator {
   size_t SpaceBytes() const override;
   std::string Name() const override { return "CountSketch"; }
 
+  // MergeableEstimator: table addition; requires identical seeds.
+  bool CompatibleForMerge(const Estimator& other) const override;
+  void Merge(const Estimator& other) override;
+  std::unique_ptr<MergeableEstimator> Clone() const override;
+  void Serialize(std::string* out) const override;
+  static std::unique_ptr<CountSketch> Deserialize(std::string_view data);
+
   size_t rows() const { return rows_; }
   size_t width() const { return width_; }
+  uint64_t seed() const { return seed_; }
 
  private:
+  // Deserialization ctor: exact shape, hashes re-derived from the seed.
+  CountSketch(size_t rows, size_t width, size_t heap_size, uint64_t seed);
+
   void ApplyIncrements(const rs::Update& u);
   void RefreshCandidate(uint64_t item);
 
   size_t rows_;
   size_t width_;
+  uint64_t seed_;
   std::vector<KWiseHash> bucket_hashes_;  // Pairwise, one per row.
   std::vector<KWiseHash> sign_hashes_;    // 4-wise, one per row.
   std::vector<double> table_;             // rows_ x width_.

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "rs/io/wire.h"
 #include "rs/sketch/stable.h"
 #include "rs/util/check.h"
 #include "rs/util/rng.h"
@@ -9,13 +10,71 @@
 namespace rs {
 
 EntropySketch::EntropySketch(const Config& config, uint64_t seed)
-    : random_oracle_model_(config.random_oracle_model), hash_(seed) {
+    : random_oracle_model_(config.random_oracle_model),
+      seed_(seed),
+      hash_(seed) {
   RS_CHECK(config.eps > 0.0 && config.eps <= 2.0);
   size_t k = config.k_override;
   if (k == 0) {
     k = static_cast<size_t>(std::ceil(24.0 / (config.eps * config.eps)));
   }
   counters_.assign(std::max<size_t>(k, 8), 0.0);
+}
+
+bool EntropySketch::CompatibleForMerge(const Estimator& other) const {
+  const auto* o = dynamic_cast<const EntropySketch*>(&other);
+  return o != nullptr && o->counters_.size() == counters_.size() &&
+         o->seed_ == seed_;
+}
+
+void EntropySketch::Merge(const Estimator& other) {
+  RS_CHECK_MSG(CompatibleForMerge(other),
+               "EntropySketch::Merge: incompatible width or seed");
+  const auto& o = *dynamic_cast<const EntropySketch*>(&other);
+  for (size_t j = 0; j < counters_.size(); ++j) counters_[j] += o.counters_[j];
+  f1_ += o.f1_;
+}
+
+std::unique_ptr<MergeableEstimator> EntropySketch::Clone() const {
+  return std::make_unique<EntropySketch>(*this);
+}
+
+void EntropySketch::Serialize(std::string* out) const {
+  WireWriter w(out);
+  w.Header(SketchKind::kEntropySketch, seed_);
+  w.U64(counters_.size());
+  w.U8(random_oracle_model_ ? 1 : 0);
+  w.I64(f1_);
+  for (double c : counters_) w.F64(c);
+}
+
+std::unique_ptr<EntropySketch> EntropySketch::Deserialize(
+    std::string_view data) {
+  WireReader r(data);
+  SketchKind kind;
+  uint64_t seed;
+  if (!r.Header(&kind, &seed) || kind != SketchKind::kEntropySketch) {
+    return nullptr;
+  }
+  const uint64_t k = r.U64();
+  const uint8_t random_oracle = r.U8();
+  const int64_t f1 = r.I64();
+  // Division (not multiplication) bounds k by the bytes actually present,
+  // so a crafted header cannot wrap the check or force a huge allocation.
+  if (!r.ok() || k < 8 || random_oracle > 1 || k != r.remaining() / 8 ||
+      r.remaining() % 8 != 0) {
+    return nullptr;
+  }
+  // k was already >= 8 at serialization time, so k_override round-trips the
+  // exact projection count through the public constructor.
+  Config config;
+  config.k_override = static_cast<size_t>(k);
+  config.random_oracle_model = random_oracle != 0;
+  auto sketch = std::make_unique<EntropySketch>(config, seed);
+  sketch->f1_ = f1;
+  for (double& c : sketch->counters_) c = r.F64();
+  if (!r.AtEnd()) return nullptr;
+  return sketch;
 }
 
 void EntropySketch::Update(const rs::Update& u) {

@@ -2,7 +2,9 @@
 #define RS_SKETCH_ENTROPY_SKETCH_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "rs/hash/tabulation.h"
@@ -34,7 +36,10 @@ namespace rs {
 // multiplicative (1 +- eps) approximation is exactly an additive
 // approximation of H (see the Remark before Proposition 7.1).
 // EntropyBits() reports H itself.
-class EntropySketch : public Estimator {
+//
+// Mergeable: the projections are linear in f, so instances with the same
+// projection count and seed merge by adding counters and F1.
+class EntropySketch : public MergeableEstimator {
  public:
   struct Config {
     double eps = 0.1;       // Target additive accuracy of H (sets k).
@@ -61,10 +66,19 @@ class EntropySketch : public Estimator {
   size_t SpaceBytes() const override;
   std::string Name() const override { return "EntropySketch"; }
 
+  // MergeableEstimator: counter addition; requires identical seeds.
+  bool CompatibleForMerge(const Estimator& other) const override;
+  void Merge(const Estimator& other) override;
+  std::unique_ptr<MergeableEstimator> Clone() const override;
+  void Serialize(std::string* out) const override;
+  static std::unique_ptr<EntropySketch> Deserialize(std::string_view data);
+
   size_t k() const { return counters_.size(); }
+  uint64_t seed() const { return seed_; }
 
  private:
   bool random_oracle_model_;
+  uint64_t seed_ = 0;
   TabulationHash hash_;
   std::vector<double> counters_;
   int64_t f1_ = 0;

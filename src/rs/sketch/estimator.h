@@ -63,6 +63,48 @@ using EstimatorFactory =
 using DeltaEstimatorFactory =
     std::function<std::unique_ptr<Estimator>(double delta, uint64_t seed)>;
 
+// Extension implemented by sketches whose state forms a commutative merge
+// algebra: two instances run on separate substreams can be folded into one
+// whose estimate matches a single instance run on the concatenation. Linear
+// sketches (AMS, CountSketch, CountMin, p-stable, entropy) merge by adding
+// state vectors and require identical seed material — the random projection
+// must agree across instances; order-statistics sketches (KMV, HLL) merge by
+// union/min of retained order statistics. Misra-Gries merges by the
+// Agarwal et al. counter-sum-and-reduce rule.
+//
+// This contract is what turns the paper's "many independent copies of one
+// static sketch" multiplication (sketch switching, Thm 3.2; computation
+// paths, Lemma 3.8) into a distributable system: shard-local copies can be
+// combined at publish boundaries (rs/engine/sharded.h), persisted, and
+// shipped across processes through the versioned wire format in rs/io/.
+class MergeableEstimator : public virtual Estimator {
+ public:
+  // True when `other` is the same sketch kind with compatible shape and —
+  // for linear sketches — identical hash seeds. Merge() requires it.
+  virtual bool CompatibleForMerge(const Estimator& other) const = 0;
+
+  // Folds `other`'s state into this sketch. After the call this sketch's
+  // estimate reflects the concatenation of both input substreams.
+  // RS_CHECK-aborts unless CompatibleForMerge(other).
+  virtual void Merge(const Estimator& other) = 0;
+
+  // Deep copy, including seed material (the clone is mergeable with the
+  // original and with anything the original is mergeable with).
+  virtual std::unique_ptr<MergeableEstimator> Clone() const = 0;
+
+  // Appends the versioned wire encoding of this sketch (tagged header +
+  // parameters + state; see rs/io/wire.h) to *out. The inverse lives in
+  // rs/io/sketch_codec.h (`DeserializeSketch`) and in each concrete class's
+  // static Deserialize(std::string_view).
+  virtual void Serialize(std::string* out) const = 0;
+};
+
+// Factory producing a fresh mergeable sketch from a seed. Shard-local
+// copies built by the engine share one seed per logical copy, which is what
+// makes them mergeable across shards.
+using MergeableFactory =
+    std::function<std::unique_ptr<MergeableEstimator>(uint64_t seed)>;
+
 // Extension implemented by sketches that can answer per-item frequency
 // queries (CountSketch, CountMin, Misra-Gries) — the interface required by
 // the heavy hitters problem (Definitions 6.1 and 6.2). Estimator is a

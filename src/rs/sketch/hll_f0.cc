@@ -1,15 +1,57 @@
 #include "rs/sketch/hll_f0.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "rs/io/wire.h"
 #include "rs/util/bits.h"
 #include "rs/util/check.h"
 
 namespace rs {
 
-HllF0::HllF0(int b, uint64_t seed) : b_(b), hash_(seed) {
+HllF0::HllF0(int b, uint64_t seed) : b_(b), seed_(seed), hash_(seed) {
   RS_CHECK(b >= 4 && b <= 20);
   registers_.assign(size_t{1} << b, 0);
+}
+
+bool HllF0::CompatibleForMerge(const Estimator& other) const {
+  const auto* o = dynamic_cast<const HllF0*>(&other);
+  return o != nullptr && o->b_ == b_;
+}
+
+void HllF0::Merge(const Estimator& other) {
+  RS_CHECK_MSG(CompatibleForMerge(other), "HllF0::Merge: incompatible sketch");
+  const auto& o = *dynamic_cast<const HllF0*>(&other);
+  for (size_t i = 0; i < registers_.size(); ++i) {
+    registers_[i] = std::max(registers_[i], o.registers_[i]);
+  }
+}
+
+std::unique_ptr<MergeableEstimator> HllF0::Clone() const {
+  return std::make_unique<HllF0>(*this);
+}
+
+void HllF0::Serialize(std::string* out) const {
+  WireWriter w(out);
+  w.Header(SketchKind::kHllF0, seed_);
+  w.U32(static_cast<uint32_t>(b_));
+  w.Bytes(std::string_view(reinterpret_cast<const char*>(registers_.data()),
+                           registers_.size()));
+}
+
+std::unique_ptr<HllF0> HllF0::Deserialize(std::string_view data) {
+  WireReader r(data);
+  SketchKind kind;
+  uint64_t seed;
+  if (!r.Header(&kind, &seed) || kind != SketchKind::kHllF0) return nullptr;
+  const uint32_t b = r.U32();
+  if (!r.ok() || b < 4 || b > 20) return nullptr;
+  const std::string_view regs = r.Bytes(size_t{1} << b);
+  if (!r.AtEnd()) return nullptr;
+  auto sketch = std::make_unique<HllF0>(static_cast<int>(b), seed);
+  std::copy(regs.begin(), regs.end(),
+            reinterpret_cast<char*>(sketch->registers_.data()));
+  return sketch;
 }
 
 void HllF0::Update(const rs::Update& u) {

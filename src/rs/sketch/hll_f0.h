@@ -2,7 +2,9 @@
 #define RS_SKETCH_HLL_F0_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "rs/hash/tabulation.h"
@@ -19,7 +21,12 @@ namespace rs {
 // demonstrate that the robustness wrappers are agnostic to which base F0
 // sketch they wrap. Duplicate-insensitive (register maxima), hence also
 // compatible with the Theorem 10.1 transformation.
-class HllF0 : public Estimator {
+//
+// Mergeable: two HLLs with the same b merge by register-wise max — the
+// classic DataSketches union. Exact (identical to a single sketch on the
+// concatenated stream) when both share a seed; with different seeds the
+// union has no estimate guarantee.
+class HllF0 : public MergeableEstimator {
  public:
   // b in [4, 20]: number of index bits; 2^b registers.
   HllF0(int b, uint64_t seed);
@@ -29,10 +36,19 @@ class HllF0 : public Estimator {
   size_t SpaceBytes() const override;
   std::string Name() const override { return "HllF0"; }
 
+  // MergeableEstimator: register-wise max.
+  bool CompatibleForMerge(const Estimator& other) const override;
+  void Merge(const Estimator& other) override;
+  std::unique_ptr<MergeableEstimator> Clone() const override;
+  void Serialize(std::string* out) const override;
+  static std::unique_ptr<HllF0> Deserialize(std::string_view data);
+
   int b() const { return b_; }
+  uint64_t seed() const { return seed_; }
 
  private:
   int b_;
+  uint64_t seed_;
   TabulationHash hash_;
   std::vector<uint8_t> registers_;
 };

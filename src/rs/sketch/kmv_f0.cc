@@ -1,7 +1,9 @@
 #include "rs/sketch/kmv_f0.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "rs/io/wire.h"
 #include "rs/util/check.h"
 
 namespace rs {
@@ -12,13 +14,11 @@ size_t KmvF0::KForEpsilon(double eps) {
 }
 
 KmvF0::KmvF0(const Config& config, uint64_t seed)
-    : k_(config.k), hash_(8, seed) {
+    : k_(config.k), seed_(seed), hash_(8, seed) {
   RS_CHECK(k_ >= 2);
 }
 
-void KmvF0::Update(const rs::Update& u) {
-  if (u.delta <= 0) return;  // Insertion-only sketch.
-  const uint64_t h = hash_(u.item);
+void KmvF0::InsertHash(uint64_t h) {
   if (members_.count(h)) return;  // Duplicate: state unchanged.
   if (heap_.size() < k_) {
     heap_.push(h);
@@ -31,6 +31,11 @@ void KmvF0::Update(const rs::Update& u) {
     heap_.push(h);
     members_.insert(h);
   }
+}
+
+void KmvF0::Update(const rs::Update& u) {
+  if (u.delta <= 0) return;  // Insertion-only sketch.
+  InsertHash(hash_(u.item));
 }
 
 void KmvF0::UpdateBatch(const rs::Update* ups, size_t count) {
@@ -49,6 +54,52 @@ double KmvF0::Estimate() const {
                     static_cast<double>(KWiseHash::kPrime);
   RS_DCHECK(vk > 0.0);
   return (static_cast<double>(k_) - 1.0) / vk;
+}
+
+bool KmvF0::CompatibleForMerge(const Estimator& other) const {
+  const auto* o = dynamic_cast<const KmvF0*>(&other);
+  return o != nullptr && o->k_ == k_;
+}
+
+void KmvF0::Merge(const Estimator& other) {
+  RS_CHECK_MSG(CompatibleForMerge(other), "KmvF0::Merge: incompatible sketch");
+  const auto& o = *dynamic_cast<const KmvF0*>(&other);
+  for (uint64_t h : o.members_) InsertHash(h);
+}
+
+std::unique_ptr<MergeableEstimator> KmvF0::Clone() const {
+  return std::make_unique<KmvF0>(*this);
+}
+
+void KmvF0::Serialize(std::string* out) const {
+  WireWriter w(out);
+  w.Header(SketchKind::kKmvF0, seed_);
+  w.U64(k_);
+  // Canonical order: sorted hash values, so equal states serialize to equal
+  // bytes regardless of insertion history.
+  std::vector<uint64_t> sorted(members_.begin(), members_.end());
+  std::sort(sorted.begin(), sorted.end());
+  w.U64(sorted.size());
+  for (uint64_t h : sorted) w.U64(h);
+}
+
+std::unique_ptr<KmvF0> KmvF0::Deserialize(std::string_view data) {
+  WireReader r(data);
+  SketchKind kind;
+  uint64_t seed;
+  if (!r.Header(&kind, &seed) || kind != SketchKind::kKmvF0) return nullptr;
+  const uint64_t k = r.U64();
+  const uint64_t count = r.U64();
+  // count is checked against the bytes actually present (division, not
+  // multiplication, so a huge count cannot wrap) and against k.
+  if (!r.ok() || k < 2 || count > k || count != r.remaining() / 8 ||
+      r.remaining() % 8 != 0) {
+    return nullptr;
+  }
+  auto sketch = std::make_unique<KmvF0>(Config{static_cast<size_t>(k)}, seed);
+  for (uint64_t i = 0; i < count; ++i) sketch->InsertHash(r.U64());
+  if (!r.AtEnd()) return nullptr;
+  return sketch;
 }
 
 size_t KmvF0::SpaceBytes() const {

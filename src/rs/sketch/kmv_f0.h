@@ -2,8 +2,10 @@
 #define RS_SKETCH_KMV_F0_H_
 
 #include <cstdint>
+#include <memory>
 #include <queue>
 #include <string>
+#include <string_view>
 #include <unordered_set>
 #include <vector>
 
@@ -28,7 +30,14 @@ namespace rs {
 //
 // Crucially for Theorem 10.1, re-inserting an item that was already seen
 // never changes the state (with probability 1).
-class KmvF0 : public Estimator {
+//
+// Mergeable: two KMV sketches with the same k merge by set union of their
+// retained hash values, keeping the k smallest — the order-statistics merge,
+// valid for any substream split. The estimate matches a single sketch over
+// the concatenated stream exactly when both instances share a seed (the
+// usual sharded deployment); with different seeds the union is a two-hash
+// bottom-k heuristic with no tracking guarantee.
+class KmvF0 : public MergeableEstimator {
  public:
   struct Config {
     size_t k = 256;  // Number of minimum values retained.
@@ -46,10 +55,23 @@ class KmvF0 : public Estimator {
   size_t SpaceBytes() const override;
   std::string Name() const override { return "KmvF0"; }
 
+  // MergeableEstimator: bottom-k set union.
+  bool CompatibleForMerge(const Estimator& other) const override;
+  void Merge(const Estimator& other) override;
+  std::unique_ptr<MergeableEstimator> Clone() const override;
+  void Serialize(std::string* out) const override;
+  static std::unique_ptr<KmvF0> Deserialize(std::string_view data);
+
   size_t k() const { return k_; }
+  uint64_t seed() const { return seed_; }
 
  private:
+  // Offers one hash value to the bottom-k set (the Update() state
+  // transition, factored out so Merge/Deserialize share it).
+  void InsertHash(uint64_t h);
+
   size_t k_;
+  uint64_t seed_;
   KWiseHash hash_;  // 8-wise; 64 bytes of state, O(1) evaluation.
   // Max-heap of the k smallest hash values plus a membership set for O(1)
   // duplicate detection.

@@ -1,12 +1,98 @@
 #include "rs/sketch/misra_gries.h"
 
 #include <algorithm>
+#include <vector>
 
+#include "rs/io/wire.h"
 #include "rs/util/check.h"
 
 namespace rs {
 
 MisraGries::MisraGries(size_t k) : k_(k) { RS_CHECK(k >= 1); }
+
+bool MisraGries::CompatibleForMerge(const Estimator& other) const {
+  const auto* o = dynamic_cast<const MisraGries*>(&other);
+  return o != nullptr && o->k_ == k_;
+}
+
+void MisraGries::Merge(const Estimator& other) {
+  RS_CHECK_MSG(CompatibleForMerge(other),
+               "MisraGries::Merge: incompatible k");
+  const auto& o = *dynamic_cast<const MisraGries*>(&other);
+  for (const auto& [item, c] : o.counters_) counters_[item] += c;
+  f1_ += o.f1_;
+  decrements_ += o.decrements_;
+  if (counters_.size() > k_) {
+    // Subtract the (k+1)-th largest count from every counter and drop the
+    // non-positive ones: at most k survive, and every surviving counter's
+    // undercount grows by exactly that subtrahend (the Agarwal et al.
+    // mergeable-summaries step).
+    std::vector<int64_t> counts;
+    counts.reserve(counters_.size());
+    for (const auto& [item, c] : counters_) counts.push_back(c);
+    std::nth_element(counts.begin(), counts.begin() + k_, counts.end(),
+                     std::greater<>());
+    const int64_t sub = counts[k_];
+    decrements_ += sub;
+    for (auto it = counters_.begin(); it != counters_.end();) {
+      it->second -= sub;
+      if (it->second <= 0) {
+        it = counters_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+std::unique_ptr<MergeableEstimator> MisraGries::Clone() const {
+  return std::make_unique<MisraGries>(*this);
+}
+
+void MisraGries::Serialize(std::string* out) const {
+  WireWriter w(out);
+  w.Header(SketchKind::kMisraGries, /*seed=*/0);  // Deterministic: no seed.
+  w.U64(k_);
+  w.I64(f1_);
+  w.I64(decrements_);
+  std::vector<std::pair<uint64_t, int64_t>> sorted(counters_.begin(),
+                                                   counters_.end());
+  std::sort(sorted.begin(), sorted.end());
+  w.U64(sorted.size());
+  for (const auto& [item, c] : sorted) {
+    w.U64(item);
+    w.I64(c);
+  }
+}
+
+std::unique_ptr<MisraGries> MisraGries::Deserialize(std::string_view data) {
+  WireReader r(data);
+  SketchKind kind;
+  uint64_t seed;
+  if (!r.Header(&kind, &seed) || kind != SketchKind::kMisraGries) {
+    return nullptr;
+  }
+  const uint64_t k = r.U64();
+  const int64_t f1 = r.I64();
+  const int64_t decrements = r.I64();
+  const uint64_t count = r.U64();
+  // Division (not multiplication) bounds count by the bytes actually
+  // present, so a crafted header cannot wrap the check.
+  if (!r.ok() || k < 1 || count > k || count != r.remaining() / 16 ||
+      r.remaining() % 16 != 0) {
+    return nullptr;
+  }
+  auto sketch = std::make_unique<MisraGries>(static_cast<size_t>(k));
+  sketch->f1_ = f1;
+  sketch->decrements_ = decrements;
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint64_t item = r.U64();
+    const int64_t c = r.I64();
+    sketch->counters_.emplace(item, c);
+  }
+  if (!r.AtEnd()) return nullptr;
+  return sketch;
+}
 
 void MisraGries::Update(const rs::Update& u) {
   RS_CHECK_MSG(u.delta > 0, "MisraGries is insertion-only");

@@ -2,7 +2,9 @@
 #define RS_SKETCH_MISRA_GRIES_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -17,7 +19,13 @@ namespace rs {
 // it anchors the deterministic column of the heavy hitters Table 1 row
 // (the L2 guarantee, by contrast, requires randomization: Omega(sqrt n)
 // deterministic lower bound [26]).
-class MisraGries : public PointQueryEstimator {
+//
+// Mergeable (Agarwal et al., "Mergeable Summaries"): counter maps add, then
+// if more than k counters survive, the (k+1)-th largest count is subtracted
+// from every counter and non-positive ones are dropped. The merged summary
+// keeps the F1/(k+1) error bound, and F1 itself (our Estimate()) is exact.
+// No randomness, so any two instances with equal k are compatible.
+class MisraGries : public PointQueryEstimator, public MergeableEstimator {
  public:
   explicit MisraGries(size_t k);
 
@@ -27,6 +35,13 @@ class MisraGries : public PointQueryEstimator {
   std::vector<uint64_t> HeavyHitters(double threshold) const override;
   size_t SpaceBytes() const override;
   std::string Name() const override { return "MisraGries"; }
+
+  // MergeableEstimator: counter-sum-and-reduce.
+  bool CompatibleForMerge(const Estimator& other) const override;
+  void Merge(const Estimator& other) override;
+  std::unique_ptr<MergeableEstimator> Clone() const override;
+  void Serialize(std::string* out) const override;
+  static std::unique_ptr<MisraGries> Deserialize(std::string_view data);
 
   size_t k() const { return k_; }
   // Guaranteed bound on the undercount of PointQuery.

@@ -1,0 +1,85 @@
+#ifndef RS_SKETCH_POINT_QUERY_CANDIDATES_H_
+#define RS_SKETCH_POINT_QUERY_CANDIDATES_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "rs/io/wire.h"
+
+namespace rs {
+namespace internal {
+
+// Shared candidate-set machinery for the table-based point-query sketches
+// (CountSketch, CountMin): both keep an item -> cached-estimate map of the
+// current top candidates, and both need identical merge-time re-scoring and
+// canonical wire encoding. One implementation so a future change (tie
+// breaks, heap-size asymmetry rules) cannot silently diverge.
+
+// Re-scores the union of `mine` and `theirs` through `score` (a point query
+// against the already-merged table) and keeps the `heap_size` largest.
+template <typename ScoreFn>
+void MergeCandidates(std::unordered_map<uint64_t, double>* mine,
+                     const std::unordered_map<uint64_t, double>& theirs,
+                     size_t heap_size, ScoreFn score) {
+  std::vector<std::pair<double, uint64_t>> scored;
+  scored.reserve(mine->size() + theirs.size());
+  std::unordered_set<uint64_t> seen;
+  for (const auto& [item, cached] : *mine) {
+    if (seen.insert(item).second) scored.emplace_back(score(item), item);
+  }
+  for (const auto& [item, cached] : theirs) {
+    if (seen.insert(item).second) scored.emplace_back(score(item), item);
+  }
+  if (scored.size() > heap_size) {
+    std::partial_sort(scored.begin(), scored.begin() + heap_size,
+                      scored.end(), std::greater<>());
+    scored.resize(heap_size);
+  }
+  mine->clear();
+  for (const auto& [est, item] : scored) mine->emplace(item, est);
+}
+
+// Canonical (item-sorted) wire encoding, so equal candidate sets serialize
+// to equal bytes regardless of map iteration order.
+inline void SerializeCandidates(
+    WireWriter* w, const std::unordered_map<uint64_t, double>& candidates) {
+  std::vector<std::pair<uint64_t, double>> sorted(candidates.begin(),
+                                                  candidates.end());
+  std::sort(sorted.begin(), sorted.end());
+  w->U64(sorted.size());
+  for (const auto& [item, est] : sorted) {
+    w->U64(item);
+    w->F64(est);
+  }
+}
+
+// Reads a candidate section that must consume the rest of the buffer.
+// Returns false on malformed counts; the count is validated against the
+// bytes actually present by division (not multiplication), so a crafted
+// header can neither wrap the check nor force a huge allocation.
+inline bool DeserializeCandidates(
+    WireReader* r, uint64_t heap_size,
+    std::unordered_map<uint64_t, double>* out) {
+  const uint64_t count = r->U64();
+  if (!r->ok() || count > heap_size || count != r->remaining() / 16 ||
+      r->remaining() % 16 != 0) {
+    return false;
+  }
+  out->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint64_t item = r->U64();
+    const double est = r->F64();
+    out->emplace(item, est);
+  }
+  return true;
+}
+
+}  // namespace internal
+}  // namespace rs
+
+#endif  // RS_SKETCH_POINT_QUERY_CANDIDATES_H_

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "rs/io/wire.h"
 #include "rs/sketch/stable.h"
 #include "rs/util/check.h"
 #include "rs/util/rng.h"
@@ -11,6 +12,7 @@ namespace rs {
 
 PStableFp::PStableFp(const Config& config, uint64_t seed)
     : p_(config.p),
+      seed_(seed),
       table_(&StableSampleTable::Symmetric(config.p)),
       abs_median_(table_->AbsMedian()),
       hash_(seed) {
@@ -21,6 +23,57 @@ PStableFp::PStableFp(const Config& config, uint64_t seed)
     k = static_cast<size_t>(std::ceil(12.0 / (config.eps * config.eps)));
   }
   counters_.assign(std::max<size_t>(k, 3) | 1, 0.0);  // Odd => clean median.
+}
+
+bool PStableFp::CompatibleForMerge(const Estimator& other) const {
+  const auto* o = dynamic_cast<const PStableFp*>(&other);
+  return o != nullptr && o->p_ == p_ &&
+         o->counters_.size() == counters_.size() && o->seed_ == seed_;
+}
+
+void PStableFp::Merge(const Estimator& other) {
+  RS_CHECK_MSG(CompatibleForMerge(other),
+               "PStableFp::Merge: incompatible p, width, or seed");
+  const auto& o = *dynamic_cast<const PStableFp*>(&other);
+  for (size_t j = 0; j < counters_.size(); ++j) counters_[j] += o.counters_[j];
+}
+
+std::unique_ptr<MergeableEstimator> PStableFp::Clone() const {
+  return std::make_unique<PStableFp>(*this);
+}
+
+void PStableFp::Serialize(std::string* out) const {
+  WireWriter w(out);
+  w.Header(SketchKind::kPStableFp, seed_);
+  w.F64(p_);
+  w.U64(counters_.size());
+  for (double c : counters_) w.F64(c);
+}
+
+std::unique_ptr<PStableFp> PStableFp::Deserialize(std::string_view data) {
+  WireReader r(data);
+  SketchKind kind;
+  uint64_t seed;
+  if (!r.Header(&kind, &seed) || kind != SketchKind::kPStableFp) {
+    return nullptr;
+  }
+  const double p = r.F64();
+  const uint64_t k = r.U64();
+  // Division (not multiplication) bounds k by the bytes actually present,
+  // so a crafted header cannot wrap the check or force a huge allocation.
+  if (!r.ok() || !(p > 0.0 && p <= 2.0) || k < 3 || (k & 1) == 0 ||
+      k != r.remaining() / 8 || r.remaining() % 8 != 0) {
+    return nullptr;
+  }
+  // k was already >= 3 and odd at serialization time, so k_override
+  // round-trips the exact counter count through the public constructor.
+  Config config;
+  config.p = p;
+  config.k_override = static_cast<size_t>(k);
+  auto sketch = std::make_unique<PStableFp>(config, seed);
+  for (double& c : sketch->counters_) c = r.F64();
+  if (!r.AtEnd()) return nullptr;
+  return sketch;
 }
 
 void PStableFp::Update(const rs::Update& u) {

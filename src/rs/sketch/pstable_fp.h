@@ -2,7 +2,9 @@
 #define RS_SKETCH_PSTABLE_FP_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "rs/hash/tabulation.h"
@@ -30,7 +32,10 @@ namespace rs {
 //
 // This class is our substitute for the strong Lp tracking algorithm of [7]
 // (Lemma 2.2) and the small-space turnstile Fp algorithm of [27].
-class PStableFp : public Estimator {
+//
+// Mergeable: the measurements are linear in f, so instances with the same
+// p, counter count, and seed merge by adding counter vectors.
+class PStableFp : public MergeableEstimator {
  public:
   struct Config {
     double p = 1.0;      // Moment order, in (0, 2].
@@ -53,11 +58,20 @@ class PStableFp : public Estimator {
   size_t SpaceBytes() const override;
   std::string Name() const override { return "PStableFp"; }
 
+  // MergeableEstimator: counter addition; requires identical seeds.
+  bool CompatibleForMerge(const Estimator& other) const override;
+  void Merge(const Estimator& other) override;
+  std::unique_ptr<MergeableEstimator> Clone() const override;
+  void Serialize(std::string* out) const override;
+  static std::unique_ptr<PStableFp> Deserialize(std::string_view data);
+
   double p() const { return p_; }
   size_t k() const { return counters_.size(); }
+  uint64_t seed() const { return seed_; }
 
  private:
   double p_;
+  uint64_t seed_ = 0;
   const StableSampleTable* table_;  // Shared process-wide sample table.
   double abs_median_;  // median |S_p| normalization (per the table's law).
   TabulationHash hash_;

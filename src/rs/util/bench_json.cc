@@ -1,0 +1,101 @@
+#include "rs/util/bench_json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace rs {
+
+namespace {
+
+// JSON string escaping for the characters that can occur in table cells.
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// A cell is numeric when strtod consumes it entirely and yields a finite
+// value ("inf"/"nan" are not valid JSON numbers).
+bool AsNumber(const std::string& cell, double* value) {
+  if (cell.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(cell.c_str(), &end);
+  if (end != cell.c_str() + cell.size() || !std::isfinite(v)) return false;
+  *value = v;
+  return true;
+}
+
+void WriteCell(std::FILE* f, const std::string& cell) {
+  double v;
+  if (AsNumber(cell, &v)) {
+    std::fprintf(f, "%s", cell.c_str());
+  } else {
+    std::fprintf(f, "\"%s\"", Escape(cell).c_str());
+  }
+}
+
+}  // namespace
+
+std::string JsonPathFromArgs(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) return argv[i + 1];
+  }
+  return "";
+}
+
+bool WriteBenchJson(const std::string& path, const std::string& bench_name,
+                    const std::vector<std::string>& columns,
+                    const std::vector<std::vector<std::string>>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_json: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"columns\": [",
+               Escape(bench_name).c_str());
+  for (size_t i = 0; i < columns.size(); ++i) {
+    std::fprintf(f, "%s\"%s\"", i == 0 ? "" : ", ",
+                 Escape(columns[i]).c_str());
+  }
+  std::fprintf(f, "],\n  \"rows\": [\n");
+  for (size_t r = 0; r < rows.size(); ++r) {
+    std::fprintf(f, "    [");
+    for (size_t i = 0; i < rows[r].size(); ++i) {
+      if (i != 0) std::fprintf(f, ", ");
+      WriteCell(f, rows[r][i]);
+    }
+    std::fprintf(f, "]%s\n", r + 1 == rows.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace rs

@@ -1,0 +1,35 @@
+#ifndef RS_UTIL_BENCH_JSON_H_
+#define RS_UTIL_BENCH_JSON_H_
+
+#include <string>
+#include <vector>
+
+namespace rs {
+
+// Machine-readable output for the benchmark drivers: every driver accepts
+// `--json <path>` and, when given, mirrors its printed table into a JSON
+// file so benchmark runs accumulate into a perf trajectory instead of
+// scrolling away. The convention is one file per driver run, named
+// BENCH_<driver>.json by the caller.
+//
+// Format (one object per file):
+//   {
+//     "bench": "<driver name>",
+//     "columns": ["eps", "static KMV", ...],
+//     "rows": [[0.1, "1.2 KiB", ...], ...]
+//   }
+// Cells that parse fully as finite numbers are emitted as JSON numbers;
+// everything else is a JSON string.
+
+// Returns the value following a "--json" argument, or "" when absent.
+std::string JsonPathFromArgs(int argc, char** argv);
+
+// Writes the benchmark record to `path`. Returns false (after printing a
+// warning to stderr) if the file cannot be written.
+bool WriteBenchJson(const std::string& path, const std::string& bench_name,
+                    const std::vector<std::string>& columns,
+                    const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace rs
+
+#endif  // RS_UTIL_BENCH_JSON_H_

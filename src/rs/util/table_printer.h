@@ -27,6 +27,10 @@ class TablePrinter {
 
   void Print(const std::string& title) const;
 
+  // Raw access for the --json mirror (rs/util/bench_json.h).
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;

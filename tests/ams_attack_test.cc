@@ -101,8 +101,8 @@ TEST(AmsAttackTest, RobustF2SurvivesTheSameAdversary) {
   // identical adversary keeps (1 +- eps) accuracy. The adversary's feedback
   // channel sees only rounded, sticky outputs, so its "undercounted item"
   // inference collapses.
-  RobustFp::Config cfg;
-  cfg.p = 2.0;
+  RobustConfig cfg;
+  cfg.fp.p = 2.0;
   cfg.eps = 0.4;
   cfg.stream.n = 1 << 20;
   cfg.stream.m = 1 << 20;

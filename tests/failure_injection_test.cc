@@ -23,16 +23,16 @@ namespace {
 // --- Empty streams: every robust estimator answers without any input. ---
 
 TEST(FailureInjectionTest, EmptyStreamAnswersEverywhere) {
-  RobustF0::Config f0;
+  RobustConfig f0;
   f0.eps = 0.3;
   EXPECT_DOUBLE_EQ(RobustF0(f0, 1).Estimate(), 0.0);
 
-  RobustFp::Config fp;
-  fp.p = 2.0;
+  RobustConfig fp;
+  fp.fp.p = 2.0;
   fp.eps = 0.3;
   EXPECT_DOUBLE_EQ(RobustFp(fp, 2).Estimate(), 0.0);
 
-  RobustHeavyHitters::Config hh;
+  RobustConfig hh;
   hh.eps = 0.3;
   RobustHeavyHitters hh_alg(hh, 3);
   EXPECT_DOUBLE_EQ(hh_alg.Estimate(), 0.0);
@@ -43,10 +43,10 @@ TEST(FailureInjectionTest, EmptyStreamAnswersEverywhere) {
 // --- All-duplicate streams: F0 stays pinned at 1. ---
 
 TEST(FailureInjectionTest, AllDuplicateStreamF0IsOne) {
-  RobustF0::Config cfg;
+  RobustConfig cfg;
   cfg.eps = 0.3;
-  cfg.n = 1 << 10;
-  cfg.m = 1 << 14;
+  cfg.stream.n = 1 << 10;
+  cfg.stream.m = 1 << 14;
   RobustF0 alg(cfg, 5);
   for (int i = 0; i < 5000; ++i) alg.Update({7, 1});
   EXPECT_NEAR(alg.Estimate(), 1.0, 0.3);
@@ -135,11 +135,12 @@ TEST(FailureInjectionTest, UndersizedPoolRaisesExhausted) {
 }
 
 TEST(FailureInjectionTest, EntropyPoolExhaustionReported) {
-  RobustEntropy::Config cfg;
+  RobustConfig cfg;
   cfg.eps = 0.2;
-  cfg.pool_cap = 2;  // Deliberately absurd.
-  cfg.n = 1 << 10;
-  cfg.m = 1 << 14;
+  cfg.entropy.pool_cap = 2;  // Deliberately absurd.
+  cfg.stream.n = 1 << 10;
+  cfg.stream.m = 1 << 14;
+  cfg.stream.max_frequency = uint64_t{1} << 20;
   RobustEntropy alg(cfg, 11);
   // Entropy swings: uniform then bursty then uniform again.
   for (uint64_t i = 0; i < 2000; ++i) alg.Update({i % 256, 1});
@@ -151,8 +152,8 @@ TEST(FailureInjectionTest, EntropyPoolExhaustionReported) {
 // --- Saturated frequencies: huge deltas on one item don't break tracking. --
 
 TEST(FailureInjectionTest, LargeDeltasStayFinite) {
-  RobustFp::Config cfg;
-  cfg.p = 2.0;
+  RobustConfig cfg;
+  cfg.fp.p = 2.0;
   cfg.eps = 0.4;
   RobustFp alg(cfg, 13);
   for (int i = 0; i < 50; ++i) alg.Update({1, int64_t{1} << 20});

@@ -128,8 +128,8 @@ TEST(F2DriftAttackTest, DegradesPlainAmsMedians) {
 }
 
 TEST(F2DriftAttackTest, RobustF2Survives) {
-  RobustFp::Config cfg;
-  cfg.p = 2.0;
+  RobustConfig cfg;
+  cfg.fp.p = 2.0;
   cfg.eps = 0.4;
   cfg.stream.n = 1 << 20;
   cfg.stream.m = 1 << 20;
@@ -195,10 +195,10 @@ TEST(PointQueryCollisionTest, RobustHeavyHittersSurvives) {
   // finds nothing and the guarantee holds.
   int losses = 0;
   for (int trial = 0; trial < 3; ++trial) {
-    RobustHeavyHitters::Config cfg;
+    RobustConfig cfg;
     cfg.eps = 0.25;
-    cfg.n = 1 << 20;
-    cfg.m = 1 << 20;
+    cfg.stream.n = 1 << 20;
+    cfg.stream.m = 1 << 20;
     RobustHeavyHitters hh(cfg, 800 + trial);
     PointQueryView view(&hh, /*target=*/1);
     PointQueryCollisionAttack attack({.target = 1});

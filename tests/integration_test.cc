@@ -22,10 +22,10 @@ namespace rs {
 namespace {
 
 TEST(IntegrationTest, RobustF0UnderObliviousGameHarness) {
-  RobustF0::Config cfg;
+  RobustConfig cfg;
   cfg.eps = 0.3;
-  cfg.n = 1 << 20;
-  cfg.m = 1 << 20;
+  cfg.stream.n = 1 << 20;
+  cfg.stream.m = 1 << 20;
   RobustF0 alg(cfg, 3);
   ObliviousAdversary adv(DistinctGrowthStream(20000));
   GameOptions options;
@@ -63,10 +63,10 @@ TEST(IntegrationTest, RobustF0VersusAdaptiveProbeAdversary) {
     uint64_t next_fresh_ = 0;
   };
 
-  RobustF0::Config cfg;
+  RobustConfig cfg;
   cfg.eps = 0.3;
-  cfg.n = 1 << 20;
-  cfg.m = 1 << 20;
+  cfg.stream.n = 1 << 20;
+  cfg.stream.m = 1 << 20;
   RobustF0 alg(cfg, 7);
   StalenessProbe adversary;
   GameOptions options;
@@ -113,10 +113,10 @@ TEST(IntegrationTest, StaticKmvDriftsUnderStalenessAttackButRobustDoesNot) {
   FreshOnMoveAdversary a1;
   const auto plain_result = RunGame(plain, a1, TruthF0(), options);
 
-  RobustF0::Config cfg;
+  RobustConfig cfg;
   cfg.eps = 0.3;
-  cfg.n = 1 << 20;
-  cfg.m = 1 << 20;
+  cfg.stream.n = 1 << 20;
+  cfg.stream.m = 1 << 20;
   RobustF0 robust(cfg, 11);
   FreshOnMoveAdversary a2;
   const auto robust_result = RunGame(robust, a2, TruthF0(), options);
@@ -131,10 +131,10 @@ TEST(IntegrationTest, HeavyHittersPipelineOnDriftingWorkload) {
   // Planted heavies change mid-stream; the robust HH tracker must pick up
   // the new heavies after the switch.
   const uint64_t n = 1 << 14;
-  RobustHeavyHitters::Config cfg;
+  RobustConfig cfg;
   cfg.eps = 0.2;
-  cfg.n = n;
-  cfg.m = 1 << 16;
+  cfg.stream.n = n;
+  cfg.stream.m = 1 << 16;
   RobustHeavyHitters hh(cfg, 13);
   ExactOracle oracle;
   const auto phase1 = PlantedHeavyHitterStream(n, 8000, 3, 0.7, 41);
@@ -175,14 +175,14 @@ TEST(IntegrationTest, CryptoF0InGameHarness) {
 TEST(IntegrationTest, RobustFpAcrossModelsConsistency) {
   // The same uniform stream through robust F1 and robust F2; both inside
   // their envelopes simultaneously.
-  RobustFp::Config f1_cfg;
-  f1_cfg.p = 1.0;
+  RobustConfig f1_cfg;
+  f1_cfg.fp.p = 1.0;
   f1_cfg.eps = 0.4;
   f1_cfg.stream.n = 1 << 16;
   f1_cfg.stream.m = 1 << 16;
   RobustFp f1(f1_cfg, 19);
-  RobustFp::Config f2_cfg = f1_cfg;
-  f2_cfg.p = 2.0;
+  RobustConfig f2_cfg = f1_cfg;
+  f2_cfg.fp.p = 2.0;
   RobustFp f2(f2_cfg, 23);
   ExactOracle oracle;
   for (const auto& u : UniformStream(1 << 8, 2000, 29)) {

@@ -1,0 +1,435 @@
+// Property tests for the MergeableEstimator contract (rs/sketch/estimator.h)
+// across all eight mergeable sketches:
+//   * merge algebra — commutativity and associativity of Merge at the
+//     estimate level, and Merge(a, b) equals one sketch over the
+//     concatenated stream;
+//   * wire format — serialize -> deserialize -> estimate round trips with
+//     bit-exact state (re-serialization is byte-identical), and the
+//     rs/io/sketch_codec.h dispatcher rejects malformed buffers.
+//
+// Linear sketches accumulate doubles, so stream-split identities hold up to
+// floating-point re-association; order-statistics and counter-based sketches
+// are exact. The round trip is bit-exact for every kind.
+
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "rs/io/sketch_codec.h"
+#include "rs/io/wire.h"
+#include "rs/sketch/ams_f2.h"
+#include "rs/sketch/countmin.h"
+#include "rs/sketch/countsketch.h"
+#include "rs/sketch/entropy_sketch.h"
+#include "rs/sketch/estimator.h"
+#include "rs/sketch/hll_f0.h"
+#include "rs/sketch/kmv_f0.h"
+#include "rs/sketch/misra_gries.h"
+#include "rs/sketch/pstable_fp.h"
+#include "rs/stream/generators.h"
+
+namespace rs {
+namespace {
+
+struct SketchCase {
+  std::string name;
+  // Builds one instance; equal seeds must produce merge-compatible
+  // instances.
+  std::function<std::unique_ptr<MergeableEstimator>(uint64_t)> make;
+  // True when split-stream identities hold exactly (set/max/integer-counter
+  // state); false for double-accumulating linear sketches, which re-order
+  // floating-point additions across a merge.
+  bool exact;
+};
+
+std::vector<SketchCase> AllCases() {
+  return {
+      {"KmvF0",
+       [](uint64_t seed) {
+         return std::make_unique<KmvF0>(KmvF0::Config{.k = 64}, seed);
+       },
+       true},
+      {"HllF0",
+       [](uint64_t seed) { return std::make_unique<HllF0>(10, seed); },
+       true},
+      {"AmsF2",
+       [](uint64_t seed) {
+         return std::make_unique<AmsF2>(
+             AmsF2::Config{.eps = 0.3, .delta = 0.1}, seed);
+       },
+       false},
+      {"CountSketch",
+       [](uint64_t seed) {
+         return std::make_unique<CountSketch>(
+             CountSketch::Config{.eps = 0.2, .delta = 0.05, .heap_size = 16},
+             seed);
+       },
+       false},
+      {"CountMin",
+       [](uint64_t seed) {
+         return std::make_unique<CountMin>(
+             CountMin::Config{.eps = 0.05, .delta = 0.05, .heap_size = 16},
+             seed);
+       },
+       true},  // Estimate() is F1: integer-valued sums, exact in double.
+      {"MisraGries",
+       [](uint64_t seed) {
+         (void)seed;  // Deterministic algorithm.
+         return std::make_unique<MisraGries>(24);
+       },
+       true},
+      {"PStableFp",
+       [](uint64_t seed) {
+         return std::make_unique<PStableFp>(
+             PStableFp::Config{.p = 1.5, .eps = 0.3}, seed);
+       },
+       false},
+      {"EntropySketch",
+       [](uint64_t seed) {
+         return std::make_unique<EntropySketch>(
+             EntropySketch::Config{.eps = 0.5}, seed);
+       },
+       false},
+  };
+}
+
+void Feed(Estimator& sketch, const Stream& stream) {
+  for (const auto& u : stream) sketch.Update(u);
+}
+
+void ExpectEstimateEq(const SketchCase& c, double expected, double actual) {
+  if (c.exact) {
+    EXPECT_DOUBLE_EQ(expected, actual) << c.name;
+  } else {
+    EXPECT_NEAR(expected, actual,
+                1e-9 * (std::fabs(expected) + 1.0))
+        << c.name;
+  }
+}
+
+class MergeableSketchTest : public ::testing::TestWithParam<SketchCase> {};
+
+TEST_P(MergeableSketchTest, MergeEqualsConcatenatedStream) {
+  const SketchCase& c = GetParam();
+  const Stream a = UniformStream(1 << 12, 4000, 101);
+  const Stream b = UniformStream(1 << 12, 6000, 202);
+  Stream concat = a;
+  concat.insert(concat.end(), b.begin(), b.end());
+
+  auto sa = c.make(7);
+  auto sb = c.make(7);
+  auto full = c.make(7);
+  Feed(*sa, a);
+  Feed(*sb, b);
+  Feed(*full, concat);
+
+  ASSERT_TRUE(sa->CompatibleForMerge(*sb)) << c.name;
+  sa->Merge(*sb);
+  ExpectEstimateEq(c, full->Estimate(), sa->Estimate());
+}
+
+TEST_P(MergeableSketchTest, MergeIsCommutative) {
+  const SketchCase& c = GetParam();
+  const Stream a = UniformStream(1 << 12, 3000, 11);
+  const Stream b = UniformStream(1 << 12, 3000, 22);
+
+  auto ab = c.make(9);
+  auto ab_other = c.make(9);
+  auto ba = c.make(9);
+  auto ba_other = c.make(9);
+  Feed(*ab, a);
+  Feed(*ab_other, b);
+  Feed(*ba, b);
+  Feed(*ba_other, a);
+
+  ab->Merge(*ab_other);
+  ba->Merge(*ba_other);
+  ExpectEstimateEq(c, ab->Estimate(), ba->Estimate());
+}
+
+TEST_P(MergeableSketchTest, MergeIsAssociative) {
+  const SketchCase& c = GetParam();
+  const Stream a = UniformStream(1 << 12, 2000, 31);
+  const Stream b = UniformStream(1 << 12, 2000, 32);
+  const Stream d = UniformStream(1 << 12, 2000, 33);
+
+  // (a + b) + d.
+  auto left = c.make(13);
+  auto left_b = c.make(13);
+  auto left_d = c.make(13);
+  Feed(*left, a);
+  Feed(*left_b, b);
+  Feed(*left_d, d);
+  left->Merge(*left_b);
+  left->Merge(*left_d);
+
+  // a + (b + d).
+  auto right = c.make(13);
+  auto right_b = c.make(13);
+  auto right_d = c.make(13);
+  Feed(*right, a);
+  Feed(*right_b, b);
+  Feed(*right_d, d);
+  right_b->Merge(*right_d);
+  right->Merge(*right_b);
+
+  ExpectEstimateEq(c, left->Estimate(), right->Estimate());
+}
+
+TEST_P(MergeableSketchTest, CloneIsIndependentAndEquivalent) {
+  const SketchCase& c = GetParam();
+  const Stream a = UniformStream(1 << 12, 3000, 41);
+  const Stream b = UniformStream(1 << 12, 3000, 42);
+
+  auto original = c.make(17);
+  Feed(*original, a);
+  auto clone = original->Clone();
+  EXPECT_DOUBLE_EQ(original->Estimate(), clone->Estimate()) << c.name;
+
+  // Diverge the clone; the original must not move.
+  const double before = original->Estimate();
+  Feed(*clone, b);
+  EXPECT_DOUBLE_EQ(before, original->Estimate()) << c.name;
+  EXPECT_TRUE(original->CompatibleForMerge(*clone)) << c.name;
+}
+
+TEST_P(MergeableSketchTest, SerializeRoundTripIsBitExact) {
+  const SketchCase& c = GetParam();
+  const Stream a = UniformStream(1 << 12, 5000, 51);
+
+  auto original = c.make(23);
+  Feed(*original, a);
+
+  std::string wire;
+  original->Serialize(&wire);
+  ASSERT_FALSE(wire.empty()) << c.name;
+
+  auto restored = DeserializeSketch(wire);
+  ASSERT_NE(restored, nullptr) << c.name;
+  EXPECT_EQ(original->Name(), restored->Name()) << c.name;
+  // Estimates agree exactly: deserialization restores the exact bits.
+  EXPECT_DOUBLE_EQ(original->Estimate(), restored->Estimate()) << c.name;
+
+  // Bit-exact state: re-serialization is byte-identical.
+  std::string rewire;
+  restored->Serialize(&rewire);
+  EXPECT_EQ(wire, rewire) << c.name;
+
+  // The restored sketch is a live, compatible instance: it can keep
+  // consuming updates and merging with the original's lineage.
+  EXPECT_TRUE(restored->CompatibleForMerge(*original)) << c.name;
+  restored->Merge(*original);
+}
+
+TEST_P(MergeableSketchTest, DeserializeRejectsCorruptBuffers) {
+  const SketchCase& c = GetParam();
+  auto original = c.make(29);
+  Feed(*original, UniformStream(1 << 10, 500, 61));
+
+  std::string wire;
+  original->Serialize(&wire);
+
+  // Truncations at every prefix length must fail cleanly, not crash.
+  for (size_t len : {size_t{0}, size_t{3}, size_t{11}, wire.size() / 2,
+                     wire.size() - 1}) {
+    EXPECT_EQ(DeserializeSketch(std::string_view(wire).substr(0, len)),
+              nullptr)
+        << c.name << " len=" << len;
+  }
+  // Trailing garbage.
+  std::string padded = wire + "x";
+  EXPECT_EQ(DeserializeSketch(padded), nullptr) << c.name;
+  // Bad magic.
+  std::string bad_magic = wire;
+  bad_magic[0] = 'X';
+  EXPECT_EQ(DeserializeSketch(bad_magic), nullptr) << c.name;
+  // Unknown version.
+  std::string bad_version = wire;
+  bad_version[4] = static_cast<char>(0x7F);
+  EXPECT_EQ(DeserializeSketch(bad_version), nullptr) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMergeable, MergeableSketchTest, ::testing::ValuesIn(AllCases()),
+    [](const ::testing::TestParamInfo<SketchCase>& info) {
+      return info.param.name;
+    });
+
+TEST(MergeCompatibility, RejectsShapeAndSeedMismatches) {
+  // Linear sketches: identical shape but different seeds must be rejected
+  // (the random projections disagree; adding their states is meaningless).
+  CountSketch cs_a({.eps = 0.2, .delta = 0.05, .heap_size = 8}, 1);
+  CountSketch cs_b({.eps = 0.2, .delta = 0.05, .heap_size = 8}, 2);
+  EXPECT_FALSE(cs_a.CompatibleForMerge(cs_b));
+
+  AmsF2 ams_a({.eps = 0.3, .delta = 0.1}, 1);
+  AmsF2 ams_b({.eps = 0.3, .delta = 0.1}, 2);
+  EXPECT_FALSE(ams_a.CompatibleForMerge(ams_b));
+
+  PStableFp ps_a({.p = 1.0, .eps = 0.3}, 1);
+  PStableFp ps_b({.p = 1.0, .eps = 0.3}, 2);
+  EXPECT_FALSE(ps_a.CompatibleForMerge(ps_b));
+  PStableFp ps_p2({.p = 2.0, .eps = 0.3}, 1);
+  EXPECT_FALSE(ps_a.CompatibleForMerge(ps_p2));  // Different p.
+
+  EntropySketch ent_a({.eps = 0.5}, 1);
+  EntropySketch ent_b({.eps = 0.5}, 2);
+  EXPECT_FALSE(ent_a.CompatibleForMerge(ent_b));
+
+  CountMin cm_a({.eps = 0.05, .delta = 0.05, .heap_size = 8}, 1);
+  CountMin cm_b({.eps = 0.05, .delta = 0.05, .heap_size = 8}, 2);
+  EXPECT_FALSE(cm_a.CompatibleForMerge(cm_b));
+
+  // Order-statistics sketches merge across seeds (union/max of retained
+  // statistics), but never across shapes.
+  KmvF0 kmv_a({.k = 64}, 1);
+  KmvF0 kmv_b({.k = 64}, 2);
+  KmvF0 kmv_small({.k = 32}, 1);
+  EXPECT_TRUE(kmv_a.CompatibleForMerge(kmv_b));
+  EXPECT_FALSE(kmv_a.CompatibleForMerge(kmv_small));
+
+  HllF0 hll_a(10, 1);
+  HllF0 hll_b(10, 2);
+  HllF0 hll_small(8, 1);
+  EXPECT_TRUE(hll_a.CompatibleForMerge(hll_b));
+  EXPECT_FALSE(hll_a.CompatibleForMerge(hll_small));
+
+  // Cross-kind merges are always incompatible.
+  EXPECT_FALSE(kmv_a.CompatibleForMerge(hll_a));
+  EXPECT_FALSE(cs_a.CompatibleForMerge(cm_a));
+
+  MisraGries mg_a(10);
+  MisraGries mg_b(12);
+  EXPECT_FALSE(mg_a.CompatibleForMerge(mg_b));
+}
+
+TEST(MergeSemantics, KmvUnionMatchesDistinctUnion) {
+  // Two disjoint substreams with same-seed sketches: the merged KMV holds
+  // the k smallest hashes of the union — identical to one sketch that saw
+  // everything, and still duplicate-insensitive afterwards.
+  KmvF0 left({.k = 128}, 5);
+  KmvF0 right({.k = 128}, 5);
+  KmvF0 full({.k = 128}, 5);
+  for (uint64_t i = 0; i < 400; ++i) {
+    left.Update({i, 1});
+    full.Update({i, 1});
+  }
+  for (uint64_t i = 400; i < 900; ++i) {
+    right.Update({i, 1});
+    full.Update({i, 1});
+  }
+  left.Merge(right);
+  EXPECT_DOUBLE_EQ(full.Estimate(), left.Estimate());
+  // Re-inserting already-merged items changes nothing.
+  const double before = left.Estimate();
+  for (uint64_t i = 0; i < 900; ++i) left.Update({i, 1});
+  EXPECT_DOUBLE_EQ(before, left.Estimate());
+}
+
+TEST(MergeSemantics, MisraGriesMergePreservesErrorBound) {
+  // Merged MG keeps the F1/(k+1) undercount bound on point queries.
+  const size_t k = 16;
+  MisraGries left(k);
+  MisraGries right(k);
+  const Stream a = ZipfStream(1 << 10, 8000, 1.2, 71);
+  const Stream b = ZipfStream(1 << 10, 8000, 1.2, 72);
+  std::unordered_map<uint64_t, int64_t> truth;
+  for (const auto& u : a) {
+    left.Update(u);
+    truth[u.item] += u.delta;
+  }
+  for (const auto& u : b) {
+    right.Update(u);
+    truth[u.item] += u.delta;
+  }
+  left.Merge(right);
+  const double bound = left.Estimate() / static_cast<double>(k + 1);
+  for (const auto& [item, f] : truth) {
+    const double est = left.PointQuery(item);
+    EXPECT_LE(est, static_cast<double>(f) + 1e-9);
+    EXPECT_GE(est, static_cast<double>(f) - bound - 1e-9);
+  }
+}
+
+TEST(SketchCodec, RejectsOverflowingShapeFields) {
+  // Crafted headers whose u64 shape fields would wrap size computations or
+  // drive enormous allocations must yield nullptr, not an abort — the
+  // codec contract for untrusted bytes.
+  {
+    // AmsF2 with groups * per_group * 8 wrapping to 0 mod 2^64.
+    std::string wire;
+    WireWriter w(&wire);
+    w.Header(SketchKind::kAmsF2, 1);
+    w.U64(uint64_t{1} << 61);  // groups
+    w.U64(4);                  // per_group: product * 8 == 0 mod 2^64
+    EXPECT_EQ(DeserializeSketch(wire), nullptr);
+  }
+  {
+    // KmvF0 claiming 2^60 members with an empty tail.
+    std::string wire;
+    WireWriter w(&wire);
+    w.Header(SketchKind::kKmvF0, 1);
+    w.U64(uint64_t{1} << 61);  // k
+    w.U64(uint64_t{1} << 60);  // count: count * 8 would wrap
+    EXPECT_EQ(DeserializeSketch(wire), nullptr);
+  }
+  {
+    // PStableFp with k * 8 wrapping to 8 (k odd, >= 3).
+    std::string wire;
+    WireWriter w(&wire);
+    w.Header(SketchKind::kPStableFp, 1);
+    w.F64(1.0);                       // p
+    w.U64((uint64_t{1} << 61) + 1);   // k
+    w.U64(0);                         // one bogus 8-byte "counter"
+    EXPECT_EQ(DeserializeSketch(wire), nullptr);
+  }
+  {
+    // CountSketch with rows * width wrapping and a huge candidate count.
+    std::string wire;
+    WireWriter w(&wire);
+    w.Header(SketchKind::kCountSketch, 1);
+    w.U64(uint64_t{1} << 32);  // rows
+    w.U64(uint64_t{1} << 32);  // width: product wraps to 0
+    w.U64(uint64_t{1} << 62);  // heap_size
+    EXPECT_EQ(DeserializeSketch(wire), nullptr);
+  }
+  {
+    // MisraGries claiming 2^60 counters.
+    std::string wire;
+    WireWriter w(&wire);
+    w.Header(SketchKind::kMisraGries, 0);
+    w.U64(uint64_t{1} << 61);  // k
+    w.I64(0);                  // f1
+    w.I64(0);                  // decrements
+    w.U64(uint64_t{1} << 60);  // count: count * 16 would wrap
+    EXPECT_EQ(DeserializeSketch(wire), nullptr);
+  }
+  {
+    // EntropySketch with k * 8 wrapping.
+    std::string wire;
+    WireWriter w(&wire);
+    w.Header(SketchKind::kEntropySketch, 1);
+    w.U64(uint64_t{1} << 61);  // k
+    w.U8(0);                   // random_oracle_model
+    w.I64(0);                  // f1
+    EXPECT_EQ(DeserializeSketch(wire), nullptr);
+  }
+}
+
+TEST(SketchCodec, PeekReportsKindAndSeed) {
+  KmvF0 kmv({.k = 32}, 12345);
+  std::string wire;
+  kmv.Serialize(&wire);
+  SketchKind kind;
+  uint64_t seed;
+  ASSERT_TRUE(PeekSketchHeader(wire, &kind, &seed));
+  EXPECT_EQ(kind, SketchKind::kKmvF0);
+  EXPECT_EQ(seed, 12345u);
+}
+
+}  // namespace
+}  // namespace rs

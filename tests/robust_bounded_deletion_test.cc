@@ -12,11 +12,10 @@
 namespace rs {
 namespace {
 
-RobustBoundedDeletionFp::Config MakeConfig(double p, double alpha,
-                                           double eps) {
-  RobustBoundedDeletionFp::Config c;
-  c.p = p;
-  c.alpha = alpha;
+RobustConfig MakeConfig(double p, double alpha, double eps) {
+  RobustConfig c;
+  c.fp.p = p;
+  c.bounded_deletion.alpha = alpha;
   c.eps = eps;
   c.delta = 0.05;
   c.stream.n = 1 << 14;

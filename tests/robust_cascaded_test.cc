@@ -13,14 +13,14 @@
 namespace rs {
 namespace {
 
-RobustCascadedNorm::Config MakeConfig(double p, double k, double eps) {
-  RobustCascadedNorm::Config c;
-  c.p = p;
-  c.k = k;
+RobustConfig MakeConfig(double p, double k, double eps) {
+  RobustConfig c;
+  c.cascaded.p = p;
+  c.cascaded.k = k;
   c.eps = eps;
-  c.shape = {.rows = 128, .cols = 64};
-  c.max_entry = 1 << 16;
-  c.rate = 0.5;
+  c.cascaded.shape = {.rows = 128, .cols = 64};
+  c.stream.max_frequency = 1 << 16;  // Entry bound M.
+  c.cascaded.rate = 0.5;
   return c;
 }
 
@@ -62,13 +62,13 @@ TEST(RobustCascadedTest, TracksUniformMatrixStream) {
     CascadedRowSample::Config exact_cfg;
     exact_cfg.p = 2.0;
     exact_cfg.k = 1.0;
-    exact_cfg.shape = cfg.shape;
+    exact_cfg.shape = cfg.cascaded.shape;
     exact_cfg.rate = 1.0;
     CascadedRowSample exact(exact_cfg, 1);
     double max_err = 0.0;
     size_t t = 0;
     for (const auto& u :
-         MatrixUniformStream(cfg.shape.rows, cfg.shape.cols, 20000,
+         MatrixUniformStream(cfg.cascaded.shape.rows, cfg.cascaded.shape.cols, 20000,
                              seed + 41)) {
       robust.Update(u);
       exact.Update(u);
@@ -92,10 +92,10 @@ TEST(RobustCascadedTest, TracksSkewedRowBurstStream) {
   for (uint64_t seed = 0; seed < 5; ++seed) {
     RobustCascadedNorm robust(cfg, seed * 17 + 3);
     const Stream stream = MatrixRowBurstStream(
-        cfg.shape.rows, cfg.shape.cols, 20000, 4, 0.5, seed + 53);
+        cfg.cascaded.shape.rows, cfg.cascaded.shape.cols, 20000, 4, 0.5, seed + 53);
     for (const auto& u : stream) robust.Update(u);
     const double exact =
-        ExactNorm(stream, cfg.shape, 2.0, 1.0, stream.size());
+        ExactNorm(stream, cfg.cascaded.shape, 2.0, 1.0, stream.size());
     final_errors.push_back(RelativeError(robust.Estimate(), exact));
   }
   EXPECT_LE(Median(final_errors), eps * 1.5);
@@ -105,7 +105,7 @@ TEST(RobustCascadedTest, OutputChangesWithinFlipBudget) {
   auto cfg = MakeConfig(2.0, 1.0, 0.25);
   RobustCascadedNorm robust(cfg, 7);
   for (const auto& u :
-       MatrixUniformStream(cfg.shape.rows, cfg.shape.cols, 30000, 61)) {
+       MatrixUniformStream(cfg.cascaded.shape.rows, cfg.cascaded.shape.cols, 30000, 61)) {
     robust.Update(u);
   }
   // Lemma 3.3 budget for the *norm* (flip number of the moment covers it).
@@ -117,13 +117,13 @@ TEST(RobustCascadedTest, FlipNumberMatchesProposition34Formula) {
   auto cfg = MakeConfig(2.0, 1.0, 0.2);
   RobustCascadedNorm robust(cfg, 9);
   EXPECT_EQ(robust.flip_number(),
-            CascadedNormFlipNumber(0.2, cfg.shape.rows, cfg.shape.cols,
-                                   cfg.max_entry, 2.0, 1.0));
+            CascadedNormFlipNumber(0.2, cfg.cascaded.shape.rows, cfg.cascaded.shape.cols,
+                                   cfg.stream.max_frequency, 2.0, 1.0));
   // The norm (p = 2) flips about half as often as the moment over the same
   // range; for quasi-norms (p < 1) the inequality reverses.
   EXPECT_LE(robust.flip_number(),
-            CascadedMomentFlipNumber(0.2, cfg.shape.rows, cfg.shape.cols,
-                                     cfg.max_entry, 2.0, 1.0));
+            CascadedMomentFlipNumber(0.2, cfg.cascaded.shape.rows, cfg.cascaded.shape.cols,
+                                     cfg.stream.max_frequency, 2.0, 1.0));
   EXPECT_GE(CascadedNormFlipNumber(0.2, 128, 64, 1 << 16, 0.5, 1.0),
             CascadedMomentFlipNumber(0.2, 128, 64, 1 << 16, 0.5, 1.0) / 2);
 }
@@ -135,14 +135,14 @@ TEST(RobustCascadedTest, QuasiNormPoolTracksAndReportsExhaustion) {
   // run at a higher sampling rate. On a short stream the pool must not
   // exhaust and still track within a loose envelope.
   auto cfg = MakeConfig(0.5, 1.0, 0.4);
-  cfg.rate = 0.75;
-  cfg.pool_cap = 512;
+  cfg.cascaded.rate = 0.75;
+  cfg.cascaded.pool_cap = 512;
   RobustCascadedNorm robust(cfg, 11);
   const Stream stream =
-      MatrixUniformStream(cfg.shape.rows, cfg.shape.cols, 8000, 71);
+      MatrixUniformStream(cfg.cascaded.shape.rows, cfg.cascaded.shape.cols, 8000, 71);
   for (const auto& u : stream) robust.Update(u);
   EXPECT_FALSE(robust.exhausted());
-  const double exact = ExactNorm(stream, cfg.shape, 0.5, 1.0, stream.size());
+  const double exact = ExactNorm(stream, cfg.cascaded.shape, 0.5, 1.0, stream.size());
   EXPECT_LE(RelativeError(robust.Estimate(), exact), 0.6);
 }
 
@@ -150,7 +150,7 @@ TEST(RobustCascadedTest, MomentEstimateIsNormToTheP) {
   auto cfg = MakeConfig(2.0, 1.0, 0.3);
   RobustCascadedNorm robust(cfg, 13);
   for (const auto& u :
-       MatrixUniformStream(cfg.shape.rows, cfg.shape.cols, 4000, 73)) {
+       MatrixUniformStream(cfg.cascaded.shape.rows, cfg.cascaded.shape.cols, 4000, 73)) {
     robust.Update(u);
   }
   EXPECT_NEAR(robust.MomentEstimate(),

@@ -12,13 +12,14 @@
 namespace rs {
 namespace {
 
-RobustEntropy::Config MakeConfig(double eps) {
-  RobustEntropy::Config c;
+RobustConfig MakeConfig(double eps) {
+  RobustConfig c;
   c.eps = eps;
   c.delta = 0.05;
-  c.n = 1 << 10;
-  c.m = 1 << 14;
-  c.pool_cap = 64;
+  c.stream.n = 1 << 10;
+  c.stream.m = 1 << 14;
+  c.stream.max_frequency = uint64_t{1} << 20;
+  c.entropy.pool_cap = 64;
   return c;
 }
 
@@ -92,7 +93,7 @@ TEST(RobustEntropyTest, RandomOracleAccountingIsSmaller) {
   // charged; the estimates must be identical, the footprint must not be.
   auto cfg = MakeConfig(0.4);
   RobustEntropy general(cfg, 17);
-  cfg.random_oracle_model = true;
+  cfg.entropy.random_oracle_model = true;
   RobustEntropy oracle_model(cfg, 17);
   for (const auto& u : UniformStream(128, 1500, 19)) {
     general.Update(u);

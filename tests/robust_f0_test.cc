@@ -13,12 +13,12 @@
 namespace rs {
 namespace {
 
-RobustF0::Config MakeConfig(double eps, RobustF0::Method method) {
-  RobustF0::Config c;
+RobustConfig MakeConfig(double eps, RobustF0::Method method) {
+  RobustConfig c;
   c.eps = eps;
   c.delta = 0.05;
-  c.n = 1 << 20;
-  c.m = 1 << 20;
+  c.stream.n = 1 << 20;
+  c.stream.m = 1 << 20;
   c.method = method;
   return c;
 }

@@ -12,9 +12,9 @@
 namespace rs {
 namespace {
 
-RobustFp::Config MakeConfig(double p, double eps, RobustFp::Method method) {
-  RobustFp::Config c;
-  c.p = p;
+RobustConfig MakeConfig(double p, double eps, RobustFp::Method method) {
+  RobustConfig c;
+  c.fp.p = p;
   c.eps = eps;
   c.delta = 0.05;
   c.stream.n = 1 << 16;
@@ -71,7 +71,7 @@ TEST(RobustFpTest, ComputationPathsSmallDeltaRegime) {
 TEST(RobustFpTest, TurnstileLambdaBounded) {
   // Theorem 4.3: waves of inserts/deletes with promised flip number.
   auto cfg = MakeConfig(2.0, 0.5, RobustFp::Method::kComputationPaths);
-  cfg.lambda_override = 256;
+  cfg.fp.lambda_override = 256;
   RobustFp alg(cfg, 7);
   ExactOracle oracle;
   double max_err = 0.0;
@@ -89,8 +89,8 @@ TEST(RobustFpTest, TurnstileLambdaBounded) {
 TEST(RobustFpTest, HighPWithCalibratedSampling) {
   auto cfg = MakeConfig(3.0, 0.4, RobustFp::Method::kComputationPaths);
   cfg.stream.n = 512;
-  cfg.highp_s1_override = 4096;
-  cfg.highp_s2_override = 3;
+  cfg.fp.highp_s1_override = 4096;
+  cfg.fp.highp_s2_override = 3;
   RobustFp alg(cfg, 9);
   const double err =
       MaxErrorOnStream(alg, ZipfStream(512, 4000, 1.3, 13), 3.0, 1000.0);

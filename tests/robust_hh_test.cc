@@ -11,12 +11,12 @@
 namespace rs {
 namespace {
 
-RobustHeavyHitters::Config MakeConfig(double eps) {
-  RobustHeavyHitters::Config c;
+RobustConfig MakeConfig(double eps) {
+  RobustConfig c;
   c.eps = eps;
   c.delta = 0.01;
-  c.n = 1 << 14;
-  c.m = 1 << 16;
+  c.stream.n = 1 << 14;
+  c.stream.m = 1 << 16;
   return c;
 }
 

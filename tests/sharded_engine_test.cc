@@ -1,0 +1,280 @@
+// Tests for the sharded robust engine (rs/engine/sharded.h): shard-count
+// invariance of the merged estimate, tracking accuracy on F2 and F0
+// workloads, snapshot/restore through the wire format, guarantee telemetry,
+// and the "sharded" facade registry key.
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "rs/core/robust.h"
+#include "rs/engine/sharded.h"
+#include "rs/io/wire.h"
+#include "rs/sketch/pstable_fp.h"
+#include "rs/stream/exact_oracle.h"
+#include "rs/stream/generators.h"
+
+namespace rs {
+namespace {
+
+// Small fixed geometry (101 counters, 8 copies) so the whole suite stays in
+// the smoke-tier time budget; accuracy assertions use tolerances sized for
+// it. The theory-sized geometry runs in bench_sharded_throughput.
+MergeableFactory F2Factory(double eps0) {
+  PStableFp::Config ps;
+  ps.p = 2.0;
+  ps.eps = eps0;
+  ps.k_override = 101;
+  return [ps](uint64_t s) { return std::make_unique<PStableFp>(ps, s); };
+}
+
+ShardedRobust::Config EngineConfig(size_t shards, size_t merge_period,
+                                   double eps = 0.3) {
+  ShardedRobust::Config c;
+  c.eps = eps;
+  c.shards = shards;
+  c.merge_period = merge_period;
+  c.copies = 8;
+  return c;
+}
+
+TEST(ShardedRobust, TracksF2WithinEps) {
+  const double eps = 0.3;
+  // Accuracy needs the genuine Theorem 4.1 ring size — an undersized ring
+  // gets its copies reused before the growth precondition holds and the
+  // published output collapses to the suffix mass.
+  auto cfg = EngineConfig(4, 64, eps);
+  cfg.copies = SketchSwitching::RingSizeForEpsilon(eps);
+  PStableFp::Config ps;
+  ps.p = 2.0;
+  ps.eps = eps / 4.0;
+  ps.k_override = 301;
+  ShardedRobust engine(
+      cfg, [ps](uint64_t s) { return std::make_unique<PStableFp>(ps, s); },
+      77);
+  ExactOracle oracle;
+  const Stream stream = UniformStream(1 << 12, 12000, 7);
+  for (const auto& u : stream) {
+    engine.Update(u);
+    oracle.Update(u);
+  }
+  engine.ForcePublish();
+  const double truth = oracle.F2();
+  EXPECT_NEAR(engine.Estimate(), truth, 2.0 * eps * truth);
+  EXPECT_TRUE(engine.GuaranteeStatus().holds);
+}
+
+TEST(ShardedRobust, ShardCountDoesNotChangeTheMergedEstimate) {
+  // The merged active copy's counters equal the single-shard copy's
+  // counters (same seed, linear state, disjoint substreams), so the
+  // published estimate is shard-count invariant up to floating-point
+  // re-association.
+  const double eps = 0.3;
+  ShardedRobust one(EngineConfig(1, 128, eps), F2Factory(eps / 4.0), 99);
+  ShardedRobust four(EngineConfig(4, 128, eps), F2Factory(eps / 4.0), 99);
+  ShardedRobust eight(EngineConfig(8, 128, eps), F2Factory(eps / 4.0), 99);
+  const Stream stream = UniformStream(1 << 12, 20000, 17);
+  for (const auto& u : stream) {
+    one.Update(u);
+    four.Update(u);
+    eight.Update(u);
+  }
+  one.ForcePublish();
+  four.ForcePublish();
+  eight.ForcePublish();
+  const double tol = 1e-6 * (std::fabs(one.Estimate()) + 1.0);
+  EXPECT_NEAR(one.Estimate(), four.Estimate(), tol);
+  EXPECT_NEAR(one.Estimate(), eight.Estimate(), tol);
+}
+
+TEST(ShardedRobust, BatchedPathMatchesPerUpdatePath) {
+  const double eps = 0.3;
+  ShardedRobust single(EngineConfig(4, 256, eps), F2Factory(eps / 4.0), 5);
+  ShardedRobust batched(EngineConfig(4, 256, eps), F2Factory(eps / 4.0), 5);
+  const Stream stream = UniformStream(1 << 12, 16384, 23);
+  for (const auto& u : stream) single.Update(u);
+  constexpr size_t kBatch = 256;
+  for (size_t i = 0; i < stream.size(); i += kBatch) {
+    batched.UpdateBatch(stream.data() + i,
+                        std::min(kBatch, stream.size() - i));
+  }
+  single.ForcePublish();
+  batched.ForcePublish();
+  // Same seeds, same updates, same gate cadence (merge_period divides the
+  // batch size): identical sub-sketch state and published output.
+  EXPECT_DOUBLE_EQ(single.Estimate(), batched.Estimate());
+}
+
+TEST(ShardedRobust, ThreadedFanOutMatchesSequential) {
+  const double eps = 0.3;
+  auto cfg = EngineConfig(4, 256, eps);
+  ShardedRobust sequential(cfg, F2Factory(eps / 4.0), 31);
+  cfg.threads = 4;
+  ShardedRobust threaded(cfg, F2Factory(eps / 4.0), 31);
+  const Stream stream = UniformStream(1 << 12, 16384, 29);
+  constexpr size_t kBatch = 512;
+  for (size_t i = 0; i < stream.size(); i += kBatch) {
+    const size_t n = std::min(kBatch, stream.size() - i);
+    sequential.UpdateBatch(stream.data() + i, n);
+    threaded.UpdateBatch(stream.data() + i, n);
+  }
+  sequential.ForcePublish();
+  threaded.ForcePublish();
+  // Shards own disjoint state, so the fan-out is deterministic.
+  EXPECT_DOUBLE_EQ(sequential.Estimate(), threaded.Estimate());
+}
+
+TEST(ShardedRobust, SnapshotRestoreResumesBitExact) {
+  const double eps = 0.3;
+  ShardedRobust original(EngineConfig(4, 64, eps), F2Factory(eps / 4.0), 42);
+  const Stream stream = UniformStream(1 << 12, 24000, 37);
+  const size_t half = stream.size() / 2;
+  for (size_t i = 0; i < half; ++i) original.Update(stream[i]);
+
+  std::string snapshot;
+  original.Snapshot(&snapshot);
+  ASSERT_FALSE(snapshot.empty());
+
+  // Restore into a fresh engine built with a different seed and geometry —
+  // everything must come from the snapshot.
+  ShardedRobust restored(EngineConfig(2, 32, eps), F2Factory(eps / 4.0), 1);
+  ASSERT_TRUE(restored.Restore(snapshot));
+  EXPECT_EQ(restored.shards(), 4u);
+  EXPECT_EQ(restored.merge_period(), 64u);
+  EXPECT_DOUBLE_EQ(restored.Estimate(), original.Estimate());
+  EXPECT_EQ(restored.output_changes(), original.output_changes());
+  EXPECT_EQ(restored.retired(), original.retired());
+
+  // Resume both on the suffix: identical trajectories (ring respawns draw
+  // from the restored seed/spawn-count state).
+  for (size_t i = half; i < stream.size(); ++i) {
+    original.Update(stream[i]);
+    restored.Update(stream[i]);
+  }
+  original.ForcePublish();
+  restored.ForcePublish();
+  EXPECT_DOUBLE_EQ(restored.Estimate(), original.Estimate());
+  EXPECT_EQ(restored.output_changes(), original.output_changes());
+}
+
+TEST(ShardedRobust, RestoreRejectsCorruptSnapshots) {
+  const double eps = 0.3;
+  ShardedRobust engine(EngineConfig(2, 64, eps), F2Factory(eps / 4.0), 3);
+  for (const auto& u : UniformStream(1 << 10, 2000, 41)) engine.Update(u);
+  std::string snapshot;
+  engine.Snapshot(&snapshot);
+  const double before = engine.Estimate();
+
+  EXPECT_FALSE(engine.Restore(""));
+  EXPECT_FALSE(engine.Restore("garbage"));
+  EXPECT_FALSE(
+      engine.Restore(std::string_view(snapshot).substr(0, snapshot.size() / 2)));
+  std::string bad_magic = snapshot;
+  bad_magic[0] = 'Z';
+  EXPECT_FALSE(engine.Restore(bad_magic));
+  std::string padded = snapshot + "!";
+  EXPECT_FALSE(engine.Restore(padded));
+  // Failed restores leave the engine untouched.
+  EXPECT_DOUBLE_EQ(engine.Estimate(), before);
+  // And a good snapshot still restores.
+  EXPECT_TRUE(engine.Restore(snapshot));
+}
+
+TEST(ShardedRobust, RestoreRejectsOverflowingGeometry) {
+  // A snapshot header claiming astronomically many copies/shards must be
+  // rejected before any allocation — Restore returns false, never aborts.
+  std::string forged;
+  WireWriter w(&forged);
+  w.U32(kWireMagic);
+  w.U32(kWireFormatVersion);
+  w.U32(kEngineSnapshotKind);
+  w.U64(1);                  // seed
+  w.F64(0.3);                // eps
+  w.U64(uint64_t{1} << 61);  // shards
+  w.U64(64);                 // merge_period
+  w.U64(uint64_t{1} << 59);  // copies
+  w.U8(1);                   // mode = ring
+  w.F64(0.0);                // initial_output
+  w.F64(0.0);                // published
+  w.U64(0);                  // since_gate
+  w.U64(0);                  // switches
+  w.U64(0);                  // retired
+  w.U64(0);                  // active
+  w.U8(0);                   // exhausted
+  w.U64(0);                  // spawn_count
+  ShardedRobust engine(EngineConfig(2, 64), F2Factory(0.1), 3);
+  EXPECT_FALSE(engine.Restore(forged));
+}
+
+TEST(ShardedRobust, RingModeNeverExhaustsAndCountsRetirements) {
+  const double eps = 0.25;
+  ShardedRobust engine(EngineConfig(4, 16, eps), F2Factory(eps / 4.0), 11);
+  // Distinct growth drives the estimate up relentlessly -> many flips.
+  const Stream stream = DistinctGrowthStream(12000);
+  for (const auto& u : stream) engine.Update(u);
+  EXPECT_GT(engine.output_changes(), 4u);
+  EXPECT_EQ(engine.output_changes(), engine.retired());
+  EXPECT_FALSE(engine.exhausted());
+  const auto status = engine.GuaranteeStatus();
+  EXPECT_TRUE(status.holds);
+  EXPECT_EQ(status.flip_budget, 0u);  // Ring: unbounded.
+  EXPECT_EQ(status.copies_retired, engine.retired());
+}
+
+TEST(ShardedRobust, PoolModeExhaustsLoudly) {
+  auto cfg = EngineConfig(2, 8, 0.2);
+  cfg.mode = ShardedRobust::PoolMode::kPool;
+  cfg.copies = 3;
+  ShardedRobust engine(cfg, F2Factory(0.05), 13);
+  const Stream stream = DistinctGrowthStream(8000);
+  for (const auto& u : stream) engine.Update(u);
+  EXPECT_TRUE(engine.exhausted());
+  EXPECT_FALSE(engine.GuaranteeStatus().holds);
+}
+
+TEST(ShardedRobust, FacadeKeyBuildsF2AndF0Engines) {
+  const auto keys = RobustTaskKeys();
+  EXPECT_NE(std::find(keys.begin(), keys.end(), "sharded"), keys.end());
+
+  RobustConfig rc;
+  rc.eps = 0.4;
+  rc.fp.p = 2.0;
+  rc.engine.shards = 4;
+  rc.engine.merge_period = 64;
+  rc.engine.task = Task::kFp;
+  auto f2 = MakeRobust("sharded", rc, 19);
+  ASSERT_NE(f2, nullptr);
+  EXPECT_EQ(f2->Name(), "ShardedRobust/fp");
+
+  rc.engine.task = Task::kF0;
+  auto f0 = MakeRobust("sharded", rc, 19);
+  ASSERT_NE(f0, nullptr);
+  EXPECT_EQ(f0->Name(), "ShardedRobust/f0");
+
+  ExactOracle oracle;
+  for (const auto& u : UniformStream(1 << 10, 6400, 53)) {
+    f0->Update(u);
+    f2->Update(u);
+    oracle.Update(u);
+  }
+  // merge_period divides the stream length, so the last gate ran at the
+  // final update and the published outputs are fresh.
+  const double f0_truth = static_cast<double>(oracle.F0());
+  EXPECT_NEAR(f0->Estimate(), f0_truth, 2.0 * rc.eps * f0_truth);
+  const double f2_truth = oracle.F2();
+  EXPECT_NEAR(f2->Estimate(), f2_truth, 2.0 * rc.eps * f2_truth);
+}
+
+TEST(ShardedRobust, SameItemAlwaysRoutesToSameShard) {
+  ShardedRobust engine(EngineConfig(8, 1024), F2Factory(0.1), 23);
+  for (uint64_t item = 0; item < 200; ++item) {
+    const size_t s = engine.ShardOf(item);
+    EXPECT_LT(s, 8u);
+    EXPECT_EQ(engine.ShardOf(item), s);
+  }
+}
+
+}  // namespace
+}  // namespace rs
