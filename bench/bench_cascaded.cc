@@ -20,6 +20,7 @@
 #include "rs/sketch/cascaded.h"
 #include "rs/stream/generators.h"
 #include "rs/util/stats.h"
+#include "rs/util/bench_json.h"
 #include "rs/util/table_printer.h"
 
 namespace {
@@ -90,7 +91,8 @@ WorkloadResult RunOne(double p, double k, double eps, const rs::Stream& stream,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = rs::JsonPathFromArgs(argc, argv);
   std::printf("E16: cascaded norms ||A||_(p,k) — Proposition 3.4 black-box "
               "application\n");
 
@@ -131,6 +133,10 @@ int main() {
     }
   }
   table.Print("cascaded norms: flip budgets, tracking error, space");
+  if (!json_path.empty()) {
+    rs::WriteBenchJson(json_path, "bench_cascaded", table.header(),
+                       table.rows());
+  }
 
   std::printf(
       "\nShape check (paper): empirical flip counts sit inside the\n"

@@ -20,6 +20,7 @@
 #include "rs/core/robust_f0.h"
 #include "rs/sketch/kmv_f0.h"
 #include "rs/util/stats.h"
+#include "rs/util/bench_json.h"
 #include "rs/util/table_printer.h"
 
 namespace {
@@ -54,7 +55,8 @@ class DuplicateReplayAdversary : public rs::Adversary {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = rs::JsonPathFromArgs(argc, argv);
   std::printf("E11: crypto distinct elements (Theorem 10.1)\n");
 
   // (1) Space comparison at matched eps.
@@ -119,6 +121,17 @@ int main() {
                        rs::TablePrinter::Fmt(worst, 3)});
   }
   game_table.Print("adaptive duplicate-replay game (fail at 0.4 rel err)");
+
+  if (!json_path.empty()) {
+    // One record for both printed tables: the game rows are appended with a
+    // section marker in the eps column and padded to the space table width.
+    auto rows = space_table.rows();
+    for (const auto& r : game_table.rows()) {
+      rows.push_back({"game", r[0], r[1], r[2], r[3], ""});
+    }
+    rs::WriteBenchJson(json_path, "bench_crypto_f0", space_table.header(),
+                       rows);
+  }
 
   std::printf(
       "\nShape check (paper): crypto/static space ratio stays ~1+o(1) per\n"

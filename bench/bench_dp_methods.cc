@@ -1,0 +1,268 @@
+// E19 — the three robustification methods head to head at matched
+// (alpha, delta, lambda): sketch switching (Theorem 4.1 ring), computation
+// paths (Lemma 3.8), and the differential-privacy pool (HKMMS,
+// arXiv:2004.05975; "dp_f2_diff" adds the ACSS difference estimators,
+// arXiv:2107.14527).
+//
+// Two sections:
+//   1. F2 tracking on an oblivious uniform stream, lambda matched through
+//      fp.lambda_override / dp.flip_budget_override: copies, space,
+//      update throughput, worst tracking error, flips spent. Two derived
+//      rows put the measured ones in context: the Lemma 3.6 pool (lambda
+//      copies — the baseline the dp method's ~sqrt(lambda) sizing is priced
+//      against) and a full-accuracy AMS dp pool (what the ACSS difference
+//      estimators' coarsened per-copy sketches are priced against, same
+//      sketch family). Building those live would be the cost being avoided.
+//   2. The adversarial game: the adaptive F2 drift attack versus the plain
+//      oblivious AMS sketch and versus the dp method, same rules — the
+//      oblivious sketch is driven outside every constant factor, the dp
+//      pool holds its published bound (the HKMMS claim, live).
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "rs/adversary/game.h"
+#include "rs/adversary/generic_attacks.h"
+#include "rs/core/robust.h"
+#include "rs/core/sketch_switching.h"
+#include "rs/dp/dp_robust.h"
+#include "rs/sketch/ams_f2.h"
+#include "rs/sketch/pstable_fp.h"
+#include "rs/stream/exact_oracle.h"
+#include "rs/stream/generators.h"
+#include "rs/util/bench_json.h"
+#include "rs/util/stats.h"
+#include "rs/util/table_printer.h"
+
+namespace {
+
+constexpr double kEps = 0.3;
+constexpr double kDelta = 0.05;
+constexpr uint64_t kDomain = 1 << 16;
+constexpr uint64_t kStreamLen = 12000;
+constexpr size_t kBatch = 256;
+
+struct RunStats {
+  long long copies = 0;
+  size_t space = 0;
+  double ns_per_update = 0.0;
+  double max_err = 0.0;
+  size_t flips = 0;
+  bool holds = true;
+  bool derived = false;  // Space-only arithmetic row, nothing was run.
+};
+
+RunStats MeasureTracking(rs::RobustEstimator& alg) {
+  const rs::Stream stream = rs::UniformStream(kDomain, kStreamLen, 17);
+  rs::ExactOracle oracle;
+  RunStats stats;
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < stream.size(); i += kBatch) {
+    const size_t count = std::min(kBatch, stream.size() - i);
+    alg.UpdateBatch(stream.data() + i, count);
+    for (size_t j = 0; j < count; ++j) oracle.Update(stream[i + j]);
+    if (i + count >= 2000) {
+      stats.max_err = std::max(
+          stats.max_err, rs::RelativeError(alg.Estimate(), oracle.F2()));
+    }
+  }
+  const auto end = std::chrono::steady_clock::now();
+  stats.ns_per_update =
+      std::chrono::duration<double, std::nano>(end - start).count() /
+      static_cast<double>(stream.size());
+  stats.space = alg.SpaceBytes();
+  stats.flips = alg.output_changes();
+  stats.holds = alg.GuaranteeStatus().holds;
+  return stats;
+}
+
+rs::RobustConfig BaseConfig(size_t lambda) {
+  rs::RobustConfig cfg;
+  cfg.eps = kEps;
+  cfg.delta = kDelta;
+  cfg.stream.n = kDomain;
+  cfg.stream.m = kStreamLen;
+  cfg.stream.max_frequency = 1 << 10;
+  cfg.fp.p = 2.0;
+  cfg.fp.lambda_override = lambda;       // Paths budget.
+  cfg.dp.flip_budget_override = lambda;  // dp SVT budget — matched.
+  return cfg;
+}
+
+void AddRow(rs::TablePrinter& table, size_t lambda, const char* method,
+            const RunStats& s) {
+  table.AddRow({rs::TablePrinter::FmtInt(static_cast<long long>(lambda)),
+                method, rs::TablePrinter::FmtInt(s.copies),
+                rs::TablePrinter::FmtBytes(s.space),
+                s.derived ? std::string("-")
+                          : rs::TablePrinter::Fmt(s.ns_per_update, 0),
+                s.derived ? std::string("-")
+                          : rs::TablePrinter::Fmt(s.max_err, 3),
+                s.derived
+                    ? std::string("-")
+                    : rs::TablePrinter::FmtInt(static_cast<long long>(s.flips)),
+                s.derived ? std::string("-")
+                          : std::string(s.holds ? "yes" : "no")});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = rs::JsonPathFromArgs(argc, argv);
+  std::printf(
+      "E19: robust F2 — dp (HKMMS / ACSS) vs sketch switching vs computation "
+      "paths\n      at matched (alpha=%.2f, delta=%.2f, lambda)\n\n",
+      kEps, kDelta);
+
+  rs::TablePrinter table({"lambda", "method", "copies", "space", "ns/update",
+                          "worst err", "flips", "holds"});
+
+  for (size_t lambda : {512, 2048, 8192}) {
+    const long long dp_copies = static_cast<long long>(
+        rs::DpCopyCount(1.0, kDelta, lambda));
+    // Sketch switching: the Theorem 4.1 restart ring. Its copy count is
+    // lambda-free — that is this paper's own answer to flip-heavy streams —
+    // so it is the same row at every lambda.
+    {
+      rs::RobustConfig cfg = BaseConfig(lambda);
+      cfg.method = rs::Method::kSketchSwitching;
+      const auto alg = rs::MakeRobust(rs::Task::kFp, cfg, 7);
+      RunStats s = MeasureTracking(*alg);
+      s.copies = static_cast<long long>(
+          rs::SketchSwitching::RingSizeForEpsilon(kEps));
+      AddRow(table, lambda, "switching (ring)", s);
+    }
+    // Lemma 3.6 pool baseline: lambda copies of the same p-stable base.
+    {
+      rs::PStableFp::Config ps;
+      ps.p = 2.0;
+      ps.eps = kEps / 4.0;
+      rs::PStableFp one(ps, 7);
+      RunStats s;
+      s.copies = static_cast<long long>(lambda);
+      s.space = one.SpaceBytes() * lambda;
+      s.derived = true;
+      AddRow(table, lambda, "pool (derived)", s);
+    }
+    // Computation paths: single instance at the Lemma 3.8 delta0.
+    {
+      rs::RobustConfig cfg = BaseConfig(lambda);
+      cfg.method = rs::Method::kComputationPaths;
+      const auto alg = rs::MakeRobust(rs::Task::kFp, cfg, 7);
+      RunStats s = MeasureTracking(*alg);
+      s.copies = 1;
+      AddRow(table, lambda, "comp. paths", s);
+    }
+    // dp: the private-median pool, ~sqrt(lambda) copies.
+    {
+      rs::RobustConfig cfg = BaseConfig(lambda);
+      cfg.method = rs::Method::kDifferentialPrivacy;
+      const auto alg = rs::MakeRobust(rs::Task::kFp, cfg, 7);
+      RunStats s = MeasureTracking(*alg);
+      s.copies = dp_copies;
+      AddRow(table, lambda, "dp (HKMMS)", s);
+    }
+    // Full-accuracy AMS dp pool, derived: what the dp method would cost on
+    // the AMS family WITHOUT difference estimators — the within-family
+    // baseline for the ACSS row below.
+    {
+      rs::AmsF2::Config ac;
+      ac.eps = kEps / 4.0;
+      ac.delta = 0.25;
+      rs::AmsF2 one(ac, 7);
+      RunStats s;
+      s.copies = dp_copies;
+      s.space = one.SpaceBytes() * static_cast<size_t>(dp_copies);
+      s.derived = true;
+      AddRow(table, lambda, "dp ams full (derived)", s);
+    }
+    // dp + difference estimators: coarsened per-copy AMS sketches that only
+    // resolve the between-flip deltas.
+    {
+      rs::RobustConfig cfg = BaseConfig(lambda);
+      const auto alg = rs::MakeRobust("dp_f2_diff", cfg, 7);
+      RunStats s = MeasureTracking(*alg);
+      s.copies = dp_copies;
+      AddRow(table, lambda, "dp diff (ACSS)", s);
+    }
+  }
+  table.Print("robust F2 method comparison (uniform stream, batched)");
+
+  std::printf(
+      "\nShape check (papers): the Lemma 3.6 pool pays lambda copies, dp "
+      "pays\n~sqrt(lambda) — the ratio shrinks like 1/sqrt(lambda) down the "
+      "table —\nand the ACSS difference estimators shave the per-copy size "
+      "vs. the\nfull-accuracy AMS pool of the same family. Switching's ring "
+      "and paths\nare lambda-free in space but lean on monotonicity / "
+      "union-bound sizing\nrespectively.\n\n");
+
+  // Section 2: the adversarial game.
+  rs::GameOptions options;
+  options.max_steps = 4000;
+  options.burn_in = 300;
+  options.fail_eps = 0.5;
+  options.params.n = 1 << 16;
+  options.params.m = 1 << 20;
+  options.params.model = rs::StreamModel::kInsertionOnly;
+
+  rs::TablePrinter game_table(
+      {"defender", "max rel err", "first failure", "flips", "holds",
+       "adversary won"});
+
+  {
+    rs::AmsLinearSketch ams(32, 3);
+    rs::F2DriftAttack attack({.n = 1 << 16, .spike = 64, .seed = 7});
+    const auto r = rs::RunGame(ams, attack, rs::TruthF2(), options);
+    game_table.AddRow({"oblivious AMS",
+                       rs::TablePrinter::Fmt(r.max_rel_error, 2),
+                       rs::TablePrinter::FmtInt(
+                           static_cast<long long>(r.first_failure_step)),
+                       "-", "-", r.adversary_won ? "yes" : "no"});
+  }
+  {
+    rs::RobustConfig cfg;
+    cfg.eps = kEps;
+    cfg.delta = kDelta;
+    cfg.stream.n = 1 << 16;
+    cfg.stream.m = 1 << 20;
+    cfg.stream.max_frequency = 1 << 10;
+    cfg.fp.p = 2.0;
+    // Gate every few updates to keep the per-step private aggregation off
+    // the critical path; the published output is sticky in between.
+    cfg.dp.gate_period = 8;
+    rs::F2DriftAttack attack({.n = 1 << 16, .spike = 64, .seed = 7});
+    const auto r =
+        rs::RunFacadeGame("dp_fp", cfg, 11, attack, rs::TruthF2(), options);
+    game_table.AddRow(
+        {r.defender, rs::TablePrinter::Fmt(r.game.max_rel_error, 2),
+         rs::TablePrinter::FmtInt(
+             static_cast<long long>(r.game.first_failure_step)),
+         rs::TablePrinter::FmtInt(
+             static_cast<long long>(r.final_status.flips_spent)),
+         r.final_status.holds ? "yes" : "no",
+         r.game.adversary_won ? "yes" : "no"});
+  }
+  game_table.Print(
+      "adaptive F2 drift attack (fail_eps = 0.5, 4000 steps)");
+
+  std::printf(
+      "\nThe attack reproduces the Algorithm 3 drift against the raw linear\n"
+      "sketch; against the dp pool the sticky private median leaks nothing\n"
+      "exploitable and the same adversary degenerates to an oblivious "
+      "stream.\n");
+
+  if (!json_path.empty()) {
+    auto columns = table.header();
+    auto rows = table.rows();
+    // Mirror both sections into one record: the game rows are appended with
+    // a section marker in the lambda column.
+    for (const auto& row : game_table.rows()) {
+      rows.push_back({"game", row[0], row[1], row[2], row[3], row[4], row[5],
+                      ""});
+    }
+    rs::WriteBenchJson(json_path, "bench_dp_methods", columns, rows);
+  }
+  return 0;
+}

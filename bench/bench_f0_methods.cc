@@ -15,6 +15,7 @@
 #include "rs/stream/exact_oracle.h"
 #include "rs/stream/generators.h"
 #include "rs/util/stats.h"
+#include "rs/util/bench_json.h"
 #include "rs/util/table_printer.h"
 
 namespace {
@@ -57,7 +58,8 @@ MethodStats Measure(rs::RobustF0::Method method, double eps, uint64_t m) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = rs::JsonPathFromArgs(argc, argv);
   std::printf("E9: robust F0 — sketch switching (Thm 1.1) vs computation "
               "paths over FastF0 (Thm 1.2)\n");
   rs::TablePrinter table({"eps", "method", "space", "ns/update", "worst err",
@@ -82,6 +84,10 @@ int main() {
                       static_cast<long long>(cp.output_changes))});
   }
   table.Print("robust F0 method comparison (distinct-growth stream)");
+  if (!json_path.empty()) {
+    rs::WriteBenchJson(json_path, "bench_f0_methods", table.header(),
+                       table.rows());
+  }
   std::printf(
       "\nShape check (paper): computation paths wins on update time (one\n"
       "instance, cheap delta) — the Theorem 1.2 motivation; switching's\n"

@@ -14,6 +14,7 @@
 #include "rs/core/flip_number.h"
 #include "rs/stream/exact_oracle.h"
 #include "rs/stream/generators.h"
+#include "rs/util/bench_json.h"
 #include "rs/util/table_printer.h"
 
 namespace {
@@ -32,12 +33,18 @@ std::vector<double> Series(const rs::Stream& stream, TruthFn truth) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = rs::JsonPathFromArgs(argc, argv);
   std::printf("E10: empirical flip numbers vs paper bounds\n");
 
+  rs::TablePrinter moments_table(
+      {"eps", "F0 empirical", "F0 bound", "F2 empirical", "F2 bound"});
+  rs::TablePrinter entropy_table({"eps", "2^H empirical", "Prop 7.2 bound"});
+  rs::TablePrinter bd_table(
+      {"alpha", "L1 empirical (eps=0.25)", "Lem 8.2 bound"});
+
   {
-    rs::TablePrinter table(
-        {"eps", "F0 empirical", "F0 bound", "F2 empirical", "F2 bound"});
+    rs::TablePrinter& table = moments_table;
     const uint64_t n = 1 << 14;
     const auto growth = rs::DistinctGrowthStream(n);
     const auto f0_series =
@@ -64,7 +71,7 @@ int main() {
   }
 
   {
-    rs::TablePrinter table({"eps", "2^H empirical", "Prop 7.2 bound"});
+    rs::TablePrinter& table = entropy_table;
     const uint64_t n = 1 << 10, m = 16000;
     const auto drift = rs::EntropyDriftStream(n, m, 6, 9);
     const auto series = Series(drift, [](const rs::ExactOracle& o) {
@@ -82,8 +89,7 @@ int main() {
   }
 
   {
-    rs::TablePrinter table(
-        {"alpha", "L1 empirical (eps=0.25)", "Lem 8.2 bound"});
+    rs::TablePrinter& table = bd_table;
     const uint64_t n = 1 << 14, m = 12000;
     for (double alpha : {1.0, 2.0, 4.0, 8.0}) {
       const auto stream = rs::BoundedDeletionStream(n, m, alpha, 21);
@@ -104,5 +110,23 @@ int main() {
       "\nShape check (paper): every empirical flip count sits below its\n"
       "bound; F0/F2 bounds scale ~1/eps; the bounded-deletion bound scales\n"
       "linearly in alpha.\n");
+
+  if (!json_path.empty()) {
+    // One record for the three printed tables: rows are tagged with their
+    // section in the first column and padded to the widest width.
+    std::vector<std::string> columns{"section", "eps/alpha", "empirical",
+                                     "bound", "empirical2", "bound2"};
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& r : moments_table.rows()) {
+      rows.push_back({"f0_f2", r[0], r[1], r[2], r[3], r[4]});
+    }
+    for (const auto& r : entropy_table.rows()) {
+      rows.push_back({"exp_entropy", r[0], r[1], r[2], "", ""});
+    }
+    for (const auto& r : bd_table.rows()) {
+      rows.push_back({"bounded_deletion", r[0], r[1], r[2], "", ""});
+    }
+    rs::WriteBenchJson(json_path, "bench_flip_number", columns, rows);
+  }
   return 0;
 }

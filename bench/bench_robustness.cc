@@ -22,6 +22,7 @@
 #include "rs/sketch/hash_sample_mean.h"
 #include "rs/sketch/reservoir_mean.h"
 #include "rs/stream/generators.h"
+#include "rs/util/bench_json.h"
 #include "rs/util/table_printer.h"
 
 namespace {
@@ -47,7 +48,8 @@ void Row(rs::TablePrinter& table, const char* defender, const char* attack,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = rs::JsonPathFromArgs(argc, argv);
   std::printf("E12: static vs robust under the attack suite\n");
   rs::TablePrinter table(
       {"defender", "adversary", "max rel err", "(1±1/2)?", "first fail"});
@@ -190,6 +192,10 @@ int main() {
   }
 
   table.Print("attack matrix");
+  if (!json_path.empty()) {
+    rs::WriteBenchJson(json_path, "bench_robustness", table.header(),
+                       table.rows());
+  }
   std::printf(
       "\nShape check (paper): every static randomized defender whose output\n"
       "leaks reusable state (AMS, hash sampling, CountSketch point queries)\n"

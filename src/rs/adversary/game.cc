@@ -1,7 +1,9 @@
 #include "rs/adversary/game.h"
 
 #include <cmath>
+#include <memory>
 
+#include "rs/util/check.h"
 #include "rs/util/stats.h"
 
 namespace rs {
@@ -67,6 +69,26 @@ GameResult RunFixedStream(Estimator& algorithm, const Stream& stream,
   }
   result.termination = "stream_end";
   return result;
+}
+
+RobustGameResult RunRobustGame(RobustEstimator& algorithm,
+                               Adversary& adversary, const TruthFn& truth,
+                               const GameOptions& options) {
+  RobustGameResult result;
+  result.game = RunGame(algorithm, adversary, truth, options);
+  result.final_status = algorithm.GuaranteeStatus();
+  result.defender = algorithm.Name();
+  return result;
+}
+
+RobustGameResult RunFacadeGame(std::string_view task_key,
+                               const RobustConfig& config, uint64_t seed,
+                               Adversary& adversary, const TruthFn& truth,
+                               const GameOptions& options) {
+  std::unique_ptr<RobustEstimator> defender =
+      MakeRobust(task_key, config, seed);
+  RS_CHECK_MSG(defender != nullptr, "RunFacadeGame: unknown task key");
+  return RunRobustGame(*defender, adversary, truth, options);
 }
 
 TruthFn TruthF0() {

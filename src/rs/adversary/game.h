@@ -5,7 +5,9 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <string_view>
 
+#include "rs/core/robust.h"
 #include "rs/sketch/estimator.h"
 #include "rs/stream/exact_oracle.h"
 #include "rs/stream/update.h"
@@ -65,6 +67,36 @@ GameResult RunGame(Estimator& algorithm, Adversary& adversary,
 // behaviour under identical instrumentation.
 GameResult RunFixedStream(Estimator& algorithm, const Stream& stream,
                           const TruthFn& truth, const GameOptions& options);
+
+// The game harness extended to the rs::robust facade: any facade-built
+// RobustEstimator can defend, and the result carries the defender's final
+// guarantee telemetry next to the adversary's score. The interesting
+// diagonal of the matrix: `adversary_won && final_status.holds` would be a
+// soundness bug (the wrapper claims its guarantee while the error bound is
+// blown), while `!adversary_won && !final_status.holds` is the honest
+// "budget ran out, output went stale but has not yet drifted" state.
+struct RobustGameResult {
+  GameResult game;
+  rs::GuaranteeStatus final_status;
+  std::string defender;  // Name() of the defending estimator.
+};
+
+// Plays RunGame with a RobustEstimator defender and snapshots its
+// GuaranteeStatus after the last round.
+RobustGameResult RunRobustGame(RobustEstimator& algorithm,
+                               Adversary& adversary, const TruthFn& truth,
+                               const GameOptions& options);
+
+// Builds the defender from the facade registry (MakeRobust(task_key, ...))
+// and plays it against the adversary — one call to pit ANY registered
+// robustification (f0, fp, dp_f0, dp_fp, dp_f2_diff, sharded, ...) against
+// ANY attack in rs/adversary. RS_CHECK-aborts on an unknown key (stricter
+// than MakeRobust's nullptr: a game driver has no sensible move without a
+// defender); probe keys through MakeRobust first if nullptr is wanted.
+RobustGameResult RunFacadeGame(std::string_view task_key,
+                               const RobustConfig& config, uint64_t seed,
+                               Adversary& adversary, const TruthFn& truth,
+                               const GameOptions& options);
 
 // Adapts a point-query sketch to the single-response game: the published
 // response is the estimate of one fixed target item's frequency. This is

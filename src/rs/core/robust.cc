@@ -10,6 +10,7 @@
 #include "rs/core/robust_f0.h"
 #include "rs/core/robust_fp.h"
 #include "rs/core/robust_heavy_hitters.h"
+#include "rs/dp/difference_estimator.h"
 #include "rs/engine/sharded.h"
 
 namespace rs {
@@ -30,6 +31,23 @@ std::map<std::string, RobustTaskFactory, std::less<>>& Registry() {
     // execution. config.engine selects shards/merge_period/task.
     (*r)["sharded"] = [](const RobustConfig& config, uint64_t seed) {
       return MakeShardedRobust(config, seed);
+    };
+    // The differential-privacy method (rs/dp/): the F0/Fp tasks under the
+    // HKMMS private-median pool, sized by the sqrt(lambda) formula, plus
+    // the ACSS difference-estimator F2 construction. config.dp selects
+    // budget/copies/flip budget.
+    (*r)["dp_f0"] = [](const RobustConfig& config, uint64_t seed) {
+      RobustConfig c = config;
+      c.method = Method::kDifferentialPrivacy;
+      return MakeRobust(Task::kF0, c, seed);
+    };
+    (*r)["dp_fp"] = [](const RobustConfig& config, uint64_t seed) {
+      RobustConfig c = config;
+      c.method = Method::kDifferentialPrivacy;
+      return MakeRobust(Task::kFp, c, seed);
+    };
+    (*r)["dp_f2_diff"] = [](const RobustConfig& config, uint64_t seed) {
+      return MakeDpF2Diff(config, seed);
     };
     return r;
   }();

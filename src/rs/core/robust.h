@@ -14,9 +14,11 @@
 //
 // A string-keyed registry backs `MakeRobust("f0", ...)` for CLI and bench
 // drivers, and `RegisterRobustTask` lets alternative robustification
-// backends (e.g. the differential-privacy approach of Hassidim et al.,
-// arXiv:2004.05975, or the importance-sampling approach of Braverman et
-// al., arXiv:2106.14952) be plugged in later without touching call sites.
+// backends be plugged in without touching call sites. The
+// differential-privacy backend of Hassidim et al. (arXiv:2004.05975) with
+// the difference-estimator refinement of Attias et al. (arXiv:2107.14527)
+// is now built in (rs/dp/): Method::kDifferentialPrivacy on the kF0/kFp
+// tasks, plus the "dp_f0"/"dp_fp"/"dp_f2_diff" registry keys.
 
 #ifndef RS_CORE_ROBUST_H_
 #define RS_CORE_ROBUST_H_
@@ -56,10 +58,14 @@ inline constexpr Task kAllRobustTasks[] = {
 
 // The robustification technique. Tasks with a single paper construction
 // (entropy: pool switching; heavy hitters: epoch switching; bounded
-// deletion: paths; cascaded: switching) ignore this field.
+// deletion: paths; cascaded: switching) ignore this field. The
+// differential-privacy method (rs/dp/) is implemented for F0 and Fp with
+// p <= 2, where it sizes its copy pool by the ~sqrt(lambda) HKMMS formula
+// instead of switching's lambda-flavoured ring.
 enum class Method {
-  kSketchSwitching,   // Algorithm 1 / Lemma 3.6 / Theorem 4.1.
-  kComputationPaths,  // Lemma 3.8.
+  kSketchSwitching,      // Algorithm 1 / Lemma 3.6 / Theorem 4.1.
+  kComputationPaths,     // Lemma 3.8.
+  kDifferentialPrivacy,  // HKMMS (arXiv:2004.05975) private-median pool.
 };
 
 // Uniform guarantee telemetry (the quantity the whole framework is priced
@@ -144,6 +150,25 @@ struct RobustConfig {
     size_t threads = 1;  // Workers for the batched shard fan-out.
     Task task = Task::kFp;
   } engine;
+
+  // The differential-privacy method (rs/dp/, reachable as
+  // Method::kDifferentialPrivacy on kF0/kFp and through the "dp_f0",
+  // "dp_fp", "dp_f2_diff" registry keys).
+  struct DpParams {
+    // Privacy budget parameter. It steers the copy count (the 1/epsilon
+    // factor in DpCopyCount: smaller epsilon = more copies = less rank
+    // information released per aggregate) and the accountant's ledger; the
+    // SVT gate's own noise scales are accuracy-calibrated constants that
+    // do NOT vary with it — see the calibration caveat in ARCHITECTURE.md.
+    double epsilon = 1.0;
+    // Force the copy count (0 = the sqrt(lambda) DpCopyCount formula).
+    size_t copies_override = 0;
+    // Force the SVT flip budget (0 = the task's Corollary 3.5 flip number
+    // at eps/2 granularity).
+    size_t flip_budget_override = 0;
+    // Evaluate the private gate every this many updates (1 = per update).
+    size_t gate_period = 1;
+  } dp;
 
   // kCascaded. The entry bound M comes from stream.max_frequency.
   struct CascadedParams {

@@ -8,28 +8,6 @@
 
 namespace rs {
 
-namespace {
-
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-RobustConfig FromLegacy(const RobustBoundedDeletionFp::Config& c) {
-  RobustConfig rc;
-  rc.eps = c.eps;
-  rc.delta = c.delta;
-  rc.stream = c.stream;
-  rc.theoretical_sizing = c.theoretical_sizing;
-  rc.fp.p = c.p;
-  rc.bounded_deletion.alpha = c.alpha;
-  return rc;
-}
-
-}  // namespace
-
-RobustBoundedDeletionFp::RobustBoundedDeletionFp(const Config& config,
-                                                 uint64_t seed)
-    : RobustBoundedDeletionFp(FromLegacy(config), seed) {}
-#pragma GCC diagnostic pop
-
 RobustBoundedDeletionFp::RobustBoundedDeletionFp(const RobustConfig& config,
                                                  uint64_t seed)
     : config_(config) {

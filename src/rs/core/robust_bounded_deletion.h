@@ -35,27 +35,7 @@ namespace rs {
 // the linear (turnstile-capable) p-stable sketch, exactly as in the proof.
 class RobustBoundedDeletionFp : public RobustEstimator {
  public:
-  // Deprecated legacy config — use RobustConfig (fp.p for the moment order,
-  // bounded_deletion.alpha for the promise) for new code; this shim is kept
-  // for one PR. The stream-global bounds n, m, M now live in the embedded
-  // StreamParams rather than per-task copies.
-  struct [[deprecated("use rs::RobustConfig + rs::MakeRobust (see rs/core/robust.h)")]] Config {
-    double p = 1.0;       // In [1, 2].
-    double alpha = 2.0;   // Bounded-deletion parameter (>= 1).
-    double eps = 0.2;
-    double delta = 0.05;
-    // n, m, max_frequency (M) — defaults match the pre-StreamParams fields
-    // of this legacy struct (M = 2^20, not StreamParams' 2^32).
-    StreamParams stream{.n = 1 << 20, .m = 1 << 20,
-                        .max_frequency = uint64_t{1} << 20};
-    bool theoretical_sizing = false;
-  };
-
   RobustBoundedDeletionFp(const RobustConfig& config, uint64_t seed);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  RobustBoundedDeletionFp(const Config& config, uint64_t seed);  // Deprecated.
-#pragma GCC diagnostic pop
 
   void Update(const rs::Update& u) override;
   void UpdateBatch(const rs::Update* ups, size_t count) override;

@@ -28,27 +28,7 @@ class CascadedNormAdapter : public Estimator {
   CascadedRowSample sketch_;
 };
 
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-RobustConfig FromLegacy(const RobustCascadedNorm::Config& c) {
-  RobustConfig rc;
-  rc.eps = c.eps;
-  rc.stream.max_frequency = c.max_entry;
-  rc.cascaded.p = c.p;
-  rc.cascaded.k = c.k;
-  rc.cascaded.shape = c.shape;
-  rc.cascaded.rate = c.rate;
-  rc.cascaded.booster_copies = c.booster_copies;
-  rc.cascaded.pool_cap = c.pool_cap;
-  rc.cascaded.force_pool = c.force_pool;
-  return rc;
-}
-
 }  // namespace
-
-RobustCascadedNorm::RobustCascadedNorm(const Config& config, uint64_t seed)
-    : RobustCascadedNorm(FromLegacy(config), seed) {}
-#pragma GCC diagnostic pop
 
 RobustCascadedNorm::RobustCascadedNorm(const RobustConfig& config,
                                        uint64_t seed)

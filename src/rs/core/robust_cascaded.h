@@ -43,41 +43,7 @@ namespace rs {
 // wrapper falls back to the plain Lemma 3.6 pool sized by the flip number.
 class RobustCascadedNorm : public RobustEstimator {
  public:
-  // Deprecated legacy config — use RobustConfig (the cascaded.* sub-struct;
-  // the entry bound M is stream.max_frequency) for new code; this shim is
-  // kept for one PR.
-  struct [[deprecated("use rs::RobustConfig + rs::MakeRobust (see rs/core/robust.h)")]] Config {
-    double p = 2.0;      // Outer exponent, > 0.
-    double k = 1.0;      // Inner exponent, > 0.
-    double eps = 0.1;    // Published accuracy on the *norm* ||A||_(p,k).
-    MatrixShape shape;
-    uint64_t max_entry = uint64_t{1} << 20;  // M.
-    double rate = 0.25;  // Row sampling rate of each static copy.
-    // Median-boosting of each pool/ring copy (Definition 2.1 via
-    // rs::TrackingBooster): a copy is the median of `booster_copies`
-    // independent row samplings. Row sampling has a heavy-tailed failure
-    // mode — with probability ~(1-rate)^h a sampling misses all h hot rows
-    // and is off by a constant factor — and the wrapper surfaces the worst
-    // of its many copies, so driving the per-copy delta down with medians
-    // matters much more here than for the well-concentrated Fp sketches.
-    size_t booster_copies = 3;
-    size_t pool_cap = 256;  // Cap for pool-mode copy counts.
-    // The Theorem 4.1 ring argument assumes switches are growth-driven: a
-    // copy is only reused after the norm grew by ~100/eps since its restart.
-    // When the base sketch's variance on the workload is large (row-skewed
-    // matrices under aggressive row sampling), switches become noise-driven,
-    // copies are reused long before the growth precondition holds, and the
-    // missed-prefix error compounds. Forcing the plain Lemma 3.6 pool —
-    // whose correctness does not rest on the growth argument — restores the
-    // wrapper-mirrors-substrate behaviour at a larger copy budget.
-    bool force_pool = false;
-  };
-
   RobustCascadedNorm(const RobustConfig& config, uint64_t seed);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  RobustCascadedNorm(const Config& config, uint64_t seed);  // Deprecated.
-#pragma GCC diagnostic pop
 
   void Update(const rs::Update& u) override;
   void UpdateBatch(const rs::Update* ups, size_t count) override;

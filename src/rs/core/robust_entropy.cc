@@ -9,28 +9,6 @@
 
 namespace rs {
 
-namespace {
-
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-RobustConfig FromLegacy(const RobustEntropy::Config& c) {
-  RobustConfig rc;
-  rc.eps = c.eps;
-  rc.delta = c.delta;
-  rc.stream.n = c.n;
-  rc.stream.m = c.m;
-  rc.stream.max_frequency = c.max_frequency;
-  rc.entropy.pool_cap = c.pool_cap;
-  rc.entropy.random_oracle_model = c.random_oracle_model;
-  return rc;
-}
-
-}  // namespace
-
-RobustEntropy::RobustEntropy(const Config& config, uint64_t seed)
-    : RobustEntropy(FromLegacy(config), seed) {}
-#pragma GCC diagnostic pop
-
 RobustEntropy::RobustEntropy(const RobustConfig& config, uint64_t seed)
     : config_(config),
       theoretical_lambda_(EntropyFlipNumber(config.eps, config.stream.n,

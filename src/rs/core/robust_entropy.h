@@ -35,25 +35,7 @@ namespace rs {
 // see DESIGN.md section 6).
 class RobustEntropy : public RobustEstimator {
  public:
-  // Deprecated legacy config — use RobustConfig (and rs::MakeRobust) for
-  // new code; this shim is kept for one PR.
-  struct [[deprecated("use rs::RobustConfig + rs::MakeRobust (see rs/core/robust.h)")]] Config {
-    double eps = 0.1;   // Additive entropy accuracy (bits).
-    double delta = 0.05;
-    uint64_t n = 1 << 20;
-    uint64_t m = 1 << 20;
-    uint64_t max_frequency = uint64_t{1} << 20;
-    size_t pool_cap = 128;  // Practical cap on the copy pool.
-    // Theorem 7.3's random-oracle accounting: hash randomness not charged
-    // to SpaceBytes() (see EntropySketch::Config::random_oracle_model).
-    bool random_oracle_model = false;
-  };
-
   RobustEntropy(const RobustConfig& config, uint64_t seed);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  RobustEntropy(const Config& config, uint64_t seed);  // Deprecated shim.
-#pragma GCC diagnostic pop
 
   void Update(const rs::Update& u) override;
   void UpdateBatch(const rs::Update* ups, size_t count) override;

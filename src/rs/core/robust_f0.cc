@@ -9,38 +9,18 @@
 
 namespace rs {
 
-namespace {
-
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-RobustConfig FromLegacy(const RobustF0::Config& c) {
-  RobustConfig rc;
-  rc.eps = c.eps;
-  rc.delta = c.delta;
-  rc.stream.n = c.n;
-  rc.stream.m = c.m;
-  rc.method = c.method;
-  rc.theoretical_sizing = c.theoretical_sizing;
-  return rc;
-}
-
-}  // namespace
-
-RobustF0::RobustF0(const Config& config, uint64_t seed)
-    : RobustF0(FromLegacy(config), seed) {}
-#pragma GCC diagnostic pop
-
 RobustF0::RobustF0(const RobustConfig& config, uint64_t seed)
     : config_(config) {
   RS_CHECK(config.eps > 0.0 && config.eps < 1.0);
   const double eps = config.eps;
 
+  // Base accuracy eps0 = eps/4 (the paper uses eps/20 for bookkeeping; the
+  // end-to-end envelope is verified empirically — see DESIGN.md section 6).
+  const double eps0 = eps / 4.0;
+  KmvF0::Config kmv;
+  kmv.k = static_cast<size_t>(std::ceil(6.0 / (eps0 * eps0)));
+
   if (config.method == Method::kSketchSwitching) {
-    // Base accuracy eps0 = eps/4 (the paper uses eps/20 for bookkeeping; the
-    // end-to-end envelope is verified empirically — see DESIGN.md section 6).
-    const double eps0 = eps / 4.0;
-    KmvF0::Config kmv;
-    kmv.k = static_cast<size_t>(std::ceil(6.0 / (eps0 * eps0)));
     SketchSwitching::Config sw;
     sw.eps = eps;
     sw.mode = SketchSwitching::PoolMode::kRing;
@@ -49,6 +29,22 @@ RobustF0::RobustF0(const RobustConfig& config, uint64_t seed)
     switching_ = std::make_unique<SketchSwitching>(
         sw,
         [kmv](uint64_t s) { return std::make_unique<KmvF0>(kmv, s); },
+        seed);
+    return;
+  }
+
+  if (config.method == Method::kDifferentialPrivacy) {
+    // HKMMS pool: ~sqrt(lambda) KMV copies behind the private median. The
+    // flip budget is the F0 flip number at the Lemma 3.6 lambda_{eps/8}
+    // granularity — the eps/2 rounder re-publishes about twice per
+    // (1+eps/2) growth, so the coarser-granularity budget leaves headroom.
+    const size_t lambda = config.dp.flip_budget_override != 0
+                              ? config.dp.flip_budget_override
+                              : F0FlipNumber(eps / 8.0, config.stream.n);
+    dp_ = std::make_unique<DpRobust>(
+        MakeDpRobustConfig(config, lambda, "RobustF0/dp"),
+        EstimatorFactory(
+            [kmv](uint64_t s) { return std::make_unique<KmvF0>(kmv, s); }),
         seed);
     return;
   }
@@ -63,7 +59,6 @@ RobustF0::RobustF0(const RobustConfig& config, uint64_t seed)
   cp.lambda = F0FlipNumber(eps / 10.0, config.stream.n);
   cp.theoretical_sizing = config.theoretical_sizing;
   cp.name = "RobustF0/paths";
-  const double eps0 = eps / 4.0;
   const uint64_t n = config.stream.n;
   paths_ = std::make_unique<ComputationPaths>(
       cp,
@@ -80,6 +75,8 @@ RobustF0::RobustF0(const RobustConfig& config, uint64_t seed)
 void RobustF0::Update(const rs::Update& u) {
   if (switching_ != nullptr) {
     switching_->Update(u);
+  } else if (dp_ != nullptr) {
+    dp_->Update(u);
   } else {
     paths_->Update(u);
   }
@@ -88,37 +85,49 @@ void RobustF0::Update(const rs::Update& u) {
 void RobustF0::UpdateBatch(const rs::Update* ups, size_t count) {
   if (switching_ != nullptr) {
     switching_->UpdateBatch(ups, count);
+  } else if (dp_ != nullptr) {
+    dp_->UpdateBatch(ups, count);
   } else {
     paths_->UpdateBatch(ups, count);
   }
 }
 
 double RobustF0::Estimate() const {
-  return switching_ != nullptr ? switching_->Estimate() : paths_->Estimate();
+  if (switching_ != nullptr) return switching_->Estimate();
+  if (dp_ != nullptr) return dp_->Estimate();
+  return paths_->Estimate();
 }
 
 size_t RobustF0::SpaceBytes() const {
-  return switching_ != nullptr ? switching_->SpaceBytes()
-                               : paths_->SpaceBytes();
+  if (switching_ != nullptr) return switching_->SpaceBytes();
+  if (dp_ != nullptr) return dp_->SpaceBytes();
+  return paths_->SpaceBytes();
 }
 
 std::string RobustF0::Name() const {
-  return switching_ != nullptr ? switching_->Name() : paths_->Name();
+  if (switching_ != nullptr) return switching_->Name();
+  if (dp_ != nullptr) return dp_->Name();
+  return paths_->Name();
 }
 
 size_t RobustF0::output_changes() const {
-  return switching_ != nullptr ? switching_->switches()
-                               : paths_->output_changes();
+  if (switching_ != nullptr) return switching_->switches();
+  if (dp_ != nullptr) return dp_->output_changes();
+  return paths_->output_changes();
 }
 
 bool RobustF0::exhausted() const {
   // Ring mode can never exhaust; the paths guarantee lapses once the
-  // published output changed more often than the union bound budgeted for.
-  return switching_ != nullptr ? switching_->exhausted()
-                               : paths_->output_changes() > paths_->lambda();
+  // published output changed more often than the union bound budgeted for;
+  // the dp guarantee lapses when the SVT gate needed a flip it could no
+  // longer pay for.
+  if (switching_ != nullptr) return switching_->exhausted();
+  if (dp_ != nullptr) return dp_->exhausted();
+  return paths_->output_changes() > paths_->lambda();
 }
 
 rs::GuaranteeStatus RobustF0::GuaranteeStatus() const {
+  if (dp_ != nullptr) return dp_->GuaranteeStatus();
   rs::GuaranteeStatus status;
   status.flips_spent = output_changes();
   if (switching_ != nullptr) {

@@ -1,14 +1,15 @@
 // robust_f0.h — adversarially robust distinct-elements (F0) estimation.
 //
-// Wraps: KMV tracking sketches (kSketchSwitching) or a single FastF0
-// instance (kComputationPaths).
-// Technique: sketch switching with the Theorem 4.1 restart ring, or the
-// Lemma 3.8 computation-paths union bound.
+// Wraps: KMV tracking sketches (kSketchSwitching, kDifferentialPrivacy) or
+// a single FastF0 instance (kComputationPaths).
+// Technique: sketch switching with the Theorem 4.1 restart ring, the
+// Lemma 3.8 computation-paths union bound, or the HKMMS private-median pool
+// (rs/dp/).
 // Parameters: `eps` — multiplicative accuracy of every published estimate
 // (1 +- eps, against an adaptive adversary); `delta` — overall failure
 // probability of the whole adaptive execution; the flip-number budget is
 // derived internally from (eps, n) via F0FlipNumber (Corollary 3.5) and
-// sizes the copy ring / the union bound.
+// sizes the copy ring / the union bound / the dp pool.
 
 #ifndef RS_CORE_ROBUST_F0_H_
 #define RS_CORE_ROBUST_F0_H_
@@ -20,13 +21,14 @@
 #include "rs/core/computation_paths.h"
 #include "rs/core/robust.h"
 #include "rs/core/sketch_switching.h"
+#include "rs/dp/dp_robust.h"
 #include "rs/sketch/estimator.h"
 
 namespace rs {
 
 // Adversarially robust distinct-elements (F0) estimation, Section 5.
 //
-// Two constructions, matching the paper's two theorems:
+// Three constructions:
 //  * kSketchSwitching (Theorem 1.1 / 5.1): a ring of independent KMV
 //    tracking sketches behind the Algorithm 1 gate, with the Theorem 4.1
 //    restart optimization (Theta(eps^-1 log eps^-1) copies).
@@ -35,28 +37,15 @@ namespace rs {
 //    Lemma 3.8, published through an eps/2-rounder. FastF0's update time
 //    depends only poly-log-log on 1/delta0, which is the point of the
 //    construction.
+//  * kDifferentialPrivacy (HKMMS, arXiv:2004.05975): ~sqrt(lambda) KMV
+//    copies behind a sparse-vector-gated private median (rs/dp/dp_robust.h)
+//    — asymptotically fewer copies than the Lemma 3.6 pool in flip-heavy
+//    regimes, priced by a privacy budget instead of copy retirement.
 class RobustF0 : public RobustEstimator {
  public:
   using Method = rs::Method;
 
-  // Deprecated legacy config — use RobustConfig (and rs::MakeRobust) for
-  // new code; this shim is kept for one PR.
-  struct [[deprecated("use rs::RobustConfig + rs::MakeRobust (see rs/core/robust.h)")]] Config {
-    double eps = 0.1;
-    double delta = 0.05;
-    uint64_t n = 1 << 20;  // Domain size.
-    uint64_t m = 1 << 20;  // Stream length bound.
-    Method method = Method::kSketchSwitching;
-    // Exact Lemma 3.8 delta0 (astronomically small) instead of the
-    // calibrated practical target; computation-paths method only.
-    bool theoretical_sizing = false;
-  };
-
   RobustF0(const RobustConfig& config, uint64_t seed);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  RobustF0(const Config& config, uint64_t seed);  // Deprecated shim.
-#pragma GCC diagnostic pop
 
   void Update(const rs::Update& u) override;
   void UpdateBatch(const rs::Update* ups, size_t count) override;
@@ -65,7 +54,9 @@ class RobustF0 : public RobustEstimator {
   std::string Name() const override;
 
   // RobustEstimator telemetry. Ring mode never exhausts; the paths method
-  // lapses once the output changed more often than the Lemma 3.8 lambda.
+  // lapses once the output changed more often than the Lemma 3.8 lambda;
+  // the dp method lapses when a flip is needed after the SVT budget ran
+  // out.
   size_t output_changes() const override;
   bool exhausted() const override;
   rs::GuaranteeStatus GuaranteeStatus() const override;
@@ -76,6 +67,7 @@ class RobustF0 : public RobustEstimator {
   RobustConfig config_;
   std::unique_ptr<SketchSwitching> switching_;
   std::unique_ptr<ComputationPaths> paths_;
+  std::unique_ptr<DpRobust> dp_;
 };
 
 }  // namespace rs

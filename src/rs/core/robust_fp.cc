@@ -9,30 +9,6 @@
 
 namespace rs {
 
-namespace {
-
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-RobustConfig FromLegacy(const RobustFp::Config& c) {
-  RobustConfig rc;
-  rc.eps = c.eps;
-  rc.delta = c.delta;
-  rc.stream = c.stream;
-  rc.method = c.method;
-  rc.theoretical_sizing = c.theoretical_sizing;
-  rc.fp.p = c.p;
-  rc.fp.lambda_override = c.lambda_override;
-  rc.fp.highp_s1_override = c.highp_s1_override;
-  rc.fp.highp_s2_override = c.highp_s2_override;
-  return rc;
-}
-
-}  // namespace
-
-RobustFp::RobustFp(const Config& config, uint64_t seed)
-    : RobustFp(FromLegacy(config), seed) {}
-#pragma GCC diagnostic pop
-
 RobustFp::RobustFp(const RobustConfig& config, uint64_t seed)
     : config_(config) {
   RS_CHECK(config.fp.p > 0.0);
@@ -55,6 +31,30 @@ RobustFp::RobustFp(const RobustConfig& config, uint64_t seed)
     sw.name = "RobustFp/switching";
     switching_ = std::make_unique<SketchSwitching>(
         sw, [ps](uint64_t s) { return std::make_unique<PStableFp>(ps, s); },
+        seed);
+    return;
+  }
+
+  if (config.method == Method::kDifferentialPrivacy) {
+    // HKMMS pool over the p-stable base (p <= 2: the linear sketch the dp
+    // analysis assumes; p > 2 has no dp construction in the cited papers).
+    RS_CHECK_MSG(p <= 2.0, "dp method requires p <= 2");
+    const double eps0 = eps / 4.0;
+    PStableFp::Config ps;
+    ps.p = p;
+    ps.eps = eps0;
+    // Flip budget at the Lemma 3.6 lambda_{eps/8} granularity (see
+    // robust_f0.cc for why the eps/2 rounder needs the coarser budget).
+    const size_t lambda =
+        config.dp.flip_budget_override != 0 ? config.dp.flip_budget_override
+        : config.fp.lambda_override != 0
+            ? config.fp.lambda_override
+            : FpFlipNumber(eps / 8.0, config.stream.n,
+                           config.stream.max_frequency, p);
+    dp_ = std::make_unique<DpRobust>(
+        MakeDpRobustConfig(config, lambda, "RobustFp/dp"),
+        EstimatorFactory(
+            [ps](uint64_t s) { return std::make_unique<PStableFp>(ps, s); }),
         seed);
     return;
   }
@@ -117,6 +117,8 @@ void RobustFp::Update(const rs::Update& u) {
   }
   if (switching_ != nullptr) {
     switching_->Update(u);
+  } else if (dp_ != nullptr) {
+    dp_->Update(u);
   } else {
     paths_->Update(u);
   }
@@ -130,13 +132,17 @@ void RobustFp::UpdateBatch(const rs::Update* ups, size_t count) {
 #endif
   if (switching_ != nullptr) {
     switching_->UpdateBatch(ups, count);
+  } else if (dp_ != nullptr) {
+    dp_->UpdateBatch(ups, count);
   } else {
     paths_->UpdateBatch(ups, count);
   }
 }
 
 double RobustFp::Estimate() const {
-  return switching_ != nullptr ? switching_->Estimate() : paths_->Estimate();
+  if (switching_ != nullptr) return switching_->Estimate();
+  if (dp_ != nullptr) return dp_->Estimate();
+  return paths_->Estimate();
 }
 
 double RobustFp::NormEstimate() const {
@@ -145,25 +151,31 @@ double RobustFp::NormEstimate() const {
 }
 
 size_t RobustFp::SpaceBytes() const {
-  return switching_ != nullptr ? switching_->SpaceBytes()
-                               : paths_->SpaceBytes();
+  if (switching_ != nullptr) return switching_->SpaceBytes();
+  if (dp_ != nullptr) return dp_->SpaceBytes();
+  return paths_->SpaceBytes();
 }
 
 std::string RobustFp::Name() const {
-  return switching_ != nullptr ? switching_->Name() : paths_->Name();
+  if (switching_ != nullptr) return switching_->Name();
+  if (dp_ != nullptr) return dp_->Name();
+  return paths_->Name();
 }
 
 size_t RobustFp::output_changes() const {
-  return switching_ != nullptr ? switching_->switches()
-                               : paths_->output_changes();
+  if (switching_ != nullptr) return switching_->switches();
+  if (dp_ != nullptr) return dp_->output_changes();
+  return paths_->output_changes();
 }
 
 bool RobustFp::exhausted() const {
-  return switching_ != nullptr ? switching_->exhausted()
-                               : paths_->output_changes() > paths_->lambda();
+  if (switching_ != nullptr) return switching_->exhausted();
+  if (dp_ != nullptr) return dp_->exhausted();
+  return paths_->output_changes() > paths_->lambda();
 }
 
 rs::GuaranteeStatus RobustFp::GuaranteeStatus() const {
+  if (dp_ != nullptr) return dp_->GuaranteeStatus();
   rs::GuaranteeStatus status;
   status.flips_spent = output_changes();
   if (switching_ != nullptr) {

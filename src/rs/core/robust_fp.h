@@ -2,9 +2,10 @@
 //
 // Wraps: p-stable sketches for 0 < p <= 2, the HighpFp sampling estimator
 // for p > 2.
-// Technique: sketch switching (restart ring, Theorem 4.1) or computation
-// paths (Theorems 4.2-4.4), including the promised-flip-number turnstile
-// variant of Theorem 4.3.
+// Technique: sketch switching (restart ring, Theorem 4.1), computation
+// paths (Theorems 4.2-4.4, including the promised-flip-number turnstile
+// variant of Theorem 4.3), or the HKMMS differential-privacy pool
+// (rs/dp/, p <= 2 only — the p-stable base).
 // Parameters: `eps` — multiplicative accuracy of the published Fp moment;
 // `delta` — adversarial failure probability for the whole run; the
 // flip-number budget comes from FpFlipNumber(eps, n, M, p) (Corollary 3.5)
@@ -20,13 +21,14 @@
 #include "rs/core/computation_paths.h"
 #include "rs/core/robust.h"
 #include "rs/core/sketch_switching.h"
+#include "rs/dp/dp_robust.h"
 #include "rs/sketch/estimator.h"
 #include "rs/stream/update.h"
 
 namespace rs {
 
-// Adversarially robust Fp-moment estimation, Section 4. Covers four of the
-// paper's constructions behind one interface:
+// Adversarially robust Fp-moment estimation, Section 4. Covers five
+// constructions behind one interface:
 //
 //  * kSketchSwitching, 0 < p <= 2 (Theorem 4.1): ring of p-stable sketches
 //    with suffix restarts, Theta(eps^-1 log eps^-1) copies.
@@ -38,40 +40,17 @@ namespace rs {
 //    is linear, so deletions are handled natively.
 //  * kComputationPaths, p > 2 (Theorem 4.4): wraps the insertion-only
 //    sampling estimator HighpFp instead.
+//  * kDifferentialPrivacy, 0 < p <= 2 (HKMMS, arXiv:2004.05975):
+//    ~sqrt(lambda) p-stable copies behind a sparse-vector-gated private
+//    median; `fp.lambda_override` matches the budget to a promised
+//    turnstile flip number, exactly as in the paths method.
 //
 // Estimate() returns Fp = ||f||_p^p; NormEstimate() returns ||f||_p.
 class RobustFp : public RobustEstimator {
  public:
   using Method = rs::Method;
 
-  // Deprecated legacy config — use RobustConfig (and rs::MakeRobust) for
-  // new code; this shim is kept for one PR. The stream-global bounds n, m,
-  // M now live in the embedded StreamParams rather than per-task copies.
-  struct [[deprecated("use rs::RobustConfig + rs::MakeRobust (see rs/core/robust.h)")]] Config {
-    double p = 1.0;
-    double eps = 0.1;
-    double delta = 0.05;
-    // n, m, max_frequency (M) — defaults match the pre-StreamParams fields
-    // of this legacy struct (M = 2^20, not StreamParams' 2^32), so callers
-    // that never set M keep their original flip budget and sketch sizing.
-    StreamParams stream{.n = 1 << 20, .m = 1 << 20,
-                        .max_frequency = uint64_t{1} << 20};
-    Method method = Method::kSketchSwitching;
-    // Theorem 4.3: promised Fp flip number for turnstile streams (0 = use
-    // the insertion-only Corollary 3.5 bound).
-    size_t lambda_override = 0;
-    bool theoretical_sizing = false;
-    // p > 2 only: force sampling sizes of the HighpFp base (0 = theory-bound
-    // defaults, which are large; benchmarks calibrate these).
-    size_t highp_s1_override = 0;
-    size_t highp_s2_override = 0;
-  };
-
   RobustFp(const RobustConfig& config, uint64_t seed);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  RobustFp(const Config& config, uint64_t seed);  // Deprecated shim.
-#pragma GCC diagnostic pop
 
   void Update(const rs::Update& u) override;
   void UpdateBatch(const rs::Update* ups, size_t count) override;
@@ -81,7 +60,8 @@ class RobustFp : public RobustEstimator {
   std::string Name() const override;
 
   // RobustEstimator telemetry. Ring mode never exhausts; the paths method
-  // lapses once the output changed more often than the budgeted lambda.
+  // lapses once the output changed more often than the budgeted lambda;
+  // the dp method lapses when the SVT budget runs dry mid-flip.
   size_t output_changes() const override;
   bool exhausted() const override;
   rs::GuaranteeStatus GuaranteeStatus() const override;
@@ -92,6 +72,7 @@ class RobustFp : public RobustEstimator {
   RobustConfig config_;
   std::unique_ptr<SketchSwitching> switching_;
   std::unique_ptr<ComputationPaths> paths_;
+  std::unique_ptr<DpRobust> dp_;
 };
 
 }  // namespace rs

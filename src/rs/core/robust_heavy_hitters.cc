@@ -29,22 +29,7 @@ class L2NormEstimator : public Estimator {
   PStableFp sketch_;
 };
 
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-RobustConfig FromLegacy(const RobustHeavyHitters::Config& c) {
-  RobustConfig rc;
-  rc.eps = c.eps;
-  rc.delta = c.delta;
-  rc.stream.n = c.n;
-  rc.stream.m = c.m;
-  return rc;
-}
-
 }  // namespace
-
-RobustHeavyHitters::RobustHeavyHitters(const Config& config, uint64_t seed)
-    : RobustHeavyHitters(FromLegacy(config), seed) {}
-#pragma GCC diagnostic pop
 
 RobustHeavyHitters::RobustHeavyHitters(const RobustConfig& config,
                                        uint64_t seed)

@@ -48,20 +48,7 @@ namespace rs {
 class RobustHeavyHitters : public PointQueryEstimator,
                            public RobustEstimator {
  public:
-  // Deprecated legacy config — use RobustConfig (and rs::MakeRobust) for
-  // new code; this shim is kept for one PR.
-  struct [[deprecated("use rs::RobustConfig + rs::MakeRobust (see rs/core/robust.h)")]] Config {
-    double eps = 0.1;    // L2 guarantee: tau = eps * ||f||_2.
-    double delta = 0.01;
-    uint64_t n = 1 << 20;
-    uint64_t m = 1 << 20;
-  };
-
   RobustHeavyHitters(const RobustConfig& config, uint64_t seed);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  RobustHeavyHitters(const Config& config, uint64_t seed);  // Deprecated.
-#pragma GCC diagnostic pop
 
   void Update(const rs::Update& u) override;
   // Batched: the norm tracker and the CountSketch ring consume the whole

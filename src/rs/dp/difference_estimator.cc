@@ -1,0 +1,87 @@
+#include "rs/dp/difference_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rs/core/flip_number.h"
+#include "rs/util/check.h"
+
+namespace rs {
+
+F2DiffEstimator::F2DiffEstimator(const Config& config, uint64_t seed)
+    : cur_(config.ams, seed),
+      base_counters_(cur_.counters().size(), 0.0) {}
+
+void F2DiffEstimator::Update(const rs::Update& u) { cur_.Update(u); }
+
+double F2DiffEstimator::DiffEstimate() const {
+  // Per counter: d = y_f - y_g, estimate cell d^2 + 2 d y_g; group means,
+  // median over groups. Unbiased for F2(f-g) + 2<f-g, g> = F2(f) - F2(g)
+  // by linearity and 4-wise independence of the signs.
+  const auto& cur = cur_.counters();
+  const size_t groups = cur_.rows();
+  const size_t per_group = cur_.cols();
+  group_means_.clear();
+  for (size_t g = 0; g < groups; ++g) {
+    double sum = 0.0;
+    for (size_t j = 0; j < per_group; ++j) {
+      const size_t c = g * per_group + j;
+      const double d = cur[c] - base_counters_[c];
+      sum += d * d + 2.0 * d * base_counters_[c];
+    }
+    group_means_.push_back(sum / static_cast<double>(per_group));
+  }
+  // In-place median over the scratch buffer (AmsF2 forces an odd group
+  // count, so the middle element is the median).
+  const auto nth =
+      group_means_.begin() + static_cast<ptrdiff_t>(groups / 2);
+  std::nth_element(group_means_.begin(), nth, group_means_.end());
+  return *nth;
+}
+
+double F2DiffEstimator::Estimate() const {
+  return base_estimate_ + DiffEstimate();
+}
+
+void F2DiffEstimator::Rebase() {
+  // F2 is non-negative; clamping the folded base keeps the per-segment
+  // estimation errors (which random-walk across rebases) from freezing a
+  // negative floor into every later estimate on shrinking streams.
+  base_estimate_ = std::max(0.0, base_estimate_ + DiffEstimate());
+  base_counters_ = cur_.counters();
+  ++rebases_;
+}
+
+size_t F2DiffEstimator::SpaceBytes() const {
+  return cur_.SpaceBytes() + base_counters_.size() * sizeof(double) +
+         sizeof(double);
+}
+
+std::unique_ptr<RobustEstimator> MakeDpF2Diff(const RobustConfig& config,
+                                              uint64_t seed) {
+  RS_CHECK(config.eps > 0.0 && config.eps < 1.0);
+  const double eps = config.eps;
+  // F2 flip budget at the Lemma 3.6 lambda_{eps/8} granularity
+  // (Corollary 3.5 with p = 2; see robust_f0.cc for the eps/8 convention).
+  const size_t lambda =
+      config.dp.flip_budget_override != 0
+          ? config.dp.flip_budget_override
+          : FpFlipNumber(eps / 8.0, config.stream.n,
+                         config.stream.max_frequency, 2.0);
+  // The ACSS coarsening: the per-copy sketch only resolves eps-sized
+  // deltas, so its AMS eps is sqrt(eps/4) — O(1/eps) counters instead of
+  // the O(1/eps^2) a full-accuracy copy needs. Per-copy confidence is a
+  // constant: the private median over the pool supplies the delta boost,
+  // exactly as for the full-accuracy dp copies.
+  F2DiffEstimator::Config fc;
+  fc.ams.eps = std::min(1.0, std::sqrt(eps / 4.0));
+  fc.ams.delta = 0.25;
+  return std::make_unique<DpRobust>(
+      MakeDpRobustConfig(config, lambda, "DpF2Diff"),
+      DifferenceFactory([fc](uint64_t s) {
+        return std::make_unique<F2DiffEstimator>(fc, s);
+      }),
+      seed);
+}
+
+}  // namespace rs

@@ -1,0 +1,85 @@
+// difference_estimator.h — difference estimators for the dp method (ACSS).
+//
+// Attias-Cohen-Shechner-Stemmer (arXiv:2107.14527) sharpen the HKMMS dp
+// robustification with DIFFERENCE estimators: instead of k copies each
+// re-estimating the full quantity g(f) to (1+eps) accuracy, the copies
+// track g(f) - g(f_checkpoint) for a checkpoint that is re-based ("toggled")
+// at every published flip. Between flips the delta is only ~eps g(f), and
+// estimating a small difference to fixed *absolute* accuracy eps g(f) is
+// cheaper than estimating the whole of g(f) to *relative* accuracy eps —
+// for F2 the counter count drops from O(1/eps^2) to O(1/eps).
+//
+// (The task-agnostic DifferenceEstimator interface itself is declared in
+// rs/dp/dp_robust.h next to the wrapper that drives the rebases; this
+// header holds the F2 instantiation and its facade factory.)
+//
+// F2 instantiation: with a same-seed linear AMS sketch, the counter
+// difference d = y(f) - y(g) is itself a sketch of f - g, and
+//   F2(f) - F2(g) = F2(f - g) + 2 <f - g, g>,
+// where both terms are estimable from (d, y(g)) by the classic AMS
+// mean-of-products / median-of-groups estimators. The variance of the
+// inner-product term is F2(f-g) F2(g) / cols, so the estimator's error is
+// ~sqrt(F2(delta) / F2(g)) relative to F2(g) — small exactly when the delta
+// is small, the difference-estimator advantage.
+
+#ifndef RS_DP_DIFFERENCE_ESTIMATOR_H_
+#define RS_DP_DIFFERENCE_ESTIMATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rs/dp/dp_robust.h"
+#include "rs/sketch/ams_f2.h"
+#include "rs/sketch/estimator.h"
+
+namespace rs {
+
+// F2 difference estimator over a same-seed AMS pair: a running sketch of f
+// and a frozen counter snapshot of g = f at the last Rebase(). Estimate()
+// = BaseEstimate() + DiffEstimate() tracks F2(f); the base is a frozen
+// scalar, so between rebases only the (cheap, coarse) difference moves.
+class F2DiffEstimator : public DifferenceEstimator {
+ public:
+  struct Config {
+    // Accuracy/confidence of the underlying AMS shape. Because the sketch
+    // only needs to resolve eps-sized *differences*, callers pass a coarser
+    // eps here than a full-accuracy copy would use (sqrt(eps) gives the
+    // O(1/eps) counter count of the ACSS F2 construction).
+    AmsF2::Config ams;
+  };
+
+  F2DiffEstimator(const Config& config, uint64_t seed);
+
+  void Update(const rs::Update& u) override;
+  double Estimate() const override;
+  size_t SpaceBytes() const override;
+  std::string Name() const override { return "F2DiffEstimator"; }
+
+  // DifferenceEstimator contract.
+  double BaseEstimate() const override { return base_estimate_; }
+  double DiffEstimate() const override;
+  void Rebase() override;
+
+  size_t rebases() const { return rebases_; }
+
+ private:
+  AmsF2 cur_;                          // Sketch of f (always updated).
+  std::vector<double> base_counters_;  // y(g), frozen at the last rebase.
+  double base_estimate_ = 0.0;         // Estimate of F2(g), frozen.
+  size_t rebases_ = 0;
+  // Scratch for DiffEstimate(), reused across the per-update gate path.
+  mutable std::vector<double> group_means_;
+};
+
+// Builds the "dp_f2_diff" construction: a DpRobust in difference-estimator
+// mode over F2DiffEstimator copies, sized by the sqrt(lambda) formula with
+// the coarsened per-copy AMS shape. The task is F2 (config.fp.p is ignored;
+// the F2 flip number prices the budget).
+std::unique_ptr<RobustEstimator> MakeDpF2Diff(const RobustConfig& config,
+                                              uint64_t seed);
+
+}  // namespace rs
+
+#endif  // RS_DP_DIFFERENCE_ESTIMATOR_H_

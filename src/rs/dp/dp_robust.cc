@@ -1,0 +1,176 @@
+#include "rs/dp/dp_robust.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "rs/core/rounding.h"
+#include "rs/dp/private_median.h"
+#include "rs/util/check.h"
+
+namespace rs {
+
+namespace {
+
+size_t NextOdd(size_t v) { return v | 1; }
+
+SparseVectorGate::Config GateConfigFor(const DpRobust::Config& config) {
+  SparseVectorGate::Config g;
+  // Gate in the log domain: the published output may drift a (1 + eps/2)
+  // factor from the private median before a re-publish fires — the same
+  // window as the Algorithm 1 switching gate.
+  g.threshold = std::log1p(config.eps / 2.0);
+  // Noise scales calibrated to small fractions of the threshold: the gate
+  // is evaluated after EVERY update, so its spurious-fire tail must be tiny
+  // per round (e^-16-ish at gap 0) or noise fires eat the flip budget. The
+  // accountant prices the draws (see ARCHITECTURE.md for the
+  // constant-factor caveat vs. the cited papers' exact accounting).
+  g.threshold_noise_scale = g.threshold / 32.0;
+  g.query_noise_scale = g.threshold / 16.0;
+  g.budget = config.flip_budget;
+  return g;
+}
+
+}  // namespace
+
+size_t DpCopyCount(double dp_epsilon, double delta, size_t lambda) {
+  RS_CHECK(dp_epsilon > 0.0);
+  RS_CHECK(delta > 0.0 && delta < 1.0);
+  RS_CHECK(lambda >= 1);
+  const double l = static_cast<double>(lambda);
+  const double k =
+      std::ceil(std::sqrt(2.0 * l * std::log(1.0 / delta)) / dp_epsilon);
+  return NextOdd(std::max<size_t>(9, static_cast<size_t>(k)));
+}
+
+DpRobust::Config MakeDpRobustConfig(const RobustConfig& config, size_t lambda,
+                                    std::string name) {
+  DpRobust::Config dc;
+  dc.eps = config.eps;
+  dc.dp_epsilon = config.dp.epsilon;
+  dc.copies = config.dp.copies_override != 0
+                  ? config.dp.copies_override
+                  : DpCopyCount(config.dp.epsilon, config.delta, lambda);
+  dc.flip_budget = lambda;
+  dc.gate_period = config.dp.gate_period;
+  dc.name = std::move(name);
+  return dc;
+}
+
+DpRobust::DpRobust(const Config& config, EstimatorFactory factory,
+                   uint64_t seed)
+    : config_(config),
+      noise_rng_(SplitMix64(seed ^ 0xd1fface5d1fface5ULL)),
+      svt_(GateConfigFor(config), seed),
+      accountant_(config.dp_epsilon),
+      published_(config.initial_output) {
+  RS_CHECK(config_.eps > 0.0 && config_.eps < 1.0);
+  RS_CHECK(config_.copies >= 3);
+  RS_CHECK(config_.flip_budget >= 1);
+  RS_CHECK(config_.gate_period >= 1);
+  copies_.reserve(config_.copies);
+  for (size_t i = 0; i < config_.copies; ++i) {
+    copies_.push_back(factory(SplitMix64(seed + i + 1)));
+  }
+}
+
+DpRobust::DpRobust(const Config& config, DifferenceFactory factory,
+                   uint64_t seed)
+    : config_(config),
+      noise_rng_(SplitMix64(seed ^ 0xd1fface5d1fface5ULL)),
+      svt_(GateConfigFor(config), seed),
+      accountant_(config.dp_epsilon),
+      published_(config.initial_output) {
+  RS_CHECK(config_.eps > 0.0 && config_.eps < 1.0);
+  RS_CHECK(config_.copies >= 3);
+  RS_CHECK(config_.flip_budget >= 1);
+  RS_CHECK(config_.gate_period >= 1);
+  copies_.reserve(config_.copies);
+  diff_view_.reserve(config_.copies);
+  for (size_t i = 0; i < config_.copies; ++i) {
+    auto copy = factory(SplitMix64(seed + i + 1));
+    diff_view_.push_back(copy.get());
+    copies_.push_back(std::move(copy));
+  }
+}
+
+void DpRobust::Update(const rs::Update& u) {
+  for (auto& copy : copies_) copy->Update(u);
+  if (++since_gate_ >= config_.gate_period) {
+    since_gate_ = 0;
+    Gate();
+  }
+}
+
+void DpRobust::UpdateBatch(const rs::Update* ups, size_t count) {
+  if (count == 0) return;
+  for (auto& copy : copies_) copy->UpdateBatch(ups, count);
+  since_gate_ = 0;
+  Gate();
+}
+
+double DpRobust::PrivateAggregate() {
+  // Hot path (one release per gate evaluation): reuse the scratch buffer
+  // and select the noisy rank in O(k) instead of allocating and sorting.
+  scratch_.clear();
+  for (const auto& copy : copies_) scratch_.push_back(copy->Estimate());
+  return PrivateMedianInPlace(scratch_, RankEpsilonForCopies(copies_.size()),
+                              noise_rng_);
+}
+
+void DpRobust::Gate() {
+  // Every tracked quantity is non-negative, but difference-estimator
+  // copies can report small negative values through sketch error while
+  // their delta shrinks (turnstile deletions after a rebase). Clamp before
+  // gating/publishing: otherwise a median oscillating around zero hits the
+  // sign-mismatch branch below on every evaluation, force-fires the gate
+  // repeatedly, and drains the flip budget on a stream whose true flip
+  // number is tiny.
+  const double median = std::max(0.0, PrivateAggregate());
+  const double threshold = svt_.threshold();
+  // Log-domain gap between the fresh private median and the sticky output.
+  // A zero/non-zero mismatch is an unconditional flip.
+  double gap;
+  if (median <= 0.0 && published_ <= 0.0) {
+    gap = 0.0;
+  } else if (median <= 0.0 || published_ <= 0.0) {
+    gap = 2.0 * threshold;
+  } else {
+    gap = std::fabs(std::log(median / published_));
+  }
+  if (!svt_.Fire(gap)) return;
+
+  published_ = RoundToPowerOf1PlusEps(median, config_.eps / 2.0);
+  // Linear spend schedule: the provisioned budget is exactly exhausted at
+  // the flip budget.
+  accountant_.Spend(config_.dp_epsilon /
+                    static_cast<double>(config_.flip_budget));
+  // ACSS toggle: a published flip is precisely when the tracked deltas have
+  // grown to ~eps of the base — fold them in and restart small.
+  for (DifferenceEstimator* d : diff_view_) d->Rebase();
+}
+
+double DpRobust::Estimate() const { return published_; }
+
+size_t DpRobust::SpaceBytes() const {
+  size_t total = sizeof(*this);
+  for (const auto& copy : copies_) total += copy->SpaceBytes();
+  return total;
+}
+
+size_t DpRobust::output_changes() const { return svt_.fires(); }
+
+bool DpRobust::exhausted() const { return svt_.lapsed(); }
+
+rs::GuaranteeStatus DpRobust::GuaranteeStatus() const {
+  rs::GuaranteeStatus status;
+  status.flips_spent = svt_.fires();
+  status.flip_budget = svt_.budget();
+  // The dp method never retires copies: their randomness is never revealed,
+  // only privately aggregated — that is the whole point.
+  status.copies_retired = 0;
+  status.holds = !exhausted();
+  return status;
+}
+
+}  // namespace rs

@@ -1,0 +1,144 @@
+// dp_robust.h — the differential-privacy robustification wrapper.
+//
+// Third pillar of the framework, next to sketch switching (Lemma 3.6 /
+// Theorem 4.1) and computation paths (Lemma 3.8): protect the internal
+// randomness of k independently seeded oblivious copies with differential
+// privacy (HKMMS, arXiv:2004.05975). The adversary only ever observes
+//   (a) a sticky, (1+eps/2)-rounded PRIVATE median of the copies, and
+//   (b) the timing of output flips, gated by a sparse-vector AboveThreshold
+//       test that spends privacy budget only when it fires.
+// DP's generalization property keeps most copies accurate against the
+// adaptively chosen stream, and composing over the ~lambda fires gives a
+// copy count of ~sqrt(lambda) instead of the Lemma 3.6 pool's lambda —
+// asymptotically the cheapest of the three methods in flip-heavy regimes.
+//
+// The same wrapper hosts the difference-estimator refinement of
+// Attias-Cohen-Shechner-Stemmer (arXiv:2107.14527): when the copies
+// implement the DifferenceEstimator contract (declared below; the F2
+// instantiation lives in rs/dp/difference_estimator.h) the wrapper
+// re-bases them at every published flip, so between flips each copy only
+// has to track a small delta instead of re-estimating the whole quantity —
+// which is exactly when cheaper (coarser) sketches suffice.
+
+#ifndef RS_DP_DP_ROBUST_H_
+#define RS_DP_DP_ROBUST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rs/core/robust.h"
+#include "rs/dp/noise.h"
+#include "rs/dp/sparse_vector.h"
+#include "rs/sketch/estimator.h"
+#include "rs/util/rng.h"
+
+namespace rs {
+
+// Extension implemented by copies that decompose their estimate into a
+// frozen base plus a running difference (the ACSS toggle decomposition).
+// Estimate() must equal BaseEstimate() + DiffEstimate() at all times.
+class DifferenceEstimator : public virtual Estimator {
+ public:
+  // g(f at the last Rebase()) — frozen between rebases.
+  virtual double BaseEstimate() const = 0;
+
+  // Estimate of g(f) - g(f at the last Rebase()); starts at 0 after each
+  // rebase and is cheap to track accurately while the delta stays small.
+  virtual double DiffEstimate() const = 0;
+
+  // Folds the running difference into the base and restarts the delta
+  // tracking from the current stream position.
+  virtual void Rebase() = 0;
+};
+
+using DifferenceFactory =
+    std::function<std::unique_ptr<DifferenceEstimator>(uint64_t seed)>;
+
+// Copy count of the dp method: the ~sqrt(lambda) formula of HKMMS
+// (Theorem 1.1 there), with the library's calibrated constants —
+//   k = next_odd(max(9, ceil(sqrt(2 lambda ln(1/delta)) / dp_epsilon))).
+// The sqrt(lambda) comes from advanced composition over the flip budget;
+// ln(1/delta) from the per-release confidence; 1/dp_epsilon from the noise
+// the rank statistic must drown out (see RankEpsilonForCopies).
+size_t DpCopyCount(double dp_epsilon, double delta, size_t lambda);
+
+// The dp robustification wrapper. Task-agnostic, exactly like
+// SketchSwitching: the caller supplies a factory for the oblivious base
+// sketch and the flip budget from the appropriate flip number.
+class DpRobust : public RobustEstimator {
+ public:
+  struct Config {
+    // Accuracy of the published output: sticky and (1+eps/2)-rounded, so
+    // every published value is (1 +- eps)-accurate while the guarantee
+    // holds.
+    double eps = 0.1;
+    // Total privacy budget protecting the copies' randomness, spent
+    // linearly over the flip budget (eps_fire = dp_epsilon / flip_budget).
+    double dp_epsilon = 1.0;
+    // Independently seeded oblivious copies (DpCopyCount for the formula).
+    size_t copies = 9;
+    // Flip budget = sparse-vector budget: number of output changes the
+    // execution may spend before the guarantee lapses.
+    size_t flip_budget = 16;
+    // Evaluate the SVT gate every `gate_period` updates (1 = per update;
+    // batched callers get at most one gate per batch regardless).
+    size_t gate_period = 1;
+    double initial_output = 0.0;  // g(zero vector).
+    std::string name = "DpRobust";
+  };
+
+  DpRobust(const Config& config, EstimatorFactory factory, uint64_t seed);
+
+  // Difference-estimator mode (ACSS): every published flip re-bases all
+  // copies, so the deltas they track stay ~eps-sized between flips.
+  DpRobust(const Config& config, DifferenceFactory factory, uint64_t seed);
+
+  void Update(const rs::Update& u) override;
+  // Every copy consumes the whole batch, then the private gate runs once at
+  // the batch boundary (same amortization as SketchSwitching::UpdateBatch —
+  // the published output is sticky between flips, so batch-boundary
+  // granularity is what a batching caller observes anyway).
+  void UpdateBatch(const rs::Update* ups, size_t count) override;
+  double Estimate() const override;
+  size_t SpaceBytes() const override;
+  std::string Name() const override { return config_.name; }
+
+  // RobustEstimator telemetry. flip_budget = the SVT budget; the guarantee
+  // lapses when a flip is needed after the budget ran out (the gate goes
+  // silent and the published output is stale from then on).
+  size_t output_changes() const override;
+  bool exhausted() const override;
+  rs::GuaranteeStatus GuaranteeStatus() const override;
+
+  size_t copies() const { return copies_.size(); }
+  const PrivacyAccountant& accountant() const { return accountant_; }
+  const SparseVectorGate& gate() const { return svt_; }
+
+ private:
+  void Gate();
+  double PrivateAggregate();
+
+  Config config_;
+  std::vector<std::unique_ptr<Estimator>> copies_;
+  // Non-null (parallel to copies_) in difference-estimator mode.
+  std::vector<DifferenceEstimator*> diff_view_;
+  Rng noise_rng_;
+  SparseVectorGate svt_;
+  PrivacyAccountant accountant_;
+  double published_;
+  uint64_t since_gate_ = 0;
+  std::vector<double> scratch_;  // Reused per-gate estimate buffer.
+};
+
+// Assembles the DpRobust::Config every facade construction shares, so the
+// dp sizing policy lives in one place: the caller supplies the task's flip
+// budget lambda (already reconciled with its overrides); copies come from
+// dp.copies_override or the sqrt-lambda formula.
+DpRobust::Config MakeDpRobustConfig(const RobustConfig& config, size_t lambda,
+                                    std::string name);
+
+}  // namespace rs
+
+#endif  // RS_DP_DP_ROBUST_H_

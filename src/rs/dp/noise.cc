@@ -1,0 +1,49 @@
+#include "rs/dp/noise.h"
+
+#include <cmath>
+
+#include "rs/util/check.h"
+
+namespace rs {
+
+double LaplaceNoise(Rng& rng, double scale) {
+  RS_CHECK(scale > 0.0);
+  // Inverse-CDF: u uniform in (-1/2, 1/2), x = -scale sgn(u) ln(1 - 2|u|).
+  const double u = rng.NextDoubleOpen() - 0.5;
+  const double a = std::fabs(u);
+  const double mag = -scale * std::log1p(-2.0 * a);
+  return u < 0.0 ? -mag : mag;
+}
+
+int64_t TwoSidedGeometricNoise(Rng& rng, double epsilon) {
+  RS_CHECK(epsilon > 0.0);
+  // Difference of two i.i.d. Geometric(1 - e^-epsilon) samples is two-sided
+  // geometric with P(x) proportional to exp(-epsilon |x|). Each geometric is
+  // drawn by inverse CDF: floor(ln U / ln alpha), alpha = e^-epsilon.
+  const double log_alpha = -epsilon;
+  const auto geometric = [&]() -> int64_t {
+    const double u = rng.NextDoubleOpen();
+    return static_cast<int64_t>(std::floor(std::log(u) / log_alpha));
+  };
+  return geometric() - geometric();
+}
+
+PrivacyAccountant::PrivacyAccountant(double total_epsilon)
+    : total_(total_epsilon) {
+  RS_CHECK(total_epsilon > 0.0);
+}
+
+// Equal-spend schedules (total/budget per fire) accumulate floating-point
+// rounding; the relative slack keeps an execution that spends its budget in
+// exactly `budget` equal installments from reading as over budget.
+bool PrivacyAccountant::WithinBudget() const {
+  return spent_ <= total_ * (1.0 + 1e-9);
+}
+
+bool PrivacyAccountant::Spend(double epsilon) {
+  RS_CHECK(epsilon >= 0.0);
+  spent_ += epsilon;
+  return WithinBudget();
+}
+
+}  // namespace rs

@@ -1,0 +1,61 @@
+// noise.h — differential-privacy noise primitives and budget accounting.
+//
+// The rs::dp subsystem implements the third robustification route of the
+// framework: protecting the *internal randomness* of the sketch copies with
+// differential privacy (Hassidim-Kaplan-Mansour-Matias-Stemmer,
+// arXiv:2004.05975; sharpened with difference estimators by
+// Attias-Cohen-Shechner-Stemmer, arXiv:2107.14527). Everything here draws
+// from the seeded rs::Rng, so dp executions are exactly as reproducible as
+// the rest of the library.
+
+#ifndef RS_DP_NOISE_H_
+#define RS_DP_NOISE_H_
+
+#include <cstdint>
+
+#include "rs/util/rng.h"
+
+namespace rs {
+
+// A Laplace(scale) sample (density exp(-|x|/scale) / 2 scale). The additive
+// noise of choice for real-valued queries of sensitivity `scale * epsilon`.
+double LaplaceNoise(Rng& rng, double scale);
+
+// A two-sided geometric ("discrete Laplace") sample with
+// P(X = x) proportional to exp(-epsilon |x|) — the integer-valued analogue
+// of Laplace(1/epsilon), used for rank perturbation in the private median
+// (the noisy rank stays a valid index). epsilon must be > 0.
+int64_t TwoSidedGeometricNoise(Rng& rng, double epsilon);
+
+// Tracks how much of a fixed privacy budget an execution has consumed,
+// under basic (linear) composition: a mechanism run with parameter eps_i
+// costs eps_i, and the guarantee degrades once sum_i eps_i exceeds the
+// provisioned total. The dp wrappers spend budget only when an output flip
+// forces fresh randomness to be revealed; below-threshold rounds are free
+// (the sparse-vector property — see rs/dp/sparse_vector.h).
+class PrivacyAccountant {
+ public:
+  explicit PrivacyAccountant(double total_epsilon);
+
+  // Records a spend of `epsilon`. Returns true while the running total stays
+  // within budget (the spend is recorded either way, so spent() is an
+  // honest ledger even after exhaustion).
+  bool Spend(double epsilon);
+
+  double total() const { return total_; }
+  double spent() const { return spent_; }
+  double remaining() const { return spent_ >= total_ ? 0.0 : total_ - spent_; }
+  // Over budget, with a tiny relative slack so spending the budget in
+  // exactly N equal fp installments never reads as exhaustion.
+  bool exhausted() const { return !WithinBudget(); }
+
+ private:
+  bool WithinBudget() const;
+
+  double total_;
+  double spent_ = 0.0;
+};
+
+}  // namespace rs
+
+#endif  // RS_DP_NOISE_H_

@@ -1,0 +1,34 @@
+#include "rs/dp/private_median.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "rs/dp/noise.h"
+#include "rs/util/check.h"
+
+namespace rs {
+
+double PrivateMedian(std::vector<double> values, double epsilon, Rng& rng) {
+  return PrivateMedianInPlace(values, epsilon, rng);
+}
+
+double PrivateMedianInPlace(std::vector<double>& values, double epsilon,
+                            Rng& rng) {
+  RS_CHECK(!values.empty());
+  const int64_t k = static_cast<int64_t>(values.size());
+  int64_t rank = k / 2 + TwoSidedGeometricNoise(rng, epsilon);
+  rank = std::clamp<int64_t>(rank, 0, k - 1);
+  const auto nth = values.begin() + static_cast<ptrdiff_t>(rank);
+  std::nth_element(values.begin(), nth, values.end());
+  return *nth;
+}
+
+double RankEpsilonForCopies(size_t copies) {
+  RS_CHECK(copies >= 1);
+  // Noise scale 1/epsilon = copies/16: an expected rank shift of k/16, so
+  // escaping the accurate middle half (margin k/4) costs an e^-4 tail per
+  // release — small even summed over a full flip budget.
+  return 16.0 / static_cast<double>(copies);
+}
+
+}  // namespace rs

@@ -1,0 +1,50 @@
+// private_median.h — differentially private aggregation of sketch copies.
+//
+// The HKMMS robustification (arXiv:2004.05975) runs k independently seeded
+// oblivious copies of a static sketch and publishes a PRIVATE median of
+// their estimates. Because each copy's internal randomness influences the
+// released value only through a (noisy) rank statistic, the adversary's
+// view is differentially private *with respect to the copies' random
+// strings* — the generalization argument of DP then keeps most copies
+// accurate even against adaptively chosen streams, and composition over the
+// flip number drives the copy count down from lambda (Lemma 3.6 pool) to
+// ~sqrt(lambda).
+
+#ifndef RS_DP_PRIVATE_MEDIAN_H_
+#define RS_DP_PRIVATE_MEDIAN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "rs/util/rng.h"
+
+namespace rs {
+
+// Noisy-rank private median: sorts `values`, perturbs the median rank with
+// two-sided geometric noise of parameter `epsilon` (P(shift = s) prop. to
+// exp(-epsilon |s|)), clamps, and returns the value at the noisy rank.
+// Changing one input value moves every rank by at most one, so the released
+// rank statistic is epsilon-DP in the swap model.
+//
+// Accuracy: if at least 3/4 of the values are (1 +- eps0)-accurate, every
+// rank in [k/4, 3k/4] is (1 +- eps0)-accurate, so the output survives rank
+// noise up to k/4 — which is why the dp wrapper sizes k as a multiple of
+// the expected noise magnitude 1/epsilon (see DpCopyCount).
+double PrivateMedian(std::vector<double> values, double epsilon, Rng& rng);
+
+// In-place variant for hot paths (the DpRobust gate runs one release per
+// update): selects the noisy-rank element with nth_element on the caller's
+// scratch buffer — no allocation, O(k) — and returns the same element the
+// full-sort variant would.
+double PrivateMedianInPlace(std::vector<double>& values, double epsilon,
+                            Rng& rng);
+
+// The rank-noise parameter the dp wrappers pair with a pool of k copies:
+// the expected noise magnitude ~1/epsilon is held at k/16, keeping the
+// noisy rank inside the accurate middle half with high probability while
+// releasing as little rank information as the pool size permits.
+double RankEpsilonForCopies(size_t copies);
+
+}  // namespace rs
+
+#endif  // RS_DP_PRIVATE_MEDIAN_H_

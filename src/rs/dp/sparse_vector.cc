@@ -1,0 +1,38 @@
+#include "rs/dp/sparse_vector.h"
+
+#include "rs/dp/noise.h"
+#include "rs/util/check.h"
+
+namespace rs {
+
+SparseVectorGate::SparseVectorGate(const Config& config, uint64_t seed)
+    : config_(config), rng_(SplitMix64(seed ^ 0x5af7c0de5af7c0deULL)) {
+  RS_CHECK(config_.threshold > 0.0);
+  RS_CHECK(config_.threshold_noise_scale > 0.0);
+  RS_CHECK(config_.query_noise_scale > 0.0);
+  RS_CHECK(config_.budget >= 1);
+  RefreshThresholdNoise();
+}
+
+void SparseVectorGate::RefreshThresholdNoise() {
+  rho_ = LaplaceNoise(rng_, config_.threshold_noise_scale);
+}
+
+bool SparseVectorGate::Fire(double gap) {
+  const double nu = LaplaceNoise(rng_, config_.query_noise_scale);
+  const bool above = gap + nu >= config_.threshold + rho_;
+  if (!above) return false;
+  if (fires_ >= config_.budget) {
+    // The (budget+1)-th fire was needed: the sticky output can no longer
+    // follow the stream and the adversarial guarantee lapses.
+    lapsed_ = true;
+    return false;
+  }
+  ++fires_;
+  // The fired comparison revealed the threshold noise; draw a fresh secret
+  // for the next epoch (multi-fire AboveThreshold).
+  RefreshThresholdNoise();
+  return true;
+}
+
+}  // namespace rs

@@ -1,0 +1,78 @@
+// sparse_vector.h — the AboveThreshold / sparse-vector gate.
+//
+// The sparse vector technique (Dwork-Roth, Algorithm "AboveThreshold") is
+// what lets the dp robustification answer an unbounded number of "did the
+// estimate move?" queries while spending privacy budget ONLY on the rounds
+// that fire: below-threshold answers reveal (almost) nothing because the
+// noisy threshold itself is secret, so the dp wrapper can re-examine its
+// gate after every stream update and still compose over just the flip
+// number many fires — the accounting miracle behind the ~sqrt(lambda) copy
+// count (HKMMS, arXiv:2004.05975, Section 3).
+
+#ifndef RS_DP_SPARSE_VECTOR_H_
+#define RS_DP_SPARSE_VECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "rs/util/rng.h"
+
+namespace rs {
+
+// A budgeted AboveThreshold gate. Queries arrive as non-negative gap values
+// (for the dp wrappers: the log-domain distance between the fresh private
+// median and the sticky published output); the gate fires when the noisy
+// gap exceeds the noisy threshold. Each fire consumes one unit of the flip
+// budget and refreshes the threshold noise (the standard multi-fire SVT);
+// once the budget is gone the gate goes silent and records whether a
+// suppressed fire was ever needed — the moment the adversarial guarantee
+// lapses.
+class SparseVectorGate {
+ public:
+  struct Config {
+    // The gate threshold T (log-domain gap the published output may drift
+    // before a re-publish is forced).
+    double threshold = 0.1;
+    // Laplace scale of the secret threshold perturbation rho (refreshed
+    // after every fire). Calibrated to a fraction of T so the gate stays
+    // accurate; the accountant prices the resulting epsilon.
+    double threshold_noise_scale = 0.0125;
+    // Laplace scale of the per-query perturbation nu.
+    double query_noise_scale = 0.025;
+    // Maximum number of fires (the flip budget lambda).
+    size_t budget = 16;
+  };
+
+  SparseVectorGate(const Config& config, uint64_t seed);
+
+  // Feeds one query gap. Returns true — and consumes one fire — when the
+  // noisy gap clears the noisy threshold and budget remains. After the
+  // budget is exhausted the gate always returns false; if a query would
+  // have fired post-budget, lapsed() latches true.
+  bool Fire(double gap);
+
+  size_t fires() const { return fires_; }
+  size_t budget() const { return config_.budget; }
+  // The (un-noised) gate threshold T — the single source callers derive
+  // gap sentinels from (e.g. the DpRobust zero/non-zero forced flip).
+  double threshold() const { return config_.threshold; }
+  // All fires spent (the provisioned budget is gone, guarantee still intact
+  // until another fire is needed).
+  bool exhausted() const { return fires_ >= config_.budget; }
+  // A fire was needed after the budget ran out: the gate could not track
+  // the estimate any further and the published output is stale.
+  bool lapsed() const { return lapsed_; }
+
+ private:
+  void RefreshThresholdNoise();
+
+  Config config_;
+  Rng rng_;
+  double rho_ = 0.0;  // Secret threshold perturbation.
+  size_t fires_ = 0;
+  bool lapsed_ = false;
+};
+
+}  // namespace rs
+
+#endif  // RS_DP_SPARSE_VECTOR_H_

@@ -239,6 +239,15 @@ bool ShardedRobust::Restore(std::string_view data) {
     }
   }
   if (!r.AtEnd()) return false;
+  // Shard-mates of one copy must be mutually mergeable — a snapshot whose
+  // sub-sketches individually deserialize but mix kinds/shapes/seeds would
+  // otherwise pass here and RS_CHECK-abort at the next gate's merge,
+  // violating the malformed-snapshots-return-false contract above.
+  for (uint64_t c = 0; c < copies; ++c) {
+    for (uint64_t s = 1; s < shards; ++s) {
+      if (!restored[c][s]->CompatibleForMerge(*restored[c][0])) return false;
+    }
+  }
 
   seed_ = seed;
   config_.eps = eps;

@@ -54,6 +54,12 @@ class AmsF2 : public MergeableEstimator {
   size_t cols() const { return per_group_; }
   uint64_t seed() const { return seed_; }
 
+  // Raw counter state y = (sum_i s_c(i) f_i)_c, row-major by group. The
+  // state is linear in f, so same-seed counter differences are themselves a
+  // valid sketch of the frequency-vector difference — the property the
+  // difference estimators in rs/dp/ are built on.
+  const std::vector<double>& counters() const { return counters_; }
+
  private:
   // Deserialization ctor: exact shape, hashes re-derived from the seed.
   AmsF2(size_t groups, size_t per_group, uint64_t seed);

@@ -1,0 +1,352 @@
+// Tests for the rs::dp subsystem: noise moments, privacy accounting,
+// sparse-vector budget semantics, private-median accuracy, the F2
+// difference estimator, and the DpRobust wrapper end to end.
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rs/core/robust.h"
+#include "rs/dp/difference_estimator.h"
+#include "rs/dp/dp_robust.h"
+#include "rs/dp/noise.h"
+#include "rs/dp/private_median.h"
+#include "rs/dp/sparse_vector.h"
+#include "rs/sketch/ams_f2.h"
+#include "rs/stream/exact_oracle.h"
+#include "rs/stream/generators.h"
+#include "rs/util/rng.h"
+#include "rs/util/stats.h"
+
+namespace rs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Noise primitives.
+// ---------------------------------------------------------------------------
+
+TEST(DpNoiseTest, LaplaceMomentsMatchTheLaw) {
+  Rng rng(7);
+  const double scale = 2.0;
+  const int n = 200000;
+  double sum = 0.0, sum_abs = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = LaplaceNoise(rng, scale);
+    sum += x;
+    sum_abs += std::fabs(x);
+    sum_sq += x * x;
+  }
+  // E X = 0, E |X| = scale, Var X = 2 scale^2.
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum_abs / n, scale, 0.05);
+  EXPECT_NEAR(sum_sq / n, 2.0 * scale * scale, 0.25);
+}
+
+TEST(DpNoiseTest, TwoSidedGeometricMomentsMatchTheLaw) {
+  Rng rng(11);
+  const double epsilon = 0.5;
+  const double alpha = std::exp(-epsilon);
+  const int n = 200000;
+  double sum = 0.0;
+  int zeros = 0;
+  for (int i = 0; i < n; ++i) {
+    const int64_t x = TwoSidedGeometricNoise(rng, epsilon);
+    sum += static_cast<double>(x);
+    if (x == 0) ++zeros;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  // P(X = 0) = (1 - alpha) / (1 + alpha) for the two-sided geometric law.
+  EXPECT_NEAR(static_cast<double>(zeros) / n, (1.0 - alpha) / (1.0 + alpha),
+              0.01);
+}
+
+TEST(DpNoiseTest, AccountantLedgerAndExhaustion) {
+  PrivacyAccountant acct(1.0);
+  EXPECT_DOUBLE_EQ(acct.remaining(), 1.0);
+  EXPECT_TRUE(acct.Spend(0.4));
+  EXPECT_TRUE(acct.Spend(0.6));  // Exactly exhausts, still within budget.
+  EXPECT_FALSE(acct.exhausted());
+  EXPECT_FALSE(acct.Spend(0.1));  // Over budget.
+  EXPECT_TRUE(acct.exhausted());
+  EXPECT_DOUBLE_EQ(acct.remaining(), 0.0);
+  EXPECT_NEAR(acct.spent(), 1.1, 1e-12);  // The ledger keeps counting.
+}
+
+// ---------------------------------------------------------------------------
+// Sparse vector gate.
+// ---------------------------------------------------------------------------
+
+SparseVectorGate::Config TightGate(size_t budget) {
+  SparseVectorGate::Config g;
+  g.threshold = 1.0;
+  g.threshold_noise_scale = 0.02;
+  g.query_noise_scale = 0.04;
+  g.budget = budget;
+  return g;
+}
+
+TEST(SparseVectorTest, BelowThresholdRoundsAreFreeAndSilent) {
+  SparseVectorGate gate(TightGate(3), 5);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_FALSE(gate.Fire(0.0));
+  }
+  EXPECT_EQ(gate.fires(), 0u);
+  EXPECT_FALSE(gate.exhausted());
+  EXPECT_FALSE(gate.lapsed());
+}
+
+TEST(SparseVectorTest, BudgetExhaustionSemantics) {
+  SparseVectorGate gate(TightGate(3), 5);
+  // Three unambiguous above-threshold queries spend the whole budget.
+  EXPECT_TRUE(gate.Fire(2.0));
+  EXPECT_TRUE(gate.Fire(2.0));
+  EXPECT_TRUE(gate.Fire(2.0));
+  EXPECT_EQ(gate.fires(), 3u);
+  EXPECT_TRUE(gate.exhausted());
+  // Budget spent but no post-budget fire needed yet: not lapsed.
+  EXPECT_FALSE(gate.lapsed());
+  // The fourth needed fire cannot be paid for: silent, and lapsed latches.
+  EXPECT_FALSE(gate.Fire(2.0));
+  EXPECT_TRUE(gate.lapsed());
+  EXPECT_EQ(gate.fires(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Private median.
+// ---------------------------------------------------------------------------
+
+TEST(PrivateMedianTest, StaysInsideTheAccurateMiddleOnFixedSeeds) {
+  // 101 copies, 3/4 of them accurate around 100, the rest wild outliers —
+  // the regime the dp wrapper maintains. The noisy rank must stay inside
+  // the accurate middle half.
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    std::vector<double> values;
+    for (int i = 0; i < 76; ++i) {
+      values.push_back(95.0 + 10.0 * (static_cast<double>(i) / 75.0));
+    }
+    for (int i = 0; i < 13; ++i) values.push_back(1.0);      // Low outliers.
+    for (int i = 0; i < 12; ++i) values.push_back(1e6);      // High outliers.
+    const double med =
+        PrivateMedian(values, RankEpsilonForCopies(values.size()), rng);
+    EXPECT_GE(med, 95.0) << "seed " << seed;
+    EXPECT_LE(med, 105.0) << "seed " << seed;
+  }
+}
+
+TEST(PrivateMedianTest, LargeEpsilonRecoversTheExactMedian) {
+  Rng rng(3);
+  std::vector<double> values{5.0, 1.0, 9.0, 3.0, 7.0};
+  // Noise scale 1/epsilon = 0.01: the geometric shift is 0 w.p. ~1.
+  EXPECT_DOUBLE_EQ(PrivateMedian(values, 100.0, rng), 5.0);
+}
+
+// ---------------------------------------------------------------------------
+// F2 difference estimator.
+// ---------------------------------------------------------------------------
+
+TEST(DifferenceEstimatorTest, ZeroBaseMatchesThePlainAmsSketch) {
+  F2DiffEstimator::Config fc;
+  fc.ams.eps = 0.25;
+  fc.ams.delta = 0.05;
+  F2DiffEstimator diff(fc, 42);
+  AmsF2 plain(fc.ams, 42);
+  const Stream stream = UniformStream(1 << 8, 2000, 9);
+  for (const auto& u : stream) {
+    diff.Update(u);
+    plain.Update(u);
+  }
+  // Before any rebase the base is the zero vector, so the difference
+  // estimator's cell estimate d^2 + 2 d * 0 collapses to the plain AMS
+  // estimate — bit for bit, same seed.
+  EXPECT_DOUBLE_EQ(diff.Estimate(), plain.Estimate());
+  EXPECT_DOUBLE_EQ(diff.BaseEstimate(), 0.0);
+}
+
+TEST(DifferenceEstimatorTest, RebasedEstimateStillTracksF2) {
+  F2DiffEstimator::Config fc;
+  fc.ams.eps = 0.2;
+  fc.ams.delta = 0.05;
+  F2DiffEstimator diff(fc, 17);
+  ExactOracle oracle;
+  const Stream stream = UniformStream(1 << 8, 6000, 23);
+  size_t t = 0;
+  for (const auto& u : stream) {
+    diff.Update(u);
+    oracle.Update(u);
+    if (++t % 1500 == 0) diff.Rebase();
+  }
+  EXPECT_EQ(diff.rebases(), 4u);
+  // Difference estimates accumulate one per segment; with 4 segments the
+  // envelope is a few per-segment errors wide.
+  EXPECT_LE(RelativeError(diff.Estimate(), oracle.F2()), 0.3);
+  // After a rebase the running delta restarts near zero.
+  diff.Rebase();
+  EXPECT_NEAR(diff.DiffEstimate(), 0.0, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// DpRobust end to end.
+// ---------------------------------------------------------------------------
+
+TEST(DpRobustTest, TracksF0OnAGrowingStream) {
+  RobustConfig config;
+  config.eps = 0.3;
+  config.delta = 0.05;
+  config.stream.n = 1 << 12;
+  config.stream.m = 1 << 13;
+  config.method = Method::kDifferentialPrivacy;
+  const auto alg = MakeRobust(Task::kF0, config, 5);
+  ASSERT_NE(alg, nullptr);
+  EXPECT_EQ(alg->Name(), "RobustF0/dp");
+
+  ExactOracle oracle;
+  double max_err = 0.0;
+  const Stream stream = DistinctGrowthStream(3000);
+  for (const auto& u : stream) {
+    alg->Update(u);
+    oracle.Update(u);
+    if (oracle.F0() >= 200) {
+      max_err = std::max(max_err,
+                         RelativeError(alg->Estimate(),
+                                       static_cast<double>(oracle.F0())));
+    }
+  }
+  EXPECT_LE(max_err, config.eps * 1.2);
+  const rs::GuaranteeStatus status = alg->GuaranteeStatus();
+  EXPECT_TRUE(status.holds);
+  EXPECT_GT(status.flip_budget, 0u);
+  EXPECT_LE(status.flips_spent, status.flip_budget);
+  // The dp method never reveals (and so never retires) copy randomness.
+  EXPECT_EQ(status.copies_retired, 0u);
+}
+
+TEST(DpRobustTest, FlipBudgetExhaustionFreezesTheOutputAndVoidsTheGuarantee) {
+  RobustConfig config;
+  config.eps = 0.3;
+  config.delta = 0.1;
+  config.stream.n = 1 << 12;
+  config.dp.copies_override = 9;
+  config.dp.flip_budget_override = 3;  // Absurdly small on purpose.
+  config.method = Method::kDifferentialPrivacy;
+  const auto alg = MakeRobust(Task::kF0, config, 7);
+
+  const Stream stream = DistinctGrowthStream(4000);
+  for (const auto& u : stream) alg->Update(u);
+
+  const rs::GuaranteeStatus status = alg->GuaranteeStatus();
+  EXPECT_EQ(status.flip_budget, 3u);
+  EXPECT_EQ(status.flips_spent, 3u);
+  EXPECT_TRUE(alg->exhausted());
+  EXPECT_FALSE(status.holds);
+  // Post-exhaustion the output is frozen: feeding more distinct items does
+  // not move it.
+  const double frozen = alg->Estimate();
+  for (uint64_t i = 0; i < 500; ++i) alg->Update({4000 + i, 1});
+  EXPECT_DOUBLE_EQ(alg->Estimate(), frozen);
+}
+
+TEST(DpRobustTest, BatchOfOneMatchesSingleExactly) {
+  RobustConfig config;
+  config.eps = 0.4;
+  config.stream.n = 1 << 10;
+  config.dp.copies_override = 9;
+  config.method = Method::kDifferentialPrivacy;
+  const auto single = MakeRobust(Task::kF0, config, 31);
+  const auto batched = MakeRobust(Task::kF0, config, 31);
+  const Stream stream = DistinctGrowthStream(1500);
+  for (const auto& u : stream) {
+    single->Update(u);
+    batched->UpdateBatch(&u, 1);
+    ASSERT_DOUBLE_EQ(single->Estimate(), batched->Estimate());
+  }
+  EXPECT_EQ(single->output_changes(), batched->output_changes());
+}
+
+TEST(DpRobustTest, CopyCountFollowsTheSqrtLambdaFormula) {
+  // Monotone in lambda, ~sqrt shape, floor of 9, always odd.
+  const size_t k64 = DpCopyCount(1.0, 0.05, 64);
+  const size_t k256 = DpCopyCount(1.0, 0.05, 256);
+  const size_t k4096 = DpCopyCount(1.0, 0.05, 4096);
+  EXPECT_GE(k64, 9u);
+  EXPECT_LT(k64, k256);
+  EXPECT_LT(k256, k4096);
+  EXPECT_EQ(k64 % 2, 1u);
+  EXPECT_EQ(k4096 % 2, 1u);
+  // 16x the lambda roughly quadruples the pool (sqrt scaling).
+  EXPECT_NEAR(static_cast<double>(k4096) / static_cast<double>(k256), 4.0,
+              1.0);
+  // Halving the privacy budget doubles the pool (1/epsilon scaling).
+  EXPECT_NEAR(static_cast<double>(DpCopyCount(0.5, 0.05, 256)) /
+                  static_cast<double>(k256),
+              2.0, 0.3);
+}
+
+TEST(DpRobustTest, DpF2DiffTracksF2ThroughTheFacadeKey) {
+  RobustConfig config;
+  config.eps = 0.3;
+  config.delta = 0.05;
+  config.stream.n = 1 << 10;
+  config.stream.max_frequency = 1 << 10;
+  config.dp.copies_override = 9;
+  const auto alg = MakeRobust("dp_f2_diff", config, 13);
+  ASSERT_NE(alg, nullptr);
+  EXPECT_EQ(alg->Name(), "DpF2Diff");
+
+  ExactOracle oracle;
+  double max_err = 0.0;
+  const Stream stream = UniformStream(1 << 8, 6000, 19);
+  size_t t = 0;
+  for (const auto& u : stream) {
+    alg->Update(u);
+    oracle.Update(u);
+    if (++t >= 500) {
+      max_err = std::max(max_err, RelativeError(alg->Estimate(), oracle.F2()));
+    }
+  }
+  EXPECT_LE(max_err, config.eps * 1.5);
+  EXPECT_TRUE(alg->GuaranteeStatus().holds);
+}
+
+// Turnstile shrink regression: after deletions drive F2 back to zero, the
+// difference-estimator copies report values scattered around zero (the
+// single-level DE error floor scales with the LAST rebase's F2, not the
+// current one) — without the negative-clamping in the gate and in the
+// per-copy rebase fold, the sign-mismatch branch force-fired on (nearly)
+// every gate evaluation and the published output itself went negative.
+// Post-fix the wrapper must ride the crash to an exact published zero,
+// stay non-negative throughout, and track a slow re-growth with only
+// truth-driven flips.
+TEST(DpRobustTest, DpF2DiffSurvivesTurnstileShrinkToZero) {
+  RobustConfig config;
+  config.eps = 0.3;
+  config.delta = 0.05;
+  config.stream.n = 1 << 10;
+  config.stream.max_frequency = 1 << 10;
+  config.dp.copies_override = 9;
+  const auto alg = MakeRobust("dp_f2_diff", config, 29);
+  ASSERT_NE(alg, nullptr);
+
+  // Grow (forcing flips and rebases), then delete everything back out.
+  for (uint64_t i = 0; i < 600; ++i) alg->Update({i % 97, 1});
+  for (uint64_t i = 0; i < 600; ++i) alg->Update({i % 97, -1});
+  EXPECT_DOUBLE_EQ(alg->Estimate(), 0.0);
+
+  // Slow re-growth from the crash: the output must stay non-negative at
+  // every step, re-track the truth, and spend only ~log-many flips (the
+  // pre-fix sign-flapping fired on almost every update).
+  const size_t flips_before = alg->output_changes();
+  for (uint64_t t = 1; t <= 400; ++t) {
+    alg->Update({200 + t, 1});
+    ASSERT_GE(alg->Estimate(), 0.0) << "step " << t;
+  }
+  EXPECT_LE(RelativeError(alg->Estimate(), 400.0), config.eps);
+  EXPECT_LT(alg->output_changes() - flips_before, 100u);
+  EXPECT_TRUE(alg->GuaranteeStatus().holds);
+}
+
+}  // namespace
+}  // namespace rs

@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include "rs/adversary/generic_attacks.h"
+#include "rs/core/robust.h"
+#include "rs/sketch/ams_f2.h"
 #include "rs/sketch/f1_counter.h"
 #include "rs/stream/generators.h"
 
@@ -127,6 +129,69 @@ TEST(GameTest, TruthFunctionsMatchOracle) {
   EXPECT_NEAR(TruthLp(2.0)(o), std::sqrt(5.0), 1e-12);
   EXPECT_NEAR(TruthEntropyBits()(o), 0.9183, 1e-3);
   EXPECT_NEAR(TruthExpEntropy()(o), std::exp2(0.9183), 1e-3);
+}
+
+// ---------------------------------------------------------------------------
+// The facade-extended game: any registered robustification can defend.
+// ---------------------------------------------------------------------------
+
+// The headline demonstration of the dp method: the adaptive F2 drift attack
+// (which reproduces the Algorithm 3 break against a plain linear sketch
+// with no inside knowledge) pushes the oblivious AMS sketch outside any
+// constant factor, while the dp-protected private-median pool — playing the
+// SAME game against the SAME attack — stays within its published error
+// bound with its guarantee intact.
+TEST(GameTest, DpRobustSurvivesTheAdaptiveF2AttackThatBreaksObliviousAms) {
+  auto options = BasicOptions(4000);
+  options.params.model = StreamModel::kInsertionOnly;
+  options.burn_in = 300;
+
+  // Oblivious baseline: the Section 9 AMS sketch, raw estimate exposed.
+  AmsLinearSketch ams(32, 3);
+  F2DriftAttack attack_ams({.n = 1 << 20, .spike = 64, .seed = 7});
+  options.fail_eps = 0.5;
+  const auto broken = RunGame(ams, attack_ams, TruthF2(), options);
+  EXPECT_TRUE(broken.adversary_won);
+
+  // dp defender via the facade registry, same game. The published output
+  // must stay within eps * (1 + alpha) with alpha = 0.5 slack for the
+  // burn-in-scale wobble of the private median.
+  RobustConfig config;
+  config.eps = 0.4;
+  config.delta = 0.05;
+  config.stream.n = 1 << 20;
+  config.stream.m = 1 << 20;
+  config.fp.p = 2.0;
+  config.dp.copies_override = 9;  // Keep the smoke tier fast.
+  F2DriftAttack attack_dp({.n = 1 << 20, .spike = 64, .seed = 7});
+  options.fail_eps = config.eps * 1.5;
+  const auto defended =
+      RunFacadeGame("dp_fp", config, 11, attack_dp, TruthF2(), options);
+  EXPECT_FALSE(defended.game.adversary_won)
+      << "max rel error " << defended.game.max_rel_error << " at step "
+      << defended.game.first_failure_step;
+  EXPECT_TRUE(defended.final_status.holds);
+  EXPECT_LE(defended.final_status.flips_spent,
+            defended.final_status.flip_budget);
+  EXPECT_EQ(defended.final_status.copies_retired, 0u);
+  EXPECT_EQ(defended.defender, "RobustFp/dp");
+}
+
+// RunRobustGame snapshots the same telemetry the estimator reports
+// directly, for any facade-built defender.
+TEST(GameTest, RunRobustGameCarriesGuaranteeTelemetry) {
+  RobustConfig config;
+  config.eps = 0.4;
+  config.stream.n = 1 << 12;
+  const auto defender = MakeRobust(Task::kF0, config, 3);
+  ASSERT_NE(defender, nullptr);
+  ShortScript script(600);
+  const auto result =
+      RunRobustGame(*defender, script, TruthF0(), BasicOptions(1000));
+  EXPECT_EQ(result.game.steps, 600u);
+  EXPECT_EQ(result.defender, defender->Name());
+  EXPECT_EQ(result.final_status.flips_spent, defender->output_changes());
+  EXPECT_EQ(result.final_status.holds, !defender->exhausted());
 }
 
 TEST(GameTest, ObliviousAdversaryReplaysStream) {

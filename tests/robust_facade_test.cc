@@ -38,6 +38,7 @@ RobustConfig SmallConfig() {
   c.cascaded.shape = {.rows = 32, .cols = 32};
   c.cascaded.rate = 0.5;
   c.cascaded.booster_copies = 1;
+  c.dp.copies_override = 9;  // Keep the dp pools small in the smoke tier.
   return c;
 }
 
@@ -89,11 +90,15 @@ TEST_P(FacadeSweep, ConstructsStreamsAndReportsTelemetry) {
   }
 }
 
+// All tasks x all three methods. Tasks with a single paper construction
+// ignore the method field; F0/Fp genuinely dispatch on it, including the
+// dp backend (rs/dp/).
 INSTANTIATE_TEST_SUITE_P(
-    AllTasksBothMethods, FacadeSweep,
+    AllTasksAllMethods, FacadeSweep,
     ::testing::Combine(::testing::ValuesIn(kAllRobustTasks),
                        ::testing::Values(Method::kSketchSwitching,
-                                         Method::kComputationPaths)));
+                                         Method::kComputationPaths,
+                                         Method::kDifferentialPrivacy)));
 
 // The facade is a pure dispatch layer: with identical config and seed it
 // must reproduce the direct-constructed wrapper exactly (estimates, space,
@@ -163,6 +168,48 @@ TEST(RobustFacadeTest, RegistryRoundTripsEveryKey) {
     // Each built-in Task key is registered and enum-reachable.
     EXPECT_NE(std::find(keys.begin(), keys.end(), TaskKey(task)), keys.end());
     EXPECT_TRUE(TaskFromKey(TaskKey(task)).has_value());
+  }
+}
+
+// The dp registry keys are method shorthands: "dp_f0" / "dp_fp" must build
+// exactly what Method::kDifferentialPrivacy builds on the corresponding
+// task, and "dp_f2_diff" builds the ACSS difference-estimator construction.
+TEST(RobustFacadeTest, DpKeysMatchTheDpMethod) {
+  const RobustConfig config = SmallConfig();
+  for (const auto& [key, task] :
+       {std::pair<const char*, Task>{"dp_f0", Task::kF0},
+        std::pair<const char*, Task>{"dp_fp", Task::kFp}}) {
+    const auto by_key = MakeRobust(key, config, 43);
+    RobustConfig dp_config = config;
+    dp_config.method = Method::kDifferentialPrivacy;
+    const auto by_method = MakeRobust(task, dp_config, 43);
+    ASSERT_NE(by_key, nullptr) << key;
+    for (const auto& u : WorkloadFor(task, 47)) {
+      by_key->Update(u);
+      by_method->Update(u);
+    }
+    EXPECT_DOUBLE_EQ(by_key->Estimate(), by_method->Estimate()) << key;
+    EXPECT_EQ(by_key->SpaceBytes(), by_method->SpaceBytes()) << key;
+    EXPECT_EQ(by_key->output_changes(), by_method->output_changes()) << key;
+  }
+  const auto diff = MakeRobust("dp_f2_diff", config, 43);
+  ASSERT_NE(diff, nullptr);
+  EXPECT_EQ(diff->Name(), "DpF2Diff");
+}
+
+// The dp method's telemetry signature: a nonzero flip budget (the SVT
+// budget), and NO retired copies — their randomness is protected, not
+// revealed-and-discarded.
+TEST(RobustFacadeTest, DpTelemetryNeverRetiresCopies) {
+  RobustConfig config = SmallConfig();
+  config.method = Method::kDifferentialPrivacy;
+  for (Task task : {Task::kF0, Task::kFp}) {
+    const auto alg = MakeRobust(task, config, 53);
+    for (const auto& u : WorkloadFor(task, 59)) alg->Update(u);
+    const rs::GuaranteeStatus status = alg->GuaranteeStatus();
+    EXPECT_GT(status.flip_budget, 0u) << TaskKey(task);
+    EXPECT_EQ(status.copies_retired, 0u) << TaskKey(task);
+    EXPECT_EQ(status.holds, !alg->exhausted()) << TaskKey(task);
   }
 }
 

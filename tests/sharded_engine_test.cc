@@ -182,6 +182,40 @@ TEST(ShardedRobust, RestoreRejectsCorruptSnapshots) {
   EXPECT_TRUE(engine.Restore(snapshot));
 }
 
+// A snapshot whose sub-sketches individually deserialize but are not
+// mutually mergeable (here: same geometry, different seeds) must be
+// rejected at Restore — accepting it would RS_CHECK-abort at the next
+// gate's merge, violating the malformed-snapshots-return-false contract.
+TEST(ShardedRobust, RestoreRejectsMixedSeedSubSketches) {
+  const double eps = 0.3;
+  ShardedRobust a(EngineConfig(2, 64, eps), F2Factory(eps / 4.0), 3);
+  ShardedRobust b(EngineConfig(2, 64, eps), F2Factory(eps / 4.0), 4);
+  for (const auto& u : UniformStream(1 << 10, 500, 41)) {
+    a.Update(u);
+    b.Update(u);
+  }
+  std::string snap_a, snap_b;
+  a.Snapshot(&snap_a);
+  b.Snapshot(&snap_b);
+  // Identical geometry => identical layout and per-sub-sketch lengths; the
+  // last sub-sketch record (length prefix + serialized bytes, seed in its
+  // wire header) sits at the end of the buffer. Splice b's record (same
+  // kind and shape, different seed) over a's.
+  ASSERT_EQ(snap_a.size(), snap_b.size());
+  std::string probe_bytes;
+  F2Factory(eps / 4.0)(123)->Serialize(&probe_bytes);
+  const size_t record = 8 + probe_bytes.size();  // len prefix + sketch.
+  ASSERT_LT(record, snap_a.size());
+  std::string spliced = snap_a;
+  spliced.replace(spliced.size() - record, record,
+                  snap_b.substr(snap_b.size() - record));
+  ShardedRobust target(EngineConfig(2, 64, eps), F2Factory(eps / 4.0), 9);
+  EXPECT_FALSE(target.Restore(spliced));
+  // The un-spliced snapshots both restore fine.
+  EXPECT_TRUE(target.Restore(snap_a));
+  EXPECT_TRUE(target.Restore(snap_b));
+}
+
 TEST(ShardedRobust, RestoreRejectsOverflowingGeometry) {
   // A snapshot header claiming astronomically many copies/shards must be
   // rejected before any allocation — Restore returns false, never aborts.
