@@ -14,6 +14,7 @@
 #include "rs/sketch/kmv_f0.h"
 #include "rs/stream/exact_oracle.h"
 #include "rs/stream/generators.h"
+#include "rs/util/bench_json.h"
 #include "rs/util/stats.h"
 #include "rs/util/table_printer.h"
 
@@ -56,9 +57,10 @@ Outcome Run(rs::SketchSwitching::PoolMode mode, size_t copies, double eps,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("E15: ablation — plain pool (Lem 3.6) vs ring restarts "
               "(Thm 4.1)\n");
+  const std::string json_path = rs::JsonPathFromArgs(argc, argv);
   rs::TablePrinter table({"eps", "mode", "copies", "space", "worst err",
                           "switches", "exhausted"});
   const uint64_t m = 60000;
@@ -88,6 +90,10 @@ int main() {
     add("pool undersized", ring / 2 + 2, small_pool);
   }
   table.Print("pool discipline comparison (distinct-growth stream, KMV base)");
+  if (!json_path.empty()) {
+    rs::WriteBenchJson(json_path, "bench_ablation_restart", table.header(),
+                       table.rows());
+  }
   std::printf(
       "\nShape check (paper): the ring achieves the same tracking error with\n"
       "Theta(eps^-1 log 1/eps) copies instead of Theta(eps^-1 log n) — the\n"

@@ -15,11 +15,13 @@
 #include "rs/core/rounding.h"
 #include "rs/stream/exact_oracle.h"
 #include "rs/stream/generators.h"
+#include "rs/util/bench_json.h"
 #include "rs/util/stats.h"
 #include "rs/util/table_printer.h"
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("E14: ablation — rounding grain vs leak rate and error\n");
+  const std::string json_path = rs::JsonPathFromArgs(argc, argv);
 
   // Raw sequence: exact F0 of a distinct-growth stream with plateaus.
   rs::ExactOracle oracle;
@@ -54,6 +56,10 @@ int main() {
                                5)});
   }
   table.Print("rounding grain sweep on an exact F0 sequence");
+  if (!json_path.empty()) {
+    rs::WriteBenchJson(json_path, "bench_ablation_rounding", table.header(),
+                       table.rows());
+  }
   std::printf(
       "\nTakeaway: halving the grain doubles the adversary-visible output\n"
       "changes (and the copies both frameworks must provision) while the\n"

@@ -19,6 +19,7 @@
 #include "rs/adversary/game.h"
 #include "rs/core/robust_fp.h"
 #include "rs/sketch/ams_f2.h"
+#include "rs/util/bench_json.h"
 #include "rs/util/stats.h"
 #include "rs/util/table_printer.h"
 
@@ -36,8 +37,9 @@ rs::GameOptions AttackOptions(uint64_t max_steps) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("E8: adversarial attack on the AMS sketch (Theorem 9.1)\n");
+  const std::string json_path = rs::JsonPathFromArgs(argc, argv);
 
   rs::TablePrinter table({"t (rows)", "trials", "success rate",
                           "median steps to break", "steps / t"});
@@ -96,6 +98,16 @@ int main() {
                        rs::TablePrinter::FmtInt(robust_breaks),
                        rs::TablePrinter::Fmt(worst, 3)});
   robust_table.Print("same adversary vs the robust F2 estimator");
+
+  if (!json_path.empty()) {
+    // One record for both printed tables: the robust rows are appended
+    // with a section marker in the first column.
+    auto rows = table.rows();
+    for (const auto& r : robust_table.rows()) {
+      rows.push_back({"robust", r[0], r[1], r[2], r[3]});
+    }
+    rs::WriteBenchJson(json_path, "bench_ams_attack", table.header(), rows);
+  }
 
   std::printf(
       "\nShape check (paper): success rate ~1 at every t; updates-to-break\n"

@@ -84,7 +84,9 @@ rs::RobustConfig BaseConfig(size_t lambda) {
   cfg.delta = kDelta;
   cfg.stream.n = kDomain;
   cfg.stream.m = kStreamLen;
-  cfg.stream.max_frequency = 1 << 10;
+  // Insertion-only streams admit frequencies up to m, so the frequency
+  // bound must cover the stream length (RobustConfig::Validate).
+  cfg.stream.max_frequency = 1 << 14;
   cfg.fp.p = 2.0;
   cfg.fp.lambda_override = lambda;       // Paths budget.
   cfg.dp.flip_budget_override = lambda;  // dp SVT budget — matched.
@@ -227,7 +229,7 @@ int main(int argc, char** argv) {
     cfg.delta = kDelta;
     cfg.stream.n = 1 << 16;
     cfg.stream.m = 1 << 20;
-    cfg.stream.max_frequency = 1 << 10;
+    cfg.stream.max_frequency = 1 << 20;  // M >= m: Validate()'s promise rule.
     cfg.fp.p = 2.0;
     // Gate every few updates to keep the per-step private aggregation off
     // the critical path; the published output is sticky in between.

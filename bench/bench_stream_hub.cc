@@ -1,0 +1,163 @@
+// E20 — StreamHub multi-tenant throughput and snapshot/restore cost.
+//
+// The runtime layer (rs/runtime/stream_hub.h) hosts K named robust streams
+// behind one thread-safe, error-as-value API. This driver measures what
+// multi-tenancy costs at K in {1, 16, 256}:
+//
+//  * mixed-workload throughput: a fixed total budget of updates is spread
+//    round-robin across the K tenants in batches, interleaved with Query
+//    calls (estimate + guarantee + changed flag) — the name-lookup, stripe
+//    locking, and per-stream gate overhead all on the measured path;
+//  * hub snapshot cost: serializing all K engine-backed streams through
+//    the versioned hub envelope (bytes and wall time);
+//  * hub restore cost: parsing + rebuilding + overlaying all K streams;
+//  * bit-exactness: the restored hub's own Snapshot() must be
+//    byte-identical to the envelope it was restored from.
+//
+// Tenants are a mixed-task fleet: alternating f0 (KMV ring) and fp
+// (p-stable ring, p in {1, 2}) across shard counts {1, 2}, all through the
+// sharded engine the hub hosts those tasks on.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "rs/runtime/stream_hub.h"
+#include "rs/stream/generators.h"
+#include "rs/util/bench_json.h"
+#include "rs/util/table_printer.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(b - a)
+      .count();
+}
+
+constexpr uint64_t kDomain = 1 << 14;
+constexpr size_t kTotalUpdates = 1 << 18;  // Shared budget across tenants.
+constexpr size_t kBatch = 256;             // Updates per UpdateBatch call.
+
+rs::RobustConfig TenantConfig(size_t k) {
+  rs::RobustConfig c;
+  c.eps = 0.4;
+  c.delta = 0.05;
+  c.stream.n = kDomain;
+  c.stream.m = 1 << 21;
+  c.stream.max_frequency = 1 << 21;
+  c.engine.shards = 1 + k % 2;
+  c.engine.merge_period = 1024;
+  c.fp.p = (k % 4 == 1) ? 2.0 : 1.0;
+  return c;
+}
+
+std::string TenantName(size_t k) { return "tenant-" + std::to_string(k); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf(
+      "E20: StreamHub K-tenant mixed workload + hub snapshot/restore\n");
+  const std::string json_path = rs::JsonPathFromArgs(argc, argv);
+
+  rs::TablePrinter table({"K tenants", "updates", "queries", "wall s",
+                          "Mupd/s", "snap KiB", "snap ms", "restore ms",
+                          "bit-exact"});
+
+  const rs::Stream stream = rs::UniformStream(kDomain, kBatch * 64, 99);
+  for (size_t tenants : {size_t{1}, size_t{16}, size_t{256}}) {
+    rs::runtime::StreamHub hub;
+    for (size_t k = 0; k < tenants; ++k) {
+      const rs::Status created = hub.CreateStream(
+          TenantName(k), k % 2 == 0 ? rs::Task::kF0 : rs::Task::kFp,
+          TenantConfig(k), /*seed=*/1000 + k);
+      if (!created.ok()) {
+        std::fprintf(stderr, "CreateStream: %s\n",
+                     created.ToString().c_str());
+        return 1;
+      }
+    }
+
+    // Mixed workload: batches round-robin across tenants, a Query every
+    // 8th batch (the read path is part of serving, so it is on the clock).
+    size_t updates = 0, queries = 0;
+    size_t offset = 0;
+    const auto t0 = Clock::now();
+    for (size_t batch = 0; updates < kTotalUpdates; ++batch) {
+      const size_t k = batch % tenants;
+      if (offset + kBatch > stream.size()) offset = 0;
+      if (!hub.UpdateBatch(TenantName(k), stream.data() + offset, kBatch)
+               .ok()) {
+        std::fprintf(stderr, "UpdateBatch failed\n");
+        return 1;
+      }
+      offset += kBatch;
+      updates += kBatch;
+      if (batch % 8 == 7) {
+        if (!hub.Query(TenantName(k)).ok()) return 1;
+        ++queries;
+      }
+    }
+    const auto t1 = Clock::now();
+    const double wall = Seconds(t0, t1);
+
+    std::string snap_a;
+    const auto s0 = Clock::now();
+    const rs::Status snapped = hub.Snapshot(&snap_a);
+    const auto s1 = Clock::now();
+    if (!snapped.ok()) {
+      std::fprintf(stderr, "Snapshot: %s\n", snapped.ToString().c_str());
+      return 1;
+    }
+
+    rs::runtime::StreamHub restored;
+    const auto r0 = Clock::now();
+    const rs::Status restore = restored.Restore(snap_a);
+    const auto r1 = Clock::now();
+    if (!restore.ok()) {
+      std::fprintf(stderr, "Restore: %s\n", restore.ToString().c_str());
+      return 1;
+    }
+    std::string snap_b;
+    if (!restored.Snapshot(&snap_b).ok()) return 1;
+    const bool bit_exact = snap_a == snap_b;
+
+    table.AddRow(
+        {rs::TablePrinter::FmtInt(static_cast<long long>(tenants)),
+         rs::TablePrinter::FmtInt(static_cast<long long>(updates)),
+         rs::TablePrinter::FmtInt(static_cast<long long>(queries)),
+         rs::TablePrinter::Fmt(wall, 3),
+         rs::TablePrinter::Fmt(static_cast<double>(updates) / wall / 1e6,
+                               2),
+         rs::TablePrinter::Fmt(static_cast<double>(snap_a.size()) / 1024.0,
+                               1),
+         rs::TablePrinter::Fmt(Seconds(s0, s1) * 1e3, 2),
+         rs::TablePrinter::Fmt(Seconds(r0, r1) * 1e3, 2),
+         bit_exact ? "yes" : "NO"});
+    if (!bit_exact) {
+      std::fprintf(stderr,
+                   "E20: snapshot round trip NOT bit-exact at K=%zu\n",
+                   tenants);
+      return 1;
+    }
+  }
+
+  table.Print("StreamHub mixed-task fleet: throughput and envelope costs");
+  std::printf(
+      "\nTakeaway: the hub's name-lookup + striped-lock overhead is a\n"
+      "per-batch constant; throughput differences across K reflect the\n"
+      "fleet mix (fp rings cost more per update than the f0 KMV ring that\n"
+      "is the sole tenant at K=1), not hub overhead. Envelope costs scale\n"
+      "linearly in K, and the restore path re-validates every tenant\n"
+      "config through the same Status-based entry point live traffic\n"
+      "uses.\n");
+
+  if (!json_path.empty()) {
+    rs::WriteBenchJson(json_path, "bench_stream_hub", table.header(),
+                       table.rows());
+  }
+  return 0;
+}

@@ -5,6 +5,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <string_view>
+#include <vector>
+
 #include "rs/core/computation_paths.h"
 #include "rs/core/crypto_robust_f0.h"
 #include "rs/core/robust_entropy.h"
@@ -23,6 +27,7 @@
 #include "rs/sketch/kmv_f0.h"
 #include "rs/sketch/misra_gries.h"
 #include "rs/sketch/pstable_fp.h"
+#include "rs/util/bench_json.h"
 
 namespace {
 
@@ -182,6 +187,54 @@ void BM_RobustHeavyHitters(benchmark::State& state) {
 }
 BENCHMARK(BM_RobustHeavyHitters);
 
+// Mirrors every reported run into BENCH_*.json rows while delegating the
+// console output to the stock reporter, so `--json <path>` works here the
+// same way it does for the table-printer drivers.
+class JsonMirrorReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      char real_ns[32], cpu_ns[32];
+      std::snprintf(real_ns, sizeof(real_ns), "%.1f",
+                    run.GetAdjustedRealTime());
+      std::snprintf(cpu_ns, sizeof(cpu_ns), "%.1f",
+                    run.GetAdjustedCPUTime());
+      rows.push_back({run.benchmark_name(),
+                      std::to_string(run.iterations), real_ns, cpu_ns});
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<std::vector<std::string>> rows;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string json_path = rs::JsonPathFromArgs(argc, argv);
+  // Strip `--json <path>` before google-benchmark sees the flags.
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--json" && i + 1 < argc) {
+      ++i;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+  JsonMirrorReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (!json_path.empty()) {
+    rs::WriteBenchJson(json_path, "bench_throughput",
+                       {"benchmark", "iterations", "real ns/op",
+                        "cpu ns/op"},
+                       reporter.rows);
+  }
+  benchmark::Shutdown();
+  return 0;
+}

@@ -93,6 +93,7 @@ int main() {
   rc.eps = 0.25;
   rc.stream.n = uint64_t{1} << 40;
   rc.stream.m = uint64_t{1} << 40;
+  rc.stream.max_frequency = uint64_t{1} << 40;  // M >= m on insertion-only.
   const auto robust = rs::MakeRobust("f0", rc, 2);
   const auto robust_result = Drive(*robust, 11);
   Report("robust F0 (sketch switch)", robust_result, robust->SpaceBytes());

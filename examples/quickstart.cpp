@@ -1,15 +1,18 @@
-// Quickstart: adversarially robust distinct-elements counting in ~40 lines.
+// Quickstart: adversarially robust distinct-elements counting, served the
+// way a production process would — through rs::runtime::StreamHub, the
+// multi-tenant entry point.
 //
-// Builds a robust F0 estimator through the rs::MakeRobust facade (sketch
+// The hub hosts named robust streams (here: one F0 stream built on sketch
 // switching over KMV trackers, Theorem 1.1 of Ben-Eliezer et al., PODS
-// 2020), streams a million updates through it, and compares the published
-// estimates against exact ground truth — including the guarantee that
-// matters: the output is trustworthy even if whoever generates the stream
-// can see every estimate we publish.
+// 2020) behind an error-as-value API: a malformed config is a returned
+// rs::Status naming the offending field, never a crash. Query() bundles
+// the published estimate with the guarantee telemetry that matters: the
+// output is trustworthy even if whoever generates the stream can see every
+// estimate we publish.
 
 #include <cstdio>
 
-#include "rs/core/robust.h"
+#include "rs/runtime/stream_hub.h"
 #include "rs/stream/exact_oracle.h"
 #include "rs/stream/generators.h"
 #include "rs/util/stats.h"
@@ -21,36 +24,72 @@ int main() {
   config.delta = 0.05;         // Failure probability.
   config.stream.n = 1 << 20;   // Item domain [n].
   config.stream.m = 1 << 20;   // Max stream length.
-  const auto robust_f0 = rs::MakeRobust(rs::Task::kF0, config, /*seed=*/42);
+  config.engine.shards = 1;    // Single-shard engine (raise to scale out).
 
-  // 2. Stream: a workload whose distinct count keeps growing.
+  // 2. Create a named stream on the hub. Errors come back as values: the
+  // deliberately broken config below is rejected with the field named,
+  // and the process (which may serve thousands of other tenants) lives on.
+  rs::runtime::StreamHub hub;
+  rs::RobustConfig broken = config;
+  broken.eps = 2.0;
+  const rs::Status rejected =
+      hub.CreateStream("bad-tenant", rs::Task::kF0, broken);
+  std::printf("rejected config: %s\n", rejected.ToString().c_str());
+
+  const rs::Status created =
+      hub.CreateStream("distinct-ips", rs::Task::kF0, config, /*seed=*/42);
+  if (!created.ok()) {
+    std::fprintf(stderr, "CreateStream: %s\n", created.ToString().c_str());
+    return 1;
+  }
+
+  // 3. Stream: a workload whose distinct count keeps growing.
   const rs::Stream stream = rs::UniformStream(1 << 18, 1 << 20, /*seed=*/7);
 
-  // 3. Feed updates; query at any time.
+  // 4. Feed updates by name; query at any time. Query() returns the
+  // estimate, the guarantee status, and whether the published output
+  // changed since the last look.
   rs::ExactOracle truth;  // Exact reference, for the demo only.
   double worst_error = 0.0;
   size_t t = 0;
   for (const rs::Update& u : stream) {
-    robust_f0->Update(u);
+    if (!hub.Update("distinct-ips", u).ok()) return 1;
     truth.Update(u);
     if (++t % (1 << 17) == 0) {
-      const double estimate = robust_f0->Estimate();
+      const auto q = hub.Query("distinct-ips");
+      if (!q.ok()) return 1;
       const double exact = static_cast<double>(truth.F0());
-      const double err = rs::RelativeError(estimate, exact);
+      const double err = rs::RelativeError(q->estimate, exact);
       worst_error = err > worst_error ? err : worst_error;
-      std::printf("step %8zu: distinct ~= %10.0f (exact %10.0f, err %.3f)\n",
-                  t, estimate, exact, err);
+      std::printf(
+          "step %8zu: distinct ~= %10.0f (exact %10.0f, err %.3f%s)\n", t,
+          q->estimate, exact, err, q->output_changed ? ", output moved" : "");
     }
   }
 
-  // 4. Check the guarantee telemetry every robust task reports.
-  const rs::GuaranteeStatus status = robust_f0->GuaranteeStatus();
+  // 5. The guarantee telemetry every robust stream reports, plus the hub
+  // round trip: Snapshot() persists every stream through the versioned
+  // envelope, Restore() brings the fleet back bit-exactly.
+  const auto q = hub.Query("distinct-ips");
+  if (!q.ok()) return 1;
+  std::string snapshot;
+  if (!hub.Snapshot(&snapshot).ok()) return 1;
+  rs::runtime::StreamHub restored;
+  if (!restored.Restore(snapshot).ok()) return 1;
+  const auto q2 = restored.Query("distinct-ips");
+  if (!q2.ok() || q2->estimate != q->estimate) return 1;
+
   std::printf(
       "\nworst sampled relative error: %.3f (target eps = %.2f)\n"
       "published output changed %zu times (information leaked to an\n"
       "adversary is bounded by this count — the paper's key idea);\n"
-      "%zu sketch copies retired; adversarial guarantee holds: %s\n",
-      worst_error, config.eps, status.flips_spent, status.copies_retired,
-      status.holds ? "yes" : "NO");
-  return (worst_error <= config.eps && status.holds) ? 0 : 1;
+      "%zu sketch copies retired; adversarial guarantee holds: %s\n"
+      "hub snapshot: %zu bytes, restored bit-exact: yes\n",
+      worst_error, config.eps, q->guarantee.flips_spent,
+      q->guarantee.copies_retired, q->guarantee.holds ? "yes" : "NO",
+      snapshot.size());
+  return (worst_error <= config.eps && q->guarantee.holds &&
+          rejected.code() == rs::StatusCode::kInvalidArgument)
+             ? 0
+             : 1;
 }

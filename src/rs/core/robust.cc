@@ -1,6 +1,7 @@
 #include "rs/core/robust.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 #include <utility>
 
@@ -24,13 +25,13 @@ std::map<std::string, RobustTaskFactory, std::less<>>& Registry() {
     auto* r = new std::map<std::string, RobustTaskFactory, std::less<>>();
     for (Task task : kAllRobustTasks) {
       (*r)[TaskKey(task)] = [task](const RobustConfig& config, uint64_t seed) {
-        return MakeRobust(task, config, seed);
+        return TryMakeRobust(task, config, seed);
       };
     }
     // The sharded engine (rs/engine/sharded.h): same tasks, multi-shard
     // execution. config.engine selects shards/merge_period/task.
     (*r)["sharded"] = [](const RobustConfig& config, uint64_t seed) {
-      return MakeShardedRobust(config, seed);
+      return TryMakeShardedRobust(config, seed);
     };
     // The differential-privacy method (rs/dp/): the F0/Fp tasks under the
     // HKMMS private-median pool, sized by the sqrt(lambda) formula, plus
@@ -39,50 +40,234 @@ std::map<std::string, RobustTaskFactory, std::less<>>& Registry() {
     (*r)["dp_f0"] = [](const RobustConfig& config, uint64_t seed) {
       RobustConfig c = config;
       c.method = Method::kDifferentialPrivacy;
-      return MakeRobust(Task::kF0, c, seed);
+      return TryMakeRobust(Task::kF0, c, seed);
     };
     (*r)["dp_fp"] = [](const RobustConfig& config, uint64_t seed) {
       RobustConfig c = config;
       c.method = Method::kDifferentialPrivacy;
-      return MakeRobust(Task::kFp, c, seed);
+      return TryMakeRobust(Task::kFp, c, seed);
     };
     (*r)["dp_f2_diff"] = [](const RobustConfig& config, uint64_t seed) {
-      return MakeDpF2Diff(config, seed);
+      return TryMakeDpF2Diff(config, seed);
     };
     return r;
   }();
   return *registry;
 }
 
+std::string FmtDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+// "field: <requirement>, got <value>" — every rejection names the offending
+// field so a multi-tenant operator can fix the config without reading our
+// source.
+Status BadField(const char* field, const char* requirement, double got) {
+  std::string msg = field;
+  msg += ": ";
+  msg += requirement;
+  msg += ", got ";
+  msg += FmtDouble(got);
+  return InvalidArgument(std::move(msg));
+}
+
 }  // namespace
+
+Status RobustConfig::Validate(Task task) const {
+  // Rules shared by every task. The lower eps bound is a resource-sanity
+  // floor, not theory: copy counts and base-sketch widths scale as
+  // poly(1/eps), so an absurdly small eps would pass range checks and
+  // then kill a multi-tenant process with an allocation failure — the
+  // exact class of abort Validate() exists to turn into a Status. The
+  // same reasoning caps the override/geometry fields below.
+  if (!(eps >= 1e-4 && eps < 1.0)) {
+    return BadField("eps", "must be in [0.0001, 1)", eps);
+  }
+  if (!(delta > 0.0 && delta < 1.0)) {
+    return BadField("delta", "must be in (0, 1)", delta);
+  }
+  if (stream.n < 1) {
+    return BadField("stream.n", "domain size must be >= 1",
+                    static_cast<double>(stream.n));
+  }
+  if (stream.m < 1) {
+    return BadField("stream.m", "stream length bound must be >= 1",
+                    static_cast<double>(stream.m));
+  }
+  if (stream.max_frequency < 1) {
+    return BadField("stream.max_frequency",
+                    "frequency bound M must be >= 1",
+                    static_cast<double>(stream.max_frequency));
+  }
+
+  // Frequency-moment tasks on insertion-only streams: a single item can
+  // absorb all m insertions, so a frequency bound below the stream length
+  // is a promise the stream model itself cannot keep — reject the config
+  // as contradictory rather than size sketches from it. (kCascaded is
+  // exempt: its max_frequency is the matrix entry bound of Proposition
+  // 3.4, not a per-item frequency cap; kBoundedDeletion streams are
+  // turnstile-shaped by definition.)
+  const bool frequency_bounded_task =
+      task == Task::kF0 || task == Task::kFp || task == Task::kEntropy ||
+      task == Task::kHeavyHitters;
+  if (frequency_bounded_task && stream.model == StreamModel::kInsertionOnly &&
+      stream.m > stream.max_frequency) {
+    return BadField(
+        "stream.max_frequency",
+        "insertion-only streams admit frequencies up to m; require M >= m",
+        static_cast<double>(stream.max_frequency));
+  }
+
+  // The differential-privacy method is dispatched for kF0/kFp (the tasks
+  // whose bases are the linear/mergeable sketches the HKMMS analysis
+  // assumes); single-construction tasks document the method field as
+  // ignored, so its sub-config is only validated where it is honored.
+  if (method == Method::kDifferentialPrivacy &&
+      (task == Task::kF0 || task == Task::kFp)) {
+    if (!(dp.epsilon > 0.0)) {
+      return BadField("dp.epsilon", "privacy budget must be > 0", dp.epsilon);
+    }
+    if (dp.gate_period < 1) {
+      return BadField("dp.gate_period", "must be >= 1 update per gate",
+                      static_cast<double>(dp.gate_period));
+    }
+    // DpRobust needs an odd-median-sized pool of at least 3 copies; the
+    // upper bound keeps a forged override from driving the copy-pool
+    // allocation itself past any sane memory budget.
+    if (dp.copies_override != 0 &&
+        (dp.copies_override < 3 || dp.copies_override > (1u << 20))) {
+      return BadField("dp.copies_override",
+                      "must be 0 (auto) or in [3, 1048576]",
+                      static_cast<double>(dp.copies_override));
+    }
+  }
+
+  switch (task) {
+    case Task::kF0:
+    case Task::kEntropy:
+    case Task::kHeavyHitters:
+      break;
+    case Task::kFp:
+      if (!(fp.p > 0.0)) {
+        return BadField("fp.p", "moment order must be > 0", fp.p);
+      }
+      if (method == Method::kDifferentialPrivacy && fp.p > 2.0) {
+        return BadField(
+            "fp.p", "the dp method runs on the p-stable path, which needs "
+            "p <= 2", fp.p);
+      }
+      if (fp.highp_s1_override > (1u << 26) ||
+          fp.highp_s2_override > (1u << 26)) {
+        return InvalidArgument(
+            "fp.highp_s1_override/highp_s2_override: sampling-size "
+            "overrides are capped at 2^26");
+      }
+      break;
+    case Task::kBoundedDeletion:
+      if (!(fp.p >= 1.0 && fp.p <= 2.0)) {
+        return BadField("fp.p", "bounded-deletion Fp requires p in [1, 2]",
+                        fp.p);
+      }
+      if (!(bounded_deletion.alpha >= 1.0)) {
+        return BadField("bounded_deletion.alpha",
+                        "Definition 8.1 requires alpha >= 1",
+                        bounded_deletion.alpha);
+      }
+      break;
+    case Task::kCascaded:
+      if (!(cascaded.p > 0.0)) {
+        return BadField("cascaded.p", "outer exponent must be > 0",
+                        cascaded.p);
+      }
+      if (!(cascaded.k > 0.0)) {
+        return BadField("cascaded.k", "inner exponent must be > 0",
+                        cascaded.k);
+      }
+      if (cascaded.shape.rows < 1 || cascaded.shape.cols < 1 ||
+          cascaded.shape.rows > (1u << 24) ||
+          cascaded.shape.cols > (1u << 24)) {
+        return InvalidArgument(
+            "cascaded.shape: rows and cols must both be in [1, 2^24]");
+      }
+      if (!(cascaded.rate > 0.0 && cascaded.rate <= 1.0)) {
+        return BadField("cascaded.rate", "sampling rate must be in (0, 1]",
+                        cascaded.rate);
+      }
+      if (cascaded.booster_copies > 4096) {
+        return BadField("cascaded.booster_copies",
+                        "median-boosting fan-out is capped at 4096",
+                        static_cast<double>(cascaded.booster_copies));
+      }
+      break;
+  }
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<RobustEstimator>> TryMakeRobust(
+    Task task, const RobustConfig& config, uint64_t seed) {
+  RS_TRY(config.Validate(task));
+  // Validate() established every precondition the constructors check;
+  // their remaining RS_CHECKs are internal invariants from here on.
+  switch (task) {
+    case Task::kF0:
+      return std::unique_ptr<RobustEstimator>(
+          std::make_unique<RobustF0>(config, seed));
+    case Task::kFp:
+      return std::unique_ptr<RobustEstimator>(
+          std::make_unique<RobustFp>(config, seed));
+    case Task::kEntropy:
+      return std::unique_ptr<RobustEstimator>(
+          std::make_unique<RobustEntropy>(config, seed));
+    case Task::kHeavyHitters:
+      return std::unique_ptr<RobustEstimator>(
+          std::make_unique<RobustHeavyHitters>(config, seed));
+    case Task::kBoundedDeletion:
+      return std::unique_ptr<RobustEstimator>(
+          std::make_unique<RobustBoundedDeletionFp>(config, seed));
+    case Task::kCascaded:
+      return std::unique_ptr<RobustEstimator>(
+          std::make_unique<RobustCascadedNorm>(config, seed));
+  }
+  return Internal("TryMakeRobust: unhandled Task enum value");
+}
+
+Result<std::unique_ptr<RobustEstimator>> TryMakeRobust(
+    std::string_view task_key, const RobustConfig& config, uint64_t seed) {
+  const auto& registry = Registry();
+  const auto it = registry.find(task_key);
+  if (it == registry.end()) {
+    std::string msg = "unknown robust task key '";
+    msg += task_key;
+    msg += "' (registered:";
+    for (const auto& key : RobustTaskKeys()) {
+      msg += ' ';
+      msg += key;
+    }
+    msg += ')';
+    return NotFound(std::move(msg));
+  }
+  return it->second(config, seed);
+}
 
 std::unique_ptr<RobustEstimator> MakeRobust(Task task,
                                             const RobustConfig& config,
                                             uint64_t seed) {
-  switch (task) {
-    case Task::kF0:
-      return std::make_unique<RobustF0>(config, seed);
-    case Task::kFp:
-      return std::make_unique<RobustFp>(config, seed);
-    case Task::kEntropy:
-      return std::make_unique<RobustEntropy>(config, seed);
-    case Task::kHeavyHitters:
-      return std::make_unique<RobustHeavyHitters>(config, seed);
-    case Task::kBoundedDeletion:
-      return std::make_unique<RobustBoundedDeletionFp>(config, seed);
-    case Task::kCascaded:
-      return std::make_unique<RobustCascadedNorm>(config, seed);
-  }
-  return nullptr;  // Unreachable for valid enum values.
+  auto result = TryMakeRobust(task, config, seed);
+  RS_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+  return std::move(result).value();
 }
 
 std::unique_ptr<RobustEstimator> MakeRobust(std::string_view task_key,
                                             const RobustConfig& config,
                                             uint64_t seed) {
-  const auto& registry = Registry();
-  const auto it = registry.find(task_key);
-  if (it == registry.end()) return nullptr;
-  return it->second(config, seed);
+  auto result = TryMakeRobust(task_key, config, seed);
+  if (!result.ok() && result.status().code() == StatusCode::kNotFound) {
+    return nullptr;  // Legacy CLI contract for unknown keys.
+  }
+  RS_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+  return std::move(result).value();
 }
 
 const char* TaskKey(Task task) {

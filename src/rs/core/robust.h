@@ -19,6 +19,14 @@
 // the difference-estimator refinement of Attias et al. (arXiv:2107.14527)
 // is now built in (rs/dp/): Method::kDifferentialPrivacy on the kF0/kFp
 // tasks, plus the "dp_f0"/"dp_fp"/"dp_f2_diff" registry keys.
+//
+// Error model (rs/util/status.h): `TryMakeRobust` is the primary entry
+// point — it validates the config (`RobustConfig::Validate`) and reports
+// every input-dependent failure as a `Status` naming the offending field,
+// never aborting. `MakeRobust` remains as the abort-on-error convenience
+// for code that constructs from trusted, hard-coded configs (tests, bench
+// drivers); multi-tenant callers (rs/runtime/stream_hub.h) must use the
+// Try variant.
 
 #ifndef RS_CORE_ROBUST_H_
 #define RS_CORE_ROBUST_H_
@@ -35,6 +43,7 @@
 #include "rs/sketch/cascaded.h"  // MatrixShape (cascaded-norm task).
 #include "rs/sketch/estimator.h"
 #include "rs/stream/update.h"
+#include "rs/util/status.h"
 
 namespace rs {
 
@@ -180,6 +189,14 @@ struct RobustConfig {
     size_t pool_cap = 256;     // Cap for pool-mode copy counts.
     bool force_pool = false;   // Force the plain Lemma 3.6 pool.
   } cascaded;
+
+  // Full input validation for `task`, with every rule the constructions
+  // assume: returns OK exactly when TryMakeRobust(task, *this, seed) will
+  // construct, and otherwise an InvalidArgument status naming the offending
+  // field. Engine-specific rules for the "sharded" registry key live in
+  // ValidateShardedConfig (rs/engine/sharded.h) — they validate the
+  // `engine` sub-struct this method ignores.
+  Status Validate(Task task) const;
 };
 
 // Interface implemented by every robust wrapper: the Estimator contract
@@ -202,14 +219,27 @@ class RobustEstimator : public virtual Estimator {
   virtual rs::GuaranteeStatus GuaranteeStatus() const = 0;
 };
 
-// Builds the robust estimator for `task` from the unified config. Aborts
-// (RS_CHECK) on invalid parameters, exactly like the underlying wrappers.
+// Builds the robust estimator for `task` from the unified config. Every
+// invalid input returns a descriptive Status (RobustConfig::Validate) —
+// this function never aborts on caller-supplied parameters.
+Result<std::unique_ptr<RobustEstimator>> TryMakeRobust(
+    Task task, const RobustConfig& config, uint64_t seed);
+
+// String-keyed variant: TryMakeRobust("f0", ...). An unknown key is
+// kNotFound (RobustTaskKeys() lists the registered ones); a known key with
+// an invalid config reports the same statuses as the Task overload.
+Result<std::unique_ptr<RobustEstimator>> TryMakeRobust(
+    std::string_view task_key, const RobustConfig& config, uint64_t seed);
+
+// Abort-on-error convenience over TryMakeRobust, for construction from
+// trusted, hard-coded configs: RS_CHECK-fails with the status message on an
+// invalid config.
 std::unique_ptr<RobustEstimator> MakeRobust(Task task,
                                             const RobustConfig& config,
                                             uint64_t seed);
 
-// String-keyed variant for CLI/bench use: MakeRobust("f0", ...). Returns
-// nullptr for an unknown key (RobustTaskKeys() lists the registered ones).
+// String-keyed abort-on-error variant. Keeps the legacy CLI contract of
+// returning nullptr for an unknown key; any other error aborts.
 std::unique_ptr<RobustEstimator> MakeRobust(std::string_view task_key,
                                             const RobustConfig& config,
                                             uint64_t seed);
@@ -223,10 +253,13 @@ std::optional<Task> TaskFromKey(std::string_view key);
 std::vector<std::string> RobustTaskKeys();
 
 // Extension hook: register an additional construction under a new key so
-// alternative backends become reachable from MakeRobust(string) without
-// touching call sites. Returns false if the key is already taken.
-using RobustTaskFactory = std::function<std::unique_ptr<RobustEstimator>(
-    const RobustConfig& config, uint64_t seed)>;
+// alternative backends become reachable from TryMakeRobust(string) without
+// touching call sites. Factories participate in the error model: they
+// report invalid configs as a Status instead of aborting. Returns false if
+// the key is already taken.
+using RobustTaskFactory =
+    std::function<Result<std::unique_ptr<RobustEstimator>>(
+        const RobustConfig& config, uint64_t seed)>;
 bool RegisterRobustTask(const std::string& key, RobustTaskFactory factory);
 
 }  // namespace rs

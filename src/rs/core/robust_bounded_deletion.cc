@@ -13,6 +13,10 @@ RobustBoundedDeletionFp::RobustBoundedDeletionFp(const RobustConfig& config,
     : config_(config) {
   const double p = config.fp.p;
   const double alpha = config.bounded_deletion.alpha;
+  // Input validation lives in RobustConfig::Validate (the facade's
+  // TryMakeRobust rejects bad configs as Status values before reaching
+  // this constructor); the RS_CHECKs below only guard direct, trusted
+  // construction of the wrapper class itself.
   RS_CHECK(p >= 1.0 && p <= 2.0);
   RS_CHECK(alpha >= 1.0);
   RS_CHECK(config.eps > 0.0 && config.eps < 1.0);

@@ -39,6 +39,10 @@ RobustCascadedNorm::RobustCascadedNorm(const RobustConfig& config,
           config.eps, config.cascaded.shape.rows, config.cascaded.shape.cols,
           config.stream.max_frequency, config.cascaded.p,
           config.cascaded.k)) {
+  // Input validation lives in RobustConfig::Validate (the facade's
+  // TryMakeRobust rejects bad configs as Status values before reaching
+  // this constructor); the RS_CHECKs below only guard direct, trusted
+  // construction of the wrapper class itself.
   RS_CHECK(config_.eps > 0.0 && config_.eps < 1.0);
 
   CascadedRowSample::Config base;

@@ -14,6 +14,10 @@ RobustEntropy::RobustEntropy(const RobustConfig& config, uint64_t seed)
       theoretical_lambda_(EntropyFlipNumber(config.eps, config.stream.n,
                                             config.stream.m,
                                             config.stream.max_frequency)) {
+  // Input validation lives in RobustConfig::Validate (the facade's
+  // TryMakeRobust rejects bad configs as Status values before reaching
+  // this constructor); the RS_CHECKs below only guard direct, trusted
+  // construction of the wrapper class itself.
   RS_CHECK(config.eps > 0.0 && config.eps < 1.0);
   EntropySketch::Config es;
   // Base additive accuracy eps/4 on H == multiplicative eps/4-ish on 2^H.

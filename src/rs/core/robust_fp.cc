@@ -11,6 +11,10 @@ namespace rs {
 
 RobustFp::RobustFp(const RobustConfig& config, uint64_t seed)
     : config_(config) {
+  // Input validation lives in RobustConfig::Validate (the facade's
+  // TryMakeRobust rejects bad configs as Status values before reaching
+  // this constructor); the RS_CHECKs below only guard direct, trusted
+  // construction of the wrapper class itself.
   RS_CHECK(config.fp.p > 0.0);
   RS_CHECK(config.eps > 0.0 && config.eps < 1.0);
   const double eps = config.eps;

@@ -57,9 +57,14 @@ size_t F2DiffEstimator::SpaceBytes() const {
          sizeof(double);
 }
 
-std::unique_ptr<RobustEstimator> MakeDpF2Diff(const RobustConfig& config,
-                                              uint64_t seed) {
-  RS_CHECK(config.eps > 0.0 && config.eps < 1.0);
+Result<std::unique_ptr<RobustEstimator>> TryMakeDpF2Diff(
+    const RobustConfig& config, uint64_t seed) {
+  // Validate as the dp-method Fp task it is (p pinned to 2: the declared
+  // fp.p is ignored by this construction, so it cannot invalidate it).
+  RobustConfig validated = config;
+  validated.method = Method::kDifferentialPrivacy;
+  validated.fp.p = 2.0;
+  RS_TRY(validated.Validate(Task::kFp));
   const double eps = config.eps;
   // F2 flip budget at the Lemma 3.6 lambda_{eps/8} granularity
   // (Corollary 3.5 with p = 2; see robust_f0.cc for the eps/8 convention).
@@ -76,12 +81,19 @@ std::unique_ptr<RobustEstimator> MakeDpF2Diff(const RobustConfig& config,
   F2DiffEstimator::Config fc;
   fc.ams.eps = std::min(1.0, std::sqrt(eps / 4.0));
   fc.ams.delta = 0.25;
-  return std::make_unique<DpRobust>(
+  return std::unique_ptr<RobustEstimator>(std::make_unique<DpRobust>(
       MakeDpRobustConfig(config, lambda, "DpF2Diff"),
       DifferenceFactory([fc](uint64_t s) {
         return std::make_unique<F2DiffEstimator>(fc, s);
       }),
-      seed);
+      seed));
+}
+
+std::unique_ptr<RobustEstimator> MakeDpF2Diff(const RobustConfig& config,
+                                              uint64_t seed) {
+  auto result = TryMakeDpF2Diff(config, seed);
+  RS_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+  return std::move(result).value();
 }
 
 }  // namespace rs

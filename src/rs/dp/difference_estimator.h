@@ -76,7 +76,12 @@ class F2DiffEstimator : public DifferenceEstimator {
 // Builds the "dp_f2_diff" construction: a DpRobust in difference-estimator
 // mode over F2DiffEstimator copies, sized by the sqrt(lambda) formula with
 // the coarsened per-copy AMS shape. The task is F2 (config.fp.p is ignored;
-// the F2 flip number prices the budget).
+// the F2 flip number prices the budget). Invalid configs come back as a
+// Status naming the offending field, never an abort.
+Result<std::unique_ptr<RobustEstimator>> TryMakeDpF2Diff(
+    const RobustConfig& config, uint64_t seed);
+
+// Abort-on-error convenience over TryMakeDpF2Diff (trusted configs only).
 std::unique_ptr<RobustEstimator> MakeDpF2Diff(const RobustConfig& config,
                                               uint64_t seed);
 

@@ -194,11 +194,12 @@ void ShardedRobust::Snapshot(std::string* out) const {
   }
 }
 
-bool ShardedRobust::Restore(std::string_view data) {
+Status ShardedRobust::Restore(std::string_view data) {
   WireReader r(data);
   if (r.U32() != kWireMagic || r.U32() != kWireFormatVersion ||
       r.U32() != kEngineSnapshotKind) {
-    return false;
+    return DataLoss(
+        "engine snapshot: bad magic, format version, or kind tag");
   }
   const uint64_t seed = r.U64();
   const double eps = r.F64();
@@ -217,14 +218,14 @@ bool ShardedRobust::Restore(std::string_view data) {
   // Geometry sanity, including an overflow-safe budget check: every
   // sub-sketch costs at least a length prefix (8) plus a wire header (20),
   // so copies * shards is bounded by the bytes actually present before
-  // either count drives an allocation — a malformed snapshot returns
-  // false, it never aborts.
+  // either count drives an allocation — a malformed snapshot comes back as
+  // a status, it never aborts.
   const uint64_t max_sketches = r.remaining() / 28;
   if (!r.ok() || !(eps > 0.0 && eps < 1.0) || shards < 1 ||
       merge_period < 1 || copies < 2 || mode > 1 || active >= copies ||
       exhausted > 1 || copies > max_sketches ||
       shards > max_sketches / copies) {
-    return false;
+    return DataLoss("engine snapshot: truncated or inconsistent geometry");
   }
   std::vector<std::vector<std::unique_ptr<MergeableEstimator>>> restored;
   restored.resize(copies);
@@ -232,20 +233,27 @@ bool ShardedRobust::Restore(std::string_view data) {
     restored[c].reserve(shards);
     for (uint64_t s = 0; s < shards; ++s) {
       const uint64_t len = r.U64();
-      if (!r.ok() || r.remaining() < len) return false;
-      auto sketch = DeserializeSketch(r.Bytes(len));
-      if (sketch == nullptr) return false;
+      if (!r.ok() || r.remaining() < len) {
+        return DataLoss("engine snapshot: truncated sub-sketch record");
+      }
+      RS_ASSIGN_OR(auto sketch, DeserializeSketch(r.Bytes(len)));
       restored[c].push_back(std::move(sketch));
     }
   }
-  if (!r.AtEnd()) return false;
+  if (!r.AtEnd()) {
+    return DataLoss("engine snapshot: trailing bytes after the last record");
+  }
   // Shard-mates of one copy must be mutually mergeable — a snapshot whose
   // sub-sketches individually deserialize but mix kinds/shapes/seeds would
   // otherwise pass here and RS_CHECK-abort at the next gate's merge,
-  // violating the malformed-snapshots-return-false contract above.
+  // violating the malformed-snapshots-never-abort contract above.
   for (uint64_t c = 0; c < copies; ++c) {
     for (uint64_t s = 1; s < shards; ++s) {
-      if (!restored[c][s]->CompatibleForMerge(*restored[c][0])) return false;
+      if (!restored[c][s]->CompatibleForMerge(*restored[c][0])) {
+        return DataLoss(
+            "engine snapshot: shard sub-sketches of one copy are not "
+            "mutually mergeable");
+      }
     }
   }
 
@@ -266,13 +274,42 @@ bool ShardedRobust::Restore(std::string_view data) {
   exhausted_ = exhausted != 0;
   spawn_count_ = spawn_count;
   shard_runs_.assign(config_.shards, {});
-  return true;
+  return Status::Ok();
 }
 
-std::unique_ptr<RobustEstimator> MakeShardedRobust(const RobustConfig& config,
-                                                   uint64_t seed) {
+Status ValidateShardedConfig(const RobustConfig& config) {
+  // The common rules of the task the engine shards (eps/delta/stream
+  // bounds, fp.p > 0, the insertion-only M >= m rule). Method is forced to
+  // switching: the engine implements the Theorem 4.1 ring itself.
+  if (config.engine.task != Task::kF0 && config.engine.task != Task::kFp) {
+    return InvalidArgument(
+        "engine.task: the sharded engine supports the f0 and fp tasks only");
+  }
+  RobustConfig base = config;
+  base.method = Method::kSketchSwitching;
+  RS_TRY(base.Validate(config.engine.task));
+  // The upper bound is a resource-sanity cap: the constructor allocates
+  // copies x shards sub-sketches up front, so an absurd shard count from
+  // an untrusted config (or a forged hub envelope) must be a Status, not
+  // a std::bad_alloc that terminates the multi-tenant process.
+  if (config.engine.shards < 1 || config.engine.shards > 65536) {
+    return InvalidArgument("engine.shards: must be in [1, 65536]");
+  }
+  if (config.engine.merge_period < 1) {
+    return InvalidArgument("engine.merge_period: must be >= 1, got 0");
+  }
+  if (config.engine.task == Task::kFp && config.fp.p > 2.0) {
+    return InvalidArgument(
+        "fp.p: the sharded engine runs on the p-stable path, which needs "
+        "0 < p <= 2");
+  }
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<RobustEstimator>> TryMakeShardedRobust(
+    const RobustConfig& config, uint64_t seed) {
+  RS_TRY(ValidateShardedConfig(config));
   const double eps = config.eps;
-  RS_CHECK(eps > 0.0 && eps < 1.0);
   ShardedRobust::Config sc;
   sc.eps = eps;
   sc.shards = config.engine.shards;
@@ -289,31 +326,36 @@ std::unique_ptr<RobustEstimator> MakeShardedRobust(const RobustConfig& config,
     case Task::kF0: {
       sc.name = "ShardedRobust/f0";
       const size_t k = KmvF0::KForEpsilon(eps0);
-      return std::make_unique<ShardedRobust>(
-          sc,
-          [k](uint64_t s) {
-            return std::make_unique<KmvF0>(KmvF0::Config{k}, s);
-          },
-          seed);
+      return std::unique_ptr<RobustEstimator>(
+          std::make_unique<ShardedRobust>(
+              sc,
+              [k](uint64_t s) {
+                return std::make_unique<KmvF0>(KmvF0::Config{k}, s);
+              },
+              seed));
     }
     case Task::kFp: {
       const double p = config.fp.p;
-      RS_CHECK_MSG(p > 0.0 && p <= 2.0,
-                   "sharded engine: Fp requires 0 < p <= 2");
       sc.name = "ShardedRobust/fp";
       PStableFp::Config ps;
       ps.p = p;
       ps.eps = eps0;
-      return std::make_unique<ShardedRobust>(
-          sc,
-          [ps](uint64_t s) { return std::make_unique<PStableFp>(ps, s); },
-          seed);
+      return std::unique_ptr<RobustEstimator>(
+          std::make_unique<ShardedRobust>(
+              sc,
+              [ps](uint64_t s) { return std::make_unique<PStableFp>(ps, s); },
+              seed));
     }
     default:
-      RS_CHECK_MSG(false,
-                   "sharded engine: unsupported task (use f0 or fp)");
-      return nullptr;
+      return Internal("sharded engine: unhandled task after validation");
   }
+}
+
+std::unique_ptr<RobustEstimator> MakeShardedRobust(const RobustConfig& config,
+                                                   uint64_t seed) {
+  auto result = TryMakeShardedRobust(config, seed);
+  RS_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+  return std::move(result).value();
 }
 
 }  // namespace rs

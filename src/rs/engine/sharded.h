@@ -98,11 +98,13 @@ class ShardedRobust : public RobustEstimator {
   // (copy, shard) sub-sketch through the rs/io wire format) into *out.
   void Snapshot(std::string* out) const;
 
-  // Restores a Snapshot() image. Returns false (leaving the engine
-  // untouched) on a malformed buffer. The factory and thread count of this
-  // instance are kept; everything else — including shard/copy geometry and
-  // sub-sketch state — comes from the snapshot.
-  bool Restore(std::string_view data);
+  // Restores a Snapshot() image. A malformed buffer leaves the engine
+  // untouched and comes back as an error status (kDataLoss for corrupt or
+  // inconsistent bytes, kUnimplemented for a sketch kind this build does
+  // not know — forwarded from rs/io/sketch_codec.h). The factory and
+  // thread count of this instance are kept; everything else — including
+  // shard/copy geometry and sub-sketch state — comes from the snapshot.
+  Status Restore(std::string_view data);
 
   size_t shards() const { return config_.shards; }
   size_t copies() const { return copies_.size(); }
@@ -143,10 +145,21 @@ class ShardedRobust : public RobustEstimator {
   std::vector<std::vector<rs::Update>> shard_runs_;
 };
 
+// Validation for the engine path: the rules RobustConfig::Validate leaves
+// to this layer (engine.shards/merge_period >= 1, engine.task in {kF0,
+// kFp}, and 0 < fp.p <= 2 on the p-stable path) plus the common rules of
+// the selected task. OK exactly when TryMakeShardedRobust will construct.
+Status ValidateShardedConfig(const RobustConfig& config);
+
 // Facade hook (registered under the "sharded" key in rs/core/robust.cc):
 // builds a ShardedRobust for config.engine.task — kF0 (KMV base) or kFp
 // with 0 < p <= 2 (p-stable base), sized exactly like the single-stream
 // sketch-switching constructions so benchmarks compare like for like.
+// Invalid configs come back as a Status naming the offending field.
+Result<std::unique_ptr<RobustEstimator>> TryMakeShardedRobust(
+    const RobustConfig& config, uint64_t seed);
+
+// Abort-on-error convenience over TryMakeShardedRobust (trusted configs).
 std::unique_ptr<RobustEstimator> MakeShardedRobust(const RobustConfig& config,
                                                    uint64_t seed);
 

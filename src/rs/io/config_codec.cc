@@ -1,0 +1,89 @@
+#include "rs/io/config_codec.h"
+
+namespace rs {
+
+void AppendRobustConfig(const RobustConfig& config, std::string* out) {
+  WireWriter w(out);
+  w.F64(config.eps);
+  w.F64(config.delta);
+  w.U64(config.stream.n);
+  w.U64(config.stream.m);
+  w.U64(config.stream.max_frequency);
+  w.U8(static_cast<uint8_t>(config.stream.model));
+  w.U8(static_cast<uint8_t>(config.method));
+  w.U8(config.theoretical_sizing ? 1 : 0);
+  w.F64(config.fp.p);
+  w.U64(config.fp.lambda_override);
+  w.U64(config.fp.highp_s1_override);
+  w.U64(config.fp.highp_s2_override);
+  w.U64(config.entropy.pool_cap);
+  w.U8(config.entropy.random_oracle_model ? 1 : 0);
+  w.F64(config.bounded_deletion.alpha);
+  w.U64(config.engine.shards);
+  w.U64(config.engine.merge_period);
+  w.U64(config.engine.threads);
+  w.U8(static_cast<uint8_t>(config.engine.task));
+  w.F64(config.dp.epsilon);
+  w.U64(config.dp.copies_override);
+  w.U64(config.dp.flip_budget_override);
+  w.U64(config.dp.gate_period);
+  w.F64(config.cascaded.p);
+  w.F64(config.cascaded.k);
+  w.U64(config.cascaded.shape.rows);
+  w.U64(config.cascaded.shape.cols);
+  w.F64(config.cascaded.rate);
+  w.U64(config.cascaded.booster_copies);
+  w.U64(config.cascaded.pool_cap);
+  w.U8(config.cascaded.force_pool ? 1 : 0);
+}
+
+Result<RobustConfig> ReadRobustConfig(WireReader& r) {
+  RobustConfig c;
+  c.eps = r.F64();
+  c.delta = r.F64();
+  c.stream.n = r.U64();
+  c.stream.m = r.U64();
+  c.stream.max_frequency = r.U64();
+  const uint8_t model = r.U8();
+  const uint8_t method = r.U8();
+  c.theoretical_sizing = r.U8() != 0;
+  c.fp.p = r.F64();
+  c.fp.lambda_override = static_cast<size_t>(r.U64());
+  c.fp.highp_s1_override = static_cast<size_t>(r.U64());
+  c.fp.highp_s2_override = static_cast<size_t>(r.U64());
+  c.entropy.pool_cap = static_cast<size_t>(r.U64());
+  c.entropy.random_oracle_model = r.U8() != 0;
+  c.bounded_deletion.alpha = r.F64();
+  c.engine.shards = static_cast<size_t>(r.U64());
+  c.engine.merge_period = static_cast<size_t>(r.U64());
+  c.engine.threads = static_cast<size_t>(r.U64());
+  const uint8_t engine_task = r.U8();
+  c.dp.epsilon = r.F64();
+  c.dp.copies_override = static_cast<size_t>(r.U64());
+  c.dp.flip_budget_override = static_cast<size_t>(r.U64());
+  c.dp.gate_period = static_cast<size_t>(r.U64());
+  c.cascaded.p = r.F64();
+  c.cascaded.k = r.F64();
+  c.cascaded.shape.rows = static_cast<size_t>(r.U64());
+  c.cascaded.shape.cols = static_cast<size_t>(r.U64());
+  c.cascaded.rate = r.F64();
+  c.cascaded.booster_copies = static_cast<size_t>(r.U64());
+  c.cascaded.pool_cap = static_cast<size_t>(r.U64());
+  c.cascaded.force_pool = r.U8() != 0;
+  if (!r.ok()) return DataLoss("config blob: truncated");
+  if (model > static_cast<uint8_t>(StreamModel::kBoundedDeletion)) {
+    return DataLoss("config blob: unknown stream model discriminant");
+  }
+  if (method > static_cast<uint8_t>(Method::kDifferentialPrivacy)) {
+    return DataLoss("config blob: unknown method discriminant");
+  }
+  if (engine_task > static_cast<uint8_t>(Task::kCascaded)) {
+    return DataLoss("config blob: unknown engine task discriminant");
+  }
+  c.stream.model = static_cast<StreamModel>(model);
+  c.method = static_cast<Method>(method);
+  c.engine.task = static_cast<Task>(engine_task);
+  return c;
+}
+
+}  // namespace rs

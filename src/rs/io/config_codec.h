@@ -1,0 +1,38 @@
+// config_codec.h — wire round trip for RobustConfig.
+//
+// The StreamHub envelope (rs/runtime/stream_hub.h) persists, for every
+// hosted stream, the exact RobustConfig it was created with, so a restored
+// hub can rebuild the estimator through the same TryMakeRobust path and
+// then overlay the engine state. The encoding is the flat field list below
+// in declaration order — fixed-width little-endian through rs/io/wire.h,
+// so a serialize -> parse -> serialize trip is byte-identical (doubles
+// travel as IEEE-754 bit patterns).
+//
+// Versioning: the blob has no header of its own; it is always embedded in
+// a versioned envelope (the hub's), whose version gates the layout. Fields
+// may only be appended, and any incompatible change bumps the enclosing
+// envelope version.
+
+#ifndef RS_IO_CONFIG_CODEC_H_
+#define RS_IO_CONFIG_CODEC_H_
+
+#include <string>
+
+#include "rs/core/robust.h"
+#include "rs/io/wire.h"
+#include "rs/util/status.h"
+
+namespace rs {
+
+// Appends the flat encoding of `config` to *out.
+void AppendRobustConfig(const RobustConfig& config, std::string* out);
+
+// Reads one RobustConfig from `r` (as written by AppendRobustConfig).
+// kDataLoss on truncation or an out-of-range enum discriminant. Range
+// validation of the field VALUES is deliberately not done here — that is
+// RobustConfig::Validate's job, and the hub runs it when rebuilding.
+Result<RobustConfig> ReadRobustConfig(WireReader& r);
+
+}  // namespace rs
+
+#endif  // RS_IO_CONFIG_CODEC_H_

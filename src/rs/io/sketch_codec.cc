@@ -1,5 +1,7 @@
 #include "rs/io/sketch_codec.h"
 
+#include <string>
+
 #include "rs/sketch/ams_f2.h"
 #include "rs/sketch/countmin.h"
 #include "rs/sketch/countsketch.h"
@@ -11,35 +13,60 @@
 
 namespace rs {
 
+namespace {
+
+// The per-kind Deserialize hooks predate the error model and report any
+// payload problem as nullptr; at this layer every such failure is corrupt
+// state for a kind we positively identified — kDataLoss.
+Result<std::unique_ptr<MergeableEstimator>> OrDataLoss(
+    std::unique_ptr<MergeableEstimator> sketch, const char* kind_name) {
+  if (sketch == nullptr) {
+    std::string msg = "corrupt ";
+    msg += kind_name;
+    msg += " payload (truncated or inconsistent state)";
+    return DataLoss(std::move(msg));
+  }
+  return sketch;
+}
+
+}  // namespace
+
 bool PeekSketchHeader(std::string_view data, SketchKind* kind,
                       uint64_t* seed) {
   WireReader r(data);
   return r.Header(kind, seed);
 }
 
-std::unique_ptr<MergeableEstimator> DeserializeSketch(std::string_view data) {
+Result<std::unique_ptr<MergeableEstimator>> DeserializeSketch(
+    std::string_view data) {
   SketchKind kind;
   uint64_t seed;
-  if (!PeekSketchHeader(data, &kind, &seed)) return nullptr;
+  if (!PeekSketchHeader(data, &kind, &seed)) {
+    return DataLoss(
+        "malformed sketch header (bad magic, unknown format version, or "
+        "truncated buffer)");
+  }
   switch (kind) {
     case SketchKind::kKmvF0:
-      return KmvF0::Deserialize(data);
+      return OrDataLoss(KmvF0::Deserialize(data), "KmvF0");
     case SketchKind::kHllF0:
-      return HllF0::Deserialize(data);
+      return OrDataLoss(HllF0::Deserialize(data), "HllF0");
     case SketchKind::kAmsF2:
-      return AmsF2::Deserialize(data);
+      return OrDataLoss(AmsF2::Deserialize(data), "AmsF2");
     case SketchKind::kCountSketch:
-      return CountSketch::Deserialize(data);
+      return OrDataLoss(CountSketch::Deserialize(data), "CountSketch");
     case SketchKind::kCountMin:
-      return CountMin::Deserialize(data);
+      return OrDataLoss(CountMin::Deserialize(data), "CountMin");
     case SketchKind::kMisraGries:
-      return MisraGries::Deserialize(data);
+      return OrDataLoss(MisraGries::Deserialize(data), "MisraGries");
     case SketchKind::kPStableFp:
-      return PStableFp::Deserialize(data);
+      return OrDataLoss(PStableFp::Deserialize(data), "PStableFp");
     case SketchKind::kEntropySketch:
-      return EntropySketch::Deserialize(data);
+      return OrDataLoss(EntropySketch::Deserialize(data), "EntropySketch");
   }
-  return nullptr;  // Unknown kind tag.
+  return Unimplemented("unknown sketch kind tag " +
+                       std::to_string(static_cast<uint32_t>(kind)) +
+                       " (snapshot from a newer writer?)");
 }
 
 }  // namespace rs

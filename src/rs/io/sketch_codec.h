@@ -14,13 +14,22 @@
 
 #include "rs/io/wire.h"
 #include "rs/sketch/estimator.h"
+#include "rs/util/status.h"
 
 namespace rs {
 
-// Reconstructs a sketch from its wire encoding. Returns nullptr on a
-// malformed buffer (bad magic, unknown version or kind, truncated state) —
-// it never aborts on untrusted bytes.
-std::unique_ptr<MergeableEstimator> DeserializeSketch(std::string_view data);
+// Reconstructs a sketch from its wire encoding. It never aborts on
+// untrusted bytes, and the two ways a buffer can be unusable are distinct
+// statuses:
+//   kDataLoss      — corrupt bytes: bad magic, wrong format version,
+//                    truncated or inconsistent kind-specific state;
+//   kUnimplemented — a structurally valid header whose kind tag this build
+//                    does not know (e.g. a snapshot from a newer writer).
+// Callers that only care about success keep checking ok(); callers that
+// route "corrupt, drop it" differently from "newer format, keep the bytes"
+// now can.
+Result<std::unique_ptr<MergeableEstimator>> DeserializeSketch(
+    std::string_view data);
 
 // Peeks at the header without materializing the sketch. Returns false on a
 // malformed header.

@@ -1,0 +1,341 @@
+#include "rs/runtime/stream_hub.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "rs/io/config_codec.h"
+#include "rs/io/wire.h"
+#include "rs/util/rng.h"
+
+namespace rs {
+namespace runtime {
+
+namespace {
+
+// Bound on stream names: they travel length-prefixed in the hub envelope
+// and key every lookup, so an adversarial tenant must not be able to turn
+// one CreateStream into a megabyte of snapshot.
+constexpr size_t kMaxNameBytes = 1024;
+
+// FNV-1a, used to derive deterministic per-stream seeds from names. Kept
+// local and fixed (std::hash is not stable across implementations, and
+// seeds should not silently change when the standard library does).
+uint64_t Fnv1a(std::string_view s) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+std::string QuotedName(std::string_view name) {
+  std::string q = "'";
+  q += name;
+  q += "'";
+  return q;
+}
+
+}  // namespace
+
+StreamHub::StreamHub(const StreamHubOptions& options) : options_(options) {
+  if (options_.lock_stripes < 1) options_.lock_stripes = 1;
+  stripes_ = std::vector<Stripe>(options_.lock_stripes);
+}
+
+size_t StreamHub::StripeOf(std::string_view name) const {
+  return std::hash<std::string_view>{}(name) % stripes_.size();
+}
+
+Status StreamHub::BuildEstimator(StreamState* state) {
+  const std::optional<Task> task = TaskFromKey(state->task_key);
+  const bool engine_task =
+      state->task_key == "sharded" ||
+      (task.has_value() && (*task == Task::kF0 || *task == Task::kFp) &&
+       state->config.method == Method::kSketchSwitching);
+  if (engine_task) {
+    // f0/fp under sketch switching run on the sharded engine: shards > 1
+    // is real multi-shard execution, shards == 1 the single-shard
+    // degenerate of the same construction (identically sized ring and
+    // bases). This is also what gives the stream a serialization path.
+    RobustConfig ec = state->config;
+    if (state->task_key != "sharded") ec.engine.task = *task;
+    ec.engine.shards = std::max<size_t>(1, ec.engine.shards);
+    RS_ASSIGN_OR(auto estimator, TryMakeShardedRobust(ec, state->seed));
+    state->engine = static_cast<ShardedRobust*>(estimator.get());
+    state->estimator = std::move(estimator);
+    return Status::Ok();
+  }
+  RS_ASSIGN_OR(state->estimator,
+               TryMakeRobust(std::string_view(state->task_key),
+                             state->config, state->seed));
+  state->engine = nullptr;
+  return Status::Ok();
+}
+
+Status StreamHub::CreateStream(std::string_view name,
+                               std::string_view task_key,
+                               const RobustConfig& config, uint64_t seed) {
+  if (name.empty()) {
+    return InvalidArgument("name: stream names must be non-empty");
+  }
+  if (name.size() > kMaxNameBytes) {
+    return InvalidArgument("name: stream names are capped at 1024 bytes");
+  }
+  auto state = std::make_unique<StreamState>();
+  state->name = std::string(name);
+  state->task_key = std::string(task_key);
+  state->config = config;
+  state->seed =
+      seed != 0 ? seed : SplitMix64(options_.seed ^ Fnv1a(name));
+  // Build before taking the stripe lock: construction can be heavy
+  // (copies x shards sub-sketches) and must not block the stripe's other
+  // tenants. A racing duplicate create costs one wasted construction.
+  RS_TRY(BuildEstimator(state.get()));
+
+  Stripe& stripe = stripes_[StripeOf(name)];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  const auto [it, inserted] =
+      stripe.streams.emplace(state->name, std::move(state));
+  (void)it;
+  if (!inserted) {
+    return AlreadyExists("a stream named " + QuotedName(name) +
+                         " already exists");
+  }
+  return Status::Ok();
+}
+
+Status StreamHub::CreateStream(std::string_view name, Task task,
+                               const RobustConfig& config, uint64_t seed) {
+  return CreateStream(name, TaskKey(task), config, seed);
+}
+
+Status StreamHub::Update(std::string_view name, const rs::Update& u) {
+  Stripe& stripe = stripes_[StripeOf(name)];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  const auto it = stripe.streams.find(name);
+  if (it == stripe.streams.end()) {
+    return NotFound("no stream named " + QuotedName(name));
+  }
+  it->second->estimator->Update(u);
+  ++it->second->updates;
+  return Status::Ok();
+}
+
+Status StreamHub::UpdateBatch(std::string_view name, const rs::Update* ups,
+                              size_t count) {
+  Stripe& stripe = stripes_[StripeOf(name)];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  const auto it = stripe.streams.find(name);
+  if (it == stripe.streams.end()) {
+    return NotFound("no stream named " + QuotedName(name));
+  }
+  if (count > 0) {
+    it->second->estimator->UpdateBatch(ups, count);
+    it->second->updates += count;
+  }
+  return Status::Ok();
+}
+
+Result<QueryResult> StreamHub::Query(std::string_view name) {
+  Stripe& stripe = stripes_[StripeOf(name)];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  const auto it = stripe.streams.find(name);
+  if (it == stripe.streams.end()) {
+    return NotFound("no stream named " + QuotedName(name));
+  }
+  StreamState& state = *it->second;
+  QueryResult result;
+  result.estimate = state.estimator->Estimate();
+  result.guarantee = state.estimator->GuaranteeStatus();
+  const size_t changes = state.estimator->output_changes();
+  result.output_changed = changes != state.last_query_changes;
+  state.last_query_changes = changes;
+  return result;
+}
+
+Status StreamHub::EraseStream(std::string_view name) {
+  Stripe& stripe = stripes_[StripeOf(name)];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  const auto it = stripe.streams.find(name);
+  if (it == stripe.streams.end()) {
+    return NotFound("no stream named " + QuotedName(name));
+  }
+  stripe.streams.erase(it);
+  return Status::Ok();
+}
+
+std::vector<StreamInfo> StreamHub::ListStreams() const {
+  std::vector<StreamInfo> infos;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    for (const auto& [name, state] : stripe.streams) {
+      StreamInfo info;
+      info.name = name;
+      info.task_key = state->task_key;
+      info.updates = state->updates;
+      info.space_bytes = state->estimator->SpaceBytes();
+      info.guarantee = state->estimator->GuaranteeStatus();
+      info.snapshot_capable = state->engine != nullptr;
+      infos.push_back(std::move(info));
+    }
+  }
+  std::sort(infos.begin(), infos.end(),
+            [](const StreamInfo& a, const StreamInfo& b) {
+              return a.name < b.name;
+            });
+  return infos;
+}
+
+size_t StreamHub::stream_count() const {
+  size_t count = 0;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    count += stripe.streams.size();
+  }
+  return count;
+}
+
+Status StreamHub::Snapshot(std::string* out) const {
+  // Hub-wide consistency: hold every stripe for the duration, in index
+  // order (all-stripe lockers always use this order, per-stream operations
+  // take a single stripe — no cycle is possible).
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(stripes_.size());
+  for (const Stripe& stripe : stripes_) locks.emplace_back(stripe.mu);
+
+  // Canonical order (sorted names): equal hub state, identical bytes.
+  std::vector<const StreamState*> states;
+  for (const Stripe& stripe : stripes_) {
+    for (const auto& [name, state] : stripe.streams) {
+      states.push_back(state.get());
+    }
+  }
+  std::sort(states.begin(), states.end(),
+            [](const StreamState* a, const StreamState* b) {
+              return a->name < b->name;
+            });
+  for (const StreamState* state : states) {
+    if (state->engine == nullptr) {
+      return FailedPrecondition(
+          "stream " + QuotedName(state->name) + " (key '" +
+          state->task_key +
+          "') has no serialization path; only engine-backed f0/fp streams "
+          "can snapshot");
+    }
+  }
+
+  out->clear();
+  WireWriter w(out);
+  w.U32(kWireMagic);
+  w.U32(kWireFormatVersion);
+  w.U32(kHubSnapshotKind);
+  w.U64(states.size());
+  std::string scratch;
+  for (const StreamState* state : states) {
+    w.U64(state->name.size());
+    w.Bytes(state->name);
+    w.U64(state->task_key.size());
+    w.Bytes(state->task_key);
+    w.U64(state->seed);
+    scratch.clear();
+    AppendRobustConfig(state->config, &scratch);
+    w.U64(scratch.size());
+    w.Bytes(scratch);
+    w.U64(state->updates);
+    w.U64(state->last_query_changes);
+    scratch.clear();
+    state->engine->Snapshot(&scratch);
+    w.U64(scratch.size());
+    w.Bytes(scratch);
+  }
+  return Status::Ok();
+}
+
+Status StreamHub::Restore(std::string_view data) {
+  WireReader r(data);
+  if (r.U32() != kWireMagic || r.U32() != kWireFormatVersion ||
+      r.U32() != kHubSnapshotKind) {
+    return DataLoss("hub envelope: bad magic, format version, or kind tag");
+  }
+  const uint64_t count = r.U64();
+  // Every stream record costs at least its fixed-width fields (seed,
+  // updates, last_query_changes, four length prefixes = 56 bytes), so a
+  // forged count cannot drive allocations past the bytes present.
+  if (!r.ok() || count > r.remaining() / 56) {
+    return DataLoss("hub envelope: truncated or inconsistent stream count");
+  }
+
+  // Parse and rebuild everything before touching the hub: a corrupt
+  // envelope must leave the current streams untouched.
+  std::vector<std::unique_ptr<StreamState>> restored;
+  restored.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    auto state = std::make_unique<StreamState>();
+    const uint64_t name_len = r.U64();
+    if (!r.ok() || name_len == 0 || name_len > kMaxNameBytes ||
+        r.remaining() < name_len) {
+      return DataLoss("hub envelope: bad stream name record");
+    }
+    state->name = std::string(r.Bytes(name_len));
+    const uint64_t key_len = r.U64();
+    if (!r.ok() || key_len > kMaxNameBytes || r.remaining() < key_len) {
+      return DataLoss("hub envelope: bad task key record");
+    }
+    state->task_key = std::string(r.Bytes(key_len));
+    state->seed = r.U64();
+    const uint64_t config_len = r.U64();
+    if (!r.ok() || r.remaining() < config_len) {
+      return DataLoss("hub envelope: truncated config blob");
+    }
+    WireReader config_reader(r.Bytes(config_len));
+    RS_ASSIGN_OR(state->config, ReadRobustConfig(config_reader));
+    if (!config_reader.AtEnd()) {
+      return DataLoss("hub envelope: config blob has trailing bytes");
+    }
+    state->updates = r.U64();
+    state->last_query_changes = static_cast<size_t>(r.U64());
+    const uint64_t engine_len = r.U64();
+    if (!r.ok() || r.remaining() < engine_len) {
+      return DataLoss("hub envelope: truncated engine snapshot");
+    }
+    const std::string_view engine_bytes = r.Bytes(engine_len);
+    // Rebuild through the same validated path as CreateStream, then
+    // overlay the serialized engine state.
+    RS_TRY(BuildEstimator(state.get()));
+    if (state->engine == nullptr) {
+      return DataLoss("hub envelope: stream " + QuotedName(state->name) +
+                      " (key '" + state->task_key +
+                      "') is not engine-backed, yet carries engine bytes");
+    }
+    RS_TRY(state->engine->Restore(engine_bytes));
+    // Snapshot() writes names sorted and unique; enforcing the canonical
+    // order here rejects duplicate names before the commit below, which
+    // keeps the commit infallible (the hub must never end up holding half
+    // an envelope).
+    if (!restored.empty() && !(restored.back()->name < state->name)) {
+      return DataLoss(
+          "hub envelope: stream names not strictly increasing (duplicate "
+          "or reordered record " +
+          QuotedName(state->name) + ")");
+    }
+    restored.push_back(std::move(state));
+  }
+  if (!r.AtEnd()) {
+    return DataLoss("hub envelope: trailing bytes after the last stream");
+  }
+
+  // Commit atomically under all stripe locks (index order, as always).
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(stripes_.size());
+  for (Stripe& stripe : stripes_) locks.emplace_back(stripe.mu);
+  for (Stripe& stripe : stripes_) stripe.streams.clear();
+  for (auto& state : restored) {
+    Stripe& stripe = stripes_[StripeOf(state->name)];
+    stripe.streams.emplace(state->name, std::move(state));
+  }
+  return Status::Ok();
+}
+
+}  // namespace runtime
+}  // namespace rs

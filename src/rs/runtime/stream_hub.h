@@ -1,0 +1,180 @@
+// stream_hub.h — rs::runtime::StreamHub, the multi-tenant entry point.
+//
+// Everything below the runtime layer robustifies ONE stream: a wrapper (or
+// sharded engine) owns one adaptively-chosen update sequence and publishes
+// one guarded estimate. A production deployment of the PODS 2020 framework
+// serves many tenants at once — thousands of named streams, each with its
+// own RobustConfig, lifecycle, and flip budget. StreamHub owns that fleet:
+//
+//   * CreateStream(name, key, config) validates the tenant's config through
+//     the rs::Status error model and builds the robust estimator behind it.
+//     A malformed config from one tenant is a returned status, never an
+//     abort — the process hosting 10k streams must not die for one of them.
+//   * Update / UpdateBatch / Query address streams by name. Query bundles
+//     the estimate with the GuaranteeStatus and an output-change flag, so a
+//     caller sees in one call whether the value moved since it last looked
+//     and whether the adversarial guarantee still holds.
+//   * The hub is thread-safe with striped locking: stream names hash to
+//     stripes, operations lock only their stripe, so disjoint tenants on
+//     different stripes never contend. Hub-wide operations (ListStreams,
+//     Snapshot, Restore) take the stripes in index order.
+//   * Snapshot()/Restore() persist the whole hub through a versioned
+//     envelope over the existing wire format (rs/io/wire.h): per stream,
+//     the creation config (rs/io/config_codec.h), seed, telemetry, and the
+//     engine state — a restored hub is bit-exact (its next Snapshot() is
+//     byte-identical).
+//
+// Engine-backed streams: the f0/fp tasks are hosted on the sharded engine
+// (rs/engine/sharded.h) — config.engine.shards > 1 turns on real
+// multi-shard execution, shards == 1 is the single-shard degenerate — which
+// is also what makes them snapshot-capable. Every other registry key
+// ("entropy", "heavy_hitters", "dp_f0", ...) is hosted for live traffic
+// but has no serialization path yet; Snapshot() reports
+// kFailedPrecondition naming the first such stream.
+
+#ifndef RS_RUNTIME_STREAM_HUB_H_
+#define RS_RUNTIME_STREAM_HUB_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "rs/core/robust.h"
+#include "rs/engine/sharded.h"
+#include "rs/stream/update.h"
+#include "rs/util/status.h"
+
+namespace rs {
+namespace runtime {
+
+// Wire tag for hub envelopes (above the engine's 0x1000; the header layout
+// is shared with rs/io/wire.h).
+inline constexpr uint32_t kHubSnapshotKind = 0x2000;
+
+struct StreamHubOptions {
+  // Lock stripes. More stripes = less cross-tenant contention, slightly
+  // more memory. Clamped to >= 1.
+  size_t lock_stripes = 16;
+  // Hub seed: per-stream seeds for CreateStream's derive-from-name default
+  // are drawn from it, so two hubs with the same options and creation
+  // order are reproducible.
+  uint64_t seed = 0x5452'4541'4D48'5542ULL;  // "STREAMHUB"
+};
+
+// What Query() returns: the published estimate plus the guarantee
+// telemetry a caller serving adversarial traffic must watch.
+struct QueryResult {
+  double estimate = 0.0;
+  rs::GuaranteeStatus guarantee;
+  // True when the published output changed since the previous Query on
+  // this stream (first Query: since creation). The flip count is the
+  // quantity the framework prices, so "did it move since I looked" is the
+  // per-tenant view of that budget being spent.
+  bool output_changed = false;
+};
+
+// Per-stream telemetry row (ListStreams).
+struct StreamInfo {
+  std::string name;
+  std::string task_key;
+  uint64_t updates = 0;
+  size_t space_bytes = 0;
+  rs::GuaranteeStatus guarantee;
+  bool snapshot_capable = false;
+};
+
+class StreamHub {
+ public:
+  explicit StreamHub(const StreamHubOptions& options = {});
+
+  StreamHub(const StreamHub&) = delete;
+  StreamHub& operator=(const StreamHub&) = delete;
+
+  // Creates a named robust stream from a registry key ("f0", "fp",
+  // "entropy", "heavy_hitters", "bounded_deletion", "cascaded", "sharded",
+  // "dp_f0", "dp_fp", "dp_f2_diff", or an extension key). Errors:
+  //   kInvalidArgument  — empty/oversized name, or config rejected by
+  //                       RobustConfig::Validate (field named in message);
+  //   kNotFound         — unknown task key;
+  //   kAlreadyExists    — a stream with this name is already hosted.
+  // `seed` seeds the estimator; 0 (the default) derives one from the hub
+  // seed and the name.
+  Status CreateStream(std::string_view name, std::string_view task_key,
+                      const RobustConfig& config, uint64_t seed = 0);
+  // Task-enum convenience for the six built-ins.
+  Status CreateStream(std::string_view name, Task task,
+                      const RobustConfig& config, uint64_t seed = 0);
+
+  // Feeds updates to a named stream. kNotFound for unknown names.
+  Status Update(std::string_view name, const rs::Update& u);
+  Status UpdateBatch(std::string_view name, const rs::Update* ups,
+                     size_t count);
+
+  // Estimate + guarantee + output-change flag. kNotFound for unknown
+  // names. (Not const: the change flag is relative to the previous Query.)
+  Result<QueryResult> Query(std::string_view name);
+
+  // Removes a stream. kNotFound for unknown names.
+  Status EraseStream(std::string_view name);
+
+  // Telemetry for every hosted stream, sorted by name.
+  std::vector<StreamInfo> ListStreams() const;
+
+  size_t stream_count() const;
+
+  // Serializes the whole hub (streams sorted by name, so equal hub state
+  // always yields identical bytes) into *out. kFailedPrecondition if any
+  // hosted stream is not snapshot-capable — the error names it.
+  Status Snapshot(std::string* out) const;
+
+  // Replaces the hub's streams with a Snapshot() image, bit-exactly. On
+  // any error (kDataLoss for corrupt envelopes, statuses forwarded from
+  // config validation / engine restore) the hub is left untouched.
+  Status Restore(std::string_view data);
+
+ private:
+  struct StreamState {
+    std::string name;
+    std::string task_key;
+    RobustConfig config;
+    uint64_t seed = 0;
+    std::unique_ptr<RobustEstimator> estimator;
+    // Non-null iff the stream is engine-backed (snapshot-capable); points
+    // into *estimator.
+    ShardedRobust* engine = nullptr;
+    uint64_t updates = 0;
+    size_t last_query_changes = 0;
+  };
+
+  // Transparent hashing so string_view names probe without allocating.
+  struct NameHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  struct Stripe {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, std::unique_ptr<StreamState>, NameHash,
+                       std::equal_to<>>
+        streams;
+  };
+
+  size_t StripeOf(std::string_view name) const;
+  // Builds the estimator for a state whose name/key/config/seed are set.
+  // Routes f0/fp (sketch-switching method) onto the sharded engine.
+  static Status BuildEstimator(StreamState* state);
+
+  StreamHubOptions options_;
+  std::vector<Stripe> stripes_;
+};
+
+}  // namespace runtime
+}  // namespace rs
+
+#endif  // RS_RUNTIME_STREAM_HUB_H_

@@ -1,0 +1,177 @@
+// status.h — error-as-value reporting for every input-dependent failure.
+//
+// The library serves two kinds of failure. Internal invariants — conditions
+// no caller-supplied input can violate once construction succeeded — keep
+// aborting through RS_CHECK (rs/util/check.h): continuing past them would
+// compute garbage. Everything an untrusted input can trigger (a malformed
+// config from one tenant of a StreamHub, a corrupt snapshot, an unknown
+// registry key) is reported as a value instead: `rs::Status` carries a
+// machine-checkable code plus a human-readable message naming the offending
+// field, and `rs::Result<T>` is either a value or such a status. A
+// multi-tenant process must never die because one tenant sent bad bytes.
+//
+// The project does not use exceptions; RS_TRY / RS_ASSIGN_OR give the
+// early-return plumbing the same one-line ergonomics.
+
+#ifndef RS_UTIL_STATUS_H_
+#define RS_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "rs/util/check.h"
+
+namespace rs {
+
+// Failure taxonomy (a deliberately small subset of the canonical codes).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,    // A config/parameter value is out of range.
+  kNotFound = 2,           // Unknown registry key / stream name.
+  kAlreadyExists = 3,      // Name collision on creation.
+  kFailedPrecondition = 4, // The operation is unsupported in this state.
+  kUnimplemented = 5,      // Recognized but unsupported (e.g. future kind).
+  kDataLoss = 6,           // Malformed / truncated / corrupt wire bytes.
+  kInternal = 7,           // A bug on our side surfaced as a value.
+};
+
+// Stable upper-case name of a code ("INVALID_ARGUMENT", ...).
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kUnimplemented:
+      return "UNIMPLEMENTED";
+    case StatusCode::kDataLoss:
+      return "DATA_LOSS";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+// A code plus a message. The message of an error names the offending field
+// or byte range; the OK status carries no message.
+class Status {
+ public:
+  Status() = default;  // OK.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    RS_DCHECK(code != StatusCode::kOk || message_.empty());
+  }
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "DATA_LOSS: snapshot truncated at stream 3" (or "OK").
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string s = StatusCodeName(code_);
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// Constructors for the error codes, so call sites read as the failure they
+// report: return InvalidArgument("eps: must be in (0, 1), got 2.0").
+inline Status InvalidArgument(std::string message) {
+  return Status(StatusCode::kInvalidArgument, std::move(message));
+}
+inline Status NotFound(std::string message) {
+  return Status(StatusCode::kNotFound, std::move(message));
+}
+inline Status AlreadyExists(std::string message) {
+  return Status(StatusCode::kAlreadyExists, std::move(message));
+}
+inline Status FailedPrecondition(std::string message) {
+  return Status(StatusCode::kFailedPrecondition, std::move(message));
+}
+inline Status Unimplemented(std::string message) {
+  return Status(StatusCode::kUnimplemented, std::move(message));
+}
+inline Status DataLoss(std::string message) {
+  return Status(StatusCode::kDataLoss, std::move(message));
+}
+inline Status Internal(std::string message) {
+  return Status(StatusCode::kInternal, std::move(message));
+}
+
+// Either a T or a non-OK Status. Accessing value() on an error (or
+// status()'s message of an OK result) is a programming error and aborts —
+// callers branch on ok() or use RS_ASSIGN_OR.
+template <typename T>
+class Result {
+ public:
+  // Implicit from a value (OK) or from a non-OK status, so factories can
+  // `return estimator;` and `return InvalidArgument(...);` symmetrically.
+  Result(T value) : value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {
+    RS_CHECK_MSG(!status_.ok(), "Result built from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    RS_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  T& value() & {
+    RS_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  T&& value() && {
+    RS_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace rs
+
+// Propagates a non-OK Status to the caller: RS_TRY(DoThing());
+#define RS_TRY(expr)                              \
+  do {                                            \
+    ::rs::Status rs_try_status_ = (expr);         \
+    if (!rs_try_status_.ok()) return rs_try_status_; \
+  } while (0)
+
+#define RS_STATUS_CONCAT_INNER_(a, b) a##b
+#define RS_STATUS_CONCAT_(a, b) RS_STATUS_CONCAT_INNER_(a, b)
+
+// Unwraps a Result<T> into `lhs` or propagates its error status:
+//   RS_ASSIGN_OR(auto sketch, DeserializeSketch(bytes));
+#define RS_ASSIGN_OR(lhs, rexpr)                                      \
+  auto RS_STATUS_CONCAT_(rs_result_, __LINE__) = (rexpr);             \
+  if (!RS_STATUS_CONCAT_(rs_result_, __LINE__).ok())                  \
+    return RS_STATUS_CONCAT_(rs_result_, __LINE__).status();          \
+  lhs = std::move(RS_STATUS_CONCAT_(rs_result_, __LINE__)).value()
+
+#endif  // RS_UTIL_STATUS_H_

@@ -290,7 +290,8 @@ TEST(DpRobustTest, DpF2DiffTracksF2ThroughTheFacadeKey) {
   config.eps = 0.3;
   config.delta = 0.05;
   config.stream.n = 1 << 10;
-  config.stream.max_frequency = 1 << 10;
+  config.stream.m = 1 << 13;  // Covers the 6000-update workload below.
+  config.stream.max_frequency = 1 << 13;
   config.dp.copies_override = 9;
   const auto alg = MakeRobust("dp_f2_diff", config, 13);
   ASSERT_NE(alg, nullptr);
@@ -325,6 +326,7 @@ TEST(DpRobustTest, DpF2DiffSurvivesTurnstileShrinkToZero) {
   config.eps = 0.3;
   config.delta = 0.05;
   config.stream.n = 1 << 10;
+  config.stream.model = StreamModel::kTurnstile;  // Deletions below.
   config.stream.max_frequency = 1 << 10;
   config.dp.copies_override = 9;
   const auto alg = MakeRobust("dp_f2_diff", config, 29);

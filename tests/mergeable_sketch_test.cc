@@ -208,8 +208,10 @@ TEST_P(MergeableSketchTest, SerializeRoundTripIsBitExact) {
   original->Serialize(&wire);
   ASSERT_FALSE(wire.empty()) << c.name;
 
-  auto restored = DeserializeSketch(wire);
-  ASSERT_NE(restored, nullptr) << c.name;
+  auto restored_or = DeserializeSketch(wire);
+  ASSERT_TRUE(restored_or.ok())
+      << c.name << ": " << restored_or.status().ToString();
+  const auto& restored = restored_or.value();
   EXPECT_EQ(original->Name(), restored->Name()) << c.name;
   // Estimates agree exactly: deserialization restores the exact bits.
   EXPECT_DOUBLE_EQ(original->Estimate(), restored->Estimate()) << c.name;
@@ -233,24 +235,53 @@ TEST_P(MergeableSketchTest, DeserializeRejectsCorruptBuffers) {
   std::string wire;
   original->Serialize(&wire);
 
-  // Truncations at every prefix length must fail cleanly, not crash.
+  // Truncations at every prefix length must fail cleanly — as corrupt
+  // data, not a crash.
   for (size_t len : {size_t{0}, size_t{3}, size_t{11}, wire.size() / 2,
                      wire.size() - 1}) {
-    EXPECT_EQ(DeserializeSketch(std::string_view(wire).substr(0, len)),
-              nullptr)
+    EXPECT_EQ(
+        DeserializeSketch(std::string_view(wire).substr(0, len))
+            .status()
+            .code(),
+        StatusCode::kDataLoss)
         << c.name << " len=" << len;
   }
   // Trailing garbage.
   std::string padded = wire + "x";
-  EXPECT_EQ(DeserializeSketch(padded), nullptr) << c.name;
+  EXPECT_EQ(DeserializeSketch(padded).status().code(), StatusCode::kDataLoss)
+      << c.name;
   // Bad magic.
   std::string bad_magic = wire;
   bad_magic[0] = 'X';
-  EXPECT_EQ(DeserializeSketch(bad_magic), nullptr) << c.name;
+  EXPECT_EQ(DeserializeSketch(bad_magic).status().code(),
+            StatusCode::kDataLoss)
+      << c.name;
   // Unknown version.
   std::string bad_version = wire;
   bad_version[4] = static_cast<char>(0x7F);
-  EXPECT_EQ(DeserializeSketch(bad_version), nullptr) << c.name;
+  EXPECT_EQ(DeserializeSketch(bad_version).status().code(),
+            StatusCode::kDataLoss)
+      << c.name;
+}
+
+TEST_P(MergeableSketchTest, UnknownKindTagIsDistinctFromCorruptBytes) {
+  const SketchCase& c = GetParam();
+  auto original = c.make(31);
+  Feed(*original, UniformStream(1 << 10, 200, 67));
+  std::string wire;
+  original->Serialize(&wire);
+
+  // Rewrite the kind tag (header offset 8, little-endian u32) to a value
+  // outside the SketchKind range: the header is structurally valid, so the
+  // codec must report "recognized format, unknown kind" (kUnimplemented —
+  // e.g. a snapshot written by a newer library), distinct from the
+  // kDataLoss it reports for the corrupt buffers above.
+  std::string unknown_kind = wire;
+  unknown_kind[8] = static_cast<char>(0xEE);
+  unknown_kind[9] = static_cast<char>(0xBE);
+  const auto result = DeserializeSketch(unknown_kind);
+  ASSERT_FALSE(result.ok()) << c.name;
+  EXPECT_EQ(result.status().code(), StatusCode::kUnimplemented) << c.name;
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -366,7 +397,8 @@ TEST(SketchCodec, RejectsOverflowingShapeFields) {
     w.Header(SketchKind::kAmsF2, 1);
     w.U64(uint64_t{1} << 61);  // groups
     w.U64(4);                  // per_group: product * 8 == 0 mod 2^64
-    EXPECT_EQ(DeserializeSketch(wire), nullptr);
+    EXPECT_EQ(DeserializeSketch(wire).status().code(),
+              StatusCode::kDataLoss);
   }
   {
     // KmvF0 claiming 2^60 members with an empty tail.
@@ -375,7 +407,8 @@ TEST(SketchCodec, RejectsOverflowingShapeFields) {
     w.Header(SketchKind::kKmvF0, 1);
     w.U64(uint64_t{1} << 61);  // k
     w.U64(uint64_t{1} << 60);  // count: count * 8 would wrap
-    EXPECT_EQ(DeserializeSketch(wire), nullptr);
+    EXPECT_EQ(DeserializeSketch(wire).status().code(),
+              StatusCode::kDataLoss);
   }
   {
     // PStableFp with k * 8 wrapping to 8 (k odd, >= 3).
@@ -385,7 +418,8 @@ TEST(SketchCodec, RejectsOverflowingShapeFields) {
     w.F64(1.0);                       // p
     w.U64((uint64_t{1} << 61) + 1);   // k
     w.U64(0);                         // one bogus 8-byte "counter"
-    EXPECT_EQ(DeserializeSketch(wire), nullptr);
+    EXPECT_EQ(DeserializeSketch(wire).status().code(),
+              StatusCode::kDataLoss);
   }
   {
     // CountSketch with rows * width wrapping and a huge candidate count.
@@ -395,7 +429,8 @@ TEST(SketchCodec, RejectsOverflowingShapeFields) {
     w.U64(uint64_t{1} << 32);  // rows
     w.U64(uint64_t{1} << 32);  // width: product wraps to 0
     w.U64(uint64_t{1} << 62);  // heap_size
-    EXPECT_EQ(DeserializeSketch(wire), nullptr);
+    EXPECT_EQ(DeserializeSketch(wire).status().code(),
+              StatusCode::kDataLoss);
   }
   {
     // MisraGries claiming 2^60 counters.
@@ -406,7 +441,8 @@ TEST(SketchCodec, RejectsOverflowingShapeFields) {
     w.I64(0);                  // f1
     w.I64(0);                  // decrements
     w.U64(uint64_t{1} << 60);  // count: count * 16 would wrap
-    EXPECT_EQ(DeserializeSketch(wire), nullptr);
+    EXPECT_EQ(DeserializeSketch(wire).status().code(),
+              StatusCode::kDataLoss);
   }
   {
     // EntropySketch with k * 8 wrapping.
@@ -416,7 +452,8 @@ TEST(SketchCodec, RejectsOverflowingShapeFields) {
     w.U64(uint64_t{1} << 61);  // k
     w.U8(0);                   // random_oracle_model
     w.I64(0);                  // f1
-    EXPECT_EQ(DeserializeSketch(wire), nullptr);
+    EXPECT_EQ(DeserializeSketch(wire).status().code(),
+              StatusCode::kDataLoss);
   }
 }
 

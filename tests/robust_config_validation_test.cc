@@ -1,0 +1,259 @@
+// Table-driven coverage of the facade's rejection paths: every invalid
+// RobustConfig in the matrix must come back from TryMakeRobust as a
+// descriptive Status (with the offending field named) — never a death, an
+// abort, or a silent nullptr. This is the contract the multi-tenant
+// runtime (rs/runtime/stream_hub.h) is built on.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "rs/core/robust.h"
+#include "rs/engine/sharded.h"
+
+namespace rs {
+namespace {
+
+// A config that is valid for every task/key the matrix exercises; each
+// case then breaks exactly one thing.
+RobustConfig GoodConfig() {
+  RobustConfig c;
+  c.eps = 0.3;
+  c.delta = 0.05;
+  c.stream.n = 1 << 10;
+  c.stream.m = 1 << 12;
+  c.stream.max_frequency = 1 << 12;
+  c.fp.p = 1.5;
+  c.bounded_deletion.alpha = 2.0;
+  c.cascaded.shape = {.rows = 16, .cols = 16};
+  c.dp.copies_override = 9;
+  return c;
+}
+
+struct RejectionCase {
+  const char* name;
+  // Key into TryMakeRobust(string_view, ...) — exercises the same
+  // registry path StreamHub::CreateStream uses.
+  const char* task_key;
+  std::function<void(RobustConfig&)> mutate;
+  StatusCode want_code;
+  // Substring the status message must contain (the offending field).
+  const char* want_field;
+};
+
+std::vector<RejectionCase> RejectionMatrix() {
+  return {
+      {"EpsZero", "f0", [](RobustConfig& c) { c.eps = 0.0; },
+       StatusCode::kInvalidArgument, "eps"},
+      {"EpsNegative", "fp", [](RobustConfig& c) { c.eps = -0.1; },
+       StatusCode::kInvalidArgument, "eps"},
+      {"EpsOne", "entropy", [](RobustConfig& c) { c.eps = 1.0; },
+       StatusCode::kInvalidArgument, "eps"},
+      // Below the resource-sanity floor: copy counts scale poly(1/eps),
+      // so a "valid-range" but absurd eps must be rejected, not allowed
+      // to die in an allocation.
+      {"EpsBelowResourceFloor", "f0",
+       [](RobustConfig& c) { c.eps = 1e-9; },
+       StatusCode::kInvalidArgument, "eps"},
+      {"DeltaZero", "f0", [](RobustConfig& c) { c.delta = 0.0; },
+       StatusCode::kInvalidArgument, "delta"},
+      {"DeltaOne", "heavy_hitters", [](RobustConfig& c) { c.delta = 1.0; },
+       StatusCode::kInvalidArgument, "delta"},
+      {"DomainZero", "f0", [](RobustConfig& c) { c.stream.n = 0; },
+       StatusCode::kInvalidArgument, "stream.n"},
+      {"StreamLenZero", "fp", [](RobustConfig& c) { c.stream.m = 0; },
+       StatusCode::kInvalidArgument, "stream.m"},
+      // m > M on an insertion-only moment task: the frequency-bound
+      // promise cannot be met by the stream model itself.
+      {"FrequencyBoundBelowStreamLen", "fp",
+       [](RobustConfig& c) { c.stream.max_frequency = c.stream.m / 2; },
+       StatusCode::kInvalidArgument, "stream.max_frequency"},
+      {"FrequencyBoundBelowStreamLenF0", "f0",
+       [](RobustConfig& c) { c.stream.max_frequency = 1; },
+       StatusCode::kInvalidArgument, "stream.max_frequency"},
+      // M = 0 is meaningless on any model (|f_i| <= 0) and previously
+      // slipped past the insertion-only rule on turnstile configs, only
+      // to RS_CHECK-abort inside the flip-number computation.
+      {"FrequencyBoundZeroTurnstile", "fp",
+       [](RobustConfig& c) {
+         c.stream.model = StreamModel::kTurnstile;
+         c.stream.max_frequency = 0;
+         c.method = Method::kComputationPaths;
+       },
+       StatusCode::kInvalidArgument, "stream.max_frequency"},
+      {"FrequencyBoundZeroTurnstileEntropy", "entropy",
+       [](RobustConfig& c) {
+         c.stream.model = StreamModel::kTurnstile;
+         c.stream.max_frequency = 0;
+       },
+       StatusCode::kInvalidArgument, "stream.max_frequency"},
+      {"MomentOrderZero", "fp", [](RobustConfig& c) { c.fp.p = 0.0; },
+       StatusCode::kInvalidArgument, "fp.p"},
+      {"MomentOrderNegative", "fp", [](RobustConfig& c) { c.fp.p = -1.0; },
+       StatusCode::kInvalidArgument, "fp.p"},
+      // p > 2 on the p-stable path (dp method and sharded engine).
+      {"DpMomentOrderAboveTwo", "dp_fp",
+       [](RobustConfig& c) { c.fp.p = 3.0; },
+       StatusCode::kInvalidArgument, "fp.p"},
+      {"ShardedMomentOrderAboveTwo", "sharded",
+       [](RobustConfig& c) {
+         c.engine.task = Task::kFp;
+         c.fp.p = 2.5;
+       },
+       StatusCode::kInvalidArgument, "fp.p"},
+      // Bounded deletion: alpha below the Definition 8.1 floor (including
+      // the degenerate alpha <= 0), and p outside [1, 2].
+      {"AlphaZero", "bounded_deletion",
+       [](RobustConfig& c) { c.bounded_deletion.alpha = 0.0; },
+       StatusCode::kInvalidArgument, "bounded_deletion.alpha"},
+      {"AlphaBelowOne", "bounded_deletion",
+       [](RobustConfig& c) { c.bounded_deletion.alpha = 0.5; },
+       StatusCode::kInvalidArgument, "bounded_deletion.alpha"},
+      {"BoundedDeletionPBelowOne", "bounded_deletion",
+       [](RobustConfig& c) { c.fp.p = 0.5; },
+       StatusCode::kInvalidArgument, "fp.p"},
+      {"BoundedDeletionPAboveTwo", "bounded_deletion",
+       [](RobustConfig& c) { c.fp.p = 2.5; },
+       StatusCode::kInvalidArgument, "fp.p"},
+      // dp sub-config.
+      {"DpEpsilonZero", "dp_f0",
+       [](RobustConfig& c) { c.dp.epsilon = 0.0; },
+       StatusCode::kInvalidArgument, "dp.epsilon"},
+      {"DpEpsilonNegative", "dp_fp",
+       [](RobustConfig& c) {
+         c.fp.p = 2.0;
+         c.dp.epsilon = -1.0;
+       },
+       StatusCode::kInvalidArgument, "dp.epsilon"},
+      {"DpGatePeriodZero", "dp_f2_diff",
+       [](RobustConfig& c) { c.dp.gate_period = 0; },
+       StatusCode::kInvalidArgument, "dp.gate_period"},
+      // DpRobust's pool needs >= 3 copies; an override of 1 previously
+      // passed validation and RS_CHECK-aborted in the constructor.
+      {"DpCopiesOverrideTooSmall", "dp_f0",
+       [](RobustConfig& c) { c.dp.copies_override = 1; },
+       StatusCode::kInvalidArgument, "dp.copies_override"},
+      {"DpCopiesOverrideAbsurd", "dp_f0",
+       [](RobustConfig& c) { c.dp.copies_override = size_t{1} << 40; },
+       StatusCode::kInvalidArgument, "dp.copies_override"},
+      // Sharded engine sub-config.
+      {"ShardsZero", "sharded",
+       [](RobustConfig& c) {
+         c.fp.p = 2.0;
+         c.engine.shards = 0;
+       },
+       StatusCode::kInvalidArgument, "engine.shards"},
+      // An absurd shard count must be a Status, not a std::bad_alloc
+      // terminating the process after validation waved it through.
+      {"ShardsAbsurd", "sharded",
+       [](RobustConfig& c) {
+         c.fp.p = 2.0;
+         c.engine.shards = size_t{1} << 40;
+       },
+       StatusCode::kInvalidArgument, "engine.shards"},
+      {"MergePeriodZero", "sharded",
+       [](RobustConfig& c) {
+         c.fp.p = 2.0;
+         c.engine.merge_period = 0;
+       },
+       StatusCode::kInvalidArgument, "engine.merge_period"},
+      {"ShardedUnsupportedTask", "sharded",
+       [](RobustConfig& c) { c.engine.task = Task::kEntropy; },
+       StatusCode::kInvalidArgument, "engine.task"},
+      // Cascaded exponents and sampling rate.
+      {"CascadedOuterZero", "cascaded",
+       [](RobustConfig& c) { c.cascaded.p = 0.0; },
+       StatusCode::kInvalidArgument, "cascaded.p"},
+      {"CascadedInnerZero", "cascaded",
+       [](RobustConfig& c) { c.cascaded.k = 0.0; },
+       StatusCode::kInvalidArgument, "cascaded.k"},
+      {"CascadedEmptyShape", "cascaded",
+       [](RobustConfig& c) { c.cascaded.shape = {.rows = 0, .cols = 16}; },
+       StatusCode::kInvalidArgument, "cascaded.shape"},
+      {"CascadedRateZero", "cascaded",
+       [](RobustConfig& c) { c.cascaded.rate = 0.0; },
+       StatusCode::kInvalidArgument, "cascaded.rate"},
+      {"CascadedRateAboveOne", "cascaded",
+       [](RobustConfig& c) { c.cascaded.rate = 1.5; },
+       StatusCode::kInvalidArgument, "cascaded.rate"},
+      {"CascadedBoosterAbsurd", "cascaded",
+       [](RobustConfig& c) { c.cascaded.booster_copies = 1 << 20; },
+       StatusCode::kInvalidArgument, "cascaded.booster_copies"},
+      // Unknown registry key.
+      {"UnknownKey", "no_such_backend", [](RobustConfig&) {},
+       StatusCode::kNotFound, "no_such_backend"},
+  };
+}
+
+class RejectionMatrixTest
+    : public ::testing::TestWithParam<RejectionCase> {};
+
+TEST_P(RejectionMatrixTest, TryMakeRobustReturnsStatusAndNeverDies) {
+  const RejectionCase& c = GetParam();
+  RobustConfig config = GoodConfig();
+  c.mutate(config);
+  const auto result = TryMakeRobust(std::string_view(c.task_key), config, 7);
+  ASSERT_FALSE(result.ok()) << c.name;
+  EXPECT_EQ(result.status().code(), c.want_code)
+      << c.name << ": " << result.status().ToString();
+  EXPECT_NE(result.status().message().find(c.want_field), std::string::npos)
+      << c.name << ": message was '" << result.status().message() << "'";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRejections, RejectionMatrixTest,
+    ::testing::ValuesIn(RejectionMatrix()),
+    [](const ::testing::TestParamInfo<RejectionCase>& info) {
+      return info.param.name;
+    });
+
+// The matrix's GoodConfig really is good: every registry key constructs
+// from it (so each rejection above is caused by the case's one mutation).
+TEST(RobustConfigValidationTest, BaselineConfigConstructsEveryKey) {
+  for (const auto& key : RobustTaskKeys()) {
+    RobustConfig config = GoodConfig();
+    if (key == "bounded_deletion" || key == "sharded") config.fp.p = 2.0;
+    const auto result = TryMakeRobust(std::string_view(key), config, 11);
+    EXPECT_TRUE(result.ok())
+        << key << ": " << result.status().ToString();
+  }
+}
+
+// Validate() agrees with TryMakeRobust on the Task overload, and OK means
+// construction succeeds.
+TEST(RobustConfigValidationTest, ValidateMatchesTryMakeRobust) {
+  for (Task task : kAllRobustTasks) {
+    RobustConfig config = GoodConfig();
+    if (task == Task::kBoundedDeletion) config.fp.p = 2.0;
+    EXPECT_TRUE(config.Validate(task).ok()) << TaskKey(task);
+    EXPECT_TRUE(TryMakeRobust(task, config, 3).ok()) << TaskKey(task);
+
+    config.eps = 0.0;
+    const Status invalid = config.Validate(task);
+    EXPECT_EQ(invalid.code(), StatusCode::kInvalidArgument) << TaskKey(task);
+    EXPECT_FALSE(TryMakeRobust(task, config, 3).ok()) << TaskKey(task);
+  }
+}
+
+// The engine validator is reachable directly too (StreamHub uses it via
+// TryMakeShardedRobust).
+TEST(RobustConfigValidationTest, ShardedValidatorNamesTheField) {
+  RobustConfig config = GoodConfig();
+  config.fp.p = 2.0;
+  config.engine.task = Task::kFp;
+  EXPECT_TRUE(ValidateShardedConfig(config).ok());
+  config.engine.shards = 0;
+  const Status s = ValidateShardedConfig(config);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("engine.shards"), std::string::npos);
+}
+
+// The legacy abort-on-error facade still returns nullptr (not an abort)
+// for unknown keys — the CLI contract bench drivers rely on.
+TEST(RobustConfigValidationTest, MakeRobustKeepsTheNullptrContract) {
+  EXPECT_EQ(MakeRobust("still_not_a_task", GoodConfig(), 1), nullptr);
+}
+
+}  // namespace
+}  // namespace rs

@@ -234,13 +234,13 @@ TEST(RobustFacadeTest, StringAndEnumFactoriesAgree) {
 TEST(RobustFacadeTest, RegisterRobustTaskExtendsTheRegistry) {
   const bool fresh = RegisterRobustTask(
       "facade_test_backend", [](const RobustConfig& config, uint64_t seed) {
-        return MakeRobust(Task::kF0, config, seed);
+        return TryMakeRobust(Task::kF0, config, seed);
       });
   EXPECT_TRUE(fresh);
   // Second registration under the same key is rejected.
   EXPECT_FALSE(RegisterRobustTask(
       "facade_test_backend", [](const RobustConfig& config, uint64_t seed) {
-        return MakeRobust(Task::kF0, config, seed);
+        return TryMakeRobust(Task::kF0, config, seed);
       }));
   const auto alg = MakeRobust("facade_test_backend", SmallConfig(), 3);
   ASSERT_NE(alg, nullptr);

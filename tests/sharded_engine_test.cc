@@ -140,7 +140,7 @@ TEST(ShardedRobust, SnapshotRestoreResumesBitExact) {
   // Restore into a fresh engine built with a different seed and geometry —
   // everything must come from the snapshot.
   ShardedRobust restored(EngineConfig(2, 32, eps), F2Factory(eps / 4.0), 1);
-  ASSERT_TRUE(restored.Restore(snapshot));
+  ASSERT_TRUE(restored.Restore(snapshot).ok());
   EXPECT_EQ(restored.shards(), 4u);
   EXPECT_EQ(restored.merge_period(), 64u);
   EXPECT_DOUBLE_EQ(restored.Estimate(), original.Estimate());
@@ -167,25 +167,28 @@ TEST(ShardedRobust, RestoreRejectsCorruptSnapshots) {
   engine.Snapshot(&snapshot);
   const double before = engine.Estimate();
 
-  EXPECT_FALSE(engine.Restore(""));
-  EXPECT_FALSE(engine.Restore("garbage"));
-  EXPECT_FALSE(
-      engine.Restore(std::string_view(snapshot).substr(0, snapshot.size() / 2)));
+  EXPECT_EQ(engine.Restore("").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(engine.Restore("garbage").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(engine
+                .Restore(std::string_view(snapshot)
+                             .substr(0, snapshot.size() / 2))
+                .code(),
+            StatusCode::kDataLoss);
   std::string bad_magic = snapshot;
   bad_magic[0] = 'Z';
-  EXPECT_FALSE(engine.Restore(bad_magic));
+  EXPECT_EQ(engine.Restore(bad_magic).code(), StatusCode::kDataLoss);
   std::string padded = snapshot + "!";
-  EXPECT_FALSE(engine.Restore(padded));
+  EXPECT_EQ(engine.Restore(padded).code(), StatusCode::kDataLoss);
   // Failed restores leave the engine untouched.
   EXPECT_DOUBLE_EQ(engine.Estimate(), before);
   // And a good snapshot still restores.
-  EXPECT_TRUE(engine.Restore(snapshot));
+  EXPECT_TRUE(engine.Restore(snapshot).ok());
 }
 
 // A snapshot whose sub-sketches individually deserialize but are not
 // mutually mergeable (here: same geometry, different seeds) must be
 // rejected at Restore — accepting it would RS_CHECK-abort at the next
-// gate's merge, violating the malformed-snapshots-return-false contract.
+// gate's merge, violating the malformed-snapshots-never-abort contract.
 TEST(ShardedRobust, RestoreRejectsMixedSeedSubSketches) {
   const double eps = 0.3;
   ShardedRobust a(EngineConfig(2, 64, eps), F2Factory(eps / 4.0), 3);
@@ -210,15 +213,15 @@ TEST(ShardedRobust, RestoreRejectsMixedSeedSubSketches) {
   spliced.replace(spliced.size() - record, record,
                   snap_b.substr(snap_b.size() - record));
   ShardedRobust target(EngineConfig(2, 64, eps), F2Factory(eps / 4.0), 9);
-  EXPECT_FALSE(target.Restore(spliced));
+  EXPECT_EQ(target.Restore(spliced).code(), StatusCode::kDataLoss);
   // The un-spliced snapshots both restore fine.
-  EXPECT_TRUE(target.Restore(snap_a));
-  EXPECT_TRUE(target.Restore(snap_b));
+  EXPECT_TRUE(target.Restore(snap_a).ok());
+  EXPECT_TRUE(target.Restore(snap_b).ok());
 }
 
 TEST(ShardedRobust, RestoreRejectsOverflowingGeometry) {
   // A snapshot header claiming astronomically many copies/shards must be
-  // rejected before any allocation — Restore returns false, never aborts.
+  // rejected before any allocation — Restore reports kDataLoss, never aborts.
   std::string forged;
   WireWriter w(&forged);
   w.U32(kWireMagic);
@@ -239,7 +242,7 @@ TEST(ShardedRobust, RestoreRejectsOverflowingGeometry) {
   w.U8(0);                   // exhausted
   w.U64(0);                  // spawn_count
   ShardedRobust engine(EngineConfig(2, 64), F2Factory(0.1), 3);
-  EXPECT_FALSE(engine.Restore(forged));
+  EXPECT_EQ(engine.Restore(forged).code(), StatusCode::kDataLoss);
 }
 
 TEST(ShardedRobust, RingModeNeverExhaustsAndCountsRetirements) {

@@ -1,0 +1,121 @@
+// Tests for the error model (rs/util/status.h): Status construction and
+// rendering, Result value/error duality, and the RS_TRY / RS_ASSIGN_OR
+// propagation macros — the plumbing every input-dependent failure path in
+// the library now rides on.
+
+#include "rs/util/status.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "gtest/gtest.h"
+
+namespace rs {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = InvalidArgument("eps: must be in (0, 1), got 2");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "eps: must be in (0, 1), got 2");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: eps: must be in (0, 1), got 2");
+}
+
+TEST(StatusTest, EveryHelperMapsToItsCode) {
+  EXPECT_EQ(InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(FailedPrecondition("x").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(DataLoss("x").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDataLoss), "DATA_LOSS");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnimplemented), "UNIMPLEMENTED");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOk);
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(NotFound("no stream named 'tenant-7'"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.status().message(), "no stream named 'tenant-7'");
+}
+
+TEST(ResultTest, MoveOnlyValueMovesOut) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(ResultTest, ArrowReachesThroughToTheValue) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+Status FailWhen(bool fail) {
+  if (fail) return DataLoss("truncated");
+  return Status::Ok();
+}
+
+Status Chain(bool fail) {
+  RS_TRY(FailWhen(fail));
+  return Status::Ok();
+}
+
+TEST(StatusMacrosTest, RsTryPropagatesErrorsAndPassesOk) {
+  EXPECT_TRUE(Chain(false).ok());
+  const Status s = Chain(true);
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(s.message(), "truncated");
+}
+
+Result<int> HalveEven(int v) {
+  if (v % 2 != 0) return InvalidArgument("v: must be even");
+  return v / 2;
+}
+
+Result<int> QuarterEven(int v) {
+  RS_ASSIGN_OR(const int half, HalveEven(v));
+  RS_ASSIGN_OR(const int quarter, HalveEven(half));
+  return quarter;
+}
+
+TEST(StatusMacrosTest, RsAssignOrUnwrapsOrPropagates) {
+  const Result<int> ok = QuarterEven(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 2);
+
+  const Result<int> outer = QuarterEven(3);
+  ASSERT_FALSE(outer.ok());
+  EXPECT_EQ(outer.status().code(), StatusCode::kInvalidArgument);
+
+  // The error from the second unwrap (6 -> 3 -> odd) propagates too.
+  const Result<int> inner = QuarterEven(6);
+  ASSERT_FALSE(inner.ok());
+  EXPECT_EQ(inner.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace rs

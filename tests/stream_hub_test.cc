@@ -1,0 +1,370 @@
+// Tests for rs::runtime::StreamHub (rs/runtime/stream_hub.h): multi-tenant
+// CRUD with error-as-value semantics, Query's guarantee/changed-flag
+// bundle, per-stream telemetry, the hub envelope's bit-exact
+// snapshot/restore round trip (including the K = 256 mixed-task fleet),
+// corrupt-envelope rejection, and the concurrency cases the CI TSan job
+// exists for (parallel tenants updating while another thread snapshots).
+
+#include "rs/runtime/stream_hub.h"
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "rs/stream/exact_oracle.h"
+#include "rs/stream/generators.h"
+#include "rs/util/stats.h"
+
+namespace rs {
+namespace runtime {
+namespace {
+
+// Cheap config valid for every task the suite creates (smoke tier).
+RobustConfig SmallConfig() {
+  RobustConfig c;
+  c.eps = 0.5;
+  c.delta = 0.1;
+  c.stream.n = 1 << 10;
+  c.stream.m = 1 << 12;
+  c.stream.max_frequency = 1 << 12;
+  c.engine.shards = 1;
+  c.engine.merge_period = 32;
+  return c;
+}
+
+TEST(StreamHub, CreateUpdateQueryEraseLifecycle) {
+  StreamHub hub;
+  EXPECT_TRUE(hub.CreateStream("tenant-a", Task::kF0, SmallConfig()).ok());
+  EXPECT_EQ(hub.stream_count(), 1u);
+
+  // Duplicate names are a value error, not an abort.
+  const Status dup = hub.CreateStream("tenant-a", Task::kFp, SmallConfig());
+  EXPECT_EQ(dup.code(), StatusCode::kAlreadyExists);
+
+  for (uint64_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE(hub.Update("tenant-a", {i, 1}).ok());
+  }
+  const auto q = hub.Query("tenant-a");
+  ASSERT_TRUE(q.ok());
+  EXPECT_LE(RelativeError(q->estimate, 500.0), 0.5);
+  EXPECT_TRUE(q->guarantee.holds);
+
+  EXPECT_TRUE(hub.EraseStream("tenant-a").ok());
+  EXPECT_EQ(hub.stream_count(), 0u);
+  EXPECT_EQ(hub.EraseStream("tenant-a").code(), StatusCode::kNotFound);
+}
+
+TEST(StreamHub, UnknownNamesAndKeysAreStatusValues) {
+  StreamHub hub;
+  EXPECT_EQ(hub.Update("ghost", {1, 1}).code(), StatusCode::kNotFound);
+  EXPECT_EQ(hub.Query("ghost").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(hub.CreateStream("x", "no_such_task", SmallConfig()).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(hub.CreateStream("", Task::kF0, SmallConfig()).code(),
+            StatusCode::kInvalidArgument);
+  // A bad config is rejected with the offending field named; the hub
+  // (and process) live on.
+  RobustConfig bad = SmallConfig();
+  bad.eps = 2.0;
+  const Status s = hub.CreateStream("y", Task::kF0, bad);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("eps"), std::string::npos);
+  EXPECT_EQ(hub.stream_count(), 0u);
+}
+
+TEST(StreamHub, QueryReportsOutputChangesSinceLastQuery) {
+  StreamHub hub;
+  ASSERT_TRUE(hub.CreateStream("t", Task::kF0, SmallConfig()).ok());
+
+  // Nothing streamed yet: no change since creation.
+  auto q = hub.Query("t");
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(q->output_changed);
+
+  // Distinct growth forces published flips.
+  for (uint64_t i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(hub.Update("t", {i, 1}).ok());
+  }
+  q = hub.Query("t");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->output_changed);
+  EXPECT_GT(q->guarantee.flips_spent, 0u);
+
+  // Immediately re-querying without updates: sticky output, no change.
+  q = hub.Query("t");
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(q->output_changed);
+}
+
+TEST(StreamHub, ListStreamsReportsTelemetrySortedByName) {
+  StreamHub hub;
+  RobustConfig fp = SmallConfig();
+  fp.fp.p = 2.0;
+  ASSERT_TRUE(hub.CreateStream("b-f2", Task::kFp, fp).ok());
+  ASSERT_TRUE(hub.CreateStream("a-f0", Task::kF0, SmallConfig()).ok());
+  ASSERT_TRUE(hub.CreateStream("c-entropy", Task::kEntropy,
+                               SmallConfig()).ok());
+  for (uint64_t i = 0; i < 300; ++i) {
+    ASSERT_TRUE(hub.Update("a-f0", {i, 1}).ok());
+  }
+
+  const auto infos = hub.ListStreams();
+  ASSERT_EQ(infos.size(), 3u);
+  EXPECT_EQ(infos[0].name, "a-f0");
+  EXPECT_EQ(infos[1].name, "b-f2");
+  EXPECT_EQ(infos[2].name, "c-entropy");
+  EXPECT_EQ(infos[0].task_key, "f0");
+  EXPECT_EQ(infos[0].updates, 300u);
+  EXPECT_GT(infos[0].space_bytes, 0u);
+  EXPECT_TRUE(infos[0].guarantee.holds);
+  // f0/fp ride the sharded engine (serializable); entropy does not yet.
+  EXPECT_TRUE(infos[0].snapshot_capable);
+  EXPECT_TRUE(infos[1].snapshot_capable);
+  EXPECT_FALSE(infos[2].snapshot_capable);
+}
+
+TEST(StreamHub, SnapshotRequiresEngineBackedStreams) {
+  StreamHub hub;
+  ASSERT_TRUE(hub.CreateStream("ok-f0", Task::kF0, SmallConfig()).ok());
+  ASSERT_TRUE(
+      hub.CreateStream("no-entropy", Task::kEntropy, SmallConfig()).ok());
+  std::string snapshot;
+  const Status s = hub.Snapshot(&snapshot);
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(s.message().find("no-entropy"), std::string::npos);
+  // Dropping the non-serializable stream unblocks the snapshot.
+  ASSERT_TRUE(hub.EraseStream("no-entropy").ok());
+  EXPECT_TRUE(hub.Snapshot(&snapshot).ok());
+  EXPECT_FALSE(snapshot.empty());
+}
+
+// The acceptance-criteria case: K = 256 streams of mixed tasks (f0 and fp
+// across distinct p, eps, shard counts), streamed a mixed workload, must
+// round-trip Snapshot -> Restore -> Snapshot with byte-identical envelopes
+// and identical per-stream query results.
+TEST(StreamHub, K256MixedTaskFleetRoundTripsBitExact) {
+  StreamHub hub;
+  const size_t kTenants = 256;
+  for (size_t k = 0; k < kTenants; ++k) {
+    RobustConfig c = SmallConfig();
+    c.eps = 0.4 + 0.2 * static_cast<double>(k % 3) / 3.0;
+    c.engine.shards = 1 + k % 3;  // Mixed single- and multi-shard.
+    c.engine.merge_period = 16 << (k % 2);
+    const std::string name = "tenant-" + std::to_string(k);
+    if (k % 2 == 0) {
+      ASSERT_TRUE(hub.CreateStream(name, Task::kF0, c).ok()) << name;
+    } else {
+      c.fp.p = (k % 4 == 1) ? 2.0 : 1.0;
+      ASSERT_TRUE(hub.CreateStream(name, Task::kFp, c).ok()) << name;
+    }
+  }
+  ASSERT_EQ(hub.stream_count(), kTenants);
+
+  // Mixed workload, interleaved queries (so last_query_changes state is
+  // nontrivial in the envelope). Batch sizes vary per tenant and are kept
+  // small: the suite is in the smoke tier, and the round trip is about
+  // state coverage, not stream length.
+  const Stream stream = UniformStream(1 << 10, 4096, 77);
+  for (size_t k = 0; k < kTenants; ++k) {
+    const std::string name = "tenant-" + std::to_string(k);
+    const size_t len = 96 + 2 * (k % 97);
+    ASSERT_TRUE(hub.UpdateBatch(name, stream.data(), len).ok());
+    if (k % 3 == 0) {
+      ASSERT_TRUE(hub.Query(name).ok());
+    }
+  }
+
+  std::string snap_a;
+  ASSERT_TRUE(hub.Snapshot(&snap_a).ok());
+
+  // Restore into a hub with a different stripe geometry: the envelope is
+  // stripe-agnostic.
+  StreamHub restored(StreamHubOptions{.lock_stripes = 5, .seed = 1});
+  ASSERT_TRUE(restored.Restore(snap_a).ok());
+  ASSERT_EQ(restored.stream_count(), kTenants);
+
+  std::string snap_b;
+  ASSERT_TRUE(restored.Snapshot(&snap_b).ok());
+  EXPECT_EQ(snap_a, snap_b) << "restored hub must re-snapshot bit-exactly";
+
+  // Query every tenant on both hubs: identical estimates and telemetry,
+  // including the change-flag state.
+  for (size_t k = 0; k < kTenants; ++k) {
+    const std::string name = "tenant-" + std::to_string(k);
+    auto qa = hub.Query(name);
+    auto qb = restored.Query(name);
+    ASSERT_TRUE(qa.ok() && qb.ok()) << name;
+    EXPECT_DOUBLE_EQ(qa->estimate, qb->estimate) << name;
+    EXPECT_EQ(qa->output_changed, qb->output_changed) << name;
+    EXPECT_EQ(qa->guarantee.flips_spent, qb->guarantee.flips_spent) << name;
+    EXPECT_EQ(qa->guarantee.copies_retired, qb->guarantee.copies_retired)
+        << name;
+  }
+
+  // Both hubs keep streaming identically after the fork.
+  for (size_t k = 0; k < kTenants; k += 17) {
+    const std::string name = "tenant-" + std::to_string(k);
+    ASSERT_TRUE(hub.UpdateBatch(name, stream.data() + 1024, 256).ok());
+    ASSERT_TRUE(restored.UpdateBatch(name, stream.data() + 1024, 256).ok());
+    auto qa = hub.Query(name);
+    auto qb = restored.Query(name);
+    ASSERT_TRUE(qa.ok() && qb.ok()) << name;
+    EXPECT_DOUBLE_EQ(qa->estimate, qb->estimate) << name;
+  }
+}
+
+TEST(StreamHub, RestoreRejectsCorruptEnvelopesUntouched) {
+  StreamHub hub;
+  ASSERT_TRUE(hub.CreateStream("keep", Task::kF0, SmallConfig()).ok());
+  for (uint64_t i = 0; i < 400; ++i) {
+    ASSERT_TRUE(hub.Update("keep", {i, 1}).ok());
+  }
+  std::string snapshot;
+  ASSERT_TRUE(hub.Snapshot(&snapshot).ok());
+  const double before = hub.Query("keep")->estimate;
+
+  StreamHub victim;
+  ASSERT_TRUE(victim.CreateStream("keep", Task::kF0, SmallConfig()).ok());
+  for (uint64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(victim.Update("keep", {i, 1}).ok());
+  }
+  const double victim_before = victim.Query("keep")->estimate;
+
+  EXPECT_EQ(victim.Restore("").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(victim.Restore("garbage").code(), StatusCode::kDataLoss);
+  for (size_t cut :
+       {size_t{7}, size_t{20}, snapshot.size() / 2, snapshot.size() - 1}) {
+    EXPECT_EQ(victim.Restore(std::string_view(snapshot).substr(0, cut))
+                  .code(),
+              StatusCode::kDataLoss)
+        << "cut=" << cut;
+  }
+  std::string bad_magic = snapshot;
+  bad_magic[0] = 'X';
+  EXPECT_EQ(victim.Restore(bad_magic).code(), StatusCode::kDataLoss);
+  std::string padded = snapshot + "!";
+  EXPECT_EQ(victim.Restore(padded).code(), StatusCode::kDataLoss);
+
+  // Every failed restore left the victim exactly as it was.
+  EXPECT_EQ(victim.stream_count(), 1u);
+  EXPECT_DOUBLE_EQ(victim.Query("keep")->estimate, victim_before);
+
+  // And the intact envelope still restores.
+  ASSERT_TRUE(victim.Restore(snapshot).ok());
+  EXPECT_DOUBLE_EQ(victim.Query("keep")->estimate, before);
+}
+
+TEST(StreamHub, RestoreValidatesTheEmbeddedConfig) {
+  StreamHub hub;
+  ASSERT_TRUE(hub.CreateStream("t", Task::kF0, SmallConfig()).ok());
+  std::string snapshot;
+  ASSERT_TRUE(hub.Snapshot(&snapshot).ok());
+  // The config blob starts right after the header (12), count (8), name
+  // length (8) + "t" (1), key length (8) + "f0" (2), seed (8), and its own
+  // length prefix (8) — its first field is eps as an IEEE-754 u64. Zero it
+  // out: eps = 0.0 must be rejected by Validate, as a status.
+  const size_t eps_offset = 12 + 8 + 8 + 1 + 8 + 2 + 8 + 8;
+  std::string forged = snapshot;
+  for (size_t i = 0; i < 8; ++i) forged[eps_offset + i] = '\0';
+  const Status s = hub.Restore(forged);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("eps"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency (the CI TSan job runs this binary): parallel tenants through
+// disjoint streams, creation/erasure churn, and snapshots taken while
+// updates are in flight must be race-free.
+// ---------------------------------------------------------------------------
+
+TEST(StreamHubConcurrency, ParallelTenantsUpdateDisjointStreams) {
+  StreamHub hub;
+  constexpr size_t kThreads = 8;
+  for (size_t t = 0; t < kThreads; ++t) {
+    ASSERT_TRUE(hub.CreateStream("tenant-" + std::to_string(t), Task::kF0,
+                                 SmallConfig())
+                    .ok());
+  }
+  std::vector<std::thread> workers;
+  for (size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&hub, t] {
+      const std::string name = "tenant-" + std::to_string(t);
+      for (uint64_t i = 0; i < 2000; ++i) {
+        ASSERT_TRUE(hub.Update(name, {i * kThreads + t, 1}).ok());
+        if (i % 256 == 0) {
+          ASSERT_TRUE(hub.Query(name).ok());
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (size_t t = 0; t < kThreads; ++t) {
+    const auto q = hub.Query("tenant-" + std::to_string(t));
+    ASSERT_TRUE(q.ok());
+    EXPECT_LE(RelativeError(q->estimate, 2000.0), 0.5);
+  }
+}
+
+TEST(StreamHubConcurrency, SnapshotsWhileTenantsUpdate) {
+  StreamHub hub;
+  constexpr size_t kThreads = 4;
+  for (size_t t = 0; t < kThreads; ++t) {
+    ASSERT_TRUE(hub.CreateStream("tenant-" + std::to_string(t), Task::kFp,
+                                 SmallConfig())
+                    .ok());
+  }
+  std::vector<std::thread> workers;
+  for (size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&hub, t] {
+      const std::string name = "tenant-" + std::to_string(t);
+      std::vector<rs::Update> batch(64);
+      for (uint64_t round = 0; round < 60; ++round) {
+        for (uint64_t i = 0; i < batch.size(); ++i) {
+          batch[i] = {round * batch.size() + i, 1};
+        }
+        ASSERT_TRUE(hub.UpdateBatch(name, batch.data(), batch.size()).ok());
+      }
+    });
+  }
+  // Snapshot + ListStreams repeatedly while the tenants hammer away; every
+  // snapshot taken must itself restore into a consistent hub.
+  std::thread snapshotter([&hub] {
+    for (int i = 0; i < 20; ++i) {
+      std::string snapshot;
+      ASSERT_TRUE(hub.Snapshot(&snapshot).ok());
+      StreamHub probe;
+      ASSERT_TRUE(probe.Restore(snapshot).ok());
+      ASSERT_EQ(probe.stream_count(), size_t{kThreads});
+      (void)hub.ListStreams();
+    }
+  });
+  for (auto& w : workers) w.join();
+  snapshotter.join();
+}
+
+TEST(StreamHubConcurrency, CreateEraseChurnAcrossStripes) {
+  StreamHub hub(StreamHubOptions{.lock_stripes = 4, .seed = 3});
+  std::vector<std::thread> workers;
+  for (size_t t = 0; t < 6; ++t) {
+    workers.emplace_back([&hub, t] {
+      for (int round = 0; round < 30; ++round) {
+        const std::string name =
+            "churn-" + std::to_string(t) + "-" + std::to_string(round % 5);
+        const Status created = hub.CreateStream(name, Task::kF0,
+                                                SmallConfig());
+        ASSERT_TRUE(created.ok() ||
+                    created.code() == StatusCode::kAlreadyExists);
+        (void)hub.Update(name, {static_cast<uint64_t>(round), 1});
+        (void)hub.EraseStream(name);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+}
+
+}  // namespace
+}  // namespace runtime
+}  // namespace rs
