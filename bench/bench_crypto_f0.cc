@@ -30,18 +30,17 @@ namespace {
 // inserts fresh items. Against a duplicate-sensitive algorithm this skews
 // whatever internal sampling reacts to repeats; against the Theorem 10.1
 // construction it is equivalent to inserting 1,2,3,...
-class DuplicateReplayAdversary : public rs::Adversary {
+class DuplicateReplayAdversary : public rs::Attack {
  public:
-  std::optional<rs::Update> NextUpdate(double response,
-                                       uint64_t step) override {
-    if (step > 60000) return std::nullopt;
-    const bool moved = response != last_;
-    last_ = response;
+  std::optional<rs::Update> NextUpdate(const rs::AdaptiveView& view) override {
+    if (view.step > 60000) return std::nullopt;
+    const bool moved = view.last_response != last_;
+    last_ = view.last_response;
     if (moved && next_fresh_ > 0) {
       visible_.push_back(next_fresh_ - 1);
     }
-    if (!visible_.empty() && step % 2 == 0) {
-      return rs::Update{visible_[step % visible_.size()], 1};  // Replay.
+    if (!visible_.empty() && view.step % 2 == 0) {
+      return rs::Update{visible_[view.step % visible_.size()], 1};  // Replay.
     }
     return rs::Update{next_fresh_++, 1};
   }

@@ -30,13 +30,13 @@ namespace {
 // fresh values (expensive plan). This is adaptive but plausible behaviour,
 // not a malicious attack — the point of the paper is that correctness must
 // survive exactly this kind of feedback loop.
-class FeedbackClient : public rs::Adversary {
+class FeedbackClient : public rs::Attack {
  public:
   explicit FeedbackClient(uint64_t seed) : rng_(seed) {}
 
-  std::optional<rs::Update> NextUpdate(double response,
-                                       uint64_t step) override {
-    if (step > 200000) return std::nullopt;
+  std::optional<rs::Update> NextUpdate(const rs::AdaptiveView& view) override {
+    const double response = view.last_response;
+    if (view.step > 200000) return std::nullopt;
     const double bucket = response <= 0 ? 0 : std::floor(std::log2(response));
     if (bucket != last_bucket_) {
       last_bucket_ = bucket;

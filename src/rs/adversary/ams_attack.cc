@@ -11,9 +11,9 @@ AmsAttackAdversary::AmsAttackAdversary(const Config& config)
       next_item_(config.first_item),
       rng_state_(SplitMix64(config.seed ^ 0xA77ACCULL)) {}
 
-std::optional<rs::Update> AmsAttackAdversary::NextUpdate(double last_response,
-                                                         uint64_t step) {
-  (void)step;
+std::optional<rs::Update> AmsAttackAdversary::NextUpdate(
+    const AdaptiveView& view) {
+  const double last_response = view.last_response;
   switch (phase_) {
     case Phase::kSpike: {
       // Line 1: w <- C sqrt(t) e_1.
@@ -26,6 +26,7 @@ std::optional<rs::Update> AmsAttackAdversary::NextUpdate(double last_response,
     case Phase::kProbe: {
       // Remember the estimate before probing with a single copy of the next
       // fresh item.
+      if (next_item_ >= config_.n) return std::nullopt;  // Domain exhausted.
       before_probe_ = last_response;
       phase_ = Phase::kMaybeDouble;
       return rs::Update{next_item_, 1};
@@ -50,6 +51,7 @@ std::optional<rs::Update> AmsAttackAdversary::NextUpdate(double last_response,
         return rs::Update{item, 1};
       }
       // Move straight to probing the next item.
+      if (next_item_ >= config_.n) return std::nullopt;
       before_probe_ = last_response;
       return rs::Update{next_item_, 1};
     }

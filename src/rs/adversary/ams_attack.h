@@ -4,7 +4,7 @@
 #include <cstdint>
 #include <string>
 
-#include "rs/adversary/game.h"
+#include "rs/adversary/attack.h"
 
 namespace rs {
 
@@ -24,20 +24,21 @@ namespace rs {
 // Against a t-row AMS sketch, with probability >= 9/10 the estimate drops
 // below ||f||^2 / 2 within O(t) updates, for every t — the sketch is not
 // even a 2-approximation. Run through rs::RunGame with TruthF2 and
-// fail_eps = 0.5 to reproduce the theorem's headline numbers.
-class AmsAttackAdversary : public Adversary {
+// fail_eps = 0.5 to reproduce the theorem's headline numbers. Registered
+// as attack key "ams".
+class AmsAttackAdversary : public Attack {
  public:
   struct Config {
     size_t t = 64;         // Rows of the attacked sketch (sets C sqrt(t)).
     double c = 8.0;        // The constant C of Algorithm 3, line 1.
     uint64_t seed = 1;     // For the probability-1/2 tie-breaking coin.
     uint64_t first_item = 2;  // Fresh items start here (item 1 is the spike).
+    uint64_t n = 1 << 20;  // Item domain; the attack stops at its edge.
   };
 
   explicit AmsAttackAdversary(const Config& config);
 
-  std::optional<rs::Update> NextUpdate(double last_response,
-                                       uint64_t step) override;
+  std::optional<rs::Update> NextUpdate(const AdaptiveView& view) override;
   std::string Name() const override { return "AmsAttack"; }
 
  private:

@@ -1,0 +1,111 @@
+#include "rs/adversary/attack.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "rs/adversary/ams_attack.h"
+#include "rs/adversary/attack_zoo.h"
+#include "rs/adversary/generic_attacks.h"
+#include "rs/stream/generators.h"
+
+namespace rs {
+
+namespace {
+
+// The attack-side registry, mirroring rs/core/robust.cc: keys are stable
+// snake_case identifiers (they appear in the matrix bench tables and in
+// attack_registry_test's sweep).
+std::map<std::string, AttackFactory, std::less<>>& Registry() {
+  static auto* registry = [] {
+    auto* r = new std::map<std::string, AttackFactory, std::less<>>();
+    (*r)["oblivious"] = [](const StreamParams& params, uint64_t seed) {
+      // Control row: a pregenerated uniform stream. Length is capped so one
+      // matrix cell does not materialize a multi-megabyte vector it will
+      // replay for a few thousand steps at most.
+      const uint64_t len = std::min<uint64_t>(params.m, uint64_t{1} << 17);
+      return std::make_unique<ObliviousAdversary>(
+          UniformStream(params.n, len, seed));
+    };
+    (*r)["ams"] = [](const StreamParams& params, uint64_t seed) {
+      AmsAttackAdversary::Config c;
+      c.n = params.n;
+      c.seed = seed;
+      return std::make_unique<AmsAttackAdversary>(c);
+    };
+    (*r)["f2_drift"] = [](const StreamParams& params, uint64_t seed) {
+      F2DriftAttack::Config c;
+      c.n = params.n;
+      c.max_repeats = 128;
+      c.seed = seed;
+      return std::make_unique<F2DriftAttack>(c);
+    };
+    (*r)["mean_drift"] = [](const StreamParams& params, uint64_t seed) {
+      MeanDriftAttack::Config c;
+      c.n = params.n;
+      c.seed = seed;
+      return std::make_unique<MeanDriftAttack>(c);
+    };
+    (*r)["sample_evasion"] = [](const StreamParams& params, uint64_t seed) {
+      SampleEvasionAttack::Config c;
+      c.n = params.n;
+      (void)seed;  // The probe schedule is deterministic by design.
+      return std::make_unique<SampleEvasionAttack>(c);
+    };
+    (*r)["pq_collision"] = [](const StreamParams& params, uint64_t seed) {
+      PointQueryCollisionAttack::Config c;
+      c.n = params.n;
+      (void)seed;
+      return std::make_unique<PointQueryCollisionAttack>(c);
+    };
+    (*r)["hard_instance"] = [](const StreamParams& params, uint64_t seed) {
+      HardInstanceAttack::Config c;
+      c.n = params.n;
+      c.seed = seed;
+      return std::make_unique<HardInstanceAttack>(c);
+    };
+    (*r)["flip_flood"] = [](const StreamParams& params, uint64_t seed) {
+      FlipFloodAttack::Config c;
+      c.params = params;
+      c.seed = seed;
+      return std::make_unique<FlipFloodAttack>(c);
+    };
+    (*r)["turnstile_delete"] = [](const StreamParams& params, uint64_t seed) {
+      TurnstileDeleteAttack::Config c;
+      c.params = params;
+      c.seed = seed;
+      return std::make_unique<TurnstileDeleteAttack>(c);
+    };
+    (*r)["fuzzer"] = [](const StreamParams& params, uint64_t seed) {
+      AttackFuzzer::Config c;
+      c.params = params;
+      c.seed = seed;
+      return std::make_unique<AttackFuzzer>(c);
+    };
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace
+
+std::unique_ptr<Attack> MakeAttack(std::string_view key,
+                                   const StreamParams& params, uint64_t seed) {
+  const auto& registry = Registry();
+  const auto it = registry.find(key);
+  if (it == registry.end()) return nullptr;
+  return it->second(params, seed);
+}
+
+std::vector<std::string> AttackKeys() {
+  std::vector<std::string> keys;
+  keys.reserve(Registry().size());
+  for (const auto& [key, factory] : Registry()) keys.push_back(key);
+  return keys;  // std::map iteration order is already sorted.
+}
+
+bool RegisterAttack(const std::string& key, AttackFactory factory) {
+  return Registry().emplace(key, std::move(factory)).second;
+}
+
+}  // namespace rs

@@ -1,0 +1,122 @@
+// attack.h — the unified adversary interface and the attack registry.
+//
+// The defense side of the repo has one facade (`MakeRobust`) over four
+// estimator families; this header is the attack-side mirror. Every adaptive
+// adversary in the library implements one interface — `Attack` — and is
+// constructible through one string-keyed registry (`MakeAttack(key, params,
+// seed)`), so the game harness (game.h) can pit ANY registered attack
+// against ANY registered robustification and emit a per-cell verdict
+// (`bench_attack_matrix`, E21).
+//
+// The protocol is the two-player game of Section 1 ("The Adversarial
+// Setting"): in round t the adversary — who has seen every published output
+// so far — chooses update u_t, the algorithm processes it and publishes its
+// response. `AdaptiveView` is exactly what the model lets the adversary
+// observe: the published estimate, the round index, and (for defenders that
+// publish it) the guarantee telemetry. It is read-only by construction —
+// the view is a value snapshot, so no attack can touch defender state.
+//
+// Registered attacks are built from `StreamParams` and a 64-bit seed, and
+// are contractually bounded by the stream model they were built for: every
+// update they emit keeps items in [n] and frequencies within [-M, M], and
+// insertion-only attacks never emit a negative delta
+// (attack_registry_test.cc sweeps every key against a StreamValidator).
+// Construction is deterministic: same (key, params, seed) => bit-identical
+// update sequence against identical responses.
+
+#ifndef RS_ADVERSARY_ATTACK_H_
+#define RS_ADVERSARY_ATTACK_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rs/core/robust.h"
+#include "rs/stream/update.h"
+
+namespace rs {
+
+// Everything the adversarial model lets the attacker observe before it
+// chooses round `step`'s update.
+struct AdaptiveView {
+  // Latest published estimate R_{t-1} (the algorithm's initial output
+  // before round 1).
+  double last_response = 0.0;
+  // 1-based index of the round about to be played.
+  uint64_t step = 0;
+  // Defender guarantee telemetry, when the defender publishes it
+  // (RunRobustGame / RunHubGame / RunMatrixCell fill it; plain RunGame
+  // against a static sketch leaves has_guarantee false). Attacks that
+  // target the flip budget (the "flip_flood" strategy) read
+  // guarantee.flips_spent / .holds from here.
+  bool has_guarantee = false;
+  rs::GuaranteeStatus guarantee;
+};
+
+// An adaptive adversary. It observes the view and decides the next update;
+// returning nullopt ends the game early (the adversary gives up or has
+// finished its schedule).
+class Attack {
+ public:
+  virtual ~Attack() = default;
+
+  virtual std::optional<rs::Update> NextUpdate(const AdaptiveView& view) = 0;
+  virtual std::string Name() const = 0;
+};
+
+// ---------------------------------------------------------------------------
+// The registry: the attack-side mirror of MakeRobust(task_key, ...).
+// ---------------------------------------------------------------------------
+
+// Builds one attack instance respecting `params` (domain, length,
+// frequency bound, model), with all attack randomness derived from `seed`.
+using AttackFactory = std::function<std::unique_ptr<Attack>(
+    const StreamParams& params, uint64_t seed)>;
+
+// Builds the attack registered under `key`. Returns nullptr for an unknown
+// key (mirroring the string-keyed MakeRobust CLI contract); AttackKeys()
+// lists the registered ones. Built-in keys:
+//
+//   "oblivious"        — replays a pregenerated uniform stream (control row:
+//                        every estimator should survive it);
+//   "ams"              — Algorithm 3 / Theorem 9.1, tailored to the AMS
+//                        sketch;
+//   "f2_drift"         — generic undercounted-item hunt on any F2 estimator;
+//   "mean_drift"       — pushes a binary attribute mean away from the
+//                        published estimate (the [5] sampling break);
+//   "sample_evasion"   — membership-leak attack on content-based samplers;
+//   "pq_collision"     — collision hunt on point-query sketches (wrap the
+//                        defender in PointQueryView);
+//   "hard_instance"    — the adaptive hard instance in the style of Kaplan–
+//                        Mansour–Nissim–Stemmer (arXiv:2101.10836):
+//                        tournament probing for near-kernel directions, then
+//                        mass concentration on the winner (attack_zoo.h);
+//   "flip_flood"       — geometric growth waves that force one output flip
+//                        each, draining GuaranteeStatus.flip_budget, then
+//                        exploiting the stale frozen output (attack_zoo.h);
+//   "turnstile_delete" — deletion-heavy insert/delete waves that push the
+//                        truth away from the published estimate
+//                        (attack_zoo.h; degrades to insert-only under an
+//                        insertion-only model);
+//   "fuzzer"           — seeded randomized attack: a mutation grammar over
+//                        insert/delete/burst/drift/spike moves
+//                        (attack_zoo.h).
+std::unique_ptr<Attack> MakeAttack(std::string_view key,
+                                   const StreamParams& params, uint64_t seed);
+
+// All registered attack keys, sorted (the ten built-ins plus extensions).
+std::vector<std::string> AttackKeys();
+
+// Extension hook mirroring RegisterRobustTask: registers an additional
+// attack under a new key so it becomes reachable from MakeAttack (and thus
+// from the game-matrix harness) without touching call sites. Returns false
+// if the key is already taken.
+bool RegisterAttack(const std::string& key, AttackFactory factory);
+
+}  // namespace rs
+
+#endif  // RS_ADVERSARY_ATTACK_H_

@@ -1,0 +1,388 @@
+#include "rs/adversary/attack_zoo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace rs {
+
+namespace {
+
+// Frequency cap used by the zoo: StreamParams::M clamped into int64 range so
+// delta arithmetic never overflows.
+int64_t FreqCap(const StreamParams& params) {
+  const uint64_t cap = std::min<uint64_t>(
+      params.max_frequency,
+      static_cast<uint64_t>(std::numeric_limits<int64_t>::max() / 4));
+  return static_cast<int64_t>(cap);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// HardInstanceAttack
+// ---------------------------------------------------------------------------
+
+HardInstanceAttack::HardInstanceAttack(const Config& config)
+    : config_(config), rng_(SplitMix64(config.seed ^ 0x4861726449ULL)) {
+  config_.probes_per_round = std::max(config_.probes_per_round, 1);
+  config_.max_repeats = std::max(config_.max_repeats, 1);
+}
+
+rs::Update HardInstanceAttack::Issue(const rs::Update& u,
+                                     double last_response) {
+  oracle_.Update(u);
+  pending_ = u;
+  have_pending_ = true;
+  response_before_ = last_response;
+  return u;
+}
+
+std::optional<rs::Update> HardInstanceAttack::NextUpdate(
+    const AdaptiveView& view) {
+  const double last_response = view.last_response;
+
+  // Score the update issued last round: the estimate's marginal move.
+  const double observed =
+      have_pending_ ? last_response - response_before_ : 0.0;
+
+  switch (phase_) {
+    case Phase::kSpike: {
+      phase_ = Phase::kProbe;
+      candidates_.clear();
+      observed_.clear();
+      return Issue({1, config_.spike}, last_response);
+    }
+
+    case Phase::kProbe: {
+      // Bank the score of the previous probe (the first probe of a round is
+      // preceded by the spike or by concentration, which we don't score as a
+      // candidate).
+      if (!candidates_.empty() && observed_.size() < candidates_.size()) {
+        observed_.push_back(observed);
+      }
+      if (candidates_.size() ==
+              static_cast<size_t>(config_.probes_per_round) &&
+          observed_.size() == candidates_.size()) {
+        // Tournament complete: the candidate whose unit insert moved the
+        // estimate least is the most kernel-aligned direction. Break exact
+        // ties with attack randomness so the selection is seed-dependent
+        // (against a robust defender every score ties and the choice
+        // carries no information).
+        size_t best = 0;
+        for (size_t i = 1; i < observed_.size(); ++i) {
+          if (observed_[i] < observed_[best] ||
+              (observed_[i] == observed_[best] && rng_.Bernoulli(0.5))) {
+            best = i;
+          }
+        }
+        winner_ = candidates_[best];
+        repeats_ = 0;
+        phase_ = Phase::kConcentrate;
+        return Issue({winner_, 1}, last_response);
+      }
+      // Issue the next probe of this tournament.
+      const uint64_t item = next_fresh_++;
+      if (item >= config_.n) return std::nullopt;  // Domain exhausted.
+      candidates_.push_back(item);
+      return Issue({item, 1}, last_response);
+    }
+
+    case Phase::kConcentrate: {
+      // Algorithm-3 drift rule: keep routing mass onto the winner while the
+      // published estimate lags the true marginal F2 contribution.
+      const int64_t f_after = oracle_.Frequency(pending_.item);
+      const double f1 = static_cast<double>(f_after);
+      const double f0 = static_cast<double>(f_after - pending_.delta);
+      const double marginal = f1 * f1 - f0 * f0;
+      const bool undercounted = observed < 0.5 * marginal;
+      if (undercounted && repeats_ < config_.max_repeats) {
+        ++repeats_;
+        return Issue({winner_, 1}, last_response);
+      }
+      // Winner saturated (or the defender caught up): next tournament.
+      phase_ = Phase::kProbe;
+      candidates_.clear();
+      observed_.clear();
+      const uint64_t item = next_fresh_++;
+      if (item >= config_.n) return std::nullopt;
+      candidates_.push_back(item);
+      return Issue({item, 1}, last_response);
+    }
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// FlipFloodAttack
+// ---------------------------------------------------------------------------
+
+FlipFloodAttack::FlipFloodAttack(const Config& config) : config_(config) {
+  const uint64_t n = std::max<uint64_t>(config_.params.n, 8);
+  spike_end_ = n / 2;
+  fresh_end_ = n;
+  // Stagger the fresh-item range per seed so different seeds produce
+  // different (but still in-domain) streams.
+  next_fresh_ = n / 2 + SplitMix64(config_.seed) % std::max<uint64_t>(n / 8, 1);
+  config_.burst_growth = std::max(config_.burst_growth, 1.01);
+}
+
+std::optional<rs::Update> FlipFloodAttack::SpikeUpdate() {
+  const int64_t cap = FreqCap(config_.params);
+  if (spike_freq_ >= cap) {
+    // This spike item is saturated at M; move to the next one.
+    ++spike_item_;
+    spike_freq_ = 0;
+    spike_delta_ = 1;
+  }
+  if (spike_item_ >= spike_end_) return std::nullopt;
+  const int64_t delta = std::min(spike_delta_, cap - spike_freq_);
+  spike_freq_ += delta;
+  if (spike_delta_ <= cap / 2) spike_delta_ *= 2;  // Geometric doubling.
+  return rs::Update{spike_item_, delta};
+}
+
+std::optional<rs::Update> FlipFloodAttack::NextUpdate(
+    const AdaptiveView& view) {
+  // Budget telemetry: once the defender admits the guarantee lapsed, stop
+  // forcing flips and exploit the stale output by pumping spikes only.
+  if (view.has_guarantee && !view.guarantee.holds) exploiting_ = true;
+
+  if (exploiting_) {
+    if (auto spike = SpikeUpdate()) return spike;
+    return std::nullopt;  // Spike domain saturated — nothing left to pump.
+  }
+
+  if (burst_left_ > 0 && next_fresh_ < fresh_end_) {
+    --burst_left_;
+    return rs::Update{next_fresh_++, 1};
+  }
+
+  // Wave boundary: emit the spike (forcing a grid crossing on moment
+  // estimators), then provision the next, geometrically larger burst.
+  auto spike = SpikeUpdate();
+  burst_size_ = static_cast<size_t>(
+                    static_cast<double>(burst_size_) * config_.burst_growth) +
+                1;
+  burst_left_ = burst_size_;
+  if (spike.has_value()) return spike;
+  // Spike half exhausted: keep flooding fresh items (still forces F0 flips).
+  if (next_fresh_ < fresh_end_) {
+    --burst_left_;
+    return rs::Update{next_fresh_++, 1};
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// TurnstileDeleteAttack
+// ---------------------------------------------------------------------------
+
+TurnstileDeleteAttack::TurnstileDeleteAttack(const Config& config)
+    : config_(config), rng_(SplitMix64(config.seed ^ 0x7572D3ULL)) {
+  wave_size_ = std::max<uint64_t>(config_.wave_base, 1);
+  wave_left_ = wave_size_;
+  config_.wave_growth = std::max(config_.wave_growth, 1.0);
+}
+
+std::optional<rs::Update> TurnstileDeleteAttack::NextUpdate(
+    const AdaptiveView& view) {
+  // Drain an in-progress deletion wave. Deletions revisit only our own
+  // live unit items, so no frequency ever drops below zero.
+  if (deleting_) {
+    if (deletes_left_ > 0 && !live_.empty()) {
+      --deletes_left_;
+      const uint64_t item = live_.back();
+      live_.pop_back();
+      oracle_.Update({item, -1});
+      return rs::Update{item, -1};
+    }
+    deleting_ = false;
+    wave_size_ = static_cast<uint64_t>(
+                     static_cast<double>(wave_size_) * config_.wave_growth) +
+                 rng_.Below(4);
+    wave_left_ = wave_size_;
+  }
+
+  if (wave_left_ == 0) {
+    // Wave boundary: compare the published response against our exact view
+    // and push the truth away from it. Deleting is only admissible under
+    // the turnstile model; otherwise keep inserting (graceful degrade).
+    const double truth = oracle_.F2();
+    const bool can_delete =
+        config_.params.model == StreamModel::kTurnstile && !live_.empty();
+    if (can_delete && view.last_response >= truth && truth > 0.0) {
+      deleting_ = true;
+      deletes_left_ = std::min<uint64_t>(live_.size(), wave_size_);
+      --deletes_left_;
+      const uint64_t item = live_.back();
+      live_.pop_back();
+      oracle_.Update({item, -1});
+      return rs::Update{item, -1};
+    }
+    wave_size_ = static_cast<uint64_t>(
+                     static_cast<double>(wave_size_) * config_.wave_growth) +
+                 rng_.Below(4);
+    wave_left_ = wave_size_;
+  }
+
+  // Insert a fresh unit item into the current wave.
+  if (next_fresh_ >= config_.params.n) return std::nullopt;
+  --wave_left_;
+  const uint64_t item = next_fresh_++;
+  live_.push_back(item);
+  oracle_.Update({item, 1});
+  return rs::Update{item, 1};
+}
+
+// ---------------------------------------------------------------------------
+// AttackFuzzer
+// ---------------------------------------------------------------------------
+
+AttackFuzzer::AttackFuzzer(const Config& config)
+    : config_(config), rng_(SplitMix64(config.seed ^ 0xF0CCE12ULL)) {
+  config_.hot_cap = std::max<size_t>(config_.hot_cap, 4);
+  config_.mutate_period = std::max<size_t>(config_.mutate_period, 16);
+  turnstile_ = config_.params.model == StreamModel::kTurnstile;
+  for (size_t i = 0; i < kMoveCount; ++i) weights_[i] = 1.0;
+  weights_[kInsertFresh] = 2.0;
+  if (!turnstile_) weights_[kDelete] = 0.0;
+  // Randomize the starting grammar so each seed explores a different mix.
+  for (int i = 0; i < 3; ++i) {
+    const size_t slot = rng_.Below(kMoveCount);
+    weights_[slot] = 0.1 + rng_.NextDouble() * 3.9;
+  }
+  if (!turnstile_) weights_[kDelete] = 0.0;
+}
+
+AttackFuzzer::HotItem* AttackFuzzer::Find(uint64_t item) {
+  for (auto& h : hot_) {
+    if (h.item == item) return &h;
+  }
+  return nullptr;
+}
+
+AttackFuzzer::Move AttackFuzzer::SampleMove() {
+  double total = 0.0;
+  for (size_t i = 0; i < kMoveCount; ++i) total += weights_[i];
+  double x = rng_.NextDouble() * total;
+  for (size_t i = 0; i < kMoveCount; ++i) {
+    x -= weights_[i];
+    if (x < 0.0) return static_cast<Move>(i);
+  }
+  return kInsertFresh;
+}
+
+std::optional<rs::Update> AttackFuzzer::BurstStep() {
+  HotItem* h = Find(burst_item_);
+  if (h == nullptr || h->freq >= FreqCap(config_.params)) {
+    burst_left_ = 0;
+    return std::nullopt;
+  }
+  --burst_left_;
+  h->freq += 1;
+  return rs::Update{burst_item_, 1};
+}
+
+std::optional<rs::Update> AttackFuzzer::Emit(Move move,
+                                             const AdaptiveView& view) {
+  const int64_t cap = FreqCap(config_.params);
+  switch (move) {
+    case kInsertFresh: {
+      if (next_fresh_ >= config_.params.n) return std::nullopt;
+      const uint64_t item = next_fresh_++;
+      // Track the item while the hot table has room (tracked items can be
+      // revisited by hot/burst/delete moves; untracked fresh items are
+      // touched at most once more, via the drift production).
+      if (hot_.size() < config_.hot_cap) hot_.push_back({item, 1});
+      return rs::Update{item, 1};
+    }
+    case kInsertHot: {
+      if (hot_.empty()) return std::nullopt;
+      HotItem& h = hot_[rng_.Below(hot_.size())];
+      const int64_t want = 1 + static_cast<int64_t>(rng_.Below(4));
+      const int64_t delta = std::min(want, cap - h.freq);
+      if (delta <= 0) return std::nullopt;
+      h.freq += delta;
+      return rs::Update{h.item, delta};
+    }
+    case kDelete: {
+      if (!turnstile_ || hot_.empty()) return std::nullopt;
+      HotItem& h = hot_[rng_.Below(hot_.size())];
+      if (h.freq <= 0) return std::nullopt;
+      const uint64_t span =
+          static_cast<uint64_t>(std::min<int64_t>(h.freq, 4));
+      const int64_t delta = -(1 + static_cast<int64_t>(rng_.Below(span)));
+      // |delta| <= freq by construction: the frequency never goes negative.
+      h.freq += delta;
+      return rs::Update{h.item, delta};
+    }
+    case kBurst: {
+      if (hot_.empty()) return std::nullopt;
+      burst_item_ = hot_[rng_.Below(hot_.size())].item;
+      burst_left_ = 4 + rng_.Below(61);
+      return BurstStep();
+    }
+    case kDrift: {
+      // The adaptive production: if the published output ignored the last
+      // round, push again into the same blind spot.
+      if (!have_prev_response_ || !have_last_update_) return std::nullopt;
+      if (view.last_response != prev_response_) return std::nullopt;
+      if (drift_repeats_ >= 32) return std::nullopt;
+      const int64_t delta = last_update_.delta;
+      const int64_t nf = last_item_freq_ + delta;
+      if (delta == 0 || nf < 0 || nf > cap) return std::nullopt;
+      if (delta < 0 && !turnstile_) return std::nullopt;
+      ++drift_repeats_;
+      if (HotItem* h = Find(last_update_.item)) h->freq = nf;
+      return rs::Update{last_update_.item, delta};
+    }
+    case kSpike: {
+      if (next_fresh_ >= config_.params.n) return std::nullopt;
+      const uint64_t item = next_fresh_++;
+      const int64_t delta =
+          1 + static_cast<int64_t>(
+                  rng_.Below(static_cast<uint64_t>(std::min<int64_t>(cap, 4096))));
+      if (hot_.size() < config_.hot_cap) hot_.push_back({item, delta});
+      return rs::Update{item, delta};
+    }
+    case kMoveCount:
+      break;
+  }
+  return std::nullopt;
+}
+
+std::optional<rs::Update> AttackFuzzer::NextUpdate(const AdaptiveView& view) {
+  ++steps_;
+  if (steps_ % config_.mutate_period == 0) {
+    // Mutate the grammar: reroll one production's weight.
+    const size_t slot = rng_.Below(kMoveCount);
+    weights_[slot] = 0.1 + rng_.NextDouble() * 3.9;
+    if (!turnstile_) weights_[kDelete] = 0.0;
+  }
+
+  std::optional<rs::Update> u;
+  if (burst_left_ > 0) u = BurstStep();
+  for (int attempts = 0; !u.has_value() && attempts < 8; ++attempts) {
+    u = Emit(SampleMove(), view);
+  }
+  if (!u.has_value()) u = Emit(kInsertFresh, view);
+  if (!u.has_value()) u = Emit(kInsertHot, view);
+  if (!u.has_value()) return std::nullopt;  // Domain and hot caps exhausted.
+
+  // Maintain the drift production's exact view of the last touched item.
+  if (have_last_update_ && u->item == last_update_.item) {
+    last_item_freq_ += u->delta;
+  } else {
+    const HotItem* h = Find(u->item);
+    last_item_freq_ = h != nullptr ? h->freq : u->delta;
+    drift_repeats_ = 0;
+  }
+  last_update_ = *u;
+  have_last_update_ = true;
+  prev_response_ = view.last_response;
+  have_prev_response_ = true;
+  return u;
+}
+
+}  // namespace rs

@@ -1,0 +1,240 @@
+// attack_zoo.h — the named adaptive strategies added on top of the paper's
+// own attacks: the arXiv:2101.10836-style hard instance, a flip-budget
+// exhaustion attacker, a deletion-heavy turnstile attacker, and a seeded
+// randomized attack fuzzer. All four are registry attacks (attack.h): they
+// are built from (StreamParams, seed), keep every update inside the stream
+// model they were built for, and are bit-deterministic per seed.
+
+#ifndef RS_ADVERSARY_ATTACK_ZOO_H_
+#define RS_ADVERSARY_ATTACK_ZOO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rs/adversary/attack.h"
+#include "rs/stream/exact_oracle.h"
+#include "rs/stream/update.h"
+#include "rs/util/rng.h"
+
+namespace rs {
+
+// The adaptive hard instance, in the style of Kaplan–Mansour–Nissim–Stemmer,
+// "Separating Adaptive Streaming from Oblivious Streaming"
+// (arXiv:2101.10836). Their separation argument makes the adversary use the
+// algorithm's own answers to steer the stream toward inputs the algorithm's
+// compressed state cannot distinguish — adaptivity turns a polylog-space
+// oblivious guarantee into a polynomial-space requirement. This attack is
+// that argument operationalized for moment tracking:
+//
+//   1. Spike: insert (1, spike) to fix the norm scale.
+//   2. Tournament probe: insert `probes_per_round` fresh candidate items,
+//      one unit each, observing the published estimate's marginal move for
+//      every candidate. A candidate whose insert moved the estimate least is
+//      the most under-represented direction of the sketch's kernel — the
+//      adaptive analogue of knowing the sketch matrix.
+//   3. Concentrate: route mass onto the tournament winner while the
+//      published estimate keeps lagging the true marginal contribution
+//      (the Algorithm-3 drift rule), then start the next tournament.
+//
+// Against an oblivious linear sketch, the per-probe feedback identifies
+// near-kernel directions and the estimate detaches from the truth (the
+// "oblivious break" row of the matrix). Against any of the robust wrappers
+// the published output is rounded and sticky, so the tournament scores are
+// ties, the selection carries no information about the hidden randomness,
+// and the attack degenerates to an oblivious stream — the polynomial
+// separation made empirical (bench_attack_matrix, E21).
+class HardInstanceAttack : public Attack {
+ public:
+  struct Config {
+    uint64_t n = 1 << 20;      // Item domain.
+    int64_t spike = 64;        // Initial weight on item 1 (scale).
+    int probes_per_round = 8;  // Tournament width.
+    int max_repeats = 96;      // Concentration cap per tournament winner.
+    uint64_t seed = 17;        // Tie-breaking among equal probe scores.
+  };
+
+  explicit HardInstanceAttack(const Config& config);
+
+  std::optional<rs::Update> NextUpdate(const AdaptiveView& view) override;
+  std::string Name() const override { return "HardInstanceAttack"; }
+
+ private:
+  enum class Phase { kSpike, kProbe, kConcentrate };
+
+  rs::Update Issue(const rs::Update& u, double last_response);
+
+  Config config_;
+  Rng rng_;
+  Phase phase_ = Phase::kSpike;
+  ExactOracle oracle_;        // The adversary's own view of its stream.
+  rs::Update pending_{0, 0};  // Update issued last round, not yet scored.
+  bool have_pending_ = false;
+  double response_before_ = 0.0;
+  // Current tournament: candidate items and their observed marginal moves.
+  std::vector<uint64_t> candidates_;
+  std::vector<double> observed_;
+  uint64_t next_fresh_ = 2;
+  uint64_t winner_ = 0;
+  int repeats_ = 0;
+};
+
+// Flip-budget exhaustion. The framework prices robustness in output flips
+// (Definition 3.2): a Lemma 3.6 pool or an SVT gate provisions
+// GuaranteeStatus.flip_budget of them and the guarantee lapses when the
+// budget is overrun. This attacker maximizes flips per update: each wave
+// inserts a geometrically growing burst of fresh unit items (multiplying F0)
+// and a geometrically doubled spike (multiplying F2/Fp), so every wave
+// pushes the tracked quantity past another (1 + eps) grid boundary and
+// forces a flip. It watches the defender's published GuaranteeStatus
+// through the AdaptiveView: once `holds` turns false the budget is spent
+// and the attack switches to pure exploitation — pumping one item so the
+// truth runs away from the stale frozen output. Ring-mode defenders
+// (unbounded budget) reduce it to a fast-growth oblivious stream, which is
+// the honest negative result for this strategy.
+class FlipFloodAttack : public Attack {
+ public:
+  struct Config {
+    StreamParams params;
+    double burst_growth = 1.5;  // Fresh-burst size multiplier per wave.
+    uint64_t seed = 23;
+  };
+
+  explicit FlipFloodAttack(const Config& config);
+
+  std::optional<rs::Update> NextUpdate(const AdaptiveView& view) override;
+  std::string Name() const override { return "FlipFloodAttack"; }
+
+ private:
+  std::optional<rs::Update> SpikeUpdate();
+
+  Config config_;
+  bool exploiting_ = false;
+  // Fresh burst state: items from the top half of the domain.
+  uint64_t next_fresh_;
+  uint64_t fresh_end_;
+  size_t burst_size_ = 1;
+  size_t burst_left_ = 1;
+  // Spike state: items from the bottom half, frequency-capped at M.
+  uint64_t spike_item_ = 1;
+  uint64_t spike_end_;
+  int64_t spike_delta_ = 1;
+  int64_t spike_freq_ = 0;
+};
+
+// Deletion-heavy turnstile attacker. Insert/delete waves that adaptively
+// push the true moment away from the published estimate: at each wave
+// boundary it compares the published response to its own exact view of the
+// stream — when the estimator reads high it deletes (pulling the truth
+// down, below the estimate), when the estimator reads low or level it
+// inserts a growing wave of fresh items (pulling the truth up). Deletions
+// only revisit items the attack inserted and never drive a frequency below
+// zero, so the stream is admissible under any turnstile validator (and the
+// wave oscillation is exactly the Theta(waves) flip-number pressure of
+// Theorem 4.3's promised-lambda setting). Under an insertion-only or
+// alpha-bounded-deletion model it degrades gracefully: deletes are replaced
+// by further inserts, keeping every update inside the agreed model.
+class TurnstileDeleteAttack : public Attack {
+ public:
+  struct Config {
+    StreamParams params;
+    uint64_t wave_base = 32;   // First wave size.
+    double wave_growth = 1.3;  // Wave size multiplier.
+    uint64_t seed = 29;
+  };
+
+  explicit TurnstileDeleteAttack(const Config& config);
+
+  std::optional<rs::Update> NextUpdate(const AdaptiveView& view) override;
+  std::string Name() const override { return "TurnstileDeleteAttack"; }
+
+ private:
+  Config config_;
+  Rng rng_;
+  ExactOracle oracle_;
+  bool deleting_ = false;
+  uint64_t deletes_left_ = 0;
+  uint64_t wave_left_;
+  uint64_t wave_size_;
+  uint64_t next_fresh_ = 1;
+  // Items inserted and not yet deleted (each holds frequency exactly 1).
+  std::vector<uint64_t> live_;
+};
+
+// The seeded randomized attack fuzzer: an Attack composed from a mutation
+// grammar over insert/delete/burst/drift/spike moves. Each step draws a
+// move from a weighted grammar; the weights themselves mutate every
+// `mutate_period` steps, so one seed explores a family of schedules rather
+// than a single distribution. The `drift` production is the adaptive one:
+// when the published output did not move since the previous round, the
+// fuzzer repeats its previous update — pushing into the defender's current
+// blind spot, which is precisely the move that shreds estimators leaking
+// state through their outputs and is provably inert against sticky rounded
+// outputs. The fuzzer tracks its own per-item frequencies, so every emitted
+// update respects the construction-time StreamParams: items stay in [n],
+// frequencies in [0, M], and deletes are only produced under a turnstile
+// model. Same seed => bit-identical move sequence against identical
+// responses; the matrix harness and CI run it at fixed seeds under
+// ASan+UBSan as a standing randomized regression surface (the SketchConf
+// stance: simulation as the source of truth).
+class AttackFuzzer : public Attack {
+ public:
+  struct Config {
+    StreamParams params;
+    uint64_t seed = 31;
+    size_t hot_cap = 64;         // Items kept warm for hot/burst/delete moves.
+    size_t mutate_period = 256;  // Steps between grammar-weight mutations.
+  };
+
+  explicit AttackFuzzer(const Config& config);
+
+  std::optional<rs::Update> NextUpdate(const AdaptiveView& view) override;
+  std::string Name() const override { return "AttackFuzzer"; }
+
+ private:
+  // The grammar's productions.
+  enum Move : size_t {
+    kInsertFresh = 0,
+    kInsertHot,
+    kDelete,
+    kBurst,
+    kDrift,
+    kSpike,
+    kMoveCount,
+  };
+
+  struct HotItem {
+    uint64_t item = 0;
+    int64_t freq = 0;
+  };
+
+  Move SampleMove();
+  std::optional<rs::Update> Emit(Move move, const AdaptiveView& view);
+  std::optional<rs::Update> BurstStep();
+  // Hot-table lookup; nullptr when the item is untracked.
+  HotItem* Find(uint64_t item);
+
+  Config config_;
+  Rng rng_;
+  bool turnstile_;
+  double weights_[kMoveCount];
+  uint64_t steps_ = 0;
+  uint64_t next_fresh_ = 1;
+  std::vector<HotItem> hot_;
+  // Burst production state.
+  uint64_t burst_item_ = 0;
+  size_t burst_left_ = 0;
+  // Drift production state: the previous response and update, plus the
+  // exact post-update frequency of the last touched item (so blind-spot
+  // repeats stay within [0, M] even for items outside the hot table).
+  double prev_response_ = 0.0;
+  bool have_prev_response_ = false;
+  rs::Update last_update_{0, 0};
+  bool have_last_update_ = false;
+  int64_t last_item_freq_ = 0;
+  int drift_repeats_ = 0;
+};
+
+}  // namespace rs
+
+#endif  // RS_ADVERSARY_ATTACK_ZOO_H_

@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <memory>
+#include <utility>
 
+#include "rs/runtime/stream_hub.h"
 #include "rs/util/check.h"
 #include "rs/util/stats.h"
 
@@ -10,10 +12,9 @@ namespace rs {
 
 namespace {
 
-void Score(const Estimator& algorithm, const ExactOracle& oracle,
-           const TruthFn& truth, const GameOptions& options, uint64_t step,
-           GameResult* result) {
-  const double estimate = algorithm.Estimate();
+void ScoreValue(double estimate, const ExactOracle& oracle,
+                const TruthFn& truth, const GameOptions& options,
+                uint64_t step, GameResult* result) {
   const double actual = truth(oracle);
   result->final_estimate = estimate;
   result->final_truth = actual;
@@ -26,33 +27,73 @@ void Score(const Estimator& algorithm, const ExactOracle& oracle,
   }
 }
 
-}  // namespace
+// What the defender publishes after a round: the response the attack will
+// observe next, plus guarantee telemetry when the defender has any.
+struct Published {
+  double estimate = 0.0;
+  bool has_guarantee = false;
+  rs::GuaranteeStatus guarantee;
+};
 
-GameResult RunGame(Estimator& algorithm, Adversary& adversary,
-                   const TruthFn& truth, const GameOptions& options) {
+// The one shared game loop: every harness entry point (plain estimator,
+// robust wrapper, hub-hosted stream) is this loop with different apply /
+// publish callbacks, so validation, scoring, and the view protocol cannot
+// drift apart between them.
+GameResult RunLoop(const std::function<bool(const rs::Update&)>& apply,
+                   const std::function<Published()>& publish, Attack& attack,
+                   const TruthFn& truth, const GameOptions& options,
+                   uint64_t* first_violation_step,
+                   rs::GuaranteeStatus* final_status) {
   GameResult result;
   ExactOracle oracle;
   StreamValidator validator(options.params, options.alpha);
-  double last_response = algorithm.Estimate();
+  Published pub = publish();
+  AdaptiveView view;
   for (uint64_t t = 1; t <= options.max_steps; ++t) {
-    const std::optional<rs::Update> u =
-        adversary.NextUpdate(last_response, t);
+    view.last_response = pub.estimate;
+    view.step = t;
+    view.has_guarantee = pub.has_guarantee;
+    view.guarantee = pub.guarantee;
+    const std::optional<rs::Update> u = attack.NextUpdate(view);
     if (!u.has_value()) {
       result.termination = "adversary_done";
-      return result;
+      break;
     }
     if (!validator.Accept(*u)) {
       result.termination = "rejected: " + validator.error();
-      return result;
+      break;
     }
     oracle.Update(*u);
-    algorithm.Update(*u);
+    if (!apply(*u)) {
+      result.termination = "defender_error";
+      break;
+    }
     ++result.steps;
-    Score(algorithm, oracle, truth, options, t, &result);
-    last_response = algorithm.Estimate();
+    pub = publish();
+    ScoreValue(pub.estimate, oracle, truth, options, t, &result);
+    if (first_violation_step != nullptr && *first_violation_step == 0 &&
+        pub.has_guarantee && !pub.guarantee.holds) {
+      *first_violation_step = t;
+    }
   }
-  result.termination = "max_steps";
+  if (result.termination.empty()) result.termination = "max_steps";
+  if (final_status != nullptr && pub.has_guarantee) {
+    *final_status = pub.guarantee;
+  }
   return result;
+}
+
+}  // namespace
+
+GameResult RunGame(Estimator& algorithm, Attack& attack, const TruthFn& truth,
+                   const GameOptions& options) {
+  return RunLoop(
+      [&](const rs::Update& u) {
+        algorithm.Update(u);
+        return true;
+      },
+      [&] { return Published{algorithm.Estimate(), false, {}}; }, attack,
+      truth, options, nullptr, nullptr);
 }
 
 GameResult RunFixedStream(Estimator& algorithm, const Stream& stream,
@@ -65,30 +106,89 @@ GameResult RunFixedStream(Estimator& algorithm, const Stream& stream,
     oracle.Update(u);
     algorithm.Update(u);
     ++result.steps;
-    Score(algorithm, oracle, truth, options, t, &result);
+    ScoreValue(algorithm.Estimate(), oracle, truth, options, t, &result);
   }
   result.termination = "stream_end";
   return result;
 }
 
-RobustGameResult RunRobustGame(RobustEstimator& algorithm,
-                               Adversary& adversary, const TruthFn& truth,
+RobustGameResult RunRobustGame(RobustEstimator& algorithm, Attack& attack,
+                               const TruthFn& truth,
                                const GameOptions& options) {
   RobustGameResult result;
-  result.game = RunGame(algorithm, adversary, truth, options);
-  result.final_status = algorithm.GuaranteeStatus();
+  result.game = RunLoop(
+      [&](const rs::Update& u) {
+        algorithm.Update(u);
+        return true;
+      },
+      [&] {
+        return Published{algorithm.Estimate(), true,
+                         algorithm.GuaranteeStatus()};
+      },
+      attack, truth, options, &result.first_violation_step,
+      &result.final_status);
   result.defender = algorithm.Name();
   return result;
 }
 
 RobustGameResult RunFacadeGame(std::string_view task_key,
                                const RobustConfig& config, uint64_t seed,
-                               Adversary& adversary, const TruthFn& truth,
+                               Attack& attack, const TruthFn& truth,
                                const GameOptions& options) {
   std::unique_ptr<RobustEstimator> defender =
       MakeRobust(task_key, config, seed);
   RS_CHECK_MSG(defender != nullptr, "RunFacadeGame: unknown task key");
-  return RunRobustGame(*defender, adversary, truth, options);
+  return RunRobustGame(*defender, attack, truth, options);
+}
+
+RobustGameResult RunHubGame(runtime::StreamHub& hub, const std::string& name,
+                            Attack& attack, const TruthFn& truth,
+                            const GameOptions& options) {
+  // The defender must already be hosted; a game driver has no sensible
+  // move without one (same contract as RunFacadeGame's unknown key).
+  RS_CHECK_MSG(hub.Query(name).ok(), "RunHubGame: unknown stream name");
+  RobustGameResult result;
+  result.game = RunLoop(
+      [&](const rs::Update& u) { return hub.Update(name, u).ok(); },
+      [&] {
+        auto q = hub.Query(name);
+        RS_CHECK_MSG(q.ok(), "RunHubGame: Query failed mid-game");
+        return Published{q->estimate, true, q->guarantee};
+      },
+      attack, truth, options, &result.first_violation_step,
+      &result.final_status);
+  result.defender = "hub:" + name;
+  return result;
+}
+
+GameVerdict VerdictFrom(std::string_view attack_key,
+                        std::string_view defender_key,
+                        const RobustGameResult& result) {
+  GameVerdict v;
+  v.attack = std::string(attack_key);
+  v.defender = std::string(defender_key);
+  v.steps = result.game.steps;
+  v.max_rel_error = result.game.max_rel_error;
+  v.first_failure_step = result.game.first_failure_step;
+  v.first_violation_step = result.first_violation_step;
+  v.flips_spent = result.final_status.flips_spent;
+  v.flip_budget = result.final_status.flip_budget;
+  v.holds = result.final_status.holds;
+  v.broke = result.game.adversary_won;
+  v.termination = result.game.termination;
+  return v;
+}
+
+GameVerdict RunMatrixCell(std::string_view attack_key, uint64_t attack_seed,
+                          std::string_view task_key,
+                          const RobustConfig& config, uint64_t defender_seed,
+                          const TruthFn& truth, const GameOptions& options) {
+  std::unique_ptr<Attack> attack =
+      MakeAttack(attack_key, options.params, attack_seed);
+  RS_CHECK_MSG(attack != nullptr, "RunMatrixCell: unknown attack key");
+  const RobustGameResult result = RunFacadeGame(
+      task_key, config, defender_seed, *attack, truth, options);
+  return VerdictFrom(attack_key, task_key, result);
 }
 
 TruthFn TruthF0() {

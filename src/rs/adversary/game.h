@@ -7,6 +7,7 @@
 #include <string>
 #include <string_view>
 
+#include "rs/adversary/attack.h"
 #include "rs/core/robust.h"
 #include "rs/sketch/estimator.h"
 #include "rs/stream/exact_oracle.h"
@@ -15,23 +16,16 @@
 
 namespace rs {
 
+namespace runtime {
+class StreamHub;
+}  // namespace runtime
+
 // The two-player adversarial game of Section 1 ("The Adversarial Setting"):
-// in round t the Adversary chooses an update u_t — which may depend on all
-// previous stream updates and all previous outputs of the
-// StreamingAlgorithm — the algorithm processes u_t and publishes its
-// response R_t, and the adversary observes R_t.
-
-// An adaptive adversary. It receives the algorithm's latest published
-// response and decides the next update; returning nullopt ends the game
-// early (the adversary gives up or has finished its schedule).
-class Adversary {
- public:
-  virtual ~Adversary() = default;
-
-  virtual std::optional<rs::Update> NextUpdate(double last_response,
-                                               uint64_t step) = 0;
-  virtual std::string Name() const = 0;
-};
+// in round t the adversary — an rs::Attack (attack.h) — chooses an update
+// u_t, which may depend on all previous stream updates and all previous
+// outputs of the StreamingAlgorithm; the algorithm processes u_t and
+// publishes its response R_t, and the adversary observes R_t (as the next
+// round's AdaptiveView).
 
 // Ground truth extractor evaluated against the exact frequency oracle that
 // the game driver maintains (e.g. F0, F2, entropy).
@@ -55,12 +49,14 @@ struct GameOptions {
   double alpha = 1.0;        // For bounded-deletion validation.
 };
 
-// Plays the game: the adversary's updates are validated against the stream
+// Plays the game: the attack's updates are validated against the stream
 // model, fed to the algorithm, and scored against the exact oracle after
 // every round. An update rejected by the validator ends the game (the
-// adversary forfeits; the model is part of the rules).
-GameResult RunGame(Estimator& algorithm, Adversary& adversary,
-                   const TruthFn& truth, const GameOptions& options);
+// adversary forfeits; the model is part of the rules). Plain Estimator
+// defenders publish no guarantee telemetry, so the attack's AdaptiveView
+// has has_guarantee == false.
+GameResult RunGame(Estimator& algorithm, Attack& attack, const TruthFn& truth,
+                   const GameOptions& options);
 
 // Convenience: replays a fixed (oblivious) stream through RunGame's scoring
 // machinery — used to compare static-stream behaviour with adversarial
@@ -70,33 +66,86 @@ GameResult RunFixedStream(Estimator& algorithm, const Stream& stream,
 
 // The game harness extended to the rs::robust facade: any facade-built
 // RobustEstimator can defend, and the result carries the defender's final
-// guarantee telemetry next to the adversary's score. The interesting
-// diagonal of the matrix: `adversary_won && final_status.holds` would be a
-// soundness bug (the wrapper claims its guarantee while the error bound is
-// blown), while `!adversary_won && !final_status.holds` is the honest
-// "budget ran out, output went stale but has not yet drifted" state.
+// guarantee telemetry next to the adversary's score. The attack's
+// AdaptiveView carries the defender's live GuaranteeStatus each round
+// (budget-targeting attacks read it). The interesting diagonal of the
+// matrix: `adversary_won && final_status.holds` would be a soundness bug
+// (the wrapper claims its guarantee while the error bound is blown), while
+// `!adversary_won && !final_status.holds` is the honest "budget ran out,
+// output went stale but has not yet drifted" state.
 struct RobustGameResult {
   GameResult game;
   rs::GuaranteeStatus final_status;
+  // First round after which the defender's published guarantee no longer
+  // held (0 = it held through the whole game).
+  uint64_t first_violation_step = 0;
   std::string defender;  // Name() of the defending estimator.
 };
 
 // Plays RunGame with a RobustEstimator defender and snapshots its
 // GuaranteeStatus after the last round.
-RobustGameResult RunRobustGame(RobustEstimator& algorithm,
-                               Adversary& adversary, const TruthFn& truth,
+RobustGameResult RunRobustGame(RobustEstimator& algorithm, Attack& attack,
+                               const TruthFn& truth,
                                const GameOptions& options);
 
 // Builds the defender from the facade registry (MakeRobust(task_key, ...))
-// and plays it against the adversary — one call to pit ANY registered
+// and plays it against the attack — one call to pit ANY registered
 // robustification (f0, fp, dp_f0, dp_fp, dp_f2_diff, sharded, ...) against
 // ANY attack in rs/adversary. RS_CHECK-aborts on an unknown key (stricter
 // than MakeRobust's nullptr: a game driver has no sensible move without a
 // defender); probe keys through MakeRobust first if nullptr is wanted.
 RobustGameResult RunFacadeGame(std::string_view task_key,
                                const RobustConfig& config, uint64_t seed,
-                               Adversary& adversary, const TruthFn& truth,
+                               Attack& attack, const TruthFn& truth,
                                const GameOptions& options);
+
+// Plays the game against a StreamHub-hosted stream: updates go through
+// hub.Update(name, u) and responses come from hub.Query(name) — the
+// defender is whatever estimator the hub built for `name` at CreateStream
+// time, and the attack observes exactly what a hub tenant would (estimate
+// plus guarantee telemetry). The stream must already exist; RS_CHECK-aborts
+// otherwise (same contract as RunFacadeGame's unknown key). A hub-hosted
+// defender built with the same registry key, config, and explicit seed
+// plays bit-identically to the direct RunFacadeGame path (game_test pins
+// this).
+RobustGameResult RunHubGame(runtime::StreamHub& hub, const std::string& name,
+                            Attack& attack, const TruthFn& truth,
+                            const GameOptions& options);
+
+// One cell of the attacks×methods game matrix: the per-cell verdict the
+// E21 bench and the matrix tests consume.
+struct GameVerdict {
+  std::string attack;     // Attack registry key.
+  std::string defender;   // Defender registry key (or estimator name).
+  uint64_t steps = 0;
+  double max_rel_error = 0.0;
+  // First step whose relative error exceeded options.fail_eps (0 = none) —
+  // when set, the attack broke the defender ("broke" below).
+  uint64_t first_failure_step = 0;
+  // First step after which the defender admitted its guarantee lapsed
+  // (GuaranteeStatus.holds == false; 0 = held throughout). An honest lapse
+  // is NOT a break: the defender stops promising before it starts lying.
+  uint64_t first_violation_step = 0;
+  uint64_t flips_spent = 0;
+  uint64_t flip_budget = 0;
+  bool holds = true;      // Final-round guarantee.
+  bool broke = false;     // Error exceeded fail_eps after burn-in.
+  std::string termination;
+};
+
+// Builds the attack from the attack registry (MakeAttack) and the defender
+// from the facade registry (MakeRobust), plays them, and reduces the result
+// to a GameVerdict. options.fail_eps is the cell's error budget (alpha).
+// RS_CHECK-aborts on an unknown attack or task key.
+GameVerdict RunMatrixCell(std::string_view attack_key, uint64_t attack_seed,
+                          std::string_view task_key,
+                          const RobustConfig& config, uint64_t defender_seed,
+                          const TruthFn& truth, const GameOptions& options);
+
+// Reduces an already-played robust game to the same verdict shape.
+GameVerdict VerdictFrom(std::string_view attack_key,
+                        std::string_view defender_key,
+                        const RobustGameResult& result);
 
 // Adapts a point-query sketch to the single-response game: the published
 // response is the estimate of one fixed target item's frequency. This is

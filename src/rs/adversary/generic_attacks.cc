@@ -14,9 +14,10 @@ rs::Update F2DriftAttack::Issue(const rs::Update& u, double last_response) {
   return u;
 }
 
-std::optional<rs::Update> F2DriftAttack::NextUpdate(double last_response,
-                                                    uint64_t step) {
-  if (step == 1) {
+std::optional<rs::Update> F2DriftAttack::NextUpdate(
+    const AdaptiveView& view) {
+  const double last_response = view.last_response;
+  if (view.step == 1) {
     // Scale spike, as in Algorithm 3.
     current_item_ = 1;
     repeats_ = 0;
@@ -52,9 +53,9 @@ std::optional<rs::Update> F2DriftAttack::NextUpdate(double last_response,
 
 MeanDriftAttack::MeanDriftAttack(const Config& config) : config_(config) {}
 
-std::optional<rs::Update> MeanDriftAttack::NextUpdate(double last_response,
-                                                      uint64_t step) {
-  (void)step;
+std::optional<rs::Update> MeanDriftAttack::NextUpdate(
+    const AdaptiveView& view) {
+  const double last_response = view.last_response;
   const double truth =
       total_inserted_ == 0
           ? 0.0
@@ -83,9 +84,9 @@ TruthFn MeanDriftAttack::TruthOddFraction() {
 SampleEvasionAttack::SampleEvasionAttack(const Config& config)
     : config_(config) {}
 
-std::optional<rs::Update> SampleEvasionAttack::NextUpdate(double last_response,
-                                                          uint64_t step) {
-  (void)step;
+std::optional<rs::Update> SampleEvasionAttack::NextUpdate(
+    const AdaptiveView& view) {
+  const double last_response = view.last_response;
   switch (phase_) {
     case Phase::kBase:
       if (base_sent_ < config_.base) {
@@ -130,7 +131,8 @@ PointQueryCollisionAttack::PointQueryCollisionAttack(const Config& config)
     : config_(config), next_fresh_(config.target + 1) {}
 
 std::optional<rs::Update> PointQueryCollisionAttack::NextUpdate(
-    double last_response, uint64_t step) {
+    const AdaptiveView& view) {
+  const double last_response = view.last_response;
   if (!seeded_) {
     seeded_ = true;
     return rs::Update{config_.target, config_.base_mass};
@@ -151,7 +153,7 @@ std::optional<rs::Update> PointQueryCollisionAttack::NextUpdate(
   // median is a ratchet — every known up-collider must stay hot for the
   // lifted rows to stack up past the median), probe for new colliders on
   // odd steps.
-  if (!colliders_.empty() && (step % 2 == 0)) {
+  if (!colliders_.empty() && (view.step % 2 == 0)) {
     flood_idx_ = (flood_idx_ + 1) % colliders_.size();
     return rs::Update{colliders_[flood_idx_], config_.flood_delta};
   }
@@ -180,10 +182,9 @@ TruthFn PointQueryCollisionAttack::TruthTargetFrequency(uint64_t target) {
 ObliviousAdversary::ObliviousAdversary(Stream stream)
     : stream_(std::move(stream)) {}
 
-std::optional<rs::Update> ObliviousAdversary::NextUpdate(double last_response,
-                                                         uint64_t step) {
-  (void)last_response;
-  (void)step;
+std::optional<rs::Update> ObliviousAdversary::NextUpdate(
+    const AdaptiveView& view) {
+  (void)view;
   if (pos_ >= stream_.size()) return std::nullopt;
   return stream_[pos_++];
 }

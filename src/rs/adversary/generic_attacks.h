@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "rs/adversary/attack.h"
 #include "rs/adversary/game.h"
 #include "rs/stream/exact_oracle.h"
 #include "rs/util/rng.h"
@@ -24,7 +25,7 @@ namespace rs {
 // Algorithm 3 drift with no inside knowledge; against a robust wrapper the
 // rounded, sticky output reveals nothing exploitable and the attack
 // degenerates to an oblivious stream.
-class F2DriftAttack : public Adversary {
+class F2DriftAttack : public Attack {
  public:
   struct Config {
     uint64_t n = 1 << 20;       // Item domain.
@@ -35,8 +36,7 @@ class F2DriftAttack : public Adversary {
 
   explicit F2DriftAttack(const Config& config);
 
-  std::optional<rs::Update> NextUpdate(double last_response,
-                                       uint64_t step) override;
+  std::optional<rs::Update> NextUpdate(const AdaptiveView& view) override;
   std::string Name() const override { return "F2DriftAttack"; }
 
  private:
@@ -59,7 +59,7 @@ class F2DriftAttack : public Adversary {
 // sample refreshes ever more rarely as the stream grows, so its published
 // mean lags and the gap widens; a deterministic (or robust) tracker follows
 // immediately and never lets the gap build.
-class MeanDriftAttack : public Adversary {
+class MeanDriftAttack : public Attack {
  public:
   struct Config {
     uint64_t n = 1 << 20;
@@ -68,8 +68,7 @@ class MeanDriftAttack : public Adversary {
 
   explicit MeanDriftAttack(const Config& config);
 
-  std::optional<rs::Update> NextUpdate(double last_response,
-                                       uint64_t step) override;
+  std::optional<rs::Update> NextUpdate(const AdaptiveView& view) override;
   std::string Name() const override { return "MeanDriftAttack"; }
 
   // Truth function matching this attack's target quantity.
@@ -100,7 +99,7 @@ class MeanDriftAttack : public Adversary {
 // — their keep/drop coin is fresh per position, so evasion is impossible and
 // the sample self-corrects; see the [5] positive result and the
 // ReservoirSelfCorrects test.
-class SampleEvasionAttack : public Adversary {
+class SampleEvasionAttack : public Attack {
  public:
   struct Config {
     uint64_t n = 1 << 20;      // Item domain.
@@ -111,8 +110,7 @@ class SampleEvasionAttack : public Adversary {
 
   explicit SampleEvasionAttack(const Config& config);
 
-  std::optional<rs::Update> NextUpdate(double last_response,
-                                       uint64_t step) override;
+  std::optional<rs::Update> NextUpdate(const AdaptiveView& view) override;
   std::string Name() const override { return "SampleEvasionAttack"; }
 
   bool found_unsampled() const { return phase_ == Phase::kFlood; }
@@ -154,7 +152,7 @@ class SampleEvasionAttack : public Adversary {
 // get no feedback — the published vector only changes at epoch boundaries
 // — so the hunt finds nothing and the attack degenerates to an oblivious
 // stream within the sketch's guarantee.
-class PointQueryCollisionAttack : public Adversary {
+class PointQueryCollisionAttack : public Attack {
  public:
   struct Config {
     uint64_t target = 1;
@@ -167,8 +165,7 @@ class PointQueryCollisionAttack : public Adversary {
 
   explicit PointQueryCollisionAttack(const Config& config);
 
-  std::optional<rs::Update> NextUpdate(double last_response,
-                                       uint64_t step) override;
+  std::optional<rs::Update> NextUpdate(const AdaptiveView& view) override;
   std::string Name() const override { return "PointQueryCollisionAttack"; }
 
   // Truth for the game: the exact frequency of the target item.
@@ -191,12 +188,11 @@ class PointQueryCollisionAttack : public Adversary {
 // Oblivious control adversary: replays a pregenerated stream, ignoring the
 // responses. Used as the baseline in robustness benchmarks (every estimator
 // should survive this one).
-class ObliviousAdversary : public Adversary {
+class ObliviousAdversary : public Attack {
  public:
   explicit ObliviousAdversary(Stream stream);
 
-  std::optional<rs::Update> NextUpdate(double last_response,
-                                       uint64_t step) override;
+  std::optional<rs::Update> NextUpdate(const AdaptiveView& view) override;
   std::string Name() const override { return "Oblivious"; }
 
  private:

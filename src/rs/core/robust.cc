@@ -288,6 +288,18 @@ const char* TaskKey(Task task) {
   return "unknown";
 }
 
+const char* MethodKey(Method method) {
+  switch (method) {
+    case Method::kSketchSwitching:
+      return "switching";
+    case Method::kComputationPaths:
+      return "paths";
+    case Method::kDifferentialPrivacy:
+      return "dp";
+  }
+  return "unknown";
+}
+
 std::optional<Task> TaskFromKey(std::string_view key) {
   for (Task task : kAllRobustTasks) {
     if (key == TaskKey(task)) return task;

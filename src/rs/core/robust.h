@@ -77,6 +77,16 @@ enum class Method {
   kDifferentialPrivacy,  // HKMMS (arXiv:2004.05975) private-median pool.
 };
 
+// Every method, in one place so sweeps (the attacks×methods game matrix,
+// parameterized tests) cannot drift from the enum.
+inline constexpr Method kAllRobustMethods[] = {
+    Method::kSketchSwitching, Method::kComputationPaths,
+    Method::kDifferentialPrivacy};
+
+// Stable snake_case key for a method ("switching", "paths", "dp") — the
+// method-axis labels of the game matrix, next to TaskKey for the task axis.
+const char* MethodKey(Method method);
+
 // Uniform guarantee telemetry (the quantity the whole framework is priced
 // in): how much of the flip budget (Definition 3.2) an execution has spent,
 // how many sketch copies had their randomness revealed and were retired,

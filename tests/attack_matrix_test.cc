@@ -1,0 +1,131 @@
+// A small slice of the E21 attacks×methods matrix, pinned as a smoke test:
+//  * the paper's negative result — the adaptive rows (f2_drift and the
+//    arXiv:2101.10836-style hard instance) drive a static AMS sketch's
+//    relative error past 0.5 (not even a 2-approximation);
+//  * the framework's positive result — switching, paths, and dp defenders
+//    hold within alpha against the same attacks at the same seeds;
+//  * the fuzzer's randomized streams never break a robust defender or
+//    trick it into publishing a violated guarantee, across fixed seeds and
+//    both stream models (these are the streams CI replays under
+//    ASan+UBSan).
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "rs/adversary/attack.h"
+#include "rs/adversary/game.h"
+#include "rs/core/robust.h"
+#include "rs/sketch/ams_f2.h"
+
+namespace rs {
+namespace {
+
+constexpr double kEps = 0.4;
+constexpr double kRobustAlpha = kEps * 1.5;
+
+GameOptions MatrixOptions(double fail_eps, StreamModel model) {
+  GameOptions o;
+  o.max_steps = 1500;
+  o.fail_eps = fail_eps;
+  o.burn_in = 300;
+  o.params.n = 1 << 20;
+  o.params.m = uint64_t{1} << 22;
+  o.params.max_frequency = uint64_t{1} << 32;
+  o.params.model = model;
+  return o;
+}
+
+RobustConfig MatrixConfig(const GameOptions& options, Method method) {
+  RobustConfig cfg;
+  cfg.eps = kEps;
+  cfg.delta = 0.05;
+  cfg.stream = options.params;
+  cfg.method = method;
+  cfg.fp.p = 2.0;
+  cfg.dp.copies_override = 9;  // Keep the smoke tier fast.
+  return cfg;
+}
+
+TEST(AttackMatrixTest, AdaptiveRowsBreakTheObliviousAmsBaseline) {
+  for (const char* key : {"f2_drift", "hard_instance"}) {
+    const GameOptions options =
+        MatrixOptions(0.5, StreamModel::kInsertionOnly);
+    const auto attack = MakeAttack(key, options.params, 1000);
+    ASSERT_NE(attack, nullptr);
+    AmsLinearSketch sketch(32, 11);
+    const GameResult r = RunGame(sketch, *attack, TruthF2(), options);
+    EXPECT_TRUE(r.adversary_won) << key;
+    EXPECT_GT(r.max_rel_error, 0.5) << key;
+  }
+}
+
+TEST(AttackMatrixTest, RobustMethodsHoldAgainstTheSameRowsAndSeeds) {
+  struct Cell {
+    const char* task_key;
+    Method method;
+  };
+  for (const char* key : {"f2_drift", "hard_instance"}) {
+    for (const Cell& cell :
+         {Cell{"fp", Method::kSketchSwitching},
+          Cell{"fp", Method::kComputationPaths},
+          Cell{"dp_fp", Method::kDifferentialPrivacy}}) {
+      const GameOptions options =
+          MatrixOptions(kRobustAlpha, StreamModel::kInsertionOnly);
+      const GameVerdict v =
+          RunMatrixCell(key, 1000, cell.task_key,
+                        MatrixConfig(options, cell.method), 11, TruthF2(),
+                        options);
+      EXPECT_FALSE(v.broke)
+          << key << " vs " << cell.task_key << "/" << MethodKey(cell.method)
+          << ": max rel err " << v.max_rel_error << " at step "
+          << v.first_failure_step;
+      EXPECT_TRUE(v.holds)
+          << key << " vs " << cell.task_key << "/" << MethodKey(cell.method);
+      EXPECT_EQ(v.first_violation_step, 0u);
+    }
+  }
+}
+
+TEST(AttackMatrixTest, FuzzedStreamsNeverBreakARobustDefender) {
+  // Three fixed fuzzer seeds against the two turnstile-capable defenders:
+  // no error-budget break, no guarantee violation, no model forfeits.
+  for (const uint64_t seed : {101u, 202u, 303u}) {
+    for (const char* task_key : {"fp", "dp_fp"}) {
+      const Method method = std::string(task_key) == "fp"
+                                ? Method::kSketchSwitching
+                                : Method::kDifferentialPrivacy;
+      const GameOptions options =
+          MatrixOptions(kRobustAlpha, StreamModel::kTurnstile);
+      const GameVerdict v =
+          RunMatrixCell("fuzzer", seed, task_key,
+                        MatrixConfig(options, method), 11, TruthF2(),
+                        options);
+      EXPECT_FALSE(v.broke) << task_key << " seed " << seed << ": max rel err "
+                            << v.max_rel_error;
+      EXPECT_TRUE(v.holds) << task_key << " seed " << seed;
+      EXPECT_EQ(v.first_violation_step, 0u) << task_key << " seed " << seed;
+      EXPECT_EQ(v.steps, options.max_steps) << task_key << " seed " << seed
+                                            << ": " << v.termination;
+    }
+  }
+}
+
+TEST(AttackMatrixTest, FuzzerRespectsTheInsertionOnlyModelToo) {
+  // Under an insertion-only contract the fuzzer must disable its delete
+  // move; a single negative delta would forfeit ("rejected" termination).
+  for (const uint64_t seed : {101u, 202u, 303u}) {
+    const GameOptions options =
+        MatrixOptions(kRobustAlpha, StreamModel::kInsertionOnly);
+    const GameVerdict v = RunMatrixCell(
+        "fuzzer", seed, "fp",
+        MatrixConfig(options, Method::kSketchSwitching), 11, TruthF2(),
+        options);
+    EXPECT_EQ(v.steps, options.max_steps) << "seed " << seed << ": "
+                                          << v.termination;
+    EXPECT_FALSE(v.broke) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace rs

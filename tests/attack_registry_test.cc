@@ -1,0 +1,184 @@
+// The attack registry contract (rs/adversary/attack.h):
+//  * MakeAttack round-trips every key AttackKeys() reports;
+//  * construction is deterministic — same (key, params, seed) produces a
+//    bit-identical update sequence against identical scripted responses;
+//  * every built-in attack respects the StreamParams it was built from:
+//    items stay in [n], frequencies within [-M, M], insertion-only attacks
+//    never emit a negative delta. We do not trust the attacks to self-report
+//    this — every emitted update goes through a StreamValidator, the same
+//    referee the game harness uses.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rs/adversary/attack.h"
+#include "rs/stream/update.h"
+#include "rs/stream/validator.h"
+
+namespace rs {
+namespace {
+
+// A deterministic response script standing in for a defender: plausible
+// moving estimates plus guarantee telemetry that slowly spends flips and
+// eventually lapses (so budget-targeting attacks exercise their exploit
+// branch too).
+AdaptiveView ScriptedView(uint64_t step) {
+  AdaptiveView view;
+  view.step = step;
+  view.last_response = static_cast<double>((step * 37) % 1024) + 16.0;
+  view.has_guarantee = true;
+  view.guarantee.flip_budget = 40;
+  view.guarantee.flips_spent = step / 50;
+  view.guarantee.holds = view.guarantee.flips_spent < 40;
+  return view;
+}
+
+StreamParams SmallParams(StreamModel model) {
+  StreamParams p;
+  p.n = 1 << 16;
+  p.m = 1 << 14;
+  p.max_frequency = 1 << 20;
+  p.model = model;
+  return p;
+}
+
+TEST(AttackRegistryTest, KeysAreSortedAndContainEveryBuiltin) {
+  const std::vector<std::string> keys = AttackKeys();
+  for (const char* builtin :
+       {"oblivious", "ams", "f2_drift", "mean_drift", "sample_evasion",
+        "pq_collision", "hard_instance", "flip_flood", "turnstile_delete",
+        "fuzzer"}) {
+    EXPECT_NE(std::find(keys.begin(), keys.end(), builtin), keys.end())
+        << "missing builtin key " << builtin;
+  }
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+TEST(AttackRegistryTest, MakeAttackRoundTripsEveryKey) {
+  const StreamParams params = SmallParams(StreamModel::kInsertionOnly);
+  for (const std::string& key : AttackKeys()) {
+    const auto attack = MakeAttack(key, params, 7);
+    ASSERT_NE(attack, nullptr) << key;
+    EXPECT_FALSE(attack->Name().empty()) << key;
+    // Every attack has at least one move in it.
+    EXPECT_TRUE(attack->NextUpdate(ScriptedView(1)).has_value()) << key;
+  }
+}
+
+TEST(AttackRegistryTest, UnknownKeyReturnsNull) {
+  EXPECT_EQ(MakeAttack("no_such_attack",
+                       SmallParams(StreamModel::kInsertionOnly), 7),
+            nullptr);
+}
+
+TEST(AttackRegistryTest, SameSeedSameUpdateSequence) {
+  // Two instances from the same (key, params, seed), driven by identical
+  // scripted responses, must emit bit-identical update sequences — the
+  // reproducibility contract every matrix cell and CI artifact relies on.
+  for (StreamModel model :
+       {StreamModel::kInsertionOnly, StreamModel::kTurnstile}) {
+    const StreamParams params = SmallParams(model);
+    for (const std::string& key : AttackKeys()) {
+      auto a = MakeAttack(key, params, 12345);
+      auto b = MakeAttack(key, params, 12345);
+      for (uint64_t step = 1; step <= 1000; ++step) {
+        const AdaptiveView view = ScriptedView(step);
+        const std::optional<Update> ua = a->NextUpdate(view);
+        const std::optional<Update> ub = b->NextUpdate(view);
+        ASSERT_EQ(ua.has_value(), ub.has_value()) << key << " step " << step;
+        if (!ua.has_value()) break;
+        ASSERT_EQ(ua->item, ub->item) << key << " step " << step;
+        ASSERT_EQ(ua->delta, ub->delta) << key << " step " << step;
+      }
+    }
+  }
+}
+
+TEST(AttackRegistryTest, SeedReachesTheRandomizedAttacks) {
+  // Not a statistical test — only that the seed is actually plumbed through
+  // for the attacks whose schedules are randomized (identical sequences
+  // under different seeds would mean a plumbing bug). The deterministic
+  // schedules (sample_evasion, pq_collision) are exempt by design.
+  const StreamParams params = SmallParams(StreamModel::kInsertionOnly);
+  for (const char* key : {"oblivious", "fuzzer", "hard_instance"}) {
+    auto a = MakeAttack(key, params, 1);
+    auto b = MakeAttack(key, params, 2);
+    bool diverged = false;
+    for (uint64_t step = 1; step <= 1000 && !diverged; ++step) {
+      const AdaptiveView view = ScriptedView(step);
+      const std::optional<Update> ua = a->NextUpdate(view);
+      const std::optional<Update> ub = b->NextUpdate(view);
+      if (ua.has_value() != ub.has_value()) {
+        diverged = true;
+      } else if (ua.has_value()) {
+        diverged = ua->item != ub->item || ua->delta != ub->delta;
+      }
+    }
+    EXPECT_TRUE(diverged) << key;
+  }
+}
+
+TEST(AttackRegistryTest, EveryAttackStaysInsideItsStreamModel) {
+  // Drive each attack through the model referee. A single rejected update
+  // here means the attack would forfeit every game it plays.
+  for (StreamModel model :
+       {StreamModel::kInsertionOnly, StreamModel::kTurnstile}) {
+    const StreamParams params = SmallParams(model);
+    for (const std::string& key : AttackKeys()) {
+      auto attack = MakeAttack(key, params, 99);
+      StreamValidator validator(params);
+      for (uint64_t step = 1; step <= 2000; ++step) {
+        const std::optional<Update> u = attack->NextUpdate(ScriptedView(step));
+        if (!u.has_value()) break;
+        ASSERT_LT(u->item, params.n) << key << " step " << step;
+        if (model == StreamModel::kInsertionOnly) {
+          ASSERT_GT(u->delta, 0) << key << " step " << step;
+        }
+        ASSERT_TRUE(validator.Accept(*u))
+            << key << " step " << step << ": " << validator.error();
+      }
+    }
+  }
+}
+
+TEST(AttackRegistryTest, RegisterAttackExtendsTheRegistry) {
+  // The extension hook mirrors RegisterRobustTask: a new key becomes
+  // reachable from MakeAttack (and thus from the matrix harness) without
+  // touching call sites. The stub below is a well-behaved deterministic
+  // inserter so it cannot perturb the sweeps above if they run after this.
+  class UnitProbe : public Attack {
+   public:
+    explicit UnitProbe(const StreamParams& params) : n_(params.n) {}
+    std::optional<Update> NextUpdate(const AdaptiveView& view) override {
+      if (view.step > 16) return std::nullopt;
+      return Update{view.step % n_, 1};
+    }
+    std::string Name() const override { return "UnitProbe"; }
+
+   private:
+    uint64_t n_;
+  };
+
+  ASSERT_TRUE(RegisterAttack(
+      "unit_probe", [](const StreamParams& params, uint64_t /*seed*/) {
+        return std::unique_ptr<Attack>(new UnitProbe(params));
+      }));
+  // Double registration is refused, first factory wins.
+  EXPECT_FALSE(RegisterAttack(
+      "unit_probe", [](const StreamParams& params, uint64_t /*seed*/) {
+        return std::unique_ptr<Attack>(new UnitProbe(params));
+      }));
+
+  const StreamParams params = SmallParams(StreamModel::kInsertionOnly);
+  const auto attack = MakeAttack("unit_probe", params, 5);
+  ASSERT_NE(attack, nullptr);
+  EXPECT_EQ(attack->Name(), "UnitProbe");
+  const std::vector<std::string> keys = AttackKeys();
+  EXPECT_NE(std::find(keys.begin(), keys.end(), "unit_probe"), keys.end());
+}
+
+}  // namespace
+}  // namespace rs

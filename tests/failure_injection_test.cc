@@ -87,10 +87,10 @@ TEST(FailureInjectionTest, ValidatorRejectsAlphaViolation) {
 
 // --- Misbehaving adversary forfeits the game instead of crashing it. ---
 
-class ModelViolatingAdversary : public Adversary {
+class ModelViolatingAdversary : public Attack {
  public:
-  std::optional<rs::Update> NextUpdate(double, uint64_t step) override {
-    if (step < 5) return rs::Update{step, 1};
+  std::optional<rs::Update> NextUpdate(const AdaptiveView& view) override {
+    if (view.step < 5) return rs::Update{view.step, 1};
     return rs::Update{1, -100};  // Illegal in insertion-only.
   }
   std::string Name() const override { return "ModelViolating"; }

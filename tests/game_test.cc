@@ -6,6 +6,7 @@
 
 #include "rs/adversary/generic_attacks.h"
 #include "rs/core/robust.h"
+#include "rs/runtime/stream_hub.h"
 #include "rs/sketch/ams_f2.h"
 #include "rs/sketch/f1_counter.h"
 #include "rs/stream/generators.h"
@@ -24,22 +25,22 @@ GameOptions BasicOptions(uint64_t max_steps = 1000) {
 }
 
 // Adversary issuing items out of the domain after a few steps.
-class RuleBreaker : public Adversary {
+class RuleBreaker : public Attack {
  public:
-  std::optional<rs::Update> NextUpdate(double, uint64_t step) override {
-    if (step < 5) return rs::Update{1, 1};
+  std::optional<rs::Update> NextUpdate(const AdaptiveView& view) override {
+    if (view.step < 5) return rs::Update{1, 1};
     return rs::Update{uint64_t{1} << 63, 1};  // Out of domain.
   }
   std::string Name() const override { return "RuleBreaker"; }
 };
 
 // Adversary that stops after k updates.
-class ShortScript : public Adversary {
+class ShortScript : public Attack {
  public:
   explicit ShortScript(uint64_t k) : k_(k) {}
-  std::optional<rs::Update> NextUpdate(double, uint64_t step) override {
-    if (step > k_) return std::nullopt;
-    return rs::Update{step, 1};
+  std::optional<rs::Update> NextUpdate(const AdaptiveView& view) override {
+    if (view.step > k_) return std::nullopt;
+    return rs::Update{view.step, 1};
   }
   std::string Name() const override { return "ShortScript"; }
 
@@ -192,6 +193,98 @@ TEST(GameTest, RunRobustGameCarriesGuaranteeTelemetry) {
   EXPECT_EQ(result.defender, defender->Name());
   EXPECT_EQ(result.final_status.flips_spent, defender->output_changes());
   EXPECT_EQ(result.final_status.holds, !defender->exhausted());
+}
+
+// The generalized harness must give the SAME verdict whether a defender is
+// played directly (RunFacadeGame), as a sharded engine, or behind a
+// StreamHub tenant — same registry key, config, and explicit seed means the
+// same estimator, so the games are bit-identical.
+TEST(GameTest, HubHostedShardedStreamPlaysIdenticallyToTheDirectPath) {
+  RobustConfig config;
+  config.eps = 0.4;
+  config.delta = 0.05;
+  config.stream.n = 1 << 20;
+  config.stream.m = 1 << 20;
+  config.engine.task = Task::kF0;
+  // Publish at short merge boundaries so the game scores live output.
+  config.engine.merge_period = 64;
+
+  GameOptions options = BasicOptions(2000);
+  options.fail_eps = 0.6;
+  options.burn_in = 300;
+
+  F2DriftAttack direct_attack({.n = 1 << 20, .spike = 64, .seed = 7});
+  const RobustGameResult direct = RunFacadeGame(
+      "sharded", config, 77, direct_attack, TruthF0(), options);
+
+  runtime::StreamHub hub;
+  ASSERT_TRUE(hub.CreateStream("tenant", "sharded", config, 77).ok());
+  F2DriftAttack hub_attack({.n = 1 << 20, .spike = 64, .seed = 7});
+  const RobustGameResult hosted =
+      RunHubGame(hub, "tenant", hub_attack, TruthF0(), options);
+
+  EXPECT_EQ(hosted.game.steps, direct.game.steps);
+  EXPECT_DOUBLE_EQ(hosted.game.max_rel_error, direct.game.max_rel_error);
+  EXPECT_DOUBLE_EQ(hosted.game.final_estimate, direct.game.final_estimate);
+  EXPECT_EQ(hosted.game.first_failure_step, direct.game.first_failure_step);
+  EXPECT_EQ(hosted.game.adversary_won, direct.game.adversary_won);
+  EXPECT_EQ(hosted.first_violation_step, direct.first_violation_step);
+  EXPECT_EQ(hosted.final_status.flips_spent, direct.final_status.flips_spent);
+  EXPECT_EQ(hosted.final_status.holds, direct.final_status.holds);
+  EXPECT_EQ(hosted.defender, "hub:tenant");
+}
+
+TEST(GameTest, HubHostedDpStreamPlaysIdenticallyToTheDirectPath) {
+  // Same agreement for a non-engine-backed registry key: the hub hosts
+  // dp_f0 through the same MakeRobust factory the direct path uses.
+  RobustConfig config;
+  config.eps = 0.4;
+  config.delta = 0.05;
+  config.stream.n = 1 << 20;
+  config.stream.m = 1 << 20;
+  config.dp.copies_override = 9;
+
+  GameOptions options = BasicOptions(1500);
+  options.fail_eps = 0.6;
+  options.burn_in = 300;
+
+  F2DriftAttack direct_attack({.n = 1 << 20, .spike = 64, .seed = 9});
+  const RobustGameResult direct =
+      RunFacadeGame("dp_f0", config, 55, direct_attack, TruthF0(), options);
+
+  runtime::StreamHub hub;
+  ASSERT_TRUE(hub.CreateStream("tenant", "dp_f0", config, 55).ok());
+  F2DriftAttack hub_attack({.n = 1 << 20, .spike = 64, .seed = 9});
+  const RobustGameResult hosted =
+      RunHubGame(hub, "tenant", hub_attack, TruthF0(), options);
+
+  EXPECT_EQ(hosted.game.steps, direct.game.steps);
+  EXPECT_DOUBLE_EQ(hosted.game.max_rel_error, direct.game.max_rel_error);
+  EXPECT_DOUBLE_EQ(hosted.game.final_estimate, direct.game.final_estimate);
+  EXPECT_EQ(hosted.game.adversary_won, direct.game.adversary_won);
+  EXPECT_EQ(hosted.final_status.flips_spent, direct.final_status.flips_spent);
+  EXPECT_EQ(hosted.final_status.holds, direct.final_status.holds);
+}
+
+TEST(GameTest, VerdictFromReducesARobustGame) {
+  RobustConfig config;
+  config.eps = 0.4;
+  config.stream.n = 1 << 12;
+  const auto defender = MakeRobust(Task::kF0, config, 3);
+  ASSERT_NE(defender, nullptr);
+  ShortScript script(600);
+  const RobustGameResult result =
+      RunRobustGame(*defender, script, TruthF0(), BasicOptions(1000));
+  const GameVerdict v = VerdictFrom("short_script", "f0", result);
+  EXPECT_EQ(v.attack, "short_script");
+  EXPECT_EQ(v.defender, "f0");
+  EXPECT_EQ(v.steps, result.game.steps);
+  EXPECT_DOUBLE_EQ(v.max_rel_error, result.game.max_rel_error);
+  EXPECT_EQ(v.flips_spent, result.final_status.flips_spent);
+  EXPECT_EQ(v.flip_budget, result.final_status.flip_budget);
+  EXPECT_EQ(v.holds, result.final_status.holds);
+  EXPECT_EQ(v.broke, result.game.adversary_won);
+  EXPECT_EQ(v.termination, result.game.termination);
 }
 
 TEST(GameTest, ObliviousAdversaryReplaysStream) {

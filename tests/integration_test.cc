@@ -44,17 +44,17 @@ TEST(IntegrationTest, RobustF0VersusAdaptiveProbeAdversary) {
   // A bespoke adaptive adversary for F0: it inserts fresh items only when
   // the published estimate moved recently, and replays old items otherwise —
   // probing for staleness. The robust wrapper's envelope must hold anyway.
-  class StalenessProbe : public Adversary {
+  class StalenessProbe : public Attack {
    public:
-    std::optional<rs::Update> NextUpdate(double response,
-                                         uint64_t step) override {
-      const bool moved = response != last_response_;
-      last_response_ = response;
-      if (moved || step < 100) {
+    std::optional<rs::Update> NextUpdate(const AdaptiveView& view) override {
+      const bool moved = view.last_response != last_response_;
+      last_response_ = view.last_response;
+      if (moved || view.step < 100) {
         return rs::Update{next_fresh_++, 1};
       }
       // Replay an old item (does not change F0).
-      return rs::Update{(step * 13) % std::max<uint64_t>(1, next_fresh_), 1};
+      return rs::Update{(view.step * 13) % std::max<uint64_t>(1, next_fresh_),
+                        1};
     }
     std::string Name() const override { return "StalenessProbe"; }
 
@@ -85,16 +85,15 @@ TEST(IntegrationTest, StaticKmvDriftsUnderStalenessAttackButRobustDoesNot) {
   // a single KMV exposes its raw estimate (so the adversary can see exactly
   // when the sketch absorbs an item); the wrapped version hides it. We
   // measure the max error each suffers under the same adaptive schedule.
-  class FreshOnMoveAdversary : public Adversary {
+  class FreshOnMoveAdversary : public Attack {
    public:
-    std::optional<rs::Update> NextUpdate(double response,
-                                         uint64_t step) override {
+    std::optional<rs::Update> NextUpdate(const AdaptiveView& view) override {
       // Insert fresh items whenever output stalls, trying to outpace the
       // sketch; the schedule adapts to the response stream.
-      const bool moved = response != last_;
-      last_ = response;
+      const bool moved = view.last_response != last_;
+      last_ = view.last_response;
       (void)moved;
-      return rs::Update{step, 1};
+      return rs::Update{view.step, 1};
     }
     std::string Name() const override { return "FreshOnMove"; }
 
