@@ -206,7 +206,7 @@ struct RobustConfig {
   // field. Engine-specific rules for the "sharded" registry key live in
   // ValidateShardedConfig (rs/engine/sharded.h) — they validate the
   // `engine` sub-struct this method ignores.
-  Status Validate(Task task) const;
+  [[nodiscard]] Status Validate(Task task) const;
 };
 
 // Interface implemented by every robust wrapper: the Estimator contract
@@ -232,13 +232,13 @@ class RobustEstimator : public virtual Estimator {
 // Builds the robust estimator for `task` from the unified config. Every
 // invalid input returns a descriptive Status (RobustConfig::Validate) —
 // this function never aborts on caller-supplied parameters.
-Result<std::unique_ptr<RobustEstimator>> TryMakeRobust(
+[[nodiscard]] Result<std::unique_ptr<RobustEstimator>> TryMakeRobust(
     Task task, const RobustConfig& config, uint64_t seed);
 
 // String-keyed variant: TryMakeRobust("f0", ...). An unknown key is
 // kNotFound (RobustTaskKeys() lists the registered ones); a known key with
 // an invalid config reports the same statuses as the Task overload.
-Result<std::unique_ptr<RobustEstimator>> TryMakeRobust(
+[[nodiscard]] Result<std::unique_ptr<RobustEstimator>> TryMakeRobust(
     std::string_view task_key, const RobustConfig& config, uint64_t seed);
 
 // Abort-on-error convenience over TryMakeRobust, for construction from

@@ -78,7 +78,7 @@ class F2DiffEstimator : public DifferenceEstimator {
 // the coarsened per-copy AMS shape. The task is F2 (config.fp.p is ignored;
 // the F2 flip number prices the budget). Invalid configs come back as a
 // Status naming the offending field, never an abort.
-Result<std::unique_ptr<RobustEstimator>> TryMakeDpF2Diff(
+[[nodiscard]] Result<std::unique_ptr<RobustEstimator>> TryMakeDpF2Diff(
     const RobustConfig& config, uint64_t seed);
 
 // Abort-on-error convenience over TryMakeDpF2Diff (trusted configs only).

@@ -49,6 +49,7 @@ void ShardedRobust::SpawnCopy(size_t c) {
 }
 
 void ShardedRobust::Update(const rs::Update& u) {
+  rs::MutexLock lock(&mu_);
   const size_t s = ShardOf(u.item);
   // Every copy sees every update (Algorithm 1, line 6) — via the sub-sketch
   // that owns the update's shard.
@@ -56,8 +57,26 @@ void ShardedRobust::Update(const rs::Update& u) {
   if (++since_gate_ >= config_.merge_period) Gate();
 }
 
+// Worker body of UpdateBatch's fan-out. Runs on pool threads while the
+// spawning thread holds mu_ for the full spawn/join span, so no other
+// mutator can run; workers stripe over shards and therefore touch disjoint
+// (copy, shard) sub-sketch state. The analysis cannot model "my spawner
+// holds the lock", hence the opt-out.
+void ShardedRobust::WorkerApplyRuns(size_t w, size_t workers)
+    RS_NO_THREAD_SAFETY_ANALYSIS {
+  mu_.AssertHeld();  // held by the spawning thread across the join
+  for (size_t s = w; s < shard_runs_.size(); s += workers) {
+    const auto& run = shard_runs_[s];
+    if (run.empty()) continue;
+    for (auto& copy : copies_) {
+      copy[s]->UpdateBatch(run.data(), run.size());
+    }
+  }
+}
+
 void ShardedRobust::UpdateBatch(const rs::Update* ups, size_t count) {
   if (count == 0) return;
+  rs::MutexLock lock(&mu_);
   // Partition once, then tight per-(copy, shard) runs.
   for (auto& run : shard_runs_) run.clear();
   for (size_t i = 0; i < count; ++i) {
@@ -73,19 +92,11 @@ void ShardedRobust::UpdateBatch(const rs::Update* ups, size_t count) {
     }
   } else {
     // Shards own disjoint state, so striping shards across workers is
-    // race-free without locks.
+    // race-free without locks; mu_ stays held here across the join.
     std::vector<std::thread> pool;
     pool.reserve(workers);
     for (size_t w = 0; w < workers; ++w) {
-      pool.emplace_back([this, w, workers] {
-        for (size_t s = w; s < shard_runs_.size(); s += workers) {
-          const auto& run = shard_runs_[s];
-          if (run.empty()) continue;
-          for (auto& copy : copies_) {
-            copy[s]->UpdateBatch(run.data(), run.size());
-          }
-        }
-      });
+      pool.emplace_back([this, w, workers] { WorkerApplyRuns(w, workers); });
     }
     for (auto& t : pool) t.join();
   }
@@ -133,21 +144,42 @@ void ShardedRobust::Retire() {
   }
 }
 
-void ShardedRobust::ForcePublish() { Gate(); }
+void ShardedRobust::ForcePublish() {
+  rs::MutexLock lock(&mu_);
+  Gate();
+}
 
-void ShardedRobust::ApplyShardRun(size_t s, const rs::Update* ups,
-                                  size_t count) {
-  RS_CHECK(s < config_.shards);
+// The lock-free half of ApplyShardRun: one external worker per shard, each
+// confined to sub-sketch column s by the ShardOf routing contract
+// (RS_DCHECK-verified below), between two publish boundaries — so the
+// columns are disjoint and no mutator holding mu_ can run concurrently.
+// The analysis cannot express column disjointness, hence the opt-out.
+void ShardedRobust::ApplyShardRunUnlocked(size_t s, const rs::Update* ups,
+                                          size_t count)
+    RS_NO_THREAD_SAFETY_ANALYSIS {
 #ifndef NDEBUG
   for (size_t i = 0; i < count; ++i) RS_DCHECK(ShardOf(ups[i].item) == s);
 #endif
   for (auto& copy : copies_) copy[s]->UpdateBatch(ups, count);
+}
+
+void ShardedRobust::ApplyShardRun(size_t s, const rs::Update* ups,
+                                  size_t count) {
+  RS_CHECK(s < config_.shards);
+  ApplyShardRunUnlocked(s, ups, count);
+  // since_gate_ is the one scalar every per-shard worker touches; the
+  // unsynchronized `+=` here used to be a data race between two workers.
+  rs::MutexLock lock(&mu_);
   since_gate_ += count;
 }
 
-double ShardedRobust::Estimate() const { return published_; }
+double ShardedRobust::Estimate() const {
+  rs::MutexLock lock(&mu_);
+  return published_;
+}
 
 size_t ShardedRobust::SpaceBytes() const {
+  rs::MutexLock lock(&mu_);
   size_t total = sizeof(*this);
   for (const auto& copy : copies_) {
     for (const auto& sub : copy) total += sub->SpaceBytes();
@@ -156,15 +188,17 @@ size_t ShardedRobust::SpaceBytes() const {
 }
 
 rs::GuaranteeStatus ShardedRobust::GuaranteeStatus() const {
+  rs::MutexLock lock(&mu_);
   rs::GuaranteeStatus status;
   status.flips_spent = switches_;
-  status.flip_budget = flip_budget();
+  status.flip_budget = FlipBudgetLocked();
   status.copies_retired = retired_;
   status.holds = !exhausted_;
   return status;
 }
 
 void ShardedRobust::Snapshot(std::string* out) const {
+  rs::MutexLock lock(&mu_);
   WireWriter w(out);
   w.U32(kWireMagic);
   w.U32(kWireFormatVersion);
@@ -257,6 +291,10 @@ Status ShardedRobust::Restore(std::string_view data) {
     }
   }
 
+  // Commit. Restore is a publish-boundary operation (never concurrent
+  // with update traffic by contract), but mu_ still orders it against any
+  // in-flight telemetry reader.
+  rs::MutexLock lock(&mu_);
   seed_ = seed;
   config_.eps = eps;
   config_.shards = static_cast<size_t>(shards);

@@ -34,6 +34,8 @@
 #include "rs/hash/kwise.h"
 #include "rs/sketch/estimator.h"
 #include "rs/stream/update.h"
+#include "rs/util/status.h"
+#include "rs/util/sync.h"
 
 namespace rs {
 
@@ -90,8 +92,14 @@ class ShardedRobust : public RobustEstimator {
   std::string Name() const override { return config_.name; }
 
   // RobustEstimator telemetry (global across shards).
-  size_t output_changes() const override { return switches_; }
-  bool exhausted() const override { return exhausted_; }
+  size_t output_changes() const override {
+    rs::MutexLock lock(&mu_);
+    return switches_;
+  }
+  bool exhausted() const override {
+    rs::MutexLock lock(&mu_);
+    return exhausted_;
+  }
   rs::GuaranteeStatus GuaranteeStatus() const override;
 
   // Serializes the full engine state (config, gate state, and every
@@ -104,15 +112,25 @@ class ShardedRobust : public RobustEstimator {
   // not know — forwarded from rs/io/sketch_codec.h). The factory and
   // thread count of this instance are kept; everything else — including
   // shard/copy geometry and sub-sketch state — comes from the snapshot.
-  Status Restore(std::string_view data);
+  [[nodiscard]] Status Restore(std::string_view data);
 
   size_t shards() const { return config_.shards; }
-  size_t copies() const { return copies_.size(); }
   size_t merge_period() const { return config_.merge_period; }
-  size_t active_index() const { return active_; }
-  size_t retired() const { return retired_; }
+  size_t copies() const {
+    rs::MutexLock lock(&mu_);
+    return copies_.size();
+  }
+  size_t active_index() const {
+    rs::MutexLock lock(&mu_);
+    return active_;
+  }
+  size_t retired() const {
+    rs::MutexLock lock(&mu_);
+    return retired_;
+  }
   size_t flip_budget() const {
-    return config_.mode == PoolMode::kPool ? copies_.size() : 0;
+    rs::MutexLock lock(&mu_);
+    return FlipBudgetLocked();
   }
 
   size_t ShardOf(uint64_t item) const {
@@ -120,43 +138,78 @@ class ShardedRobust : public RobustEstimator {
   }
 
  private:
-  // Builds copy slot `c` fresh: S sub-sketches sharing one new seed.
-  void SpawnCopy(size_t c);
-  // Merged estimate of the active copy (clone shard 0, fold in the rest).
-  double MergedActiveEstimate() const;
-  // The Algorithm 1 gate on the merged active copy.
-  void Gate();
-  void Retire();
+  // Lock discipline (machine-checked under clang -Wthread-safety via
+  // rs/util/sync.h): mu_ guards the gate/telemetry state and the copy
+  // grid's structure. Update/UpdateBatch/ForcePublish/Restore and every
+  // telemetry read hold mu_ for their duration, which makes the engine
+  // internally synchronized for StreamHub-style callers. Two sanctioned
+  // exceptions run without mu_ and are annotated
+  // RS_NO_THREAD_SAFETY_ANALYSIS at their definitions:
+  //   * UpdateBatch's worker pool — the spawning thread holds mu_ across
+  //     the join, and workers touch only disjoint (copy, shard) sub-sketch
+  //     state;
+  //   * ApplyShardRun's run application — one external worker per shard,
+  //     disjoint sub-sketches by the ShardOf routing contract; the shared
+  //     since_gate_ counter it does touch is updated under mu_ (this was
+  //     previously an unsynchronized read-modify-write — a data race for
+  //     any two concurrent workers).
 
+  // Builds copy slot `c` fresh: S sub-sketches sharing one new seed.
+  void SpawnCopy(size_t c) RS_REQUIRES(mu_);
+  // Merged estimate of the active copy (clone shard 0, fold in the rest).
+  double MergedActiveEstimate() const RS_REQUIRES(mu_);
+  // The Algorithm 1 gate on the merged active copy.
+  void Gate() RS_REQUIRES(mu_);
+  void Retire() RS_REQUIRES(mu_);
+  size_t FlipBudgetLocked() const RS_REQUIRES(mu_) {
+    return config_.mode == PoolMode::kPool ? copies_.size() : 0;
+  }
+  // UpdateBatch's per-worker loop (runs while the spawning thread holds
+  // mu_ across the join; workers touch only disjoint sub-sketch state).
+  void WorkerApplyRuns(size_t w, size_t workers);
+  // The per-(copy, shard) fan-out of ApplyShardRun (lock-free by the
+  // shard-disjointness contract; see the discipline note above).
+  void ApplyShardRunUnlocked(size_t s, const rs::Update* ups, size_t count);
+
+  mutable rs::Mutex mu_;
+  // config_ and partition_ are written at construction and in Restore —
+  // which, like every geometry change, is a publish-boundary operation
+  // that is never concurrent with update traffic by contract — and read
+  // lock-free on the routing hot path (ShardOf), so they are deliberately
+  // not guarded: guarding them would deadlock ShardOf's use under mu_
+  // while adding no protection Restore's contract doesn't already give.
   Config config_;
   MergeableFactory factory_;
-  uint64_t seed_;
-  uint64_t spawn_count_ = 0;
-  KWiseHash partition_;  // Pairwise item -> shard router.
-  // copies_[c][s]: copy c's shard-s sub-sketch.
-  std::vector<std::vector<std::unique_ptr<MergeableEstimator>>> copies_;
-  size_t active_ = 0;
-  double published_;
-  size_t since_gate_ = 0;
-  size_t switches_ = 0;
-  size_t retired_ = 0;
-  bool exhausted_ = false;
+  uint64_t seed_ RS_GUARDED_BY(mu_);
+  uint64_t spawn_count_ RS_GUARDED_BY(mu_) = 0;
+  KWiseHash partition_;  // Pairwise item -> shard router; set at build.
+  // copies_[c][s]: copy c's shard-s sub-sketch. The grid structure is
+  // guarded; sub-sketch *contents* are additionally touched by the two
+  // annotated lock-free worker paths above.
+  std::vector<std::vector<std::unique_ptr<MergeableEstimator>>> copies_
+      RS_GUARDED_BY(mu_);
+  size_t active_ RS_GUARDED_BY(mu_) = 0;
+  double published_ RS_GUARDED_BY(mu_);
+  size_t since_gate_ RS_GUARDED_BY(mu_) = 0;
+  size_t switches_ RS_GUARDED_BY(mu_) = 0;
+  size_t retired_ RS_GUARDED_BY(mu_) = 0;
+  bool exhausted_ RS_GUARDED_BY(mu_) = false;
   // Per-shard scratch runs for UpdateBatch (kept hot across batches).
-  std::vector<std::vector<rs::Update>> shard_runs_;
+  std::vector<std::vector<rs::Update>> shard_runs_ RS_GUARDED_BY(mu_);
 };
 
 // Validation for the engine path: the rules RobustConfig::Validate leaves
 // to this layer (engine.shards/merge_period >= 1, engine.task in {kF0,
 // kFp}, and 0 < fp.p <= 2 on the p-stable path) plus the common rules of
 // the selected task. OK exactly when TryMakeShardedRobust will construct.
-Status ValidateShardedConfig(const RobustConfig& config);
+[[nodiscard]] Status ValidateShardedConfig(const RobustConfig& config);
 
 // Facade hook (registered under the "sharded" key in rs/core/robust.cc):
 // builds a ShardedRobust for config.engine.task — kF0 (KMV base) or kFp
 // with 0 < p <= 2 (p-stable base), sized exactly like the single-stream
 // sketch-switching constructions so benchmarks compare like for like.
 // Invalid configs come back as a Status naming the offending field.
-Result<std::unique_ptr<RobustEstimator>> TryMakeShardedRobust(
+[[nodiscard]] Result<std::unique_ptr<RobustEstimator>> TryMakeShardedRobust(
     const RobustConfig& config, uint64_t seed);
 
 // Abort-on-error convenience over TryMakeShardedRobust (trusted configs).

@@ -28,7 +28,7 @@ namespace rs {
 // Callers that only care about success keep checking ok(); callers that
 // route "corrupt, drop it" differently from "newer format, keep the bytes"
 // now can.
-Result<std::unique_ptr<MergeableEstimator>> DeserializeSketch(
+[[nodiscard]] Result<std::unique_ptr<MergeableEstimator>> DeserializeSketch(
     std::string_view data);
 
 // Peeks at the header without materializing the sketch. Returns false on a

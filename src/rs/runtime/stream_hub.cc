@@ -43,6 +43,30 @@ StreamHub::StreamHub(const StreamHubOptions& options) : options_(options) {
   stripes_ = std::vector<Stripe>(options_.lock_stripes);
 }
 
+StreamHub::AllStripesLock::AllStripesLock(const std::vector<Stripe>& stripes,
+                                          Mode mode)
+    : stripes_(stripes), mode_(mode) {
+  // Index order, always: with single-stripe holders never taking a second
+  // stripe, ordered acquisition here is what rules out deadlock.
+  for (const Stripe& stripe : stripes_) {
+    if (mode_ == Mode::kExclusive) {
+      stripe.mu.Lock();
+    } else {
+      stripe.mu.ReaderLock();
+    }
+  }
+}
+
+StreamHub::AllStripesLock::~AllStripesLock() {
+  for (const Stripe& stripe : stripes_) {
+    if (mode_ == Mode::kExclusive) {
+      stripe.mu.Unlock();
+    } else {
+      stripe.mu.ReaderUnlock();
+    }
+  }
+}
+
 size_t StreamHub::StripeOf(std::string_view name) const {
   return std::hash<std::string_view>{}(name) % stripes_.size();
 }
@@ -94,7 +118,7 @@ Status StreamHub::CreateStream(std::string_view name,
   RS_TRY(BuildEstimator(state.get()));
 
   Stripe& stripe = stripes_[StripeOf(name)];
-  std::lock_guard<std::mutex> lock(stripe.mu);
+  rs::MutexLock lock(&stripe.mu);
   const auto [it, inserted] =
       stripe.streams.emplace(state->name, std::move(state));
   (void)it;
@@ -112,7 +136,7 @@ Status StreamHub::CreateStream(std::string_view name, Task task,
 
 Status StreamHub::Update(std::string_view name, const rs::Update& u) {
   Stripe& stripe = stripes_[StripeOf(name)];
-  std::lock_guard<std::mutex> lock(stripe.mu);
+  rs::MutexLock lock(&stripe.mu);
   const auto it = stripe.streams.find(name);
   if (it == stripe.streams.end()) {
     return NotFound("no stream named " + QuotedName(name));
@@ -125,7 +149,7 @@ Status StreamHub::Update(std::string_view name, const rs::Update& u) {
 Status StreamHub::UpdateBatch(std::string_view name, const rs::Update* ups,
                               size_t count) {
   Stripe& stripe = stripes_[StripeOf(name)];
-  std::lock_guard<std::mutex> lock(stripe.mu);
+  rs::MutexLock lock(&stripe.mu);
   const auto it = stripe.streams.find(name);
   if (it == stripe.streams.end()) {
     return NotFound("no stream named " + QuotedName(name));
@@ -139,7 +163,7 @@ Status StreamHub::UpdateBatch(std::string_view name, const rs::Update* ups,
 
 Result<QueryResult> StreamHub::Query(std::string_view name) {
   Stripe& stripe = stripes_[StripeOf(name)];
-  std::lock_guard<std::mutex> lock(stripe.mu);
+  rs::MutexLock lock(&stripe.mu);
   const auto it = stripe.streams.find(name);
   if (it == stripe.streams.end()) {
     return NotFound("no stream named " + QuotedName(name));
@@ -156,7 +180,7 @@ Result<QueryResult> StreamHub::Query(std::string_view name) {
 
 Status StreamHub::EraseStream(std::string_view name) {
   Stripe& stripe = stripes_[StripeOf(name)];
-  std::lock_guard<std::mutex> lock(stripe.mu);
+  rs::MutexLock lock(&stripe.mu);
   const auto it = stripe.streams.find(name);
   if (it == stripe.streams.end()) {
     return NotFound("no stream named " + QuotedName(name));
@@ -168,7 +192,9 @@ Status StreamHub::EraseStream(std::string_view name) {
 std::vector<StreamInfo> StreamHub::ListStreams() const {
   std::vector<StreamInfo> infos;
   for (const Stripe& stripe : stripes_) {
-    std::lock_guard<std::mutex> lock(stripe.mu);
+    // Telemetry is a read: a shared lock excludes writers on this stripe
+    // but lets concurrent ListStreams / Snapshot readers proceed.
+    rs::ReaderMutexLock lock(&stripe.mu);
     for (const auto& [name, state] : stripe.streams) {
       StreamInfo info;
       info.name = name;
@@ -190,23 +216,22 @@ std::vector<StreamInfo> StreamHub::ListStreams() const {
 size_t StreamHub::stream_count() const {
   size_t count = 0;
   for (const Stripe& stripe : stripes_) {
-    std::lock_guard<std::mutex> lock(stripe.mu);
+    rs::ReaderMutexLock lock(&stripe.mu);
     count += stripe.streams.size();
   }
   return count;
 }
 
 Status StreamHub::Snapshot(std::string* out) const {
-  // Hub-wide consistency: hold every stripe for the duration, in index
-  // order (all-stripe lockers always use this order, per-stream operations
-  // take a single stripe — no cycle is possible).
-  std::vector<std::unique_lock<std::mutex>> locks;
-  locks.reserve(stripes_.size());
-  for (const Stripe& stripe : stripes_) locks.emplace_back(stripe.mu);
+  // Hub-wide consistency: hold every stripe for the duration. Shared mode
+  // suffices — a snapshot mutates nothing, so concurrent snapshots and
+  // telemetry reads proceed while writers are excluded.
+  AllStripesLock all(stripes_, AllStripesLock::Mode::kShared);
 
   // Canonical order (sorted names): equal hub state, identical bytes.
   std::vector<const StreamState*> states;
   for (const Stripe& stripe : stripes_) {
+    stripe.mu.AssertReaderHeld();  // via `all`, which the analysis can't see
     for (const auto& [name, state] : stripe.streams) {
       states.push_back(state.get());
     }
@@ -326,12 +351,14 @@ Status StreamHub::Restore(std::string_view data) {
   }
 
   // Commit atomically under all stripe locks (index order, as always).
-  std::vector<std::unique_lock<std::mutex>> locks;
-  locks.reserve(stripes_.size());
-  for (Stripe& stripe : stripes_) locks.emplace_back(stripe.mu);
-  for (Stripe& stripe : stripes_) stripe.streams.clear();
+  AllStripesLock all(stripes_, AllStripesLock::Mode::kExclusive);
+  for (Stripe& stripe : stripes_) {
+    stripe.mu.AssertHeld();  // via `all`, which the analysis can't see
+    stripe.streams.clear();
+  }
   for (auto& state : restored) {
     Stripe& stripe = stripes_[StripeOf(state->name)];
+    stripe.mu.AssertHeld();
     stripe.streams.emplace(state->name, std::move(state));
   }
   return Status::Ok();

@@ -37,7 +37,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -47,6 +46,7 @@
 #include "rs/engine/sharded.h"
 #include "rs/stream/update.h"
 #include "rs/util/status.h"
+#include "rs/util/sync.h"
 
 namespace rs {
 namespace runtime {
@@ -116,7 +116,7 @@ class StreamHub {
 
   // Estimate + guarantee + output-change flag. kNotFound for unknown
   // names. (Not const: the change flag is relative to the previous Query.)
-  Result<QueryResult> Query(std::string_view name);
+  [[nodiscard]] Result<QueryResult> Query(std::string_view name);
 
   // Removes a stream. kNotFound for unknown names.
   Status EraseStream(std::string_view name);
@@ -134,7 +134,7 @@ class StreamHub {
   // Replaces the hub's streams with a Snapshot() image, bit-exactly. On
   // any error (kDataLoss for corrupt envelopes, statuses forwarded from
   // config validation / engine restore) the hub is left untouched.
-  Status Restore(std::string_view data);
+  [[nodiscard]] Status Restore(std::string_view data);
 
  private:
   struct StreamState {
@@ -158,11 +158,36 @@ class StreamHub {
     }
   };
 
+  // Lock discipline (machine-checked under clang -Wthread-safety via
+  // rs/util/sync.h): per-stream operations hold exactly their stripe's mu
+  // (exclusive for mutation, shared for reads); hub-wide operations take
+  // every stripe in index order through AllStripesLock, which is the only
+  // multi-stripe locker — single-stripe holders never acquire a second
+  // stripe, so no cycle is possible.
   struct Stripe {
-    mutable std::mutex mu;
+    mutable rs::Mutex mu;
     std::unordered_map<std::string, std::unique_ptr<StreamState>, NameHash,
                        std::equal_to<>>
-        streams;
+        streams RS_GUARDED_BY(mu);
+  };
+
+  // RAII over the whole stripe vector, acquired in index order. The
+  // thread-safety analysis cannot model a dynamically sized lock set, so
+  // the ctor/dtor opt out; every guarded access under an AllStripesLock
+  // states its capability with stripe.mu.AssertHeld().
+  class AllStripesLock {
+   public:
+    enum class Mode { kShared, kExclusive };
+    AllStripesLock(const std::vector<Stripe>& stripes, Mode mode)
+        RS_NO_THREAD_SAFETY_ANALYSIS;  // dynamic lock set, see above
+    ~AllStripesLock() RS_NO_THREAD_SAFETY_ANALYSIS;
+
+    AllStripesLock(const AllStripesLock&) = delete;
+    AllStripesLock& operator=(const AllStripesLock&) = delete;
+
+   private:
+    const std::vector<Stripe>& stripes_;
+    Mode mode_;
   };
 
   size_t StripeOf(std::string_view name) const;

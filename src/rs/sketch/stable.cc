@@ -2,12 +2,12 @@
 
 #include <cmath>
 #include <map>
-#include <mutex>
 #include <vector>
 
 #include "rs/util/check.h"
 #include "rs/util/rng.h"
 #include "rs/util/stats.h"
+#include "rs/util/sync.h"
 
 namespace rs {
 
@@ -47,16 +47,34 @@ StableSampleTable::StableSampleTable(std::vector<double> samples)
   abs_median_ = Median(std::move(abs_samples));
 }
 
+namespace {
+
+// Lazily built calibration caches, keyed by alpha rounded to 1e-6. The
+// guarded_by annotations make the lock discipline compiler-checked under
+// clang -Wthread-safety; leaked function-local singletons keep the members
+// trivially destructible at shutdown.
+struct TableCache {
+  rs::Mutex mu;
+  std::map<long long, StableSampleTable*> tables RS_GUARDED_BY(mu);
+};
+
+struct MedianCache {
+  rs::Mutex mu;
+  std::map<long long, double> medians RS_GUARDED_BY(mu);
+};
+
+}  // namespace
+
 const StableSampleTable& StableSampleTable::Symmetric(double alpha) {
-  static std::mutex* mu = new std::mutex;
-  static std::map<long long, StableSampleTable*>* cache =
-      new std::map<long long, StableSampleTable*>;
+  static TableCache* cache = new TableCache;
   const long long key = std::llround(alpha * 1e6);
   {
-    std::lock_guard<std::mutex> lock(*mu);
-    auto it = cache->find(key);
-    if (it != cache->end()) return *it->second;
+    rs::MutexLock lock(&cache->mu);
+    auto it = cache->tables.find(key);
+    if (it != cache->tables.end()) return *it->second;
   }
+  // Build outside the lock: the fixed-seed sampling below is slow, and two
+  // racing builders deterministically produce identical tables.
   Rng rng(0x7AB1E'5000ULL + static_cast<uint64_t>(key));
   std::vector<double> samples;
   samples.reserve(kSize);
@@ -65,8 +83,8 @@ const StableSampleTable& StableSampleTable::Symmetric(double alpha) {
                                             rng.NextExponential()));
   }
   auto* table = new StableSampleTable(std::move(samples));
-  std::lock_guard<std::mutex> lock(*mu);
-  auto [it, inserted] = cache->emplace(key, table);
+  rs::MutexLock lock(&cache->mu);
+  auto [it, inserted] = cache->tables.emplace(key, table);
   if (!inserted) delete table;  // Lost a race; keep the first table.
   return *it->second;
 }
@@ -86,16 +104,12 @@ const StableSampleTable& StableSampleTable::SkewedOne() {
 }
 
 double SymmetricStableAbsMedian(double alpha) {
-  // Cache keyed by alpha rounded to 1e-6 (the sketches use a handful of
-  // fixed alphas). Function-local static pointer: trivially destructible per
-  // the style guide.
-  static std::mutex* mu = new std::mutex;
-  static std::map<long long, double>* cache = new std::map<long long, double>;
+  static MedianCache* cache = new MedianCache;
   const long long key = std::llround(alpha * 1e6);
   {
-    std::lock_guard<std::mutex> lock(*mu);
-    auto it = cache->find(key);
-    if (it != cache->end()) return it->second;
+    rs::MutexLock lock(&cache->mu);
+    auto it = cache->medians.find(key);
+    if (it != cache->medians.end()) return it->second;
   }
   // Fixed-seed Monte-Carlo calibration; deterministic across runs.
   Rng rng(0xCA11B'0000ULL + static_cast<uint64_t>(key));
@@ -108,8 +122,8 @@ double SymmetricStableAbsMedian(double alpha) {
     abs_samples.push_back(std::fabs(x));
   }
   const double med = Median(std::move(abs_samples));
-  std::lock_guard<std::mutex> lock(*mu);
-  (*cache)[key] = med;
+  rs::MutexLock lock(&cache->mu);
+  cache->medians[key] = med;
   return med;
 }
 

@@ -61,7 +61,13 @@ inline const char* StatusCodeName(StatusCode code) {
 
 // A code plus a message. The message of an error names the offending field
 // or byte range; the OK status carries no message.
-class Status {
+//
+// [[nodiscard]] on the class: any call that returns a Status (or Result)
+// by value and ignores it is a compile warning — promoted to an error in
+// the CI analyze build. An error the caller never looks at is a silently
+// swallowed failure, which is exactly the bug class this type exists to
+// prevent.
+class [[nodiscard]] Status {
  public:
   Status() = default;  // OK.
   Status(StatusCode code, std::string message)
@@ -119,7 +125,7 @@ inline Status Internal(std::string message) {
 // status()'s message of an OK result) is a programming error and aborts —
 // callers branch on ok() or use RS_ASSIGN_OR.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Implicit from a value (OK) or from a non-OK status, so factories can
   // `return estimator;` and `return InvalidArgument(...);` symmetrically.

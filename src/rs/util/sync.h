@@ -1,0 +1,155 @@
+// sync.h — capability-annotated synchronization primitives.
+//
+// The framework's concurrency claims (striped locking in the StreamHub,
+// the publish-boundary contract of the sharded engine, the lazily built
+// calibration caches in sketch/stable.cc) were previously enforced by
+// convention and by TSan runs that need the buggy schedule to fire. This
+// header makes them compile-time contracts: `rs::Mutex` is a capability in
+// the sense of clang's -Wthread-safety analysis, fields carry
+// RS_GUARDED_BY(mu), and functions declare what they acquire, require, or
+// exclude. Under clang, `-Wthread-safety -Werror` (the CI `analyze` job)
+// rejects any access to a guarded field without its lock; under other
+// compilers every annotation expands to nothing and the wrappers are plain
+// std::shared_mutex RAII.
+//
+// Usage:
+//   rs::Mutex mu;
+//   int counter RS_GUARDED_BY(mu);
+//   void Bump() { rs::MutexLock lock(&mu); ++counter; }   // checked
+//   int Read() const { rs::ReaderMutexLock lock(&mu); return counter; }
+//
+// The one sanctioned escape hatch is RS_NO_THREAD_SAFETY_ANALYSIS, for
+// lock patterns the analysis cannot model (dynamically sized lock sets,
+// shard-disjoint state). Every use must carry a comment proving the
+// exclusion by hand, and should pair guarded access with mu.AssertHeld()
+// so the reader sees the claimed capability at the access site.
+
+#ifndef RS_UTIL_SYNC_H_
+#define RS_UTIL_SYNC_H_
+
+#include <shared_mutex>
+
+// ---------------------------------------------------------------------------
+// Annotation macros (clang -Wthread-safety; no-op on other compilers).
+// Names and semantics follow the clang Thread Safety Analysis docs.
+// ---------------------------------------------------------------------------
+#if defined(__clang__)
+#define RS_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define RS_THREAD_ANNOTATION_(x)  // no-op outside clang
+#endif
+
+// Declares a class to be a capability (lockable) type.
+#define RS_CAPABILITY(x) RS_THREAD_ANNOTATION_(capability(x))
+
+// Declares an RAII class whose lifetime acquires/releases a capability.
+#define RS_SCOPED_CAPABILITY RS_THREAD_ANNOTATION_(scoped_lockable)
+
+// Data members: may only be read/written while holding the capability
+// (shared access suffices for reads).
+#define RS_GUARDED_BY(x) RS_THREAD_ANNOTATION_(guarded_by(x))
+#define RS_PT_GUARDED_BY(x) RS_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+// Lock-ordering declarations (deadlock detection).
+#define RS_ACQUIRED_BEFORE(...) \
+  RS_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define RS_ACQUIRED_AFTER(...) \
+  RS_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+// Function attributes: the caller must hold the capability on entry.
+#define RS_REQUIRES(...) \
+  RS_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define RS_REQUIRES_SHARED(...) \
+  RS_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+// Function attributes: the function acquires/releases the capability.
+#define RS_ACQUIRE(...) \
+  RS_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define RS_ACQUIRE_SHARED(...) \
+  RS_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define RS_RELEASE(...) \
+  RS_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define RS_RELEASE_SHARED(...) \
+  RS_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+#define RS_TRY_ACQUIRE(...) \
+  RS_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+// The function must NOT be called while holding the capability.
+#define RS_EXCLUDES(...) RS_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+// Tells the analysis to assume the capability is held (runtime no-op here;
+// used at guarded-access sites inside RS_NO_THREAD_SAFETY_ANALYSIS
+// patterns so the claimed lock is visible in the source).
+#define RS_ASSERT_CAPABILITY(x) RS_THREAD_ANNOTATION_(assert_capability(x))
+#define RS_ASSERT_SHARED_CAPABILITY(x) \
+  RS_THREAD_ANNOTATION_(assert_shared_capability(x))
+
+#define RS_RETURN_CAPABILITY(x) RS_THREAD_ANNOTATION_(lock_returned(x))
+
+// Escape hatch: disables the analysis for one function. Every use carries
+// a comment proving the exclusion by hand (see header comment).
+#define RS_NO_THREAD_SAFETY_ANALYSIS \
+  RS_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace rs {
+
+// A capability-annotated mutex supporting exclusive and shared (reader)
+// acquisition. Backed by std::shared_mutex; the annotations are the point —
+// fields declared RS_GUARDED_BY(mu) are compiler-checked under clang.
+class RS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() RS_ACQUIRE() { mu_.lock(); }
+  void Unlock() RS_RELEASE() { mu_.unlock(); }
+  bool TryLock() RS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  void ReaderLock() RS_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void ReaderUnlock() RS_RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool ReaderTryLock() RS_TRY_ACQUIRE(true) { return mu_.try_lock_shared(); }
+
+  // Annotation-only assertions: std::shared_mutex cannot report ownership,
+  // so these check nothing at runtime. They mark guarded accesses inside
+  // RS_NO_THREAD_SAFETY_ANALYSIS regions with the capability the
+  // surrounding code provides by construction.
+  void AssertHeld() const RS_ASSERT_CAPABILITY(this) {}
+  void AssertReaderHeld() const RS_ASSERT_SHARED_CAPABILITY(this) {}
+
+ private:
+  std::shared_mutex mu_;
+};
+
+// Exclusive-lock RAII. The scoped-capability annotation lets the analysis
+// treat the guard's lifetime as the span during which the mutex is held.
+class RS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) RS_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() RS_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+// Shared-lock (reader) RAII: excludes writers, admits other readers.
+class RS_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(Mutex* mu) RS_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_->ReaderLock();
+  }
+  ~ReaderMutexLock() RS_RELEASE() { mu_->ReaderUnlock(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+}  // namespace rs
+
+#endif  // RS_UTIL_SYNC_H_

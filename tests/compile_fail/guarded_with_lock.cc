@@ -1,0 +1,30 @@
+// Positive twin of guarded_without_lock.cc: the same guarded access with
+// the lock correctly held. This must compile cleanly under clang
+// -Wthread-safety -Werror, proving the negative check fails for the right
+// reason (the missing lock) and not because the fixture is unbuildable.
+
+#include "rs/util/sync.h"
+
+namespace {
+
+struct Striped {
+  rs::Mutex mu;
+  int counter RS_GUARDED_BY(mu) = 0;
+};
+
+int ReadWithLock(Striped& s) {
+  rs::MutexLock lock(&s.mu);
+  return s.counter;
+}
+
+int ReadWithReaderLock(Striped& s) {
+  rs::ReaderMutexLock lock(&s.mu);
+  return s.counter;
+}
+
+}  // namespace
+
+int main() {
+  Striped s;
+  return ReadWithLock(s) + ReadWithReaderLock(s);
+}

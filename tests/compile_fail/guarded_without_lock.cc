@@ -1,0 +1,29 @@
+// Negative-compile fixture: accessing an RS_GUARDED_BY field without its
+// mutex must NOT compile under clang -Wthread-safety -Werror. CMake
+// registers this translation unit as a WILL_FAIL ctest entry (see
+// rs_thread_safety_negative in CMakeLists.txt); if the analysis ever stops
+// firing — a broken macro, a compiler flag lost in a refactor — the test
+// turns red because this file starts compiling.
+//
+// The twin fixture guarded_with_lock.cc is the same access done correctly;
+// it must compile, proving the harness exercises the file at all.
+
+#include "rs/util/sync.h"
+
+namespace {
+
+struct Striped {
+  rs::Mutex mu;
+  int counter RS_GUARDED_BY(mu) = 0;
+};
+
+int ReadWithoutLock(Striped& s) {
+  return s.counter;  // BAD: no lock held; -Wthread-safety rejects this.
+}
+
+}  // namespace
+
+int main() {
+  Striped s;
+  return ReadWithoutLock(s);
+}

@@ -1,0 +1,126 @@
+// Tests for rs/util/sync.h: the runtime behavior of the annotated mutex
+// wrappers. (The *compile-time* behavior — that -Wthread-safety rejects an
+// unguarded access — is pinned by the clang-only negative-compile check in
+// tests/compile_fail/; these suites run under every compiler.)
+
+#include "rs/util/sync.h"
+
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace rs {
+namespace {
+
+TEST(Mutex, TryLockReflectsExclusiveHold) {
+  Mutex mu;
+  mu.Lock();
+  // Exclusive hold blocks every other acquisition mode (probed from a
+  // second thread: self-TryLock on a held std::shared_mutex is UB).
+  bool try_lock = true;
+  bool try_reader = true;
+  std::thread probe([&] {
+    try_lock = mu.TryLock();
+    try_reader = mu.ReaderTryLock();
+  });
+  probe.join();
+  EXPECT_FALSE(try_lock);
+  EXPECT_FALSE(try_reader);
+  mu.Unlock();
+  std::thread again([&] {
+    EXPECT_TRUE(mu.TryLock());
+    mu.Unlock();
+  });
+  again.join();
+}
+
+TEST(Mutex, ReadersShareWritersExclude) {
+  Mutex mu;
+  mu.ReaderLock();
+  bool second_reader = false;
+  bool writer = true;
+  std::thread probe([&] {
+    second_reader = mu.ReaderTryLock();
+    if (second_reader) mu.ReaderUnlock();
+    writer = mu.TryLock();
+  });
+  probe.join();
+  EXPECT_TRUE(second_reader);   // shared mode admits other readers
+  EXPECT_FALSE(writer);         // ... but excludes writers
+  mu.ReaderUnlock();
+}
+
+TEST(MutexLock, RaiiAcquiresForScopeAndReleasesAtExit) {
+  Mutex mu;
+  {
+    MutexLock lock(&mu);
+    bool acquired = true;
+    std::thread probe([&] { acquired = mu.TryLock(); });
+    probe.join();
+    EXPECT_FALSE(acquired);  // held for the guard's full scope
+  }
+  // Released at scope exit: a fresh TryLock must succeed.
+  std::thread probe([&] {
+    EXPECT_TRUE(mu.TryLock());
+    mu.Unlock();
+  });
+  probe.join();
+}
+
+TEST(ReaderMutexLock, RaiiSharedHold) {
+  Mutex mu;
+  {
+    ReaderMutexLock lock(&mu);
+    bool reader = false;
+    bool writer = true;
+    std::thread probe([&] {
+      reader = mu.ReaderTryLock();
+      if (reader) mu.ReaderUnlock();
+      writer = mu.TryLock();
+    });
+    probe.join();
+    EXPECT_TRUE(reader);
+    EXPECT_FALSE(writer);
+  }
+  std::thread probe([&] {
+    EXPECT_TRUE(mu.TryLock());
+    mu.Unlock();
+  });
+  probe.join();
+}
+
+TEST(Mutex, GuardedCounterUnderContention) {
+  struct Guarded {
+    Mutex mu;
+    int counter RS_GUARDED_BY(mu) = 0;
+  } g;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 1000;
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&g] {
+      for (int i = 0; i < kIncrements; ++i) {
+        MutexLock lock(&g.mu);
+        ++g.counter;
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  MutexLock lock(&g.mu);
+  EXPECT_EQ(g.counter, kThreads * kIncrements);
+}
+
+// The annotation-only assertions must be callable (and free) everywhere —
+// they exist so RS_NO_THREAD_SAFETY_ANALYSIS regions can state the
+// capability they rely on at the access site.
+TEST(Mutex, AssertionsAreRuntimeNoOps) {
+  Mutex mu;
+  MutexLock lock(&mu);
+  mu.AssertHeld();
+  mu.AssertReaderHeld();
+}
+
+}  // namespace
+}  // namespace rs

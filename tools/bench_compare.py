@@ -1,0 +1,207 @@
+#!/usr/bin/env python3
+"""Compares a fresh bench --json record against its committed baseline.
+
+Every bench driver emits the same record shape:
+
+    {"bench": "<name>", "columns": [...], "rows": [[cell, ...], ...]}
+
+Baselines for the headline benches (E17 batch throughput, E18 sharded
+throughput, E19 DP methods, E20 StreamHub, E21 attack matrix) are committed
+under bench/baselines/BENCH_<name>.json; CI re-runs the benches and calls
+this script so a silent perf or robustness regression fails the build.
+
+What is compared, and how strictly:
+
+  * Structure — bench name, column list, and the row-key set must match
+    exactly. A renamed column or a vanished row is a contract change that
+    should be reviewed via a baseline update, never slide through.
+  * Non-numeric cells — exact match. These are seed-deterministic verdicts
+    ("hold"/"BREAK", "bit-exact": "yes", termination reasons): the attack
+    matrix flipping one cell from hold to BREAK is precisely the regression
+    this gate exists to catch.
+  * Throughput-like numeric cells (column name containing "/s" or
+    "speedup") — current >= min-ratio * baseline (default 0.5: CI machines
+    are noisy and shared; a real regression from an accidental O(n) on the
+    hot path shows up as far more than 2x). Direction is one-sided — being
+    faster never fails.
+  * Other numeric cells (wall times, snapshot bytes, error magnitudes) —
+    reported with --verbose but not gated: they are machine- or
+    layout-dependent in ways a ratio threshold cannot police portably.
+
+Usage:
+    tools/bench_compare.py --baseline bench/baselines/BENCH_x.json \
+                           --current /tmp/BENCH_x.json [--min-ratio 0.5]
+    tools/bench_compare.py --baseline-dir bench/baselines \
+                           --current-dir /tmp/bench [--min-ratio 0.5]
+
+Exit codes: 0 within thresholds, 1 regression, 2 usage/IO error.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load(path):
+    with open(path, encoding="utf-8") as fh:
+        record = json.load(fh)
+    for field in ("bench", "columns", "rows"):
+        if field not in record:
+            raise ValueError(f"{path}: missing field {field!r}")
+    return record
+
+
+def is_throughput_column(name):
+    return "/s" in name or "speedup" in name.lower()
+
+
+def compare(baseline, current, min_ratio, verbose):
+    """Returns a list of failure strings (empty = pass)."""
+    failures = []
+    if baseline["bench"] != current["bench"]:
+        return [
+            f"bench name mismatch: baseline {baseline['bench']!r} vs "
+            f"current {current['bench']!r}"
+        ]
+    name = baseline["bench"]
+    if baseline["columns"] != current["columns"]:
+        return [
+            f"{name}: column mismatch — baseline {baseline['columns']} vs "
+            f"current {current['columns']} (regenerate the baseline if the "
+            "schema change is intentional)"
+        ]
+    columns = baseline["columns"]
+
+    # Rows are keyed on their leading label columns — the longest prefix of
+    # columns that is a string in every baseline row (the attack matrix
+    # needs (attack, defender); a single label column would collapse its
+    # rows). Falls back to column 0 for all-numeric leaders (stream_hub's
+    # tenant count).
+    label_width = 0
+    for i in range(len(columns)):
+        if all(
+            isinstance(row[i], str)
+            for row in baseline["rows"]
+            if i < len(row)
+        ):
+            label_width += 1
+        else:
+            break
+    label_width = max(1, label_width)
+
+    def keyed(rows):
+        return {
+            "/".join(str(c) for c in row[:label_width]): row for row in rows
+        }
+
+    base_rows, cur_rows = keyed(baseline["rows"]), keyed(current["rows"])
+    for missing in sorted(set(base_rows) - set(cur_rows)):
+        failures.append(f"{name}: row {missing!r} missing from current run")
+    for extra in sorted(set(cur_rows) - set(base_rows)):
+        failures.append(
+            f"{name}: new row {extra!r} has no baseline (regenerate "
+            "bench/baselines/ to admit it)"
+        )
+
+    for key in sorted(set(base_rows) & set(cur_rows)):
+        brow, crow = base_rows[key], cur_rows[key]
+        for col, bcell, ccell in zip(columns, brow, crow):
+            numeric = isinstance(bcell, (int, float)) and not isinstance(
+                bcell, bool
+            )
+            if not numeric:
+                if bcell != ccell:
+                    failures.append(
+                        f"{name}[{key}].{col}: {bcell!r} -> {ccell!r} "
+                        "(seed-deterministic cell changed)"
+                    )
+                continue
+            if not isinstance(ccell, (int, float)):
+                failures.append(
+                    f"{name}[{key}].{col}: numeric baseline {bcell!r} but "
+                    f"current {ccell!r}"
+                )
+                continue
+            if is_throughput_column(col):
+                floor = min_ratio * bcell
+                if ccell < floor:
+                    failures.append(
+                        f"{name}[{key}].{col}: {ccell:g} < {min_ratio:g}x "
+                        f"baseline {bcell:g} — throughput regression"
+                    )
+                elif verbose:
+                    print(f"  ok {name}[{key}].{col}: {bcell:g} -> {ccell:g}")
+            elif verbose and bcell != ccell:
+                print(
+                    f"  note {name}[{key}].{col}: {bcell:g} -> {ccell:g} "
+                    "(ungated)"
+                )
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(prog="bench_compare.py")
+    parser.add_argument("--baseline", help="single baseline JSON")
+    parser.add_argument("--current", help="single current JSON")
+    parser.add_argument("--baseline-dir", help="directory of baseline JSONs")
+    parser.add_argument("--current-dir", help="directory of current JSONs")
+    parser.add_argument(
+        "--min-ratio", type=float, default=0.5,
+        help="throughput floor as a fraction of baseline (default 0.5)",
+    )
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    pairs = []
+    if args.baseline and args.current:
+        pairs.append((args.baseline, args.current))
+    elif args.baseline_dir and args.current_dir:
+        for entry in sorted(os.listdir(args.baseline_dir)):
+            if not entry.endswith(".json"):
+                continue
+            current = os.path.join(args.current_dir, entry)
+            if not os.path.isfile(current):
+                print(
+                    f"bench_compare: no current record for {entry} — did "
+                    "the bench run?",
+                    file=sys.stderr,
+                )
+                return 2
+            pairs.append((os.path.join(args.baseline_dir, entry), current))
+        if not pairs:
+            print(
+                f"bench_compare: no *.json under {args.baseline_dir}",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        parser.print_usage(sys.stderr)
+        print(
+            "bench_compare: pass --baseline/--current or "
+            "--baseline-dir/--current-dir",
+            file=sys.stderr,
+        )
+        return 2
+
+    failures = []
+    for baseline_path, current_path in pairs:
+        try:
+            baseline, current = load(baseline_path), load(current_path)
+        except (OSError, ValueError, json.JSONDecodeError) as err:
+            print(f"bench_compare: {err}", file=sys.stderr)
+            return 2
+        failures.extend(
+            compare(baseline, current, args.min_ratio, args.verbose)
+        )
+
+    for failure in failures:
+        print(f"FAIL {failure}")
+    print(
+        f"bench_compare: {len(pairs)} record(s), {len(failures)} failure(s)"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,8 @@
+// Fixture: C assert() in library code. Linted as if it lived at
+// src/rs/engine/bad.cc — assert-use must flag it (vanishes under NDEBUG).
+#include <cassert>
+
+int Halve(int value) {
+  assert(value % 2 == 0);  // BAD: use RS_DCHECK / RS_CHECK instead
+  return value / 2;
+}

@@ -1,0 +1,15 @@
+// Fixture: what assert-use must NOT flag — the RS_* invariant macros,
+// identifiers merely containing "assert", static_assert, and prose.
+#define RS_CHECK(cond) ((cond) ? (void)0 : __builtin_trap())
+#define RS_DCHECK(cond) RS_CHECK(cond)
+
+static_assert(sizeof(int) >= 4, "ILP32+ platforms only");
+
+// assert() in a comment is fine.
+void AssertHeldShim() {}  // identifier containing "Assert" is fine
+
+int Halve(int value) {
+  RS_DCHECK(value % 2 == 0);  // OK: survives NDEBUG per policy
+  AssertHeldShim();
+  return value / 2;
+}

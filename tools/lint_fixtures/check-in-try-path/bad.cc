@@ -1,0 +1,23 @@
+// Fixture: RS_CHECK inside the abort-free Validate*/TryMake* surface.
+// Linted as if it lived at src/rs/core/bad.cc. Both definitions below must
+// be flagged by check-in-try-path: unvetted caller input flows through
+// them, so failures must come back as rs::Status, never as an abort.
+#define RS_CHECK(cond) ((cond) ? (void)0 : __builtin_trap())
+#define RS_CHECK_MSG(cond, msg) ((cond) ? (void)0 : __builtin_trap())
+
+struct Status {
+  static Status Ok() { return {}; }
+};
+struct Config {
+  int shards = 0;
+};
+
+Status ValidateConfig(const Config& config) {
+  RS_CHECK(config.shards > 0);  // BAD: aborts on caller input
+  return Status::Ok();
+}
+
+Status TryMakeEngine(const Config& config) {
+  RS_CHECK_MSG(config.shards < 64, "too many shards");  // BAD
+  return Status::Ok();
+}

@@ -1,0 +1,25 @@
+// Fixture: what check-in-try-path must NOT flag — Status returns in the
+// Try path, and RS_CHECK in functions outside the Validate*/TryMake*
+// naming contract (aborting Make* wrappers are the documented exception).
+#define RS_CHECK(cond) ((cond) ? (void)0 : __builtin_trap())
+
+struct Status {
+  static Status Ok() { return {}; }
+  static Status Invalid() { return {}; }
+};
+struct Config {
+  int shards = 0;
+};
+
+// Declarations are not definitions: nothing to scan.
+Status ValidateConfig(const Config& config);
+
+Status TryMakeEngine(const Config& config) {
+  if (config.shards <= 0) return Status::Invalid();  // OK: Status, no abort
+  return Status::Ok();
+}
+
+int MakeEngineOrDie(const Config& config) {
+  RS_CHECK(config.shards > 0);  // OK: Make* wrappers abort by contract
+  return config.shards;
+}

@@ -1,0 +1,14 @@
+// Fixture: unordered containers in the serialization layer. Linted as if
+// it lived at src/rs/io/bad.cc — iteration order would leak into the wire
+// format, so the io-unordered-container rule must flag every one.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+std::string Serialize() {
+  std::unordered_map<int, int> fields;   // BAD: order-dependent bytes
+  std::unordered_set<int> seen;          // BAD
+  std::string out;
+  for (const auto& [k, v] : fields) out += std::to_string(k + v);
+  return out + std::to_string(seen.size());
+}

@@ -1,0 +1,12 @@
+// Fixture: ordered containers in the serialization layer are fine, and
+// unordered containers OUTSIDE src/rs/io/ are out of the rule's scope
+// (rs_lint_test.py also lints this text under a non-io path).
+#include <map>
+#include <string>
+
+std::string Serialize() {
+  std::map<int, int> fields;  // OK: deterministic iteration order
+  std::string out;
+  for (const auto& [k, v] : fields) out += std::to_string(k + v);
+  return out;
+}

@@ -1,0 +1,10 @@
+// Fixture: <iostream> in a library header. Linted as if it lived at
+// src/rs/sketch/bad.h — iostream-in-header must flag the include.
+#ifndef RS_LINT_FIXTURE_BAD_H_
+#define RS_LINT_FIXTURE_BAD_H_
+
+#include <iostream>  // BAD: static initializers + logging in library code
+
+inline void Report(int value) { std::cout << value << "\n"; }
+
+#endif  // RS_LINT_FIXTURE_BAD_H_

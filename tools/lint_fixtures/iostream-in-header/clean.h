@@ -1,0 +1,12 @@
+// Fixture: what iostream-in-header must NOT flag — <ostream>/<iosfwd> in
+// headers (no static initializers), and <iostream> mentioned in comments.
+#ifndef RS_LINT_FIXTURE_CLEAN_H_
+#define RS_LINT_FIXTURE_CLEAN_H_
+
+// Drivers may include <iostream> themselves; this header must not.
+#include <iosfwd>
+#include <ostream>
+
+void Report(std::ostream& os, int value);
+
+#endif  // RS_LINT_FIXTURE_CLEAN_H_

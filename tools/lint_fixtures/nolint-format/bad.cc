@@ -1,0 +1,9 @@
+// Fixture: every malformed clang-tidy suppression nolint-format must flag.
+int Convert(long value) {
+  int a = value;  // NOLINT
+  int b = value;  // NOLINT(bugprone-narrowing-conversions)
+  int c = value;  // NOLINT: narrowing is intended here
+  // NOLINTNEXTLINE
+  int d = value;
+  return a + b + c + d;
+}

@@ -1,0 +1,9 @@
+// Fixture: well-formed suppressions — named check AND reason — which
+// nolint-format must accept.
+int Convert(long value) {
+  int a = value;  // NOLINT(bugprone-narrowing-conversions): caller clamps to int range
+  // NOLINTNEXTLINE(cppcoreguidelines-narrowing-conversions): mirror of the line above
+  int b = value;
+  int c = value;  // NOLINT(bugprone-foo, cert-bar-1): multi-check form with a reason
+  return a + b + c;
+}

@@ -1,0 +1,13 @@
+// Fixture: every unseeded randomness source the rand-source rule names.
+// Linted as if it lived at src/rs/sketch/bad.cc (see rs_lint_test.py).
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int Draw() {
+  std::srand(static_cast<unsigned>(time(nullptr)));  // BAD: srand + time()
+  std::random_device rd;                             // BAD: nondeterministic
+  std::mt19937 unseeded;                             // BAD: default seed
+  std::mt19937_64 also_unseeded{};                   // BAD: default seed
+  return rand() + static_cast<int>(rd() + unseeded() + also_unseeded());
+}

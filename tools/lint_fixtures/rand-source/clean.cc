@@ -1,0 +1,11 @@
+// Fixture: the sanctioned patterns the rand-source rule must NOT flag —
+// explicitly seeded generators, rs::Rng, and rule names in comments.
+#include <cstdint>
+#include <random>
+
+// Prose mentioning rand() or std::random_device must not trip the rule.
+uint64_t Draw(uint64_t seed) {
+  std::mt19937_64 seeded(seed);  // OK: seed supplied by the caller
+  const char* label = "rand() in a string literal is fine";
+  return seeded() + (label ? 1 : 0);
+}

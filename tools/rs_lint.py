@@ -1,0 +1,441 @@
+#!/usr/bin/env python3
+"""rs_lint — repo-specific determinism and API-invariant linter.
+
+Every guarantee in this codebase that clang-tidy cannot see is enforced
+here as a named, individually testable rule:
+
+  rand-source            All randomness flows through rs/util/rng (seeded
+                         SplitMix64/Rng). rand()/srand()/time()-seeding/
+                         std::random_device/argless std::mt19937 would break
+                         the bit-exact replay every attack and snapshot test
+                         relies on.
+  io-unordered-container The rs/io serialization layer must not touch
+                         unordered containers at all: iteration order is
+                         implementation-defined, so a snapshot written
+                         through one would not be canonical bytes.
+  check-in-try-path      Validate*/TryMake* functions are the abort-free
+                         surface of the error model: a config no caller has
+                         vetted yet flows through them, so RS_CHECK (which
+                         aborts the process) is banned inside their bodies —
+                         failures must come back as rs::Status.
+  iostream-in-header     Library headers must not include <iostream>: it
+                         drags static iostream initializers into every
+                         translation unit and invites ad-hoc logging in
+                         library code (drivers/tests own their output).
+  assert-use             C assert() is banned in src/: it vanishes under
+                         NDEBUG and bypasses the RS_CHECK/RS_DCHECK policy
+                         (and the Status model for input-dependent errors).
+  nolint-format          Every clang-tidy suppression must be justified:
+                         `// NOLINT(<check>): <reason>`. A bare NOLINT (no
+                         named check or no reason) is itself a finding.
+
+Findings print as `path:line: [rule] message`; the exit status is 0 when
+clean, 1 with findings, 2 on usage errors. A finding can be suppressed on
+its line with an in-repo justification comment:
+
+    // rs_lint: allow(<rule>) <reason>
+
+The reason is mandatory — an allow without one does not suppress.
+
+Usage:
+    tools/rs_lint.py [--root DIR] [--rules id[,id...]] [--list-rules]
+                     [paths ...]
+
+With no explicit paths, scans src/, tests/, bench/, and examples/ under
+--root (default: the repository containing this script). Fixture trees for
+the self-test live in tools/lint_fixtures/<rule>/ (bad_* must be flagged by
+the rule, clean_* must pass) and are exercised by tools/rs_lint_test.py,
+registered as the `rs_lint_selftest` ctest entry; `rs_lint_repo` runs this
+script over the actual tree. Both are in the `smoke` label and in the CI
+`analyze` job.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+DEFAULT_TREES = ("src", "tests", "bench", "examples")
+CXX_EXTENSIONS = (".h", ".cc", ".cpp")
+
+ALLOW_RE = re.compile(r"rs_lint:\s*allow\(([\w-]+)\)\s*(\S.*)?")
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments and string/char literals, preserving line structure.
+
+    A deliberately small scanner (no raw strings, no trigraphs — the repo
+    uses neither): enough that rule regexes never fire on prose or quoted
+    text, while line numbers keep matching the original file.
+    """
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            out.append("\n" if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line  # 1-based
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+# ---------------------------------------------------------------------------
+# Rules. Each is a function (relpath, raw_lines, code_lines) -> [Finding];
+# relpath uses forward slashes relative to --root. code_lines come from
+# strip_comments_and_strings, so string/comment text never matches.
+# ---------------------------------------------------------------------------
+
+RAND_PATTERNS = (
+    (re.compile(r"\brand\s*\("), "rand()"),
+    (re.compile(r"\bsrand\s*\("), "srand()"),
+    (re.compile(r"\bstd\s*::\s*random_device\b"), "std::random_device"),
+    (re.compile(r"\btime\s*\(\s*(NULL|nullptr|0)?\s*\)"), "time()"),
+    (
+        re.compile(r"\bstd\s*::\s*mt19937(_64)?\s*\(\s*\)"),
+        "default-constructed std::mt19937",
+    ),
+    (
+        re.compile(r"\bstd\s*::\s*mt19937(_64)?\s+\w+\s*(;|\{\s*\})"),
+        "default-constructed std::mt19937",
+    ),
+)
+
+
+def rule_rand_source(relpath, raw_lines, code_lines):
+    del raw_lines
+    # rs/util/rng owns the one seeded generator; everything else must be
+    # fed a seed explicitly.
+    if relpath.startswith("src/rs/util/rng"):
+        return []
+    findings = []
+    for i, line in enumerate(code_lines, 1):
+        for pattern, what in RAND_PATTERNS:
+            if pattern.search(line):
+                findings.append(
+                    Finding(
+                        relpath,
+                        i,
+                        "rand-source",
+                        f"{what} breaks seed-exact replay; draw from a "
+                        "seeded rs::Rng (rs/util/rng.h) instead",
+                    )
+                )
+    return findings
+
+
+UNORDERED_RE = re.compile(r"\bunordered_(map|set|multimap|multiset)\b")
+
+
+def rule_io_unordered_container(relpath, raw_lines, code_lines):
+    del raw_lines
+    if not relpath.startswith("src/rs/io/"):
+        return []
+    findings = []
+    for i, line in enumerate(code_lines, 1):
+        m = UNORDERED_RE.search(line)
+        if m:
+            findings.append(
+                Finding(
+                    relpath,
+                    i,
+                    "io-unordered-container",
+                    f"std::{m.group(0)} in the serialization layer: "
+                    "iteration order is implementation-defined, so wire "
+                    "bytes would not be canonical — use an ordered "
+                    "container or sort before writing",
+                )
+            )
+    return findings
+
+
+CHECK_RE = re.compile(r"\bRS_CHECK(_MSG)?\s*\(")
+TRY_FUNC_NAME_RE = re.compile(r"\b(?:[A-Za-z_]\w*::)?((?:Validate|TryMake)\w*)\s*\(")
+
+
+def _function_spans(code_text):
+    """Yields (name, start_line, end_line) for Validate*/TryMake* definitions.
+
+    Finds a candidate name, skips its parameter list via paren matching,
+    and if the next token opens a brace, tracks it to the matching close.
+    Declarations (ending in ';') are skipped.
+    """
+    for m in TRY_FUNC_NAME_RE.finditer(code_text):
+        name = m.group(1)
+        i = code_text.find("(", m.end() - 1)
+        if i < 0:
+            continue
+        depth = 1
+        i += 1
+        while i < len(code_text) and depth:
+            if code_text[i] == "(":
+                depth += 1
+            elif code_text[i] == ")":
+                depth -= 1
+            i += 1
+        # Skip qualifiers between ')' and '{' (const, noexcept, attributes).
+        while i < len(code_text) and code_text[i] not in "{};":
+            i += 1
+        if i >= len(code_text) or code_text[i] != "{":
+            continue
+        start_line = code_text.count("\n", 0, i) + 1
+        depth = 1
+        i += 1
+        while i < len(code_text) and depth:
+            if code_text[i] == "{":
+                depth += 1
+            elif code_text[i] == "}":
+                depth -= 1
+            i += 1
+        end_line = code_text.count("\n", 0, i) + 1
+        yield name, start_line, end_line
+
+
+def rule_check_in_try_path(relpath, raw_lines, code_lines):
+    del raw_lines
+    if not relpath.startswith("src/"):
+        return []
+    code_text = "\n".join(code_lines)
+    findings = []
+    for name, start, end in _function_spans(code_text):
+        for i in range(start, min(end, len(code_lines)) + 1):
+            if CHECK_RE.search(code_lines[i - 1]):
+                findings.append(
+                    Finding(
+                        relpath,
+                        i,
+                        "check-in-try-path",
+                        f"RS_CHECK inside {name}(): the Validate/TryMake "
+                        "surface is abort-free by contract — return an "
+                        "rs::Status naming the offending field instead",
+                    )
+                )
+    return findings
+
+
+IOSTREAM_RE = re.compile(r'#\s*include\s*<iostream>')
+
+
+def rule_iostream_in_header(relpath, raw_lines, code_lines):
+    del raw_lines
+    if not (relpath.startswith("src/") and relpath.endswith(".h")):
+        return []
+    findings = []
+    for i, line in enumerate(code_lines, 1):
+        if IOSTREAM_RE.search(line):
+            findings.append(
+                Finding(
+                    relpath,
+                    i,
+                    "iostream-in-header",
+                    "<iostream> in a library header drags static stream "
+                    "initializers into every TU; library code reports "
+                    "through rs::Status — printing belongs to drivers",
+                )
+            )
+    return findings
+
+
+ASSERT_RE = re.compile(r"(?<![\w_])assert\s*\(")
+
+
+def rule_assert_use(relpath, raw_lines, code_lines):
+    del raw_lines
+    if not relpath.startswith("src/"):
+        return []
+    findings = []
+    for i, line in enumerate(code_lines, 1):
+        if ASSERT_RE.search(line):
+            findings.append(
+                Finding(
+                    relpath,
+                    i,
+                    "assert-use",
+                    "C assert() vanishes under NDEBUG; use RS_CHECK / "
+                    "RS_DCHECK (rs/util/check.h) for invariants or "
+                    "rs::Status for input-dependent failures",
+                )
+            )
+    return findings
+
+
+NOLINT_ANY_RE = re.compile(r"\bNOLINT(NEXTLINE)?\b")
+NOLINT_GOOD_RE = re.compile(
+    r"//\s*NOLINT(NEXTLINE)?\(([\w.-]+)(\s*,\s*[\w.-]+)*\)\s*:\s*\S"
+)
+
+
+def rule_nolint_format(relpath, raw_lines, code_lines):
+    del code_lines  # NOLINT lives in comments: scan the raw text.
+    findings = []
+    for i, line in enumerate(raw_lines, 1):
+        if NOLINT_ANY_RE.search(line) and not NOLINT_GOOD_RE.search(line):
+            findings.append(
+                Finding(
+                    relpath,
+                    i,
+                    "nolint-format",
+                    "clang-tidy suppressions must name the check and the "
+                    "reason: `// NOLINT(<check>): <reason>`",
+                )
+            )
+    return findings
+
+
+RULES = {
+    "rand-source": rule_rand_source,
+    "io-unordered-container": rule_io_unordered_container,
+    "check-in-try-path": rule_check_in_try_path,
+    "iostream-in-header": rule_iostream_in_header,
+    "assert-use": rule_assert_use,
+    "nolint-format": rule_nolint_format,
+}
+
+
+def lint_text(relpath, text, rules=None):
+    """Lints one file's contents; returns surviving findings."""
+    raw_lines = text.split("\n")
+    code_lines = strip_comments_and_strings(text).split("\n")
+    findings = []
+    for rule_id in rules or RULES:
+        findings.extend(RULES[rule_id](relpath, raw_lines, code_lines))
+    # Same-line suppressions, justified only.
+    kept = []
+    for f in findings:
+        raw = raw_lines[f.line - 1] if f.line - 1 < len(raw_lines) else ""
+        m = ALLOW_RE.search(raw)
+        if m and m.group(1) == f.rule and m.group(2):
+            continue
+        kept.append(f)
+    return kept
+
+
+def collect_files(root, paths):
+    files = []
+    for p in paths:
+        absolute = p if os.path.isabs(p) else os.path.join(root, p)
+        if os.path.isfile(absolute):
+            files.append(absolute)
+            continue
+        for dirpath, _, names in os.walk(absolute):
+            for name in sorted(names):
+                if name.endswith(CXX_EXTENSIONS):
+                    files.append(os.path.join(dirpath, name))
+    return files
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="rs_lint.py", description=__doc__.split("\n", 1)[0]
+    )
+    parser.add_argument(
+        "--root",
+        default=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        help="repository root (default: the repo containing this script)",
+    )
+    parser.add_argument(
+        "--rules",
+        default="",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print rule ids and exit"
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=f"files or directories to lint (default: {'/'.join(DEFAULT_TREES)})",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id in RULES:
+            print(rule_id)
+        return 0
+
+    rules = None
+    if args.rules:
+        rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+        unknown = [r for r in rules if r not in RULES]
+        if unknown:
+            print(f"rs_lint: unknown rule(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+
+    root = os.path.abspath(args.root)
+    paths = args.paths or [t for t in DEFAULT_TREES
+                           if os.path.isdir(os.path.join(root, t))]
+    findings = []
+    for path in collect_files(root, paths):
+        relpath = os.path.relpath(path, root).replace(os.sep, "/")
+        try:
+            with open(path, encoding="utf-8") as fh:
+                text = fh.read()
+        except (OSError, UnicodeDecodeError) as err:
+            print(f"rs_lint: cannot read {relpath}: {err}", file=sys.stderr)
+            return 2
+        findings.extend(lint_text(relpath, text, rules))
+
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"rs_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,216 @@
+#!/usr/bin/env python3
+"""Self-test for tools/rs_lint.py — the `rs_lint_selftest` ctest entry.
+
+Each rule is pinned by a bad/clean fixture pair under
+tools/lint_fixtures/<rule>/: the bad fixture must produce at least one
+finding OF THAT RULE, the clean twin must produce none under ANY rule.
+Fixtures are linted under a pretend in-tree path (second tuple element)
+because several rules are path-scoped (src/rs/io/, headers, src/).
+
+Beyond the fixtures, the unit tests pin the machinery the rules share:
+comment/string stripping, the justified-suppression contract, rule path
+scoping, and the CLI exit codes the ctest entries and CI rely on.
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TOOLS_DIR = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, TOOLS_DIR)
+
+import rs_lint  # noqa: E402
+
+FIXTURES = os.path.join(TOOLS_DIR, "lint_fixtures")
+
+# rule id -> (bad fixture, pretend path, clean fixture, pretend path)
+CASES = {
+    "rand-source": (
+        "bad.cc", "src/rs/sketch/bad.cc",
+        "clean.cc", "src/rs/sketch/clean.cc",
+    ),
+    "io-unordered-container": (
+        "bad.cc", "src/rs/io/bad.cc",
+        "clean.cc", "src/rs/io/clean.cc",
+    ),
+    "check-in-try-path": (
+        "bad.cc", "src/rs/core/bad.cc",
+        "clean.cc", "src/rs/core/clean.cc",
+    ),
+    "iostream-in-header": (
+        "bad.h", "src/rs/sketch/bad.h",
+        "clean.h", "src/rs/sketch/clean.h",
+    ),
+    "assert-use": (
+        "bad.cc", "src/rs/engine/bad.cc",
+        "clean.cc", "src/rs/engine/clean.cc",
+    ),
+    "nolint-format": (
+        "bad.cc", "src/rs/core/nolint_bad.cc",
+        "clean.cc", "src/rs/core/nolint_clean.cc",
+    ),
+}
+
+
+def read_fixture(rule, name):
+    with open(os.path.join(FIXTURES, rule, name), encoding="utf-8") as fh:
+        return fh.read()
+
+
+class FixtureTest(unittest.TestCase):
+    def test_every_rule_has_a_fixture_pair(self):
+        self.assertEqual(sorted(CASES), sorted(rs_lint.RULES))
+
+    def test_bad_fixtures_are_flagged_by_their_rule(self):
+        for rule, (bad, bad_path, _, _) in CASES.items():
+            with self.subTest(rule=rule):
+                text = read_fixture(rule, bad)
+                findings = rs_lint.lint_text(bad_path, text, rules=[rule])
+                self.assertTrue(
+                    findings,
+                    f"{rule}: bad fixture produced no findings",
+                )
+                self.assertTrue(
+                    all(f.rule == rule for f in findings),
+                    f"{rule}: unexpected rules in {findings}",
+                )
+
+    def test_clean_fixtures_pass_all_rules(self):
+        for rule, (_, _, clean, clean_path) in CASES.items():
+            with self.subTest(rule=rule):
+                text = read_fixture(rule, clean)
+                findings = rs_lint.lint_text(clean_path, text)
+                self.assertEqual(
+                    [], [str(f) for f in findings],
+                    f"{rule}: clean fixture was flagged",
+                )
+
+    def test_bad_fixture_finding_counts(self):
+        # Pin the exact number of sites each bad fixture plants, so a rule
+        # that silently starts missing one of its patterns fails here.
+        expected = {
+            "rand-source": 6,       # srand, time, random_device, 2x mt19937, rand
+            "io-unordered-container": 4,  # 2 includes + 2 declarations
+            "check-in-try-path": 2,
+            "iostream-in-header": 1,
+            "assert-use": 1,
+            "nolint-format": 4,
+        }
+        for rule, count in expected.items():
+            bad, bad_path = CASES[rule][0], CASES[rule][1]
+            text = read_fixture(rule, bad)
+            findings = rs_lint.lint_text(bad_path, text, rules=[rule])
+            self.assertEqual(
+                count, len(findings),
+                f"{rule}: {[str(f) for f in findings]}",
+            )
+
+
+class ScopingTest(unittest.TestCase):
+    def test_io_rule_ignores_non_io_paths(self):
+        text = read_fixture("io-unordered-container", "bad.cc")
+        findings = rs_lint.lint_text(
+            "src/rs/sketch/histogram.cc", text,
+            rules=["io-unordered-container"])
+        self.assertEqual([], findings)
+
+    def test_rand_rule_exempts_the_rng_module(self):
+        text = read_fixture("rand-source", "bad.cc")
+        for path in ("src/rs/util/rng.cc", "src/rs/util/rng.h"):
+            self.assertEqual(
+                [], rs_lint.lint_text(path, text, rules=["rand-source"]),
+                path)
+
+    def test_iostream_rule_ignores_cc_files_and_test_headers(self):
+        text = read_fixture("iostream-in-header", "bad.h")
+        for path in ("src/rs/sketch/bad.cc", "tests/helpers.h"):
+            self.assertEqual(
+                [], rs_lint.lint_text(
+                    path, text, rules=["iostream-in-header"]),
+                path)
+
+    def test_assert_rule_is_src_only(self):
+        text = read_fixture("assert-use", "bad.cc")
+        self.assertEqual(
+            [], rs_lint.lint_text(
+                "tests/halve_test.cc", text, rules=["assert-use"]))
+
+
+class SuppressionTest(unittest.TestCase):
+    BAD_LINE = "int x = rand();"
+
+    def test_justified_allow_suppresses(self):
+        text = self.BAD_LINE + "  // rs_lint: allow(rand-source) demo uses wall-clock entropy\n"
+        self.assertEqual(
+            [], rs_lint.lint_text("src/rs/core/demo.cc", text))
+
+    def test_allow_without_reason_does_not_suppress(self):
+        text = self.BAD_LINE + "  // rs_lint: allow(rand-source)\n"
+        findings = rs_lint.lint_text("src/rs/core/demo.cc", text)
+        self.assertEqual(1, len(findings))
+
+    def test_allow_for_a_different_rule_does_not_suppress(self):
+        text = self.BAD_LINE + "  // rs_lint: allow(assert-use) wrong rule\n"
+        findings = rs_lint.lint_text("src/rs/core/demo.cc", text)
+        self.assertEqual(1, len(findings))
+
+
+class StrippingTest(unittest.TestCase):
+    def test_line_and_block_comments_are_blanked(self):
+        text = "int a; // rand()\n/* std::random_device\n   rand() */ int b;\n"
+        self.assertEqual(
+            [], rs_lint.lint_text("src/rs/core/x.cc", text))
+
+    def test_string_and_char_literals_are_blanked(self):
+        text = 'const char* s = "rand()"; char c = \'(\';\n'
+        self.assertEqual(
+            [], rs_lint.lint_text("src/rs/core/x.cc", text))
+
+    def test_line_numbers_survive_stripping(self):
+        text = "/* a\n   b */\nint x = rand();\n"
+        findings = rs_lint.lint_text("src/rs/core/x.cc", text)
+        self.assertEqual(1, len(findings))
+        self.assertEqual(3, findings[0].line)
+
+
+class CliTest(unittest.TestCase):
+    def run_cli(self, *argv):
+        return subprocess.run(
+            [sys.executable, os.path.join(TOOLS_DIR, "rs_lint.py"), *argv],
+            capture_output=True, text=True)
+
+    def test_clean_tree_exits_zero(self):
+        with tempfile.TemporaryDirectory() as root:
+            src = os.path.join(root, "src", "rs", "core")
+            os.makedirs(src)
+            with open(os.path.join(src, "ok.cc"), "w", encoding="utf-8") as fh:
+                fh.write("int Identity(int v) { return v; }\n")
+            proc = self.run_cli("--root", root)
+            self.assertEqual(0, proc.returncode, proc.stdout + proc.stderr)
+            self.assertEqual("", proc.stdout)
+
+    def test_findings_exit_one_with_location_format(self):
+        with tempfile.TemporaryDirectory() as root:
+            src = os.path.join(root, "src", "rs", "core")
+            os.makedirs(src)
+            with open(os.path.join(src, "bad.cc"), "w", encoding="utf-8") as fh:
+                fh.write("int x = rand();\n")
+            proc = self.run_cli("--root", root)
+            self.assertEqual(1, proc.returncode)
+            self.assertIn("src/rs/core/bad.cc:1: [rand-source]", proc.stdout)
+
+    def test_unknown_rule_is_a_usage_error(self):
+        proc = self.run_cli("--rules", "no-such-rule")
+        self.assertEqual(2, proc.returncode)
+
+    def test_list_rules_names_every_rule(self):
+        proc = self.run_cli("--list-rules")
+        self.assertEqual(0, proc.returncode)
+        listed = proc.stdout.split()
+        self.assertEqual(sorted(rs_lint.RULES), sorted(listed))
+
+
+if __name__ == "__main__":
+    unittest.main()
