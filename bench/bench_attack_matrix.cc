@@ -9,14 +9,20 @@
 //      by the adaptive rows — the paper's Section 9 negative result and the
 //      arXiv:2101.10836 hard instance both drive the AMS relative error
 //      past 0.5;
-//  (2) every robust method column (switching, paths, dp, sharded) holds
-//      within its alpha against the same attacks at the same seeds — the
-//      framework's positive result;
+//  (2) every robust method column (switching, paths, dp, sharded, and the
+//      importance-sampling heads is_fp / is_regression) holds within its
+//      alpha against the same attacks at the same seeds — the framework's
+//      positive result;
 //  (3) the control row ("oblivious" attack) is survived by everything.
 // A second, turnstile-model section runs the deletion-heavy attacker and
-// the fuzzer against the turnstile-capable defenders.
+// the fuzzer against the turnstile-capable defenders. The sampling columns
+// are insertion-only (ValidateSamplingParams pins the model), so they sit
+// out of that section — but they DO face turnstile_delete and the fuzzer in
+// the main matrix, where both attacks degrade gracefully to model-legal
+// insert-only schedules.
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -24,6 +30,7 @@
 #include "rs/adversary/attack.h"
 #include "rs/adversary/game.h"
 #include "rs/core/robust.h"
+#include "rs/sampling/sampler.h"
 #include "rs/sketch/ams_f2.h"
 #include "rs/sketch/kmv_f0.h"
 #include "rs/util/bench_json.h"
@@ -50,20 +57,46 @@ struct DefenderSpec {
   std::string task_key;  // Facade registry key; "" = oblivious static sketch.
   rs::Method method = rs::Method::kSketchSwitching;
   bool fp_family = false;  // true: tracks F2 (TruthF2); false: F0 (TruthF0).
+  rs::TruthFn truth;       // Overrides the fp_family default when set.
 };
+
+// Exact truth for the regression column: solve the same ridge-regularized
+// normal equations the coreset head solves, but over the oracle's exact
+// frequency vector (shared solver — rs/sampling/sampler.h).
+rs::TruthFn TruthRegressionNorm() {
+  return [](const rs::ExactOracle& oracle) {
+    double xtx[rs::kRegressionDim * rs::kRegressionDim] = {0.0};
+    double xty[rs::kRegressionDim] = {0.0};
+    for (const auto& [item, freq] : oracle.frequencies()) {
+      if (freq <= 0) continue;
+      rs::AccumulateNormalEquations(rs::RegressionRowFor(item),
+                                    static_cast<double>(freq), xtx, xty);
+    }
+    double beta[rs::kRegressionDim] = {0.0};
+    if (!rs::SolveNormalEquations(xtx, xty, beta)) return 0.0;
+    double n2 = 0.0;
+    for (int d = 0; d < rs::kRegressionDim; ++d) n2 += beta[d] * beta[d];
+    return std::sqrt(n2);
+  };
+}
 
 std::vector<DefenderSpec> Defenders() {
   using rs::Method;
   return {
-      {"oblivious/f0", "", Method::kSketchSwitching, false},
-      {"oblivious/fp", "", Method::kSketchSwitching, true},
-      {"f0/switching", "f0", Method::kSketchSwitching, false},
-      {"f0/paths", "f0", Method::kComputationPaths, false},
-      {"fp/switching", "fp", Method::kSketchSwitching, true},
-      {"fp/paths", "fp", Method::kComputationPaths, true},
-      {"dp_f0", "dp_f0", Method::kDifferentialPrivacy, false},
-      {"dp_fp", "dp_fp", Method::kDifferentialPrivacy, true},
-      {"sharded/f0", "sharded", Method::kSketchSwitching, false},
+      {"oblivious/f0", "", Method::kSketchSwitching, false, {}},
+      {"oblivious/fp", "", Method::kSketchSwitching, true, {}},
+      {"f0/switching", "f0", Method::kSketchSwitching, false, {}},
+      {"f0/paths", "f0", Method::kComputationPaths, false, {}},
+      {"fp/switching", "fp", Method::kSketchSwitching, true, {}},
+      {"fp/paths", "fp", Method::kComputationPaths, true, {}},
+      {"dp_f0", "dp_f0", Method::kDifferentialPrivacy, false, {}},
+      {"dp_fp", "dp_fp", Method::kDifferentialPrivacy, true, {}},
+      {"sharded/f0", "sharded", Method::kSketchSwitching, false, {}},
+      // Framework #4 (arXiv:2106.14952): importance sampling is robust "for
+      // free" — no flip budget; its holds column is the influence bound.
+      {"is_fp", "is_fp", Method::kImportanceSampling, true, {}},
+      {"is_regression", "is_regression", Method::kImportanceSampling, true,
+       TruthRegressionNorm()},
   };
 }
 
@@ -93,6 +126,9 @@ rs::RobustConfig MatrixConfig(const DefenderSpec& d,
   // (1024) would leave the estimate at zero past burn-in on a 4000-step
   // game. 64 keeps staleness well under the alpha budget.
   cfg.engine.merge_period = 64;
+  // The sampling columns: 512 slots keeps the PPS F2 standard error well
+  // inside alpha; the warmup/cap defaults absorb the fuzzer's spike moves.
+  cfg.sampling.sample_size = 512;
   return cfg;
 }
 
@@ -101,7 +137,8 @@ rs::RobustConfig MatrixConfig(const DefenderSpec& d,
 // telemetry — their row exists to be broken).
 rs::GameVerdict RunCell(const std::string& attack_key, uint64_t attack_seed,
                         const DefenderSpec& d, rs::StreamModel model) {
-  const rs::TruthFn truth = d.fp_family ? rs::TruthF2() : rs::TruthF0();
+  const rs::TruthFn truth =
+      d.truth ? d.truth : (d.fp_family ? rs::TruthF2() : rs::TruthF0());
   if (!d.task_key.empty()) {
     const rs::GameOptions options = MatrixOptions(kRobustAlpha, model);
     return rs::RunMatrixCell(attack_key, attack_seed, d.task_key,
@@ -183,7 +220,8 @@ int main(int argc, char** argv) {
       verdicts.back().push_back(v);
     }
   }
-  table.Print("attacks x {oblivious, switching, paths, dp, sharded}");
+  table.Print(
+      "attacks x {oblivious, switching, paths, dp, sharded, sampling}");
 
   // --- Turnstile section: deletion-heavy attacker and fuzzer against the
   // turnstile-capable defenders. ---

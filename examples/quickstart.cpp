@@ -43,6 +43,20 @@ int main() {
     return 1;
   }
 
+  // A second tenant on the importance-sampling method (Framework #4,
+  // arXiv:2106.14952): robust F2 with no flip budget at all — its
+  // guarantee is the bounded-influence certificate, and it shares the
+  // hub's bit-exact snapshot envelope with the engine-backed streams.
+  rs::RobustConfig f2_config = config;
+  f2_config.fp.p = 2.0;  // Second moment (fp.p defaults to 1).
+  const rs::Status created_is =
+      hub.CreateStream("traffic-f2", "is_fp", f2_config, /*seed=*/43);
+  if (!created_is.ok()) {
+    std::fprintf(stderr, "CreateStream: %s\n",
+                 created_is.ToString().c_str());
+    return 1;
+  }
+
   // 3. Stream: a workload whose distinct count keeps growing.
   const rs::Stream stream = rs::UniformStream(1 << 18, 1 << 20, /*seed=*/7);
 
@@ -54,6 +68,7 @@ int main() {
   size_t t = 0;
   for (const rs::Update& u : stream) {
     if (!hub.Update("distinct-ips", u).ok()) return 1;
+    if (!hub.Update("traffic-f2", u).ok()) return 1;
     truth.Update(u);
     if (++t % (1 << 17) == 0) {
       const auto q = hub.Query("distinct-ips");
@@ -79,6 +94,20 @@ int main() {
   const auto q2 = restored.Query("distinct-ips");
   if (!q2.ok() || q2->estimate != q->estimate) return 1;
 
+  // The sampling tenant: flip budget 0 by design, F2 within eps, and the
+  // same bit-exact restore.
+  const auto qs = hub.Query("traffic-f2");
+  if (!qs.ok() || qs->guarantee.flip_budget != 0) return 1;
+  const double f2_err = rs::RelativeError(
+      qs->estimate, static_cast<double>(truth.F2()));
+  const auto qs2 = restored.Query("traffic-f2");
+  if (!qs2.ok() || qs2->estimate != qs->estimate) return 1;
+  std::printf(
+      "\nsampling tenant (is_fp): F2 ~= %.0f (err %.3f), flip budget %zu,\n"
+      "influence bound holds: %s\n",
+      qs->estimate, f2_err, qs->guarantee.flip_budget,
+      qs->guarantee.holds ? "yes" : "NO");
+
   std::printf(
       "\nworst sampled relative error: %.3f (target eps = %.2f)\n"
       "published output changed %zu times (information leaked to an\n"
@@ -89,6 +118,7 @@ int main() {
       q->guarantee.copies_retired, q->guarantee.holds ? "yes" : "NO",
       snapshot.size());
   return (worst_error <= config.eps && q->guarantee.holds &&
+          qs->guarantee.holds && f2_err <= config.eps &&
           rejected.code() == rs::StatusCode::kInvalidArgument)
              ? 0
              : 1;

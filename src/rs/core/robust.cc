@@ -13,6 +13,7 @@
 #include "rs/core/robust_heavy_hitters.h"
 #include "rs/dp/difference_estimator.h"
 #include "rs/engine/sharded.h"
+#include "rs/sampling/sampling_robust.h"
 
 namespace rs {
 
@@ -49,6 +50,21 @@ std::map<std::string, RobustTaskFactory, std::less<>>& Registry() {
     };
     (*r)["dp_f2_diff"] = [](const RobustConfig& config, uint64_t seed) {
       return TryMakeDpF2Diff(config, seed);
+    };
+    // The importance-sampling method (rs/sampling/): Fp via the PPS
+    // position sampler, and the L2-regression coreset task (which has no
+    // Task enum value — it exists only under this method). config.sampling
+    // selects sample_size/influence_cap/warmup/segment/refresh.
+    (*r)["is_fp"] = [](const RobustConfig& config, uint64_t seed)
+        -> Result<std::unique_ptr<RobustEstimator>> {
+      RobustConfig c = config;
+      c.method = Method::kImportanceSampling;
+      return TryMakeRobust(Task::kFp, c, seed);
+    };
+    (*r)["is_regression"] = [](const RobustConfig& config, uint64_t seed)
+        -> Result<std::unique_ptr<RobustEstimator>> {
+      RS_ASSIGN_OR(auto head, TryMakeSamplingRegression(config, seed));
+      return std::unique_ptr<RobustEstimator>(std::move(head));
     };
     return r;
   }();
@@ -118,6 +134,24 @@ Status RobustConfig::Validate(Task task) const {
         "stream.max_frequency",
         "insertion-only streams admit frequencies up to m; require M >= m",
         static_cast<double>(stream.max_frequency));
+  }
+
+  // The importance-sampling method is implemented exactly for the Fp task
+  // (p in [1, 2], insertion-only — the regime where position sampling is an
+  // unbiased Fp estimator); every other task rejects it loudly instead of
+  // silently falling back to a flip-number construction.
+  if (method == Method::kImportanceSampling) {
+    if (task != Task::kFp) {
+      return InvalidArgument(
+          "method: Method::kImportanceSampling is implemented for Task::kFp "
+          "only (for the regression coreset use the 'is_regression' "
+          "registry key)");
+    }
+    if (!(fp.p >= 1.0 && fp.p <= 2.0)) {
+      return BadField("fp.p",
+                      "importance-sampling Fp requires p in [1, 2]", fp.p);
+    }
+    RS_TRY(ValidateSamplingParams(*this));
   }
 
   // The differential-privacy method is dispatched for kF0/kFp (the tasks
@@ -215,6 +249,10 @@ Result<std::unique_ptr<RobustEstimator>> TryMakeRobust(
       return std::unique_ptr<RobustEstimator>(
           std::make_unique<RobustF0>(config, seed));
     case Task::kFp:
+      if (config.method == Method::kImportanceSampling) {
+        RS_ASSIGN_OR(auto head, TryMakeSamplingFp(config, seed));
+        return std::unique_ptr<RobustEstimator>(std::move(head));
+      }
       return std::unique_ptr<RobustEstimator>(
           std::make_unique<RobustFp>(config, seed));
     case Task::kEntropy:
@@ -296,6 +334,8 @@ const char* MethodKey(Method method) {
       return "paths";
     case Method::kDifferentialPrivacy:
       return "dp";
+    case Method::kImportanceSampling:
+      return "sampling";
   }
   return "unknown";
 }

@@ -75,16 +75,23 @@ enum class Method {
   kSketchSwitching,      // Algorithm 1 / Lemma 3.6 / Theorem 4.1.
   kComputationPaths,     // Lemma 3.8.
   kDifferentialPrivacy,  // HKMMS (arXiv:2004.05975) private-median pool.
+  kImportanceSampling,   // BJWY-adjacent sampling (arXiv:2106.14952):
+                         // robust for free while no update commands more
+                         // than an influence_cap share of the sampled mass.
+                         // Implemented for kFp with p in [1, 2] on
+                         // insertion-only streams (rs/sampling/), plus the
+                         // "is_regression" registry task.
 };
 
 // Every method, in one place so sweeps (the attacks×methods game matrix,
 // parameterized tests) cannot drift from the enum.
 inline constexpr Method kAllRobustMethods[] = {
     Method::kSketchSwitching, Method::kComputationPaths,
-    Method::kDifferentialPrivacy};
+    Method::kDifferentialPrivacy, Method::kImportanceSampling};
 
-// Stable snake_case key for a method ("switching", "paths", "dp") — the
-// method-axis labels of the game matrix, next to TaskKey for the task axis.
+// Stable snake_case key for a method ("switching", "paths", "dp",
+// "sampling") — the method-axis labels of the game matrix, next to TaskKey
+// for the task axis.
 const char* MethodKey(Method method);
 
 // Uniform guarantee telemetry (the quantity the whole framework is priced
@@ -188,6 +195,30 @@ struct RobustConfig {
     // Evaluate the private gate every this many updates (1 = per update).
     size_t gate_period = 1;
   } dp;
+
+  // The importance-sampling method (rs/sampling/, reachable as
+  // Method::kImportanceSampling on kFp and through the "is_fp" /
+  // "is_regression" registry keys). Unlike the flip-number methods there is
+  // no copy pool and no flip budget; the guarantee instead rides on the
+  // sampling-probability bound, whose realized state the heads report
+  // through GuaranteeStatus().holds.
+  struct SamplingParams {
+    // Retained sample size: PpsReservoir slots (is_fp) or coreset entries
+    // (is_regression). 0 = auto, max(64, ceil(16 / eps^2)).
+    size_t sample_size = 0;
+    // Maximum share of the total sampled mass any single update may
+    // command before the guarantee is reported lapsed.
+    double influence_cap = 0.25;
+    // Total mass below which the sample is effectively exhaustive and the
+    // influence condition is vacuous. 0 = auto, 64 * sample_size.
+    double warmup_weight = 0.0;
+    // is_regression only: exact leaf buffer length before a merge-and-
+    // reduce step. 0 = auto, 2 * sample_size.
+    size_t segment_size = 0;
+    // Recompute the published estimate every this many updates (1 = per
+    // update); the sample itself is updated on every update regardless.
+    size_t refresh_period = 1;
+  } sampling;
 
   // kCascaded. The entry bound M comes from stream.max_frequency.
   struct CascadedParams {

@@ -30,6 +30,15 @@ class EpsilonRounder {
   size_t change_count() const { return changes_; }
   bool started() const { return started_; }
 
+  // Snapshot-restore support: adopts a previously observed (current,
+  // changes, started) triple verbatim. Only for deserialization paths —
+  // normal feeding goes through Feed().
+  void RestoreState(double current, size_t changes, bool started) {
+    current_ = current;
+    changes_ = changes;
+    started_ = started;
+  }
+
  private:
   double eps_;
   double current_ = 0.0;

@@ -35,6 +35,11 @@ void AppendRobustConfig(const RobustConfig& config, std::string* out) {
   w.U64(config.cascaded.booster_copies);
   w.U64(config.cascaded.pool_cap);
   w.U8(config.cascaded.force_pool ? 1 : 0);
+  w.U64(config.sampling.sample_size);
+  w.F64(config.sampling.influence_cap);
+  w.F64(config.sampling.warmup_weight);
+  w.U64(config.sampling.segment_size);
+  w.U64(config.sampling.refresh_period);
 }
 
 Result<RobustConfig> ReadRobustConfig(WireReader& r) {
@@ -70,11 +75,16 @@ Result<RobustConfig> ReadRobustConfig(WireReader& r) {
   c.cascaded.booster_copies = static_cast<size_t>(r.U64());
   c.cascaded.pool_cap = static_cast<size_t>(r.U64());
   c.cascaded.force_pool = r.U8() != 0;
+  c.sampling.sample_size = static_cast<size_t>(r.U64());
+  c.sampling.influence_cap = r.F64();
+  c.sampling.warmup_weight = r.F64();
+  c.sampling.segment_size = static_cast<size_t>(r.U64());
+  c.sampling.refresh_period = static_cast<size_t>(r.U64());
   if (!r.ok()) return DataLoss("config blob: truncated");
   if (model > static_cast<uint8_t>(StreamModel::kBoundedDeletion)) {
     return DataLoss("config blob: unknown stream model discriminant");
   }
-  if (method > static_cast<uint8_t>(Method::kDifferentialPrivacy)) {
+  if (method > static_cast<uint8_t>(Method::kImportanceSampling)) {
     return DataLoss("config blob: unknown method discriminant");
   }
   if (engine_task > static_cast<uint8_t>(Task::kCascaded)) {

@@ -9,6 +9,7 @@
 #include "rs/sketch/hll_f0.h"
 #include "rs/sketch/kmv_f0.h"
 #include "rs/sketch/misra_gries.h"
+#include "rs/sampling/merge_reduce.h"
 #include "rs/sketch/pstable_fp.h"
 
 namespace rs {
@@ -63,6 +64,13 @@ Result<std::unique_ptr<MergeableEstimator>> DeserializeSketch(
       return OrDataLoss(PStableFp::Deserialize(data), "PStableFp");
     case SketchKind::kEntropySketch:
       return OrDataLoss(EntropySketch::Deserialize(data), "EntropySketch");
+    case SketchKind::kSamplingCoreset:
+      return OrDataLoss(MergeReduceTree::Deserialize(data),
+                        "MergeReduceTree");
+    case SketchKind::kSamplingHead:
+      return Unimplemented(
+          "kSamplingHead is a robust-head snapshot envelope, not a mergeable "
+          "sketch; restore it through the owning SamplingEstimator");
   }
   return Unimplemented("unknown sketch kind tag " +
                        std::to_string(static_cast<uint32_t>(kind)) +

@@ -44,6 +44,9 @@ enum class SketchKind : uint32_t {
   kMisraGries = 6,
   kPStableFp = 7,
   kEntropySketch = 8,
+  // Importance-sampling subsystem (rs/sampling/).
+  kSamplingCoreset = 9,  // MergeReduceTree merge-and-reduce coreset state.
+  kSamplingHead = 10,    // SamplingEstimator robust-head snapshot envelope.
 };
 
 // Appends fixed-width little-endian fields to a std::string buffer.

@@ -5,6 +5,7 @@
 
 #include "rs/io/config_codec.h"
 #include "rs/io/wire.h"
+#include "rs/sampling/sampling_robust.h"
 #include "rs/util/rng.h"
 
 namespace rs {
@@ -87,13 +88,37 @@ Status StreamHub::BuildEstimator(StreamState* state) {
     ec.engine.shards = std::max<size_t>(1, ec.engine.shards);
     RS_ASSIGN_OR(auto estimator, TryMakeShardedRobust(ec, state->seed));
     state->engine = static_cast<ShardedRobust*>(estimator.get());
+    state->sampling = nullptr;
     state->estimator = std::move(estimator);
+    return Status::Ok();
+  }
+  const bool sampling_task =
+      state->task_key == "is_fp" || state->task_key == "is_regression" ||
+      (task.has_value() && *task == Task::kFp &&
+       state->config.method == Method::kImportanceSampling);
+  if (sampling_task) {
+    // Importance-sampling streams run on the rs/sampling heads directly:
+    // their counter-based randomness is what gives them a bit-exact
+    // serialization path through the hub envelope.
+    std::unique_ptr<SamplingEstimator> head;
+    if (state->task_key == "is_regression") {
+      RS_ASSIGN_OR(head, TryMakeSamplingRegression(state->config,
+                                                   state->seed));
+    } else {
+      RobustConfig sc = state->config;
+      sc.method = Method::kImportanceSampling;
+      RS_ASSIGN_OR(head, TryMakeSamplingFp(sc, state->seed));
+    }
+    state->engine = nullptr;
+    state->sampling = head.get();
+    state->estimator = std::move(head);
     return Status::Ok();
   }
   RS_ASSIGN_OR(state->estimator,
                TryMakeRobust(std::string_view(state->task_key),
                              state->config, state->seed));
   state->engine = nullptr;
+  state->sampling = nullptr;
   return Status::Ok();
 }
 
@@ -202,7 +227,8 @@ std::vector<StreamInfo> StreamHub::ListStreams() const {
       info.updates = state->updates;
       info.space_bytes = state->estimator->SpaceBytes();
       info.guarantee = state->estimator->GuaranteeStatus();
-      info.snapshot_capable = state->engine != nullptr;
+      info.snapshot_capable =
+          state->engine != nullptr || state->sampling != nullptr;
       infos.push_back(std::move(info));
     }
   }
@@ -241,12 +267,12 @@ Status StreamHub::Snapshot(std::string* out) const {
               return a->name < b->name;
             });
   for (const StreamState* state : states) {
-    if (state->engine == nullptr) {
+    if (state->engine == nullptr && state->sampling == nullptr) {
       return FailedPrecondition(
           "stream " + QuotedName(state->name) + " (key '" +
           state->task_key +
           "') has no serialization path; only engine-backed f0/fp streams "
-          "can snapshot");
+          "and importance-sampling streams can snapshot");
     }
   }
 
@@ -270,7 +296,11 @@ Status StreamHub::Snapshot(std::string* out) const {
     w.U64(state->updates);
     w.U64(state->last_query_changes);
     scratch.clear();
-    state->engine->Snapshot(&scratch);
+    if (state->engine != nullptr) {
+      state->engine->Snapshot(&scratch);
+    } else {
+      state->sampling->Snapshot(&scratch);
+    }
     w.U64(scratch.size());
     w.Bytes(scratch);
   }
@@ -328,12 +358,15 @@ Status StreamHub::Restore(std::string_view data) {
     // Rebuild through the same validated path as CreateStream, then
     // overlay the serialized engine state.
     RS_TRY(BuildEstimator(state.get()));
-    if (state->engine == nullptr) {
+    if (state->engine != nullptr) {
+      RS_TRY(state->engine->Restore(engine_bytes));
+    } else if (state->sampling != nullptr) {
+      RS_TRY(state->sampling->Restore(engine_bytes));
+    } else {
       return DataLoss("hub envelope: stream " + QuotedName(state->name) +
                       " (key '" + state->task_key +
-                      "') is not engine-backed, yet carries engine bytes");
+                      "') is not snapshot-capable, yet carries state bytes");
     }
-    RS_TRY(state->engine->Restore(engine_bytes));
     // Snapshot() writes names sorted and unique; enforcing the canonical
     // order here rejects duplicate names before the commit below, which
     // keeps the commit infallible (the hub must never end up holding half

@@ -27,10 +27,13 @@
 // Engine-backed streams: the f0/fp tasks are hosted on the sharded engine
 // (rs/engine/sharded.h) — config.engine.shards > 1 turns on real
 // multi-shard execution, shards == 1 is the single-shard degenerate — which
-// is also what makes them snapshot-capable. Every other registry key
-// ("entropy", "heavy_hitters", "dp_f0", ...) is hosted for live traffic
-// but has no serialization path yet; Snapshot() reports
-// kFailedPrecondition naming the first such stream.
+// is also what makes them snapshot-capable. Importance-sampling streams
+// ("is_fp"/"is_regression", or "fp" with Method::kImportanceSampling) are
+// hosted on the rs/sampling heads, whose counter-based randomness makes
+// them snapshot-capable too (bit-exact, via SamplingEstimator::Snapshot).
+// Every other registry key ("entropy", "heavy_hitters", "dp_f0", ...) is
+// hosted for live traffic but has no serialization path yet; Snapshot()
+// reports kFailedPrecondition naming the first such stream.
 
 #ifndef RS_RUNTIME_STREAM_HUB_H_
 #define RS_RUNTIME_STREAM_HUB_H_
@@ -49,6 +52,9 @@
 #include "rs/util/sync.h"
 
 namespace rs {
+
+class SamplingEstimator;  // rs/sampling/sampling_robust.h
+
 namespace runtime {
 
 // Wire tag for hub envelopes (above the engine's 0x1000; the header layout
@@ -96,7 +102,8 @@ class StreamHub {
 
   // Creates a named robust stream from a registry key ("f0", "fp",
   // "entropy", "heavy_hitters", "bounded_deletion", "cascaded", "sharded",
-  // "dp_f0", "dp_fp", "dp_f2_diff", or an extension key). Errors:
+  // "dp_f0", "dp_fp", "dp_f2_diff", "is_fp", "is_regression", or an
+  // extension key). Errors:
   //   kInvalidArgument  — empty/oversized name, or config rejected by
   //                       RobustConfig::Validate (field named in message);
   //   kNotFound         — unknown task key;
@@ -143,9 +150,11 @@ class StreamHub {
     RobustConfig config;
     uint64_t seed = 0;
     std::unique_ptr<RobustEstimator> estimator;
-    // Non-null iff the stream is engine-backed (snapshot-capable); points
-    // into *estimator.
+    // At most one of these is non-null; both point into *estimator and
+    // mark the stream snapshot-capable (engine-backed f0/fp, or an
+    // importance-sampling head).
     ShardedRobust* engine = nullptr;
+    SamplingEstimator* sampling = nullptr;
     uint64_t updates = 0;
     size_t last_query_changes = 0;
   };
@@ -192,7 +201,8 @@ class StreamHub {
 
   size_t StripeOf(std::string_view name) const;
   // Builds the estimator for a state whose name/key/config/seed are set.
-  // Routes f0/fp (sketch-switching method) onto the sharded engine.
+  // Routes f0/fp (sketch-switching method) onto the sharded engine and the
+  // importance-sampling keys onto the rs/sampling heads.
   static Status BuildEstimator(StreamState* state);
 
   StreamHubOptions options_;

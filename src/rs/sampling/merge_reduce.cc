@@ -1,0 +1,270 @@
+#include "rs/sampling/merge_reduce.h"
+
+#include <cmath>
+#include <utility>
+
+#include "rs/io/wire.h"
+#include "rs/util/check.h"
+
+namespace rs {
+
+namespace {
+
+constexpr size_t kEntryBytes = 24;  // F64 priority + U64 item + F64 weight.
+constexpr size_t kMaxCoresetSize = size_t{1} << 22;
+constexpr size_t kMaxLevels = 64;
+
+void WriteSampler(WireWriter& w, const L2Sampler& s) {
+  // Canonical order: the wire image of equal logical state is identical
+  // regardless of internal heap layout history.
+  const std::vector<CoresetEntry> sorted = s.SortedEntries();
+  w.U64(sorted.size());
+  for (const CoresetEntry& e : sorted) {
+    w.F64(e.priority);
+    w.U64(e.item);
+    w.F64(e.weight);
+  }
+  w.F64(s.tau());
+}
+
+// Reads one sampler block into `out` (already constructed with the right
+// capacity and seed). False on truncation or any invariant violation.
+bool ReadSampler(WireReader& r, L2Sampler* out) {
+  const uint64_t count = r.U64();
+  if (!r.ok() || count > out->capacity()) return false;
+  if (count > r.remaining() / kEntryBytes) return false;
+  std::vector<CoresetEntry> entries;
+  entries.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    CoresetEntry e;
+    e.priority = r.F64();
+    e.item = r.U64();
+    e.weight = r.F64();
+    if (!r.ok()) return false;
+    if (!std::isfinite(e.priority) || !std::isfinite(e.weight)) return false;
+    // priority = weight / u with u in (0, 1), so priority >= weight always.
+    if (!(e.weight > 0.0) || e.priority < e.weight) return false;
+    // Canonical order is non-increasing under EntryGreater (value-equal
+    // duplicates are legal: merged shards can retain identical elements).
+    if (!entries.empty() && EntryGreater(e, entries.back())) return false;
+    entries.push_back(e);
+  }
+  const double tau = r.F64();
+  if (!r.ok() || !std::isfinite(tau) || tau < 0.0) return false;
+  if (tau > 0.0) {
+    // A drop only ever happens in a full sampler, and every kept priority
+    // dominates every dropped one.
+    if (entries.size() < out->capacity()) return false;
+    if (!entries.empty() && tau > entries.back().priority) return false;
+  }
+  out->RestoreState(std::move(entries), tau);
+  return true;
+}
+
+}  // namespace
+
+MergeReduceTree::MergeReduceTree(const Config& config, uint64_t seed)
+    : config_(config),
+      seed_(seed),
+      leaf_(1, seed) {  // Placeholder; rebuilt below once sizes resolve.
+  RS_CHECK_MSG(config_.coreset_size >= 1,
+               "MergeReduceTree: coreset_size must be >= 1");
+  if (config_.segment_size == 0) {
+    config_.segment_size = 2 * config_.coreset_size;
+  }
+  leaf_ = L2Sampler(config_.segment_size, seed_);
+}
+
+void MergeReduceTree::Update(const rs::Update& u) {
+  if (u.delta <= 0) return;  // Insertion-only; gated by Validate upstream.
+  const RegressionRow row = RegressionRowFor(u.item);
+  const double weight = static_cast<double>(u.delta) * RowImportance(row);
+  leaf_.AddElement(u.item, weight, elements_);
+  ++elements_;
+  total_weight_ += weight;
+  if (weight > max_element_weight_) max_element_weight_ = weight;
+  if (leaf_.entries().size() >= config_.segment_size) {
+    L2Sampler reduced(config_.coreset_size, seed_);
+    reduced.MergeFrom(leaf_);
+    CarryCoreset(std::move(reduced));
+    leaf_ = L2Sampler(config_.segment_size, seed_);
+  }
+}
+
+void MergeReduceTree::CarryCoreset(L2Sampler carry) {
+  // Binary-counter increment: merge-and-reduce up the levels until a free
+  // slot absorbs the carry.
+  for (size_t lvl = 0;; ++lvl) {
+    if (lvl == levels_.size()) {
+      levels_.emplace_back(std::move(carry));
+      return;
+    }
+    if (!levels_[lvl].has_value()) {
+      levels_[lvl] = std::move(carry);
+      return;
+    }
+    L2Sampler merged(config_.coreset_size, seed_);
+    merged.MergeFrom(*levels_[lvl]);
+    merged.MergeFrom(carry);
+    levels_[lvl].reset();
+    carry = std::move(merged);
+  }
+}
+
+L2Sampler MergeReduceTree::FoldAll() const {
+  L2Sampler fold(config_.coreset_size, seed_);
+  for (const std::optional<L2Sampler>& level : levels_) {
+    if (level.has_value()) fold.MergeFrom(*level);
+  }
+  fold.MergeFrom(leaf_);
+  return fold;
+}
+
+MergeReduceTree::Solution MergeReduceTree::Solve() const {
+  Solution sol;
+  const L2Sampler fold = FoldAll();
+  sol.tau = fold.tau();
+  sol.support = fold.entries().size();
+  double xtx[kRegressionDim * kRegressionDim] = {0.0};
+  double xty[kRegressionDim] = {0.0};
+  double w_hat = 0.0;
+  // Canonical accumulation order: the solution is a pure function of the
+  // kept SET (merge-order invariant bit-for-bit), not of heap layout.
+  for (const CoresetEntry& e : fold.SortedEntries()) {
+    const RegressionRow row = RegressionRowFor(e.item);
+    const double ht = fold.HtWeight(e);
+    // e.weight = multiplicity * RowImportance(row); the Horvitz–Thompson
+    // reweighting ht / importance recovers an unbiased multiplicity.
+    AccumulateNormalEquations(row, ht / RowImportance(row), xtx, xty);
+    w_hat += ht;
+  }
+  if (SolveNormalEquations(xtx, xty, sol.beta)) {
+    double n2 = 0.0;
+    for (int d = 0; d < kRegressionDim; ++d) n2 += sol.beta[d] * sol.beta[d];
+    sol.norm = std::sqrt(n2);
+  }
+  if (sol.tau > 0.0 && w_hat > 0.0) {
+    // DLT: Var(W_hat) <= tau * W, so the moment estimates carry relative
+    // standard error <= sqrt(tau / W); exact (0) while nothing was dropped.
+    const double bound = std::sqrt(sol.tau / w_hat);
+    sol.rel_error_bound = bound < 1.0 ? bound : 1.0;
+  }
+  return sol;
+}
+
+double MergeReduceTree::Estimate() const { return Solve().norm; }
+
+size_t MergeReduceTree::SpaceBytes() const {
+  size_t bytes = sizeof(*this) + leaf_.SpaceBytes() - sizeof(L2Sampler);
+  for (const std::optional<L2Sampler>& level : levels_) {
+    if (level.has_value()) bytes += level->SpaceBytes();
+  }
+  return bytes;
+}
+
+std::string MergeReduceTree::Name() const { return config_.name; }
+
+bool MergeReduceTree::CompatibleForMerge(const Estimator& other) const {
+  const auto* o = dynamic_cast<const MergeReduceTree*>(&other);
+  return o != nullptr && o->config_.coreset_size == config_.coreset_size &&
+         o->config_.segment_size == config_.segment_size && o->seed_ == seed_;
+}
+
+void MergeReduceTree::Merge(const Estimator& other) {
+  RS_CHECK_MSG(CompatibleForMerge(other),
+               "MergeReduceTree::Merge: incompatible estimator");
+  // Estimator is a virtual base, so downcasting must go through RTTI (the
+  // dynamic_cast cannot fail: CompatibleForMerge just proved the type).
+  const auto& o = dynamic_cast<const MergeReduceTree&>(other);
+  RS_DCHECK(&o != this);
+  if (o.elements_ == 0) return;
+  CarryCoreset(o.FoldAll());
+  elements_ += o.elements_;
+  total_weight_ += o.total_weight_;
+  if (o.max_element_weight_ > max_element_weight_) {
+    max_element_weight_ = o.max_element_weight_;
+  }
+}
+
+std::unique_ptr<MergeableEstimator> MergeReduceTree::Clone() const {
+  return std::unique_ptr<MergeableEstimator>(new MergeReduceTree(*this));
+}
+
+void MergeReduceTree::Serialize(std::string* out) const {
+  WireWriter w(out);
+  w.Header(SketchKind::kSamplingCoreset, seed_);
+  w.U64(config_.coreset_size);
+  w.U64(config_.segment_size);
+  w.U64(elements_);
+  w.F64(total_weight_);
+  w.F64(max_element_weight_);
+  WriteSampler(w, leaf_);
+  w.U32(static_cast<uint32_t>(levels_.size()));
+  for (const std::optional<L2Sampler>& level : levels_) {
+    w.U8(level.has_value() ? 1 : 0);
+    if (level.has_value()) WriteSampler(w, *level);
+  }
+}
+
+std::unique_ptr<MergeReduceTree> MergeReduceTree::Deserialize(
+    std::string_view data) {
+  WireReader r(data);
+  SketchKind kind;
+  uint64_t seed = 0;
+  if (!r.Header(&kind, &seed) || kind != SketchKind::kSamplingCoreset) {
+    return nullptr;
+  }
+  const uint64_t coreset_size = r.U64();
+  const uint64_t segment_size = r.U64();
+  const uint64_t elements = r.U64();
+  const double total_weight = r.F64();
+  const double max_element_weight = r.F64();
+  if (!r.ok()) return nullptr;
+  if (coreset_size < 1 || coreset_size > kMaxCoresetSize) return nullptr;
+  if (segment_size < 1 || segment_size > kMaxCoresetSize) return nullptr;
+  if (!std::isfinite(total_weight) || !std::isfinite(max_element_weight)) {
+    return nullptr;
+  }
+  if (total_weight < 0.0 || max_element_weight < 0.0 ||
+      max_element_weight > total_weight) {
+    return nullptr;
+  }
+  if (elements == 0 && (total_weight != 0.0 || max_element_weight != 0.0)) {
+    return nullptr;
+  }
+  Config cfg;
+  cfg.coreset_size = static_cast<size_t>(coreset_size);
+  cfg.segment_size = static_cast<size_t>(segment_size);
+  auto tree = std::make_unique<MergeReduceTree>(cfg, seed);
+  size_t kept = 0;
+  if (!ReadSampler(r, &tree->leaf_)) return nullptr;
+  // The leaf is the exact pre-reduce buffer: it never drops (tau 0) and is
+  // reduced the moment it reaches segment_size.
+  if (tree->leaf_.tau() != 0.0 ||
+      tree->leaf_.entries().size() >= cfg.segment_size) {
+    return nullptr;
+  }
+  kept += tree->leaf_.entries().size();
+  const uint32_t n_levels = r.U32();
+  if (!r.ok() || n_levels > kMaxLevels) return nullptr;
+  for (uint32_t lvl = 0; lvl < n_levels; ++lvl) {
+    const uint8_t present = r.U8();
+    if (!r.ok() || present > 1) return nullptr;
+    if (present == 0) {
+      tree->levels_.emplace_back(std::nullopt);
+      continue;
+    }
+    L2Sampler level(cfg.coreset_size, seed);
+    if (!ReadSampler(r, &level)) return nullptr;
+    kept += level.entries().size();
+    tree->levels_.emplace_back(std::move(level));
+  }
+  if (!r.AtEnd()) return nullptr;
+  if (kept > elements) return nullptr;  // Kept entries cannot exceed inflow.
+  tree->elements_ = elements;
+  tree->total_weight_ = total_weight;
+  tree->max_element_weight_ = max_element_weight;
+  return tree;
+}
+
+}  // namespace rs

@@ -1,0 +1,114 @@
+// merge_reduce.h — MergeReduceTree: a mergeable merge-and-reduce coreset
+// over stream segments, the structural backbone of the importance-sampling
+// robustness method (Braverman et al., arXiv:2106.14952).
+//
+// Layout: incoming rows accumulate exactly in a leaf buffer of
+// `segment_size` elements; a full leaf is reduced to a `coreset_size`
+// priority-sampling coreset (rs/sampling/sampler.h) and carried into a
+// binary level array exactly like binary-counter increments — level i holds
+// the coreset of 2^i segments, and two same-level coresets merge-and-reduce
+// into level i+1. Because priority-sampling top-k selection under a strict
+// total order is associative and commutative, the folded query result is
+// independent of the merge order — the property that makes the tree safe to
+// shard (ShardedRobust drives one tree per shard and folds at publish
+// boundaries) and to serialize/restore mid-stream.
+//
+// The tree is the state of the robust L2-regression task: each stream
+// update (item, delta) contributes delta copies of the synthetic row
+// RegressionRowFor(item), sampled with importance weight
+// delta * RowImportance(row) (a leverage-score upper bound scale). Solve()
+// returns the ridge least-squares solution on the Horvitz–Thompson
+// reweighted coreset plus a relative-error certificate from the
+// Duffield–Lund–Thorup variance bound Var <= tau * W.
+//
+// Serialization: SketchKind::kSamplingCoreset through rs/io (versioned,
+// bounds-checked, canonical entry order; corrupt buffers are rejected, and
+// a round trip is bit-exact).
+
+#ifndef RS_SAMPLING_MERGE_REDUCE_H_
+#define RS_SAMPLING_MERGE_REDUCE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rs/sampling/sampler.h"
+#include "rs/sketch/estimator.h"
+#include "rs/stream/update.h"
+
+namespace rs {
+
+class MergeReduceTree : public MergeableEstimator {
+ public:
+  struct Config {
+    // Entries retained per coreset (the k of the top-k selection).
+    size_t coreset_size = 256;
+    // Exact leaf buffer length before a reduce; 0 = 2 * coreset_size.
+    size_t segment_size = 0;
+    std::string name = "MergeReduceTree";
+  };
+
+  MergeReduceTree(const Config& config, uint64_t seed);
+
+  // Estimator contract. Update adds `delta` copies of the item's synthetic
+  // regression row (insertion-only; non-positive deltas are rejected by
+  // RobustConfig::Validate upstream and ignored here). Estimate() is the
+  // L2 norm of the coreset regression solution.
+  void Update(const rs::Update& u) override;
+  double Estimate() const override;
+  size_t SpaceBytes() const override;
+  std::string Name() const override;
+
+  // MergeableEstimator contract: trees merge when they share geometry
+  // (coreset_size, segment_size) and seed.
+  bool CompatibleForMerge(const Estimator& other) const override;
+  void Merge(const Estimator& other) override;
+  std::unique_ptr<MergeableEstimator> Clone() const override;
+  void Serialize(std::string* out) const override;
+
+  // Inverse of Serialize. Returns nullptr on a truncated, corrupt, or
+  // invariant-violating buffer (rs/io/sketch_codec.cc maps that to
+  // kDataLoss).
+  static std::unique_ptr<MergeReduceTree> Deserialize(std::string_view data);
+
+  // The coreset regression solution with its certificate.
+  struct Solution {
+    double beta[kRegressionDim] = {0.0, 0.0, 0.0};
+    double norm = 0.0;            // ||beta||_2 (what Estimate publishes).
+    double rel_error_bound = 0.0; // sqrt(tau / W_hat), 0 while exact.
+    size_t support = 0;           // Coreset rows the solution used.
+    double tau = 0.0;             // Folded priority threshold.
+  };
+  Solution Solve() const;
+
+  // Influence telemetry (importance-weight units), read by the robust head.
+  double total_weight() const { return total_weight_; }
+  double max_element_weight() const { return max_element_weight_; }
+  uint64_t elements() const { return elements_; }
+
+  size_t coreset_size() const { return config_.coreset_size; }
+  size_t segment_size() const { return config_.segment_size; }
+  uint64_t seed() const { return seed_; }
+  size_t levels() const { return levels_.size(); }
+
+ private:
+  // Carries a reduced coreset up the binary level array.
+  void CarryCoreset(L2Sampler carry);
+  // Folds leaf + every level into one coreset_size sampler.
+  L2Sampler FoldAll() const;
+
+  Config config_;
+  uint64_t seed_;
+  L2Sampler leaf_;  // Exact buffer (capacity segment_size, tau stays 0).
+  std::vector<std::optional<L2Sampler>> levels_;
+  uint64_t elements_ = 0;  // Also the priority sequence counter.
+  double total_weight_ = 0.0;
+  double max_element_weight_ = 0.0;
+};
+
+}  // namespace rs
+
+#endif  // RS_SAMPLING_MERGE_REDUCE_H_

@@ -1,0 +1,205 @@
+#include "rs/sampling/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rs/util/check.h"
+
+namespace rs {
+
+namespace {
+
+// Seed domain for the synthetic regression row family (shared by every
+// caller so the featurization is one global pure function).
+constexpr uint64_t kFeatureSeed = 0x5245475253ULL;  // "REGRS".
+
+// Lanes of CounterUniform, so distinct uses of one counter never collide.
+constexpr uint64_t kLaneFeatureX = 0;
+constexpr uint64_t kLaneFeatureNoise = 1;
+constexpr uint64_t kLanePriority = 2;
+
+}  // namespace
+
+PpsReservoir::PpsReservoir(size_t slots, uint64_t seed)
+    : seed_(seed), slots_(slots) {
+  RS_CHECK_MSG(slots >= 1, "PpsReservoir: slots must be >= 1");
+}
+
+void PpsReservoir::Add(uint64_t item, uint64_t weight) {
+  if (weight == 0) return;
+  ++updates_;
+  total_ += weight;
+  const double w = static_cast<double>(weight);
+  const double total = static_cast<double>(total_);
+  for (size_t j = 0; j < slots_.size(); ++j) {
+    // v uniform in [0, total): the slot reseats into this update's weight
+    // units iff v lands among them, which happens with probability w/total
+    // — the reservoir invariant. Conditioned on reseating, floor(v) is
+    // uniform over the update's units, giving the tail its uniform start.
+    const double v = CounterUniform(seed_, updates_, j) * total;
+    if (v < w) {
+      slots_[j].item = item;
+      slots_[j].tail = 1 + static_cast<uint64_t>(v);
+    } else if (slots_[j].tail != 0 && slots_[j].item == item) {
+      slots_[j].tail += weight;
+    }
+  }
+}
+
+double PpsReservoir::FpEstimate(double p) const {
+  if (total_ == 0) return 0.0;
+  double sum = 0.0;
+  size_t seated = 0;
+  for (const Slot& s : slots_) {
+    if (s.tail == 0) continue;
+    ++seated;
+    const double r = static_cast<double>(s.tail);
+    if (p == 2.0) {
+      sum += 2.0 * r - 1.0;  // r^2 - (r-1)^2, the hot E21/E22 case.
+    } else if (p == 1.0) {
+      sum += 1.0;
+    } else {
+      sum += std::pow(r, p) - std::pow(r - 1.0, p);
+    }
+  }
+  if (seated == 0) return 0.0;
+  return static_cast<double>(total_) * sum / static_cast<double>(seated);
+}
+
+void PpsReservoir::StateSnapshot(uint64_t* updates, uint64_t* total,
+                                 std::vector<Slot>* slots) const {
+  *updates = updates_;
+  *total = total_;
+  *slots = slots_;
+}
+
+bool PpsReservoir::RestoreState(uint64_t updates, uint64_t total,
+                                std::vector<Slot> slots) {
+  if (slots.size() != slots_.size()) return false;
+  if (total > 0 && updates == 0) return false;
+  for (const Slot& s : slots) {
+    // A seated slot's tail counts occurrences, which cannot exceed the
+    // total mass; an empty slot is only legal on an empty reservoir.
+    if (s.tail > total) return false;
+    if (s.tail == 0 && total > 0) return false;
+  }
+  updates_ = updates;
+  total_ = total;
+  slots_ = std::move(slots);
+  return true;
+}
+
+RegressionRow RegressionRowFor(uint64_t item) {
+  const uint64_t item_seed = kFeatureSeed ^ SplitMix64(item);
+  const double u = CounterUniform(item_seed, item, kLaneFeatureX);
+  const double x = 2.0 * u - 1.0;
+  RegressionRow row;
+  row.phi[0] = 1.0;
+  row.phi[1] = x;
+  row.phi[2] = 0.5 * (3.0 * x * x - 1.0);
+  const double noise =
+      CounterUniform(item_seed, item, kLaneFeatureNoise) - 0.5;
+  row.y = row.phi[0] * 1.0 + row.phi[1] * 2.0 + row.phi[2] * -1.0 +
+          0.4 * noise;
+  return row;
+}
+
+double RowImportance(const RegressionRow& row) {
+  double s = row.y * row.y;
+  for (int d = 0; d < kRegressionDim; ++d) s += row.phi[d] * row.phi[d];
+  return s;
+}
+
+void AccumulateNormalEquations(const RegressionRow& row, double weight,
+                               double* xtx, double* xty) {
+  for (int i = 0; i < kRegressionDim; ++i) {
+    for (int j = 0; j < kRegressionDim; ++j) {
+      xtx[i * kRegressionDim + j] += weight * row.phi[i] * row.phi[j];
+    }
+    xty[i] += weight * row.phi[i] * row.y;
+  }
+}
+
+bool SolveNormalEquations(const double* xtx, const double* xty,
+                          double* beta) {
+  const double trace = xtx[0] + xtx[4] + xtx[8];
+  for (int i = 0; i < kRegressionDim; ++i) beta[i] = 0.0;
+  if (!(trace > 0.0)) return false;
+  const double ridge = 1e-9 * trace / kRegressionDim + 1e-300;
+  double a[kRegressionDim][kRegressionDim + 1];
+  for (int i = 0; i < kRegressionDim; ++i) {
+    for (int j = 0; j < kRegressionDim; ++j) {
+      a[i][j] = xtx[i * kRegressionDim + j] + (i == j ? ridge : 0.0);
+    }
+    a[i][kRegressionDim] = xty[i];
+  }
+  for (int col = 0; col < kRegressionDim; ++col) {
+    int pivot = col;
+    for (int r = col + 1; r < kRegressionDim; ++r) {
+      if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) pivot = r;
+    }
+    if (a[pivot][col] == 0.0) return false;
+    if (pivot != col) std::swap(a[pivot], a[col]);
+    for (int r = 0; r < kRegressionDim; ++r) {
+      if (r == col) continue;
+      const double f = a[r][col] / a[col][col];
+      for (int c = col; c <= kRegressionDim; ++c) a[r][c] -= f * a[col][c];
+    }
+  }
+  for (int i = 0; i < kRegressionDim; ++i) {
+    beta[i] = a[i][kRegressionDim] / a[i][i];
+  }
+  return true;
+}
+
+L2Sampler::L2Sampler(size_t capacity, uint64_t seed)
+    : capacity_(capacity), seed_(seed) {
+  RS_CHECK_MSG(capacity >= 1, "L2Sampler: capacity must be >= 1");
+  entries_.reserve(capacity);
+}
+
+void L2Sampler::AddElement(uint64_t item, double weight, uint64_t sequence) {
+  RS_DCHECK(weight > 0.0);
+  const double u =
+      CounterUniform(seed_ ^ SplitMix64(item), sequence, kLanePriority);
+  AbsorbEntry({weight / u, item, weight});
+}
+
+void L2Sampler::AbsorbEntry(const CoresetEntry& e) {
+  if (entries_.size() < capacity_) {
+    entries_.push_back(e);
+    std::push_heap(entries_.begin(), entries_.end(), EntryGreater);
+    return;
+  }
+  // Full: either evict the smallest kept priority or drop the candidate;
+  // the loser's priority raises tau (max over everything ever dropped).
+  if (EntryGreater(e, entries_.front())) {
+    if (entries_.front().priority > tau_) tau_ = entries_.front().priority;
+    std::pop_heap(entries_.begin(), entries_.end(), EntryGreater);
+    entries_.back() = e;
+    std::push_heap(entries_.begin(), entries_.end(), EntryGreater);
+  } else if (e.priority > tau_) {
+    tau_ = e.priority;
+  }
+}
+
+void L2Sampler::MergeFrom(const L2Sampler& other) {
+  if (other.tau_ > tau_) tau_ = other.tau_;
+  for (const CoresetEntry& e : other.entries_) AbsorbEntry(e);
+}
+
+std::vector<CoresetEntry> L2Sampler::SortedEntries() const {
+  std::vector<CoresetEntry> sorted = entries_;
+  std::sort(sorted.begin(), sorted.end(), EntryGreater);
+  return sorted;
+}
+
+void L2Sampler::RestoreState(std::vector<CoresetEntry> entries, double tau) {
+  RS_CHECK_MSG(entries.size() <= capacity_,
+               "L2Sampler::RestoreState: entries exceed capacity");
+  entries_ = std::move(entries);
+  std::make_heap(entries_.begin(), entries_.end(), EntryGreater);
+  tau_ = tau;
+}
+
+}  // namespace rs

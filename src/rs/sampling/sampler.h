@@ -1,0 +1,242 @@
+// sampler.h — seeded sampling primitives for the importance-sampling
+// robustness method (Braverman et al., arXiv:2106.14952).
+//
+// The paper's observation is that sampling-based streaming algorithms are
+// adversarially robust *for free* when no single update can command more
+// than a bounded share of the total sampling probability: the adversary
+// learns nothing actionable from the published output because each of its
+// moves influences the retained sample by at most that share. Concretely
+// this file provides
+//
+//   * counter-based uniform draws (`CounterUniform`): every "random" number
+//     is a pure function of (seed, counter, lane), so sampler state is a
+//     handful of integers — serialization and bit-exact snapshot/restore
+//     need no generator state, and replaying the same update sequence
+//     reproduces the same sample exactly;
+//   * `PpsReservoir` — a weighted (probability-proportional-to-size)
+//     reservoir over stream positions: slot j holds the item at one
+//     uniformly chosen unit of mass, plus the count of that item's
+//     occurrences from the sampled position onward. This is the classic
+//     AMS position-sampling estimator of Fp for p in [1, 2];
+//   * `L2Sampler` — a bounded coreset of weighted rows retained by priority
+//     sampling (Duffield–Lund–Thorup): element e with importance weight w_e
+//     gets priority q_e = w_e / u_e, the top-k priorities are kept, and the
+//     (k+1)-th priority tau turns the kept set into unbiased
+//     Horvitz–Thompson estimates via max(w_e, tau). Top-k-of-union is
+//     exactly associative and commutative, which is what makes the
+//     merge-and-reduce tree (rs/sampling/merge_reduce.h) deterministic
+//     under any merge order;
+//   * `InfluenceTracker` — the arXiv:2106.14952 robustness bookkeeping:
+//     the realized maximum single-update weight against the total, i.e.
+//     whether the sampling-probability bound behind the guarantee still
+//     holds;
+//   * the synthetic L2-regression row family (`RegressionRowFor`) and the
+//     shared ridge-regularized normal-equation solver, used by both the
+//     robust regression head and the exact-truth oracle so the two compute
+//     the same functional.
+
+#ifndef RS_SAMPLING_SAMPLER_H_
+#define RS_SAMPLING_SAMPLER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "rs/util/rng.h"
+
+namespace rs {
+
+// Uniform in (0, 1), a pure function of (seed, counter, lane). Lane
+// decorrelates parallel draws sharing one counter (e.g. the slots of a
+// PpsReservoir at one update).
+inline double CounterUniform(uint64_t seed, uint64_t counter, uint64_t lane) {
+  const uint64_t bits =
+      SplitMix64(seed ^ SplitMix64(counter + 0x9E3779B97F4A7C15ULL * (lane + 1)));
+  return (static_cast<double>(bits >> 11) + 0.5) * 0x1.0p-53;
+}
+
+// The robustness bookkeeping of arXiv:2106.14952: the guarantee of a
+// sampling-based algorithm holds while no single update carries more than
+// an `influence_cap` share of the total sampled weight. Below
+// `warmup_weight` total mass the sampler is effectively exhaustive (every
+// element is retained or near-retained), so the share condition is vacuous
+// and the tracker reports the guarantee as holding.
+struct InfluenceTracker {
+  double total_weight = 0.0;
+  double max_update_weight = 0.0;
+  uint64_t updates = 0;
+
+  void Add(double weight) {
+    ++updates;
+    total_weight += weight;
+    if (weight > max_update_weight) max_update_weight = weight;
+  }
+
+  bool Holds(double influence_cap, double warmup_weight) const {
+    if (total_weight <= warmup_weight) return true;
+    return max_update_weight <= influence_cap * total_weight;
+  }
+};
+
+// Weighted reservoir over stream positions (PPS over units of mass). Each
+// slot independently holds the item occupying one uniformly distributed
+// unit of the stream's total mass W, together with `tail` = the number of
+// occurrences of that item from the sampled unit onward. The AMS estimator
+//   W * mean_j (tail_j^p - (tail_j - 1)^p)
+// is an unbiased estimate of Fp for any p >= 1 (exactly W = F1 at p = 1).
+// All randomness is counter-based on the update index, so the full state is
+// (seed, updates, total, slots) and replay/restore is bit-exact.
+class PpsReservoir {
+ public:
+  struct Slot {
+    uint64_t item = 0;
+    uint64_t tail = 0;  // 0 = empty slot (nothing sampled yet).
+  };
+
+  PpsReservoir(size_t slots, uint64_t seed);
+
+  // Adds `weight` (>= 1) occurrences of `item`. Insertion-only.
+  void Add(uint64_t item, uint64_t weight);
+
+  // The position-sampling Fp estimate (p >= 1); 0 on an empty stream.
+  double FpEstimate(double p) const;
+
+  uint64_t total_weight() const { return total_; }
+  uint64_t updates() const { return updates_; }
+  uint64_t seed() const { return seed_; }
+  const std::vector<Slot>& slots() const { return slots_; }
+
+  size_t SpaceBytes() const {
+    return sizeof(*this) + slots_.size() * sizeof(Slot);
+  }
+
+  // Snapshot/restore of the counter-based state. RestoreState validates
+  // shape (slot count must match construction) and internal consistency;
+  // on failure the reservoir is left untouched and false is returned.
+  void StateSnapshot(uint64_t* updates, uint64_t* total,
+                     std::vector<Slot>* slots) const;
+  bool RestoreState(uint64_t updates, uint64_t total,
+                    std::vector<Slot> slots);
+
+ private:
+  uint64_t seed_;
+  uint64_t updates_ = 0;  // Counter driving the per-update uniforms.
+  uint64_t total_ = 0;    // W: total inserted mass.
+  std::vector<Slot> slots_;
+};
+
+// --- The L2-regression row family. ---
+//
+// The regression task regresses a planted synthetic response onto Legendre
+// features of a per-item hash: item i deterministically yields
+//   x = 2 u(i) - 1 in (-1, 1),   phi(i) = (1, x, (3x^2 - 1)/2),
+//   y(i) = phi(i) . (1, 2, -1) + 0.4 (v(i) - 1/2),
+// so the exact weighted least-squares solution over any frequency vector is
+// computable from an ExactOracle and the design stays well-conditioned
+// (the Legendre basis is near-orthogonal under spread item mass).
+
+inline constexpr int kRegressionDim = 3;
+
+struct RegressionRow {
+  double phi[kRegressionDim];
+  double y;
+};
+
+// Deterministic featurization of an item (pure function; shared by the
+// robust head, the truth oracle, and the benches).
+RegressionRow RegressionRowFor(uint64_t item);
+
+// The leverage-score upper bound this row family samples by: the squared
+// norm of the augmented row ||(phi, y)||^2. Rows with more energy get
+// proportionally higher retention probability, which is exactly the
+// importance scoring that caps any single row's influence on the solution.
+double RowImportance(const RegressionRow& row);
+
+// Adds `weight` copies of `row` to the normal equations (xtx is row-major
+// 3x3, xty is length 3).
+void AccumulateNormalEquations(const RegressionRow& row, double weight,
+                               double* xtx, double* xty);
+
+// Solves (X^T X + ridge I) beta = X^T y by 3x3 Gaussian elimination with
+// partial pivoting; the ridge is a fixed tiny multiple of the design trace,
+// so the functional is deterministic and shared between the coreset
+// solution and the exact truth. Returns false (beta = 0) only for an empty
+// system.
+bool SolveNormalEquations(const double* xtx, const double* xty, double* beta);
+
+// --- Priority-sampling coreset. ---
+
+// One retained element of an L2Sampler coreset. `priority` = weight / u for
+// a (0,1) uniform u that is a pure function of (seed, item, sequence), so
+// re-playing a stream reproduces identical priorities.
+struct CoresetEntry {
+  double priority = 0.0;
+  uint64_t item = 0;
+  double weight = 0.0;
+};
+
+// Strict total order for top-k selection and canonical serialization:
+// descending priority, then ascending item, then descending weight.
+inline bool EntryGreater(const CoresetEntry& a, const CoresetEntry& b) {
+  if (a.priority != b.priority) return a.priority > b.priority;
+  if (a.item != b.item) return a.item < b.item;
+  return a.weight > b.weight;
+}
+
+// Bounded priority-sampling coreset (Duffield–Lund–Thorup): keeps the
+// `capacity` largest-priority elements and `tau` = the largest priority it
+// ever dropped. Because the kept set is the global top-k under a total
+// order and tau is the max over all dropped priorities, MergeFrom is
+// exactly associative and commutative — the property the merge-and-reduce
+// tree's tests pin down. Horvitz–Thompson weights max(weight, tau) make
+// weighted sums over the kept set unbiased, with Var <= tau * total
+// (the DLT bound behind the relative-error certificate).
+class L2Sampler {
+ public:
+  L2Sampler(size_t capacity, uint64_t seed);
+
+  // Samples one element with importance weight `weight` (> 0). `sequence`
+  // must be unique per element within one logical stream — the caller's
+  // element counter — so priorities are independent draws.
+  void AddElement(uint64_t item, double weight, uint64_t sequence);
+
+  // Merge path: re-inserts an element that already carries its priority.
+  void AbsorbEntry(const CoresetEntry& e);
+
+  // Folds `other`'s kept set and tau into this sampler (top-k of union).
+  void MergeFrom(const L2Sampler& other);
+
+  // Canonical (EntryGreater-sorted) view of the kept set.
+  std::vector<CoresetEntry> SortedEntries() const;
+
+  // Unordered internal view (heap order; use SortedEntries for canonical).
+  const std::vector<CoresetEntry>& entries() const { return entries_; }
+
+  double tau() const { return tau_; }
+  size_t capacity() const { return capacity_; }
+  uint64_t seed() const { return seed_; }
+
+  // The Horvitz–Thompson weight of a kept element.
+  double HtWeight(const CoresetEntry& e) const {
+    return e.weight > tau_ ? e.weight : tau_;
+  }
+
+  size_t SpaceBytes() const {
+    return sizeof(*this) + entries_.capacity() * sizeof(CoresetEntry);
+  }
+
+  // Restore path: replaces the kept set and tau wholesale (entries must
+  // already respect capacity; the caller validated them).
+  void RestoreState(std::vector<CoresetEntry> entries, double tau);
+
+ private:
+  size_t capacity_;
+  uint64_t seed_;
+  double tau_ = 0.0;
+  // Min-heap by EntryGreater (front = smallest kept priority).
+  std::vector<CoresetEntry> entries_;
+};
+
+}  // namespace rs
+
+#endif  // RS_SAMPLING_SAMPLER_H_

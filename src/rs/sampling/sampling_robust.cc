@@ -1,0 +1,443 @@
+#include "rs/sampling/sampling_robust.h"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "rs/io/wire.h"
+
+namespace rs {
+
+namespace {
+
+constexpr size_t kMaxSampleSize = size_t{1} << 22;
+
+std::string FmtP(double p) {
+  // Compact "1", "1.5", "2" labels for names (p is validated in [1, 2]).
+  if (p == static_cast<double>(static_cast<int>(p))) {
+    return std::to_string(static_cast<int>(p));
+  }
+  std::string s = std::to_string(p);
+  while (!s.empty() && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  return s;
+}
+
+}  // namespace
+
+// --- SamplingFp. ---
+
+SamplingFp::SamplingFp(const Params& params, uint64_t seed)
+    : params_(params),
+      seed_(seed),
+      pps_(params.slots, seed),
+      rounder_(params.eps / 2) {}
+
+void SamplingFp::Update(const rs::Update& u) {
+  if (u.delta <= 0) return;  // Insertion-only; gated by Validate upstream.
+  influence_.Add(static_cast<double>(u.delta));
+  pps_.Add(u.item, static_cast<uint64_t>(u.delta));
+  if (++since_refresh_ >= params_.refresh_period) {
+    since_refresh_ = 0;
+    rounder_.Feed(pps_.FpEstimate(params_.p));
+  }
+}
+
+void SamplingFp::UpdateBatch(const rs::Update* ups, size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    const rs::Update& u = ups[i];
+    if (u.delta <= 0) continue;
+    influence_.Add(static_cast<double>(u.delta));
+    pps_.Add(u.item, static_cast<uint64_t>(u.delta));
+  }
+  if (count > 0) {
+    since_refresh_ = 0;
+    rounder_.Feed(pps_.FpEstimate(params_.p));
+  }
+}
+
+double SamplingFp::Estimate() const { return rounder_.current(); }
+
+size_t SamplingFp::SpaceBytes() const {
+  return sizeof(*this) + pps_.SpaceBytes() - sizeof(PpsReservoir);
+}
+
+size_t SamplingFp::output_changes() const { return rounder_.change_count(); }
+
+bool SamplingFp::exhausted() const {
+  return !influence_.Holds(params_.influence_cap, params_.warmup_weight);
+}
+
+rs::GuaranteeStatus SamplingFp::GuaranteeStatus() const {
+  rs::GuaranteeStatus s;
+  s.flips_spent = rounder_.change_count();
+  s.flip_budget = 0;    // Unbounded: there is no flip budget to exhaust.
+  s.copies_retired = 0; // And no copies whose randomness could leak.
+  s.holds = influence_.Holds(params_.influence_cap, params_.warmup_weight);
+  return s;
+}
+
+void SamplingFp::Snapshot(std::string* out) const {
+  WireWriter w(out);
+  w.Header(SketchKind::kSamplingHead, seed_);
+  w.U8(0);  // Head discriminant: Fp.
+  w.F64(params_.eps);
+  w.F64(params_.p);
+  w.U64(params_.slots);
+  w.F64(params_.influence_cap);
+  w.F64(params_.warmup_weight);
+  w.U64(params_.refresh_period);
+  uint64_t updates = 0;
+  uint64_t total = 0;
+  std::vector<PpsReservoir::Slot> slots;
+  pps_.StateSnapshot(&updates, &total, &slots);
+  w.U64(updates);
+  w.U64(total);
+  for (const PpsReservoir::Slot& s : slots) {
+    w.U64(s.item);
+    w.U64(s.tail);
+  }
+  w.F64(influence_.total_weight);
+  w.F64(influence_.max_update_weight);
+  w.U64(influence_.updates);
+  w.F64(rounder_.current());
+  w.U64(rounder_.change_count());
+  w.U8(rounder_.started() ? 1 : 0);
+  w.U64(since_refresh_);
+}
+
+Status SamplingFp::Restore(std::string_view data) {
+  WireReader r(data);
+  SketchKind kind;
+  uint64_t seed = 0;
+  if (!r.Header(&kind, &seed)) {
+    return DataLoss("sampling snapshot: bad wire header");
+  }
+  if (kind != SketchKind::kSamplingHead) {
+    return DataLoss("sampling snapshot: not a sampling-head payload");
+  }
+  const uint8_t head = r.U8();
+  if (!r.ok() || head != 0) {
+    return DataLoss("sampling snapshot: not an Fp head");
+  }
+  Params p = params_;  // Keep the display name; adopt everything else.
+  p.eps = r.F64();
+  p.p = r.F64();
+  p.slots = static_cast<size_t>(r.U64());
+  p.influence_cap = r.F64();
+  p.warmup_weight = r.F64();
+  p.refresh_period = static_cast<size_t>(r.U64());
+  if (!r.ok()) return DataLoss("sampling snapshot: truncated parameters");
+  if (!(p.eps >= 1e-4 && p.eps < 1.0) || !(p.p >= 1.0 && p.p <= 2.0) ||
+      p.slots < 1 || p.slots > kMaxSampleSize ||
+      !(p.influence_cap > 0.0 && p.influence_cap < 1.0) ||
+      !std::isfinite(p.warmup_weight) || p.warmup_weight < 0.0 ||
+      p.refresh_period < 1) {
+    return DataLoss("sampling snapshot: parameter out of range");
+  }
+  const uint64_t updates = r.U64();
+  const uint64_t total = r.U64();
+  if (!r.ok() || p.slots > r.remaining() / 16) {
+    return DataLoss("sampling snapshot: truncated reservoir slots");
+  }
+  std::vector<PpsReservoir::Slot> slots(p.slots);
+  for (PpsReservoir::Slot& s : slots) {
+    s.item = r.U64();
+    s.tail = r.U64();
+  }
+  InfluenceTracker inf;
+  inf.total_weight = r.F64();
+  inf.max_update_weight = r.F64();
+  inf.updates = r.U64();
+  const double current = r.F64();
+  const uint64_t changes = r.U64();
+  const uint8_t started = r.U8();
+  const uint64_t since_refresh = r.U64();
+  if (!r.ok() || !r.AtEnd()) {
+    return DataLoss("sampling snapshot: truncated or trailing bytes");
+  }
+  if (!std::isfinite(inf.total_weight) ||
+      !std::isfinite(inf.max_update_weight) || inf.total_weight < 0.0 ||
+      inf.max_update_weight < 0.0 ||
+      inf.max_update_weight > inf.total_weight ||
+      (inf.updates == 0 && inf.total_weight != 0.0)) {
+    return DataLoss("sampling snapshot: inconsistent influence state");
+  }
+  if (started > 1 || !std::isfinite(current) ||
+      (started == 0 && (current != 0.0 || changes != 0))) {
+    return DataLoss("sampling snapshot: inconsistent rounder state");
+  }
+  PpsReservoir pps(p.slots, seed);
+  if (!pps.RestoreState(updates, total, std::move(slots))) {
+    return DataLoss("sampling snapshot: inconsistent reservoir state");
+  }
+  // Commit (nothing above mutated *this).
+  params_ = std::move(p);
+  seed_ = seed;
+  pps_ = std::move(pps);
+  influence_ = inf;
+  rounder_ = EpsilonRounder(params_.eps / 2);
+  rounder_.RestoreState(current, static_cast<size_t>(changes), started == 1);
+  since_refresh_ = since_refresh;
+  return Status::Ok();
+}
+
+// --- SamplingRegression. ---
+
+namespace {
+
+MergeReduceTree::Config TreeConfigFor(const SamplingRegression::Params& p) {
+  MergeReduceTree::Config cfg;
+  cfg.coreset_size = p.coreset_size;
+  cfg.segment_size = p.segment_size;
+  return cfg;
+}
+
+}  // namespace
+
+SamplingRegression::SamplingRegression(const Params& params, uint64_t seed)
+    : params_(params),
+      seed_(seed),
+      tree_(TreeConfigFor(params), seed),
+      rounder_(params.eps / 2) {
+  params_.segment_size = tree_.segment_size();  // Resolve the 0 default.
+}
+
+void SamplingRegression::Update(const rs::Update& u) {
+  if (u.delta <= 0) return;
+  tree_.Update(u);
+  if (++since_refresh_ >= params_.refresh_period) {
+    since_refresh_ = 0;
+    rounder_.Feed(tree_.Estimate());
+  }
+}
+
+void SamplingRegression::UpdateBatch(const rs::Update* ups, size_t count) {
+  bool any = false;
+  for (size_t i = 0; i < count; ++i) {
+    if (ups[i].delta <= 0) continue;
+    tree_.Update(ups[i]);
+    any = true;
+  }
+  if (any || count > 0) {
+    since_refresh_ = 0;
+    rounder_.Feed(tree_.Estimate());
+  }
+}
+
+double SamplingRegression::Estimate() const { return rounder_.current(); }
+
+size_t SamplingRegression::SpaceBytes() const {
+  return sizeof(*this) + tree_.SpaceBytes() - sizeof(MergeReduceTree);
+}
+
+size_t SamplingRegression::output_changes() const {
+  return rounder_.change_count();
+}
+
+bool SamplingRegression::InfluenceHolds() const {
+  InfluenceTracker t;
+  t.total_weight = tree_.total_weight();
+  t.max_update_weight = tree_.max_element_weight();
+  return t.Holds(params_.influence_cap, params_.warmup_weight);
+}
+
+bool SamplingRegression::exhausted() const { return !InfluenceHolds(); }
+
+rs::GuaranteeStatus SamplingRegression::GuaranteeStatus() const {
+  rs::GuaranteeStatus s;
+  s.flips_spent = rounder_.change_count();
+  s.flip_budget = 0;
+  s.copies_retired = 0;
+  s.holds = InfluenceHolds();
+  return s;
+}
+
+void SamplingRegression::Snapshot(std::string* out) const {
+  WireWriter w(out);
+  w.Header(SketchKind::kSamplingHead, seed_);
+  w.U8(1);  // Head discriminant: regression.
+  w.F64(params_.eps);
+  w.U64(params_.coreset_size);
+  w.U64(params_.segment_size);
+  w.F64(params_.influence_cap);
+  w.F64(params_.warmup_weight);
+  w.U64(params_.refresh_period);
+  std::string tree_bytes;
+  tree_.Serialize(&tree_bytes);
+  w.U64(tree_bytes.size());
+  w.Bytes(tree_bytes);
+  w.F64(rounder_.current());
+  w.U64(rounder_.change_count());
+  w.U8(rounder_.started() ? 1 : 0);
+  w.U64(since_refresh_);
+}
+
+Status SamplingRegression::Restore(std::string_view data) {
+  WireReader r(data);
+  SketchKind kind;
+  uint64_t seed = 0;
+  if (!r.Header(&kind, &seed)) {
+    return DataLoss("sampling snapshot: bad wire header");
+  }
+  if (kind != SketchKind::kSamplingHead) {
+    return DataLoss("sampling snapshot: not a sampling-head payload");
+  }
+  const uint8_t head = r.U8();
+  if (!r.ok() || head != 1) {
+    return DataLoss("sampling snapshot: not a regression head");
+  }
+  Params p = params_;
+  p.eps = r.F64();
+  p.coreset_size = static_cast<size_t>(r.U64());
+  p.segment_size = static_cast<size_t>(r.U64());
+  p.influence_cap = r.F64();
+  p.warmup_weight = r.F64();
+  p.refresh_period = static_cast<size_t>(r.U64());
+  if (!r.ok()) return DataLoss("sampling snapshot: truncated parameters");
+  if (!(p.eps >= 1e-4 && p.eps < 1.0) || p.coreset_size < 1 ||
+      p.coreset_size > kMaxSampleSize || p.segment_size < 1 ||
+      p.segment_size > kMaxSampleSize ||
+      !(p.influence_cap > 0.0 && p.influence_cap < 1.0) ||
+      !std::isfinite(p.warmup_weight) || p.warmup_weight < 0.0 ||
+      p.refresh_period < 1) {
+    return DataLoss("sampling snapshot: parameter out of range");
+  }
+  const uint64_t tree_len = r.U64();
+  if (!r.ok() || tree_len > r.remaining()) {
+    return DataLoss("sampling snapshot: truncated coreset tree");
+  }
+  const std::string_view tree_bytes = r.Bytes(static_cast<size_t>(tree_len));
+  std::unique_ptr<MergeReduceTree> tree =
+      MergeReduceTree::Deserialize(tree_bytes);
+  if (tree == nullptr) {
+    return DataLoss("sampling snapshot: corrupt coreset tree");
+  }
+  if (tree->seed() != seed || tree->coreset_size() != p.coreset_size ||
+      tree->segment_size() != p.segment_size) {
+    return DataLoss("sampling snapshot: tree geometry mismatch");
+  }
+  const double current = r.F64();
+  const uint64_t changes = r.U64();
+  const uint8_t started = r.U8();
+  const uint64_t since_refresh = r.U64();
+  if (!r.ok() || !r.AtEnd()) {
+    return DataLoss("sampling snapshot: truncated or trailing bytes");
+  }
+  if (started > 1 || !std::isfinite(current) ||
+      (started == 0 && (current != 0.0 || changes != 0))) {
+    return DataLoss("sampling snapshot: inconsistent rounder state");
+  }
+  params_ = std::move(p);
+  seed_ = seed;
+  tree_ = std::move(*tree);
+  rounder_ = EpsilonRounder(params_.eps / 2);
+  rounder_.RestoreState(current, static_cast<size_t>(changes), started == 1);
+  since_refresh_ = since_refresh;
+  return Status::Ok();
+}
+
+// --- Sizing and validation. ---
+
+size_t SamplingSampleSize(const RobustConfig& config) {
+  if (config.sampling.sample_size > 0) return config.sampling.sample_size;
+  const double auto_k = std::ceil(16.0 / (config.eps * config.eps));
+  if (auto_k < 64.0) return 64;
+  if (auto_k > static_cast<double>(kMaxSampleSize)) return kMaxSampleSize;
+  return static_cast<size_t>(auto_k);
+}
+
+double SamplingWarmupWeight(const RobustConfig& config, size_t sample_size) {
+  if (config.sampling.warmup_weight > 0.0) {
+    return config.sampling.warmup_weight;
+  }
+  return 64.0 * static_cast<double>(sample_size);
+}
+
+Status ValidateSamplingParams(const RobustConfig& config) {
+  if (config.stream.model != StreamModel::kInsertionOnly) {
+    return InvalidArgument(
+        "stream.model: importance sampling requires the insertion-only "
+        "model (arXiv:2106.14952 caps per-update influence of inserts)");
+  }
+  const auto& s = config.sampling;
+  if (s.sample_size > kMaxSampleSize) {
+    return InvalidArgument("sampling.sample_size: must be <= 2^22, got " +
+                           std::to_string(s.sample_size));
+  }
+  if (!(s.influence_cap > 0.0 && s.influence_cap < 1.0)) {
+    return InvalidArgument("sampling.influence_cap: must be in (0, 1), got " +
+                           std::to_string(s.influence_cap));
+  }
+  if (!std::isfinite(s.warmup_weight) || s.warmup_weight < 0.0) {
+    return InvalidArgument(
+        "sampling.warmup_weight: must be finite and >= 0, got " +
+        std::to_string(s.warmup_weight));
+  }
+  if (s.segment_size > kMaxSampleSize) {
+    return InvalidArgument("sampling.segment_size: must be <= 2^22, got " +
+                           std::to_string(s.segment_size));
+  }
+  if (s.refresh_period < 1) {
+    return InvalidArgument("sampling.refresh_period: must be >= 1, got 0");
+  }
+  return Status::Ok();
+}
+
+Status ValidateSamplingRegressionConfig(const RobustConfig& config) {
+  if (!(config.eps >= 1e-4 && config.eps < 1.0)) {
+    return InvalidArgument("eps: must be in [1e-4, 1), got " +
+                           std::to_string(config.eps));
+  }
+  if (!(config.delta > 0.0 && config.delta < 1.0)) {
+    return InvalidArgument("delta: must be in (0, 1), got " +
+                           std::to_string(config.delta));
+  }
+  if (config.stream.n < 1) {
+    return InvalidArgument("stream.n: must be >= 1, got 0");
+  }
+  if (config.stream.m < 1) {
+    return InvalidArgument("stream.m: must be >= 1, got 0");
+  }
+  RS_TRY(ValidateSamplingParams(config));
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<SamplingEstimator>> TryMakeSamplingFp(
+    const RobustConfig& config, uint64_t seed) {
+  if (config.method != Method::kImportanceSampling) {
+    return InvalidArgument(
+        "method: TryMakeSamplingFp requires Method::kImportanceSampling");
+  }
+  RS_TRY(config.Validate(Task::kFp));
+  const size_t slots = SamplingSampleSize(config);
+  SamplingFp::Params p;
+  p.eps = config.eps;
+  p.p = config.fp.p;
+  p.slots = slots;
+  p.influence_cap = config.sampling.influence_cap;
+  p.warmup_weight = SamplingWarmupWeight(config, slots);
+  p.refresh_period = config.sampling.refresh_period;
+  p.name =
+      "SamplingFp(p=" + FmtP(config.fp.p) + ", k=" + std::to_string(slots) +
+      ")";
+  return std::unique_ptr<SamplingEstimator>(new SamplingFp(p, seed));
+}
+
+Result<std::unique_ptr<SamplingEstimator>> TryMakeSamplingRegression(
+    const RobustConfig& config, uint64_t seed) {
+  RS_TRY(ValidateSamplingRegressionConfig(config));
+  const size_t coreset = SamplingSampleSize(config);
+  SamplingRegression::Params p;
+  p.eps = config.eps;
+  p.coreset_size = coreset;
+  p.segment_size = config.sampling.segment_size;
+  p.influence_cap = config.sampling.influence_cap;
+  p.warmup_weight = SamplingWarmupWeight(config, coreset);
+  p.refresh_period = config.sampling.refresh_period;
+  p.name = "SamplingRegression(k=" + std::to_string(coreset) + ")";
+  return std::unique_ptr<SamplingEstimator>(
+      new SamplingRegression(p, seed));
+}
+
+}  // namespace rs

@@ -1,0 +1,180 @@
+// sampling_robust.h — the importance-sampling robustification method
+// (Method #4 of the facade; Braverman et al., arXiv:2106.14952).
+//
+// The three flip-number methods (switching, paths, dp) buy robustness by
+// multiplying oblivious copies and pricing output changes against a flip
+// budget. This method is structurally different: a sampling-based algorithm
+// is adversarially robust *for free* as long as each update's importance-
+// sampling probability is bounded — the adversary's best move perturbs the
+// retained sample by at most that share, so there is no flip budget to
+// exhaust (GuaranteeStatus.flip_budget = 0, like ring mode) and no copies
+// to retire. What CAN lapse is the sampling-probability bound itself: the
+// InfluenceTracker (rs/sampling/sampler.h) records the realized maximum
+// single-update share, and GuaranteeStatus.holds reports whether it stayed
+// under `RobustConfig.sampling.influence_cap` (past the warmup mass below
+// which the sample is effectively exhaustive).
+//
+// Two task heads:
+//   * SamplingFp — robust Fp for p in [1, 2] on insertion-only streams via
+//     the PpsReservoir position sampler, published through the Section 3
+//     sticky (1 +- eps/2) rounder;
+//   * SamplingRegression — a robust L2-regression coreset over the
+//     MergeReduceTree (rows sampled by leverage-score upper bounds); the
+//     published Estimate() is ||beta||_2 of the coreset solution, and
+//     Query() exposes the full solution with its relative-error
+//     certificate.
+//
+// Both heads snapshot/restore bit-exactly through the rs/io wire header
+// (SketchKind::kSamplingHead) — all sampler randomness is counter-based,
+// so a restored head continues the stream identically. StreamHub hosts
+// them via the SamplingEstimator interface below (the sampling analogue of
+// ShardedRobust's Snapshot/Restore pair).
+
+#ifndef RS_SAMPLING_SAMPLING_ROBUST_H_
+#define RS_SAMPLING_SAMPLING_ROBUST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "rs/core/robust.h"
+#include "rs/core/rounding.h"
+#include "rs/sampling/merge_reduce.h"
+#include "rs/sampling/sampler.h"
+#include "rs/util/status.h"
+
+namespace rs {
+
+// A robust estimator whose full state snapshots to bytes and restores
+// bit-exactly — what StreamHub needs to host sampling streams in its
+// hub-wide snapshot envelope.
+class SamplingEstimator : public RobustEstimator {
+ public:
+  // Appends the head's full state (wire header + counter-based sampler
+  // state) to *out.
+  virtual void Snapshot(std::string* out) const = 0;
+
+  // Restores a Snapshot() image; adopts the snapshot's geometry. A
+  // malformed buffer leaves the head untouched and returns kDataLoss.
+  [[nodiscard]] virtual Status Restore(std::string_view data) = 0;
+};
+
+// Robust sampling-based Fp (p in [1, 2], insertion-only).
+class SamplingFp : public SamplingEstimator {
+ public:
+  struct Params {
+    double eps = 0.1;
+    double p = 2.0;
+    size_t slots = 256;          // PpsReservoir sample size.
+    double influence_cap = 0.25;
+    double warmup_weight = 0.0;  // Mass below which holds is vacuous.
+    size_t refresh_period = 1;   // Updates between rounder refreshes.
+    std::string name = "SamplingFp";
+  };
+
+  SamplingFp(const Params& params, uint64_t seed);
+
+  void Update(const rs::Update& u) override;
+  // Hot path: every update feeds the sampler; the raw estimate is
+  // recomputed and fed to the rounder once at the batch boundary (the
+  // sanctioned batched-publish amortization).
+  void UpdateBatch(const rs::Update* ups, size_t count) override;
+  double Estimate() const override;
+  size_t SpaceBytes() const override;
+  std::string Name() const override { return params_.name; }
+
+  size_t output_changes() const override;
+  bool exhausted() const override;
+  rs::GuaranteeStatus GuaranteeStatus() const override;
+
+  void Snapshot(std::string* out) const override;
+  [[nodiscard]] Status Restore(std::string_view data) override;
+
+  const InfluenceTracker& influence() const { return influence_; }
+  const PpsReservoir& reservoir() const { return pps_; }
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+  uint64_t seed_;
+  PpsReservoir pps_;
+  InfluenceTracker influence_;
+  EpsilonRounder rounder_;
+  uint64_t since_refresh_ = 0;
+};
+
+// Robust L2-regression coreset head over the merge-and-reduce tree.
+class SamplingRegression : public SamplingEstimator {
+ public:
+  struct Params {
+    double eps = 0.1;
+    size_t coreset_size = 256;
+    size_t segment_size = 0;     // 0 = 2 * coreset_size.
+    double influence_cap = 0.25;
+    double warmup_weight = 0.0;
+    size_t refresh_period = 1;
+    std::string name = "SamplingRegression";
+  };
+
+  SamplingRegression(const Params& params, uint64_t seed);
+
+  void Update(const rs::Update& u) override;
+  void UpdateBatch(const rs::Update* ups, size_t count) override;
+  double Estimate() const override;
+  size_t SpaceBytes() const override;
+  std::string Name() const override { return params_.name; }
+
+  size_t output_changes() const override;
+  bool exhausted() const override;
+  rs::GuaranteeStatus GuaranteeStatus() const override;
+
+  void Snapshot(std::string* out) const override;
+  [[nodiscard]] Status Restore(std::string_view data) override;
+
+  // The coreset regression solution with its relative-error certificate —
+  // the query no flip-number method serves.
+  MergeReduceTree::Solution Query() const { return tree_.Solve(); }
+
+  const MergeReduceTree& tree() const { return tree_; }
+  const Params& params() const { return params_; }
+
+ private:
+  bool InfluenceHolds() const;
+
+  Params params_;
+  uint64_t seed_;
+  MergeReduceTree tree_;
+  EpsilonRounder rounder_;
+  uint64_t since_refresh_ = 0;
+};
+
+// Resolved sampling sizes shared by the factories, the hub, and the bench
+// drivers: sample_size 0 = auto (max(64, ceil(16 / eps^2)));
+// warmup_weight 0 = auto (64 * sample_size — conservatively past the mass
+// where a fuzzer-scale burst could still command an influence_cap share).
+size_t SamplingSampleSize(const RobustConfig& config);
+double SamplingWarmupWeight(const RobustConfig& config, size_t sample_size);
+
+// Rules of the RobustConfig.sampling sub-struct plus the stream-model
+// requirement (insertion-only) — shared by RobustConfig::Validate's
+// kImportanceSampling branch and the regression validator below.
+[[nodiscard]] Status ValidateSamplingParams(const RobustConfig& config);
+
+// Full validation for the "is_regression" registry task (which has no Task
+// enum value): the common eps/delta/stream rules plus the sampling rules.
+[[nodiscard]] Status ValidateSamplingRegressionConfig(
+    const RobustConfig& config);
+
+// Factories behind Method::kImportanceSampling and the "is_fp" /
+// "is_regression" registry keys. Both report every invalid input as a
+// Status; TryMakeSamplingFp requires config.method == kImportanceSampling
+// and validates through RobustConfig::Validate(Task::kFp).
+[[nodiscard]] Result<std::unique_ptr<SamplingEstimator>> TryMakeSamplingFp(
+    const RobustConfig& config, uint64_t seed);
+[[nodiscard]] Result<std::unique_ptr<SamplingEstimator>>
+TryMakeSamplingRegression(const RobustConfig& config, uint64_t seed);
+
+}  // namespace rs
+
+#endif  // RS_SAMPLING_SAMPLING_ROBUST_H_

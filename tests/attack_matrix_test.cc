@@ -44,6 +44,7 @@ RobustConfig MatrixConfig(const GameOptions& options, Method method) {
   cfg.method = method;
   cfg.fp.p = 2.0;
   cfg.dp.copies_override = 9;  // Keep the smoke tier fast.
+  cfg.sampling.sample_size = 512;  // E21's sampling-column geometry.
   return cfg;
 }
 
@@ -69,7 +70,8 @@ TEST(AttackMatrixTest, RobustMethodsHoldAgainstTheSameRowsAndSeeds) {
     for (const Cell& cell :
          {Cell{"fp", Method::kSketchSwitching},
           Cell{"fp", Method::kComputationPaths},
-          Cell{"dp_fp", Method::kDifferentialPrivacy}}) {
+          Cell{"dp_fp", Method::kDifferentialPrivacy},
+          Cell{"is_fp", Method::kImportanceSampling}}) {
       const GameOptions options =
           MatrixOptions(kRobustAlpha, StreamModel::kInsertionOnly);
       const GameVerdict v =
@@ -108,6 +110,28 @@ TEST(AttackMatrixTest, FuzzedStreamsNeverBreakARobustDefender) {
       EXPECT_EQ(v.steps, options.max_steps) << task_key << " seed " << seed
                                             << ": " << v.termination;
     }
+  }
+}
+
+TEST(AttackMatrixTest, SamplingDefenderSurvivesDeletionCapableAttacks) {
+  // The sampling head is insertion-only (ValidateSamplingParams pins the
+  // model), so it never plays the turnstile section — but turnstile_delete
+  // and the fuzzer still face it in the insertion-only matrix, where both
+  // degrade gracefully to model-legal insert-only schedules. Pins: no
+  // forfeit (the attacks stay inside the model), no break, no influence
+  // violation, and the framework-#4 signature telemetry (flip budget 0).
+  for (const char* key : {"turnstile_delete", "fuzzer"}) {
+    const GameOptions options =
+        MatrixOptions(kRobustAlpha, StreamModel::kInsertionOnly);
+    const GameVerdict v = RunMatrixCell(
+        key, 4242, "is_fp",
+        MatrixConfig(options, Method::kImportanceSampling), 11, TruthF2(),
+        options);
+    EXPECT_EQ(v.steps, options.max_steps) << key << ": " << v.termination;
+    EXPECT_FALSE(v.broke) << key << ": max rel err " << v.max_rel_error;
+    EXPECT_TRUE(v.holds) << key;
+    EXPECT_EQ(v.first_violation_step, 0u) << key;
+    EXPECT_EQ(v.flip_budget, 0u) << key;
   }
 }
 

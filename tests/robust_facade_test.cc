@@ -197,6 +197,64 @@ TEST(RobustFacadeTest, DpKeysMatchTheDpMethod) {
   EXPECT_EQ(diff->Name(), "DpF2Diff");
 }
 
+// The fourth method (importance sampling, rs/sampling/) dispatches on the
+// Fp task: same facade entry points, counter-based sampling underneath.
+TEST(RobustFacadeTest, SamplingMethodConstructsAndTracksOnFp) {
+  RobustConfig config = SmallConfig();
+  config.method = Method::kImportanceSampling;
+  config.fp.p = 2.0;
+  const auto alg = MakeRobust(Task::kFp, config, 61);
+  ASSERT_NE(alg, nullptr);
+  EXPECT_FALSE(alg->Name().empty());
+  double truth = 0.0;
+  for (const auto& u : WorkloadFor(Task::kFp, 67)) {
+    alg->Update(u);
+    truth += 1.0;  // Unit deltas.
+  }
+  EXPECT_TRUE(std::isfinite(alg->Estimate()));
+  EXPECT_GT(alg->Estimate(), 0.0);
+  EXPECT_GT(alg->SpaceBytes(), 0u);
+}
+
+// The is_* registry keys are method shorthands, exactly like the dp_*
+// family: "is_fp" must build what Method::kImportanceSampling builds on
+// kFp, and "is_regression" builds the regression coreset head.
+TEST(RobustFacadeTest, IsKeysMatchTheSamplingMethod) {
+  const RobustConfig config = SmallConfig();
+  const auto by_key = MakeRobust("is_fp", config, 43);
+  RobustConfig is_config = config;
+  is_config.method = Method::kImportanceSampling;
+  const auto by_method = MakeRobust(Task::kFp, is_config, 43);
+  ASSERT_NE(by_key, nullptr);
+  for (const auto& u : WorkloadFor(Task::kFp, 47)) {
+    by_key->Update(u);
+    by_method->Update(u);
+  }
+  EXPECT_DOUBLE_EQ(by_key->Estimate(), by_method->Estimate());
+  EXPECT_EQ(by_key->SpaceBytes(), by_method->SpaceBytes());
+  EXPECT_EQ(by_key->output_changes(), by_method->output_changes());
+
+  const auto reg = MakeRobust("is_regression", config, 43);
+  ASSERT_NE(reg, nullptr);
+  EXPECT_NE(reg->Name().find("SamplingRegression"), std::string::npos);
+}
+
+// The sampling method's telemetry signature: NO flip budget (there is no
+// budget to exhaust — robustness rides on the influence bound) and no
+// retired copies; holds mirrors the influence condition.
+TEST(RobustFacadeTest, SamplingTelemetryHasNoFlipBudget) {
+  RobustConfig config = SmallConfig();
+  config.method = Method::kImportanceSampling;
+  const auto alg = MakeRobust(Task::kFp, config, 71);
+  for (const auto& u : WorkloadFor(Task::kFp, 73)) alg->Update(u);
+  const rs::GuaranteeStatus status = alg->GuaranteeStatus();
+  EXPECT_EQ(status.flip_budget, 0u);
+  EXPECT_EQ(status.copies_retired, 0u);
+  EXPECT_TRUE(status.holds);  // Unit-delta workload: the bound holds.
+  EXPECT_EQ(status.holds, !alg->exhausted());
+  EXPECT_EQ(status.flips_spent, alg->output_changes());
+}
+
 // The dp method's telemetry signature: a nonzero flip budget (the SVT
 // budget), and NO retired copies — their randomness is protected, not
 // revealed-and-discarded.

@@ -1,0 +1,665 @@
+// Tests for the importance-sampling subsystem (rs/sampling/): sampler
+// moment checks on fixed seeds, the merge algebra of the priority-sampling
+// coreset and the merge-and-reduce tree (commutativity/associativity of the
+// folded result), wire round trips with corrupt-buffer rejection, the
+// influence-cap telemetry behind GuaranteeStatus().holds, the facade and
+// registry integration of Method::kImportanceSampling, and sharding a
+// MergeReduceTree through ShardedRobust.
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "rs/core/robust.h"
+#include "rs/engine/sharded.h"
+#include "rs/io/sketch_codec.h"
+#include "rs/sampling/merge_reduce.h"
+#include "rs/sampling/sampler.h"
+#include "rs/sampling/sampling_robust.h"
+#include "rs/stream/exact_oracle.h"
+#include "rs/stream/generators.h"
+
+namespace rs {
+namespace {
+
+RobustConfig SamplingFpConfig(double eps = 0.2) {
+  RobustConfig cfg;
+  cfg.eps = eps;
+  cfg.delta = 0.05;
+  cfg.stream.n = 1 << 12;
+  cfg.stream.m = 1 << 20;
+  cfg.stream.max_frequency = 1 << 20;
+  cfg.method = Method::kImportanceSampling;
+  cfg.fp.p = 2.0;
+  cfg.sampling.sample_size = 512;
+  return cfg;
+}
+
+// Exact weighted least squares over the oracle's frequency vector, through
+// the SAME featurization and solver the coreset head uses — the two sides
+// compute one functional.
+void ExactRegressionBeta(const ExactOracle& oracle, double* beta) {
+  double xtx[kRegressionDim * kRegressionDim] = {0.0};
+  double xty[kRegressionDim] = {0.0};
+  for (const auto& [item, freq] : oracle.frequencies()) {
+    if (freq <= 0) continue;
+    AccumulateNormalEquations(RegressionRowFor(item),
+                              static_cast<double>(freq), xtx, xty);
+  }
+  ASSERT_TRUE(SolveNormalEquations(xtx, xty, beta));
+}
+
+// --- CounterUniform / PpsReservoir. ---
+
+TEST(CounterUniform, DeterministicAndInUnitInterval) {
+  for (uint64_t c = 0; c < 1000; ++c) {
+    const double u = CounterUniform(42, c, 3);
+    EXPECT_GT(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    EXPECT_EQ(u, CounterUniform(42, c, 3));
+  }
+  // Lanes decorrelate draws sharing a counter.
+  EXPECT_NE(CounterUniform(42, 7, 0), CounterUniform(42, 7, 1));
+}
+
+TEST(PpsReservoir, F1IsExactForAnyStream) {
+  PpsReservoir pps(32, 9);
+  const Stream stream = ZipfStream(1 << 10, 5000, 1.2, 17);
+  uint64_t mass = 0;
+  for (const auto& u : stream) {
+    pps.Add(u.item, static_cast<uint64_t>(u.delta));
+    mass += static_cast<uint64_t>(u.delta);
+  }
+  // At p = 1 every seated slot contributes exactly 1, so the estimator
+  // collapses to W — F1 with zero variance.
+  EXPECT_DOUBLE_EQ(pps.FpEstimate(1.0), static_cast<double>(mass));
+  EXPECT_EQ(pps.total_weight(), mass);
+}
+
+TEST(PpsReservoir, F2TracksTheOracleOnFixedSeeds) {
+  for (const uint64_t seed : {11u, 23u, 77u}) {
+    PpsReservoir pps(512, seed);
+    ExactOracle oracle;
+    const Stream stream = UniformStream(1 << 8, 8192, 5);
+    for (const auto& u : stream) {
+      pps.Add(u.item, static_cast<uint64_t>(u.delta));
+      oracle.Update(u);
+    }
+    const double est = pps.FpEstimate(2.0);
+    EXPECT_NEAR(est, oracle.F2(), 0.25 * oracle.F2())
+        << "defender seed " << seed;
+  }
+}
+
+TEST(PpsReservoir, WeightedUpdatesMatchUnitExpansion) {
+  // One Add(item, w) must hit the same state as the estimator contract
+  // demands of w occurrences: total and p = 1 exactness, and tails bounded
+  // by the item's frequency.
+  PpsReservoir pps(16, 4);
+  pps.Add(100, 5);
+  pps.Add(200, 3);
+  EXPECT_EQ(pps.total_weight(), 8u);
+  EXPECT_DOUBLE_EQ(pps.FpEstimate(1.0), 8.0);
+  for (const auto& slot : pps.slots()) {
+    ASSERT_NE(slot.tail, 0u);
+    const uint64_t freq = slot.item == 100 ? 5 : 3;
+    EXPECT_LE(slot.tail, freq);
+  }
+}
+
+TEST(PpsReservoir, RestoreStateRejectsInconsistentState) {
+  PpsReservoir pps(4, 1);
+  pps.Add(7, 3);
+  uint64_t updates = 0, total = 0;
+  std::vector<PpsReservoir::Slot> slots;
+  pps.StateSnapshot(&updates, &total, &slots);
+
+  EXPECT_TRUE(pps.RestoreState(updates, total, slots));
+  // Wrong slot count.
+  std::vector<PpsReservoir::Slot> short_slots(slots.begin(),
+                                              slots.end() - 1);
+  EXPECT_FALSE(pps.RestoreState(updates, total, short_slots));
+  // Tail above the total mass.
+  auto bad_tail = slots;
+  bad_tail[0].tail = total + 1;
+  EXPECT_FALSE(pps.RestoreState(updates, total, bad_tail));
+  // Empty slot on a non-empty reservoir.
+  auto empty_slot = slots;
+  empty_slot[0].tail = 0;
+  EXPECT_FALSE(pps.RestoreState(updates, total, empty_slot));
+}
+
+// --- InfluenceTracker. ---
+
+TEST(InfluenceTracker, HoldsUntilACapShareUpdateLandsPastWarmup) {
+  InfluenceTracker t;
+  for (int i = 0; i < 100; ++i) t.Add(1.0);
+  EXPECT_TRUE(t.Holds(0.25, 0.0));
+  // Below warmup mass the condition is vacuous even for a dominant update.
+  InfluenceTracker w;
+  w.Add(10.0);
+  EXPECT_TRUE(w.Holds(0.25, 64.0));
+  EXPECT_FALSE(w.Holds(0.25, 0.0));
+  // A spike worth more than a quarter of the total voids the bound.
+  t.Add(200.0);
+  EXPECT_FALSE(t.Holds(0.25, 0.0));
+}
+
+// --- L2Sampler merge algebra. ---
+
+// Builds a sampler with `count` elements starting at item `first`.
+L2Sampler MakeSampler(size_t capacity, uint64_t seed, uint64_t first,
+                      size_t count, uint64_t seq0) {
+  L2Sampler s(capacity, seed);
+  for (size_t i = 0; i < count; ++i) {
+    const uint64_t item = first + i;
+    s.AddElement(item, RowImportance(RegressionRowFor(item)), seq0 + i);
+  }
+  return s;
+}
+
+bool SameState(const L2Sampler& a, const L2Sampler& b) {
+  if (a.tau() != b.tau()) return false;
+  const auto sa = a.SortedEntries();
+  const auto sb = b.SortedEntries();
+  if (sa.size() != sb.size()) return false;
+  for (size_t i = 0; i < sa.size(); ++i) {
+    if (sa[i].priority != sb[i].priority || sa[i].item != sb[i].item ||
+        sa[i].weight != sb[i].weight) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(L2Sampler, MergeIsCommutativeAndAssociative) {
+  const size_t kCap = 24;
+  const L2Sampler a = MakeSampler(kCap, 5, 0, 40, 0);
+  const L2Sampler b = MakeSampler(kCap, 5, 1000, 40, 100);
+  const L2Sampler c = MakeSampler(kCap, 5, 2000, 40, 200);
+
+  // (a + b) + c.
+  L2Sampler left(kCap, 5);
+  left.MergeFrom(a);
+  left.MergeFrom(b);
+  L2Sampler left2(kCap, 5);
+  left2.MergeFrom(left);
+  left2.MergeFrom(c);
+
+  // a + (b + c).
+  L2Sampler right(kCap, 5);
+  right.MergeFrom(b);
+  right.MergeFrom(c);
+  L2Sampler right2(kCap, 5);
+  right2.MergeFrom(a);
+  right2.MergeFrom(right);
+
+  // (c + b) + a — commuted.
+  L2Sampler comm(kCap, 5);
+  comm.MergeFrom(c);
+  comm.MergeFrom(b);
+  comm.MergeFrom(a);
+
+  EXPECT_TRUE(SameState(left2, right2));
+  EXPECT_TRUE(SameState(left2, comm));
+  // Something was actually dropped, or the test is vacuous.
+  EXPECT_GT(left2.tau(), 0.0);
+}
+
+// --- MergeReduceTree. ---
+
+TEST(MergeReduceTree, FoldedSolutionIsMergeOrderInvariant) {
+  MergeReduceTree::Config cfg;
+  cfg.coreset_size = 32;
+  const Stream stream = UniformStream(1 << 9, 1500, 21);
+
+  MergeReduceTree a(cfg, 3), b(cfg, 3), c(cfg, 3);
+  // Partition the stream across three trees (sequence counters are
+  // per-tree, so feed contiguous chunks).
+  for (size_t i = 0; i < stream.size(); ++i) {
+    (i % 3 == 0 ? a : i % 3 == 1 ? b : c).Update(stream[i]);
+  }
+
+  MergeReduceTree left = a;  // (a + b) + c
+  left.Merge(b);
+  left.Merge(c);
+  MergeReduceTree right = c;  // (c + b) + a
+  right.Merge(b);
+  right.Merge(a);
+
+  const auto sl = left.Solve();
+  const auto sr = right.Solve();
+  EXPECT_EQ(sl.tau, sr.tau);
+  EXPECT_EQ(sl.support, sr.support);
+  for (int d = 0; d < kRegressionDim; ++d) {
+    EXPECT_EQ(sl.beta[d], sr.beta[d]);
+  }
+  EXPECT_EQ(left.elements(), right.elements());
+  // Merge order reorders the telemetry accumulation, so total weight is
+  // equal only up to floating-point summation order.
+  EXPECT_NEAR(left.total_weight(), right.total_weight(),
+              1e-9 * left.total_weight());
+}
+
+TEST(MergeReduceTree, ExactRegimeSolvesTheNormalEquationsWithCertificateZero) {
+  // Everything fits: no coreset ever drops, tau stays 0, and the coreset
+  // solution IS the exact weighted least-squares solution.
+  MergeReduceTree::Config cfg;
+  cfg.coreset_size = 4096;
+  MergeReduceTree tree(cfg, 11);
+  ExactOracle oracle;
+  const Stream stream = UniformStream(1 << 7, 600, 33);
+  for (const auto& u : stream) {
+    tree.Update(u);
+    oracle.Update(u);
+  }
+  const auto sol = tree.Solve();
+  EXPECT_EQ(sol.tau, 0.0);
+  EXPECT_EQ(sol.rel_error_bound, 0.0);
+  double exact[kRegressionDim];
+  ExactRegressionBeta(oracle, exact);
+  for (int d = 0; d < kRegressionDim; ++d) {
+    EXPECT_NEAR(sol.beta[d], exact[d], 1e-9 * (1.0 + std::fabs(exact[d])));
+  }
+}
+
+TEST(MergeReduceTree, CoresetSolutionTracksTheExactBeta) {
+  MergeReduceTree::Config cfg;
+  cfg.coreset_size = 256;
+  MergeReduceTree tree(cfg, 7);
+  ExactOracle oracle;
+  const Stream stream = UniformStream(1 << 10, 12000, 13);
+  for (const auto& u : stream) {
+    tree.Update(u);
+    oracle.Update(u);
+  }
+  const auto sol = tree.Solve();
+  EXPECT_GT(sol.tau, 0.0);  // Reductions actually happened.
+  EXPECT_GT(sol.rel_error_bound, 0.0);
+  EXPECT_LE(sol.rel_error_bound, 1.0);
+  double exact[kRegressionDim];
+  ExactRegressionBeta(oracle, exact);
+  // The planted coefficients are (1, 2, -1); the coreset estimate must land
+  // near the exact solution at this sample size.
+  for (int d = 0; d < kRegressionDim; ++d) {
+    EXPECT_NEAR(sol.beta[d], exact[d], 0.25 * (1.0 + std::fabs(exact[d])))
+        << "coefficient " << d;
+  }
+}
+
+TEST(MergeReduceTree, SerializeRoundTripIsBitExact) {
+  MergeReduceTree::Config cfg;
+  cfg.coreset_size = 64;
+  MergeReduceTree tree(cfg, 19);
+  const Stream stream = ZipfStream(1 << 9, 4000, 1.1, 3);
+  for (const auto& u : stream) tree.Update(u);
+
+  std::string bytes;
+  tree.Serialize(&bytes);
+  auto restored = MergeReduceTree::Deserialize(bytes);
+  ASSERT_NE(restored, nullptr);
+  std::string bytes2;
+  restored->Serialize(&bytes2);
+  EXPECT_EQ(bytes, bytes2);
+
+  // The restored tree keeps streaming identically.
+  const Stream more = UniformStream(1 << 9, 500, 8);
+  for (const auto& u : more) {
+    tree.Update(u);
+    restored->Update(u);
+  }
+  std::string a, b;
+  tree.Serialize(&a);
+  restored->Serialize(&b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(MergeReduceTree, DeserializeRejectsCorruptBuffers) {
+  MergeReduceTree::Config cfg;
+  cfg.coreset_size = 32;
+  MergeReduceTree tree(cfg, 2);
+  const Stream stream = UniformStream(1 << 8, 2000, 5);
+  for (const auto& u : stream) tree.Update(u);
+  std::string bytes;
+  tree.Serialize(&bytes);
+
+  EXPECT_EQ(MergeReduceTree::Deserialize(""), nullptr);
+  // Truncation at every prefix length must be rejected, never crash.
+  for (size_t len = 0; len < bytes.size(); len += 7) {
+    EXPECT_EQ(MergeReduceTree::Deserialize(bytes.substr(0, len)), nullptr);
+  }
+  // Trailing garbage.
+  EXPECT_EQ(MergeReduceTree::Deserialize(bytes + "x"), nullptr);
+  // A flipped byte anywhere must either restore to a valid state or be
+  // rejected — walk a sample of positions and require no crash; positions
+  // inside the fixed-width counters must be rejected or round-trip.
+  for (size_t pos = 0; pos < bytes.size(); pos += 11) {
+    std::string corrupt = bytes;
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0x5A);
+    auto t = MergeReduceTree::Deserialize(corrupt);
+    if (t != nullptr) {
+      std::string again;
+      t->Serialize(&again);
+      EXPECT_EQ(again, corrupt);  // Anything accepted is self-consistent.
+    }
+  }
+}
+
+TEST(MergeReduceTree, SketchCodecRoutesSamplingCoreset) {
+  MergeReduceTree::Config cfg;
+  cfg.coreset_size = 16;
+  MergeReduceTree tree(cfg, 77);
+  const Stream stream = UniformStream(1 << 6, 300, 2);
+  for (const auto& u : stream) tree.Update(u);
+  std::string bytes;
+  tree.Serialize(&bytes);
+
+  auto result = DeserializeSketch(bytes);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  std::string again;
+  result.value()->Serialize(&again);
+  EXPECT_EQ(again, bytes);
+
+  // Corrupt payload of a recognized kind reports data loss.
+  std::string corrupt = bytes.substr(0, bytes.size() - 3);
+  auto bad = DeserializeSketch(corrupt);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(SamplingHeads, SketchCodecRefusesHeadEnvelopes) {
+  SamplingFp::Params params;
+  params.slots = 8;
+  SamplingFp head(params, 5);
+  head.Update({1, 1});
+  std::string bytes;
+  head.Snapshot(&bytes);
+  auto result = DeserializeSketch(bytes);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnimplemented);
+}
+
+// --- SamplingFp head. ---
+
+TEST(SamplingFp, TracksF2WithGuaranteeTelemetry) {
+  auto cfg = SamplingFpConfig(0.2);
+  auto result = TryMakeSamplingFp(cfg, 11);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto& head = *result.value();
+  ExactOracle oracle;
+  const Stream stream = UniformStream(1 << 8, 8192, 5);
+  for (const auto& u : stream) {
+    head.Update(u);
+    oracle.Update(u);
+  }
+  EXPECT_NEAR(head.Estimate(), oracle.F2(), 0.3 * oracle.F2());
+  const auto g = head.GuaranteeStatus();
+  EXPECT_TRUE(g.holds);
+  EXPECT_FALSE(head.exhausted());
+  EXPECT_EQ(g.flip_budget, 0u);   // No flip budget to exhaust...
+  EXPECT_EQ(g.copies_retired, 0u);  // ...and no copies to retire.
+  EXPECT_EQ(g.flips_spent, head.output_changes());
+  EXPECT_GT(head.output_changes(), 0u);
+}
+
+TEST(SamplingFp, InfluenceCapLapsesOnADominantSpike) {
+  SamplingFp::Params params;
+  params.slots = 32;
+  params.influence_cap = 0.25;
+  params.warmup_weight = 16.0;
+  SamplingFp head(params, 3);
+  for (uint64_t i = 0; i < 100; ++i) head.Update({i, 1});
+  EXPECT_TRUE(head.GuaranteeStatus().holds);
+  head.Update({999, 500});  // 500 / 600 of the mass in one move.
+  EXPECT_FALSE(head.GuaranteeStatus().holds);
+  EXPECT_TRUE(head.exhausted());
+  EXPECT_DOUBLE_EQ(head.influence().max_update_weight, 500.0);
+}
+
+TEST(SamplingFp, SnapshotRestoreContinuesBitExactly) {
+  auto cfg = SamplingFpConfig(0.25);
+  auto made = TryMakeSamplingFp(cfg, 42);
+  ASSERT_TRUE(made.ok());
+  auto& head = *made.value();
+  const Stream stream = ZipfStream(1 << 9, 6000, 1.3, 9);
+  for (size_t i = 0; i < 3000; ++i) head.Update(stream[i]);
+
+  std::string snap;
+  head.Snapshot(&snap);
+  // Restore into a head built with DIFFERENT geometry: Restore adopts the
+  // snapshot's.
+  SamplingFp::Params other;
+  other.slots = 4;
+  other.eps = 0.5;
+  SamplingFp restored(other, 1);
+  ASSERT_TRUE(restored.Restore(snap).ok());
+
+  std::string snap2;
+  restored.Snapshot(&snap2);
+  EXPECT_EQ(snap, snap2);
+
+  for (size_t i = 3000; i < stream.size(); ++i) {
+    head.Update(stream[i]);
+    restored.Update(stream[i]);
+  }
+  EXPECT_EQ(head.Estimate(), restored.Estimate());
+  EXPECT_EQ(head.output_changes(), restored.output_changes());
+  std::string a, b;
+  head.Snapshot(&a);
+  restored.Snapshot(&b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(SamplingFp, RestoreRejectsCorruptSnapshots) {
+  SamplingFp::Params params;
+  params.slots = 8;
+  SamplingFp head(params, 5);
+  for (uint64_t i = 0; i < 50; ++i) head.Update({i, 1});
+  std::string snap;
+  head.Snapshot(&snap);
+  std::string before;
+  head.Snapshot(&before);
+
+  for (size_t len = 0; len < snap.size(); len += 9) {
+    const Status s = head.Restore(snap.substr(0, len));
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  }
+  EXPECT_FALSE(head.Restore(snap + "zz").ok());
+  // A failed restore leaves the head untouched.
+  std::string after;
+  head.Snapshot(&after);
+  EXPECT_EQ(before, after);
+  // A regression-head snapshot is refused by the Fp head.
+  SamplingRegression::Params rp;
+  rp.coreset_size = 8;
+  SamplingRegression reg(rp, 5);
+  std::string reg_snap;
+  reg.Snapshot(&reg_snap);
+  EXPECT_EQ(head.Restore(reg_snap).code(), StatusCode::kDataLoss);
+}
+
+// --- SamplingRegression head. ---
+
+TEST(SamplingRegression, QueryServesTheCertifiedCoresetSolution) {
+  RobustConfig cfg = SamplingFpConfig(0.2);
+  cfg.sampling.sample_size = 256;
+  auto made = TryMakeSamplingRegression(cfg, 11);
+  ASSERT_TRUE(made.ok()) << made.status().ToString();
+  auto* head = dynamic_cast<SamplingRegression*>(made.value().get());
+  ASSERT_NE(head, nullptr);
+  ExactOracle oracle;
+  const Stream stream = UniformStream(1 << 10, 10000, 13);
+  for (const auto& u : stream) {
+    head->Update(u);
+    oracle.Update(u);
+  }
+  const auto sol = head->Query();
+  double exact[kRegressionDim];
+  ExactRegressionBeta(oracle, exact);
+  for (int d = 0; d < kRegressionDim; ++d) {
+    EXPECT_NEAR(sol.beta[d], exact[d], 0.25 * (1.0 + std::fabs(exact[d])));
+  }
+  EXPECT_GT(sol.support, 0u);
+  EXPECT_LE(sol.rel_error_bound, 1.0);
+  EXPECT_TRUE(head->GuaranteeStatus().holds);
+  EXPECT_EQ(head->GuaranteeStatus().flip_budget, 0u);
+  // Estimate() publishes ||beta||_2 through the sticky rounder.
+  EXPECT_NEAR(head->Estimate(), sol.norm, 0.25 * sol.norm);
+}
+
+TEST(SamplingRegression, SnapshotRestoreContinuesBitExactly) {
+  RobustConfig cfg = SamplingFpConfig(0.2);
+  cfg.sampling.sample_size = 64;
+  auto made = TryMakeSamplingRegression(cfg, 31);
+  ASSERT_TRUE(made.ok());
+  auto& head = *made.value();
+  const Stream stream = UniformStream(1 << 9, 5000, 41);
+  for (size_t i = 0; i < 2500; ++i) head.Update(stream[i]);
+
+  std::string snap;
+  head.Snapshot(&snap);
+  SamplingRegression::Params other;
+  other.coreset_size = 8;
+  SamplingRegression restored(other, 2);
+  ASSERT_TRUE(restored.Restore(snap).ok());
+
+  for (size_t i = 2500; i < stream.size(); ++i) {
+    head.Update(stream[i]);
+    restored.Update(stream[i]);
+  }
+  std::string a, b;
+  head.Snapshot(&a);
+  restored.Snapshot(&b);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(head.Estimate(), restored.Estimate());
+}
+
+// --- Facade and registry integration. ---
+
+TEST(SamplingFacade, MethodKeyAndEnumAreWired) {
+  EXPECT_STREQ(MethodKey(Method::kImportanceSampling), "sampling");
+  // The sweep array includes the fourth method.
+  bool found = false;
+  for (Method m : kAllRobustMethods) {
+    if (m == Method::kImportanceSampling) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SamplingFacade, TryMakeRobustDispatchesImportanceSampling) {
+  auto cfg = SamplingFpConfig();
+  auto result = TryMakeRobust(Task::kFp, cfg, 7);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto* head = dynamic_cast<SamplingFp*>(result.value().get());
+  ASSERT_NE(head, nullptr);
+  EXPECT_EQ(head->reservoir().slots().size(), 512u);
+  EXPECT_EQ(head->Name(), "SamplingFp(p=2, k=512)");
+  // Auto warmup: 64 * sample_size.
+  EXPECT_DOUBLE_EQ(head->params().warmup_weight, 64.0 * 512.0);
+}
+
+TEST(SamplingFacade, RegistryKeysConstruct) {
+  auto cfg = SamplingFpConfig();
+  cfg.method = Method::kSketchSwitching;  // is_* keys force the method.
+  auto fp = TryMakeRobust("is_fp", cfg, 7);
+  ASSERT_TRUE(fp.ok()) << fp.status().ToString();
+  EXPECT_NE(dynamic_cast<SamplingFp*>(fp.value().get()), nullptr);
+  auto reg = TryMakeRobust("is_regression", cfg, 7);
+  ASSERT_TRUE(reg.ok()) << reg.status().ToString();
+  EXPECT_NE(dynamic_cast<SamplingRegression*>(reg.value().get()), nullptr);
+
+  const auto keys = RobustTaskKeys();
+  EXPECT_NE(std::find(keys.begin(), keys.end(), "is_fp"), keys.end());
+  EXPECT_NE(std::find(keys.begin(), keys.end(), "is_regression"),
+            keys.end());
+}
+
+TEST(SamplingFacade, ValidateRejectsUnsupportedConfigs) {
+  // Wrong task under the sampling method.
+  auto cfg = SamplingFpConfig();
+  EXPECT_EQ(TryMakeRobust(Task::kF0, cfg, 1).status().code(),
+            StatusCode::kInvalidArgument);
+  // p outside [1, 2].
+  auto high_p = SamplingFpConfig();
+  high_p.fp.p = 3.0;
+  EXPECT_EQ(TryMakeRobust(Task::kFp, high_p, 1).status().code(),
+            StatusCode::kInvalidArgument);
+  // Turnstile model.
+  auto turnstile = SamplingFpConfig();
+  turnstile.stream.model = StreamModel::kTurnstile;
+  EXPECT_EQ(TryMakeRobust(Task::kFp, turnstile, 1).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(TryMakeRobust("is_regression", turnstile, 1).status().code(),
+            StatusCode::kInvalidArgument);
+  // Influence cap out of range.
+  auto bad_cap = SamplingFpConfig();
+  bad_cap.sampling.influence_cap = 1.5;
+  auto status = TryMakeRobust(Task::kFp, bad_cap, 1).status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("influence_cap"), std::string::npos);
+  // Zero refresh period.
+  auto bad_refresh = SamplingFpConfig();
+  bad_refresh.sampling.refresh_period = 0;
+  EXPECT_EQ(TryMakeRobust(Task::kFp, bad_refresh, 1).status().code(),
+            StatusCode::kInvalidArgument);
+  // TryMakeSamplingFp refuses a non-sampling method outright.
+  auto wrong_method = SamplingFpConfig();
+  wrong_method.method = Method::kSketchSwitching;
+  EXPECT_EQ(TryMakeSamplingFp(wrong_method, 1).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// --- Sharding the coreset tree. ---
+
+TEST(SamplingSharded, TreeShardsThroughShardedRobust) {
+  MergeReduceTree::Config tree_cfg;
+  tree_cfg.coreset_size = 128;
+  ShardedRobust::Config cfg;
+  cfg.eps = 0.3;
+  cfg.shards = 4;
+  cfg.merge_period = 64;
+  cfg.copies = 8;
+  ShardedRobust engine(
+      cfg,
+      [tree_cfg](uint64_t s) {
+        return std::make_unique<MergeReduceTree>(tree_cfg, s);
+      },
+      99);
+  ExactOracle oracle;
+  const Stream stream = UniformStream(1 << 9, 6000, 55);
+  for (const auto& u : stream) {
+    engine.Update(u);
+    oracle.Update(u);
+  }
+  double exact[kRegressionDim];
+  ExactRegressionBeta(oracle, exact);
+  double norm = 0.0;
+  for (int d = 0; d < kRegressionDim; ++d) norm += exact[d] * exact[d];
+  norm = std::sqrt(norm);
+  // The engine publishes the tree's Estimate (||beta||_2) through its own
+  // rounding gate; it must track the exact norm.
+  EXPECT_NEAR(engine.Estimate(), norm, 0.4 * norm);
+
+  // Engine snapshot round trip covers SketchKind::kSamplingCoreset inside
+  // the engine envelope (the codec now routes kind 9).
+  std::string snap;
+  engine.Snapshot(&snap);
+  ShardedRobust twin(
+      cfg,
+      [tree_cfg](uint64_t s) {
+        return std::make_unique<MergeReduceTree>(tree_cfg, s);
+      },
+      99);
+  ASSERT_TRUE(twin.Restore(snap).ok());
+  std::string snap2;
+  twin.Snapshot(&snap2);
+  EXPECT_EQ(snap, snap2);
+}
+
+}  // namespace
+}  // namespace rs

@@ -140,6 +140,64 @@ TEST(StreamHub, SnapshotRequiresEngineBackedStreams) {
   EXPECT_FALSE(snapshot.empty());
 }
 
+// Importance-sampling tenants ("is_fp", "is_regression", and "fp" under
+// Method::kImportanceSampling) are hosted on the rs/sampling heads and are
+// snapshot-capable: the hub envelope round trip must be bit-exact, and a
+// restored hub must continue the stream identically to the original.
+TEST(StreamHub, SamplingTenantsRoundTripBitExact) {
+  StreamHub hub;
+  ASSERT_TRUE(hub.CreateStream("s-fp", "is_fp", SmallConfig()).ok());
+  ASSERT_TRUE(
+      hub.CreateStream("s-reg", "is_regression", SmallConfig()).ok());
+  RobustConfig via_method = SmallConfig();
+  via_method.method = Method::kImportanceSampling;
+  via_method.fp.p = 2.0;
+  ASSERT_TRUE(hub.CreateStream("s-method", Task::kFp, via_method).ok());
+
+  const Stream stream = UniformStream(1 << 9, 3000, 7);
+  for (size_t i = 0; i < 1500; ++i) {
+    for (const char* name : {"s-fp", "s-reg", "s-method"}) {
+      ASSERT_TRUE(hub.Update(name, stream[i]).ok());
+    }
+  }
+
+  const auto infos = hub.ListStreams();
+  ASSERT_EQ(infos.size(), 3u);
+  for (const auto& info : infos) {
+    EXPECT_TRUE(info.snapshot_capable) << info.name;
+    EXPECT_TRUE(info.guarantee.holds) << info.name;
+    EXPECT_EQ(info.guarantee.flip_budget, 0u) << info.name;
+  }
+
+  std::string snap;
+  ASSERT_TRUE(hub.Snapshot(&snap).ok());
+  StreamHub twin;
+  ASSERT_TRUE(twin.Restore(snap).ok());
+  std::string snap2;
+  ASSERT_TRUE(twin.Snapshot(&snap2).ok());
+  EXPECT_EQ(snap, snap2);
+
+  // Both hubs keep streaming identically after the restore.
+  for (size_t i = 1500; i < stream.size(); ++i) {
+    for (const char* name : {"s-fp", "s-reg", "s-method"}) {
+      ASSERT_TRUE(hub.Update(name, stream[i]).ok());
+      ASSERT_TRUE(twin.Update(name, stream[i]).ok());
+    }
+  }
+  for (const char* name : {"s-fp", "s-reg", "s-method"}) {
+    const auto a = hub.Query(name);
+    const auto b = twin.Query(name);
+    ASSERT_TRUE(a.ok() && b.ok()) << name;
+    EXPECT_EQ(a->estimate, b->estimate) << name;
+    EXPECT_EQ(a->guarantee.flips_spent, b->guarantee.flips_spent) << name;
+    EXPECT_EQ(a->guarantee.holds, b->guarantee.holds) << name;
+  }
+  std::string final_a, final_b;
+  ASSERT_TRUE(hub.Snapshot(&final_a).ok());
+  ASSERT_TRUE(twin.Snapshot(&final_b).ok());
+  EXPECT_EQ(final_a, final_b);
+}
+
 // The acceptance-criteria case: K = 256 streams of mixed tasks (f0 and fp
 // across distinct p, eps, shard counts), streamed a mixed workload, must
 // round-trip Snapshot -> Restore -> Snapshot with byte-identical envelopes

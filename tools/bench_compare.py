@@ -6,9 +6,10 @@ Every bench driver emits the same record shape:
     {"bench": "<name>", "columns": [...], "rows": [[cell, ...], ...]}
 
 Baselines for the headline benches (E17 batch throughput, E18 sharded
-throughput, E19 DP methods, E20 StreamHub, E21 attack matrix) are committed
-under bench/baselines/BENCH_<name>.json; CI re-runs the benches and calls
-this script so a silent perf or robustness regression fails the build.
+throughput, E19 DP methods, E20 StreamHub, E21 attack matrix, E22
+importance sampling) are committed under bench/baselines/BENCH_<name>.json;
+CI re-runs the benches and calls this script so a silent perf or
+robustness regression fails the build.
 
 What is compared, and how strictly:
 

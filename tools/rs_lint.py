@@ -182,7 +182,10 @@ UNORDERED_RE = re.compile(r"\bunordered_(map|set|multimap|multiset)\b")
 
 def rule_io_unordered_container(relpath, raw_lines, code_lines):
     del raw_lines
-    if not relpath.startswith("src/rs/io/"):
+    # src/rs/io/ is the serialization layer proper; src/rs/sampling/ writes
+    # its own canonical coreset images (SortedEntries) and is held to the
+    # same canonical-bytes rule.
+    if not relpath.startswith(("src/rs/io/", "src/rs/sampling/")):
         return []
     findings = []
     for i, line in enumerate(code_lines, 1):

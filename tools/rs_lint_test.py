@@ -116,6 +116,15 @@ class ScopingTest(unittest.TestCase):
             rules=["io-unordered-container"])
         self.assertEqual([], findings)
 
+    def test_io_rule_covers_the_sampling_tree(self):
+        # src/rs/sampling writes canonical coreset wire images, so it is in
+        # scope for the canonical-bytes rule alongside src/rs/io.
+        text = read_fixture("io-unordered-container", "bad.cc")
+        findings = rs_lint.lint_text(
+            "src/rs/sampling/merge_reduce.cc", text,
+            rules=["io-unordered-container"])
+        self.assertTrue(findings)
+
     def test_rand_rule_exempts_the_rng_module(self):
         text = read_fixture("rand-source", "bad.cc")
         for path in ("src/rs/util/rng.cc", "src/rs/util/rng.h"):
