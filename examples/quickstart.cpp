@@ -48,7 +48,11 @@ int main() {
   // guarantee is the bounded-influence certificate, and it shares the
   // hub's bit-exact snapshot envelope with the engine-backed streams.
   rs::RobustConfig f2_config = config;
-  f2_config.fp.p = 2.0;  // Second moment (fp.p defaults to 1).
+  // FOOTGUN: fp.p defaults to 1.0 — forget this line and you silently
+  // estimate F1 instead of F2. Always set fp.p explicitly for Fp tasks;
+  // the planner's Goal path (README "Auto mode") refuses to plan kFp
+  // without an explicit p for exactly this reason.
+  f2_config.fp.p = 2.0;  // Second moment.
   const rs::Status created_is =
       hub.CreateStream("traffic-f2", "is_fp", f2_config, /*seed=*/43);
   if (!created_is.ok()) {

@@ -141,6 +141,13 @@ struct RobustConfig {
 
   // kFp and kBoundedDeletion (which tracks Fp too): moment order and the
   // Theorem 4.3 / calibration overrides.
+  //
+  // FOOTGUN: the default moment order is p = 1. A kFp config that never
+  // sets fp.p silently estimates F1 — against an F2 workload the estimate
+  // is wrong by design, not by bug, and no validation can catch it because
+  // p = 1 is a perfectly legal moment order. Always set fp.p explicitly;
+  // the rs::planner Goal path refuses to plan a kFp goal without an
+  // explicit p for exactly this reason (see README, "Auto mode").
   struct FpParams {
     double p = 1.0;
     // Theorem 4.3: promised Fp flip number for turnstile streams (0 = use
@@ -258,6 +265,17 @@ class RobustEstimator : public virtual Estimator {
 
   // Full guarantee telemetry snapshot.
   virtual rs::GuaranteeStatus GuaranteeStatus() const = 0;
+
+  // Provisioned memory footprint: the bytes this construction is sized to
+  // occupy at capacity (copy pools with full KMV heaps, fixed counter
+  // arrays, hash tables), never less than the live SpaceBytes(). This is
+  // the quantity the rs::planner cost models predict and the number
+  // hub-level memory accounting should budget against — SpaceBytes() of a
+  // freshly built pool under-reports what the pool will grow into.
+  // Defaults to the live SpaceBytes() for constructions whose layout is
+  // occupancy-dependent with no closed-form capacity (FastF0 lists,
+  // sampling reservoirs).
+  virtual size_t MemoryFootprintBytes() const { return SpaceBytes(); }
 };
 
 // Builds the robust estimator for `task` from the unified config. Every

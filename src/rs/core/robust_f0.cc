@@ -1,34 +1,90 @@
 #include "rs/core/robust_f0.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "rs/core/flip_number.h"
+#include "rs/hash/tabulation.h"
 #include "rs/sketch/fast_f0.h"
 #include "rs/sketch/kmv_f0.h"
 #include "rs/util/check.h"
 
 namespace rs {
 
+namespace {
+
+// Per-copy footprint of a KMV base at capacity — mirrors the accounting in
+// KmvF0::SpaceBytes() with heap and membership set full at k entries.
+size_t KmvProvisionedBytes(size_t k) {
+  const size_t node = sizeof(uint64_t) + 2 * sizeof(void*);
+  return k * sizeof(uint64_t) + k * node + TabulationHash::SpaceBytes();
+}
+
+}  // namespace
+
+F0Sizing F0SizingFor(const RobustConfig& config) {
+  RS_CHECK(config.eps > 0.0 && config.eps < 1.0);
+  const double eps = config.eps;
+  F0Sizing s;
+  // Base accuracy eps0 = eps/4 (the paper uses eps/20 for bookkeeping; the
+  // end-to-end envelope is verified empirically — see DESIGN.md section 6).
+  s.base_eps = eps / 4.0;
+
+  if (config.method == Method::kSketchSwitching) {
+    s.kmv_k = static_cast<size_t>(std::ceil(6.0 / (s.base_eps * s.base_eps)));
+    s.copies = SketchSwitching::RingSizeForEpsilon(eps);
+    s.flip_budget = 0;  // Theorem 4.1 restart ring: unbounded.
+    // The wrapper object itself is part of the live accounting
+    // (SketchSwitching::SpaceBytes starts at sizeof(*this)), so the
+    // closed form must charge it too or under-predict by exactly that.
+    s.provisioned_bytes =
+        s.copies * KmvProvisionedBytes(s.kmv_k) + sizeof(SketchSwitching);
+    return s;
+  }
+
+  if (config.method == Method::kDifferentialPrivacy) {
+    // HKMMS pool: ~sqrt(lambda) KMV copies behind the private median. The
+    // flip budget is the F0 flip number at the Lemma 3.6 lambda_{eps/8}
+    // granularity — the eps/2 rounder re-publishes about twice per
+    // (1+eps/2) growth, so the coarser-granularity budget leaves headroom.
+    s.kmv_k = static_cast<size_t>(std::ceil(6.0 / (s.base_eps * s.base_eps)));
+    s.flip_budget = config.dp.flip_budget_override != 0
+                        ? config.dp.flip_budget_override
+                        : F0FlipNumber(eps / 8.0, config.stream.n);
+    s.copies = config.dp.copies_override != 0
+                   ? config.dp.copies_override
+                   : DpCopyCount(config.dp.epsilon, config.delta,
+                                 s.flip_budget);
+    s.provisioned_bytes =
+        s.copies * KmvProvisionedBytes(s.kmv_k) + sizeof(DpRobust);
+    return s;
+  }
+
+  // Computation paths: a single FastF0 instance; its list layout grows with
+  // occupancy, so there is no closed-form capacity to provision.
+  s.copies = 1;
+  s.flip_budget = F0FlipNumber(eps / 10.0, config.stream.n);
+  return s;
+}
+
 RobustF0::RobustF0(const RobustConfig& config, uint64_t seed)
-    : config_(config) {
+    : config_(config), sizing_(F0SizingFor(config)) {
   // Input validation lives in RobustConfig::Validate (the facade's
   // TryMakeRobust rejects bad configs as Status values before reaching
   // this constructor); the RS_CHECKs below only guard direct, trusted
-  // construction of the wrapper class itself.
+  // construction of the wrapper class itself. All geometry comes from
+  // F0SizingFor — the single source the planner cost models also read.
   RS_CHECK(config.eps > 0.0 && config.eps < 1.0);
   const double eps = config.eps;
-
-  // Base accuracy eps0 = eps/4 (the paper uses eps/20 for bookkeeping; the
-  // end-to-end envelope is verified empirically — see DESIGN.md section 6).
-  const double eps0 = eps / 4.0;
+  const double eps0 = sizing_.base_eps;
   KmvF0::Config kmv;
-  kmv.k = static_cast<size_t>(std::ceil(6.0 / (eps0 * eps0)));
+  kmv.k = sizing_.kmv_k;
 
   if (config.method == Method::kSketchSwitching) {
     SketchSwitching::Config sw;
     sw.eps = eps;
     sw.mode = SketchSwitching::PoolMode::kRing;
-    sw.copies = SketchSwitching::RingSizeForEpsilon(eps);
+    sw.copies = sizing_.copies;
     sw.name = "RobustF0/switching";
     switching_ = std::make_unique<SketchSwitching>(
         sw,
@@ -38,15 +94,8 @@ RobustF0::RobustF0(const RobustConfig& config, uint64_t seed)
   }
 
   if (config.method == Method::kDifferentialPrivacy) {
-    // HKMMS pool: ~sqrt(lambda) KMV copies behind the private median. The
-    // flip budget is the F0 flip number at the Lemma 3.6 lambda_{eps/8}
-    // granularity — the eps/2 rounder re-publishes about twice per
-    // (1+eps/2) growth, so the coarser-granularity budget leaves headroom.
-    const size_t lambda = config.dp.flip_budget_override != 0
-                              ? config.dp.flip_budget_override
-                              : F0FlipNumber(eps / 8.0, config.stream.n);
     dp_ = std::make_unique<DpRobust>(
-        MakeDpRobustConfig(config, lambda, "RobustF0/dp"),
+        MakeDpRobustConfig(config, sizing_.flip_budget, "RobustF0/dp"),
         EstimatorFactory(
             [kmv](uint64_t s) { return std::make_unique<KmvF0>(kmv, s); }),
         seed);
@@ -60,7 +109,7 @@ RobustF0::RobustF0(const RobustConfig& config, uint64_t seed)
   cp.m = config.stream.m;
   // F0 in [1, n].
   cp.log_T = std::log(static_cast<double>(config.stream.n));
-  cp.lambda = F0FlipNumber(eps / 10.0, config.stream.n);
+  cp.lambda = sizing_.flip_budget;
   cp.theoretical_sizing = config.theoretical_sizing;
   cp.name = "RobustF0/paths";
   const uint64_t n = config.stream.n;
@@ -128,6 +177,17 @@ bool RobustF0::exhausted() const {
   if (switching_ != nullptr) return switching_->exhausted();
   if (dp_ != nullptr) return dp_->exhausted();
   return paths_->output_changes() > paths_->lambda();
+}
+
+size_t RobustF0::MemoryFootprintBytes() const {
+  // A freshly built pool under-reports SpaceBytes() (KMV heaps fill over
+  // the stream); the provisioned capacity is what a memory budget must
+  // admit. max() keeps the contract "never less than the live footprint"
+  // even for accounting the closed form does not cover.
+  const size_t live = SpaceBytes();
+  return sizing_.provisioned_bytes != 0
+             ? std::max(sizing_.provisioned_bytes, live)
+             : live;
 }
 
 rs::GuaranteeStatus RobustF0::GuaranteeStatus() const {

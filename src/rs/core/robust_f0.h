@@ -26,6 +26,25 @@
 
 namespace rs {
 
+// First-class sizing for every RobustF0 construction — the formulas the
+// constructor derives its geometry from, queryable without building
+// anything (the rs::planner cost models price candidate configs through
+// this; the constructor itself consumes it, so the two cannot drift).
+// `config` must be Validate(Task::kF0)-clean; `config.method` selects the
+// construction exactly as the constructor does.
+struct F0Sizing {
+  double base_eps = 0.0;   // eps0 the KMV / FastF0 base runs at (eps/4).
+  size_t kmv_k = 0;        // KMV heap size (switching/dp; 0 for paths).
+  size_t copies = 1;       // Ring (switching) / dp pool copies; 1 for paths.
+  size_t flip_budget = 0;  // 0 = unbounded ring; the dp / paths lambda.
+  // Provisioned footprint of the full construction (every copy at KMV
+  // capacity, tabulation tables included) — what MemoryFootprintBytes()
+  // reports. 0 when the base's occupancy-dependent layout (FastF0) admits
+  // no closed form; read the live SpaceBytes() instead.
+  size_t provisioned_bytes = 0;
+};
+F0Sizing F0SizingFor(const RobustConfig& config);
+
 // Adversarially robust distinct-elements (F0) estimation, Section 5.
 //
 // Three constructions:
@@ -61,10 +80,15 @@ class RobustF0 : public RobustEstimator {
   bool exhausted() const override;
   rs::GuaranteeStatus GuaranteeStatus() const override;
 
+  // Provisioned capacity from F0SizingFor (switching/dp); live SpaceBytes()
+  // for the occupancy-dependent paths base.
+  size_t MemoryFootprintBytes() const override;
+
   const RobustConfig& config() const { return config_; }
 
  private:
   RobustConfig config_;
+  F0Sizing sizing_;
   std::unique_ptr<SketchSwitching> switching_;
   std::unique_ptr<ComputationPaths> paths_;
   std::unique_ptr<DpRobust> dp_;

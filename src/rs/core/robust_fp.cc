@@ -1,20 +1,94 @@
 #include "rs/core/robust_fp.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "rs/core/flip_number.h"
+#include "rs/hash/tabulation.h"
+#include "rs/sampling/sampling_robust.h"
 #include "rs/sketch/highp_fp.h"
 #include "rs/sketch/pstable_fp.h"
 #include "rs/util/check.h"
 
 namespace rs {
 
+namespace {
+
+// Per-copy footprint of a default-k p-stable base — mirrors
+// PStableFp::SpaceBytes().
+size_t PStableProvisionedBytes(size_t counters) {
+  return counters * sizeof(double) + TabulationHash::SpaceBytes();
+}
+
+}  // namespace
+
+FpSizing FpSizingFor(const RobustConfig& config) {
+  RS_CHECK(config.fp.p > 0.0);
+  RS_CHECK(config.eps > 0.0 && config.eps < 1.0);
+  const double eps = config.eps;
+  const double p = config.fp.p;
+  FpSizing s;
+  s.base_eps = eps / 4.0;
+
+  if (config.method == Method::kImportanceSampling) {
+    // Single PPS head; robustness rides on the influence bound, not a flip
+    // budget (flip_budget = 0, like ring mode). The reservoir's realized
+    // footprint depends on occupancy — no closed-form capacity here.
+    s.copies = 1;
+    s.flip_budget = 0;
+    s.sample_size = SamplingSampleSize(config);
+    return s;
+  }
+
+  if (p <= 2.0 && config.method == Method::kSketchSwitching) {
+    s.base_k = PStableFp::CountersForEpsilon(s.base_eps);
+    s.copies = SketchSwitching::RingSizeForEpsilon(eps);
+    s.flip_budget = 0;  // Theorem 4.1 restart ring: unbounded.
+    // Charge the wrapper object too: SketchSwitching::SpaceBytes starts at
+    // sizeof(*this), and the p-stable base is fill-independent, so the
+    // live footprint IS the provisioned one — the closed form must match.
+    s.provisioned_bytes =
+        s.copies * PStableProvisionedBytes(s.base_k) + sizeof(SketchSwitching);
+    return s;
+  }
+
+  if (p <= 2.0 && config.method == Method::kDifferentialPrivacy) {
+    // Flip budget at the Lemma 3.6 lambda_{eps/8} granularity (see
+    // robust_f0.cc for why the eps/2 rounder needs the coarser budget).
+    s.base_k = PStableFp::CountersForEpsilon(s.base_eps);
+    s.flip_budget =
+        config.dp.flip_budget_override != 0 ? config.dp.flip_budget_override
+        : config.fp.lambda_override != 0
+            ? config.fp.lambda_override
+            : FpFlipNumber(eps / 8.0, config.stream.n,
+                           config.stream.max_frequency, p);
+    s.copies = config.dp.copies_override != 0
+                   ? config.dp.copies_override
+                   : DpCopyCount(config.dp.epsilon, config.delta,
+                                 s.flip_budget);
+    s.provisioned_bytes =
+        s.copies * PStableProvisionedBytes(s.base_k) + sizeof(DpRobust);
+    return s;
+  }
+
+  // Computation paths (p <= 2: a single delta0-sized p-stable sketch whose
+  // counter count depends on the internally derived delta0; p > 2: the
+  // occupancy-dependent HighpFp sampler) — no closed-form capacity.
+  s.copies = 1;
+  s.flip_budget = config.fp.lambda_override != 0
+                      ? config.fp.lambda_override
+                      : FpFlipNumber(eps / 10.0, config.stream.n,
+                                     config.stream.max_frequency, p);
+  return s;
+}
+
 RobustFp::RobustFp(const RobustConfig& config, uint64_t seed)
-    : config_(config) {
+    : config_(config), sizing_(FpSizingFor(config)) {
   // Input validation lives in RobustConfig::Validate (the facade's
   // TryMakeRobust rejects bad configs as Status values before reaching
   // this constructor); the RS_CHECKs below only guard direct, trusted
-  // construction of the wrapper class itself.
+  // construction of the wrapper class itself. All geometry comes from
+  // FpSizingFor — the single source the planner cost models also read.
   RS_CHECK(config.fp.p > 0.0);
   RS_CHECK(config.eps > 0.0 && config.eps < 1.0);
   const double eps = config.eps;
@@ -24,14 +98,13 @@ RobustFp::RobustFp(const RobustConfig& config, uint64_t seed)
     // Theorem 4.1: ring of p-stable sketches. The ring tracks the Fp moment
     // itself, so the gate factor (1+eps/2) on Fp corresponds to
     // (1+eps/2)^{1/p} on the norm; ring sizing uses the Fp growth.
-    const double eps0 = eps / 4.0;
     PStableFp::Config ps;
     ps.p = p;
-    ps.eps = eps0;
+    ps.eps = sizing_.base_eps;
     SketchSwitching::Config sw;
     sw.eps = eps;
     sw.mode = SketchSwitching::PoolMode::kRing;
-    sw.copies = SketchSwitching::RingSizeForEpsilon(eps);
+    sw.copies = sizing_.copies;
     sw.name = "RobustFp/switching";
     switching_ = std::make_unique<SketchSwitching>(
         sw, [ps](uint64_t s) { return std::make_unique<PStableFp>(ps, s); },
@@ -43,20 +116,11 @@ RobustFp::RobustFp(const RobustConfig& config, uint64_t seed)
     // HKMMS pool over the p-stable base (p <= 2: the linear sketch the dp
     // analysis assumes; p > 2 has no dp construction in the cited papers).
     RS_CHECK_MSG(p <= 2.0, "dp method requires p <= 2");
-    const double eps0 = eps / 4.0;
     PStableFp::Config ps;
     ps.p = p;
-    ps.eps = eps0;
-    // Flip budget at the Lemma 3.6 lambda_{eps/8} granularity (see
-    // robust_f0.cc for why the eps/2 rounder needs the coarser budget).
-    const size_t lambda =
-        config.dp.flip_budget_override != 0 ? config.dp.flip_budget_override
-        : config.fp.lambda_override != 0
-            ? config.fp.lambda_override
-            : FpFlipNumber(eps / 8.0, config.stream.n,
-                           config.stream.max_frequency, p);
+    ps.eps = sizing_.base_eps;
     dp_ = std::make_unique<DpRobust>(
-        MakeDpRobustConfig(config, lambda, "RobustFp/dp"),
+        MakeDpRobustConfig(config, sizing_.flip_budget, "RobustFp/dp"),
         EstimatorFactory(
             [ps](uint64_t s) { return std::make_unique<PStableFp>(ps, s); }),
         seed);
@@ -71,10 +135,7 @@ RobustFp::RobustFp(const RobustConfig& config, uint64_t seed)
   cp.log_T =
       p * std::log(static_cast<double>(config.stream.max_frequency)) +
       std::log(static_cast<double>(config.stream.n));
-  cp.lambda = config.fp.lambda_override != 0
-                  ? config.fp.lambda_override
-                  : FpFlipNumber(eps / 10.0, config.stream.n,
-                                 config.stream.max_frequency, p);
+  cp.lambda = sizing_.flip_budget;
   cp.theoretical_sizing = config.theoretical_sizing;
   cp.name = p > 2.0 ? "RobustFp/paths-highp" : "RobustFp/paths";
   const double eps0 = eps / 4.0;
@@ -176,6 +237,16 @@ bool RobustFp::exhausted() const {
   if (switching_ != nullptr) return switching_->exhausted();
   if (dp_ != nullptr) return dp_->exhausted();
   return paths_->output_changes() > paths_->lambda();
+}
+
+size_t RobustFp::MemoryFootprintBytes() const {
+  // p-stable counter arrays are fixed at construction, so the provisioned
+  // capacity is exact for switching/dp; paths/HighpFp fall back to the
+  // live footprint.
+  const size_t live = SpaceBytes();
+  return sizing_.provisioned_bytes != 0
+             ? std::max(sizing_.provisioned_bytes, live)
+             : live;
 }
 
 rs::GuaranteeStatus RobustFp::GuaranteeStatus() const {

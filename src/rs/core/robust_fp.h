@@ -27,6 +27,29 @@
 
 namespace rs {
 
+// First-class sizing for every RobustFp construction — the formulas the
+// constructor derives its geometry from, queryable without building
+// anything (the rs::planner cost models price candidate configs through
+// this; the constructor consumes the same struct, so the two cannot
+// drift). `config` must be Validate(Task::kFp)-clean; `config.method` and
+// `config.fp.p` select the construction exactly as the constructor does —
+// in particular p > 2 falls through to the HighpFp paths construction
+// regardless of the requested method, and kImportanceSampling reports the
+// single sampling head.
+struct FpSizing {
+  double base_eps = 0.0;   // eps0 of the p-stable / HighpFp base (eps/4).
+  size_t base_k = 0;       // p-stable counters per copy (0: no closed form).
+  size_t copies = 1;       // Ring / dp pool copies; 1 for paths & sampling.
+  size_t flip_budget = 0;  // 0 = unbounded (ring, sampling); dp/paths lambda.
+  size_t sample_size = 0;  // kImportanceSampling: PpsReservoir slots.
+  // Provisioned footprint (copies x fixed counter arrays + tabulation
+  // tables) — what MemoryFootprintBytes() reports. 0 when the base has no
+  // closed-form capacity (paths' delta0-sized base, HighpFp, the sampling
+  // reservoir); read the live SpaceBytes() instead.
+  size_t provisioned_bytes = 0;
+};
+FpSizing FpSizingFor(const RobustConfig& config);
+
 // Adversarially robust Fp-moment estimation, Section 4. Covers five
 // constructions behind one interface:
 //
@@ -66,10 +89,15 @@ class RobustFp : public RobustEstimator {
   bool exhausted() const override;
   rs::GuaranteeStatus GuaranteeStatus() const override;
 
+  // Provisioned capacity from FpSizingFor (switching/dp over the fixed
+  // p-stable counter arrays); live SpaceBytes() for paths/HighpFp.
+  size_t MemoryFootprintBytes() const override;
+
   const RobustConfig& config() const { return config_; }
 
  private:
   RobustConfig config_;
+  FpSizing sizing_;
   std::unique_ptr<SketchSwitching> switching_;
   std::unique_ptr<ComputationPaths> paths_;
   std::unique_ptr<DpRobust> dp_;

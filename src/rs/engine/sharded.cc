@@ -344,26 +344,37 @@ Status ValidateShardedConfig(const RobustConfig& config) {
   return Status::Ok();
 }
 
-Result<std::unique_ptr<RobustEstimator>> TryMakeShardedRobust(
-    const RobustConfig& config, uint64_t seed) {
-  RS_TRY(ValidateShardedConfig(config));
-  const double eps = config.eps;
-  ShardedRobust::Config sc;
-  sc.eps = eps;
-  sc.shards = config.engine.shards;
-  sc.merge_period = config.engine.merge_period;
-  sc.threads = config.engine.threads;
-  sc.mode = ShardedRobust::PoolMode::kRing;
-  sc.copies = SketchSwitching::RingSizeForEpsilon(eps);
-
+ShardedSizing ShardedSizingFor(const RobustConfig& config) {
   // Base sketches sized exactly like the single-stream sketch-switching
   // constructions (RobustF0 / RobustFp), so the engine's output quality and
   // per-copy cost match the path it is benchmarked against.
-  const double eps0 = eps / 4.0;
+  ShardedSizing s;
+  s.base_eps = config.eps / 4.0;
+  s.shards = config.engine.shards;
+  s.copies = SketchSwitching::RingSizeForEpsilon(config.eps);
+  s.flip_budget = 0;  // Ring mode: unbounded.
+  s.base_k = config.engine.task == Task::kF0
+                 ? KmvF0::KForEpsilon(s.base_eps)
+                 : PStableFp::CountersForEpsilon(s.base_eps);
+  return s;
+}
+
+Result<std::unique_ptr<RobustEstimator>> TryMakeShardedRobust(
+    const RobustConfig& config, uint64_t seed) {
+  RS_TRY(ValidateShardedConfig(config));
+  const ShardedSizing sizing = ShardedSizingFor(config);
+  ShardedRobust::Config sc;
+  sc.eps = config.eps;
+  sc.shards = sizing.shards;
+  sc.merge_period = config.engine.merge_period;
+  sc.threads = config.engine.threads;
+  sc.mode = ShardedRobust::PoolMode::kRing;
+  sc.copies = sizing.copies;
+
   switch (config.engine.task) {
     case Task::kF0: {
       sc.name = "ShardedRobust/f0";
-      const size_t k = KmvF0::KForEpsilon(eps0);
+      const size_t k = sizing.base_k;
       return std::unique_ptr<RobustEstimator>(
           std::make_unique<ShardedRobust>(
               sc,
@@ -373,11 +384,10 @@ Result<std::unique_ptr<RobustEstimator>> TryMakeShardedRobust(
               seed));
     }
     case Task::kFp: {
-      const double p = config.fp.p;
       sc.name = "ShardedRobust/fp";
       PStableFp::Config ps;
-      ps.p = p;
-      ps.eps = eps0;
+      ps.p = config.fp.p;
+      ps.eps = sizing.base_eps;
       return std::unique_ptr<RobustEstimator>(
           std::make_unique<ShardedRobust>(
               sc,

@@ -204,6 +204,23 @@ class ShardedRobust : public RobustEstimator {
 // the selected task. OK exactly when TryMakeShardedRobust will construct.
 [[nodiscard]] Status ValidateShardedConfig(const RobustConfig& config);
 
+// First-class sizing for the engine construction — the formulas
+// TryMakeShardedRobust derives its geometry from, queryable without
+// building anything (the factory consumes the same struct, so the planner
+// cost models and the construction cannot drift). `config` must be
+// ValidateShardedConfig-clean.
+struct ShardedSizing {
+  double base_eps = 0.0;  // eps0 each shard-local base runs at (eps/4).
+  size_t shards = 1;      // Hash-partition fan-out S.
+  size_t copies = 1;      // Ring size (the engine runs Theorem 4.1 mode).
+  // Per-(copy, shard) base geometry: KMV heap size for kF0
+  // (KmvF0::KForEpsilon), p-stable counter count for kFp (the PStableFp
+  // default for eps0).
+  size_t base_k = 0;
+  size_t flip_budget = 0;  // Always 0: the restart ring is unbounded.
+};
+ShardedSizing ShardedSizingFor(const RobustConfig& config);
+
 // Facade hook (registered under the "sharded" key in rs/core/robust.cc):
 // builds a ShardedRobust for config.engine.task — kF0 (KMV base) or kFp
 // with 0 < p <= 2 (p-stable base), sized exactly like the single-stream

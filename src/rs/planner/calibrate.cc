@@ -1,0 +1,143 @@
+#include "rs/planner/calibrate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "rs/adversary/attack.h"
+#include "rs/adversary/game.h"
+#include "rs/stream/generators.h"
+#include "rs/util/rng.h"
+
+namespace rs {
+namespace planner {
+
+namespace {
+
+// Ground truth for the cascaded task: the (p, k) norm of the matrix the
+// frequency vector encodes under `shape` (game.h ships no cascaded truth —
+// the attack matrix does not cover the task — so the calibrator computes
+// it from the oracle's exact frequencies).
+TruthFn TruthCascadedNorm(const RobustConfig::CascadedParams& cascaded) {
+  const double p = cascaded.p;
+  const double k = cascaded.k;
+  const MatrixShape shape = cascaded.shape;
+  return [p, k, shape](const ExactOracle& oracle) {
+    std::vector<double> row_norms(shape.rows, 0.0);
+    for (const auto& [item, freq] : oracle.frequencies()) {
+      if (freq == 0) continue;
+      const uint64_t row = shape.Row(item);
+      if (row >= shape.rows) continue;
+      row_norms[row] += std::pow(std::abs(static_cast<double>(freq)), k);
+    }
+    double total = 0.0;
+    for (const double rk : row_norms) {
+      if (rk > 0.0) total += std::pow(std::pow(rk, 1.0 / k), p);
+    }
+    return total <= 0.0 ? 0.0 : std::pow(total, 1.0 / p);
+  };
+}
+
+// The task's oblivious calibration stream and truth. Streams come from the
+// zoo's seeded generators (rs/stream/generators.h) — the same inputs the
+// attack-matrix bench scores against.
+struct ObliviousPlan {
+  Stream stream;
+  TruthFn truth;
+  const char* label;
+};
+
+ObliviousPlan ObliviousPlanFor(Task task, const RobustConfig& config,
+                               uint64_t steps, uint64_t seed) {
+  const uint64_t n = config.stream.n;
+  switch (task) {
+    case Task::kF0:
+      // Uniform draws keep F0 growing through the whole run — the regime
+      // the tracking guarantee is sized for.
+      return {UniformStream(n, steps, seed), TruthF0(), "uniform"};
+    case Task::kFp:
+      return {ZipfStream(n, steps, 1.1, seed), TruthFp(config.fp.p), "zipf"};
+    case Task::kEntropy:
+      // The drift stream swings the empirical entropy across phases —
+      // exercises the pool, not just a static distribution.
+      return {EntropyDriftStream(n, steps, 4, seed), TruthExpEntropy(),
+              "entropy-drift"};
+    case Task::kHeavyHitters:
+      // The published quantity is the epoch-rounded L2 norm.
+      return {ZipfStream(n, steps, 1.2, seed), TruthLp(2.0), "zipf"};
+    case Task::kBoundedDeletion:
+      return {BoundedDeletionStream(n, steps, config.bounded_deletion.alpha,
+                                    seed),
+              TruthFp(config.fp.p), "bounded-deletion"};
+    case Task::kCascaded:
+      return {MatrixUniformStream(config.cascaded.shape.rows,
+                                  config.cascaded.shape.cols, steps, seed),
+              TruthCascadedNorm(config.cascaded), "matrix-uniform"};
+  }
+  return {UniformStream(n, steps, seed), TruthF0(), "uniform"};
+}
+
+void FoldPass(const RobustGameResult& pass, CalibrationResult* out) {
+  out->measured_error = std::max(out->measured_error, pass.game.max_rel_error);
+  out->flips_spent =
+      std::max<size_t>(out->flips_spent, pass.final_status.flips_spent);
+  out->flip_budget = pass.final_status.flip_budget;
+  out->holds = out->holds && pass.final_status.holds;
+  out->steps = std::max(out->steps, pass.game.steps);
+}
+
+}  // namespace
+
+Result<CalibrationResult> Calibrate(Task task, const RobustConfig& config,
+                                    const CalibrationOptions& options) {
+  const uint64_t steps =
+      std::max<uint64_t>(1, std::min(options.steps, config.stream.m));
+  GameOptions game;
+  game.max_steps = steps;
+  game.fail_eps = config.eps;
+  game.burn_in = options.burn_in != 0 ? options.burn_in : steps / 8;
+  game.params = config.stream;
+  // The validator enforces the stream bound m against updates played; the
+  // calibration run never exceeds `steps`, which is within m by the clamp.
+  game.alpha = config.bounded_deletion.alpha;
+
+  CalibrationResult result;
+
+  // Pass 1 (always): the task's oblivious seeded generator stream.
+  ObliviousPlan plan =
+      ObliviousPlanFor(task, config, steps, SplitMix64(options.seed));
+  {
+    RS_ASSIGN_OR(auto defender,
+                 TryMakeRobust(task, config, SplitMix64(options.seed ^ 1)));
+    const GameResult oblivious =
+        RunFixedStream(*defender, plan.stream, plan.truth, game);
+    RobustGameResult pass;
+    pass.game = oblivious;
+    pass.final_status = defender->GuaranteeStatus();
+    FoldPass(pass, &result);
+    result.measured_space_bytes = defender->MemoryFootprintBytes();
+    result.streams = plan.label;
+  }
+
+  // Pass 2 (kF0/kFp): the zoo's seeded attack fuzzer — adaptive pressure
+  // against a FRESH defender, so the oblivious measurement is not tainted.
+  if (options.adversarial && (task == Task::kF0 || task == Task::kFp)) {
+    RS_ASSIGN_OR(auto defender,
+                 TryMakeRobust(task, config, SplitMix64(options.seed ^ 2)));
+    auto attack =
+        MakeAttack("fuzzer", config.stream, SplitMix64(options.seed ^ 3));
+    const RobustGameResult pass =
+        RunRobustGame(*defender, *attack, plan.truth, game);
+    FoldPass(pass, &result);
+    result.measured_space_bytes = std::max(result.measured_space_bytes,
+                                           defender->MemoryFootprintBytes());
+    result.streams += "+fuzzer";
+  }
+
+  return result;
+}
+
+}  // namespace planner
+}  // namespace rs

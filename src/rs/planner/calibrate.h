@@ -1,0 +1,68 @@
+// calibrate.h — seeded short-run measurement of a candidate config.
+//
+// The SketchConf observation (see ROADMAP item 5): closed-form worst-case
+// bounds are honest but loose, so a planner that only trusts them
+// over-provisions. This layer plays a candidate (task, config) against
+// short seeded streams — the adversary zoo's generators and, for the
+// f0/fp tasks, the zoo's seeded attack fuzzer via the RunRobustGame
+// machinery — and reports the REALIZED maximum relative error, footprint,
+// and flip spend. The planner (planner.h) admits thrifty candidates the
+// closed forms alone could not justify exactly when this measurement
+// stays inside the goal's eps.
+//
+// Everything is seeded: the same goal plans to the same SizingReport on
+// every machine, which is what lets the E23 bench commit predicted-vs-
+// measured gaps as a baseline.
+
+#ifndef RS_PLANNER_CALIBRATE_H_
+#define RS_PLANNER_CALIBRATE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "rs/core/robust.h"
+#include "rs/util/status.h"
+
+namespace rs {
+namespace planner {
+
+struct CalibrationOptions {
+  // Updates per calibration stream; clamped to config.stream.m.
+  uint64_t steps = 2048;
+  // Seeds the stream generator, the defender, and the attack fuzzer (each
+  // derived with a distinct mix, so the passes are independent).
+  uint64_t seed = 0x51C0FFEEC0FFEEULL;
+  // Also play the zoo's seeded fuzzer against the candidate (kF0/kFp —
+  // the tasks on the E21 attack matrix). The oblivious generator pass
+  // always runs.
+  bool adversarial = true;
+  // Steps before errors count (tiny prefixes make relative error
+  // meaningless). 0 = steps / 8.
+  uint64_t burn_in = 0;
+};
+
+struct CalibrationResult {
+  // Max relative error after burn-in, across every pass played.
+  double measured_error = 0.0;
+  // MemoryFootprintBytes() after the run (max across passes).
+  size_t measured_space_bytes = 0;
+  // Flip telemetry of the hungriest pass.
+  size_t flips_spent = 0;
+  size_t flip_budget = 0;
+  // Final-round guarantee: true only if it held in EVERY pass.
+  bool holds = true;
+  uint64_t steps = 0;
+  // Which passes ran, for the report ("zipf", "uniform+fuzzer", ...).
+  std::string streams;
+};
+
+// Plays `config` (task + config.method select the construction, exactly
+// as TryMakeRobust dispatches) against the task's calibration streams.
+// Statuses: anything TryMakeRobust reports for an invalid config.
+[[nodiscard]] Result<CalibrationResult> Calibrate(
+    Task task, const RobustConfig& config, const CalibrationOptions& options);
+
+}  // namespace planner
+}  // namespace rs
+
+#endif  // RS_PLANNER_CALIBRATE_H_

@@ -1,0 +1,158 @@
+#include "rs/planner/cost_model.h"
+
+#include <map>
+#include <utility>
+
+#include "rs/core/robust_f0.h"
+#include "rs/core/robust_fp.h"
+#include "rs/util/check.h"
+
+namespace rs {
+namespace planner {
+
+namespace {
+
+// Probe constructions must be deterministic across processes (a cost
+// estimate that varied by run would make SizingReports unreproducible);
+// the seed value itself is irrelevant because only the geometry — never
+// an estimate — is read off the probe.
+constexpr uint64_t kProbeSeed = 0x9E3779B97F4A7C15ULL;
+
+// Fallback shared by every model: build one probe estimator and read its
+// own accounting. MemoryFootprintBytes() is the provisioned capacity where
+// the construction knows it and the at-construction footprint otherwise.
+CostEstimate ConstructedEstimate(Task task, const RobustConfig& config,
+                                 size_t copies) {
+  auto built = TryMakeRobust(task, config, kProbeSeed);
+  RS_CHECK_MSG(built.ok(), built.status().ToString().c_str());
+  const auto& est = *built.value();
+  CostEstimate ce;
+  ce.copies = copies;
+  ce.flip_budget = est.GuaranteeStatus().flip_budget;
+  ce.space_bytes = est.MemoryFootprintBytes();
+  ce.predicted_error = config.eps;
+  return ce;
+}
+
+// kF0 x {switching, paths, dp}: analytic through F0SizingFor where the
+// provisioned footprint has a closed form, probe-constructed for paths.
+class F0CostModel : public CostModel {
+ public:
+  CostEstimate Estimate(const RobustConfig& config) const override {
+    const F0Sizing s = F0SizingFor(config);
+    if (s.provisioned_bytes == 0) {
+      return ConstructedEstimate(Task::kF0, config, s.copies);
+    }
+    CostEstimate ce;
+    ce.copies = s.copies;
+    ce.flip_budget = s.flip_budget;
+    ce.space_bytes = s.provisioned_bytes;
+    ce.predicted_error = config.eps;
+    return ce;
+  }
+};
+
+// kFp x {switching, paths, dp, sampling}: analytic where FpSizingFor has a
+// closed form (switching/dp, p <= 2), probe-constructed otherwise (paths,
+// p > 2, the sampling head).
+class FpCostModel : public CostModel {
+ public:
+  CostEstimate Estimate(const RobustConfig& config) const override {
+    const FpSizing s = FpSizingFor(config);
+    if (s.provisioned_bytes == 0) {
+      return ConstructedEstimate(Task::kFp, config, s.copies);
+    }
+    CostEstimate ce;
+    ce.copies = s.copies;
+    ce.flip_budget = s.flip_budget;
+    ce.space_bytes = s.provisioned_bytes;
+    ce.predicted_error = config.eps;
+    return ce;
+  }
+};
+
+// Single-construction tasks (entropy, heavy hitters, bounded deletion,
+// cascaded): the pool/epoch geometry is internal to the wrapper, so the
+// model prices a probe construction.
+class ConstructedCostModel : public CostModel {
+ public:
+  explicit ConstructedCostModel(Task task) : task_(task) {}
+
+  CostEstimate Estimate(const RobustConfig& config) const override {
+    // 0 copies = "pool size not modeled"; the single-instance paths-based
+    // bounded-deletion wrapper is the exception.
+    const size_t copies = task_ == Task::kBoundedDeletion ? 1 : 0;
+    return ConstructedEstimate(task_, config, copies);
+  }
+
+ private:
+  Task task_;
+};
+
+using ModelKey = std::pair<int, int>;  // (Task, Method) as ints, ordered.
+
+ModelKey KeyOf(Task task, Method method) {
+  return {static_cast<int>(task), static_cast<int>(method)};
+}
+
+std::map<ModelKey, std::unique_ptr<CostModel>>& Registry() {
+  static auto* registry = [] {
+    auto* r = new std::map<ModelKey, std::unique_ptr<CostModel>>();
+    auto put = [r](Task task, Method method,
+                   std::unique_ptr<CostModel> model) {
+      (*r)[KeyOf(task, method)] = std::move(model);
+    };
+    put(Task::kF0, Method::kSketchSwitching, std::make_unique<F0CostModel>());
+    put(Task::kF0, Method::kComputationPaths,
+        std::make_unique<F0CostModel>());
+    put(Task::kF0, Method::kDifferentialPrivacy,
+        std::make_unique<F0CostModel>());
+    put(Task::kFp, Method::kSketchSwitching, std::make_unique<FpCostModel>());
+    put(Task::kFp, Method::kComputationPaths,
+        std::make_unique<FpCostModel>());
+    put(Task::kFp, Method::kDifferentialPrivacy,
+        std::make_unique<FpCostModel>());
+    put(Task::kFp, Method::kImportanceSampling,
+        std::make_unique<FpCostModel>());
+    // Single-construction tasks: one registered pair each, under the
+    // method their paper construction uses.
+    put(Task::kEntropy, Method::kSketchSwitching,
+        std::make_unique<ConstructedCostModel>(Task::kEntropy));
+    put(Task::kHeavyHitters, Method::kSketchSwitching,
+        std::make_unique<ConstructedCostModel>(Task::kHeavyHitters));
+    put(Task::kBoundedDeletion, Method::kComputationPaths,
+        std::make_unique<ConstructedCostModel>(Task::kBoundedDeletion));
+    put(Task::kCascaded, Method::kSketchSwitching,
+        std::make_unique<ConstructedCostModel>(Task::kCascaded));
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace
+
+const CostModel* CostModelFor(Task task, Method method) {
+  const auto& registry = Registry();
+  const auto it = registry.find(KeyOf(task, method));
+  return it == registry.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::pair<Task, Method>> CostModelPairs() {
+  std::vector<std::pair<Task, Method>> pairs;
+  pairs.reserve(Registry().size());
+  for (const auto& [key, model] : Registry()) {
+    pairs.emplace_back(static_cast<Task>(key.first),
+                       static_cast<Method>(key.second));
+  }
+  return pairs;  // std::map iteration order is already sorted.
+}
+
+bool RegisterCostModel(Task task, Method method,
+                       std::unique_ptr<CostModel> model) {
+  return Registry()
+      .emplace(KeyOf(task, method), std::move(model))
+      .second;
+}
+
+}  // namespace planner
+}  // namespace rs

@@ -1,0 +1,100 @@
+// cost_model.h — first-class space/error/flip-budget models, registered
+// per (Task, Method).
+//
+// Every robust construction in the library is priced by closed-form
+// formulas — ring sizes, sqrt(lambda) dp pools, eps^-2 counter arrays —
+// that used to live only inside the method constructors. The sizing
+// refactor (F0SizingFor / FpSizingFor / ShardedSizingFor /
+// SamplingSampleSize) made those formulas queryable; this layer packages
+// them as CostModel objects in a (Task, Method) registry that mirrors the
+// string-keyed MakeRobust registry, so a planner (planner.h) can ask
+// "what would this config cost?" without building anything.
+//
+// Two model families back the built-in registrations:
+//   * analytic — kF0/kFp under switching/dp, where the sizing structs give
+//     the exact provisioned footprint (copies x fixed base capacity). No
+//     construction happens; Estimate() is pure arithmetic.
+//   * constructed — every pair whose base layout is occupancy-dependent
+//     (computation paths' delta0-sized bases, HighpFp, the sampling
+//     reservoir, the entropy/heavy-hitters/cascaded pools). The model
+//     builds one probe estimator with a fixed seed and reads its
+//     MemoryFootprintBytes()/GuaranteeStatus(), so the prediction is the
+//     construction's own accounting at build time (it grows with
+//     occupancy; the calibration layer measures the realized value).
+//
+// PredictedError is the closed-form worst-case bound — config.eps, the
+// end-to-end envelope every construction is sized for. Calibration
+// (calibrate.h) measures the realized error, which is typically far
+// smaller; the gap between the two is what a SizingReport records.
+
+#ifndef RS_PLANNER_COST_MODEL_H_
+#define RS_PLANNER_COST_MODEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "rs/core/robust.h"
+
+namespace rs {
+namespace planner {
+
+// What a cost model predicts for one candidate config, before any stream
+// is played.
+struct CostEstimate {
+  // Oblivious base copies the construction holds (ring / pool size; 1 for
+  // single-instance constructions; 0 = the pool size is not modeled).
+  size_t copies = 0;
+  // Provisioned flip budget: 0 = unbounded (the Theorem 4.1 restart ring,
+  // the sampling head), otherwise the dp/paths lambda.
+  size_t flip_budget = 0;
+  // Predicted MemoryFootprintBytes() of the construction.
+  size_t space_bytes = 0;
+  // Closed-form worst-case relative error bound (config.eps).
+  double predicted_error = 0.0;
+};
+
+// A queryable space/error/flip-budget model for one (Task, Method) pair.
+class CostModel {
+ public:
+  virtual ~CostModel() = default;
+
+  // Prices `config`, which must be Validate(task)-clean for the model's
+  // task with config.method matching the model's method.
+  virtual CostEstimate Estimate(const RobustConfig& config) const = 0;
+
+  // Convenience projections over Estimate().
+  size_t SpaceBytes(const RobustConfig& config) const {
+    return Estimate(config).space_bytes;
+  }
+  double PredictedError(const RobustConfig& config) const {
+    return Estimate(config).predicted_error;
+  }
+  size_t FlipBudget(const RobustConfig& config) const {
+    return Estimate(config).flip_budget;
+  }
+};
+
+// The model registered for (task, method); nullptr when the pair has no
+// construction (e.g. entropy x dp). The built-in surface is every pair
+// TryMakeRobust can build: kF0 x {switching, paths, dp}, kFp x
+// {switching, paths, dp, sampling}, kEntropy/kHeavyHitters/kCascaded x
+// switching, kBoundedDeletion x paths.
+const CostModel* CostModelFor(Task task, Method method);
+
+// Every registered (task, method) pair, sorted by (task, method) enum
+// order — the supported planning surface. Plan() candidates and the
+// planner round-trip tests iterate exactly this.
+std::vector<std::pair<Task, Method>> CostModelPairs();
+
+// Extension hook mirroring RegisterRobustTask: registers `model` for a
+// new (task, method) pair so an out-of-tree construction becomes
+// plannable. Returns false if the pair is already taken.
+bool RegisterCostModel(Task task, Method method,
+                       std::unique_ptr<CostModel> model);
+
+}  // namespace planner
+}  // namespace rs
+
+#endif  // RS_PLANNER_COST_MODEL_H_

@@ -1,0 +1,277 @@
+#include "rs/planner/planner.h"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rs/sampling/sampling_robust.h"
+
+namespace rs {
+namespace planner {
+
+namespace {
+
+// Goal-level preconditions the candidate loop cannot express per-field.
+Status ValidateGoal(const Goal& goal) {
+  if ((goal.task == Task::kFp || goal.task == Task::kBoundedDeletion) &&
+      !goal.p.has_value()) {
+    return InvalidArgument(
+        "goal.p: the moment order is required for kFp/kBoundedDeletion "
+        "goals. RobustConfig's fp.p defaults to 1 and an unset p silently "
+        "estimates F1 (the documented footgun); the planner refuses to "
+        "guess");
+  }
+  if (goal.p.has_value() && !(*goal.p > 0.0)) {
+    return InvalidArgument("goal.p: moment order must be > 0, got " +
+                           std::to_string(*goal.p));
+  }
+  if (goal.require_unbounded && goal.min_flip_budget > 0) {
+    return InvalidArgument(
+        "goal.min_flip_budget: mutually exclusive with "
+        "goal.require_unbounded (an unbounded candidate has no finite "
+        "budget to compare)");
+  }
+  if (goal.method.has_value() &&
+      CostModelFor(goal.task, *goal.method) == nullptr) {
+    return InvalidArgument(
+        std::string("goal.method: no cost model registered for (") +
+        TaskKey(goal.task) + ", " + MethodKey(*goal.method) +
+        ") — CostModelPairs() lists the plannable surface");
+  }
+  return Status::Ok();
+}
+
+// The RobustConfig skeleton every candidate starts from: goal budgets plus
+// the task sub-structs the goal parameterizes. engine.{task, shards} are
+// pinned so a plan handed to the "sharded" registry key stays predictable
+// (one shard = the plain construction's footprint).
+RobustConfig BaseConfigFor(const Goal& goal) {
+  RobustConfig config;
+  config.eps = goal.eps;
+  config.delta = goal.delta;
+  config.stream = goal.stream;
+  if (goal.p.has_value()) config.fp.p = *goal.p;
+  config.bounded_deletion.alpha = goal.alpha;
+  config.cascaded.p = goal.cascaded_p;
+  config.cascaded.k = goal.cascaded_k;
+  config.cascaded.shape = goal.cascaded_shape;
+  config.engine.task = goal.task;
+  config.engine.shards = 1;
+  return config;
+}
+
+// A candidate under evaluation: the concrete config plus its report line.
+struct Candidate {
+  RobustConfig config;
+  CandidateReport report;
+};
+
+// Prices `config` with the (task, method) model and fills the predicted
+// half of the report.
+Candidate MakeCandidate(const CostModel& model, RobustConfig config,
+                        std::string label) {
+  Candidate c;
+  c.config = config;
+  c.report.label = std::move(label);
+  c.report.method = config.method;
+  const CostEstimate est = model.Estimate(config);
+  c.report.predicted_space_bytes = est.space_bytes;
+  c.report.predicted_error = est.predicted_error;
+  c.report.flip_budget = est.flip_budget;
+  return c;
+}
+
+// The calibration-backed down-sized variants: half the dp pool, a quarter
+// of the sampling reservoir. Only emitted when strictly smaller than the
+// closed-form sizing AND the goal calibrates — the measurement is what
+// justifies running below the worst-case bound.
+void AppendThriftyVariants(const Goal& goal, const CostModel& model,
+                           const Candidate& base,
+                           std::vector<Candidate>* candidates) {
+  if (!goal.calibrate) return;
+  const Method method = base.config.method;
+  if (method == Method::kDifferentialPrivacy) {
+    // The cost model reports the DpCopyCount pool; halve it (odd, >= 9 so
+    // the private median keeps headroom over the 3-copy floor).
+    const CostEstimate est = model.Estimate(base.config);
+    if (est.copies >= 3) {
+      const size_t thrifty = std::max<size_t>(9, est.copies / 2) | 1;
+      if (thrifty < est.copies) {
+        RobustConfig config = base.config;
+        config.dp.copies_override = thrifty;
+        candidates->push_back(
+            MakeCandidate(model, config, base.report.label + "/thrifty"));
+      }
+    }
+  } else if (method == Method::kImportanceSampling) {
+    const size_t auto_size = SamplingSampleSize(base.config);
+    const size_t thrifty = std::max<size_t>(64, auto_size / 4);
+    if (thrifty < auto_size) {
+      RobustConfig config = base.config;
+      config.sampling.sample_size = thrifty;
+      candidates->push_back(
+          MakeCandidate(model, config, base.report.label + "/thrifty"));
+    }
+  }
+}
+
+}  // namespace
+
+Result<PlannedConfig> Plan(const Goal& goal) {
+  RS_TRY(ValidateGoal(goal));
+  const RobustConfig base = BaseConfigFor(goal);
+
+  // 1. Candidate generation: every registered (task, method) pair — or the
+  // pinned method — priced by its cost model.
+  std::vector<Candidate> candidates;
+  Status first_invalid = Status::Ok();
+  for (const auto& [task, method] : CostModelPairs()) {
+    if (task != goal.task) continue;
+    if (goal.method.has_value() && method != *goal.method) continue;
+    const CostModel* model = CostModelFor(task, method);
+    RobustConfig config = base;
+    config.method = method;
+    const Status valid = config.Validate(task);
+    if (!valid.ok()) {
+      // Record the rejection so the report explains the gap (e.g. sampling
+      // on a turnstile goal), but keep the other methods competing.
+      Candidate c;
+      c.config = config;
+      c.report.label = MethodKey(method);
+      c.report.method = method;
+      c.report.verdict = "invalid: " + valid.ToString();
+      candidates.push_back(std::move(c));
+      if (first_invalid.ok()) first_invalid = valid;
+      continue;
+    }
+    Candidate base_candidate =
+        MakeCandidate(*model, config, MethodKey(method));
+    AppendThriftyVariants(goal, *model, base_candidate, &candidates);
+    candidates.push_back(std::move(base_candidate));
+  }
+  if (candidates.empty()) {
+    return InvalidArgument(
+        std::string("goal.method: no registered cost model for task ") +
+        TaskKey(goal.task));
+  }
+
+  // 2. Feasibility: the memory/flip constraints, on predicted costs.
+  bool any_priced = false;
+  bool any_memory_reject = false;
+  size_t cheapest_space = std::numeric_limits<size_t>::max();
+  for (Candidate& c : candidates) {
+    if (!c.report.verdict.empty()) continue;  // "invalid: ..." above.
+    any_priced = true;
+    cheapest_space = std::min(cheapest_space, c.report.predicted_space_bytes);
+    if (goal.memory_budget_bytes != 0 &&
+        c.report.predicted_space_bytes > goal.memory_budget_bytes) {
+      c.report.verdict = "over-budget";
+      any_memory_reject = true;
+      continue;
+    }
+    if (goal.require_unbounded && c.report.flip_budget != 0) {
+      c.report.verdict = "flip-budget";
+      continue;
+    }
+    if (goal.min_flip_budget > 0 && c.report.flip_budget != 0 &&
+        c.report.flip_budget < goal.min_flip_budget) {
+      c.report.verdict = "flip-budget";
+      continue;
+    }
+    c.report.feasible = true;
+  }
+
+  // 3. Calibration: measure the feasible candidates on seeded streams.
+  uint64_t calibrated_steps = 0;
+  for (Candidate& c : candidates) {
+    if (!c.report.feasible) continue;
+    if (!goal.calibrate) {
+      c.report.accurate = true;
+      continue;
+    }
+    CalibrationOptions options;
+    options.steps = goal.calibration_steps;
+    options.seed = goal.calibration_seed;
+    RS_ASSIGN_OR(const CalibrationResult cal,
+                 Calibrate(goal.task, c.config, options));
+    calibrated_steps = std::max(calibrated_steps, cal.steps);
+    c.report.measured_space_bytes = cal.measured_space_bytes;
+    c.report.measured_error = cal.measured_error;
+    c.report.flips_spent = cal.flips_spent;
+    c.report.holds = cal.holds;
+    c.report.accurate = cal.measured_error <= goal.eps && cal.holds;
+    if (!c.report.accurate) c.report.verdict = "inaccurate";
+  }
+
+  // 4. Selection: smallest predicted footprint among the feasible AND
+  // accurate candidates; registry order (switching, paths, dp, sampling)
+  // breaks ties.
+  int selected = -1;
+  for (int i = 0; i < static_cast<int>(candidates.size()); ++i) {
+    const CandidateReport& r = candidates[i].report;
+    if (!r.feasible || !r.accurate) continue;
+    if (selected < 0 || r.predicted_space_bytes <
+                            candidates[selected].report.predicted_space_bytes) {
+      selected = i;
+    }
+  }
+
+  if (selected < 0) {
+    if (!any_priced) {
+      // Every candidate failed config validation; the first status names
+      // the offending RobustConfig field.
+      return first_invalid;
+    }
+    if (any_memory_reject && cheapest_space != 0) {
+      return InvalidArgument(
+          "goal.memory_budget_bytes: no candidate fits " +
+          std::to_string(goal.memory_budget_bytes) +
+          " bytes; the smallest registered construction needs " +
+          std::to_string(cheapest_space) + " bytes at eps=" +
+          std::to_string(goal.eps));
+    }
+    if (goal.require_unbounded) {
+      return InvalidArgument(
+          std::string("goal.require_unbounded: no registered method for "
+                      "task ") +
+          TaskKey(goal.task) +
+          " provisions an unbounded flip budget under this goal");
+    }
+    if (goal.min_flip_budget > 0) {
+      return InvalidArgument(
+          "goal.min_flip_budget: no candidate provisions a flip budget of "
+          "at least " +
+          std::to_string(goal.min_flip_budget));
+    }
+    return FailedPrecondition(
+        "calibration: every feasible candidate exceeded eps=" +
+        std::to_string(goal.eps) +
+        " (or lapsed its guarantee) on the seeded calibration streams");
+  }
+
+  // Finalize verdicts: the winner, then every also-ran that survived.
+  for (Candidate& c : candidates) {
+    if (c.report.feasible && c.report.accurate && c.report.verdict.empty()) {
+      c.report.verdict = "feasible";
+    }
+  }
+  candidates[selected].report.verdict = "selected";
+
+  PlannedConfig planned;
+  planned.task = goal.task;
+  planned.task_key = TaskKey(goal.task);
+  planned.method = candidates[selected].config.method;
+  planned.config = candidates[selected].config;
+  planned.report.selected = selected;
+  planned.report.calibration_steps = calibrated_steps;
+  planned.report.candidates.reserve(candidates.size());
+  for (Candidate& c : candidates) {
+    planned.report.candidates.push_back(std::move(c.report));
+  }
+  return planned;
+}
+
+}  // namespace planner
+}  // namespace rs

@@ -1,0 +1,147 @@
+// planner.h — Plan(Goal): pick the Method and every sizing knob from an
+// accuracy/memory budget.
+//
+// The user-facing contract of the subsystem (ROADMAP item 5): instead of
+// hand-tuning a RobustConfig — ring copies, dp pools, sample sizes, the
+// fp.p footgun — a caller states WHAT it needs (task, eps, delta, stream
+// shape, optional memory/flip-budget constraints) and the planner returns
+// a Validate()-clean RobustConfig plus a SizingReport explaining the
+// choice. Three layers do the work:
+//
+//   1. cost_model.h prices every registered (Task, Method) candidate —
+//      predicted footprint, flip budget, worst-case error bound.
+//   2. calibrate.h plays the surviving candidates against short seeded
+//      streams (the adversary zoo's generators plus, for f0/fp, the
+//      seeded attack fuzzer) and measures the realized error. Thrifty
+//      variants (halved dp pools, quartered sample sizes) are admitted
+//      exactly when the measurement stays inside the goal's eps.
+//   3. Plan() selects the cheapest candidate that is feasible (within the
+//      memory/flip constraints) AND accurate (measured error <= eps,
+//      guarantee held), preferring the smallest predicted footprint.
+//
+// Everything is seeded and deterministic: the same Goal plans to the same
+// PlannedConfig on every machine.
+//
+// Error model: infeasible or underspecified goals come back as a Status
+// naming the offending goal field (goal.p, goal.memory_budget_bytes,
+// goal.min_flip_budget, goal.require_unbounded, goal.method), in the
+// style of RobustConfig::Validate. A goal that is well-formed but whose
+// every candidate fails calibration is kFailedPrecondition.
+
+#ifndef RS_PLANNER_PLANNER_H_
+#define RS_PLANNER_PLANNER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rs/core/robust.h"
+#include "rs/planner/calibrate.h"
+#include "rs/planner/cost_model.h"
+#include "rs/util/status.h"
+
+namespace rs {
+namespace planner {
+
+// What the caller wants, stated as budgets — the planner derives every
+// RobustConfig knob from this.
+struct Goal {
+  Task task = Task::kF0;
+  // Accuracy envelope and failure probability of the whole adaptive
+  // execution (RobustConfig::eps / delta semantics).
+  double eps = 0.1;
+  double delta = 0.05;
+  // Stream shape the plan must hold for (domain, length, frequency bound,
+  // model).
+  StreamParams stream;
+
+  // Pin the method instead of letting the planner choose. Unset = every
+  // registered (task, method) cost-model pair is a candidate.
+  std::optional<Method> method;
+
+  // Upper bound on the construction's provisioned footprint in bytes.
+  // 0 = unconstrained.
+  size_t memory_budget_bytes = 0;
+  // Require a bounded flip budget of at least this many flips (dp/paths
+  // candidates). 0 = no requirement. Candidates with an UNBOUNDED budget
+  // (flip_budget == 0: the restart ring, the sampling head) always satisfy
+  // this — unbounded dominates any finite floor.
+  size_t min_flip_budget = 0;
+  // Require an unbounded flip budget (ring / sampling candidates only).
+  // Mutually exclusive with min_flip_budget.
+  bool require_unbounded = false;
+
+  // Moment order, REQUIRED for kFp and kBoundedDeletion. RobustConfig's
+  // fp.p defaults to 1 — the documented footgun where an unset p silently
+  // estimates F1; the Goal path refuses to guess.
+  std::optional<double> p;
+  // kBoundedDeletion: the Definition 8.1 deletion promise.
+  double alpha = 2.0;
+  // kCascaded: the (p, k) norm and matrix shape.
+  double cascaded_p = 2.0;
+  double cascaded_k = 1.0;
+  MatrixShape cascaded_shape;
+
+  // Calibrate candidates against seeded streams (calibrate.h). Disabling
+  // skips the measurement — only closed-form candidates compete, no
+  // thrifty variants are tried, and every feasible candidate counts as
+  // accurate.
+  bool calibrate = true;
+  uint64_t calibration_seed = 0x51C0FFEEC0FFEEULL;
+  uint64_t calibration_steps = 2048;
+};
+
+// One candidate's line in the SizingReport: what the cost model predicted,
+// what calibration measured, and why it was (not) selected.
+struct CandidateReport {
+  // MethodKey(method), with a "/thrifty" suffix for the calibration-backed
+  // down-sized variants.
+  std::string label;
+  Method method = Method::kSketchSwitching;
+  size_t predicted_space_bytes = 0;
+  size_t measured_space_bytes = 0;  // 0 when calibration did not run.
+  double predicted_error = 0.0;     // Closed-form bound (goal.eps).
+  double measured_error = 0.0;      // Realized max rel. error (calibrated).
+  size_t flip_budget = 0;           // 0 = unbounded.
+  size_t flips_spent = 0;
+  bool holds = true;                // Guarantee held through calibration.
+  bool feasible = false;            // Within the memory/flip constraints.
+  bool accurate = false;            // Measured error <= goal.eps && holds.
+  // "selected", "feasible", "over-budget", "flip-budget", "inaccurate",
+  // "invalid: <field>" — the one-word reason a bench table can print.
+  std::string verdict;
+};
+
+// The full predicted-vs-measured picture behind a plan. Returned inside
+// PlannedConfig and optionally surfaced by StreamHub::CreateStream(Goal).
+struct SizingReport {
+  std::vector<CandidateReport> candidates;
+  // Index of the selected candidate in `candidates` (-1 only inside error
+  // paths; a returned PlannedConfig always has a valid selection).
+  int selected = -1;
+  uint64_t calibration_steps = 0;
+};
+
+// A plan: the chosen method, a Validate(task)-clean config with every
+// sizing knob pinned, and the report that justifies it.
+struct PlannedConfig {
+  Task task = Task::kF0;
+  std::string task_key;  // TaskKey(task) — ready for MakeRobust/StreamHub.
+  Method method = Method::kSketchSwitching;
+  RobustConfig config;
+  SizingReport report;
+};
+
+// Plans `goal`. Statuses:
+//   kInvalidArgument — the goal itself is unsatisfiable or underspecified;
+//     the message names the field (goal.p, goal.memory_budget_bytes,
+//     goal.min_flip_budget, goal.require_unbounded, goal.method, or a
+//     RobustConfig field the derived base config trips).
+//   kFailedPrecondition — every feasible candidate failed calibration.
+[[nodiscard]] Result<PlannedConfig> Plan(const Goal& goal);
+
+}  // namespace planner
+}  // namespace rs
+
+#endif  // RS_PLANNER_PLANNER_H_

@@ -159,6 +159,16 @@ Status StreamHub::CreateStream(std::string_view name, Task task,
   return CreateStream(name, TaskKey(task), config, seed);
 }
 
+Status StreamHub::CreateStream(std::string_view name,
+                               const planner::Goal& goal, uint64_t seed,
+                               planner::SizingReport* report) {
+  // Plan outside any stripe lock: calibration plays whole seeded streams
+  // and must not block the stripe's other tenants.
+  RS_ASSIGN_OR(planner::PlannedConfig planned, planner::Plan(goal));
+  if (report != nullptr) *report = planned.report;
+  return CreateStream(name, planned.task_key, planned.config, seed);
+}
+
 Status StreamHub::Update(std::string_view name, const rs::Update& u) {
   Stripe& stripe = stripes_[StripeOf(name)];
   rs::MutexLock lock(&stripe.mu);
@@ -226,6 +236,7 @@ std::vector<StreamInfo> StreamHub::ListStreams() const {
       info.task_key = state->task_key;
       info.updates = state->updates;
       info.space_bytes = state->estimator->SpaceBytes();
+      info.memory_footprint_bytes = state->estimator->MemoryFootprintBytes();
       info.guarantee = state->estimator->GuaranteeStatus();
       info.snapshot_capable =
           state->engine != nullptr || state->sampling != nullptr;

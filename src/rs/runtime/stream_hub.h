@@ -47,6 +47,7 @@
 
 #include "rs/core/robust.h"
 #include "rs/engine/sharded.h"
+#include "rs/planner/planner.h"
 #include "rs/stream/update.h"
 #include "rs/util/status.h"
 #include "rs/util/sync.h"
@@ -88,7 +89,11 @@ struct StreamInfo {
   std::string name;
   std::string task_key;
   uint64_t updates = 0;
+  // Live accounting (SpaceBytes: grows with occupancy for heap-backed
+  // bases) vs provisioned capacity (MemoryFootprintBytes: what capacity
+  // planning should charge; never less than space_bytes).
   size_t space_bytes = 0;
+  size_t memory_footprint_bytes = 0;
   rs::GuaranteeStatus guarantee;
   bool snapshot_capable = false;
 };
@@ -115,6 +120,17 @@ class StreamHub {
   // Task-enum convenience for the six built-ins.
   Status CreateStream(std::string_view name, Task task,
                       const RobustConfig& config, uint64_t seed = 0);
+
+  // Auto mode: plans the goal (rs::planner::Plan — cost models pick the
+  // method and every sizing knob, seeded calibration checks the realized
+  // error) and hosts the planned config under `name`. On success *report
+  // (if non-null) receives the full SizingReport behind the choice.
+  // Errors: everything Plan() reports (kInvalidArgument naming the goal
+  // field, kFailedPrecondition when calibration rejects every candidate)
+  // plus this hub's own CreateStream statuses (kAlreadyExists, ...).
+  Status CreateStream(std::string_view name, const planner::Goal& goal,
+                      uint64_t seed = 0,
+                      planner::SizingReport* report = nullptr);
 
   // Feeds updates to a named stream. kNotFound for unknown names.
   Status Update(std::string_view name, const rs::Update& u);

@@ -10,6 +10,12 @@
 
 namespace rs {
 
+size_t PStableFp::CountersForEpsilon(double eps) {
+  RS_CHECK(eps > 0.0 && eps <= 1.0);
+  const size_t k = static_cast<size_t>(std::ceil(12.0 / (eps * eps)));
+  return std::max<size_t>(k, 3) | 1;  // Odd => clean median.
+}
+
 PStableFp::PStableFp(const Config& config, uint64_t seed)
     : p_(config.p),
       seed_(seed),
@@ -18,11 +24,10 @@ PStableFp::PStableFp(const Config& config, uint64_t seed)
       hash_(seed) {
   RS_CHECK(p_ > 0.0 && p_ <= 2.0);
   RS_CHECK(config.eps > 0.0 && config.eps <= 1.0);
-  size_t k = config.k_override;
-  if (k == 0) {
-    k = static_cast<size_t>(std::ceil(12.0 / (config.eps * config.eps)));
-  }
-  counters_.assign(std::max<size_t>(k, 3) | 1, 0.0);  // Odd => clean median.
+  const size_t k = config.k_override != 0
+                       ? (std::max<size_t>(config.k_override, 3) | 1)
+                       : CountersForEpsilon(config.eps);
+  counters_.assign(k, 0.0);
 }
 
 bool PStableFp::CompatibleForMerge(const Estimator& other) const {

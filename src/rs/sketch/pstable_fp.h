@@ -43,6 +43,12 @@ class PStableFp : public MergeableEstimator {
     size_t k_override = 0;  // If nonzero, use exactly this many counters.
   };
 
+  // Counter count a Config with this eps and no k_override resolves to:
+  // max(ceil(12 / eps^2), 3) rounded up to odd (clean median). Exposed so
+  // sizing code (robust_fp.cc, the sharded engine, the planner cost
+  // models) prices copies without constructing one.
+  static size_t CountersForEpsilon(double eps);
+
   PStableFp(const Config& config, uint64_t seed);
 
   void Update(const rs::Update& u) override;

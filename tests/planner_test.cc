@@ -1,0 +1,377 @@
+// rs::planner coverage: cost-model registry surface, Plan(Goal) round
+// trips for every registered (task, method) pair, the named-field
+// rejection contract for infeasible goals (the same style the
+// robust_config_validation matrix pins for RobustConfig::Validate),
+// seeded predicted-vs-measured calibration, and the StreamHub Goal
+// overload's lifecycle.
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "rs/core/robust.h"
+#include "rs/planner/calibrate.h"
+#include "rs/planner/cost_model.h"
+#include "rs/planner/planner.h"
+#include "rs/runtime/stream_hub.h"
+
+namespace rs {
+namespace planner {
+namespace {
+
+// A goal every task can plan from: small stream so calibration is fast,
+// generous eps so every method's calibration passes comfortably.
+Goal GoodGoal(Task task) {
+  Goal goal;
+  goal.task = task;
+  goal.eps = 0.3;
+  goal.delta = 0.05;
+  goal.stream.n = 1 << 10;
+  goal.stream.m = 1 << 12;
+  goal.stream.max_frequency = 1 << 12;
+  goal.calibration_steps = 512;
+  if (task == Task::kFp || task == Task::kBoundedDeletion) goal.p = 2.0;
+  if (task == Task::kBoundedDeletion) {
+    goal.stream.model = StreamModel::kBoundedDeletion;
+    goal.alpha = 2.0;
+  }
+  if (task == Task::kCascaded) {
+    goal.cascaded_shape = {.rows = 16, .cols = 16};
+  }
+  return goal;
+}
+
+// ---------------------------------------------------------------------------
+// Cost-model registry.
+// ---------------------------------------------------------------------------
+
+TEST(CostModelTest, EveryRegisteredPairHasAModel) {
+  const auto pairs = CostModelPairs();
+  ASSERT_FALSE(pairs.empty());
+  for (const auto& [task, method] : pairs) {
+    EXPECT_NE(CostModelFor(task, method), nullptr)
+        << TaskKey(task) << "/" << MethodKey(method);
+  }
+  // The built-in surface: every pair TryMakeRobust can build.
+  EXPECT_EQ(pairs.size(), 11u);
+}
+
+TEST(CostModelTest, UnregisteredPairIsNull) {
+  EXPECT_EQ(CostModelFor(Task::kEntropy, Method::kDifferentialPrivacy),
+            nullptr);
+  EXPECT_EQ(CostModelFor(Task::kCascaded, Method::kImportanceSampling),
+            nullptr);
+}
+
+TEST(CostModelTest, EstimatesArePositiveAndMatchTheErrorBound) {
+  for (const auto& [task, method] : CostModelPairs()) {
+    const Goal goal = GoodGoal(task);
+    RobustConfig config;
+    config.eps = goal.eps;
+    config.delta = goal.delta;
+    config.stream = goal.stream;
+    config.method = method;
+    config.fp.p = 2.0;
+    config.bounded_deletion.alpha = goal.alpha;
+    config.cascaded.shape = goal.cascaded_shape;
+    ASSERT_TRUE(config.Validate(task).ok())
+        << TaskKey(task) << "/" << MethodKey(method);
+    const CostModel* model = CostModelFor(task, method);
+    const CostEstimate est = model->Estimate(config);
+    EXPECT_GT(est.space_bytes, 0u)
+        << TaskKey(task) << "/" << MethodKey(method);
+    EXPECT_DOUBLE_EQ(est.predicted_error, config.eps);
+  }
+}
+
+// The analytic models must agree with the construction's own accounting:
+// predicted space equals the built estimator's MemoryFootprintBytes().
+TEST(CostModelTest, AnalyticPredictionMatchesConstructedFootprint) {
+  for (Task task : {Task::kF0, Task::kFp}) {
+    for (Method method :
+         {Method::kSketchSwitching, Method::kDifferentialPrivacy}) {
+      RobustConfig config;
+      config.eps = 0.3;
+      config.stream.n = 1 << 10;
+      config.stream.m = 1 << 12;
+      config.stream.max_frequency = 1 << 12;
+      config.method = method;
+      config.fp.p = 2.0;
+      const CostEstimate est = CostModelFor(task, method)->Estimate(config);
+      auto built = TryMakeRobust(task, config, 7);
+      ASSERT_TRUE(built.ok());
+      EXPECT_EQ(est.space_bytes, built.value()->MemoryFootprintBytes())
+          << TaskKey(task) << "/" << MethodKey(method);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MemoryFootprintBytes() telemetry.
+// ---------------------------------------------------------------------------
+
+TEST(MemoryFootprintTest, NeverBelowLiveSpaceAcrossEveryKey) {
+  for (const auto& key : RobustTaskKeys()) {
+    RobustConfig config;
+    config.eps = 0.3;
+    config.stream.n = 1 << 10;
+    config.stream.m = 1 << 12;
+    config.stream.max_frequency = 1 << 12;
+    config.fp.p = 2.0;
+    const auto built = TryMakeRobust(std::string_view(key), config, 7);
+    ASSERT_TRUE(built.ok()) << key << ": " << built.status().ToString();
+    auto& est = *built.value();
+    EXPECT_GE(est.MemoryFootprintBytes(), est.SpaceBytes()) << key;
+    // Still true after the sketch fills.
+    for (uint64_t i = 0; i < 512; ++i) {
+      est.Update({i % config.stream.n, +1});
+    }
+    EXPECT_GE(est.MemoryFootprintBytes(), est.SpaceBytes()) << key;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Plan(Goal) round trips.
+// ---------------------------------------------------------------------------
+
+// Every registered (task, method) pair plans when pinned, and the planned
+// config is Validate-clean, constructs, and pins the requested method.
+TEST(PlannerTest, PinnedRoundTripForEveryRegisteredPair) {
+  for (const auto& [task, method] : CostModelPairs()) {
+    Goal goal = GoodGoal(task);
+    goal.method = method;
+    goal.calibrate = false;  // Closed-form only; calibration is below.
+    const auto planned = Plan(goal);
+    ASSERT_TRUE(planned.ok())
+        << TaskKey(task) << "/" << MethodKey(method) << ": "
+        << planned.status().ToString();
+    const PlannedConfig& plan = planned.value();
+    EXPECT_EQ(plan.task, task);
+    EXPECT_EQ(plan.task_key, TaskKey(task));
+    EXPECT_EQ(plan.method, method);
+    EXPECT_EQ(plan.config.method, method);
+    EXPECT_TRUE(plan.config.Validate(task).ok());
+    EXPECT_TRUE(TryMakeRobust(task, plan.config, 7).ok());
+    ASSERT_GE(plan.report.selected, 0);
+    EXPECT_EQ(plan.report.candidates[plan.report.selected].verdict,
+              "selected");
+  }
+}
+
+// An unpinned goal considers every registered method for the task and
+// selects the smallest predicted footprint among the survivors.
+TEST(PlannerTest, UnpinnedGoalSelectsTheCheapestAccurateCandidate) {
+  Goal goal = GoodGoal(Task::kFp);
+  const auto planned = Plan(goal);
+  ASSERT_TRUE(planned.ok()) << planned.status().ToString();
+  const SizingReport& report = planned.value().report;
+  ASSERT_GE(report.selected, 0);
+  const CandidateReport& winner = report.candidates[report.selected];
+  EXPECT_EQ(winner.verdict, "selected");
+  EXPECT_TRUE(winner.feasible);
+  EXPECT_TRUE(winner.accurate);
+  for (const CandidateReport& c : report.candidates) {
+    if (!c.feasible || !c.accurate) continue;
+    EXPECT_LE(winner.predicted_space_bytes, c.predicted_space_bytes)
+        << winner.label << " vs " << c.label;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Named-field rejections (the robust_config_validation contract, at the
+// Goal level).
+// ---------------------------------------------------------------------------
+
+struct GoalRejectionCase {
+  const char* name;
+  Task task;
+  std::function<void(Goal&)> mutate;
+  StatusCode want_code;
+  const char* want_field;
+};
+
+std::vector<GoalRejectionCase> GoalRejectionMatrix() {
+  return {
+      // The fp.p footgun: a kFp goal must state its moment order.
+      {"FpGoalWithoutP", Task::kFp, [](Goal& g) { g.p.reset(); },
+       StatusCode::kInvalidArgument, "goal.p"},
+      {"BoundedDeletionGoalWithoutP", Task::kBoundedDeletion,
+       [](Goal& g) { g.p.reset(); }, StatusCode::kInvalidArgument, "goal.p"},
+      {"NegativeP", Task::kFp, [](Goal& g) { g.p = -1.0; },
+       StatusCode::kInvalidArgument, "goal.p"},
+      {"ImpossibleMemoryBudget", Task::kF0,
+       [](Goal& g) { g.memory_budget_bytes = 64; },
+       StatusCode::kInvalidArgument, "goal.memory_budget_bytes"},
+      {"UnboundedVsMinBudgetConflict", Task::kF0,
+       [](Goal& g) {
+         g.require_unbounded = true;
+         g.min_flip_budget = 100;
+       },
+       StatusCode::kInvalidArgument, "goal.min_flip_budget"},
+      // Bounded deletion only registers the paths construction, whose
+      // flip budget is always finite.
+      {"UnboundedImpossibleForBoundedDeletion", Task::kBoundedDeletion,
+       [](Goal& g) { g.require_unbounded = true; },
+       StatusCode::kInvalidArgument, "goal.require_unbounded"},
+      {"MethodWithoutCostModel", Task::kEntropy,
+       [](Goal& g) { g.method = Method::kDifferentialPrivacy; },
+       StatusCode::kInvalidArgument, "goal.method"},
+      // eps out of range propagates the RobustConfig::Validate message.
+      {"EpsOutOfRange", Task::kF0, [](Goal& g) { g.eps = 2.0; },
+       StatusCode::kInvalidArgument, "eps"},
+  };
+}
+
+class GoalRejectionTest : public ::testing::TestWithParam<GoalRejectionCase> {
+};
+
+TEST_P(GoalRejectionTest, PlanNamesTheOffendingField) {
+  const GoalRejectionCase& c = GetParam();
+  Goal goal = GoodGoal(c.task);
+  goal.calibrate = false;
+  c.mutate(goal);
+  const auto planned = Plan(goal);
+  ASSERT_FALSE(planned.ok()) << c.name;
+  EXPECT_EQ(planned.status().code(), c.want_code)
+      << c.name << ": " << planned.status().ToString();
+  EXPECT_NE(planned.status().message().find(c.want_field), std::string::npos)
+      << c.name << ": message was '" << planned.status().message() << "'";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGoalRejections, GoalRejectionTest,
+    ::testing::ValuesIn(GoalRejectionMatrix()),
+    [](const ::testing::TestParamInfo<GoalRejectionCase>& info) {
+      return info.param.name;
+    });
+
+// A large min_flip_budget is still satisfiable: the unbounded switching
+// ring dominates any finite floor.
+TEST(PlannerTest, UnboundedCandidateSatisfiesAnyFlipFloor) {
+  Goal goal = GoodGoal(Task::kF0);
+  goal.calibrate = false;
+  goal.min_flip_budget = 1u << 30;
+  const auto planned = Plan(goal);
+  ASSERT_TRUE(planned.ok()) << planned.status().ToString();
+  const auto& winner =
+      planned.value().report.candidates[planned.value().report.selected];
+  EXPECT_EQ(winner.flip_budget, 0u) << winner.label;
+}
+
+TEST(PlannerTest, RequireUnboundedSelectsARingOrSamplingCandidate) {
+  Goal goal = GoodGoal(Task::kFp);
+  goal.calibrate = false;
+  goal.require_unbounded = true;
+  const auto planned = Plan(goal);
+  ASSERT_TRUE(planned.ok()) << planned.status().ToString();
+  const auto& winner =
+      planned.value().report.candidates[planned.value().report.selected];
+  EXPECT_EQ(winner.flip_budget, 0u) << winner.label;
+}
+
+// ---------------------------------------------------------------------------
+// Seeded calibration: predicted vs measured.
+// ---------------------------------------------------------------------------
+
+TEST(PlannerTest, CalibratedPlanIsDeterministicAndWithinEps) {
+  for (Task task : {Task::kF0, Task::kFp}) {
+    const Goal goal = GoodGoal(task);
+    const auto a = Plan(goal);
+    const auto b = Plan(goal);
+    ASSERT_TRUE(a.ok()) << TaskKey(task) << ": " << a.status().ToString();
+    ASSERT_TRUE(b.ok());
+    // Same goal, same seed: identical selection and measurements.
+    EXPECT_EQ(a.value().method, b.value().method);
+    ASSERT_EQ(a.value().report.candidates.size(),
+              b.value().report.candidates.size());
+    for (size_t i = 0; i < a.value().report.candidates.size(); ++i) {
+      EXPECT_DOUBLE_EQ(a.value().report.candidates[i].measured_error,
+                       b.value().report.candidates[i].measured_error);
+    }
+    // The selected candidate's realized error is inside the goal's eps
+    // (that is the selection rule; pin it end to end).
+    const auto& winner =
+        a.value().report.candidates[a.value().report.selected];
+    EXPECT_LE(winner.measured_error, goal.eps) << TaskKey(task);
+    EXPECT_TRUE(winner.holds);
+    EXPECT_GT(winner.measured_space_bytes, 0u);
+    // Calibration runs the oblivious stream plus the fuzzer for f0/fp.
+    EXPECT_NE(winner.label, "");
+  }
+}
+
+TEST(CalibrateTest, MeasuresEveryTaskDeterministically) {
+  for (Task task : kAllRobustTasks) {
+    const Goal goal = GoodGoal(task);
+    RobustConfig config;
+    config.eps = goal.eps;
+    config.delta = goal.delta;
+    config.stream = goal.stream;
+    config.fp.p = 2.0;
+    config.bounded_deletion.alpha = goal.alpha;
+    config.cascaded.shape = goal.cascaded_shape;
+    if (task == Task::kBoundedDeletion) {
+      config.method = Method::kComputationPaths;
+    }
+    ASSERT_TRUE(config.Validate(task).ok()) << TaskKey(task);
+    CalibrationOptions options;
+    options.steps = 512;
+    const auto a = Calibrate(task, config, options);
+    const auto b = Calibrate(task, config, options);
+    ASSERT_TRUE(a.ok()) << TaskKey(task) << ": " << a.status().ToString();
+    ASSERT_TRUE(b.ok());
+    EXPECT_DOUBLE_EQ(a.value().measured_error, b.value().measured_error)
+        << TaskKey(task);
+    EXPECT_GT(a.value().steps, 0u);
+    EXPECT_GT(a.value().measured_space_bytes, 0u);
+    EXPECT_FALSE(a.value().streams.empty());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// StreamHub Goal overload.
+// ---------------------------------------------------------------------------
+
+TEST(StreamHubGoalTest, PlansHostsAndReportsFootprint) {
+  runtime::StreamHub hub;
+  Goal goal = GoodGoal(Task::kF0);
+  SizingReport report;
+  ASSERT_TRUE(hub.CreateStream("auto-f0", goal, /*seed=*/0, &report).ok());
+  ASSERT_GE(report.selected, 0);
+  EXPECT_EQ(report.candidates[report.selected].verdict, "selected");
+
+  // The planned stream serves traffic like any hand-configured one.
+  for (uint64_t i = 0; i < 256; ++i) {
+    ASSERT_TRUE(hub.Update("auto-f0", {i, +1}).ok());
+  }
+  const auto query = hub.Query("auto-f0");
+  ASSERT_TRUE(query.ok());
+  EXPECT_GT(query.value().estimate, 0.0);
+
+  // ListStreams surfaces both live space and the provisioned footprint.
+  const auto infos = hub.ListStreams();
+  ASSERT_EQ(infos.size(), 1u);
+  EXPECT_EQ(infos[0].name, "auto-f0");
+  EXPECT_GT(infos[0].memory_footprint_bytes, 0u);
+  EXPECT_GE(infos[0].memory_footprint_bytes, infos[0].space_bytes);
+
+  // Hub-level statuses still apply on top of planning.
+  EXPECT_EQ(hub.CreateStream("auto-f0", goal).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(StreamHubGoalTest, PlanningErrorsPropagateWithTheFieldName) {
+  runtime::StreamHub hub;
+  Goal goal = GoodGoal(Task::kFp);
+  goal.p.reset();
+  const Status s = hub.CreateStream("auto-fp", goal);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("goal.p"), std::string::npos) << s.ToString();
+  EXPECT_EQ(hub.stream_count(), 0u);
+}
+
+}  // namespace
+}  // namespace planner
+}  // namespace rs

@@ -184,8 +184,12 @@ def rule_io_unordered_container(relpath, raw_lines, code_lines):
     del raw_lines
     # src/rs/io/ is the serialization layer proper; src/rs/sampling/ writes
     # its own canonical coreset images (SortedEntries) and is held to the
-    # same canonical-bytes rule.
-    if not relpath.startswith(("src/rs/io/", "src/rs/sampling/")):
+    # same canonical-bytes rule; src/rs/planner/ emits SizingReports whose
+    # candidate order is part of the deterministic-planning contract (the
+    # E23 baseline exact-matches verdict cells), so its registries and
+    # report assembly must iterate in a defined order too.
+    if not relpath.startswith(
+            ("src/rs/io/", "src/rs/sampling/", "src/rs/planner/")):
         return []
     findings = []
     for i, line in enumerate(code_lines, 1):

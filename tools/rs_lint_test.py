@@ -125,6 +125,16 @@ class ScopingTest(unittest.TestCase):
             rules=["io-unordered-container"])
         self.assertTrue(findings)
 
+    def test_io_rule_covers_the_planner_tree(self):
+        # src/rs/planner assembles deterministic SizingReports (the E23
+        # baseline exact-matches verdict cells), so its registries must
+        # iterate in a defined order — same rule, same scope.
+        text = read_fixture("io-unordered-container", "bad.cc")
+        findings = rs_lint.lint_text(
+            "src/rs/planner/cost_model.cc", text,
+            rules=["io-unordered-container"])
+        self.assertTrue(findings)
+
     def test_rand_rule_exempts_the_rng_module(self):
         text = read_fixture("rand-source", "bad.cc")
         for path in ("src/rs/util/rng.cc", "src/rs/util/rng.h"):
