@@ -1,0 +1,42 @@
+// fuzz_config_codec — arbitrary bytes into ReadRobustConfig.
+//
+// The config codec is embedded in every hub-envelope stream record, so a
+// non-canonical config blob would break the hub's bit-exact snapshot
+// property from inside. Properties:
+//   * no crash/abort on any byte string;
+//   * canonical bytes — a blob that parses re-encodes to exactly the
+//     consumed prefix, and the re-encoding parses to the same bytes;
+//   * the codec consumes a fixed-width field list, so success implies the
+//     buffer held at least that many bytes.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "fuzz/harness_util.h"
+#include "rs/io/config_codec.h"
+#include "rs/io/wire.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view bytes(reinterpret_cast<const char*>(data), size);
+
+  rs::WireReader r(bytes);
+  auto parsed = rs::ReadRobustConfig(r);
+  if (!parsed.ok()) return 0;
+
+  const size_t consumed = bytes.size() - r.remaining();
+  std::string reencoded;
+  rs::AppendRobustConfig(*parsed, &reencoded);
+  RS_FUZZ_REQUIRE(reencoded == bytes.substr(0, consumed),
+                  "parsed config must re-encode to the consumed prefix");
+
+  rs::WireReader r2(reencoded);
+  auto again = rs::ReadRobustConfig(r2);
+  RS_FUZZ_REQUIRE(again.ok() && r2.AtEnd(),
+                  "re-encoded config must parse and consume exactly itself");
+  std::string stable;
+  rs::AppendRobustConfig(*again, &stable);
+  RS_FUZZ_REQUIRE(stable == reencoded, "config re-encoding must be stable");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// fuzz_wire_reader — the bounds-checked reader primitive itself.
+//
+// Every parser in the repo is built on WireReader, so its invariants are
+// the ones everything else inherits. The input is split into an opcode
+// script (first byte = length) and a data buffer; the script drives an
+// arbitrary interleaving of reads against the buffer. Properties:
+//   * no read past the buffer (ASan proves it on the replay corpus);
+//   * ok() is monotone — once false it never recovers, and every
+//     subsequent read returns zero/empty;
+//   * position accounting — remaining() never exceeds the buffer size and
+//     shrinks by exactly the bytes a successful read consumed;
+//   * AtEnd() is exactly ok() && remaining() == 0.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "fuzz/harness_util.h"
+#include "rs/io/wire.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size == 0) return 0;
+  const size_t script_len = data[0] < size - 1 ? data[0] : size - 1;
+  const uint8_t* script = data + 1;
+  const std::string_view buffer(
+      reinterpret_cast<const char*>(data + 1 + script_len),
+      size - 1 - script_len);
+
+  rs::WireReader r(buffer);
+  bool was_ok = true;
+  for (size_t i = 0; i < script_len; ++i) {
+    const size_t before = r.remaining();
+    size_t want = 0;  // Bytes this opcode consumes on success.
+    // Header is composite: a magic/version mismatch poisons the reader
+    // after its leading fields already advanced, so on failure it may
+    // consume up to its full width (never more).
+    const bool composite = script[i] % 6 == 5;
+    switch (script[i] % 6) {
+      case 0:
+        want = 1;
+        if (uint8_t v = r.U8(); !r.ok()) {
+          RS_FUZZ_REQUIRE(v == 0, "failed U8 must return 0");
+        }
+        break;
+      case 1:
+        want = 4;
+        if (uint32_t v = r.U32(); !r.ok()) {
+          RS_FUZZ_REQUIRE(v == 0, "failed U32 must return 0");
+        }
+        break;
+      case 2:
+        want = 8;
+        if (uint64_t v = r.U64(); !r.ok()) {
+          RS_FUZZ_REQUIRE(v == 0, "failed U64 must return 0");
+        }
+        break;
+      case 3:
+        want = 8;
+        if (int64_t v = r.I64(); !r.ok()) {
+          RS_FUZZ_REQUIRE(v == 0, "failed I64 must return 0");
+        }
+        break;
+      case 4: {
+        // Length driven by the script so huge Bytes() requests are reached.
+        want = i + 1 < script_len ? script[++i] : 0;
+        const std::string_view v = r.Bytes(want);
+        if (!r.ok()) {
+          RS_FUZZ_REQUIRE(v.empty(), "failed Bytes must return empty");
+        } else {
+          RS_FUZZ_REQUIRE(v.size() == want, "Bytes length mismatch");
+        }
+        break;
+      }
+      case 5: {
+        want = 20;  // magic + version + kind + seed.
+        rs::SketchKind kind{};
+        uint64_t seed = 0;
+        const bool ok = r.Header(&kind, &seed);
+        RS_FUZZ_REQUIRE(ok == r.ok(), "Header result must match ok()");
+        break;
+      }
+    }
+    RS_FUZZ_REQUIRE(r.remaining() <= buffer.size(),
+                    "remaining() must never exceed the buffer");
+    if (!was_ok) {
+      RS_FUZZ_REQUIRE(!r.ok(), "ok() must be monotone (no recovery)");
+      RS_FUZZ_REQUIRE(r.remaining() == before,
+                      "a poisoned reader must not advance");
+    } else if (r.ok()) {
+      RS_FUZZ_REQUIRE(before - r.remaining() == want,
+                      "successful read must consume exactly its width");
+    } else {
+      RS_FUZZ_REQUIRE(before - r.remaining() <= want &&
+                          (composite || before == r.remaining()),
+                      "failing read must not consume past its width");
+    }
+    was_ok = r.ok();
+    RS_FUZZ_REQUIRE(r.AtEnd() == (r.ok() && r.remaining() == 0),
+                    "AtEnd() must be ok() && fully consumed");
+  }
+  return 0;
+}

@@ -1,0 +1,24 @@
+// harness_util.h — shared assertion macro for the fuzz harnesses.
+//
+// Harness properties are checked with RS_FUZZ_REQUIRE, not assert(): it is
+// active in every build type (the replay driver runs under Release too) and
+// prints the failing expression before aborting, so both libFuzzer and the
+// corpus-replay ctest entries report a property violation as a crash with a
+// usable message.
+
+#ifndef RS_FUZZ_HARNESS_UTIL_H_
+#define RS_FUZZ_HARNESS_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define RS_FUZZ_REQUIRE(cond, what)                                        \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "RS_FUZZ_REQUIRE failed: %s\n  at %s:%d\n  %s\n", \
+                   #cond, __FILE__, __LINE__, what);                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#endif  // RS_FUZZ_HARNESS_UTIL_H_

@@ -1,0 +1,135 @@
+// replay_main.cc — standalone corpus driver for the fuzz harnesses.
+//
+// Links against the same LLVMFuzzerTestOneInput a libFuzzer build uses, but
+// needs no fuzzer runtime and no clang: the committed corpus replays as
+// plain ctest entries under the whole Debug/Release/gcc/ASan/UBSan/TSan
+// matrix, so a corpus or regression input that starts crashing fails every
+// PR, not just the fuzz job.
+//
+// Usage: fuzz_<target>_replay [--self-test] [--mutate N] path...
+//   path         a corpus file, or a directory replayed recursively in
+//                sorted order (missing paths are skipped with a note, so
+//                one ctest entry can name not-yet-populated corpus dirs);
+//   --self-test  additionally run the empty input and a max-size input
+//                (1 MiB of 0x00 / 0xFF / a byte ramp);
+//   --mutate N   after each corpus file, also run N deterministic xorshift
+//                point mutations of it — a no-libFuzzer local fuzz mode
+//                (gcc-only containers) whose findings reproduce exactly.
+//
+// Exits 0 when every executed input returns; a harness property violation
+// aborts (RS_FUZZ_REQUIRE). Exits 2 when no input was executed at all —
+// a typo'd corpus path must not pass silently.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+size_t g_executed = 0;
+
+void RunInput(const std::vector<uint8_t>& bytes, const std::string& label) {
+  // Heap-copy through the exact pointer the harness sees so ASan attributes
+  // any overread to the input bytes, mirroring libFuzzer's delivery.
+  uint8_t* copy = nullptr;
+  if (!bytes.empty()) {
+    copy = new uint8_t[bytes.size()];
+    std::memcpy(copy, bytes.data(), bytes.size());
+  }
+  LLVMFuzzerTestOneInput(copy, bytes.size());
+  delete[] copy;
+  ++g_executed;
+  (void)label;
+}
+
+void ReplayFile(const std::filesystem::path& file, size_t mutations) {
+  std::ifstream in(file, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "replay: cannot read %s\n", file.c_str());
+    std::exit(2);
+  }
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  RunInput(bytes, file.string());
+  if (bytes.empty()) return;
+  // Deterministic xorshift64 point mutations, seeded from the file size so
+  // a failure reproduces with the same command line.
+  uint64_t x = 0x9E3779B97F4A7C15ULL ^ (bytes.size() * 0x2545F4914F6CDD1DULL);
+  std::vector<uint8_t> mutated = bytes;
+  for (size_t i = 0; i < mutations; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    const size_t offset = static_cast<size_t>(x >> 8) % mutated.size();
+    const uint8_t mask = static_cast<uint8_t>(x) | 1;
+    mutated[offset] ^= mask;
+    RunInput(mutated, file.string() + " (mutation)");
+    mutated[offset] ^= mask;  // Restore: mutations stay one byte deep.
+  }
+}
+
+void SelfTest() {
+  // The two ends of the input-size spectrum the corpus cannot represent
+  // well: the empty input (libFuzzer always starts with it) and max-size
+  // buffers that stress length-field arithmetic.
+  LLVMFuzzerTestOneInput(nullptr, 0);
+  ++g_executed;
+  constexpr size_t kMax = size_t{1} << 20;
+  std::vector<uint8_t> big(kMax, 0x00);
+  RunInput(big, "self-test zeros");
+  std::fill(big.begin(), big.end(), 0xFF);
+  RunInput(big, "self-test ones");
+  for (size_t i = 0; i < big.size(); ++i) big[i] = static_cast<uint8_t>(i);
+  RunInput(big, "self-test ramp");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool self_test = false;
+  size_t mutations = 0;
+  std::vector<std::filesystem::path> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--self-test") == 0) {
+      self_test = true;
+    } else if (std::strcmp(argv[i], "--mutate") == 0 && i + 1 < argc) {
+      mutations = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else {
+      paths.emplace_back(argv[i]);
+    }
+  }
+
+  if (self_test) SelfTest();
+  for (const auto& path : paths) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(path, ec)) {
+      std::vector<std::filesystem::path> files;
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(path)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+      std::sort(files.begin(), files.end());
+      for (const auto& file : files) ReplayFile(file, mutations);
+    } else if (std::filesystem::is_regular_file(path, ec)) {
+      ReplayFile(path, mutations);
+    } else {
+      std::fprintf(stderr, "replay: skipping missing path %s\n",
+                   path.c_str());
+    }
+  }
+
+  if (g_executed == 0) {
+    std::fprintf(stderr, "replay: no inputs executed\n");
+    return 2;
+  }
+  std::printf("replay: %zu inputs OK\n", g_executed);
+  return 0;
+}

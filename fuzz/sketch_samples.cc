@@ -1,0 +1,139 @@
+#include "fuzz/sketch_samples.h"
+
+#include <memory>
+#include <utility>
+
+#include "rs/io/sketch_codec.h"
+#include "rs/sampling/merge_reduce.h"
+#include "rs/sampling/sampling_robust.h"
+#include "rs/sketch/ams_f2.h"
+#include "rs/sketch/countmin.h"
+#include "rs/sketch/countsketch.h"
+#include "rs/sketch/entropy_sketch.h"
+#include "rs/sketch/estimator.h"
+#include "rs/sketch/hll_f0.h"
+#include "rs/sketch/kmv_f0.h"
+#include "rs/sketch/misra_gries.h"
+#include "rs/sketch/pstable_fp.h"
+#include "rs/stream/update.h"
+
+namespace rs {
+namespace fuzz {
+
+namespace {
+
+// Small geometries: the fuzzers care about parse paths, not accuracy, and
+// small payloads keep mutation coverage dense.
+std::unique_ptr<MergeableEstimator> MakeMergeable(SketchKind kind,
+                                                  uint64_t seed) {
+  switch (kind) {
+    case SketchKind::kKmvF0:
+      return std::make_unique<KmvF0>(KmvF0::Config{.k = 16}, seed);
+    case SketchKind::kHllF0:
+      return std::make_unique<HllF0>(/*b=*/4, seed);
+    case SketchKind::kAmsF2:
+      return std::make_unique<AmsF2>(AmsF2::Config{.eps = 0.5, .delta = 0.2},
+                                     seed);
+    case SketchKind::kCountSketch:
+      return std::make_unique<CountSketch>(
+          CountSketch::Config{.eps = 0.5, .delta = 0.2, .heap_size = 8},
+          seed);
+    case SketchKind::kCountMin:
+      return std::make_unique<CountMin>(
+          CountMin::Config{.eps = 0.5, .delta = 0.2, .heap_size = 8}, seed);
+    case SketchKind::kMisraGries:
+      return std::make_unique<MisraGries>(/*k=*/8);
+    case SketchKind::kPStableFp:
+      return std::make_unique<PStableFp>(
+          PStableFp::Config{.p = 1.5, .eps = 0.5}, seed);
+    case SketchKind::kEntropySketch:
+      return std::make_unique<EntropySketch>(EntropySketch::Config{.eps = 0.5},
+                                             seed);
+    case SketchKind::kSamplingCoreset:
+      return std::make_unique<MergeReduceTree>(
+          MergeReduceTree::Config{.coreset_size = 8, .segment_size = 16},
+          seed);
+    case SketchKind::kSamplingHead:
+      return nullptr;  // Envelope kind: handled by MakeHeadBytes below.
+  }
+  return nullptr;
+}
+
+std::unique_ptr<SamplingEstimator> MakeHead(uint64_t seed, int variant) {
+  if (variant == 1) {
+    SamplingRegression::Params p;
+    p.coreset_size = 8;
+    return std::make_unique<SamplingRegression>(p, seed);
+  }
+  SamplingFp::Params p;
+  p.slots = 8;
+  return std::make_unique<SamplingFp>(p, seed);
+}
+
+void FeedDeterministic(Estimator* e, uint64_t seed, size_t updates) {
+  // Cheap splitmix-style item sequence: deterministic, collision-rich at
+  // small `updates` so candidate heaps and counters actually populate.
+  uint64_t x = seed * 0x9E3779B97F4A7C15ULL + 1;
+  for (size_t i = 0; i < updates; ++i) {
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ULL;
+    x ^= x >> 27;
+    e->Update(rs::Update{x % 64, 1});
+  }
+}
+
+}  // namespace
+
+std::vector<SketchKind> AllWireKinds() {
+  return {
+      SketchKind::kKmvF0,         SketchKind::kHllF0,
+      SketchKind::kAmsF2,         SketchKind::kCountSketch,
+      SketchKind::kCountMin,      SketchKind::kMisraGries,
+      SketchKind::kPStableFp,     SketchKind::kEntropySketch,
+      SketchKind::kSamplingCoreset, SketchKind::kSamplingHead,
+  };
+}
+
+std::string MakeSampleBytes(SketchKind kind, uint64_t seed, size_t updates,
+                            int variant) {
+  std::string out;
+  if (kind == SketchKind::kSamplingHead) {
+    auto head = MakeHead(seed, variant);
+    FeedDeterministic(head.get(), seed, updates);
+    head->Snapshot(&out);
+    return out;
+  }
+  auto sketch = MakeMergeable(kind, seed);
+  if (sketch == nullptr) return out;
+  FeedDeterministic(sketch.get(), seed, updates);
+  sketch->Serialize(&out);
+  return out;
+}
+
+std::optional<std::string> ParseAndReencode(std::string_view bytes) {
+  SketchKind kind{};
+  uint64_t seed = 0;
+  if (PeekSketchHeader(bytes, &kind, &seed) &&
+      kind == SketchKind::kSamplingHead) {
+    // Envelope kind: not mergeable, so it bypasses DeserializeSketch and
+    // restores through an owning head. Both heads validate the discriminant
+    // byte, so at most one accepts.
+    for (int variant = 0; variant < 2; ++variant) {
+      auto head = MakeHead(/*seed=*/1, variant);
+      if (head->Restore(bytes).ok()) {
+        std::string reencoded;
+        head->Snapshot(&reencoded);
+        return reencoded;
+      }
+    }
+    return std::nullopt;
+  }
+  auto parsed = DeserializeSketch(bytes);
+  if (!parsed.ok()) return std::nullopt;
+  std::string reencoded;
+  (*parsed)->Serialize(&reencoded);
+  return reencoded;
+}
+
+}  // namespace fuzz
+}  // namespace rs

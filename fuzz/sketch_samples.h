@@ -1,0 +1,47 @@
+// sketch_samples.h — the fuzz dispatcher: one registry mapping every wire
+// kind (rs/io/wire.h SketchKind) to a sample-state generator and to the
+// untrusted-bytes parse entry point that kind travels through.
+//
+// This file is the machine-checked coverage list for the wire surface: the
+// `wire-kind-coverage` rs_lint rule cross-references the SketchKind enum
+// against AllWireKinds() below, so a new wire kind cannot ship without a
+// fuzz sample + dispatch arm here (and a corrupt-buffer test in
+// tests/mergeable_sketch_test.cc).
+
+#ifndef RS_FUZZ_SKETCH_SAMPLES_H_
+#define RS_FUZZ_SKETCH_SAMPLES_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rs/io/wire.h"
+
+namespace rs {
+namespace fuzz {
+
+// Every SketchKind, in wire-tag order. The lint rule requires each
+// enumerator in rs/io/wire.h to appear in this file.
+std::vector<SketchKind> AllWireKinds();
+
+// Deterministic serialized sample state for `kind` (seeded stream of
+// `updates` items). `variant` selects between sub-encodings where one wire
+// kind carries more than one payload shape (kSamplingHead: 0 = Fp head,
+// 1 = regression head); other kinds ignore it.
+std::string MakeSampleBytes(SketchKind kind, uint64_t seed, size_t updates,
+                            int variant = 0);
+
+// Routes `bytes` through the untrusted-bytes parse entry point its header
+// names (rs/io/sketch_codec.h for the mergeable kinds, the sampling heads'
+// Restore for kSamplingHead) and returns the parsed state's canonical
+// re-encoding — or nullopt when every entry point rejects the buffer.
+// Harnesses assert the canonical-bytes property on the result: a buffer
+// that parses must re-encode byte-identically.
+std::optional<std::string> ParseAndReencode(std::string_view bytes);
+
+}  // namespace fuzz
+}  // namespace rs
+
+#endif  // RS_FUZZ_SKETCH_SAMPLES_H_

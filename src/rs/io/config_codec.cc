@@ -51,13 +51,17 @@ Result<RobustConfig> ReadRobustConfig(WireReader& r) {
   c.stream.max_frequency = r.U64();
   const uint8_t model = r.U8();
   const uint8_t method = r.U8();
-  c.theoretical_sizing = r.U8() != 0;
+  // Bool fields are written as exactly 0 or 1; any other byte is a
+  // non-canonical blob that would re-encode to different bytes than it
+  // parsed from, so reject it like an unknown discriminant
+  // (fuzz/corpus/regressions/config_codec/bool_byte_2.bin).
+  const uint8_t theoretical_sizing = r.U8();
   c.fp.p = r.F64();
   c.fp.lambda_override = static_cast<size_t>(r.U64());
   c.fp.highp_s1_override = static_cast<size_t>(r.U64());
   c.fp.highp_s2_override = static_cast<size_t>(r.U64());
   c.entropy.pool_cap = static_cast<size_t>(r.U64());
-  c.entropy.random_oracle_model = r.U8() != 0;
+  const uint8_t random_oracle_model = r.U8();
   c.bounded_deletion.alpha = r.F64();
   c.engine.shards = static_cast<size_t>(r.U64());
   c.engine.merge_period = static_cast<size_t>(r.U64());
@@ -74,7 +78,7 @@ Result<RobustConfig> ReadRobustConfig(WireReader& r) {
   c.cascaded.rate = r.F64();
   c.cascaded.booster_copies = static_cast<size_t>(r.U64());
   c.cascaded.pool_cap = static_cast<size_t>(r.U64());
-  c.cascaded.force_pool = r.U8() != 0;
+  const uint8_t force_pool = r.U8();
   c.sampling.sample_size = static_cast<size_t>(r.U64());
   c.sampling.influence_cap = r.F64();
   c.sampling.warmup_weight = r.F64();
@@ -90,6 +94,12 @@ Result<RobustConfig> ReadRobustConfig(WireReader& r) {
   if (engine_task > static_cast<uint8_t>(Task::kCascaded)) {
     return DataLoss("config blob: unknown engine task discriminant");
   }
+  if (theoretical_sizing > 1 || random_oracle_model > 1 || force_pool > 1) {
+    return DataLoss("config blob: non-canonical bool byte");
+  }
+  c.theoretical_sizing = theoretical_sizing != 0;
+  c.entropy.random_oracle_model = random_oracle_model != 0;
+  c.cascaded.force_pool = force_pool != 0;
   c.stream.model = static_cast<StreamModel>(model);
   c.method = static_cast<Method>(method);
   c.engine.task = static_cast<Task>(engine_task);

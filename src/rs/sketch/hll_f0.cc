@@ -48,6 +48,14 @@ std::unique_ptr<HllF0> HllF0::Deserialize(std::string_view data) {
   if (!r.ok() || b < 4 || b > 20) return nullptr;
   const std::string_view regs = r.Bytes(size_t{1} << b);
   if (!r.AtEnd()) return nullptr;
+  // A rank is 1 + leading zeros of the 64-b remaining hash bits, so no
+  // register written by Update can exceed 64 - b + 1. Larger bytes are an
+  // impossible state that would skew Estimate() arbitrarily — reject
+  // (fuzz/corpus/regressions/sketch_codec/hll_rank_overflow.bin).
+  const uint8_t max_rank = static_cast<uint8_t>(64 - b + 1);
+  for (char reg : regs) {
+    if (static_cast<uint8_t>(reg) > max_rank) return nullptr;
+  }
   auto sketch = std::make_unique<HllF0>(static_cast<int>(b), seed);
   std::copy(regs.begin(), regs.end(),
             reinterpret_cast<char*>(sketch->registers_.data()));

@@ -97,7 +97,18 @@ std::unique_ptr<KmvF0> KmvF0::Deserialize(std::string_view data) {
     return nullptr;
   }
   auto sketch = std::make_unique<KmvF0>(Config{static_cast<size_t>(k)}, seed);
-  for (uint64_t i = 0; i < count; ++i) sketch->InsertHash(r.U64());
+  uint64_t prev = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint64_t h = r.U64();
+    // Canonical bytes: Serialize writes the member hashes sorted and
+    // unique, so a payload that parses must re-serialize to identical
+    // bytes. Unsorted or duplicate hashes would silently re-serialize
+    // differently (InsertHash dedups) — reject them instead
+    // (fuzz/corpus/regressions/sketch_codec/kmv_*.bin).
+    if (i > 0 && h <= prev) return nullptr;
+    prev = h;
+    sketch->InsertHash(h);
+  }
   if (!r.AtEnd()) return nullptr;
   return sketch;
 }

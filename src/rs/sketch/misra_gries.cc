@@ -77,17 +77,28 @@ std::unique_ptr<MisraGries> MisraGries::Deserialize(std::string_view data) {
   const int64_t decrements = r.I64();
   const uint64_t count = r.U64();
   // Division (not multiplication) bounds count by the bytes actually
-  // present, so a crafted header cannot wrap the check.
-  if (!r.ok() || k < 1 || count > k || count != r.remaining() / 16 ||
-      r.remaining() % 16 != 0) {
+  // present, so a crafted header cannot wrap the check. The sketch is
+  // deterministic (Serialize writes seed 0) and insertion-only (f1 and
+  // decrements are running non-negative totals), so a nonzero seed or a
+  // negative total is an impossible state that would also re-serialize to
+  // different bytes than it parsed from — reject, never normalize
+  // (fuzz/corpus/regressions/sketch_codec/misra_gries_*.bin).
+  if (!r.ok() || seed != 0 || k < 1 || f1 < 0 || decrements < 0 ||
+      count > k || count != r.remaining() / 16 || r.remaining() % 16 != 0) {
     return nullptr;
   }
   auto sketch = std::make_unique<MisraGries>(static_cast<size_t>(k));
   sketch->f1_ = f1;
   sketch->decrements_ = decrements;
+  uint64_t prev = 0;
   for (uint64_t i = 0; i < count; ++i) {
     const uint64_t item = r.U64();
     const int64_t c = r.I64();
+    // Canonical bytes: items travel sorted and unique, and a live counter
+    // is always positive (Update erases zeros).
+    if (i > 0 && item <= prev) return nullptr;
+    if (c < 1) return nullptr;
+    prev = item;
     sketch->counters_.emplace(item, c);
   }
   if (!r.AtEnd()) return nullptr;

@@ -71,9 +71,16 @@ inline bool DeserializeCandidates(
     return false;
   }
   out->reserve(count);
+  uint64_t prev = 0;
   for (uint64_t i = 0; i < count; ++i) {
     const uint64_t item = r->U64();
     const double est = r->F64();
+    // Canonical bytes: SerializeCandidates writes items sorted and unique,
+    // so unsorted or duplicate items would re-serialize to different bytes
+    // than they parsed from (emplace dedups). Reject them
+    // (fuzz/corpus/regressions/sketch_codec/countmin_duplicate_*.bin).
+    if (i > 0 && item <= prev) return false;
+    prev = item;
     out->emplace(item, est);
   }
   return true;

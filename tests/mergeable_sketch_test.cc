@@ -16,11 +16,14 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "gtest/gtest.h"
 #include "rs/io/sketch_codec.h"
 #include "rs/io/wire.h"
+#include "rs/sampling/merge_reduce.h"
+#include "rs/sampling/sampling_robust.h"
 #include "rs/sketch/ams_f2.h"
 #include "rs/sketch/countmin.h"
 #include "rs/sketch/countsketch.h"
@@ -455,6 +458,136 @@ TEST(SketchCodec, RejectsOverflowingShapeFields) {
     EXPECT_EQ(DeserializeSketch(wire).status().code(),
               StatusCode::kDataLoss);
   }
+}
+
+TEST(SketchCodec, RejectsNonCanonicalPayloads) {
+  // Buffers that would parse into state whose re-serialization differs
+  // from the input (the canonical-bytes property the fuzz harnesses
+  // enforce; the minimized originals live in
+  // fuzz/corpus/regressions/sketch_codec/).
+  {
+    // KmvF0 members must arrive strictly increasing: InsertHash dedups and
+    // Serialize sorts, so unsorted or duplicate members re-encode
+    // differently than they parsed.
+    for (const auto& members :
+         {std::vector<uint64_t>{5, 3}, std::vector<uint64_t>{5, 5}}) {
+      std::string wire;
+      WireWriter w(&wire);
+      w.Header(SketchKind::kKmvF0, 7);
+      w.U64(16);  // k
+      w.U64(members.size());
+      for (uint64_t h : members) w.U64(h);
+      EXPECT_EQ(DeserializeSketch(wire).status().code(),
+                StatusCode::kDataLoss);
+    }
+  }
+  {
+    // CountMin candidate items: same strictly-increasing contract
+    // (SerializeCandidates sorts, emplace dedups).
+    std::string wire;
+    WireWriter w(&wire);
+    w.Header(SketchKind::kCountMin, 7);
+    w.U64(1);    // rows
+    w.U64(1);    // width
+    w.U64(2);    // heap_size
+    w.F64(2.0);  // f1
+    w.F64(2.0);  // table cell
+    w.U64(2);    // candidates
+    w.U64(5);
+    w.F64(1.0);
+    w.U64(5);
+    w.F64(1.0);
+    EXPECT_EQ(DeserializeSketch(wire).status().code(), StatusCode::kDataLoss);
+  }
+  {
+    // MisraGries is deterministic (Serialize writes seed 0) and
+    // insertion-only: nonzero seeds, unsorted counters, and non-positive
+    // counts are impossible states.
+    const auto reject = [](uint64_t seed, int64_t f1,
+                           std::vector<std::pair<uint64_t, int64_t>> counters) {
+      std::string wire;
+      WireWriter w(&wire);
+      w.Header(SketchKind::kMisraGries, seed);
+      w.U64(8);  // k
+      w.I64(f1);
+      w.I64(0);  // decrements
+      w.U64(counters.size());
+      for (const auto& [item, c] : counters) {
+        w.U64(item);
+        w.I64(c);
+      }
+      EXPECT_EQ(DeserializeSketch(wire).status().code(),
+                StatusCode::kDataLoss)
+          << "seed=" << seed;
+    };
+    reject(/*seed=*/1, 0, {});
+    reject(/*seed=*/0, 2, {{7, 1}, {3, 1}});  // Unsorted items.
+    reject(/*seed=*/0, 1, {{3, 0}});          // Dead counter.
+  }
+}
+
+TEST(SketchCodec, HllRejectsImpossibleRegisterRanks) {
+  // A rank is 1 + leading zeros of the 64-b tail bits, so no register can
+  // exceed 64 - b + 1; larger bytes would skew Estimate() arbitrarily.
+  HllF0 hll(4, 9);
+  hll.Update({42, 1});
+  std::string wire;
+  hll.Serialize(&wire);
+  SketchKind kind = SketchKind::kKmvF0;
+  uint64_t seed = 0;
+  ASSERT_TRUE(PeekSketchHeader(wire, &kind, &seed));
+  EXPECT_EQ(kind, SketchKind::kHllF0);
+  ASSERT_TRUE(DeserializeSketch(wire).ok());
+  std::string forged = wire;
+  forged[wire.size() - 1] = static_cast<char>(62);  // Max legal rank is 61.
+  EXPECT_EQ(DeserializeSketch(forged).status().code(), StatusCode::kDataLoss);
+  std::string legal = wire;
+  legal[wire.size() - 1] = static_cast<char>(61);
+  EXPECT_TRUE(DeserializeSketch(legal).ok());
+}
+
+TEST(SketchCodec, SamplingCoresetRoundTripsAndRejectsCorruption) {
+  // SketchKind::kSamplingCoreset routes to MergeReduceTree::Deserialize
+  // through the same dispatcher as the classic sketches.
+  MergeReduceTree tree({.coreset_size = 8, .segment_size = 16}, 11);
+  for (uint64_t i = 0; i < 48; ++i) tree.Update({i % 8, 1});
+  std::string wire;
+  tree.Serialize(&wire);
+  auto restored = DeserializeSketch(wire);
+  ASSERT_TRUE(restored.ok());
+  std::string rewire;
+  (*restored)->Serialize(&rewire);
+  EXPECT_EQ(wire, rewire);
+  for (size_t len : {size_t{0}, size_t{21}, wire.size() - 1}) {
+    EXPECT_EQ(DeserializeSketch(std::string_view(wire).substr(0, len))
+                  .status()
+                  .code(),
+              StatusCode::kDataLoss)
+        << "len=" << len;
+  }
+}
+
+TEST(SketchCodec, SamplingHeadEnvelopeIsNotAMergeableSketch) {
+  // SketchKind::kSamplingHead is a robust-head snapshot envelope: the
+  // dispatcher must route callers to the owning SamplingEstimator instead
+  // of inventing a mergeable sketch — kUnimplemented, not kDataLoss, so
+  // the bytes are recognizably "valid, wrong entry point".
+  SamplingFp::Params params;
+  params.slots = 8;
+  SamplingFp head(params, 13);
+  for (uint64_t i = 0; i < 32; ++i) head.Update({i % 8, 1});
+  std::string snapshot;
+  head.Snapshot(&snapshot);
+  EXPECT_EQ(DeserializeSketch(snapshot).status().code(),
+            StatusCode::kUnimplemented);
+  // The owning head restores it bit-exactly, and rejects corruption.
+  SamplingFp twin(params, 1);
+  ASSERT_TRUE(twin.Restore(snapshot).ok());
+  std::string again;
+  twin.Snapshot(&again);
+  EXPECT_EQ(snapshot, again);
+  std::string truncated = snapshot.substr(0, snapshot.size() - 1);
+  EXPECT_EQ(twin.Restore(truncated).code(), StatusCode::kDataLoss);
 }
 
 TEST(SketchCodec, PeekReportsKindAndSeed) {

@@ -1,0 +1,12 @@
+// Fixture fuzz dispatcher: covers kKmvF0 only — the fresh enumerator must be flagged.
+#include "fuzz/sketch_samples.h"
+
+namespace rs {
+namespace fuzz {
+
+std::vector<SketchKind> AllWireKinds() {
+  return {SketchKind::kKmvF0};
+}
+
+}  // namespace fuzz
+}  // namespace rs

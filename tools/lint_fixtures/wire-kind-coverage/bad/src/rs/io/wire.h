@@ -1,0 +1,15 @@
+// Miniature twin of src/rs/io/wire.h for the wire-kind-coverage fixture:
+// kNewKind is missing from both companion coverage lists in this tree.
+#ifndef FIXTURE_WIRE_H_
+#define FIXTURE_WIRE_H_
+
+namespace rs {
+
+enum class SketchKind : uint32_t {
+  kKmvF0 = 1,
+  kNewKind = 2,
+};
+
+}  // namespace rs
+
+#endif  // FIXTURE_WIRE_H_

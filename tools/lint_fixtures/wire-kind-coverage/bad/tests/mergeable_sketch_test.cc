@@ -1,0 +1,11 @@
+// Fixture sketch suite: mentions kKmvF0 only — the fresh enumerator must be flagged.
+#include "gtest/gtest.h"
+
+namespace rs {
+
+TEST(Fixture, RejectsCorruptKmv) {
+  const auto kind = SketchKind::kKmvF0;
+  (void)kind;
+}
+
+}  // namespace rs

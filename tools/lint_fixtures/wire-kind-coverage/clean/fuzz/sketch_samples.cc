@@ -1,0 +1,12 @@
+// Fixture fuzz dispatcher: covers every enumerator of the fixture enum.
+#include "fuzz/sketch_samples.h"
+
+namespace rs {
+namespace fuzz {
+
+std::vector<SketchKind> AllWireKinds() {
+  return {SketchKind::kKmvF0, SketchKind::kNewKind};
+}
+
+}  // namespace fuzz
+}  // namespace rs

@@ -1,0 +1,321 @@
+// make_corpus — deterministic seed-corpus generator for fuzz/corpus/.
+//
+// Usage: make_corpus [output-root]   (default: fuzz/corpus)
+//
+// Writes two layers of inputs, one directory per harness:
+//   * seed corpora — real serialized state for every wire kind, config
+//     blobs, hub envelopes, and structure seeds, produced by the library's
+//     own writers so the fuzzers start from deep inside the accept paths;
+//   * regressions/<harness>/ — named, minimized inputs that previously
+//     violated a harness property (each is referenced from the comment at
+//     its fix site and re-asserted rejected by tests/fuzz_corpus_test.cc).
+//
+// The output is committed: re-running this tool must be a no-op diff.
+// Everything below is seeded, sized, and ordered deterministically.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fuzz/sketch_samples.h"
+#include "rs/core/robust.h"
+#include "rs/io/config_codec.h"
+#include "rs/io/wire.h"
+#include "rs/runtime/stream_hub.h"
+#include "rs/stream/update.h"
+
+namespace {
+
+std::filesystem::path g_root;
+
+void WriteFile(const std::string& relpath, std::string_view bytes) {
+  const std::filesystem::path path = g_root / relpath;
+  std::filesystem::create_directories(path.parent_path());
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()))) {
+    std::fprintf(stderr, "make_corpus: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::printf("%s (%zu bytes)\n", path.c_str(), bytes.size());
+}
+
+std::string KindFileName(rs::SketchKind kind, int variant) {
+  switch (kind) {
+    case rs::SketchKind::kKmvF0: return "kmv.bin";
+    case rs::SketchKind::kHllF0: return "hll.bin";
+    case rs::SketchKind::kAmsF2: return "ams.bin";
+    case rs::SketchKind::kCountSketch: return "countsketch.bin";
+    case rs::SketchKind::kCountMin: return "countmin.bin";
+    case rs::SketchKind::kMisraGries: return "misra_gries.bin";
+    case rs::SketchKind::kPStableFp: return "pstable.bin";
+    case rs::SketchKind::kEntropySketch: return "entropy.bin";
+    case rs::SketchKind::kSamplingCoreset: return "coreset.bin";
+    case rs::SketchKind::kSamplingHead:
+      return variant == 1 ? "head_regression.bin" : "head_fp.bin";
+  }
+  return "unknown.bin";
+}
+
+rs::RobustConfig SmallConfig() {
+  rs::RobustConfig c;
+  c.eps = 0.5;
+  c.delta = 0.1;
+  c.stream.n = 1 << 10;
+  c.stream.m = 1 << 12;
+  c.stream.max_frequency = 1 << 12;
+  c.engine.shards = 2;
+  c.engine.merge_period = 32;
+  return c;
+}
+
+void SketchCodecCorpus() {
+  for (rs::SketchKind kind : rs::fuzz::AllWireKinds()) {
+    const int variants = kind == rs::SketchKind::kSamplingHead ? 2 : 1;
+    for (int v = 0; v < variants; ++v) {
+      WriteFile("sketch_codec/" + KindFileName(kind, v),
+                rs::fuzz::MakeSampleBytes(kind, /*seed=*/42, /*updates=*/48,
+                                          v));
+    }
+  }
+  // The freshly constructed (zero-update) encodings exercise the empty
+  // branches of the count-prefixed sections.
+  WriteFile("sketch_codec/kmv_empty.bin",
+            rs::fuzz::MakeSampleBytes(rs::SketchKind::kKmvF0, 42, 0));
+  WriteFile("sketch_codec/coreset_empty.bin",
+            rs::fuzz::MakeSampleBytes(rs::SketchKind::kSamplingCoreset, 42,
+                                      0));
+}
+
+void SketchCodecRegressions() {
+  // Each of these parsed before its fix and re-encoded to different bytes
+  // (or aborted); all must now be rejected. See the comments at the fix
+  // sites in src/rs/sketch/.
+  {
+    std::string b;  // kmv_f0.cc: members must arrive strictly increasing.
+    rs::WireWriter w(&b);
+    w.Header(rs::SketchKind::kKmvF0, 7);
+    w.U64(16);  // k
+    w.U64(2);   // count
+    w.U64(5);
+    w.U64(3);
+    WriteFile("regressions/sketch_codec/kmv_unsorted_members.bin", b);
+  }
+  {
+    std::string b;
+    rs::WireWriter w(&b);
+    w.Header(rs::SketchKind::kKmvF0, 7);
+    w.U64(16);
+    w.U64(2);
+    w.U64(5);
+    w.U64(5);  // InsertHash dedups: would re-encode with one member.
+    WriteFile("regressions/sketch_codec/kmv_duplicate_members.bin", b);
+  }
+  {
+    std::string b;  // point_query_candidates.h: duplicate candidate item.
+    rs::WireWriter w(&b);
+    w.Header(rs::SketchKind::kCountMin, 7);
+    w.U64(1);    // rows
+    w.U64(1);    // width
+    w.U64(2);    // heap_size
+    w.F64(2.0);  // f1
+    w.F64(2.0);  // the single table cell
+    w.U64(2);    // candidate count
+    w.U64(5);
+    w.F64(1.0);
+    w.U64(5);  // emplace dedups: would re-encode with one candidate.
+    w.F64(1.0);
+    WriteFile("regressions/sketch_codec/countmin_duplicate_candidate.bin", b);
+  }
+  {
+    std::string b;  // misra_gries.cc: Serialize always writes seed 0.
+    rs::WireWriter w(&b);
+    w.Header(rs::SketchKind::kMisraGries, 1);
+    w.U64(8);  // k
+    w.I64(0);  // f1
+    w.I64(0);  // decrements
+    w.U64(0);  // counter count
+    WriteFile("regressions/sketch_codec/misra_gries_nonzero_seed.bin", b);
+  }
+  {
+    std::string b;  // misra_gries.cc: counters must arrive item-sorted.
+    rs::WireWriter w(&b);
+    w.Header(rs::SketchKind::kMisraGries, 0);
+    w.U64(8);
+    w.I64(2);
+    w.I64(0);
+    w.U64(2);
+    w.U64(7);
+    w.I64(1);
+    w.U64(3);
+    w.I64(1);
+    WriteFile("regressions/sketch_codec/misra_gries_unsorted_counters.bin", b);
+  }
+  {
+    std::string b;  // misra_gries.cc: live counters are always positive.
+    rs::WireWriter w(&b);
+    w.Header(rs::SketchKind::kMisraGries, 0);
+    w.U64(8);
+    w.I64(1);
+    w.I64(0);
+    w.U64(1);
+    w.U64(3);
+    w.I64(0);
+    WriteFile("regressions/sketch_codec/misra_gries_zero_counter.bin", b);
+  }
+  {
+    std::string b;  // hll_f0.cc: no rank can exceed 64 - b + 1.
+    rs::WireWriter w(&b);
+    w.Header(rs::SketchKind::kHllF0, 7);
+    w.U32(4);  // b: 16 registers, max legal rank 61.
+    std::string regs(16, '\0');
+    regs[3] = 62;
+    w.Bytes(regs);
+    WriteFile("regressions/sketch_codec/hll_rank_overflow.bin", b);
+  }
+}
+
+void ConfigCodecCorpus() {
+  {
+    std::string b;
+    rs::AppendRobustConfig(rs::RobustConfig{}, &b);
+    WriteFile("config_codec/default.bin", b);
+  }
+  {
+    std::string b;
+    rs::AppendRobustConfig(SmallConfig(), &b);
+    WriteFile("config_codec/small_engine.bin", b);
+  }
+  {
+    rs::RobustConfig c = SmallConfig();
+    c.method = rs::Method::kImportanceSampling;
+    c.theoretical_sizing = true;
+    c.entropy.random_oracle_model = true;
+    c.cascaded.force_pool = true;
+    std::string b;
+    rs::AppendRobustConfig(c, &b);
+    WriteFile("config_codec/sampling_all_bools.bin", b);
+  }
+}
+
+void ConfigCodecRegressions() {
+  // config_codec.cc: bool fields travel as exactly 0 or 1; byte 2 parsed
+  // pre-fix and re-encoded as 1 — a non-canonical blob surviving a round
+  // trip. Field offset: eps..max_frequency (5 x 8) + model + method = 42.
+  std::string b;
+  rs::AppendRobustConfig(rs::RobustConfig{}, &b);
+  b[42] = 2;  // theoretical_sizing
+  WriteFile("regressions/config_codec/bool_byte_2.bin", b);
+}
+
+void HubEnvelopeCorpus() {
+  {
+    rs::runtime::StreamHub hub;
+    std::string snap;
+    if (!hub.Snapshot(&snap).ok()) std::exit(1);
+    WriteFile("hub_envelope/empty_hub.bin", snap);
+  }
+  rs::runtime::StreamHub hub;
+  if (!hub.CreateStream("tenant-f0", rs::Task::kF0, SmallConfig()).ok() ||
+      !hub.CreateStream("tenant-is", "is_fp", SmallConfig()).ok()) {
+    std::exit(1);
+  }
+  for (uint64_t i = 0; i < 64; ++i) {
+    if (!hub.Update("tenant-f0", rs::Update{i % 16, 1}).ok() ||
+        !hub.Update("tenant-is", rs::Update{i % 16, 1}).ok()) {
+      std::exit(1);
+    }
+  }
+  std::string snap;
+  if (!hub.Snapshot(&snap).ok()) std::exit(1);
+  WriteFile("hub_envelope/two_streams.bin", snap);
+
+  // Regression: the same envelope with a non-canonical bool byte inside the
+  // first stream's embedded config blob (see ConfigCodecRegressions). The
+  // pre-fix codec normalized it, so the restored hub's next Snapshot
+  // differed from the accepted input — breaking the bit-exact property.
+  rs::WireReader r(snap);
+  (void)r.U32();  // magic
+  (void)r.U32();  // format version
+  (void)r.U32();  // envelope kind
+  (void)r.U64();  // stream count
+  const uint64_t name_len = r.U64();
+  (void)r.Bytes(name_len);
+  const uint64_t key_len = r.U64();
+  (void)r.Bytes(key_len);
+  (void)r.U64();  // seed
+  (void)r.U64();  // config length prefix
+  const size_t config_offset = snap.size() - r.remaining();
+  std::string forged = snap;
+  forged[config_offset + 42] = 2;  // theoretical_sizing inside the blob.
+  WriteFile("regressions/hub_envelope/config_bool_byte_2.bin", forged);
+}
+
+void WireReaderCorpus() {
+  {
+    // Script: one Header read (opcode 5); buffer: a valid header.
+    std::string b;
+    b.push_back(1);  // script length
+    b.push_back(5);  // opcode: Header
+    rs::WireWriter w(&b);
+    w.Header(rs::SketchKind::kKmvF0, 42);
+    WriteFile("wire_reader/valid_header.bin", b);
+  }
+  {
+    // Script walking every opcode, then re-reading past the end.
+    std::string b;
+    b.push_back(9);
+    const uint8_t script[] = {0, 1, 2, 3, 4, 8, 5, 2, 2};
+    b.append(reinterpret_cast<const char*>(script), sizeof(script));
+    rs::WireWriter w(&b);
+    w.U64(0x0123456789ABCDEFULL);
+    w.U64(0xFEDCBA9876543210ULL);
+    w.F64(1.5);
+    WriteFile("wire_reader/mixed_opcodes.bin", b);
+  }
+}
+
+void RoundTripCorpus() {
+  const auto kinds = rs::fuzz::AllWireKinds();
+  std::vector<size_t> indices(kinds.size());
+  for (size_t i = 0; i < kinds.size(); ++i) indices[i] = i;
+  // One extra seed: the head kind again with variant 1 (regression head).
+  // The harness decodes variant as index / kinds.size(), so the second
+  // head seed carries index last + kinds.size().
+  indices.push_back(2 * kinds.size() - 1);
+  for (size_t i : indices) {
+    std::string b;
+    b.push_back(static_cast<char>(i));  // kind index (mod table size).
+    rs::WireWriter w(&b);
+    w.U64(42);           // sketch seed
+    b.push_back(32);     // update count
+    for (int m = 0; m < 6; ++m) {
+      // Mutation triples: offsets striding into the serialized buffer.
+      w.U8(static_cast<uint8_t>(7 + 13 * m));
+      w.U8(0);
+      w.U8(static_cast<uint8_t>(1 << (m % 8)));
+    }
+    WriteFile("round_trip/" + KindFileName(kinds[i % kinds.size()],
+                                           static_cast<int>(i / kinds.size())),
+              b);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  g_root = argc > 1 ? argv[1] : "fuzz/corpus";
+  SketchCodecCorpus();
+  SketchCodecRegressions();
+  ConfigCodecCorpus();
+  ConfigCodecRegressions();
+  HubEnvelopeCorpus();
+  WireReaderCorpus();
+  RoundTripCorpus();
+  std::printf("corpus written under %s\n", g_root.c_str());
+  return 0;
+}

@@ -28,6 +28,13 @@ here as a named, individually testable rule:
   nolint-format          Every clang-tidy suppression must be justified:
                          `// NOLINT(<check>): <reason>`. A bare NOLINT (no
                          named check or no reason) is itself a finding.
+  wire-kind-coverage     Every enumerator of the SketchKind wire enum
+                         (src/rs/io/wire.h) must appear in the fuzz
+                         dispatcher (fuzz/sketch_samples.cc) and in the
+                         corrupt-buffer sketch suite
+                         (tests/mergeable_sketch_test.cc): a new wire kind
+                         cannot ship without a fuzz harness arm and a
+                         malformed-payload test.
 
 Findings print as `path:line: [rule] message`; the exit status is 0 when
 clean, 1 with findings, 2 on usage errors. A finding can be suppressed on
@@ -41,10 +48,11 @@ Usage:
     tools/rs_lint.py [--root DIR] [--rules id[,id...]] [--list-rules]
                      [paths ...]
 
-With no explicit paths, scans src/, tests/, bench/, and examples/ under
---root (default: the repository containing this script). Fixture trees for
-the self-test live in tools/lint_fixtures/<rule>/ (bad_* must be flagged by
-the rule, clean_* must pass) and are exercised by tools/rs_lint_test.py,
+With no explicit paths, scans src/, tests/, bench/, examples/, and fuzz/
+under --root (default: the repository containing this script). Fixture
+trees for the self-test live in tools/lint_fixtures/<rule>/ (bad_* must be
+flagged by the rule, clean_* must pass; cross-file rules use bad/ and
+clean/ miniature trees) and are exercised by tools/rs_lint_test.py,
 registered as the `rs_lint_selftest` ctest entry; `rs_lint_repo` runs this
 script over the actual tree. Both are in the `smoke` label and in the CI
 `analyze` job.
@@ -55,8 +63,13 @@ import os
 import re
 import sys
 
-DEFAULT_TREES = ("src", "tests", "bench", "examples")
+DEFAULT_TREES = ("src", "tests", "bench", "examples", "fuzz")
 CXX_EXTENSIONS = (".h", ".cc", ".cpp")
+
+# Root the cross-file rules resolve companion paths against. main() points
+# it at --root; lint_text() callers (the self-test's fixture trees) can
+# override per call.
+CURRENT_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 ALLOW_RE = re.compile(r"rs_lint:\s*allow\(([\w-]+)\)\s*(\S.*)?")
 
@@ -342,6 +355,70 @@ def rule_nolint_format(relpath, raw_lines, code_lines):
     return findings
 
 
+KIND_ENUM_RE = re.compile(r"\benum\s+class\s+SketchKind\b")
+ENUMERATOR_RE = re.compile(r"^\s*(k[A-Z]\w*)\s*=\s*\d+\s*,?\s*$")
+
+# Companion files every wire-kind enumerator must appear in (resolved
+# against CURRENT_ROOT): the fuzz dispatcher's sample/parse registry and
+# the mergeable-sketch suite that feeds each kind corrupt buffers.
+WIRE_KIND_COMPANIONS = (
+    ("fuzz/sketch_samples.cc", "the fuzz dispatcher"),
+    ("tests/mergeable_sketch_test.cc", "the corrupt-buffer sketch suite"),
+)
+
+
+def rule_wire_kind_coverage(relpath, raw_lines, code_lines):
+    del raw_lines
+    # Cross-file rule, anchored on the file that defines the wire enum (the
+    # real one is src/rs/io/wire.h; fixture trees carry a miniature twin).
+    if not relpath.endswith("wire.h"):
+        return []
+    enum_line = next(
+        (i for i, line in enumerate(code_lines, 1)
+         if KIND_ENUM_RE.search(line)), None)
+    if enum_line is None:
+        return []
+    enumerators = []  # (name, line)
+    for i in range(enum_line, len(code_lines)):
+        line = code_lines[i]
+        if "}" in line:
+            break
+        m = ENUMERATOR_RE.match(line)
+        if m:
+            enumerators.append((m.group(1), i + 1))
+    findings = []
+    for companion_rel, role in WIRE_KIND_COMPANIONS:
+        companion = os.path.join(CURRENT_ROOT, companion_rel)
+        try:
+            with open(companion, encoding="utf-8") as fh:
+                companion_text = fh.read()
+        except OSError:
+            findings.append(
+                Finding(
+                    relpath,
+                    enum_line,
+                    "wire-kind-coverage",
+                    f"cannot read {companion_rel} ({role}) to check wire-"
+                    "kind coverage — the coverage list must exist",
+                )
+            )
+            continue
+        for name, line in enumerators:
+            if not re.search(rf"\b{re.escape(name)}\b", companion_text):
+                findings.append(
+                    Finding(
+                        relpath,
+                        line,
+                        "wire-kind-coverage",
+                        f"SketchKind::{name} is not covered by "
+                        f"{companion_rel} ({role}); a new wire kind needs a "
+                        "fuzz dispatcher arm and a corrupt-buffer test "
+                        "before it can ship",
+                    )
+                )
+    return findings
+
+
 RULES = {
     "rand-source": rule_rand_source,
     "io-unordered-container": rule_io_unordered_container,
@@ -349,11 +426,27 @@ RULES = {
     "iostream-in-header": rule_iostream_in_header,
     "assert-use": rule_assert_use,
     "nolint-format": rule_nolint_format,
+    "wire-kind-coverage": rule_wire_kind_coverage,
 }
 
 
-def lint_text(relpath, text, rules=None):
-    """Lints one file's contents; returns surviving findings."""
+def lint_text(relpath, text, rules=None, root=None):
+    """Lints one file's contents; returns surviving findings.
+
+    `root` rebinds CURRENT_ROOT for the cross-file rules (fixture trees);
+    None keeps the current value.
+    """
+    global CURRENT_ROOT
+    previous_root = CURRENT_ROOT
+    if root is not None:
+        CURRENT_ROOT = root
+    try:
+        return _lint_text_impl(relpath, text, rules)
+    finally:
+        CURRENT_ROOT = previous_root
+
+
+def _lint_text_impl(relpath, text, rules):
     raw_lines = text.split("\n")
     code_lines = strip_comments_and_strings(text).split("\n")
     findings = []
@@ -422,7 +515,9 @@ def main(argv=None):
                   file=sys.stderr)
             return 2
 
+    global CURRENT_ROOT
     root = os.path.abspath(args.root)
+    CURRENT_ROOT = root
     paths = args.paths or [t for t in DEFAULT_TREES
                            if os.path.isdir(os.path.join(root, t))]
     findings = []

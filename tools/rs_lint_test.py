@@ -7,6 +7,11 @@ finding OF THAT RULE, the clean twin must produce none under ANY rule.
 Fixtures are linted under a pretend in-tree path (second tuple element)
 because several rules are path-scoped (src/rs/io/, headers, src/).
 
+Cross-file rules (TREE_CASES) use bad/ and clean/ miniature repo trees
+instead of single files: the linted file is the enum header, and the rule
+resolves its companion coverage lists against the tree root passed to
+lint_text(root=...).
+
 Beyond the fixtures, the unit tests pin the machinery the rules share:
 comment/string stripping, the justified-suppression contract, rule path
 scoping, and the CLI exit codes the ctest entries and CI rely on.
@@ -53,6 +58,20 @@ CASES = {
     ),
 }
 
+# rule id -> relpath of the anchor file inside each bad/ and clean/ tree.
+TREE_CASES = {
+    "wire-kind-coverage": "src/rs/io/wire.h",
+}
+
+
+def lint_tree_anchor(rule, tree):
+    """Lints a fixture tree's anchor file with the tree as the root."""
+    root = os.path.join(FIXTURES, rule, tree)
+    anchor = TREE_CASES[rule]
+    with open(os.path.join(root, anchor), encoding="utf-8") as fh:
+        text = fh.read()
+    return rs_lint.lint_text(anchor, text, rules=[rule], root=root)
+
 
 def read_fixture(rule, name):
     with open(os.path.join(FIXTURES, rule, name), encoding="utf-8") as fh:
@@ -61,7 +80,8 @@ def read_fixture(rule, name):
 
 class FixtureTest(unittest.TestCase):
     def test_every_rule_has_a_fixture_pair(self):
-        self.assertEqual(sorted(CASES), sorted(rs_lint.RULES))
+        self.assertEqual(sorted(list(CASES) + list(TREE_CASES)),
+                         sorted(rs_lint.RULES))
 
     def test_bad_fixtures_are_flagged_by_their_rule(self):
         for rule, (bad, bad_path, _, _) in CASES.items():
@@ -106,6 +126,78 @@ class FixtureTest(unittest.TestCase):
                 count, len(findings),
                 f"{rule}: {[str(f) for f in findings]}",
             )
+
+
+class TreeFixtureTest(unittest.TestCase):
+    def test_bad_trees_are_flagged_by_their_rule(self):
+        for rule in TREE_CASES:
+            with self.subTest(rule=rule):
+                findings = lint_tree_anchor(rule, "bad")
+                self.assertTrue(
+                    findings, f"{rule}: bad tree produced no findings")
+                self.assertTrue(all(f.rule == rule for f in findings))
+
+    def test_clean_trees_pass(self):
+        for rule in TREE_CASES:
+            with self.subTest(rule=rule):
+                self.assertEqual(
+                    [], [str(f) for f in lint_tree_anchor(rule, "clean")])
+
+    def test_bad_tree_finding_counts_and_locations(self):
+        # kNewKind is missing from BOTH companions: one finding per
+        # companion, each anchored at the enumerator's line in wire.h.
+        findings = lint_tree_anchor("wire-kind-coverage", "bad")
+        self.assertEqual(2, len(findings), [str(f) for f in findings])
+        for f in findings:
+            self.assertIn("kNewKind", f.message)
+            self.assertEqual("src/rs/io/wire.h", f.path)
+        companions = {c for c, _ in rs_lint.WIRE_KIND_COMPANIONS}
+        self.assertEqual(
+            companions,
+            {c for c in companions for f in findings if c in f.message})
+
+    def test_missing_companion_is_itself_a_finding(self):
+        # A tree with the enum but no fuzz dispatcher at all must fail:
+        # deleting the coverage list cannot silence the rule.
+        with tempfile.TemporaryDirectory() as root:
+            anchor = TREE_CASES["wire-kind-coverage"]
+            src = os.path.join(root, os.path.dirname(anchor))
+            os.makedirs(src)
+            text = read_fixture(
+                "wire-kind-coverage", os.path.join("clean", anchor))
+            with open(os.path.join(root, anchor), "w",
+                      encoding="utf-8") as fh:
+                fh.write(text)
+            findings = rs_lint.lint_text(
+                anchor, text, rules=["wire-kind-coverage"], root=root)
+            self.assertEqual(
+                len(rs_lint.WIRE_KIND_COMPANIONS), len(findings),
+                [str(f) for f in findings])
+            for f in findings:
+                self.assertIn("cannot read", f.message)
+
+    def test_rule_ignores_files_that_are_not_the_wire_header(self):
+        text = read_fixture(
+            "wire-kind-coverage",
+            os.path.join("bad", TREE_CASES["wire-kind-coverage"]))
+        self.assertEqual(
+            [], rs_lint.lint_text(
+                "src/rs/io/other.h", text.replace("SketchKind", "OtherKind"),
+                rules=["wire-kind-coverage"]))
+
+    def test_real_repo_tree_is_covered(self):
+        # The actual enum against the actual dispatcher and test suite: the
+        # repo must stay clean, which is what the rs_lint_repo ctest entry
+        # enforces with the same inputs.
+        repo_root = os.path.dirname(TOOLS_DIR)
+        anchor = "src/rs/io/wire.h"
+        with open(os.path.join(repo_root, anchor), encoding="utf-8") as fh:
+            text = fh.read()
+        self.assertEqual(
+            [],
+            [str(f) for f in rs_lint.lint_text(
+                anchor, text, rules=["wire-kind-coverage"],
+                root=repo_root)])
 
 
 class ScopingTest(unittest.TestCase):

@@ -5,8 +5,8 @@ The CI `analyze` job (and local users) invoke this instead of bare
 clang-tidy for three reasons:
 
   * Scope — only first-party translation units are tidied (src/, tests/,
-    bench/, examples/); FetchContent'd third-party sources in the build
-    tree are skipped.
+    bench/, examples/, fuzz/, tools/); FetchContent'd third-party sources
+    in the build tree are skipped.
   * Cache — clang-tidy is by far the slowest gate, so results are memoized
     per file under <build>/.tidy-cache/, keyed on the SHA-256 of the
     .clang-tidy profile + the clang-tidy version string + the file's
@@ -38,7 +38,7 @@ import shutil
 import subprocess
 import sys
 
-FIRST_PARTY_TREES = ("/src/", "/tests/", "/bench/", "/examples/")
+FIRST_PARTY_TREES = ("/src/", "/tests/", "/bench/", "/examples/", "/fuzz/", "/tools/")
 
 
 def load_compile_commands(build_dir):
